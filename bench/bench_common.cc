@@ -1,0 +1,78 @@
+#include "bench/bench_common.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace ebcp::bench
+{
+
+RunScale
+resolveScale(int argc, char **argv)
+{
+    RunScale s;
+    double scale = 1.0;
+    if (const char *env = std::getenv("EBCP_BENCH_SCALE"))
+        scale = std::atof(env);
+    if (scale <= 0.0)
+        scale = 1.0;
+    s.warm = static_cast<std::uint64_t>(s.warm * scale);
+    s.measure = static_cast<std::uint64_t>(s.measure * scale);
+
+    ConfigStore cs = ConfigStore::fromArgs(argc, argv);
+    s.warm = cs.getU64("warm", s.warm);
+    s.measure = cs.getU64("measure", s.measure);
+    return s;
+}
+
+void
+banner(const std::string &title, const std::string &paper_ref,
+       const RunScale &scale)
+{
+    std::cout << "\n==================================================="
+                 "=========================\n"
+              << title << "\n"
+              << "Reproduces: " << paper_ref << "\n"
+              << "Windows: warm " << scale.warm << " insts, measure "
+              << scale.measure << " insts"
+              << "  (override: warm=N measure=N or EBCP_BENCH_SCALE)\n"
+              << "====================================================="
+                 "=======================\n";
+}
+
+SimResults
+run(const std::string &workload, const SimConfig &cfg,
+    const PrefetcherParams &pf, const RunScale &scale)
+{
+    auto src = makeWorkload(workload);
+    return runOnce(cfg, pf, *src, scale.warm, scale.measure);
+}
+
+const SimResults &
+baseline(const std::string &workload, const RunScale &scale)
+{
+    static std::map<std::string, SimResults> cache;
+    auto it = cache.find(workload);
+    if (it == cache.end()) {
+        PrefetcherParams null_pf;
+        null_pf.name = "null";
+        SimConfig cfg;
+        it = cache.emplace(workload, run(workload, cfg, null_pf, scale))
+                 .first;
+    }
+    return it->second;
+}
+
+std::vector<double>
+improvementRow(const std::string &workload,
+               const std::vector<SimResults> &series,
+               const RunScale &scale)
+{
+    std::vector<double> out;
+    const SimResults &base = baseline(workload, scale);
+    out.reserve(series.size());
+    for (const SimResults &r : series)
+        out.push_back(improvementPct(base, r));
+    return out;
+}
+
+} // namespace ebcp::bench

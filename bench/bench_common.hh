@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared machinery for the paper-reproduction benches: run scaling,
+ * baseline caching and uniform table output.
+ *
+ * Every bench accepts "warm=N measure=N" command-line overrides and
+ * the EBCP_BENCH_SCALE environment variable (e.g. 0.25 for a quick
+ * pass, 4 for a long one). Defaults reproduce the calibrated
+ * measurement windows in EXPERIMENTS.md.
+ */
+
+#ifndef EBCP_BENCH_BENCH_COMMON_HH
+#define EBCP_BENCH_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "stats/table.hh"
+#include "trace/workloads.hh"
+#include "util/config.hh"
+
+namespace ebcp::bench
+{
+
+/** Measurement window sizes for one run. */
+struct RunScale
+{
+    std::uint64_t warm = 4'000'000;
+    std::uint64_t measure = 8'000'000;
+};
+
+/** Resolve the run scale from argv overrides and the environment. */
+RunScale resolveScale(int argc, char **argv);
+
+/** Print the standard bench banner. */
+void banner(const std::string &title, const std::string &paper_ref,
+            const RunScale &scale);
+
+/** Run one configuration on one workload. */
+SimResults run(const std::string &workload, const SimConfig &cfg,
+               const PrefetcherParams &pf, const RunScale &scale);
+
+/** Baseline (no prefetching) results, cached per workload. */
+const SimResults &baseline(const std::string &workload,
+                           const RunScale &scale);
+
+/** Percent-improvement row over the cached baselines. */
+std::vector<double>
+improvementRow(const std::string &workload,
+               const std::vector<SimResults> &series,
+               const RunScale &scale);
+
+} // namespace ebcp::bench
+
+#endif // EBCP_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Extension bench: ablation of the EBCP design choices the paper
+ * argues for (DESIGN.md's per-experiment index calls these out).
+ *
+ *  1. epoch-skip   -- EBCP records epochs i+2/i+3 and deliberately
+ *                     skips i+1 (vs EBCP-minus, which records i+1/i+2:
+ *                     Figure 9's ablation);
+ *  2. train-all    -- Section 3.4.2's alternative implementation that
+ *                     keys every miss of the oldest epoch ("requires
+ *                     larger tables and only improves performance
+ *                     marginally");
+ *  3. on-chip table -- an impossible-to-build instantaneous table:
+ *                     how much of the gap between EBCP and an ideal
+ *                     correlation prefetcher is the cost of the
+ *                     main-memory table (Section 3.2's latency-hiding
+ *                     insight is what keeps this gap small);
+ *  4. degree-8 vs paper-tuned degree and table settings.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+
+using namespace ebcp;
+using namespace ebcp::bench;
+
+int
+main(int argc, char **argv)
+{
+    RunScale scale = resolveScale(argc, argv);
+    banner("Extension: EBCP design-choice ablation",
+           "Sections 3.1, 3.2, 3.4.2 / Figure 9's EBCP-minus", scale);
+
+    struct Variant
+    {
+        std::string label;
+        bool minus;
+        bool trainAll;
+        bool onChip;
+    };
+    const std::vector<Variant> variants{
+        {"ebcp (paper design)", false, false, false},
+        {"ebcp-minus (no epoch skip)", true, false, false},
+        {"ebcp + train-all-misses", false, true, false},
+        {"ebcp + ideal on-chip table", false, false, true},
+        {"ebcp-minus + on-chip table", true, false, true},
+    };
+
+    AsciiTable t("Overall performance improvement (%) -- degree 8,"
+                 " 1M-entry table");
+    std::vector<std::string> header{"variant"};
+    for (const auto &w : workloadNames())
+        header.push_back(w);
+    t.setHeader(header);
+
+    for (const auto &v : variants) {
+        std::vector<double> row;
+        for (const auto &w : workloadNames()) {
+            SimConfig cfg;
+            PrefetcherParams p;
+            p.name = "ebcp";
+            p.ebcp.prefetchDegree = 8;
+            p.ebcp.minusVariant = v.minus;
+            p.ebcp.trainAllOldestMisses = v.trainAll;
+            p.ebcp.onChipTable = v.onChip;
+            SimResults r = run(w, cfg, p, scale);
+            row.push_back(improvementPct(baseline(w, scale), r));
+        }
+        t.addRow(v.label, row);
+    }
+    t.print(std::cout);
+
+    std::cout <<
+        "\nExpected shape: with the main-memory table, the paper design"
+        " beats\n  EBCP-minus (epoch i+1's prefetches cannot be timely"
+        " after a memory-\n  latency table read, so recording i+1 wastes"
+        " slots). With an ideal\n  zero-latency table the relationship"
+        " INVERTS -- i+1 becomes coverable and\n  recording it wins --"
+        " showing the epoch skip is correct precisely because\n  the"
+        " table lives in main memory: the paper's Section 3.1/3.2 design"
+        "\n  choices are coupled. Train-all adds little (Section 3.4.2's"
+        " finding),\n  and the on-chip table's modest edge over the"
+        " main-memory one quantifies\n  how much latency the epoch trick"
+        " already hides.\n";
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Extension bench (the paper's Section 6 future work): the
+ * epoch-based correlation prefetcher on a chip multiprocessor with a
+ * shared L2.
+ *
+ * Compares, at 1/2/4 cores, each against the no-prefetching baseline
+ * at the same core count:
+ *
+ *  - EBCP with per-core EMABs/epoch tracking (the paper's proposed
+ *    CMP design: the control in front of the crossbar sees each
+ *    core's stream),
+ *  - EBCP with a single shared epoch state (what a controller that
+ *    cannot attribute requests to cores would see), and
+ *  - Solihin 6,1, whose memory-side engine inherently observes the
+ *    interleaved stream (Section 3.3.1's argument).
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "sim/cmp_system.hh"
+#include "util/str.hh"
+
+using namespace ebcp;
+using namespace ebcp::bench;
+
+int
+main(int argc, char **argv)
+{
+    RunScale scale = resolveScale(argc, argv);
+    // CMP runs are per-core windows; keep the default total work
+    // comparable to the single-core benches.
+    scale.warm /= 2;
+    scale.measure /= 2;
+
+    banner("Extension: EBCP on a chip multiprocessor (shared L2)",
+           "Section 6 (future work) + Section 3.3.1's interleaving"
+           " argument",
+           scale);
+
+    const std::string workload = "database";
+    const std::vector<unsigned> core_counts{1, 2, 4, 8};
+
+    AsciiTable t("database: improvement (%) over the same-core-count"
+                 " no-prefetching baseline");
+    t.setHeader({"scheme", "1 core", "2 cores", "4 cores", "8 cores"});
+    AsciiTable tc("database: coverage / accuracy (%)");
+    tc.setHeader({"scheme", "1 core", "2 cores", "4 cores", "8 cores"});
+
+    std::vector<double> base_cpi;
+    for (unsigned n : core_counts) {
+        PrefetcherParams none;
+        none.name = "null";
+        SimConfig cfg;
+        CmpResults r = runCmp(cfg, none, workload, n, scale.warm,
+                              scale.measure);
+        base_cpi.push_back(r.aggregateCpi);
+    }
+    {
+        std::vector<double> row;
+        for (double c : base_cpi)
+            row.push_back(c);
+        AsciiTable tb("baseline aggregate CPI per core count");
+        tb.setHeader({"", "1 core", "2 cores", "4 cores", "8 cores"});
+        tb.addRow("no-prefetch CPI", row);
+        tb.print(std::cout);
+    }
+
+    auto sweep = [&](const std::string &label,
+                     const std::string &scheme, bool per_core_state) {
+        std::vector<double> row;
+        std::vector<std::string> covrow{label};
+        for (std::size_t k = 0; k < core_counts.size(); ++k) {
+            const unsigned n = core_counts[k];
+            SimConfig cfg;
+            PrefetcherParams p;
+            p.name = scheme;
+            p.ebcp.prefetchDegree = 8;
+            p.ebcp.tableEntries = 1ULL << 18;
+            p.solihin.tableEntries = 1ULL << 18;
+            p.ebcp.numCoreStates = per_core_state ? n : 1;
+            CmpResults r = runCmp(cfg, p, workload, n, scale.warm,
+                                  scale.measure);
+            row.push_back((base_cpi[k] / r.aggregateCpi - 1.0) * 100.0);
+            covrow.push_back(fmtDouble(r.coverage * 100.0, 1) + " / " +
+                             fmtDouble(r.accuracy * 100.0, 1));
+        }
+        t.addRow(label, row);
+        tc.addRow(covrow);
+    };
+
+    sweep("ebcp (per-core EMABs)", "ebcp", true);
+    sweep("ebcp (shared epoch state)", "ebcp", false);
+    sweep("solihin-6-1 (memory side)", "solihin-6-1", false);
+    t.print(std::cout);
+    tc.print(std::cout);
+
+    std::cout <<
+        "\nExpected shape: per-core EMABs hold EBCP's gains as cores"
+        " scale, while\n  schemes that see only an interleaved stream"
+        " degrade: the shared-epoch\n  variant collapses immediately and"
+        " the memory-side scheme's depth-keyed\n  successor lists break"
+        " down once the interleave factor approaches its\n  depth --"
+        " EBCP with per-core EMABs overtakes it by 8 cores. This is the"
+        "\n  paper's Section 3.3.1 argument for placing the prefetcher"
+        " control in\n  front of the core-to-L2 crossbar.\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Figure 6: overall performance improvement as the number
+ * of correlation-table entries is limited (prefetch degree 8).
+ *
+ * Scaling note: the paper sweeps 64K..8M entries and finds 1M
+ * sufficient. Our measurement windows (and hence trigger working
+ * sets) are ~16x smaller than the paper's 150M+100M instruction
+ * windows, so the knee appears ~16x lower; the sweep covers 1K..1M to
+ * expose it. The shape -- flat above the knee, eroding below -- is
+ * the reproduced result.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+
+using namespace ebcp;
+using namespace ebcp::bench;
+
+int
+main(int argc, char **argv)
+{
+    RunScale scale = resolveScale(argc, argv);
+    banner("Figure 6: effect of limiting predictor table entries",
+           "Figure 6 (Section 5.2.2)", scale);
+
+    const std::vector<std::uint64_t> entries{
+        1ULL << 10, 1ULL << 12, 1ULL << 14, 1ULL << 16, 1ULL << 18,
+        1ULL << 20};
+
+    AsciiTable t("Overall performance improvement (%) vs correlation"
+                 " table entries (degree 8)");
+    std::vector<std::string> header{"workload"};
+    for (std::uint64_t e : entries)
+        header.push_back(e >= (1ULL << 20)
+                             ? std::to_string(e >> 20) + "M"
+                             : std::to_string(e >> 10) + "K");
+    t.setHeader(header);
+
+    for (const auto &w : workloadNames()) {
+        std::vector<SimResults> series;
+        for (std::uint64_t e : entries) {
+            SimConfig cfg;
+            PrefetcherParams p;
+            p.name = "ebcp";
+            p.ebcp.prefetchDegree = 8;
+            p.ebcp.tableEntries = e;
+            series.push_back(run(w, cfg, p, scale));
+        }
+        t.addRow(w, improvementRow(w, series, scale));
+    }
+    t.print(std::cout);
+
+    std::cout << "\nExpected shape (paper): performance is flat above"
+                 " the knee and erodes\n  sharply below it; in the paper"
+                 " the knee is at ~1M entries (64MB), here it\n  appears"
+                 " ~16x lower because the measured windows are ~16x"
+                 " shorter.\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces Figure 9: the epoch-based correlation prefetcher versus
+ * GHB PC/DC (small/large), the tag correlating prefetcher
+ * (small/large), a stream prefetcher, spatial memory streaming,
+ * Solihin's memory-side correlation prefetcher (3,2 and 6,1), and the
+ * EBCP-minus ablation. All prefetchers use degree 6 and a 64-entry
+ * prefetch buffer, per the paper's fairness rules.
+ *
+ * Table-size scaling: the paper gives EBCP and Solihin 1M-entry
+ * main-memory tables, which is exactly the knee of Figure 6 at paper
+ * scale. Our windows are ~16x shorter, so the scaled equivalent (64K
+ * entries) is used; see EXPERIMENTS.md.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+
+using namespace ebcp;
+using namespace ebcp::bench;
+
+int
+main(int argc, char **argv)
+{
+    RunScale scale = resolveScale(argc, argv);
+    banner("Figure 9: performance comparison with other prefetchers",
+           "Figure 9 (Section 5.3)", scale);
+
+    const std::vector<std::string> schemes{
+        "stream",      "ghb-small", "ghb-large", "tcp-small",
+        "tcp-large",   "sms",       "solihin-3-2", "solihin-6-1",
+        "ebcp-minus",  "ebcp"};
+
+    AsciiTable t("Overall performance improvement (%) relative to no"
+                 " prefetching");
+    std::vector<std::string> header{"scheme"};
+    for (const auto &w : workloadNames())
+        header.push_back(w);
+    t.setHeader(header);
+
+    AsciiTable cov("Coverage (%)");
+    cov.setHeader(header);
+    AsciiTable acc("Accuracy (%)");
+    acc.setHeader(header);
+
+    for (const auto &scheme : schemes) {
+        std::vector<double> imps, covs, accs;
+        for (const auto &w : workloadNames()) {
+            SimConfig cfg;
+            PrefetcherParams p;
+            p.name = scheme;
+            p.ebcp.prefetchDegree = 6;
+            p.ebcp.tableEntries = 1ULL << 16;   // scaled 1M
+            p.solihin.tableEntries = 1ULL << 16; // scaled 1M
+            SimResults r = run(w, cfg, p, scale);
+            imps.push_back(improvementPct(baseline(w, scale), r));
+            covs.push_back(r.coverage * 100.0);
+            accs.push_back(r.accuracy * 100.0);
+        }
+        t.addRow(scheme, imps);
+        cov.addRow(scheme, covs);
+        acc.addRow(scheme, accs);
+    }
+    t.print(std::cout);
+    cov.print(std::cout);
+    acc.print(std::cout);
+
+    std::cout <<
+        "\nExpected shape (paper): EBCP wins on all four workloads"
+        " (20/12/28/24%),\n  ahead of Solihin 6,1 (13/8/20/16%); EBCP >"
+        " EBCP-minus everywhere;\n  Solihin 6,1 > Solihin 3,2 (depth"
+        " beats width); sub-1MB on-chip schemes\n  (GHB small, TCP"
+        " small, stream) are ineffective; SMS attains high\n  coverage"
+        " but removes few epochs, and fails on the instruction-miss-"
+        "heavy\n  tpcw/specjas (it does not prefetch instructions).\n"
+        "Known deviation: at this simulator's scaled recurrence,"
+        " Solihin 6,1's\n  deeper per-miss successor lists close most of"
+        " the gap to EBCP and can\n  edge it out on the low-MLP"
+        " workloads; see EXPERIMENTS.md for analysis.\n";
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the hot components of the
+ * simulator: useful when optimizing the simulator itself, and as a
+ * regression guard on simulation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "core/correlation_table.hh"
+#include "cpu/core_model.hh"
+#include "prefetch/ghb.hh"
+#include "sim/simulator.hh"
+#include "trace/workloads.hh"
+#include "util/random.hh"
+
+using namespace ebcp;
+
+namespace
+{
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheConfig cfg;
+    cfg.name = "bm";
+    cfg.sizeBytes = 2 * MiB;
+    cfg.ways = 4;
+    Cache cache(cfg);
+    Pcg32 rng(1);
+    for (auto _ : state) {
+        Addr a = (rng.next() & 0xffffff) << 6;
+        if (!cache.access(a, false))
+            cache.fill(a);
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_CorrTableUpdate(benchmark::State &state)
+{
+    CorrTableConfig cfg;
+    cfg.entries = 1ULL << 20;
+    cfg.addrsPerEntry = 8;
+    CorrelationTable table(cfg);
+    Pcg32 rng(2);
+    std::vector<Addr> payload(4);
+    for (auto _ : state) {
+        Addr key = (rng.next() & 0xfffff) << 6;
+        for (auto &p : payload)
+            p = (rng.next() & 0xfffff) << 6;
+        table.update(key, payload);
+    }
+}
+BENCHMARK(BM_CorrTableUpdate);
+
+void
+BM_CorrTableLookup(benchmark::State &state)
+{
+    CorrTableConfig cfg;
+    cfg.entries = 1ULL << 16;
+    cfg.addrsPerEntry = 8;
+    CorrelationTable table(cfg);
+    Pcg32 rng(3);
+    for (int i = 0; i < 10000; ++i)
+        table.update((rng.next() & 0xffff) << 6,
+                     {0x1000, 0x2000, 0x3000});
+    std::vector<Addr> out;
+    Pcg32 probe(4);
+    for (auto _ : state) {
+        table.lookup((probe.next() & 0xffff) << 6, out);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_CorrTableLookup);
+
+void
+BM_GhbObserve(benchmark::State &state)
+{
+    GhbPrefetcher ghb(GhbConfig::large());
+    class NullEngine : public PrefetchEngine
+    {
+        void issuePrefetch(Addr, Tick, std::uint64_t, bool) override {}
+        MemAccessResult
+        tableRead(Tick t) override
+        {
+            return {t, t + 500, false};
+        }
+        MemAccessResult
+        tableWrite(Tick t) override
+        {
+            return {t, t + 1, false};
+        }
+        Tick memoryLatency() const override { return 500; }
+    } eng;
+    ghb.setEngine(&eng);
+    Pcg32 rng(5);
+    L2AccessInfo info;
+    info.offChip = true;
+    for (auto _ : state) {
+        info.pc = 0x400 + (rng.next() & 0xff) * 4;
+        info.lineAddr = (rng.next() & 0xffffff) << 6;
+        ghb.observeAccess(info);
+    }
+}
+BENCHMARK(BM_GhbObserve);
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    auto w = makeWorkload("database");
+    TraceRecord rec;
+    for (auto _ : state) {
+        w->next(rec);
+        benchmark::DoNotOptimize(rec);
+    }
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+void
+BM_SimulatedInstruction(benchmark::State &state)
+{
+    // End-to-end simulation throughput (instructions per second).
+    SimConfig cfg;
+    PrefetcherParams p;
+    p.name = "ebcp";
+    Simulator sim(cfg, p);
+    auto w = makeWorkload("database");
+    TraceRecord rec;
+    for (auto _ : state) {
+        w->next(rec);
+        sim.core().process(rec);
+    }
+}
+BENCHMARK(BM_SimulatedInstruction);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The full-configuration command-line driver: every knob of the
+ * simulator and of the prefetchers, exposed as key=value arguments.
+ *
+ * Usage examples:
+ * *   ebcp_cli workload=database prefetcher=ebcp degree=8 \
+ *            table_entries=1048576 warm=4000000 measure=8000000
+ *   ebcp_cli trace=/tmp/db.trc prefetcher=solihin-6-1
+ *   ebcp_cli workload=specjbb cores=4 prefetcher=ebcp per_core=1
+ *   ebcp_cli workload=tpcw prefetcher=ghb-large dump_stats=1
+ *
+ * Run with help=1 for the full knob list.
+ */
+
+#include <iostream>
+
+#include "sim/cmp_system.hh"
+#include "sim/simulator.hh"
+#include "trace/trace_file.hh"
+#include "trace/workloads.hh"
+#include "util/config.hh"
+
+using namespace ebcp;
+
+namespace
+{
+
+void
+printHelp()
+{
+    std::cout <<
+        "ebcp_cli key=value ...\n"
+        "\n"
+        "run control:\n"
+        "  workload=database|tpcw|specjbb|specjas   synthetic workload\n"
+        "  trace=PATH          replay a trace file instead\n"
+        "  seed=N              workload seed override\n"
+        "  warm=N measure=N    window sizes (insts)\n"
+        "  cores=N             CMP mode with N cores (workloads only)\n"
+        "  dump_stats=0|1      dump every statistic after the run\n"
+        "\n"
+        "prefetcher:\n"
+        "  prefetcher=null|ebcp|ebcp-minus|stream|ghb[-small|-large]|\n"
+        "             tcp[-small|-large]|sms|solihin[-3-2|-6-1]\n"
+        "  degree=N            EBCP prefetch degree / entry slots\n"
+        "  table_entries=N     EBCP/Solihin table entries (pow2)\n"
+        "  train_all=0|1       EBCP: key every oldest-epoch miss\n"
+        "  on_chip_table=0|1   EBCP: idealized zero-cost table\n"
+        "  per_core=0|1        EBCP: per-core EMABs in CMP mode\n"
+        "\n"
+        "machine:\n"
+        "  l2_kb=N             L2 size in KB (default 2048)\n"
+        "  pf_buffer=N         prefetch buffer entries (default 64)\n"
+        "  bw_scale=F          memory bandwidth scale (default 1.0)\n"
+        "  mem_latency=N       unloaded memory latency (default 500)\n"
+        "  rob=N               reorder buffer entries (default 128)\n"
+        "  perfect_l2=0|1      CPI_perf mode\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ConfigStore cs = ConfigStore::fromArgs(argc, argv);
+    if (cs.getBool("help", false)) {
+        printHelp();
+        return 0;
+    }
+
+    SimConfig cfg;
+    cfg.l2.sizeBytes = cs.getU64("l2_kb", 2048) * KiB;
+    cfg.prefetchBufferEntries =
+        static_cast<unsigned>(cs.getU64("pf_buffer", 64));
+    cfg.mem.latency = cs.getU64("mem_latency", 500);
+    cfg.mem.scaleBandwidth(cs.getDouble("bw_scale", 1.0));
+    cfg.core.robEntries = static_cast<unsigned>(cs.getU64("rob", 128));
+    cfg.perfectL2 = cs.getBool("perfect_l2", false);
+
+    const unsigned cores =
+        static_cast<unsigned>(cs.getU64("cores", 1));
+
+    PrefetcherParams pf;
+    pf.name = cs.getString("prefetcher", "ebcp");
+    pf.ebcp.prefetchDegree =
+        static_cast<unsigned>(cs.getU64("degree", 8));
+    pf.ebcp.tableEntries = cs.getU64("table_entries", 1ULL << 20);
+    pf.solihin.tableEntries = pf.ebcp.tableEntries;
+    pf.ebcp.trainAllOldestMisses = cs.getBool("train_all", false);
+    pf.ebcp.onChipTable = cs.getBool("on_chip_table", false);
+    if (cs.getBool("per_core", true))
+        pf.ebcp.numCoreStates = cores;
+
+    const std::uint64_t warm = cs.getU64("warm", 2'000'000);
+    const std::uint64_t measure = cs.getU64("measure", 4'000'000);
+
+    if (cores > 1) {
+        fatal_if(cs.has("trace"), "CMP mode replays workloads only");
+        const std::string workload =
+            cs.getString("workload", "database");
+        CmpResults r = runCmp(cfg, pf, workload, cores, warm, measure);
+        std::cout << cores << "-core '" << workload << "' with "
+                  << pf.name << ":\n  aggregate CPI "
+                  << r.aggregateCpi << ", coverage "
+                  << r.coverage * 100.0 << "%, accuracy "
+                  << r.accuracy * 100.0 << "%\n";
+        for (unsigned i = 0; i < cores; ++i)
+            std::cout << "  core " << i << ": CPI "
+                      << r.perCore[i].cpi << "\n";
+        return 0;
+    }
+
+    std::unique_ptr<TraceSource> src;
+    std::string source_name;
+    if (cs.has("trace")) {
+        source_name = cs.getString("trace", "");
+        src = std::make_unique<FileTraceSource>(source_name, true);
+    } else {
+        source_name = cs.getString("workload", "database");
+        src = makeWorkload(source_name, cs.getU64("seed", 0));
+    }
+
+    Simulator sim(cfg, pf);
+    SimResults r = sim.run(*src, warm, measure);
+
+    std::cout << "'" << source_name << "' with " << pf.name << ":\n"
+              << "  CPI " << r.cpi << "\n"
+              << "  epochs/1000 insts " << r.epochsPer1k << "\n"
+              << "  L2 miss/1000: inst " << r.l2InstMissPer1k
+              << ", load " << r.l2LoadMissPer1k << "\n"
+              << "  coverage " << r.coverage * 100.0 << "%, accuracy "
+              << r.accuracy * 100.0 << "%\n"
+              << "  prefetches: issued " << r.issuedPrefetches
+              << ", useful " << r.usefulPrefetches << ", dropped "
+              << r.droppedPrefetches << "\n"
+              << "  bus utilization: read " << r.readBusUtil * 100.0
+              << "%, write " << r.writeBusUtil * 100.0 << "%\n";
+
+    if (cs.getBool("dump_stats", false))
+        sim.dumpStats(std::cout);
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Compare every prefetcher in the library on one workload -- the
+ * interactive counterpart of the Figure 9 bench.
+ *
+ * Usage:
+ *   prefetcher_comparison [workload=specjbb] [warm=2000000]
+ *                         [measure=4000000] [degree=6]
+ */
+
+#include <iostream>
+
+#include "sim/simulator.hh"
+#include "stats/table.hh"
+#include "trace/workloads.hh"
+#include "util/config.hh"
+#include "util/str.hh"
+
+using namespace ebcp;
+
+int
+main(int argc, char **argv)
+{
+    ConfigStore cs = ConfigStore::fromArgs(argc, argv);
+    const std::string workload = cs.getString("workload", "specjbb");
+    const std::uint64_t warm = cs.getU64("warm", 2'000'000);
+    const std::uint64_t measure = cs.getU64("measure", 4'000'000);
+    const unsigned degree =
+        static_cast<unsigned>(cs.getU64("degree", 6));
+
+    SimConfig cfg;
+    PrefetcherParams none;
+    none.name = "null";
+    auto base_src = makeWorkload(workload);
+    SimResults base = runOnce(cfg, none, *base_src, warm, measure);
+
+    std::cout << "workload '" << workload << "': baseline CPI "
+              << base.cpi << ", " << base.epochsPer1k
+              << " epochs/1000 insts\n";
+
+    AsciiTable t("Prefetcher comparison (degree " +
+                 std::to_string(degree) + ")");
+    t.setHeader({"scheme", "improvement %", "EPI reduction %",
+                 "coverage %", "accuracy %", "issued", "dropped"});
+
+    for (const auto &name : prefetcherNames()) {
+        if (name == "null")
+            continue;
+        PrefetcherParams p;
+        p.name = name;
+        p.ebcp.prefetchDegree = degree;
+        auto src = makeWorkload(workload);
+        SimResults r = runOnce(cfg, p, *src, warm, measure);
+        t.addRow({name, fmtDouble(improvementPct(base, r), 2),
+                  fmtDouble(epiReductionPct(base, r), 2),
+                  fmtDouble(r.coverage * 100.0, 1),
+                  fmtDouble(r.accuracy * 100.0, 1),
+                  std::to_string(r.issuedPrefetches),
+                  std::to_string(r.droppedPrefetches)});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: simulate one commercial workload without prefetching
+ * and with the epoch-based correlation prefetcher, and print the
+ * paper's headline metrics.
+ *
+ * Usage:
+ *   quickstart [workload=database] [warm=1000000] [measure=2000000]
+ *              [prefetcher=ebcp] [degree=8] [table_entries=1048576]
+ */
+
+#include <iostream>
+
+#include "sim/simulator.hh"
+#include "stats/table.hh"
+#include "trace/workloads.hh"
+#include "util/config.hh"
+
+using namespace ebcp;
+
+int
+main(int argc, char **argv)
+{
+    ConfigStore cfg = ConfigStore::fromArgs(argc, argv);
+    const std::string workload = cfg.getString("workload", "database");
+    const std::uint64_t warm = cfg.getU64("warm", 1'000'000);
+    const std::uint64_t measure = cfg.getU64("measure", 2'000'000);
+
+    SimConfig sim_cfg;
+
+    PrefetcherParams base;
+    base.name = "null";
+
+    PrefetcherParams pf;
+    pf.name = cfg.getString("prefetcher", "ebcp");
+    pf.ebcp.prefetchDegree =
+        static_cast<unsigned>(cfg.getU64("degree", 8));
+    pf.ebcp.tableEntries = cfg.getU64("table_entries", 1ULL << 20);
+
+    std::cout << "workload: " << workload << ", warm " << warm
+              << " insts, measure " << measure << " insts\n";
+
+    auto src1 = makeWorkload(workload);
+    SimResults r_base = runOnce(sim_cfg, base, *src1, warm, measure);
+
+    auto src2 = makeWorkload(workload);
+    Simulator sim(sim_cfg, pf);
+    SimResults r_pf = sim.run(*src2, warm, measure);
+    if (cfg.getBool("dump", false))
+        sim.dumpStats(std::cout);
+
+    AsciiTable t("Baseline vs " + pf.name);
+    t.setHeader({"metric", "no-prefetch", pf.name});
+    t.addRow("CPI", {r_base.cpi, r_pf.cpi});
+    t.addRow("epochs / 1000 insts",
+             {r_base.epochsPer1k, r_pf.epochsPer1k});
+    t.addRow("L2 inst misses / 1000",
+             {r_base.l2InstMissPer1k, r_pf.l2InstMissPer1k});
+    t.addRow("L2 load misses / 1000",
+             {r_base.l2LoadMissPer1k, r_pf.l2LoadMissPer1k});
+    t.addRow("coverage %", {0.0, r_pf.coverage * 100.0});
+    t.addRow("accuracy %", {0.0, r_pf.accuracy * 100.0});
+    t.addRow("read-bus utilization %",
+             {r_base.readBusUtil * 100.0, r_pf.readBusUtil * 100.0});
+    t.print(std::cout);
+
+    std::cout << "\noverall performance improvement: "
+              << improvementPct(r_base, r_pf) << "%\n"
+              << "EPI reduction: " << epiReductionPct(r_base, r_pf)
+              << "%\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+#include "cache/mshr.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+MshrFile::MshrFile(const std::string &name, unsigned entries)
+    : entries_(entries), stats_(name)
+{
+    fatal_if(entries == 0, "MSHR file needs at least one entry");
+    stats_.add(allocations_);
+    stats_.add(merges_);
+    stats_.add(fullStalls_);
+}
+
+void
+MshrFile::advance(Tick now)
+{
+    while (!heap_.empty() && heap_.top().complete <= now) {
+        auto it = inflight_.find(heap_.top().lineAddr);
+        // Only erase if the map still refers to this completion; a
+        // line can re-miss later and get a fresh (later) entry.
+        if (it != inflight_.end() && it->second == heap_.top().complete)
+            inflight_.erase(it);
+        heap_.pop();
+    }
+}
+
+Tick
+MshrFile::inFlightCompletion(Addr line_addr) const
+{
+    auto it = inflight_.find(line_addr);
+    if (it == inflight_.end())
+        return MaxTick;
+    ++merges_;
+    return it->second;
+}
+
+Tick
+MshrFile::whenCanAllocate(Tick now) const
+{
+    if (inflight_.size() < entries_)
+        return now;
+    ++fullStalls_;
+    // The file is full: a register frees when the earliest outstanding
+    // miss completes.
+    Tick earliest = MaxTick;
+    for (const auto &kv : inflight_)
+        earliest = std::min(earliest, kv.second);
+    return std::max(now, earliest);
+}
+
+void
+MshrFile::allocate(Addr line_addr, Tick complete)
+{
+    ++allocations_;
+    inflight_[line_addr] = complete;
+    heap_.push({complete, line_addr});
+}
+
+void
+MshrFile::clear()
+{
+    inflight_.clear();
+    heap_ = {};
+}
+
+} // namespace ebcp

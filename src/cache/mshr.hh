@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Miss Status Holding Register file.
+ *
+ * Used by the timing model to bound the number of outstanding misses
+ * (32 L2 MSHRs in the default configuration) and to merge requests to
+ * a line that is already in flight. Entries whose completion time has
+ * passed are retired lazily as simulated time advances.
+ */
+
+#ifndef EBCP_CACHE_MSHR_HH
+#define EBCP_CACHE_MSHR_HH
+
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/group.hh"
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/** A bounded set of in-flight line misses with completion times. */
+class MshrFile
+{
+  public:
+    MshrFile(const std::string &name, unsigned entries);
+
+    /**
+     * Retire entries that have completed by @p now.
+     * Must be called with non-decreasing @p now (the one-pass timing
+     * model guarantees issue times are presented in near order; the
+     * file tolerates small regressions by simply not retiring).
+     */
+    void advance(Tick now);
+
+    /**
+     * @return the completion time of an in-flight request for
+     *         @p line_addr, or MaxTick if none.
+     */
+    Tick inFlightCompletion(Addr line_addr) const;
+
+    /**
+     * Earliest time a new entry can be allocated at or after @p now
+     * (now itself if a register is free, otherwise when the oldest
+     * in-flight miss completes).
+     */
+    Tick whenCanAllocate(Tick now) const;
+
+    /** Record a new in-flight miss completing at @p complete. */
+    void allocate(Addr line_addr, Tick complete);
+
+    std::size_t occupancy() const { return inflight_.size(); }
+    unsigned capacity() const { return entries_; }
+
+    /** Drop all tracked entries. */
+    void clear();
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    unsigned entries_;
+    std::unordered_map<Addr, Tick> inflight_;
+
+    struct HeapEntry
+    {
+        Tick complete;
+        Addr lineAddr;
+        bool operator>(const HeapEntry &o) const
+        {
+            return complete > o.complete;
+        }
+    };
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>> heap_;
+
+    StatGroup stats_;
+    Scalar allocations_{"allocations", "misses tracked"};
+    // Counted from const query paths; bookkeeping only.
+    mutable Scalar merges_{"merges",
+                           "requests merged into in-flight misses"};
+    mutable Scalar fullStalls_{"full_stalls",
+                               "allocations delayed by a full file"};
+};
+
+} // namespace ebcp
+
+#endif // EBCP_CACHE_MSHR_HH

@@ -1,0 +1,117 @@
+#include "cache/prefetch_buffer.hh"
+
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+PrefetchBuffer::PrefetchBuffer(unsigned entries, unsigned ways,
+                               unsigned line_bytes)
+    : sets_(entries / ways), ways_(ways), lineShift_(floorLog2(line_bytes)),
+      entries_(entries), stats_("prefetch_buffer")
+{
+    fatal_if(entries == 0 || ways == 0, "prefetch buffer with no entries");
+    fatal_if(entries % ways != 0,
+             "prefetch buffer entries must be a multiple of ways");
+    fatal_if(!isPowerOf2(sets_),
+             "prefetch buffer set count must be a power of two");
+    stats_.add(hits_);
+    stats_.add(lateHits_);
+    stats_.add(inserts_);
+    stats_.add(replacedUnused_);
+}
+
+PrefetchBuffer::Entry *
+PrefetchBuffer::find(Addr line_addr)
+{
+    const unsigned set = setOf(line_addr);
+    for (unsigned w = 0; w < ways_; ++w) {
+        Entry &e = entries_[set * ways_ + w];
+        if (e.valid && e.lineAddr == line_addr)
+            return &e;
+    }
+    return nullptr;
+}
+
+const PrefetchBuffer::Entry *
+PrefetchBuffer::find(Addr line_addr) const
+{
+    return const_cast<PrefetchBuffer *>(this)->find(line_addr);
+}
+
+bool
+PrefetchBuffer::contains(Addr addr) const
+{
+    return find(alignDown(addr, 1ULL << lineShift_)) != nullptr;
+}
+
+PrefBufHit
+PrefetchBuffer::lookup(Addr addr, Tick now)
+{
+    const Addr line = alignDown(addr, 1ULL << lineShift_);
+    Entry *e = find(line);
+    PrefBufHit res;
+    if (!e)
+        return res;
+
+    res.hit = true;
+    res.readyTime = e->readyTime;
+    res.corrIndex = e->corrIndex;
+    res.hasCorrIndex = e->hasCorrIndex;
+    ++hits_;
+    if (e->readyTime > now)
+        ++lateHits_;
+    // Consumed: the line moves to the regular cache hierarchy.
+    e->valid = false;
+    return res;
+}
+
+void
+PrefetchBuffer::insert(Addr addr, Tick ready_time, std::uint64_t corr_index,
+                       bool has_corr_index)
+{
+    const Addr line = alignDown(addr, 1ULL << lineShift_);
+    ++inserts_;
+
+    if (Entry *e = find(line)) {
+        // Refresh an existing entry (keep the earlier ready time: the
+        // first prefetch's data arrives first).
+        e->readyTime = std::min(e->readyTime, ready_time);
+        e->stamp = ++stampCounter_;
+        if (has_corr_index) {
+            e->corrIndex = corr_index;
+            e->hasCorrIndex = true;
+        }
+        return;
+    }
+
+    const unsigned set = setOf(line);
+    Entry *victim = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Entry &e = entries_[set * ways_ + w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (!victim || e.stamp < victim->stamp)
+            victim = &e;
+    }
+    if (victim->valid)
+        ++replacedUnused_;
+
+    victim->lineAddr = line;
+    victim->readyTime = ready_time;
+    victim->corrIndex = corr_index;
+    victim->hasCorrIndex = has_corr_index;
+    victim->valid = true;
+    victim->stamp = ++stampCounter_;
+}
+
+void
+PrefetchBuffer::flush()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+}
+
+} // namespace ebcp

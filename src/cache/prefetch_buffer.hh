@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The prefetch buffer (Section 5.2, "prefetched lines are stored in a
+ * prefetch buffer ... searched in parallel with the L2 cache").
+ *
+ * Prefetched lines land here rather than polluting the L2; a demand
+ * access that finds its line here promotes it to the regular cache.
+ * Each entry also remembers which correlation-table entry produced it
+ * so a hit can refresh that entry's LRU state (Section 3.4.3).
+ */
+
+#ifndef EBCP_CACHE_PREFETCH_BUFFER_HH
+#define EBCP_CACHE_PREFETCH_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/group.hh"
+#include "util/bitfield.hh"
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/** Result of probing the prefetch buffer. */
+struct PrefBufHit
+{
+    bool hit = false;        //!< line present (possibly still in flight)
+    Tick readyTime = 0;      //!< when the line's data is on chip
+    std::uint64_t corrIndex = 0; //!< correlation-table entry that
+                                 //!< generated the prefetch
+    bool hasCorrIndex = false;
+};
+
+/** Set-associative buffer of prefetched lines. */
+class PrefetchBuffer
+{
+  public:
+    /**
+     * @param entries total entry count (power of two)
+     * @param ways associativity (4 in the paper)
+     * @param line_bytes cache line size
+     */
+    PrefetchBuffer(unsigned entries, unsigned ways, unsigned line_bytes);
+
+    /**
+     * Probe for the line containing @p addr at time @p now; on a hit
+     * the entry is consumed (the line is promoted to the regular
+     * cache by the caller).
+     */
+    PrefBufHit lookup(Addr addr, Tick now);
+
+    /** Probe without consuming or counting (used for filtering). */
+    bool contains(Addr addr) const;
+
+    /**
+     * Install a prefetched line that becomes available at
+     * @p ready_time. Duplicate inserts refresh the existing entry.
+     */
+    void insert(Addr addr, Tick ready_time, std::uint64_t corr_index,
+                bool has_corr_index);
+
+    /** Drop all contents. */
+    void flush();
+
+    unsigned entries() const { return sets_ * ways_; }
+    std::uint64_t hitsTotal() const { return hits_.value(); }
+    std::uint64_t insertsTotal() const { return inserts_.value(); }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct Entry
+    {
+        Addr lineAddr = InvalidAddr;
+        Tick readyTime = 0;
+        std::uint64_t corrIndex = 0;
+        bool hasCorrIndex = false;
+        bool valid = false;
+        std::uint64_t stamp = 0;
+    };
+
+    Entry *find(Addr line_addr);
+    const Entry *find(Addr line_addr) const;
+
+    unsigned setOf(Addr line_addr) const
+    {
+        return static_cast<unsigned>(
+            mix64(line_addr >> lineShift_) & (sets_ - 1));
+    }
+
+    unsigned sets_;
+    unsigned ways_;
+    unsigned lineShift_;
+    std::vector<Entry> entries_;
+    std::uint64_t stampCounter_ = 0;
+
+    StatGroup stats_;
+    Scalar hits_{"hits", "demand accesses satisfied from the buffer"};
+    Scalar lateHits_{"late_hits", "hits on still-in-flight prefetches"};
+    Scalar inserts_{"inserts", "prefetched lines installed"};
+    Scalar replacedUnused_{"replaced_unused",
+                           "valid entries evicted before any use"};
+};
+
+} // namespace ebcp
+
+#endif // EBCP_CACHE_PREFETCH_BUFFER_HH

@@ -1,0 +1,129 @@
+#include "cache/tag_array.hh"
+
+namespace ebcp
+{
+
+TagArray::TagArray(unsigned sets, unsigned ways, unsigned line_bytes,
+                   ReplPolicy repl)
+    : sets_(sets), ways_(ways), lineBytes_(line_bytes),
+      lineShift_(floorLog2(line_bytes)), repl_(repl),
+      ways_v_(static_cast<std::size_t>(sets) * ways)
+{
+    fatal_if(!isPowerOf2(sets), "tag array set count must be power of two");
+    fatal_if(!isPowerOf2(line_bytes),
+             "tag array line size must be power of two");
+    fatal_if(ways == 0, "tag array needs at least one way");
+}
+
+int
+TagArray::findWay(unsigned set, Addr tag) const
+{
+    for (unsigned w = 0; w < ways_; ++w) {
+        const Way &wy = way(set, w);
+        if (wy.valid && wy.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+bool
+TagArray::contains(Addr addr) const
+{
+    return findWay(setIndex(addr), tagOf(addr)) >= 0;
+}
+
+bool
+TagArray::access(Addr addr, bool write)
+{
+    const unsigned set = setIndex(addr);
+    int w = findWay(set, tagOf(addr));
+    if (w < 0)
+        return false;
+    Way &wy = way(set, static_cast<unsigned>(w));
+    wy.stamp = ++stampCounter_;
+    if (write)
+        wy.dirty = true;
+    return true;
+}
+
+unsigned
+TagArray::victimWay(unsigned set)
+{
+    // Invalid ways first, regardless of policy.
+    for (unsigned w = 0; w < ways_; ++w)
+        if (!way(set, w).valid)
+            return w;
+
+    if (repl_ == ReplPolicy::Random)
+        return rng_.below(ways_);
+
+    unsigned victim = 0;
+    std::uint64_t oldest = way(set, 0).stamp;
+    for (unsigned w = 1; w < ways_; ++w) {
+        if (way(set, w).stamp < oldest) {
+            oldest = way(set, w).stamp;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+Eviction
+TagArray::insert(Addr addr, bool dirty)
+{
+    const unsigned set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+
+    int existing = findWay(set, tag);
+    if (existing >= 0) {
+        Way &wy = way(set, static_cast<unsigned>(existing));
+        wy.stamp = ++stampCounter_;
+        wy.dirty = wy.dirty || dirty;
+        return {};
+    }
+
+    unsigned w = victimWay(set);
+    Way &wy = way(set, w);
+    Eviction ev;
+    if (wy.valid) {
+        ev.valid = true;
+        ev.dirty = wy.dirty;
+        ev.lineAddr = (wy.tag << lineShift_);
+    }
+    wy.tag = tag;
+    wy.valid = true;
+    wy.dirty = dirty;
+    wy.stamp = ++stampCounter_;
+    return ev;
+}
+
+bool
+TagArray::invalidate(Addr addr)
+{
+    const unsigned set = setIndex(addr);
+    int w = findWay(set, tagOf(addr));
+    if (w < 0)
+        return false;
+    way(set, static_cast<unsigned>(w)).valid = false;
+    return true;
+}
+
+void
+TagArray::reset()
+{
+    for (auto &w : ways_v_)
+        w = Way{};
+    stampCounter_ = 0;
+}
+
+std::size_t
+TagArray::validCount() const
+{
+    std::size_t n = 0;
+    for (const auto &w : ways_v_)
+        if (w.valid)
+            ++n;
+    return n;
+}
+
+} // namespace ebcp

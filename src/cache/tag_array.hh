@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Generic set-associative tag array with pluggable replacement.
+ *
+ * The tag array is purely functional (no timing); it is the shared
+ * substrate for the instruction/data/L2 caches and for table-like
+ * structures (e.g. the SMS pattern history table) that need realistic
+ * set-conflict behaviour.
+ */
+
+#ifndef EBCP_CACHE_TAG_ARRAY_HH
+#define EBCP_CACHE_TAG_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_config.hh"
+#include "util/bitfield.hh"
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/** Result of inserting a line: what (if anything) was evicted. */
+struct Eviction
+{
+    bool valid = false;  //!< true if a valid line was displaced
+    bool dirty = false;  //!< displaced line was dirty
+    Addr lineAddr = InvalidAddr; //!< line address of the victim
+};
+
+/** A set-associative array of address tags plus LRU/dirty metadata. */
+class TagArray
+{
+  public:
+    TagArray(unsigned sets, unsigned ways, unsigned line_bytes,
+             ReplPolicy repl = ReplPolicy::Lru);
+
+    /** @return true if the line containing @p addr is present. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Look up @p addr; on a hit updates recency and (for writes) the
+     * dirty bit.
+     *
+     * @return true on hit.
+     */
+    bool access(Addr addr, bool write);
+
+    /**
+     * Insert the line containing @p addr, evicting a victim if the set
+     * is full. Inserting an already-present line just refreshes it.
+     *
+     * @return description of the displaced victim (if any).
+     */
+    Eviction insert(Addr addr, bool dirty = false);
+
+    /** Remove the line containing @p addr if present. @return true if
+     * it was present. */
+    bool invalidate(Addr addr);
+
+    /** Drop every line. */
+    void reset();
+
+    unsigned sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+    unsigned lineBytes() const { return lineBytes_; }
+
+    /** Line-aligned address of @p addr. */
+    Addr lineAddr(Addr addr) const { return alignDown(addr, lineBytes_); }
+
+    /** Set index of @p addr. */
+    unsigned
+    setIndex(Addr addr) const
+    {
+        return static_cast<unsigned>((addr >> lineShift_) & (sets_ - 1));
+    }
+
+    /** Count of valid lines (testing / occupancy checks). */
+    std::size_t validCount() const;
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t stamp = 0; //!< LRU recency stamp
+    };
+
+    /** @return way index of @p addr within its set, or -1. */
+    int findWay(unsigned set, Addr tag) const;
+
+    /** Choose the victim way in @p set per the replacement policy. */
+    unsigned victimWay(unsigned set);
+
+    Addr tagOf(Addr addr) const { return addr >> lineShift_; }
+    Way &way(unsigned set, unsigned w) { return ways_v_[set * ways_ + w]; }
+    const Way &
+    way(unsigned set, unsigned w) const
+    {
+        return ways_v_[set * ways_ + w];
+    }
+
+    unsigned sets_;
+    unsigned ways_;
+    unsigned lineBytes_;
+    unsigned lineShift_;
+    ReplPolicy repl_;
+    std::vector<Way> ways_v_;
+    std::uint64_t stampCounter_ = 0;
+    Pcg32 rng_{12345};
+};
+
+} // namespace ebcp
+
+#endif // EBCP_CACHE_TAG_ARRAY_HH

@@ -1,0 +1,141 @@
+#include "core/correlation_table.hh"
+
+#include <algorithm>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+unsigned
+CorrTableConfig::entryTransferBytes() const
+{
+    const unsigned raw = 8 + 6 * addrsPerEntry;
+    return static_cast<unsigned>(alignUp(raw, transferBytes));
+}
+
+CorrelationTable::CorrelationTable(const CorrTableConfig &cfg)
+    : cfg_(cfg), stats_("corr_table")
+{
+    fatal_if(cfg.entries == 0, "correlation table needs entries");
+    fatal_if(!isPowerOf2(cfg.entries),
+             "correlation table entry count must be a power of two");
+    fatal_if(cfg.addrsPerEntry == 0,
+             "correlation table entries need address slots");
+    stats_.add(lookups_);
+    stats_.add(tagHits_);
+    stats_.add(updates_);
+    stats_.add(reallocs_);
+    stats_.add(slotReplacements_);
+    stats_.add(lruRefreshes_);
+}
+
+std::uint64_t
+CorrelationTable::indexOf(Addr key) const
+{
+    return mix64(key) & (cfg_.entries - 1);
+}
+
+bool
+CorrelationTable::lookup(Addr key, std::vector<Addr> &out,
+                         std::uint64_t *index_out)
+{
+    ++lookups_;
+    const std::uint64_t idx = indexOf(key);
+    if (index_out)
+        *index_out = idx;
+
+    out.clear();
+    auto it = entries_.find(idx);
+    if (it == entries_.end() || it->second.tag != key)
+        return false;
+
+    ++tagHits_;
+    // MRU-first, so a degree-limited prefetch takes the freshest
+    // addresses.
+    std::vector<const Slot *> by_stamp;
+    by_stamp.reserve(it->second.slots.size());
+    for (const Slot &s : it->second.slots)
+        by_stamp.push_back(&s);
+    std::sort(by_stamp.begin(), by_stamp.end(),
+              [](const Slot *a, const Slot *b) {
+                  return a->stamp > b->stamp;
+              });
+    for (const Slot *s : by_stamp)
+        out.push_back(s->addr);
+    return true;
+}
+
+void
+CorrelationTable::update(Addr key, const std::vector<Addr> &addrs)
+{
+    if (addrs.empty())
+        return;
+
+    ++updates_;
+    const std::uint64_t idx = indexOf(key);
+    Entry &e = entries_[idx];
+
+    if (e.tag != key) {
+        if (e.tag != InvalidAddr)
+            ++reallocs_;
+        e.tag = key;
+        e.slots.clear();
+    }
+
+    ++updateGen_;
+    for (Addr a : addrs) {
+        auto found = std::find_if(e.slots.begin(), e.slots.end(),
+                                  [a](const Slot &s) {
+                                      return s.addr == a;
+                                  });
+        if (found != e.slots.end()) {
+            found->stamp = ++stampCounter_;
+            found->gen = updateGen_;
+            continue;
+        }
+        if (e.slots.size() < cfg_.addrsPerEntry) {
+            e.slots.push_back({a, ++stampCounter_, updateGen_});
+            continue;
+        }
+        // LRU-replace, but never a slot this update already wrote:
+        // once every slot is fresh, remaining (younger-epoch)
+        // addresses are dropped -- the paper's older-epoch priority.
+        Slot *victim = nullptr;
+        for (Slot &s : e.slots) {
+            if (s.gen == updateGen_)
+                continue;
+            if (!victim || s.stamp < victim->stamp)
+                victim = &s;
+        }
+        if (!victim)
+            break;
+        *victim = {a, ++stampCounter_, updateGen_};
+        ++slotReplacements_;
+    }
+}
+
+bool
+CorrelationTable::refreshLru(std::uint64_t index, Addr line_addr)
+{
+    auto it = entries_.find(index);
+    if (it == entries_.end())
+        return false;
+    for (Slot &s : it->second.slots) {
+        if (s.addr == line_addr) {
+            s.stamp = ++stampCounter_;
+            ++lruRefreshes_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+CorrelationTable::clear()
+{
+    entries_.clear();
+}
+
+} // namespace ebcp

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The main-memory correlation table (Section 3.4.2, Figure 3).
+ *
+ * Functionally the table is direct-mapped: index = hash(key) mod
+ * entries, one tag per entry, N prefetch-address slots managed LRU.
+ * Timing is *not* modelled here -- the prefetcher issues the
+ * low-priority memory reads/writes through its PrefetchEngine; this
+ * class answers what those accesses would find.
+ *
+ * The simulator-host storage is a lazily populated hash map, so the
+ * idealized 8M-entry / 32-address configuration costs memory only for
+ * entries actually touched.
+ */
+
+#ifndef EBCP_CORE_CORRELATION_TABLE_HH
+#define EBCP_CORE_CORRELATION_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/group.hh"
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/** Geometry of the main-memory correlation table. */
+struct CorrTableConfig
+{
+    std::uint64_t entries = 1ULL << 20; //!< 1M entries (64MB) default
+    unsigned addrsPerEntry = 8;         //!< prefetch-address slots
+    unsigned transferBytes = 64;        //!< memory transfer unit
+
+    /**
+     * Bytes moved per table read/write: tag + LRU (8B) plus 6B per
+     * compressed prefetch address (Section 3.4.2), rounded up to the
+     * transfer unit.
+     */
+    unsigned entryTransferBytes() const;
+
+    /** Total main-memory footprint in bytes. */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return entries * entryTransferBytes();
+    }
+};
+
+/** The correlation table proper. */
+class CorrelationTable
+{
+  public:
+    explicit CorrelationTable(const CorrTableConfig &cfg);
+
+    /** Direct-mapped index of @p key. */
+    std::uint64_t indexOf(Addr key) const;
+
+    /**
+     * Read the entry indexed by @p key.
+     *
+     * @param out on a tag match, filled with the entry's prefetch
+     *            addresses, most recently used first
+     * @param index_out the entry index (valid regardless of match)
+     * @return true on a tag match
+     */
+    bool lookup(Addr key, std::vector<Addr> &out,
+                std::uint64_t *index_out = nullptr);
+
+    /**
+     * Insert/update the entry for @p key with @p addrs (ordered
+     * oldest-epoch-first, the paper's priority rule; the list should
+     * already be deduplicated and truncated to addrsPerEntry).
+     *
+     * A tag mismatch reallocates the entry; a match refreshes present
+     * addresses and LRU-replaces absent ones, never evicting a slot
+     * written by this same update.
+     */
+    void update(Addr key, const std::vector<Addr> &addrs);
+
+    /**
+     * Refresh the LRU stamp of @p line_addr within entry @p index
+     * (prefetch-buffer hit feedback, Section 3.4.3).
+     * @return true if the address was found in the entry.
+     */
+    bool refreshLru(std::uint64_t index, Addr line_addr);
+
+    /** Drop all contents (allocation reclaimed / new run). */
+    void clear();
+
+    /** Distinct entries currently resident in host storage. */
+    std::size_t populatedEntries() const { return entries_.size(); }
+
+    const CorrTableConfig &config() const { return cfg_; }
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct Slot
+    {
+        Addr addr = InvalidAddr;
+        std::uint64_t stamp = 0;
+        std::uint64_t gen = 0; //!< update generation that wrote it
+    };
+
+    struct Entry
+    {
+        Addr tag = InvalidAddr;
+        std::vector<Slot> slots;
+    };
+
+    CorrTableConfig cfg_;
+    std::unordered_map<std::uint64_t, Entry> entries_;
+    std::uint64_t stampCounter_ = 0;
+    std::uint64_t updateGen_ = 0;
+
+    StatGroup stats_;
+    Scalar lookups_{"lookups", "table reads for prediction"};
+    Scalar tagHits_{"tag_hits", "lookups that matched the tag"};
+    Scalar updates_{"updates", "entry updates"};
+    Scalar reallocs_{"reallocs", "entries reallocated on tag mismatch"};
+    Scalar slotReplacements_{"slot_replacements",
+                             "prefetch-address slots LRU-replaced"};
+    Scalar lruRefreshes_{"lru_refreshes",
+                         "slots refreshed on prefetch-buffer hits"};
+};
+
+} // namespace ebcp
+
+#endif // EBCP_CORE_CORRELATION_TABLE_HH

@@ -1,0 +1,186 @@
+#include "core/ebcp.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+EpochBasedPrefetcher::EpochBasedPrefetcher(const EbcpConfig &cfg)
+    : Prefetcher("ebcp"),
+      cfg_(cfg),
+      table_({cfg.tableEntries, cfg.prefetchDegree, 64}),
+      alloc_(table_.config().footprintBytes(), cfg.reallocRetryInterval)
+{
+    fatal_if(cfg.numCoreStates == 0, "EBCP needs at least one core");
+    for (unsigned i = 0; i < cfg.numCoreStates; ++i)
+        states_.push_back(std::make_unique<CoreState>(
+            cfg.emabEntries, cfg.emabAddrsPerEntry));
+    stats().add(epochStarts_);
+    stats().add(trainings_);
+    stats().add(predictions_);
+    stats().add(matches_);
+    stats().add(prefetchesRequested_);
+    stats().add(inactiveSkips_);
+    stats().add(droppedTableReads_);
+    stats().addChild(table_.stats());
+    stats().addChild(alloc_.stats());
+    stats().addChild(states_[0]->tracker.stats());
+}
+
+EpochBasedPrefetcher::CoreState &
+EpochBasedPrefetcher::stateFor(unsigned core_id)
+{
+    return *states_[core_id < states_.size() ? core_id
+                                             : states_.size() - 1];
+}
+
+void
+EpochBasedPrefetcher::observeAccess(const L2AccessInfo &info)
+{
+    panic_if(!engine_, "EBCP used without an engine");
+
+    // Only inst/load accesses that left the chip -- or would have,
+    // absent prefetching -- are epoch-relevant.
+    const bool relevant = info.offChip || info.prefBufHit;
+    if (!relevant)
+        return;
+
+    // Prefetch-buffer hits count as epoch events at their actual
+    // times (Section 3.4.3: the first miss *or prefetch buffer hit*
+    // in a new epoch triggers the lookup). Using actual completion
+    // times keeps the lookup chain running at the compressed pace of
+    // covered execution, so the prefetcher stays ahead instead of
+    // starving every few epochs.
+    CoreState &cs = stateFor(info.coreId);
+    EpochEvent ev = cs.tracker.observe(info.when, info.complete);
+
+    if (ev.newEpoch)
+        onEpochStart(info, ev.epoch, cs);
+
+    if (info.offChip)
+        cs.emab.recordMiss(info.lineAddr);
+}
+
+std::vector<Addr>
+EpochBasedPrefetcher::trainingPayload(const CoreState &cs) const
+{
+    // EMAB holds epochs i..i+3 (oldest first). Regular EBCP records
+    // epochs i+2 and i+3 (entries 2, 3); EBCP-minus records i+1 and
+    // i+2 (entries 1, 2).
+    const std::size_t first = cfg_.minusVariant ? 1 : 2;
+    std::vector<Addr> payload;
+    for (std::size_t e = first; e <= first + 1; ++e) {
+        for (Addr a : cs.emab.entry(e).missAddrs) {
+            if (std::find(payload.begin(), payload.end(), a) ==
+                payload.end())
+                payload.push_back(a);
+            if (payload.size() >= table_.config().addrsPerEntry)
+                return payload;
+        }
+    }
+    return payload;
+}
+
+void
+EpochBasedPrefetcher::onEpochStart(const L2AccessInfo &info,
+                                   EpochId epoch, CoreState &cs)
+{
+    ++epochStarts_;
+
+    if (!osRequested_) {
+        alloc_.requestInitial(info.when);
+        osRequested_ = true;
+    }
+    if (!alloc_.active(info.when)) {
+        ++inactiveSkips_;
+        // Keep recording epochs so the EMAB is warm on reactivation.
+        cs.emab.beginEpoch(epoch, info.lineAddr);
+        return;
+    }
+
+    // --- 1. Training: record epochs i+2/i+3 under epoch i's key. ---
+    if (cs.emab.full()) {
+        std::vector<Addr> keys;
+        keys.push_back(cs.emab.entry(0).keyAddr);
+        if (cfg_.trainAllOldestMisses) {
+            // Section 3.4.2's alternative implementation: every miss
+            // of the oldest epoch keys an entry, making the scheme
+            // robust to epoch-boundary drift between encounters.
+            for (Addr a : cs.emab.entry(0).missAddrs)
+                if (a != keys.front())
+                    keys.push_back(a);
+        }
+        std::vector<Addr> payload = trainingPayload(cs);
+        if (!payload.empty()) {
+            for (Addr key : keys) {
+                if (key == InvalidAddr)
+                    continue;
+                // Read-modify-write of the table entry, both low
+                // priority (Section 3.4.4's second read + first
+                // write). An idealized on-chip table costs nothing.
+                if (!cfg_.onChipTable) {
+                    MemAccessResult rd = engine_->tableRead(info.when);
+                    if (rd.dropped) {
+                        ++droppedTableReads_;
+                        continue;
+                    }
+                    table_.update(key, payload);
+                    engine_->tableWrite(rd.complete);
+                } else {
+                    table_.update(key, payload);
+                }
+                ++trainings_;
+            }
+        }
+    }
+
+    // --- 2. Open the new epoch in the EMAB. ---
+    cs.emab.beginEpoch(epoch, info.lineAddr);
+
+    // --- 3. Prediction lookup keyed by the new epoch's trigger. ---
+    ++predictions_;
+    MemAccessResult rd{info.when, info.when, false};
+    if (!cfg_.onChipTable) {
+        rd = engine_->tableRead(info.when);
+        if (rd.dropped) {
+            ++droppedTableReads_;
+            return;
+        }
+    }
+    std::uint64_t index = 0;
+    if (table_.lookup(info.lineAddr, lookupOut_, &index)) {
+        ++matches_;
+        const std::size_t n =
+            std::min<std::size_t>(lookupOut_.size(), cfg_.prefetchDegree);
+        for (std::size_t i = 0; i < n; ++i) {
+            engine_->issuePrefetch(lookupOut_[i], rd.complete, index,
+                                   true);
+            ++prefetchesRequested_;
+        }
+    }
+}
+
+void
+EpochBasedPrefetcher::observePrefetchHit(Addr line_addr,
+                                         std::uint64_t corr_index,
+                                         Tick when)
+{
+    if (table_.refreshLru(corr_index, line_addr)) {
+        // LRU write-back of the entry (Section 3.4.4's second write).
+        if (!cfg_.onChipTable)
+            engine_->tableWrite(when);
+    }
+}
+
+void
+EpochBasedPrefetcher::reclaimTable(Tick now)
+{
+    alloc_.reclaim(now);
+    table_.clear();
+    for (auto &cs : states_)
+        cs->emab.clear();
+}
+
+} // namespace ebcp

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The Epoch-Based Correlation Prefetcher (Section 3).
+ *
+ * Operation per epoch boundary (the prefetcher's own epoch sense,
+ * which treats prefetch-buffer hits as the off-chip accesses they
+ * *would have been* -- Section 3.4.3 triggers lookups on "the first
+ * L2 instruction or load miss (or prefetch buffer hit) in a new
+ * epoch"):
+ *
+ *  1. Training: with the EMAB holding epochs i..i+3 (i+3 just ended),
+ *     the first event address of epoch i keys the table and the miss
+ *     addresses of epochs i+2 and i+3 become the entry's prefetch
+ *     addresses (older epoch first). Epoch i+1 is deliberately
+ *     skipped: prefetches for it could never be timely given the
+ *     main-memory table read. The EBCP-minus ablation records epochs
+ *     i+1 and i+2 instead.
+ *  2. Prediction: the new epoch's first event address keys a table
+ *     read (a low-priority memory access whose latency hides under
+ *     the current epoch); on a tag match, prefetches for all stored
+ *     addresses issue when the read returns.
+ *
+ * Memory traffic per epoch: one prediction read, one update
+ * read-modify-write, plus one LRU-refresh write per prefetch-buffer
+ * hit (Section 3.4.4), all at low priority.
+ */
+
+#ifndef EBCP_CORE_EBCP_HH
+#define EBCP_CORE_EBCP_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/correlation_table.hh"
+#include "core/emab.hh"
+#include "core/table_allocation.hh"
+#include "epoch/epoch_tracker.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace ebcp
+{
+
+/** EBCP configuration knobs (the Section 5 design space). */
+struct EbcpConfig
+{
+    std::uint64_t tableEntries = 1ULL << 20; //!< correlation table size
+    unsigned prefetchDegree = 8; //!< max prefetches per table match
+    unsigned emabEntries = 4;
+    unsigned emabAddrsPerEntry = 32;
+
+    /**
+     * EBCP-minus (Figure 9 ablation): also record the epoch
+     * immediately after the trigger, wasting entry slots on untimely
+     * prefetches.
+     */
+    bool minusVariant = false;
+
+    /**
+     * Section 3.4.2's alternative implementation: use *all* misses of
+     * the oldest EMAB epoch (not just the first) to insert/update
+     * table entries. Costs extra table traffic and capacity but makes
+     * the keying robust to epoch-boundary drift.
+     */
+    bool trainAllOldestMisses = false;
+
+    /** Ticks between re-allocation attempts while inactive. */
+    Tick reallocRetryInterval = 1'000'000;
+
+    /**
+     * Number of per-core epoch-state instances (EMAB + epoch
+     * tracker). The paper's future-work CMP design: the prefetcher
+     * control sits in front of the core-to-L2 crossbar, so it can
+     * keep one EMAB per core and track each thread's epoch stream
+     * separately while sharing the main-memory correlation table.
+     * With 1 (the default), all cores share one epoch stream -- which
+     * degrades under interleaving exactly like a memory-side scheme.
+     */
+    unsigned numCoreStates = 1;
+
+    /**
+     * Idealized on-chip correlation table: lookups are instantaneous
+     * and cost no memory traffic. Not buildable at commercial
+     * working-set sizes (the paper's whole point); provided for the
+     * Section 3.1/3.2 ablation of *why* the epoch-skip and the
+     * memory-resident table matter.
+     */
+    bool onChipTable = false;
+};
+
+/** The epoch-based correlation prefetcher control. */
+class EpochBasedPrefetcher : public Prefetcher
+{
+  public:
+    explicit EpochBasedPrefetcher(const EbcpConfig &cfg);
+
+    void observeAccess(const L2AccessInfo &info) override;
+    void observePrefetchHit(Addr line_addr, std::uint64_t corr_index,
+                            Tick when) override;
+
+    /** The simulated OS reclaims the table region (failure injection). */
+    void reclaimTable(Tick now);
+
+    CorrelationTable &table() { return table_; }
+    TableAllocation &allocation() { return alloc_; }
+    const Emab &emab(unsigned core = 0) const
+    {
+        return states_[core]->emab;
+    }
+    const EbcpConfig &config() const { return cfg_; }
+
+  private:
+    /** Per-core epoch state (one instance in single-core configs). */
+    struct CoreState
+    {
+        Emab emab;
+        EpochTracker tracker;
+
+        CoreState(unsigned emab_entries, unsigned addrs_per_entry)
+            : emab(emab_entries, addrs_per_entry)
+        {}
+    };
+
+    CoreState &stateFor(unsigned core_id);
+
+    void onEpochStart(const L2AccessInfo &info, EpochId epoch,
+                      CoreState &cs);
+
+    /** Gather the training payload (older epoch first, deduplicated,
+     * truncated to the table's slot count). */
+    std::vector<Addr> trainingPayload(const CoreState &cs) const;
+
+    EbcpConfig cfg_;
+    // unique_ptr storage: CoreState holds stat groups with interior
+    // pointers, so the objects must never move.
+    std::vector<std::unique_ptr<CoreState>> states_;
+    CorrelationTable table_;
+    TableAllocation alloc_;
+    bool osRequested_ = false;
+
+    std::vector<Addr> lookupOut_; //!< scratch, avoids per-epoch allocs
+
+    Scalar epochStarts_{"epoch_starts", "epoch triggers handled"};
+    Scalar trainings_{"trainings", "table training updates performed"};
+    Scalar predictions_{"predictions", "prediction lookups issued"};
+    Scalar matches_{"matches", "prediction lookups that matched"};
+    Scalar prefetchesRequested_{"prefetches_requested",
+                                "line prefetches handed to the engine"};
+    Scalar inactiveSkips_{"inactive_skips",
+                          "epoch boundaries skipped while inactive"};
+    Scalar droppedTableReads_{"dropped_table_reads",
+                              "table reads lost to bus saturation"};
+};
+
+} // namespace ebcp
+
+#endif // EBCP_CORE_EBCP_HH

@@ -1,0 +1,35 @@
+#include "core/emab.hh"
+
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+Emab::Emab(unsigned entries, unsigned addrs_per_entry)
+    : ring_(entries), addrsPerEntry_(addrs_per_entry)
+{
+    fatal_if(entries < 2, "EMAB needs at least two entries");
+    fatal_if(addrs_per_entry == 0, "EMAB entries must hold addresses");
+}
+
+void
+Emab::beginEpoch(EpochId epoch, Addr key_addr)
+{
+    EmabEntry e;
+    e.epoch = epoch;
+    e.keyAddr = key_addr;
+    e.missAddrs.reserve(addrsPerEntry_);
+    ring_.push(std::move(e));
+}
+
+void
+Emab::recordMiss(Addr line_addr)
+{
+    if (ring_.empty())
+        return; // no epoch open yet (run prologue)
+    EmabEntry &cur = ring_.back();
+    if (cur.missAddrs.size() < addrsPerEntry_)
+        cur.missAddrs.push_back(line_addr);
+}
+
+} // namespace ebcp

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The Epoch Miss Addresses Buffer (Section 3.4.2).
+ *
+ * A four-entry circular buffer; each entry holds the L2 instruction
+ * and load miss addresses of one epoch. The newest entry accumulates
+ * the current epoch; when a new epoch begins the oldest entry (epoch
+ * i, with the buffer holding i..i+3) supplies the correlation-table
+ * key and the two newest entries (epochs i+2, i+3) supply the
+ * prefetch addresses to record.
+ *
+ * Each entry also remembers the first *event* address of its epoch --
+ * miss or prefetch-buffer hit -- as the key. Keying on the first
+ * event rather than the first miss keeps the correlation chain stable
+ * once prefetching starts succeeding: the trigger address of a fully
+ * covered epoch is a prefetch-buffer hit, and it must index the same
+ * table entry it was trained under.
+ */
+
+#ifndef EBCP_CORE_EMAB_HH
+#define EBCP_CORE_EMAB_HH
+
+#include <vector>
+
+#include "util/circular_buffer.hh"
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/** Recorded contents of one epoch. */
+struct EmabEntry
+{
+    EpochId epoch = 0;
+    Addr keyAddr = InvalidAddr;   //!< first event (miss or pf-buf hit)
+    std::vector<Addr> missAddrs;  //!< L2 inst/load miss line addresses
+};
+
+/** The EMAB circular buffer. */
+class Emab
+{
+  public:
+    /**
+     * @param entries number of epochs retained (4 in the paper)
+     * @param addrs_per_entry cap on recorded misses per epoch
+     */
+    explicit Emab(unsigned entries = 4, unsigned addrs_per_entry = 32);
+
+    /** Start recording a new epoch whose first event is @p key_addr. */
+    void beginEpoch(EpochId epoch, Addr key_addr);
+
+    /** Record an L2 miss address into the current epoch's entry. */
+    void recordMiss(Addr line_addr);
+
+    /** @return true once @c entries epochs have been recorded. */
+    bool full() const { return ring_.full(); }
+    std::size_t size() const { return ring_.size(); }
+
+    /** Entry @p i, 0 = oldest. */
+    const EmabEntry &entry(std::size_t i) const { return ring_.at(i); }
+
+    /** The entry currently accumulating misses. */
+    const EmabEntry &current() const { return ring_.back(); }
+
+    /** Forget everything (table reallocation, new run). */
+    void clear() { ring_.clear(); }
+
+    unsigned addrsPerEntry() const { return addrsPerEntry_; }
+
+  private:
+    CircularBuffer<EmabEntry> ring_;
+    unsigned addrsPerEntry_;
+};
+
+} // namespace ebcp
+
+#endif // EBCP_CORE_EMAB_HH

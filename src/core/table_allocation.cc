@@ -1,0 +1,79 @@
+#include "core/table_allocation.hh"
+
+namespace ebcp
+{
+
+namespace
+{
+/** Simulated physical base of OS-granted prefetcher regions. */
+constexpr Addr RegionBase = 0x40'0000'0000ULL;
+} // namespace
+
+TableAllocation::TableAllocation(std::uint64_t region_bytes,
+                                 Tick retry_interval)
+    : regionBytes_(region_bytes), retryInterval_(retry_interval),
+      osPolicy_([](Tick) { return true; }),
+      stats_("table_alloc")
+{
+    stats_.add(allocations_);
+    stats_.add(reclaims_);
+    stats_.add(failedRetries_);
+}
+
+void
+TableAllocation::setOsPolicy(std::function<bool(Tick)> policy)
+{
+    osPolicy_ = std::move(policy);
+}
+
+bool
+TableAllocation::tryAllocate(Tick now)
+{
+    if (!osPolicy_(now)) {
+        ++failedRetries_;
+        return false;
+    }
+    ++allocations_;
+    base_ = RegionBase;
+    state_ = State::Active;
+    return true;
+}
+
+bool
+TableAllocation::requestInitial(Tick now)
+{
+    if (state_ == State::Active)
+        return true;
+    if (!tryAllocate(now)) {
+        state_ = State::Inactive;
+        nextRetry_ = now + retryInterval_;
+        return false;
+    }
+    return true;
+}
+
+bool
+TableAllocation::active(Tick now)
+{
+    if (state_ == State::Active)
+        return true;
+    if (state_ == State::Inactive && now >= nextRetry_) {
+        if (tryAllocate(now))
+            return true;
+        nextRetry_ = now + retryInterval_;
+    }
+    return false;
+}
+
+void
+TableAllocation::reclaim(Tick now)
+{
+    if (state_ != State::Active)
+        return;
+    ++reclaims_;
+    state_ = State::Inactive;
+    base_ = InvalidAddr;
+    nextRetry_ = now + retryInterval_;
+}
+
+} // namespace ebcp

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The correlation table's main-memory allocation life cycle
+ * (Section 3.4.1).
+ *
+ * On start-up the prefetcher control traps to the operating system
+ * for a contiguous physical region and receives a base address. If
+ * the OS later reclaims the region the prefetcher goes *inactive*,
+ * and periodically re-requests memory; a successful re-request
+ * reactivates it (with an empty table, since the contents were
+ * lost). The simulated OS here is a simple policy object so tests
+ * and failure-injection experiments can drive every transition.
+ */
+
+#ifndef EBCP_CORE_TABLE_ALLOCATION_HH
+#define EBCP_CORE_TABLE_ALLOCATION_HH
+
+#include <functional>
+
+#include "stats/group.hh"
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/** Allocation state machine for the main-memory table. */
+class TableAllocation
+{
+  public:
+    enum class State
+    {
+        Unallocated, //!< before the first successful request
+        Active,      //!< region held; prefetcher may operate
+        Inactive,    //!< region reclaimed; waiting to retry
+    };
+
+    /**
+     * @param region_bytes size to request from the "OS"
+     * @param retry_interval ticks between re-requests while inactive
+     */
+    TableAllocation(std::uint64_t region_bytes, Tick retry_interval);
+
+    /**
+     * Install the OS allocation policy: called with the current tick,
+     * returns true if the OS grants the region. Defaults to always
+     * granting.
+     */
+    void setOsPolicy(std::function<bool(Tick)> policy);
+
+    /** Initial allocation request (start-up trap). */
+    bool requestInitial(Tick now);
+
+    /**
+     * @return true if the prefetcher may operate at @p now. While
+     * inactive this automatically retries once per retry interval.
+     */
+    bool active(Tick now);
+
+    /** The OS reclaims the region (memory pressure). */
+    void reclaim(Tick now);
+
+    State state() const { return state_; }
+    Addr baseAddr() const { return base_; }
+    std::uint64_t regionBytes() const { return regionBytes_; }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    bool tryAllocate(Tick now);
+
+    std::uint64_t regionBytes_;
+    Tick retryInterval_;
+    State state_ = State::Unallocated;
+    Addr base_ = InvalidAddr;
+    Tick nextRetry_ = 0;
+    std::function<bool(Tick)> osPolicy_;
+
+    StatGroup stats_;
+    Scalar allocations_{"allocations", "successful region allocations"};
+    Scalar reclaims_{"reclaims", "regions reclaimed by the OS"};
+    Scalar failedRetries_{"failed_retries", "re-requests the OS denied"};
+};
+
+} // namespace ebcp
+
+#endif // EBCP_CORE_TABLE_ALLOCATION_HH

@@ -1,0 +1,93 @@
+#include "cpu/branch_predictor.hh"
+
+#include <algorithm>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig &cfg)
+    : cfg_(cfg),
+      counters_(cfg.gshareEntries, 1), // weakly not-taken
+      btbTargets_(cfg.btbEntries, 0),
+      btbTags_(cfg.btbEntries, InvalidAddr),
+      ras_(cfg.rasEntries, 0),
+      stats_("branch_pred")
+{
+    fatal_if(!isPowerOf2(cfg.gshareEntries), "gshare size not power of 2");
+    fatal_if(!isPowerOf2(cfg.btbEntries), "BTB size not power of 2");
+    stats_.add(lookups_);
+    stats_.add(mispredicts_);
+    stats_.add(btbMisses_);
+    stats_.add(rasCorrect_);
+}
+
+bool
+BranchPredictor::predict(Addr pc, OpClass op, bool taken, Addr target)
+{
+    ++lookups_;
+    bool correct = true;
+
+    if (op == OpClass::Return) {
+        // Pop the RAS and compare.
+        rasTop_ = (rasTop_ + cfg_.rasEntries - 1) % cfg_.rasEntries;
+        if (ras_[rasTop_] == target)
+            ++rasCorrect_;
+        else
+            correct = false;
+    } else {
+        // gshare direction prediction.
+        const std::size_t idx =
+            ((pc >> 2) ^ history_) & (cfg_.gshareEntries - 1);
+        const bool pred_taken = counters_[idx] >= 2;
+        if (pred_taken != taken)
+            correct = false;
+
+        // Update the 2-bit counter and global history.
+        if (taken && counters_[idx] < 3)
+            ++counters_[idx];
+        else if (!taken && counters_[idx] > 0)
+            --counters_[idx];
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+                   (cfg_.gshareEntries - 1);
+
+        // Target prediction through the BTB for taken branches.
+        if (taken) {
+            const std::size_t b = (pc >> 2) & (cfg_.btbEntries - 1);
+            if (btbTags_[b] != pc || btbTargets_[b] != target) {
+                if (pred_taken) {
+                    // Direction was right but the target was unknown
+                    // or stale: still a redirect.
+                    ++btbMisses_;
+                    correct = false;
+                }
+                btbTags_[b] = pc;
+                btbTargets_[b] = target;
+            }
+        }
+
+        if (op == OpClass::Call) {
+            // Push the fall-through address.
+            ras_[rasTop_] = pc + 4;
+            rasTop_ = (rasTop_ + 1) % cfg_.rasEntries;
+        }
+    }
+
+    if (!correct)
+        ++mispredicts_;
+    return correct;
+}
+
+void
+BranchPredictor::reset()
+{
+    std::fill(counters_.begin(), counters_.end(), 1);
+    std::fill(btbTags_.begin(), btbTags_.end(), InvalidAddr);
+    std::fill(ras_.begin(), ras_.end(), 0);
+    history_ = 0;
+    rasTop_ = 0;
+}
+
+} // namespace ebcp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Branch prediction: gshare direction predictor + BTB + return
+ * address stack, per the paper's front-end configuration (64K-entry
+ * gshare, 4K-entry BTB, 16-entry RAS).
+ */
+
+#ifndef EBCP_CPU_BRANCH_PREDICTOR_HH
+#define EBCP_CPU_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/op_class.hh"
+#include "stats/group.hh"
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/** Configuration of the branch prediction structures. */
+struct BranchPredictorConfig
+{
+    unsigned gshareEntries = 64 * 1024;
+    unsigned btbEntries = 4 * 1024;
+    unsigned rasEntries = 16;
+};
+
+/** Front-end branch predictor. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchPredictorConfig &cfg = {});
+
+    /**
+     * Predict and update for a control instruction.
+     *
+     * @param pc branch PC
+     * @param op control class (Branch / Call / Return)
+     * @param taken actual direction
+     * @param target actual target
+     * @return true if the prediction (direction and target) was correct
+     */
+    bool predict(Addr pc, OpClass op, bool taken, Addr target);
+
+    std::uint64_t mispredicts() const { return mispredicts_.value(); }
+    std::uint64_t lookups() const { return lookups_.value(); }
+
+    /** Forget all learned state. */
+    void reset();
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    BranchPredictorConfig cfg_;
+    std::vector<std::uint8_t> counters_; //!< 2-bit saturating counters
+    std::vector<Addr> btbTargets_;
+    std::vector<Addr> btbTags_;
+    std::vector<Addr> ras_;
+    unsigned rasTop_ = 0;
+    std::uint64_t history_ = 0;
+
+    StatGroup stats_;
+    Scalar lookups_{"lookups", "control instructions predicted"};
+    Scalar mispredicts_{"mispredicts", "direction or target mispredicts"};
+    Scalar btbMisses_{"btb_misses", "taken branches missing in the BTB"};
+    Scalar rasCorrect_{"ras_correct", "returns predicted by the RAS"};
+};
+
+} // namespace ebcp
+
+#endif // EBCP_CPU_BRANCH_PREDICTOR_HH

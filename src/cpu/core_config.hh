@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Core pipeline configuration; defaults reproduce Section 4.4.
+ */
+
+#ifndef EBCP_CPU_CORE_CONFIG_HH
+#define EBCP_CPU_CORE_CONFIG_HH
+
+#include "cpu/branch_predictor.hh"
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/** Out-of-order core parameters. */
+struct CoreConfig
+{
+    unsigned fetchWidth = 4;
+    unsigned decodeWidth = 4;
+    unsigned retireWidth = 4;
+
+    unsigned robEntries = 128;
+    unsigned issueQueueEntries = 64;
+    unsigned storeBufferEntries = 32;
+    unsigned loadBufferEntries = 64;
+
+    unsigned numAlus = 2;
+    unsigned numLoadStoreUnits = 1;
+    unsigned numBranchUnits = 1;
+    unsigned numFpAddUnits = 1;
+    unsigned numFpMulUnits = 1;
+
+    /** Redirect penalty after a mispredicted branch resolves. */
+    Tick mispredictPenalty = 9;
+
+    BranchPredictorConfig branchPred;
+};
+
+} // namespace ebcp
+
+#endif // EBCP_CPU_CORE_CONFIG_HH

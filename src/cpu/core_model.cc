@@ -1,0 +1,179 @@
+#include "cpu/core_model.hh"
+
+#include <algorithm>
+
+#include "util/bitfield.hh"
+
+namespace ebcp
+{
+
+CoreModel::CoreModel(const CoreConfig &cfg, MemSystem &mem)
+    : cfg_(cfg), mem_(mem), bp_(cfg.branchPred),
+      robRetire_(cfg.robEntries, 0),
+      iqIssue_(cfg.issueQueueEntries, 0),
+      sbDrain_(cfg.storeBufferEntries, 0),
+      lbComplete_(cfg.loadBufferEntries, 0),
+      fetchLim_(cfg.fetchWidth),
+      dispatchLim_(cfg.decodeWidth),
+      retireLim_(cfg.retireWidth),
+      aluLim_(cfg.numAlus),
+      lsuLim_(cfg.numLoadStoreUnits),
+      brLim_(cfg.numBranchUnits),
+      fpAddLim_(cfg.numFpAddUnits),
+      fpMulLim_(cfg.numFpMulUnits),
+      stats_("core")
+{
+    stats_.add(loads_);
+    stats_.add(stores_);
+    stats_.add(branches_);
+    stats_.add(offChipLoads_);
+    stats_.add(offChipFetches_);
+    stats_.add(serializers_);
+    stats_.addChild(bp_.stats());
+}
+
+InstTiming
+CoreModel::process(const TraceRecord &rec)
+{
+    InstTiming t;
+
+    // ------------------------------------------------------------------
+    // Fetch: a new cache line is requested from the memory system; an
+    // off-chip instruction miss stalls fetch entirely (window
+    // termination condition).
+    // ------------------------------------------------------------------
+    const Addr line = alignDown(rec.pc, mem_.lineBytes());
+    if (line != fetchLine_) {
+        MemOutcome o = mem_.fetchInst(rec.pc, std::max(fetchResume_,
+                                                       fetchLineReady_));
+        fetchLine_ = line;
+        fetchLineReady_ = o.complete;
+        if (o.offChip)
+            ++offChipFetches_;
+    }
+    t.fetch = fetchLim_.next(std::max(fetchResume_, fetchLineReady_));
+
+    // ------------------------------------------------------------------
+    // Dispatch: bounded by ROB, issue queue, load/store buffers and a
+    // pending serialization barrier.
+    // ------------------------------------------------------------------
+    Tick d = std::max(t.fetch, serializeBarrier_);
+    d = std::max(d, robRetire_[seq_ % cfg_.robEntries]);
+    d = std::max(d, iqIssue_[seq_ % cfg_.issueQueueEntries]);
+    if (rec.op == OpClass::Store)
+        d = std::max(d, sbDrain_[storeSeq_ % cfg_.storeBufferEntries]);
+    if (rec.op == OpClass::Load)
+        d = std::max(d, lbComplete_[loadSeq_ % cfg_.loadBufferEntries]);
+    if (rec.op == OpClass::Serialize) {
+        // Serializers wait for the whole window to drain.
+        d = std::max(d, lastRetire_);
+        ++serializers_;
+    }
+    t.dispatch = dispatchLim_.next(d);
+
+    // ------------------------------------------------------------------
+    // Issue + execute.
+    // ------------------------------------------------------------------
+    Tick ready = t.dispatch;
+    if (rec.srcReg0 != NoReg)
+        ready = std::max(ready, regReady_[rec.srcReg0]);
+    if (rec.srcReg1 != NoReg)
+        ready = std::max(ready, regReady_[rec.srcReg1]);
+
+    switch (rec.op) {
+      case OpClass::Load: {
+        t.issue = lsuLim_.next(ready);
+        MemOutcome o = mem_.load(rec.addr, rec.pc, t.issue);
+        t.complete = o.complete;
+        t.offChip = o.offChip;
+        ++loads_;
+        if (o.offChip)
+            ++offChipLoads_;
+        lbComplete_[loadSeq_ % cfg_.loadBufferEntries] = t.complete;
+        ++loadSeq_;
+        break;
+      }
+      case OpClass::Store:
+        // Address generation only; the store drains post-retire under
+        // weak consistency.
+        t.issue = lsuLim_.next(ready);
+        t.complete = t.issue + 1;
+        ++stores_;
+        break;
+      case OpClass::Branch:
+      case OpClass::Call:
+      case OpClass::Return: {
+        t.issue = brLim_.next(ready);
+        t.complete = t.issue + opLatency(rec.op);
+        ++branches_;
+        const bool correct =
+            bp_.predict(rec.pc, rec.op, rec.taken, rec.target);
+        if (!correct) {
+            // Fetch restarts after the branch resolves; a branch fed
+            // by an off-chip load thus terminates the window.
+            fetchResume_ = std::max(fetchResume_,
+                                    t.complete + cfg_.mispredictPenalty);
+        }
+        break;
+      }
+      case OpClass::FpAdd:
+        t.issue = fpAddLim_.next(ready);
+        t.complete = t.issue + opLatency(rec.op);
+        break;
+      case OpClass::FpMul:
+        t.issue = fpMulLim_.next(ready);
+        t.complete = t.issue + opLatency(rec.op);
+        break;
+      case OpClass::IntAlu:
+        t.issue = aluLim_.next(ready);
+        t.complete = t.issue + opLatency(rec.op);
+        break;
+      case OpClass::Serialize:
+      case OpClass::Nop:
+        t.issue = ready;
+        t.complete = t.issue + 1;
+        break;
+    }
+
+    if (rec.dstReg != NoReg)
+        regReady_[rec.dstReg] = t.complete;
+
+    // ------------------------------------------------------------------
+    // Retire: in order, bounded by retire width.
+    // ------------------------------------------------------------------
+    t.retire = retireLim_.next(std::max(t.complete, lastRetire_));
+    lastRetire_ = t.retire;
+
+    robRetire_[seq_ % cfg_.robEntries] = t.retire;
+    iqIssue_[seq_ % cfg_.issueQueueEntries] = t.issue;
+    ++seq_;
+
+    if (rec.op == OpClass::Store) {
+        sbDrain_[storeSeq_ % cfg_.storeBufferEntries] =
+            mem_.store(rec.addr, t.retire);
+        ++storeSeq_;
+    }
+    if (rec.op == OpClass::Serialize)
+        serializeBarrier_ = t.retire;
+
+    ++insts_;
+    return t;
+}
+
+void
+CoreModel::run(TraceSource &src, std::uint64_t count)
+{
+    TraceRecord rec;
+    for (std::uint64_t i = 0; i < count && src.next(rec); ++i)
+        process(rec);
+}
+
+void
+CoreModel::beginMeasurement()
+{
+    instMark_ = insts_;
+    tickMark_ = lastRetire_;
+    stats_.resetAll();
+}
+
+} // namespace ebcp

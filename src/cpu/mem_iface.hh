@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The memory-system interface seen by the core timing model.
+ *
+ * The core is deliberately ignorant of caches, prefetchers and buses:
+ * it presents instruction fetches, loads and stores with issue times
+ * and receives completion times plus an "off-chip" flag (which feeds
+ * window-termination and epoch accounting). sim/ provides the real
+ * hierarchy; tests provide stub implementations.
+ */
+
+#ifndef EBCP_CPU_MEM_IFACE_HH
+#define EBCP_CPU_MEM_IFACE_HH
+
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/** Result of a timed memory-system access. */
+struct MemOutcome
+{
+    Tick complete = 0;  //!< when the data is available to the core
+    bool offChip = false; //!< true if the access left the chip
+};
+
+/** Abstract timed memory system. */
+class MemSystem
+{
+  public:
+    virtual ~MemSystem() = default;
+
+    /** Fetch the instruction line containing @p pc at @p when. */
+    virtual MemOutcome fetchInst(Addr pc, Tick when) = 0;
+
+    /**
+     * Perform a load from @p addr issued at @p when.
+     * @param pc the load's PC (PC-localized prefetchers need it)
+     */
+    virtual MemOutcome load(Addr addr, Addr pc, Tick when) = 0;
+
+    /**
+     * Retire a store to @p addr at @p when.
+     * @return when the store drains from the store buffer.
+     */
+    virtual Tick store(Addr addr, Tick when) = 0;
+
+    /** Cache line size, for fetch-line and access-line alignment. */
+    virtual unsigned lineBytes() const = 0;
+};
+
+} // namespace ebcp
+
+#endif // EBCP_CPU_MEM_IFACE_HH

@@ -1,0 +1,24 @@
+#include "cpu/op_class.hh"
+
+namespace ebcp
+{
+
+const char *
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:    return "alu";
+      case OpClass::FpAdd:     return "fadd";
+      case OpClass::FpMul:     return "fmul";
+      case OpClass::Load:      return "load";
+      case OpClass::Store:     return "store";
+      case OpClass::Branch:    return "branch";
+      case OpClass::Call:      return "call";
+      case OpClass::Return:    return "return";
+      case OpClass::Serialize: return "serialize";
+      case OpClass::Nop:       return "nop";
+    }
+    return "?";
+}
+
+} // namespace ebcp

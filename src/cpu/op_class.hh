@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Instruction operation classes and their execution properties.
+ */
+
+#ifndef EBCP_CPU_OP_CLASS_HH
+#define EBCP_CPU_OP_CLASS_HH
+
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/** Coarse operation classes, enough to drive the timing model. */
+enum class OpClass : unsigned char
+{
+    IntAlu,    //!< single-cycle integer op
+    FpAdd,     //!< floating-point add pipeline
+    FpMul,     //!< floating-point multiply pipeline
+    Load,      //!< memory load
+    Store,     //!< memory store
+    Branch,    //!< conditional branch
+    Call,      //!< call (pushes RAS)
+    Return,    //!< return (pops RAS)
+    Serialize, //!< serializing instruction (drains the window)
+    Nop,       //!< no-op
+};
+
+/** @return execution latency in ticks (loads/stores excluded: their
+ * latency comes from the memory system). */
+constexpr Tick
+opLatency(OpClass op)
+{
+    switch (op) {
+      case OpClass::FpAdd: return 3;
+      case OpClass::FpMul: return 4;
+      case OpClass::Serialize: return 1;
+      default: return 1;
+    }
+}
+
+/** @return true for any control-transfer class. */
+constexpr bool
+isControl(OpClass op)
+{
+    return op == OpClass::Branch || op == OpClass::Call ||
+           op == OpClass::Return;
+}
+
+/** @return true for loads and stores. */
+constexpr bool
+isMem(OpClass op)
+{
+    return op == OpClass::Load || op == OpClass::Store;
+}
+
+/** @return a short printable mnemonic. */
+const char *opClassName(OpClass op);
+
+} // namespace ebcp
+
+#endif // EBCP_CPU_OP_CLASS_HH

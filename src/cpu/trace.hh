@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The dynamic instruction record consumed by the timing model.
+ *
+ * The paper's simulator is trace-driven with register/memory values;
+ * ours is trace-driven with explicit register dependences, which is
+ * the part of that information the timing model actually needs:
+ * dependences determine which off-chip accesses can overlap and hence
+ * where epoch boundaries fall.
+ */
+
+#ifndef EBCP_CPU_TRACE_HH
+#define EBCP_CPU_TRACE_HH
+
+#include <cstdint>
+
+#include "cpu/op_class.hh"
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/** Architectural register count visible to the trace format. */
+constexpr unsigned NumArchRegs = 64;
+
+/** "No register" marker for src/dst fields. */
+constexpr std::uint8_t NoReg = 0xff;
+
+/** One dynamic instruction. */
+struct TraceRecord
+{
+    Addr pc = 0;               //!< virtual==physical PC (Sec. 3.4.1)
+    Addr addr = 0;             //!< effective address for loads/stores
+    OpClass op = OpClass::Nop;
+    std::uint8_t dstReg = NoReg;
+    std::uint8_t srcReg0 = NoReg;
+    std::uint8_t srcReg1 = NoReg;
+    bool taken = false;        //!< branch outcome (control classes)
+    Addr target = 0;           //!< branch target (control classes)
+};
+
+/** Pull-model trace source. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next dynamic instruction.
+     * @return false when the source is exhausted (synthetic sources
+     *         never are).
+     */
+    virtual bool next(TraceRecord &rec) = 0;
+
+    /** Restart the source deterministically. */
+    virtual void reset() = 0;
+};
+
+} // namespace ebcp
+
+#endif // EBCP_CPU_TRACE_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A W-events-per-cycle resource limiter for the one-pass timing model.
+ */
+
+#ifndef EBCP_CPU_WIDTH_LIMITER_HH
+#define EBCP_CPU_WIDTH_LIMITER_HH
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/**
+ * Models a pipeline resource that can service @c width events per
+ * cycle, presented in program order. next() returns the cycle the
+ * event actually uses, which is never earlier than the previous
+ * event's cycle (in-order stages) nor earlier than @p earliest.
+ */
+class WidthLimiter
+{
+  public:
+    explicit WidthLimiter(unsigned width) : width_(width)
+    {
+        panic_if(width == 0, "WidthLimiter of zero width");
+    }
+
+    /** Claim a slot at or after @p earliest. */
+    Tick
+    next(Tick earliest)
+    {
+        if (earliest > cur_) {
+            cur_ = earliest;
+            used_ = 1;
+            return cur_;
+        }
+        if (used_ < width_) {
+            ++used_;
+            return cur_;
+        }
+        ++cur_;
+        used_ = 1;
+        return cur_;
+    }
+
+    /** Forget scheduling state (new run). */
+    void
+    clear()
+    {
+        cur_ = 0;
+        used_ = 0;
+    }
+
+  private:
+    unsigned width_;
+    Tick cur_ = 0;
+    unsigned used_ = 0;
+};
+
+} // namespace ebcp
+
+#endif // EBCP_CPU_WIDTH_LIMITER_HH

@@ -1,0 +1,50 @@
+#include "epoch/epoch_tracker.hh"
+
+#include <algorithm>
+
+namespace ebcp
+{
+
+EpochTracker::EpochTracker() : stats_("epoch")
+{
+    stats_.add(epochCount_);
+    stats_.add(offChipAccesses_);
+    stats_.add(missesPerEpoch_);
+    stats_.add(epochLength_);
+}
+
+EpochEvent
+EpochTracker::observe(Tick issue, Tick complete)
+{
+    ++offChipAccesses_;
+    EpochEvent ev;
+
+    if (issue >= curEnd_) {
+        // No off-chip access outstanding: this is an epoch trigger.
+        if (missesInEpoch_ > 0) {
+            missesPerEpoch_.sample(missesInEpoch_);
+            epochLength_.sample(static_cast<double>(curEnd_ - curStart_));
+        }
+        ++epochCount_;
+        ++curEpoch_;
+        curStart_ = issue;
+        curEnd_ = complete;
+        missesInEpoch_ = 1;
+        ev.newEpoch = true;
+    } else {
+        // Overlaps the current group; extend its transitive end.
+        curEnd_ = std::max(curEnd_, complete);
+        ++missesInEpoch_;
+    }
+    ev.epoch = curEpoch_;
+    return ev;
+}
+
+void
+EpochTracker::beginMeasurement()
+{
+    stats_.resetAll();
+    missesInEpoch_ = 0;
+}
+
+} // namespace ebcp

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Epoch detection per Section 2.1 of the paper.
+ *
+ * "Epochs can be tracked by detecting epoch triggers ... when the
+ * number of outstanding off-chip misses transitions from 0 to 1, the
+ * epoch count is incremented."
+ *
+ * In the one-pass timing model each off-chip access is an interval
+ * [issue, complete). The set of outstanding accesses is empty exactly
+ * when a new access's issue time lies beyond the transitive-closure
+ * end of the current overlap group, so the tracker maintains that end
+ * and starts a new epoch when an access issues after it.
+ */
+
+#ifndef EBCP_EPOCH_EPOCH_TRACKER_HH
+#define EBCP_EPOCH_EPOCH_TRACKER_HH
+
+#include "stats/group.hh"
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/** What the tracker decided about one off-chip access. */
+struct EpochEvent
+{
+    bool newEpoch = false; //!< this access is an epoch trigger
+    EpochId epoch = 0;     //!< epoch the access belongs to
+};
+
+/** Detects epoch triggers in the stream of off-chip accesses. */
+class EpochTracker
+{
+  public:
+    EpochTracker();
+
+    /**
+     * Observe an off-chip access occupying [issue, complete).
+     * Accesses must be presented in non-decreasing issue order (the
+     * one-pass model provides nearly this; small inversions merge
+     * into the current epoch, which is the conservative choice).
+     */
+    EpochEvent observe(Tick issue, Tick complete);
+
+    /** Total epochs seen. */
+    std::uint64_t epochs() const { return epochCount_.value(); }
+
+    /** Epochs since the last beginMeasurement(). */
+    std::uint64_t measuredEpochs() const
+    {
+        return epochCount_.value();
+    }
+
+    /** Current epoch id (0 before any off-chip access). */
+    EpochId currentEpoch() const { return curEpoch_; }
+
+    /** End tick of the current epoch's overlap group. */
+    Tick currentEpochEnd() const { return curEnd_; }
+
+    /** Reset statistics (epoch ids keep counting). */
+    void beginMeasurement();
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    Tick curEnd_ = 0;        //!< transitive end of current overlap group
+    Tick curStart_ = 0;
+    EpochId curEpoch_ = 0;
+    unsigned missesInEpoch_ = 0;
+
+    StatGroup stats_;
+    Scalar epochCount_{"epochs", "epoch triggers observed"};
+    Scalar offChipAccesses_{"offchip_accesses",
+                            "off-chip accesses observed"};
+    Average missesPerEpoch_{"misses_per_epoch",
+                            "off-chip accesses per epoch (MLP)"};
+    Average epochLength_{"epoch_length", "ticks per epoch"};
+};
+
+} // namespace ebcp
+
+#endif // EBCP_EPOCH_EPOCH_TRACKER_HH

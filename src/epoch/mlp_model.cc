@@ -1,0 +1,28 @@
+#include "epoch/mlp_model.hh"
+
+#include <algorithm>
+
+namespace ebcp
+{
+
+double
+solveOverlap(double cpi_overall, double cpi_perf, double epi,
+             double miss_penalty)
+{
+    if (cpi_perf <= 0.0)
+        return 0.0;
+    // CPI = CPI_perf (1 - ov) + EPI * penalty  =>
+    // ov = 1 - (CPI - EPI * penalty) / CPI_perf
+    double ov = 1.0 - (cpi_overall - epi * miss_penalty) / cpi_perf;
+    return std::clamp(ov, 0.0, 1.0);
+}
+
+double
+predictCpiAfterEpochReduction(const EpochModel &m, double epoch_reduction)
+{
+    EpochModel after = m;
+    after.epi = m.epi * (1.0 - epoch_reduction);
+    return after.cpiOverall();
+}
+
+} // namespace ebcp

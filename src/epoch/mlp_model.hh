@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The analytical epoch MLP model (Section 2.1).
+ *
+ *   CPI_overall = CPI_perf * (1 - Overlap) + EPI * MissPenalty
+ *
+ * These helpers let experiments check that measured CPI decomposes
+ * per the model, and compute the Overlap term from measured runs.
+ */
+
+#ifndef EBCP_EPOCH_MLP_MODEL_HH
+#define EBCP_EPOCH_MLP_MODEL_HH
+
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/** Inputs/outputs of the epoch CPI decomposition. */
+struct EpochModel
+{
+    double cpiPerf = 0.0;   //!< CPI with a perfect last on-chip cache
+    double overlap = 0.0;   //!< fraction of on-chip cycles hidden
+    double epi = 0.0;       //!< epochs per instruction
+    double missPenalty = 0.0; //!< off-chip miss penalty in ticks
+
+    /** @return the modelled overall CPI. */
+    double
+    cpiOverall() const
+    {
+        return cpiPerf * (1.0 - overlap) + epi * missPenalty;
+    }
+};
+
+/**
+ * Solve the model for Overlap given a measured overall CPI.
+ * @return overlap clamped to [0, 1].
+ */
+double solveOverlap(double cpi_overall, double cpi_perf, double epi,
+                    double miss_penalty);
+
+/**
+ * Predict the overall CPI after a prefetcher removes a fraction of
+ * epochs, holding CPI_perf and Overlap constant (the paper's linearity
+ * argument: reducing EPI directly reduces off-chip CPI).
+ */
+double predictCpiAfterEpochReduction(const EpochModel &m,
+                                     double epoch_reduction);
+
+} // namespace ebcp
+
+#endif // EBCP_EPOCH_MLP_MODEL_HH

@@ -1,0 +1,69 @@
+#include "mem/channel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+Channel::Channel(const std::string &name, double bytes_per_tick,
+                 Tick drop_delay)
+    : bytesPerTick_(bytes_per_tick), dropDelay_(drop_delay), stats_(name)
+{
+    fatal_if(bytes_per_tick <= 0.0, "channel bandwidth must be positive");
+    stats_.add(demandRequests_);
+    stats_.add(lowRequests_);
+    stats_.add(droppedRequests_);
+    stats_.add(bytesMoved_);
+    stats_.add(demandQueueDelay_);
+    stats_.add(lowQueueDelay_);
+}
+
+Tick
+Channel::occupancy(unsigned bytes) const
+{
+    return static_cast<Tick>(std::ceil(bytes / bytesPerTick_));
+}
+
+void
+Channel::setBandwidth(double bytes_per_tick)
+{
+    fatal_if(bytes_per_tick <= 0.0, "channel bandwidth must be positive");
+    bytesPerTick_ = bytes_per_tick;
+}
+
+MemAccessResult
+Channel::request(Tick when, MemPriority pri, unsigned bytes)
+{
+    const Tick occ = occupancy(bytes);
+    MemAccessResult res;
+
+    if (pri == MemPriority::Demand) {
+        // Demand traffic contends only with earlier demand traffic;
+        // low-priority requests yield the bus instantly (the paper's
+        // controller never lets them delay a demand access).
+        res.grant = std::max(when, demandFree_);
+        demandFree_ = res.grant + occ;
+        lowFree_ = std::max(lowFree_, demandFree_);
+        ++demandRequests_;
+        demandQueueDelay_.sample(static_cast<double>(res.grant - when));
+    } else {
+        res.grant = std::max(when, lowFree_);
+        if (res.grant - when > dropDelay_) {
+            ++droppedRequests_;
+            res.dropped = true;
+            return res;
+        }
+        lowFree_ = res.grant + occ;
+        ++lowRequests_;
+        lowQueueDelay_.sample(static_cast<double>(res.grant - when));
+    }
+
+    busyTicks_ += occ;
+    bytesMoved_ += bytes;
+    return res;
+}
+
+} // namespace ebcp

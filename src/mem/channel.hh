@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A single direction of the split-transaction interconnect.
+ *
+ * The channel is modeled as a serially-occupied resource: each request
+ * occupies it for line_bytes / bytes_per_tick cycles. Two virtual
+ * queues implement the paper's strict priority rule:
+ *
+ *  - demand traffic waits only behind earlier demand traffic (it is
+ *    never delayed by prefetch or table requests), and
+ *  - low-priority traffic waits behind *both* demand traffic and
+ *    earlier low-priority traffic, and is dropped when its queueing
+ *    delay exceeds a configured threshold (bandwidth saturation).
+ */
+
+#ifndef EBCP_MEM_CHANNEL_HH
+#define EBCP_MEM_CHANNEL_HH
+
+#include "mem/request.hh"
+#include "stats/group.hh"
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/** One bandwidth-limited bus direction. */
+class Channel
+{
+  public:
+    /**
+     * @param name stat name for this channel ("read" / "write")
+     * @param bytes_per_tick raw bandwidth in bytes per core cycle
+     * @param drop_delay low-priority queueing delay that causes a drop
+     */
+    Channel(const std::string &name, double bytes_per_tick,
+            Tick drop_delay);
+
+    /**
+     * Request the bus at time @p when for @p bytes.
+     *
+     * @return grant time, or a dropped result for saturated
+     *         low-priority requests. The caller adds the memory
+     *         latency on top of the grant.
+     */
+    MemAccessResult request(Tick when, MemPriority pri, unsigned bytes);
+
+    /** Occupancy in ticks of a @p bytes transfer. */
+    Tick occupancy(unsigned bytes) const;
+
+    /** Cumulative busy ticks (for utilization reporting). */
+    Tick busyTicks() const { return busyTicks_; }
+
+    /** Change the raw bandwidth (used by bandwidth-sweep experiments). */
+    void setBandwidth(double bytes_per_tick);
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    double bytesPerTick_;
+    Tick dropDelay_;
+
+    Tick demandFree_ = 0; //!< bus free of demand traffic after this tick
+    Tick lowFree_ = 0;    //!< bus free of all traffic after this tick
+    Tick busyTicks_ = 0;
+
+    StatGroup stats_;
+    Scalar demandRequests_{"demand_requests", "demand transfers granted"};
+    Scalar lowRequests_{"low_requests", "low-priority transfers granted"};
+    Scalar droppedRequests_{"dropped_requests",
+                            "low-priority transfers dropped (saturation)"};
+    Scalar bytesMoved_{"bytes", "total bytes transferred"};
+    Average demandQueueDelay_{"demand_queue_delay",
+                              "ticks demand requests waited for the bus"};
+    Average lowQueueDelay_{"low_queue_delay",
+                           "ticks low-priority requests waited"};
+};
+
+} // namespace ebcp
+
+#endif // EBCP_MEM_CHANNEL_HH

@@ -1,0 +1,64 @@
+#include "mem/main_memory.hh"
+
+namespace ebcp
+{
+
+MainMemory::MainMemory(const MemConfig &cfg)
+    : cfg_(cfg),
+      read_("read_bus", cfg.readBytesPerTick, cfg.lowPriorityDropDelay),
+      write_("write_bus", cfg.writeBytesPerTick, cfg.lowPriorityDropDelay),
+      stats_("memory")
+{
+    stats_.add(reads_);
+    stats_.add(writes_);
+    stats_.add(prefetchReads_);
+    stats_.add(tableReads_);
+    stats_.add(tableWrites_);
+    stats_.addChild(read_.stats());
+    stats_.addChild(write_.stats());
+}
+
+MemAccessResult
+MainMemory::access(Tick when, MemReqType type)
+{
+    return access(when, type, cfg_.lineBytes);
+}
+
+MemAccessResult
+MainMemory::access(Tick when, MemReqType type, unsigned bytes)
+{
+    const MemPriority pri = priorityOf(type);
+    const bool is_write =
+        type == MemReqType::StoreWrite || type == MemReqType::TableWrite;
+    Channel &chan = is_write ? write_ : read_;
+
+    MemAccessResult res = chan.request(when, pri, bytes);
+    if (res.dropped)
+        return res;
+
+    if (is_write) {
+        // The writer does not wait for the DRAM array under weak
+        // consistency; completion is when the bus transfer is done.
+        res.complete = res.grant + chan.occupancy(bytes);
+        ++writes_;
+        if (type == MemReqType::TableWrite)
+            ++tableWrites_;
+    } else {
+        res.complete = res.grant + cfg_.latency;
+        ++reads_;
+        if (type == MemReqType::Prefetch)
+            ++prefetchReads_;
+        else if (type == MemReqType::TableRead)
+            ++tableReads_;
+    }
+    return res;
+}
+
+void
+MainMemory::setBandwidthScale(double factor)
+{
+    read_.setBandwidth(cfg_.readBytesPerTick * factor);
+    write_.setBandwidth(cfg_.writeBytesPerTick * factor);
+}
+
+} // namespace ebcp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The off-chip memory system: latency plus read/write bus contention.
+ */
+
+#ifndef EBCP_MEM_MAIN_MEMORY_HH
+#define EBCP_MEM_MAIN_MEMORY_HH
+
+#include "mem/channel.hh"
+#include "mem/mem_config.hh"
+#include "mem/request.hh"
+#include "stats/group.hh"
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/**
+ * Main memory with a fixed unloaded latency and bandwidth-limited,
+ * priority-scheduled read and write buses.
+ *
+ * Timing model: completion = bus grant + unloaded latency. The grant
+ * accounts for queueing behind earlier traffic of equal-or-higher
+ * priority, so a loaded system sees latencies above the unloaded 500
+ * cycles, and saturated low-priority traffic is dropped.
+ */
+class MainMemory
+{
+  public:
+    explicit MainMemory(const MemConfig &cfg);
+
+    /**
+     * Issue a request of type @p type at time @p when.
+     *
+     * Reads complete when the line is back on chip; writes complete at
+     * bus grant + occupancy (the requester does not wait for them
+     * under weak consistency).
+     */
+    MemAccessResult access(Tick when, MemReqType type);
+
+    /** As access(), but with an explicit transfer size in bytes. */
+    MemAccessResult access(Tick when, MemReqType type, unsigned bytes);
+
+    const MemConfig &config() const { return cfg_; }
+
+    /** Change bus bandwidth mid-experiment (Figure 8 sweeps). */
+    void setBandwidthScale(double factor);
+
+    StatGroup &stats() { return stats_; }
+    Channel &readChannel() { return read_; }
+    Channel &writeChannel() { return write_; }
+
+  private:
+    MemConfig cfg_;
+    Channel read_;
+    Channel write_;
+
+    StatGroup stats_;
+    Scalar reads_{"reads", "read requests serviced"};
+    Scalar writes_{"writes", "write requests serviced"};
+    Scalar prefetchReads_{"prefetch_reads", "prefetch line reads serviced"};
+    Scalar tableReads_{"table_reads", "correlation-table reads serviced"};
+    Scalar tableWrites_{"table_writes", "correlation-table writes serviced"};
+};
+
+} // namespace ebcp
+
+#endif // EBCP_MEM_MAIN_MEMORY_HH

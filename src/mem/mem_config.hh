@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Main memory / interconnect configuration.
+ *
+ * Defaults reproduce Section 4.4 of the paper: a 3 GHz core attached
+ * to a 600 MHz split-transaction interconnect with a 16B read bus
+ * (9.6 GB/s) and an 8B write bus (4.8 GB/s), and a 500-cycle unloaded
+ * memory latency.
+ */
+
+#ifndef EBCP_MEM_MEM_CONFIG_HH
+#define EBCP_MEM_MEM_CONFIG_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/** Configuration of the off-chip memory system. */
+struct MemConfig
+{
+    /** Unloaded round-trip latency of an off-chip access, in ticks. */
+    Tick latency = 500;
+
+    /** Read bus bandwidth in bytes per core cycle (9.6 GB/s @ 3 GHz). */
+    double readBytesPerTick = 3.2;
+
+    /** Write bus bandwidth in bytes per core cycle (4.8 GB/s @ 3 GHz). */
+    double writeBytesPerTick = 1.6;
+
+    /** Transfer unit: last-level cache line size in bytes. */
+    unsigned lineBytes = 64;
+
+    /**
+     * Queueing delay beyond which a low-priority request is dropped
+     * instead of serviced; models the paper's "prefetches may be
+     * dropped when available memory bandwidth is saturated".
+     */
+    Tick lowPriorityDropDelay = 2000;
+
+    /** Scale both bus bandwidths (Figure 8 sensitivity runs). */
+    void
+    scaleBandwidth(double factor)
+    {
+        readBytesPerTick *= factor;
+        writeBytesPerTick *= factor;
+    }
+
+    /** @return read bandwidth in GB/s assuming @p core_ghz core clock. */
+    double
+    readGBps(double core_ghz = 3.0) const
+    {
+        return readBytesPerTick * core_ghz;
+    }
+};
+
+} // namespace ebcp
+
+#endif // EBCP_MEM_MEM_CONFIG_HH

@@ -1,0 +1,20 @@
+#include "mem/request.hh"
+
+namespace ebcp
+{
+
+const char *
+memReqTypeName(MemReqType t)
+{
+    switch (t) {
+      case MemReqType::DemandInst: return "demand-inst";
+      case MemReqType::DemandLoad: return "demand-load";
+      case MemReqType::StoreWrite: return "store-write";
+      case MemReqType::Prefetch:   return "prefetch";
+      case MemReqType::TableRead:  return "table-read";
+      case MemReqType::TableWrite: return "table-write";
+    }
+    return "unknown";
+}
+
+} // namespace ebcp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Memory request classification.
+ *
+ * The paper's memory controller rule (Section 3.4.4): demand accesses
+ * are never delayed by prefetches or correlation-table traffic, and
+ * table updates are the lowest priority of all. The enum order encodes
+ * that priority (lower value = higher priority).
+ */
+
+#ifndef EBCP_MEM_REQUEST_HH
+#define EBCP_MEM_REQUEST_HH
+
+#include <string>
+
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/** Who generated an off-chip request. */
+enum class MemReqType
+{
+    DemandInst,   //!< demand instruction fetch (L2 miss)
+    DemandLoad,   //!< demand load (L2 miss)
+    StoreWrite,   //!< store / writeback traffic on the write bus
+    Prefetch,     //!< prefetcher-generated line read
+    TableRead,    //!< correlation table read (lookup or pre-update)
+    TableWrite,   //!< correlation table update / LRU write
+};
+
+/** Scheduling priority of an off-chip request. */
+enum class MemPriority
+{
+    Demand = 0,   //!< demand misses; never delayed by lower classes
+    Low = 1,      //!< prefetches and predictor-table traffic
+};
+
+/** @return the scheduling priority class of a request type. */
+constexpr MemPriority
+priorityOf(MemReqType t)
+{
+    switch (t) {
+      case MemReqType::DemandInst:
+      case MemReqType::DemandLoad:
+      case MemReqType::StoreWrite:
+        return MemPriority::Demand;
+      default:
+        return MemPriority::Low;
+    }
+}
+
+/** @return a short printable name for a request type. */
+const char *memReqTypeName(MemReqType t);
+
+/** Outcome of presenting a request to the memory system. */
+struct MemAccessResult
+{
+    Tick grant = 0;      //!< when the bus was granted
+    Tick complete = 0;   //!< when the data is back on chip
+    bool dropped = false; //!< low-priority request dropped (saturation)
+};
+
+} // namespace ebcp
+
+#endif // EBCP_MEM_REQUEST_HH

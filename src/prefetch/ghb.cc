@@ -1,0 +1,122 @@
+#include "prefetch/ghb.hh"
+
+#include <algorithm>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+GhbPrefetcher::GhbPrefetcher(const GhbConfig &cfg, std::string name)
+    : Prefetcher(std::move(name)), cfg_(cfg), ghb_(cfg.ghbEntries),
+      index_(cfg.indexEntries)
+{
+    fatal_if(!isPowerOf2(cfg.indexEntries),
+             "GHB index table size must be a power of two");
+    stats().add(inserts_);
+    stats().add(correlations_);
+    stats().add(issued_);
+}
+
+std::uint64_t
+GhbPrefetcher::keyOf(const L2AccessInfo &info) const
+{
+    // Loads localize on the load PC; all instruction misses share one
+    // stream (their "PC" is the fetch address itself, which is what
+    // delta correlation should run over).
+    return info.isInst ? 1 : info.pc;
+}
+
+void
+GhbPrefetcher::insert(std::uint64_t key, Addr line_addr)
+{
+    const std::size_t islot = mix64(key) & (cfg_.indexEntries - 1);
+    IndexEntry &ie = index_[islot];
+
+    const std::uint64_t my_seq = seq_++;
+    GhbEntry &ge = ghb_[my_seq % cfg_.ghbEntries];
+    ge.addr = line_addr;
+    ge.key = key;
+    ge.valid = true;
+    ge.prev = (ie.valid && ie.key == key) ? ie.head : NoLink;
+
+    ie.key = key;
+    ie.head = my_seq;
+    ie.valid = true;
+    ++inserts_;
+}
+
+void
+GhbPrefetcher::history(std::uint64_t key, std::vector<Addr> &out) const
+{
+    out.clear();
+    const std::size_t islot = mix64(key) & (cfg_.indexEntries - 1);
+    const IndexEntry &ie = index_[islot];
+    if (!ie.valid || ie.key != key)
+        return;
+
+    std::uint64_t cur = ie.head;
+    while (cur != NoLink && out.size() < cfg_.maxHistory) {
+        // A link is stale once the circular buffer wrapped past it.
+        if (cur + cfg_.ghbEntries < seq_)
+            break;
+        const GhbEntry &ge = ghb_[cur % cfg_.ghbEntries];
+        if (!ge.valid || ge.key != key)
+            break;
+        out.push_back(ge.addr);
+        cur = ge.prev;
+    }
+    // Walked newest-to-oldest; flip to oldest-first.
+    std::reverse(out.begin(), out.end());
+}
+
+void
+GhbPrefetcher::observeAccess(const L2AccessInfo &info)
+{
+    // Targets L2 misses (and their would-be equivalents) only.
+    if (!info.offChip && !info.prefBufHit)
+        return;
+
+    const std::uint64_t key = keyOf(info);
+    insert(key, info.lineAddr);
+
+    static thread_local std::vector<Addr> hist;
+    history(key, hist);
+    if (hist.size() < 4)
+        return;
+
+    // Delta correlation: find the most recent earlier occurrence of
+    // the final delta pair.
+    std::vector<std::int64_t> deltas;
+    deltas.reserve(hist.size() - 1);
+    for (std::size_t i = 1; i < hist.size(); ++i)
+        deltas.push_back(static_cast<std::int64_t>(hist[i]) -
+                         static_cast<std::int64_t>(hist[i - 1]));
+
+    const std::int64_t d1 = deltas[deltas.size() - 2];
+    const std::int64_t d2 = deltas[deltas.size() - 1];
+
+    // Search most-recent-first for an earlier occurrence of the final
+    // delta pair; overlapping occurrences are legal (a run of equal
+    // deltas matches itself one position back).
+    for (std::size_t i = deltas.size() - 1; i-- > 1;) {
+        if (deltas[i - 1] == d1 && deltas[i] == d2) {
+            ++correlations_;
+            // Replay the deltas that followed the match.
+            Addr p = info.lineAddr;
+            unsigned issued = 0;
+            for (std::size_t j = i + 1;
+                 j < deltas.size() && issued < cfg_.depth; ++j) {
+                p = static_cast<Addr>(static_cast<std::int64_t>(p) +
+                                      deltas[j]);
+                engine_->issuePrefetch(p, info.when);
+                ++issued_;
+                ++issued;
+            }
+            break;
+        }
+    }
+}
+
+} // namespace ebcp

@@ -1,0 +1,30 @@
+#include "prefetch/nextline.hh"
+
+namespace ebcp
+{
+
+NextLinePrefetcher::NextLinePrefetcher(const NextLineConfig &cfg)
+    : Prefetcher("nextline"), cfg_(cfg)
+{
+    stats().add(issued_);
+}
+
+void
+NextLinePrefetcher::observeAccess(const L2AccessInfo &info)
+{
+    // Trigger on real misses (and their averted equivalents) only;
+    // L2 hits need no help.
+    if (!info.offChip && !info.prefBufHit)
+        return;
+    if (info.isInst ? !cfg_.onInst : !cfg_.onLoad)
+        return;
+
+    for (unsigned k = 1; k <= cfg_.depth; ++k) {
+        engine_->issuePrefetch(
+            info.lineAddr + static_cast<Addr>(k) * cfg_.lineBytes,
+            info.when);
+        ++issued_;
+    }
+}
+
+} // namespace ebcp

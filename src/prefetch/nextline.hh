@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Next-line prefetcher, after Smith [6] -- the paper's Section 2.2
+ * example of *restricted* correlation prefetching (each correlation
+ * is compactly encoded as the fixed +1-line stride).
+ *
+ * On an L1 miss, prefetches the next `depth` sequential lines.
+ * Configurable to cover instruction fetches (the classic use), loads,
+ * or both. Included as the simplest possible baseline: it needs no
+ * storage at all, and its gap to the correlation prefetchers measures
+ * what *remembering* miss patterns buys.
+ */
+
+#ifndef EBCP_PREFETCH_NEXTLINE_HH
+#define EBCP_PREFETCH_NEXTLINE_HH
+
+#include "prefetch/prefetcher.hh"
+
+namespace ebcp
+{
+
+/** Next-line prefetcher configuration. */
+struct NextLineConfig
+{
+    unsigned depth = 2;      //!< sequential lines to prefetch
+    unsigned lineBytes = 64;
+    bool onInst = true;      //!< prefetch after instruction misses
+    bool onLoad = false;     //!< prefetch after load misses
+};
+
+/** The next-line prefetcher. */
+class NextLinePrefetcher : public Prefetcher
+{
+  public:
+    explicit NextLinePrefetcher(const NextLineConfig &cfg = {});
+
+    void observeAccess(const L2AccessInfo &info) override;
+
+  private:
+    NextLineConfig cfg_;
+
+    Scalar issued_{"issued", "prefetches handed to the engine"};
+};
+
+} // namespace ebcp
+
+#endif // EBCP_PREFETCH_NEXTLINE_HH

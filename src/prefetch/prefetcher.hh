@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The prefetcher interface.
+ *
+ * Mirroring Figure 2 of the paper, the prefetcher control sits in
+ * front of the core-to-L2 crossbar: it observes every L1 miss request
+ * sent to the L2 (and is told whether each also missed the L2 and
+ * whether the prefetch buffer supplied it), so it sees the entire
+ * per-thread miss stream. It acts through a PrefetchEngine, which
+ * issues line prefetches and correlation-table memory traffic with
+ * low priority.
+ */
+
+#ifndef EBCP_PREFETCH_PREFETCHER_HH
+#define EBCP_PREFETCH_PREFETCHER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/request.hh"
+#include "stats/group.hh"
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/** Everything a prefetcher learns about one L2 access (an L1 miss). */
+struct L2AccessInfo
+{
+    Addr pc = 0;          //!< PC of the access (the line PC for fetches)
+    Addr lineAddr = 0;    //!< line-aligned physical address
+    bool isInst = false;  //!< instruction fetch vs data load
+    bool l2Hit = false;   //!< satisfied by the L2
+    bool prefBufHit = false; //!< satisfied by the prefetch buffer
+    bool offChip = false; //!< went to main memory (a real L2 miss)
+    Tick when = 0;        //!< time the L2 was accessed
+    Tick complete = 0;    //!< time the data was available
+    unsigned coreId = 0;  //!< requesting core (CMP configurations);
+                          //!< visible because the prefetcher control
+                          //!< sits in front of the core-to-L2
+                          //!< crossbar (Figure 2)
+};
+
+/** Services the hierarchy provides to prefetchers. */
+class PrefetchEngine
+{
+  public:
+    virtual ~PrefetchEngine() = default;
+
+    /**
+     * Prefetch the line containing @p line_addr, no earlier than
+     * @p when, into the prefetch buffer.
+     *
+     * @param corr_index correlation-table entry to credit on a hit
+     *        (pass has_corr=false for prefetchers without a
+     *        main-memory table).
+     */
+    virtual void issuePrefetch(Addr line_addr, Tick when,
+                               std::uint64_t corr_index = 0,
+                               bool has_corr = false) = 0;
+
+    /** Low-priority main-memory read of a predictor-table line. */
+    virtual MemAccessResult tableRead(Tick when) = 0;
+
+    /** Low-priority main-memory write of a predictor-table line. */
+    virtual MemAccessResult tableWrite(Tick when) = 0;
+
+    /** Unloaded main-memory latency (for would-be-miss modelling). */
+    virtual Tick memoryLatency() const = 0;
+};
+
+/** Abstract hardware prefetcher. */
+class Prefetcher
+{
+  public:
+    explicit Prefetcher(std::string name)
+        : name_(std::move(name)), stats_(name_)
+    {}
+
+    virtual ~Prefetcher() = default;
+
+    /** Called once per L1 miss request, after its outcome is known. */
+    virtual void observeAccess(const L2AccessInfo &info) = 0;
+
+    /**
+     * Called when a demand access hits the prefetch buffer on an
+     * entry that carries a correlation-table index (Section 3.4.3's
+     * LRU refresh).
+     */
+    virtual void
+    observePrefetchHit(Addr line_addr, std::uint64_t corr_index,
+                       Tick when)
+    {
+        (void)line_addr;
+        (void)corr_index;
+        (void)when;
+    }
+
+    /** Wire the engine before simulation starts. */
+    void setEngine(PrefetchEngine *engine) { engine_ = engine; }
+
+    const std::string &name() const { return name_; }
+    StatGroup &stats() { return stats_; }
+
+  protected:
+    PrefetchEngine *engine_ = nullptr;
+
+  private:
+    std::string name_;
+    StatGroup stats_;
+};
+
+/** A prefetcher that never prefetches (the no-prefetching baseline). */
+class NullPrefetcher : public Prefetcher
+{
+  public:
+    NullPrefetcher() : Prefetcher("null") {}
+    void observeAccess(const L2AccessInfo &) override {}
+};
+
+} // namespace ebcp
+
+#endif // EBCP_PREFETCH_PREFETCHER_HH

@@ -1,0 +1,146 @@
+#include "prefetch/sms.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+SmsPrefetcher::SmsPrefetcher(const SmsConfig &cfg)
+    : Prefetcher("sms"), cfg_(cfg),
+      linesPerRegion_(cfg.regionBytes / cfg.lineBytes),
+      agt_(cfg.agtEntries),
+      pht_(static_cast<std::size_t>(cfg.phtSets) * cfg.phtWays)
+{
+    fatal_if(linesPerRegion_ == 0 || linesPerRegion_ > 32,
+             "SMS pattern must fit in 32 bits");
+    fatal_if(!isPowerOf2(cfg.phtSets), "PHT sets must be a power of two");
+    stats().add(generations_);
+    stats().add(patternHits_);
+    stats().add(issued_);
+}
+
+std::uint64_t
+SmsPrefetcher::triggerSig(Addr pc, unsigned offset) const
+{
+    // The trigger signature is (PC, offset-within-region): the same
+    // code touching the same relative first line replays the same
+    // spatial footprint.
+    return mix64((pc << 6) ^ offset);
+}
+
+SmsPrefetcher::AgtEntry *
+SmsPrefetcher::findRegion(Addr region_base)
+{
+    for (AgtEntry &e : agt_)
+        if (e.valid && e.regionBase == region_base)
+            return &e;
+    return nullptr;
+}
+
+void
+SmsPrefetcher::endGeneration(AgtEntry &e)
+{
+    ++generations_;
+    phtTrain(e.trigger, e.pattern);
+    e.valid = false;
+}
+
+void
+SmsPrefetcher::phtTrain(std::uint64_t trigger, std::uint32_t pattern)
+{
+    const std::size_t set = trigger & (cfg_.phtSets - 1);
+    for (unsigned w = 0; w < cfg_.phtWays; ++w) {
+        PhtEntry &e = pht_[set * cfg_.phtWays + w];
+        if (e.valid && e.trigger == trigger) {
+            e.pattern = pattern;
+            e.stamp = ++stampCounter_;
+            return;
+        }
+    }
+    PhtEntry *victim = nullptr;
+    for (unsigned w = 0; w < cfg_.phtWays; ++w) {
+        PhtEntry &e = pht_[set * cfg_.phtWays + w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (!victim || e.stamp < victim->stamp)
+            victim = &e;
+    }
+    victim->trigger = trigger;
+    victim->pattern = pattern;
+    victim->valid = true;
+    victim->stamp = ++stampCounter_;
+}
+
+bool
+SmsPrefetcher::phtLookup(std::uint64_t trigger, std::uint32_t &pattern)
+{
+    const std::size_t set = trigger & (cfg_.phtSets - 1);
+    for (unsigned w = 0; w < cfg_.phtWays; ++w) {
+        PhtEntry &e = pht_[set * cfg_.phtWays + w];
+        if (e.valid && e.trigger == trigger) {
+            e.stamp = ++stampCounter_;
+            pattern = e.pattern;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+SmsPrefetcher::observeAccess(const L2AccessInfo &info)
+{
+    // SMS targets load misses only; it trains on the L1 data-miss
+    // stream (every access the prefetcher control sees).
+    if (info.isInst)
+        return;
+
+    const Addr region = alignDown(info.lineAddr, cfg_.regionBytes);
+    const unsigned offset = static_cast<unsigned>(
+        (info.lineAddr - region) / cfg_.lineBytes);
+
+    if (AgtEntry *e = findRegion(region)) {
+        // Accumulate into the active generation.
+        e->pattern |= (1u << offset);
+        e->stamp = ++stampCounter_;
+        return;
+    }
+
+    // New region: this access is a trigger.
+    const std::uint64_t sig = triggerSig(info.pc, offset);
+
+    std::uint32_t pattern = 0;
+    if (phtLookup(sig, pattern)) {
+        ++patternHits_;
+        for (unsigned l = 0; l < linesPerRegion_; ++l) {
+            if (l == offset || !(pattern & (1u << l)))
+                continue;
+            engine_->issuePrefetch(region + l * cfg_.lineBytes,
+                                   info.when);
+            ++issued_;
+        }
+    }
+
+    // Open a generation, evicting the LRU one (its pattern is
+    // committed to the PHT -- eviction ends a generation).
+    AgtEntry *victim = nullptr;
+    for (AgtEntry &e : agt_) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (!victim || e.stamp < victim->stamp)
+            victim = &e;
+    }
+    if (victim->valid)
+        endGeneration(*victim);
+    victim->regionBase = region;
+    victim->trigger = sig;
+    victim->pattern = (1u << offset);
+    victim->valid = true;
+    victim->stamp = ++stampCounter_;
+}
+
+} // namespace ebcp

@@ -1,0 +1,106 @@
+#include "prefetch/solihin.hh"
+
+#include <algorithm>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+SolihinPrefetcher::SolihinPrefetcher(const SolihinConfig &cfg,
+                                     std::string name)
+    : Prefetcher(std::move(name)), cfg_(cfg), recentMisses_(cfg.depth)
+{
+    fatal_if(!isPowerOf2(cfg.tableEntries),
+             "Solihin table entries must be a power of two");
+    fatal_if(cfg.depth == 0 || cfg.width == 0,
+             "Solihin depth and width must be nonzero");
+    stats().add(trains_);
+    stats().add(matches_);
+    stats().add(issued_);
+}
+
+std::uint64_t
+SolihinPrefetcher::indexOf(Addr key) const
+{
+    return mix64(key) & (cfg_.tableEntries - 1);
+}
+
+void
+SolihinPrefetcher::train(Addr new_miss)
+{
+    // The new miss is the level-k successor of the miss k places
+    // before it (newest recent miss = level 1, etc.).
+    for (std::size_t k = 0; k < recentMisses_.size(); ++k) {
+        const Addr pred =
+            recentMisses_.at(recentMisses_.size() - 1 - k);
+        Entry &e = table_[indexOf(pred)];
+        if (e.tag != pred) {
+            e.tag = pred;
+            e.levels.assign(cfg_.depth, {});
+        }
+        Level &lvl = e.levels[k];
+        auto it = std::find(lvl.succ.begin(), lvl.succ.end(), new_miss);
+        if (it != lvl.succ.end())
+            lvl.succ.erase(it);
+        lvl.succ.insert(lvl.succ.begin(), new_miss);
+        if (lvl.succ.size() > cfg_.width)
+            lvl.succ.pop_back();
+        ++trains_;
+    }
+    recentMisses_.push(new_miss);
+
+    // Updating the predecessors' entries is a read-modify-write of
+    // table state in DRAM (the engine batches the per-level updates
+    // of one miss, so charge one RMW per miss).
+    if (engine_ && !recentMisses_.empty()) {
+        MemAccessResult rd = engine_->tableRead(lastMissTick_);
+        if (!rd.dropped)
+            engine_->tableWrite(rd.complete);
+    }
+}
+
+void
+SolihinPrefetcher::predict(const L2AccessInfo &info)
+{
+    // The engine reads its table entry from DRAM before it can issue
+    // anything; the read shares memory bandwidth with everything
+    // else, at low priority.
+    MemAccessResult rd = engine_->tableRead(info.when);
+    if (rd.dropped)
+        return;
+
+    auto it = table_.find(indexOf(info.lineAddr));
+    if (it == table_.end() || it->second.tag != info.lineAddr)
+        return;
+    ++matches_;
+
+    for (const Level &lvl : it->second.levels) {
+        for (Addr a : lvl.succ) {
+            engine_->issuePrefetch(a, rd.complete);
+            ++issued_;
+        }
+    }
+}
+
+void
+SolihinPrefetcher::observeAccess(const L2AccessInfo &info)
+{
+    // Targets L2 misses of both instructions and loads, like EBCP --
+    // but the engine lives at the memory side, so it observes only
+    // requests that actually reach main memory. Prefetch-buffer hits
+    // are invisible to it (the buffer is on chip, searched in
+    // parallel with the L2), which is exactly why the paper places
+    // the EBCP control on chip in front of the crossbar: a memory-
+    // side engine's correlation chain stalls while its own
+    // prefetching is succeeding.
+    if (!info.offChip)
+        return;
+
+    lastMissTick_ = info.when;
+    predict(info);
+    train(info.lineAddr);
+}
+
+} // namespace ebcp

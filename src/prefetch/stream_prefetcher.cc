@@ -1,0 +1,109 @@
+#include "prefetch/stream_prefetcher.hh"
+
+#include <cstdlib>
+
+namespace ebcp
+{
+
+StreamPrefetcher::StreamPrefetcher(const StreamPrefetcherConfig &cfg)
+    : Prefetcher("stream"), cfg_(cfg), streams_(cfg.streams)
+{
+    stats().add(allocations_);
+    stats().add(confirmations_);
+    stats().add(issued_);
+}
+
+StreamPrefetcher::Stream *
+StreamPrefetcher::findMatch(Addr line_addr)
+{
+    // A stream matches if the new address continues it (within one
+    // stride of the expected next address) or re-touches its last
+    // line.
+    for (Stream &s : streams_) {
+        if (!s.valid)
+            continue;
+        const std::int64_t delta =
+            static_cast<std::int64_t>(line_addr) -
+            static_cast<std::int64_t>(s.lastAddr);
+        if (delta == 0)
+            return &s;
+        if (std::llabs(delta) <=
+            static_cast<std::int64_t>(cfg_.maxStrideBytes)) {
+            if (!s.streaming || delta == s.stride ||
+                (s.stride != 0 && delta % s.stride == 0))
+                return &s;
+        }
+    }
+    return nullptr;
+}
+
+StreamPrefetcher::Stream &
+StreamPrefetcher::allocate(Addr line_addr)
+{
+    Stream *victim = &streams_[0];
+    for (Stream &s : streams_) {
+        if (!s.valid) {
+            victim = &s;
+            break;
+        }
+        if (s.lastUse < victim->lastUse)
+            victim = &s;
+    }
+    ++allocations_;
+    *victim = Stream{};
+    victim->valid = true;
+    victim->lastAddr = line_addr;
+    victim->lastUse = ++useCounter_;
+    return *victim;
+}
+
+void
+StreamPrefetcher::observeAccess(const L2AccessInfo &info)
+{
+    // Trains on the L1 data-miss stream; targets load misses only.
+    if (info.isInst)
+        return;
+
+    const Addr addr = info.lineAddr;
+    Stream *s = findMatch(addr);
+    if (!s) {
+        allocate(addr);
+        return;
+    }
+
+    s->lastUse = ++useCounter_;
+    const std::int64_t delta = static_cast<std::int64_t>(addr) -
+                               static_cast<std::int64_t>(s->lastAddr);
+    if (delta == 0)
+        return;
+
+    if (delta == s->stride) {
+        if (!s->streaming) {
+            if (++s->confirms >= cfg_.trainConfirms) {
+                // Stream confirmed: burst `distance` prefetches ahead.
+                s->streaming = true;
+                ++confirmations_;
+                for (unsigned k = 1; k <= cfg_.distance; ++k) {
+                    engine_->issuePrefetch(
+                        addr + static_cast<Addr>(k * s->stride),
+                        info.when);
+                    ++issued_;
+                }
+            }
+        } else {
+            // Steady state: stay `distance` strides ahead.
+            engine_->issuePrefetch(
+                addr + static_cast<Addr>(cfg_.distance * s->stride),
+                info.when);
+            ++issued_;
+        }
+    } else {
+        // New candidate stride; re-train.
+        s->stride = delta;
+        s->confirms = 1;
+        s->streaming = false;
+    }
+    s->lastAddr = addr;
+}
+
+} // namespace ebcp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Stream prefetcher (Section 5.3's third comparison point).
+ *
+ * "Capable of tracking up to 32 streams and handles positive,
+ * negative and non-unit strides. On the detection and confirmation of
+ * a stream, it issues 6 prefetch requests and then attempts to keep 6
+ * strides ahead of the request stream."
+ *
+ * Trains on the L1 data-miss stream and targets load misses only,
+ * like the commercial implementations it stands in for.
+ */
+
+#ifndef EBCP_PREFETCH_STREAM_PREFETCHER_HH
+#define EBCP_PREFETCH_STREAM_PREFETCHER_HH
+
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace ebcp
+{
+
+/** Configuration of the stream prefetcher. */
+struct StreamPrefetcherConfig
+{
+    unsigned streams = 32;       //!< concurrent stream trackers
+    unsigned distance = 6;       //!< strides to run ahead
+    unsigned trainConfirms = 2;  //!< stride repeats before streaming
+    Addr maxStrideBytes = 4096;  //!< ignore wild deltas
+};
+
+/** The stream prefetcher. */
+class StreamPrefetcher : public Prefetcher
+{
+  public:
+    explicit StreamPrefetcher(const StreamPrefetcherConfig &cfg = {});
+
+    void observeAccess(const L2AccessInfo &info) override;
+
+  private:
+    struct Stream
+    {
+        bool valid = false;
+        Addr lastAddr = 0;
+        std::int64_t stride = 0;
+        unsigned confirms = 0;
+        bool streaming = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    Stream *findMatch(Addr line_addr);
+    Stream &allocate(Addr line_addr);
+
+    StreamPrefetcherConfig cfg_;
+    std::vector<Stream> streams_;
+    std::uint64_t useCounter_ = 0;
+
+    Scalar allocations_{"allocations", "stream trackers allocated"};
+    Scalar confirmations_{"confirmations", "streams confirmed"};
+    Scalar issued_{"issued", "prefetches handed to the engine"};
+};
+
+} // namespace ebcp
+
+#endif // EBCP_PREFETCH_STREAM_PREFETCHER_HH

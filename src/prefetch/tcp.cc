@@ -1,0 +1,115 @@
+#include "prefetch/tcp.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+TcpPrefetcher::TcpPrefetcher(const TcpConfig &cfg, std::string name)
+    : Prefetcher(std::move(name)), cfg_(cfg),
+      setShift_(floorLog2(cfg.lineBytes)),
+      tagShift_(floorLog2(cfg.lineBytes) + floorLog2(cfg.l1Sets)),
+      tht_(cfg.thtEntries),
+      pht_(static_cast<std::size_t>(cfg.phtSets) * cfg.phtWays)
+{
+    fatal_if(!isPowerOf2(cfg.phtSets), "PHT sets must be a power of two");
+    fatal_if(!isPowerOf2(cfg.l1Sets), "L1 sets must be a power of two");
+    stats().add(trains_);
+    stats().add(predictions_);
+    stats().add(issued_);
+}
+
+std::uint64_t
+TcpPrefetcher::histKey(unsigned set, Addr t2, Addr t1) const
+{
+    return mix64((t2 << 20) ^ (t1 << 2) ^ set);
+}
+
+Addr
+TcpPrefetcher::phtLookup(std::uint64_t key)
+{
+    const std::size_t set = key & (cfg_.phtSets - 1);
+    for (unsigned w = 0; w < cfg_.phtWays; ++w) {
+        PhtEntry &e = pht_[set * cfg_.phtWays + w];
+        if (e.valid && e.tagHist == key) {
+            e.stamp = ++stampCounter_;
+            ++predictions_;
+            return e.nextTag;
+        }
+    }
+    return InvalidAddr;
+}
+
+void
+TcpPrefetcher::phtTrain(std::uint64_t key, Addr next_tag)
+{
+    const std::size_t set = key & (cfg_.phtSets - 1);
+    for (unsigned w = 0; w < cfg_.phtWays; ++w) {
+        PhtEntry &e = pht_[set * cfg_.phtWays + w];
+        if (e.valid && e.tagHist == key) {
+            e.nextTag = next_tag;
+            e.stamp = ++stampCounter_;
+            ++trains_;
+            return;
+        }
+    }
+    PhtEntry *victim = nullptr;
+    for (unsigned w = 0; w < cfg_.phtWays; ++w) {
+        PhtEntry &e = pht_[set * cfg_.phtWays + w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (!victim || e.stamp < victim->stamp)
+            victim = &e;
+    }
+    victim->tagHist = key;
+    victim->nextTag = next_tag;
+    victim->valid = true;
+    victim->stamp = ++stampCounter_;
+    ++trains_;
+}
+
+void
+TcpPrefetcher::observeAccess(const L2AccessInfo &info)
+{
+    // TCP targets load misses only, and trains on the L1 data-miss
+    // stream.
+    if (info.isInst)
+        return;
+
+    const Addr addr = info.lineAddr;
+    const unsigned set =
+        static_cast<unsigned>((addr >> setShift_) & (cfg_.l1Sets - 1));
+    const Addr tag = addr >> tagShift_;
+
+    ThtEntry &h = tht_[set & (cfg_.thtEntries - 1)];
+
+    // Train: the history (t2, t1) in this set was followed by `tag`.
+    if (h.count >= 2)
+        phtTrain(histKey(set, h.t2, h.t1), tag);
+
+    // Shift the tag history.
+    h.t2 = h.t1;
+    h.t1 = tag;
+    if (h.count < 2)
+        ++h.count;
+
+    // Predict: chain next-tag predictions up to the degree.
+    Addr pt2 = h.t2;
+    Addr pt1 = h.t1;
+    for (unsigned k = 0; k < cfg_.degree; ++k) {
+        const Addr pred = phtLookup(histKey(set, pt2, pt1));
+        if (pred == InvalidAddr)
+            break;
+        const Addr line = (pred << tagShift_) |
+                          (static_cast<Addr>(set) << setShift_);
+        engine_->issuePrefetch(line, info.when);
+        ++issued_;
+        pt2 = pt1;
+        pt1 = pred;
+    }
+}
+
+} // namespace ebcp

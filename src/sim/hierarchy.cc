@@ -1,0 +1,57 @@
+#include "sim/hierarchy.hh"
+
+namespace ebcp
+{
+
+Hierarchy::Hierarchy(const SimConfig &cfg, L2Subsystem &l2side,
+                     unsigned core_id)
+    : cfg_(cfg), l2side_(l2side), coreId_(core_id),
+      l1i_(cfg.l1i), l1d_(cfg.l1d),
+      stats_("core" + std::to_string(core_id) + "_l1")
+{
+    stats_.addChild(l1i_.stats());
+    stats_.addChild(l1d_.stats());
+}
+
+MemOutcome
+Hierarchy::fetchInst(Addr pc, Tick when)
+{
+    if (l1i_.access(pc, false)) {
+        // Front-end pipelining hides the L1I hit latency.
+        return {when, false};
+    }
+    MemOutcome out = l2side_.access(pc, pc, when + l1i_.hitLatency(),
+                                    true, coreId_);
+    l1i_.fill(l1i_.lineAddr(pc));
+    return out;
+}
+
+MemOutcome
+Hierarchy::load(Addr addr, Addr pc, Tick when)
+{
+    if (l1d_.access(addr, false))
+        return {when + l1d_.hitLatency(), false};
+    MemOutcome out = l2side_.access(addr, pc, when + l1d_.hitLatency(),
+                                    false, coreId_);
+    l1d_.fill(l1d_.lineAddr(addr));
+    return out;
+}
+
+Tick
+Hierarchy::store(Addr addr, Tick when)
+{
+    const Addr line = l1d_.lineAddr(addr);
+    if (l1d_.access(line, true))
+        return when + 1;
+    Tick drain = l2side_.storeAccess(line, when);
+    l1d_.fill(line, true);
+    return drain;
+}
+
+void
+Hierarchy::beginMeasurement()
+{
+    stats_.resetAll();
+}
+
+} // namespace ebcp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A per-core port into the memory system: private L1 instruction and
+ * data caches in front of a (possibly shared) L2Subsystem.
+ *
+ * Implements MemSystem for one core's timing model. A single-core
+ * system has one Hierarchy; a CMP has one per core, all referencing
+ * the same L2Subsystem (Figure 2's arrangement).
+ */
+
+#ifndef EBCP_SIM_HIERARCHY_HH
+#define EBCP_SIM_HIERARCHY_HH
+
+#include "cache/cache.hh"
+#include "cpu/mem_iface.hh"
+#include "sim/l2_subsystem.hh"
+#include "sim/sim_config.hh"
+
+namespace ebcp
+{
+
+/** One core's private L1s over the shared L2 side. */
+class Hierarchy : public MemSystem
+{
+  public:
+    Hierarchy(const SimConfig &cfg, L2Subsystem &l2side,
+              unsigned core_id = 0);
+
+    // MemSystem
+    MemOutcome fetchInst(Addr pc, Tick when) override;
+    MemOutcome load(Addr addr, Addr pc, Tick when) override;
+    Tick store(Addr addr, Tick when) override;
+    unsigned lineBytes() const override { return cfg_.l2.lineBytes; }
+
+    Cache &l1i() { return l1i_; }
+    Cache &l1d() { return l1d_; }
+    L2Subsystem &l2side() { return l2side_; }
+    unsigned coreId() const { return coreId_; }
+
+    /** Reset measurement statistics after warm-up. */
+    void beginMeasurement();
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    SimConfig cfg_;
+    L2Subsystem &l2side_;
+    unsigned coreId_;
+
+    Cache l1i_;
+    Cache l1d_;
+    StatGroup stats_;
+};
+
+} // namespace ebcp
+
+#endif // EBCP_SIM_HIERARCHY_HH

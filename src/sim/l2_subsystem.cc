@@ -1,0 +1,192 @@
+#include "sim/l2_subsystem.hh"
+
+#include <algorithm>
+
+namespace ebcp
+{
+
+L2Subsystem::L2Subsystem(const SimConfig &cfg, MainMemory &mem,
+                         Prefetcher &prefetcher)
+    : cfg_(cfg), mem_(mem), prefetcher_(prefetcher),
+      l2_(cfg.l2),
+      prefBuf_(cfg.prefetchBufferEntries, cfg.prefetchBufferWays,
+               cfg.l2.lineBytes),
+      l2Mshrs_("l2_mshrs", cfg.l2Mshrs),
+      stats_("l2side")
+{
+    prefetcher_.setEngine(this);
+    stats_.add(offChipInst_);
+    stats_.add(offChipLoad_);
+    stats_.add(issuedPrefetches_);
+    stats_.add(droppedPrefetches_);
+    stats_.add(filteredPrefetches_);
+    stats_.add(usefulPrefetches_);
+    stats_.add(latePrefetchStalls_);
+    stats_.add(lateStallTicks_);
+    stats_.addChild(l2_.stats());
+    stats_.addChild(prefBuf_.stats());
+    stats_.addChild(l2Mshrs_.stats());
+    stats_.addChild(epochs_.stats());
+    stats_.addChild(prefetcher_.stats());
+}
+
+MemOutcome
+L2Subsystem::access(Addr addr, Addr pc, Tick when, bool is_inst,
+                    unsigned core_id)
+{
+    const Addr line = l2_.lineAddr(addr);
+    const Tick l2_lat = l2_.hitLatency();
+    l2Mshrs_.advance(when);
+
+    MemOutcome out;
+    L2AccessInfo info;
+    info.pc = pc;
+    info.lineAddr = line;
+    info.isInst = is_inst;
+    info.when = when;
+    info.coreId = core_id;
+
+    if (cfg_.perfectL2) {
+        // CPI_perf mode: the furthest on-chip cache always hits.
+        out.complete = when + l2_lat;
+        return out;
+    }
+
+    if (l2_.access(line, false)) {
+        // The tags hit, but the line may still be in flight (lines
+        // are installed at miss time and data arrives later): such an
+        // access merges into the outstanding miss.
+        const Tick inflight = l2Mshrs_.inFlightCompletion(line);
+        if (inflight != MaxTick && inflight > when + l2_lat) {
+            out.complete = inflight;
+            out.offChip = true;
+            epochs_.observe(when, inflight);
+            info.offChip = true;
+            info.complete = inflight;
+        } else {
+            out.complete = when + l2_lat;
+            info.l2Hit = true;
+            info.complete = out.complete;
+        }
+        prefetcher_.observeAccess(info);
+        return out;
+    }
+
+    // The prefetch buffer is searched in parallel with the L2.
+    PrefBufHit pb = prefBuf_.lookup(line, when);
+    if (pb.hit) {
+        // A hit on an in-flight prefetch waits for that fill, but
+        // never longer than a demand fetch issued right now would
+        // take -- the controller promotes the in-flight request to
+        // demand priority rather than letting a late prefetch be
+        // worse than no prefetch.
+        const Tick demand_bound = when + l2_lat + mem_.config().latency;
+        const Tick data_ready =
+            std::max(when + l2_lat,
+                     std::min(pb.readyTime, demand_bound));
+        out.complete = data_ready;
+        // A hit on a still-in-flight prefetch stalls like a
+        // (shortened) off-chip access and is epoch-relevant.
+        if (data_ready > when + l2_lat) {
+            ++latePrefetchStalls_;
+            lateStallTicks_.sample(
+                static_cast<double>(data_ready - when - l2_lat));
+            epochs_.observe(when, data_ready);
+            out.offChip = true;
+        }
+        ++usefulPrefetches_;
+        info.prefBufHit = true;
+        info.complete = data_ready;
+        l2_.fill(line);
+        if (pb.hasCorrIndex)
+            prefetcher_.observePrefetchHit(line, pb.corrIndex,
+                                           data_ready);
+        prefetcher_.observeAccess(info);
+        return out;
+    }
+
+    // A real L2 miss.
+    out.offChip = true;
+    const Tick alloc = l2Mshrs_.whenCanAllocate(when);
+    MemAccessResult r = mem_.access(alloc, is_inst
+                                               ? MemReqType::DemandInst
+                                               : MemReqType::DemandLoad);
+    out.complete = r.complete;
+    l2Mshrs_.allocate(line, r.complete);
+    epochs_.observe(alloc, r.complete);
+    if (is_inst)
+        ++offChipInst_;
+    else
+        ++offChipLoad_;
+
+    Eviction ev = l2_.fill(line);
+    if (ev.valid && ev.dirty)
+        mem_.access(out.complete, MemReqType::StoreWrite);
+
+    info.offChip = true;
+    info.complete = out.complete;
+    prefetcher_.observeAccess(info);
+    return out;
+}
+
+Tick
+L2Subsystem::storeAccess(Addr addr, Tick when)
+{
+    const Addr line = l2_.lineAddr(addr);
+    if (cfg_.perfectL2 || l2_.access(line, true))
+        return when + l2_.hitLatency();
+
+    // Stores can also be satisfied by a prefetched line.
+    PrefBufHit pb = prefBuf_.lookup(line, when);
+    if (pb.hit) {
+        ++usefulPrefetches_;
+        l2_.fill(line, true);
+        return std::max(when + l2_.hitLatency(), pb.readyTime);
+    }
+
+    // Off-chip store: drains over the write bus under weak
+    // consistency; never stalls the window, never recorded in the
+    // EMAB (Section 3.4.2), never an epoch trigger.
+    MemAccessResult r = mem_.access(when, MemReqType::StoreWrite);
+    l2_.fill(line, true);
+    return r.complete;
+}
+
+void
+L2Subsystem::issuePrefetch(Addr line_addr, Tick when,
+                           std::uint64_t corr_index, bool has_corr)
+{
+    const Addr line = l2_.lineAddr(line_addr);
+    if (l2_.contains(line) || prefBuf_.contains(line)) {
+        ++filteredPrefetches_;
+        return;
+    }
+    MemAccessResult r = mem_.access(when, MemReqType::Prefetch);
+    if (r.dropped) {
+        ++droppedPrefetches_;
+        return;
+    }
+    ++issuedPrefetches_;
+    prefBuf_.insert(line, r.complete, corr_index, has_corr);
+}
+
+MemAccessResult
+L2Subsystem::tableRead(Tick when)
+{
+    return mem_.access(when, MemReqType::TableRead, tableBytes_);
+}
+
+MemAccessResult
+L2Subsystem::tableWrite(Tick when)
+{
+    return mem_.access(when, MemReqType::TableWrite, tableBytes_);
+}
+
+void
+L2Subsystem::beginMeasurement()
+{
+    stats_.resetAll();
+    epochs_.beginMeasurement();
+}
+
+} // namespace ebcp

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The shared L2-side of the memory system: the banked L2 (modeled as
+ * one shared cache), the prefetch buffer searched in parallel with
+ * it, the L2 MSHRs, the epoch tracker, and the prefetcher control
+ * attachment point (Figure 2: the control sits in front of the
+ * core-to-L2 crossbar and sees every core's L1 miss requests).
+ *
+ * One L2Subsystem is shared by every core port (Hierarchy), which is
+ * exactly the paper's CMP arrangement and its single-core special
+ * case.
+ */
+
+#ifndef EBCP_SIM_L2_SUBSYSTEM_HH
+#define EBCP_SIM_L2_SUBSYSTEM_HH
+
+#include "cache/cache.hh"
+#include "cache/mshr.hh"
+#include "cache/prefetch_buffer.hh"
+#include "cpu/mem_iface.hh"
+#include "epoch/epoch_tracker.hh"
+#include "mem/main_memory.hh"
+#include "prefetch/prefetcher.hh"
+#include "sim/sim_config.hh"
+
+namespace ebcp
+{
+
+/** The shared L2 + prefetch machinery. */
+class L2Subsystem : public PrefetchEngine
+{
+  public:
+    L2Subsystem(const SimConfig &cfg, MainMemory &mem,
+                Prefetcher &prefetcher);
+
+    /**
+     * Service an L1 miss from core @p core_id at time @p when.
+     * @return completion time and off-chip flag.
+     */
+    MemOutcome access(Addr addr, Addr pc, Tick when, bool is_inst,
+                      unsigned core_id);
+
+    /**
+     * Service an L1 store miss (weak consistency: drains in the
+     * background). @return drain time.
+     */
+    Tick storeAccess(Addr addr, Tick when);
+
+    // PrefetchEngine
+    void issuePrefetch(Addr line_addr, Tick when,
+                       std::uint64_t corr_index,
+                       bool has_corr) override;
+    MemAccessResult tableRead(Tick when) override;
+    MemAccessResult tableWrite(Tick when) override;
+    Tick memoryLatency() const override { return mem_.config().latency; }
+
+    /** Bytes per correlation-table transfer (set from table config). */
+    void setTableTransferBytes(unsigned bytes) { tableBytes_ = bytes; }
+
+    EpochTracker &epochTracker() { return epochs_; }
+    Cache &l2() { return l2_; }
+    PrefetchBuffer &prefetchBuffer() { return prefBuf_; }
+
+    std::uint64_t usefulPrefetches() const
+    {
+        return usefulPrefetches_.value();
+    }
+    std::uint64_t issuedPrefetches() const
+    {
+        return issuedPrefetches_.value();
+    }
+    std::uint64_t droppedPrefetches() const
+    {
+        return droppedPrefetches_.value();
+    }
+    std::uint64_t offChipInst() const { return offChipInst_.value(); }
+    std::uint64_t offChipLoad() const { return offChipLoad_.value(); }
+
+    /** Reset measurement statistics after warm-up. */
+    void beginMeasurement();
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    SimConfig cfg_;
+    MainMemory &mem_;
+    Prefetcher &prefetcher_;
+
+    Cache l2_;
+    PrefetchBuffer prefBuf_;
+    MshrFile l2Mshrs_;
+    EpochTracker epochs_;
+    unsigned tableBytes_ = 64;
+
+    StatGroup stats_;
+    Scalar offChipInst_{"offchip_inst", "instruction fetches off chip"};
+    Scalar offChipLoad_{"offchip_load", "loads off chip"};
+    Scalar issuedPrefetches_{"issued_prefetches",
+                             "prefetch reads sent to memory"};
+    Scalar droppedPrefetches_{"dropped_prefetches",
+                              "prefetch reads dropped (saturation)"};
+    Scalar filteredPrefetches_{"filtered_prefetches",
+                               "prefetch requests already on chip"};
+    Scalar usefulPrefetches_{"useful_prefetches",
+                             "demand accesses served by the buffer"};
+    Scalar latePrefetchStalls_{"late_prefetch_stalls",
+                               "buffer hits that still had to wait"};
+    Average lateStallTicks_{"late_stall_ticks",
+                            "residual wait of late prefetch hits"};
+};
+
+} // namespace ebcp
+
+#endif // EBCP_SIM_L2_SUBSYSTEM_HH

@@ -1,0 +1,72 @@
+#include "sim/prefetcher_factory.hh"
+
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+std::unique_ptr<Prefetcher>
+createPrefetcher(const PrefetcherParams &p)
+{
+    const std::string &n = p.name;
+
+    if (n == "null")
+        return std::make_unique<NullPrefetcher>();
+
+    if (n == "ebcp")
+        return std::make_unique<EpochBasedPrefetcher>(p.ebcp);
+
+    if (n == "ebcp-minus") {
+        EbcpConfig c = p.ebcp;
+        c.minusVariant = true;
+        return std::make_unique<EpochBasedPrefetcher>(c);
+    }
+
+    if (n == "stream")
+        return std::make_unique<StreamPrefetcher>(p.stream);
+
+    if (n == "nextline")
+        return std::make_unique<NextLinePrefetcher>(p.nextline);
+
+    if (n == "ghb")
+        return std::make_unique<GhbPrefetcher>(p.ghb, "ghb");
+    if (n == "ghb-small")
+        return std::make_unique<GhbPrefetcher>(GhbConfig::small(),
+                                               "ghb_small");
+    if (n == "ghb-large")
+        return std::make_unique<GhbPrefetcher>(GhbConfig::large(),
+                                               "ghb_large");
+
+    if (n == "tcp")
+        return std::make_unique<TcpPrefetcher>(p.tcp, "tcp");
+    if (n == "tcp-small")
+        return std::make_unique<TcpPrefetcher>(TcpConfig::small(),
+                                               "tcp_small");
+    if (n == "tcp-large")
+        return std::make_unique<TcpPrefetcher>(TcpConfig::large(),
+                                               "tcp_large");
+
+    if (n == "sms")
+        return std::make_unique<SmsPrefetcher>(p.sms);
+
+    if (n == "solihin")
+        return std::make_unique<SolihinPrefetcher>(p.solihin, "solihin");
+    if (n == "solihin-3-2")
+        return std::make_unique<SolihinPrefetcher>(
+            SolihinConfig::depth3width2(), "solihin_3_2");
+    if (n == "solihin-6-1")
+        return std::make_unique<SolihinPrefetcher>(
+            SolihinConfig::depth6width1(), "solihin_6_1");
+
+    fatal("unknown prefetcher '", n, "'");
+}
+
+std::vector<std::string>
+prefetcherNames()
+{
+    return {"null",      "ebcp",        "ebcp-minus",  "stream",
+            "nextline",  "ghb-small",   "ghb-large",   "tcp-small",
+            "tcp-large", "sms",         "solihin-3-2", "solihin-6-1"};
+}
+
+} // namespace ebcp

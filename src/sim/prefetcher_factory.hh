@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Construction of every prefetcher evaluated in the paper, by name.
+ *
+ * Names follow Figure 9's legend: "null", "stream", "ghb-small",
+ * "ghb-large", "tcp-small", "tcp-large", "sms", "solihin-3-2",
+ * "solihin-6-1", "ebcp", "ebcp-minus", plus "nextline" (Smith [6]).
+ */
+
+#ifndef EBCP_SIM_PREFETCHER_FACTORY_HH
+#define EBCP_SIM_PREFETCHER_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ebcp.hh"
+#include "prefetch/ghb.hh"
+#include "prefetch/nextline.hh"
+#include "prefetch/sms.hh"
+#include "prefetch/solihin.hh"
+#include "prefetch/stream_prefetcher.hh"
+#include "prefetch/tcp.hh"
+
+namespace ebcp
+{
+
+/** Per-scheme parameters; named presets override the relevant member. */
+struct PrefetcherParams
+{
+    std::string name = "null";
+    EbcpConfig ebcp;
+    SolihinConfig solihin;
+    GhbConfig ghb;
+    NextLineConfig nextline;
+    TcpConfig tcp;
+    SmsConfig sms;
+    StreamPrefetcherConfig stream;
+};
+
+/**
+ * Build a prefetcher. fatal()s on an unknown name.
+ */
+std::unique_ptr<Prefetcher> createPrefetcher(const PrefetcherParams &p);
+
+/** All names the factory accepts (for tests and CLI help). */
+std::vector<std::string> prefetcherNames();
+
+} // namespace ebcp
+
+#endif // EBCP_SIM_PREFETCHER_FACTORY_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Aggregate simulation configuration; defaults are the paper's
+ * Section 4.4 processor plus the Section 5 tuned prefetcher knobs.
+ */
+
+#ifndef EBCP_SIM_SIM_CONFIG_HH
+#define EBCP_SIM_SIM_CONFIG_HH
+
+#include <string>
+
+#include "cache/cache_config.hh"
+#include "cpu/core_config.hh"
+#include "mem/mem_config.hh"
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/** Everything the simulator needs to build a system. */
+struct SimConfig
+{
+    CoreConfig core;
+    MemConfig mem;
+
+    CacheConfig l1i{"l1i", 32 * KiB, 4, 64, 3, ReplPolicy::Lru};
+    CacheConfig l1d{"l1d", 32 * KiB, 4, 64, 3, ReplPolicy::Lru};
+    CacheConfig l2{"l2", 2 * MiB, 4, 64, 20, ReplPolicy::Lru};
+
+    unsigned l2Mshrs = 32;
+
+    unsigned prefetchBufferEntries = 64;
+    unsigned prefetchBufferWays = 4;
+
+    /**
+     * Pretend the L2 never misses (measures CPI_perf for the epoch
+     * model's decomposition, Section 2.1).
+     */
+    bool perfectL2 = false;
+
+    /** Prefetcher selection for the factory ("null", "ebcp", ...). */
+    std::string prefetcher = "null";
+};
+
+} // namespace ebcp
+
+#endif // EBCP_SIM_SIM_CONFIG_HH

@@ -1,0 +1,99 @@
+#include "sim/simulator.hh"
+
+#include <ostream>
+
+namespace ebcp
+{
+
+Simulator::Simulator(const SimConfig &cfg, const PrefetcherParams &pf)
+    : cfg_(cfg), mem_(cfg.mem), prefetcher_(createPrefetcher(pf))
+{
+    l2side_ = std::make_unique<L2Subsystem>(cfg_, mem_, *prefetcher_);
+    hier_ = std::make_unique<Hierarchy>(cfg_, *l2side_, 0);
+    core_ = std::make_unique<CoreModel>(cfg_.core, *hier_);
+
+    // The EBCP's table entries can span multiple transfer units at
+    // high degree; charge its table traffic accordingly.
+    if (auto *e = dynamic_cast<EpochBasedPrefetcher *>(prefetcher_.get()))
+        l2side_->setTableTransferBytes(
+            e->table().config().entryTransferBytes());
+}
+
+SimResults
+Simulator::run(TraceSource &src, std::uint64_t warm_insts,
+               std::uint64_t measure_insts)
+{
+    core_->run(src, warm_insts);
+
+    core_->beginMeasurement();
+    hier_->beginMeasurement();
+    l2side_->beginMeasurement();
+    mem_.stats().resetAll();
+    readBusyMark_ = mem_.readChannel().busyTicks();
+    writeBusyMark_ = mem_.writeChannel().busyTicks();
+
+    core_->run(src, measure_insts);
+    return collect();
+}
+
+SimResults
+Simulator::collect()
+{
+    SimResults r;
+    r.insts = core_->measuredInsts();
+    r.cycles = core_->measuredCycles();
+    r.cpi = core_->cpi();
+
+    r.epochs = l2side_->epochTracker().epochs();
+    const double per1k =
+        r.insts ? 1000.0 / static_cast<double>(r.insts) : 0.0;
+    r.epochsPer1k = r.epochs * per1k;
+    r.l2InstMissPer1k = l2side_->offChipInst() * per1k;
+    r.l2LoadMissPer1k = l2side_->offChipLoad() * per1k;
+
+    r.usefulPrefetches = l2side_->usefulPrefetches();
+    r.issuedPrefetches = l2side_->issuedPrefetches();
+    r.droppedPrefetches = l2side_->droppedPrefetches();
+    const std::uint64_t misses =
+        l2side_->offChipInst() + l2side_->offChipLoad();
+    const std::uint64_t baseline_misses = misses + r.usefulPrefetches;
+    r.coverage = baseline_misses
+                     ? static_cast<double>(r.usefulPrefetches) /
+                           static_cast<double>(baseline_misses)
+                     : 0.0;
+    r.accuracy = r.issuedPrefetches
+                     ? static_cast<double>(r.usefulPrefetches) /
+                           static_cast<double>(r.issuedPrefetches)
+                     : 0.0;
+
+    if (r.cycles) {
+        r.readBusUtil =
+            static_cast<double>(mem_.readChannel().busyTicks() -
+                                readBusyMark_) /
+            static_cast<double>(r.cycles);
+        r.writeBusUtil =
+            static_cast<double>(mem_.writeChannel().busyTicks() -
+                                writeBusyMark_) /
+            static_cast<double>(r.cycles);
+    }
+    return r;
+}
+
+void
+Simulator::dumpStats(std::ostream &os)
+{
+    core_->stats().dump(os);
+    hier_->stats().dump(os);
+    l2side_->stats().dump(os);
+    mem_.stats().dump(os);
+}
+
+SimResults
+runOnce(const SimConfig &cfg, const PrefetcherParams &pf, TraceSource &src,
+        std::uint64_t warm_insts, std::uint64_t measure_insts)
+{
+    Simulator sim(cfg, pf);
+    return sim.run(src, warm_insts, measure_insts);
+}
+
+} // namespace ebcp

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Top-level simulator: wires core, hierarchy, memory and prefetcher,
+ * runs the warm-up and measurement windows, and reports SimResults.
+ */
+
+#ifndef EBCP_SIM_SIMULATOR_HH
+#define EBCP_SIM_SIMULATOR_HH
+
+#include <memory>
+
+#include "cpu/core_model.hh"
+#include "mem/main_memory.hh"
+#include "sim/hierarchy.hh"
+#include "sim/l2_subsystem.hh"
+#include "sim/prefetcher_factory.hh"
+#include "sim/results.hh"
+#include "sim/sim_config.hh"
+
+namespace ebcp
+{
+
+/** A complete simulated system. */
+class Simulator
+{
+  public:
+    Simulator(const SimConfig &cfg, const PrefetcherParams &pf);
+
+    /**
+     * Warm caches and predictors for @p warm_insts instructions, then
+     * measure for @p measure_insts.
+     */
+    SimResults run(TraceSource &src, std::uint64_t warm_insts,
+                   std::uint64_t measure_insts);
+
+    /** Collect results for the instructions since beginMeasurement(). */
+    SimResults collect();
+
+    CoreModel &core() { return *core_; }
+    Hierarchy &hierarchy() { return *hier_; }
+    L2Subsystem &l2side() { return *l2side_; }
+    MainMemory &memory() { return mem_; }
+    Prefetcher &prefetcher() { return *prefetcher_; }
+
+    /** Dump every statistic group (examples / debugging). */
+    void dumpStats(std::ostream &os);
+
+  private:
+    SimConfig cfg_;
+    MainMemory mem_;
+    std::unique_ptr<Prefetcher> prefetcher_;
+    std::unique_ptr<L2Subsystem> l2side_;
+    std::unique_ptr<Hierarchy> hier_;
+    std::unique_ptr<CoreModel> core_;
+
+    Tick readBusyMark_ = 0;
+    Tick writeBusyMark_ = 0;
+};
+
+/**
+ * Convenience: run @p src on configuration @p cfg with prefetcher
+ * @p pf and return the measured results.
+ */
+SimResults runOnce(const SimConfig &cfg, const PrefetcherParams &pf,
+                   TraceSource &src, std::uint64_t warm_insts,
+                   std::uint64_t measure_insts);
+
+} // namespace ebcp
+
+#endif // EBCP_SIM_SIMULATOR_HH

@@ -1,0 +1,30 @@
+#include "stats/group.hh"
+
+#include <iomanip>
+
+namespace ebcp
+{
+
+void
+StatGroup::resetAll()
+{
+    for (auto *s : stats_)
+        s->reset();
+    for (auto *c : children_)
+        c->resetAll();
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string full = prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto *s : stats_) {
+        os << std::left << std::setw(44) << (full + "." + s->name())
+           << " " << std::setw(20) << s->render()
+           << " # " << s->desc() << "\n";
+    }
+    for (const auto *c : children_)
+        c->dump(os, full);
+}
+
+} // namespace ebcp

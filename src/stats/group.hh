@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Hierarchical statistic registration and reporting.
+ */
+
+#ifndef EBCP_STATS_GROUP_HH
+#define EBCP_STATS_GROUP_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stats/statistic.hh"
+
+namespace ebcp
+{
+
+/**
+ * A named collection of statistics and child groups.
+ *
+ * Components own their stats as plain members and register pointers
+ * here; the group never owns the registered objects (they live exactly
+ * as long as their component).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a statistic; returns it for chaining. */
+    template <typename S>
+    S &
+    add(S &stat)
+    {
+        stats_.push_back(&stat);
+        return stat;
+    }
+
+    /** Register a child group. */
+    void addChild(StatGroup &child) { children_.push_back(&child); }
+
+    /** Reset all registered stats, recursively. */
+    void resetAll();
+
+    /** Dump "group.stat = value # desc" lines, recursively. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    const std::string &name() const { return name_; }
+    const std::vector<StatBase *> &stats() const { return stats_; }
+
+  private:
+    std::string name_;
+    std::vector<StatBase *> stats_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace ebcp
+
+#endif // EBCP_STATS_GROUP_HH

@@ -1,0 +1,76 @@
+#include "stats/statistic.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace ebcp
+{
+
+std::string
+Scalar::render() const
+{
+    return std::to_string(value_);
+}
+
+std::string
+Average::render() const
+{
+    std::ostringstream os;
+    os << fmtDouble(mean(), 4) << " (n=" << count_ << ")";
+    return os.str();
+}
+
+Distribution::Distribution(std::string name, std::string desc, double min,
+                           double max, std::size_t buckets)
+    : StatBase(std::move(name), std::move(desc)),
+      min_(min), max_(max), width_((max - min) / buckets), counts_(buckets)
+{
+    panic_if(max <= min, "Distribution with max <= min");
+    panic_if(buckets == 0, "Distribution with zero buckets");
+}
+
+void
+Distribution::sample(double v)
+{
+    ++samples_;
+    sum_ += v;
+    if (v < min_) {
+        ++underflow_;
+    } else if (v >= max_) {
+        ++overflow_;
+    } else {
+        ++counts_[static_cast<std::size_t>((v - min_) / width_)];
+    }
+}
+
+std::string
+Distribution::render() const
+{
+    std::ostringstream os;
+    os << "mean=" << fmtDouble(mean(), 4) << " n=" << samples_;
+    os << " [";
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (i)
+            os << " ";
+        os << counts_[i];
+    }
+    os << "]";
+    if (underflow_)
+        os << " under=" << underflow_;
+    if (overflow_)
+        os << " over=" << overflow_;
+    return os.str();
+}
+
+void
+Distribution::reset()
+{
+    for (auto &c : counts_)
+        c = 0;
+    underflow_ = overflow_ = samples_ = 0;
+    sum_ = 0.0;
+}
+
+} // namespace ebcp

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Lightweight statistics primitives.
+ *
+ * Every model component exposes its counters through these classes so
+ * experiments can dump a uniform report. The design is a miniature
+ * version of gem5's stats package: named statistics register with a
+ * StatGroup, and groups can be dumped hierarchically.
+ */
+
+#ifndef EBCP_STATS_STATISTIC_HH
+#define EBCP_STATS_STATISTIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ebcp
+{
+
+/** Base class for a named, documented statistic. */
+class StatBase
+{
+  public:
+    StatBase(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+
+    virtual ~StatBase() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Render the value(s) as a printable string. */
+    virtual std::string render() const = 0;
+
+    /** Reset to initial state (used between warm-up and measurement). */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A simple additive counter. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(std::uint64_t v) { value_ += v; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void set(std::uint64_t v) { value_ = v; }
+
+    std::string render() const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Mean of a stream of samples. */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t count() const { return count_; }
+
+    std::string render() const override;
+
+    void
+    reset() override
+    {
+        sum_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** A bucketed histogram over [min, max) with uniform bucket width. */
+class Distribution : public StatBase
+{
+  public:
+    Distribution(std::string name, std::string desc, double min, double max,
+                 std::size_t buckets);
+
+    void sample(double v);
+
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+    std::size_t buckets() const { return counts_.size(); }
+    std::uint64_t underflows() const { return underflow_; }
+    std::uint64_t overflows() const { return overflow_; }
+    std::uint64_t samples() const { return samples_; }
+    double mean() const { return samples_ ? sum_ / samples_ : 0.0; }
+
+    std::string render() const override;
+    void reset() override;
+
+  private:
+    double min_;
+    double max_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t samples_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace ebcp
+
+#endif // EBCP_STATS_STATISTIC_HH

@@ -1,0 +1,63 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "util/str.hh"
+
+namespace ebcp
+{
+
+void
+AsciiTable::addRow(const std::string &label, const std::vector<double> &vals,
+                   int prec)
+{
+    std::vector<std::string> row;
+    row.push_back(label);
+    for (double v : vals)
+        row.push_back(fmtDouble(v, prec));
+    rows_.push_back(row);
+}
+
+void
+AsciiTable::print(std::ostream &os) const
+{
+    std::size_t cols = header_.size();
+    for (const auto &r : rows_)
+        cols = std::max(cols, r.size());
+
+    std::vector<std::size_t> width(cols, 0);
+    auto grow = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+    };
+    if (!header_.empty())
+        grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    std::size_t total = 1;
+    for (std::size_t w : width)
+        total += w + 3;
+
+    os << "\n" << title_ << "\n" << std::string(total, '-') << "\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (std::size_t i = 0; i < cols; ++i) {
+            std::string cell = i < row.size() ? row[i] : "";
+            os << " " << std::setw(static_cast<int>(width[i]))
+               << (i == 0 ? std::left : std::right) << cell << " |";
+            os << std::right;
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    os << std::string(total, '-') << "\n";
+}
+
+} // namespace ebcp

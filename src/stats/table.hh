@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ASCII table renderer for experiment output.
+ *
+ * The bench binaries print paper-style tables (one row per benchmark,
+ * one column per configuration); this helper keeps their output code
+ * trivial and uniform.
+ */
+
+#ifndef EBCP_STATS_TABLE_HH
+#define EBCP_STATS_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ebcp
+{
+
+/** A simple left-column-labelled table of strings. */
+class AsciiTable
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit AsciiTable(std::string title) : title_(std::move(title)) {}
+
+    /** Set the column headers (first header labels the row-name column). */
+    void setHeader(const std::vector<std::string> &header)
+    {
+        header_ = header;
+    }
+
+    /** Append a row of cells (first cell is the row label). */
+    void addRow(const std::vector<std::string> &row)
+    {
+        rows_.push_back(row);
+    }
+
+    /** Convenience: row label + numeric cells with fixed precision. */
+    void addRow(const std::string &label, const std::vector<double> &vals,
+                int prec = 2);
+
+    /** Render with column alignment and separators. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace ebcp
+
+#endif // EBCP_STATS_TABLE_HH

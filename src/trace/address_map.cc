@@ -1,0 +1,88 @@
+#include "trace/address_map.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+namespace
+{
+/** Domain tags keep the hashed identities of different kinds apart. */
+constexpr std::uint64_t TagChain = 0x11;
+constexpr std::uint64_t TagBtree = 0x22;
+constexpr std::uint64_t TagPage = 0x33;
+} // namespace
+
+AddressMap::AddressMap(const WorkloadConfig &cfg)
+    : cfg_(cfg),
+      numPages_(cfg.heapLines / 32), // 32 lines per 2KB page
+      hotLines_(static_cast<std::uint32_t>(cfg.hotBytes / 64))
+{
+    fatal_if(cfg.heapLines < 64, "heap too small");
+    fatal_if(hotLines_ == 0, "hot region too small");
+}
+
+Addr
+AddressMap::heapLine(std::uint64_t h) const
+{
+    return cfg_.heapBase + (h % cfg_.heapLines) * 64;
+}
+
+Addr
+AddressMap::chainNode(std::uint32_t chain, std::uint32_t hop) const
+{
+    const std::uint64_t id = (TagChain << 56) |
+                             (static_cast<std::uint64_t>(chain) << 16) |
+                             hop;
+    return heapLine(mix64(id));
+}
+
+Addr
+AddressMap::btreeNode(unsigned level, std::uint32_t key) const
+{
+    if (level == 0) {
+        // The root is a single, permanently hot line.
+        return cfg_.hotBase;
+    }
+    // Level l has numChains >> (4 * (levels - l)) nodes, so siblings
+    // near the root are widely shared (and warm) and leaves are cold.
+    const unsigned depth_below = cfg_.btreeLevels - level;
+    std::uint32_t nodes = cfg_.numChains >> (4 * depth_below);
+    if (nodes == 0)
+        nodes = 1;
+    // Upper levels have few (warm) nodes shared by many keys; the
+    // leaf level is per-key and cold.
+    const std::uint32_t idx =
+        depth_below == 0 ? key
+                         : static_cast<std::uint32_t>(mix64(key) % nodes);
+    const std::uint64_t id = (TagBtree << 56) |
+                             (static_cast<std::uint64_t>(level) << 40) |
+                             idx;
+    return heapLine(mix64(id));
+}
+
+Addr
+AddressMap::recordPage(std::uint32_t key) const
+{
+    const std::uint64_t id = (TagPage << 56) | key;
+    const std::uint64_t page = mix64(id) % numPages_;
+    return cfg_.heapBase + page * 2048;
+}
+
+Addr
+AddressMap::hotLine(std::uint32_t idx) const
+{
+    // Offset past the B-tree root line.
+    return cfg_.hotBase + 64 + static_cast<Addr>(idx % hotLines_) * 64;
+}
+
+Addr
+AddressMap::functionBase(std::uint32_t fn) const
+{
+    return cfg_.codeBase + dispatcherBytes() +
+           static_cast<Addr>(fn) * cfg_.funcBytes;
+}
+
+} // namespace ebcp

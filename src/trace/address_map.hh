@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic synthetic address-space layout.
+ *
+ * Every object's physical address is a pure function of its identity
+ * (kind, key, element), so a recurring transaction key replays an
+ * identical miss-address sequence -- the recurrence that correlation
+ * prefetching exploits -- without the generator storing any state.
+ */
+
+#ifndef EBCP_TRACE_ADDRESS_MAP_HH
+#define EBCP_TRACE_ADDRESS_MAP_HH
+
+#include "trace/workload_config.hh"
+#include "util/bitfield.hh"
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/** Computes the layout described in WorkloadConfig. */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const WorkloadConfig &cfg);
+
+    /** Hop @p hop of pointer chain @p chain (irregular placement). */
+    Addr chainNode(std::uint32_t chain, std::uint32_t hop) const;
+
+    /**
+     * B-tree node on the path to @p key at @p level (0 = root, hot;
+     * deeper levels have geometrically more nodes).
+     */
+    Addr btreeNode(unsigned level, std::uint32_t key) const;
+
+    /** 2KB-aligned record page for @p key (spatially local scans). */
+    Addr recordPage(std::uint32_t key) const;
+
+    /** Line @p idx of the small hot region (expected on-chip). */
+    Addr hotLine(std::uint32_t idx) const;
+
+    /** Entry point of function @p fn. */
+    Addr functionBase(std::uint32_t fn) const;
+
+    /** Start of the (hot) dispatcher code region. */
+    Addr dispatcherBase() const { return cfg_.codeBase; }
+    std::uint64_t dispatcherBytes() const { return 4 * KiB; }
+
+    unsigned lineBytes() const { return 64; }
+    std::uint64_t heapLines() const { return cfg_.heapLines; }
+
+  private:
+    /** Map a hashed identity into a heap line address. */
+    Addr heapLine(std::uint64_t h) const;
+
+    WorkloadConfig cfg_;
+    std::uint64_t numPages_;
+    std::uint32_t hotLines_;
+};
+
+} // namespace ebcp
+
+#endif // EBCP_TRACE_ADDRESS_MAP_HH

@@ -1,0 +1,451 @@
+#include "trace/synthetic_workload.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+SyntheticWorkload::SyntheticWorkload(const WorkloadConfig &cfg)
+    : cfg_(cfg), map_(cfg), rng_(cfg.seed),
+      keys_(cfg.numChains, cfg.zipfSkew)
+{
+    fatal_if(cfg.txnTypes == 0, "workload needs transaction types");
+    buildTypes();
+    reset();
+}
+
+void
+SyntheticWorkload::buildTypes()
+{
+    // Type construction uses its own RNG stream so that runtime
+    // draws do not perturb the static shape.
+    Pcg32 shape(cfg_.seed, 0x7ea7);
+    types_.clear();
+    types_.resize(cfg_.txnTypes);
+
+    const double wsum = cfg_.mix.chase + cfg_.mix.btree + cfg_.mix.scan +
+                        cfg_.mix.hot;
+    fatal_if(wsum <= 0.0, "operation mix has zero weight");
+
+    for (TxnType &t : types_) {
+        const unsigned nops =
+            shape.range(cfg_.opsPerTxnMin, cfg_.opsPerTxnMax);
+        for (unsigned i = 0; i < nops; ++i) {
+            OpDef op;
+            const double w = shape.uniform() * wsum;
+            if (w < cfg_.mix.chase) {
+                op.kind = OpDef::Kind::Chase;
+                op.len = shape.range(cfg_.chaseLenMin, cfg_.chaseLenMax);
+                op.depBranch = shape.chance(cfg_.depBranchProb);
+                op.fillerMin = cfg_.fillerInstsMin;
+                op.fillerMax = cfg_.fillerInstsMax;
+            } else if (w < cfg_.mix.chase + cfg_.mix.btree) {
+                op.kind = OpDef::Kind::BTree;
+                op.len = cfg_.btreeLevels;
+                op.fillerMin = cfg_.fillerInstsMin;
+                op.fillerMax = cfg_.fillerInstsMax;
+            } else if (w < cfg_.mix.chase + cfg_.mix.btree +
+                               cfg_.mix.scan) {
+                op.kind = OpDef::Kind::Scan;
+                op.len = shape.range(cfg_.scanLinesMin, cfg_.scanLinesMax);
+                // Scans are tight loops: little code between loads,
+                // so the independent misses overlap in the window.
+                op.fillerMin = 4;
+                op.fillerMax = 10;
+            } else {
+                op.kind = OpDef::Kind::Hot;
+                op.len = shape.range(2, 6);
+                op.fillerMin = cfg_.fillerInstsMin;
+                op.fillerMax = cfg_.fillerInstsMax;
+            }
+            op.store = shape.chance(cfg_.storeFraction);
+            // Static binding to a hot function; whether an instance
+            // actually runs hot or cold code is decided per entity in
+            // emitOp (so the choice recurs with the key).
+            op.fn = shape.below(
+                std::min(cfg_.hotFunctions, cfg_.numFunctions));
+            t.ops.push_back(op);
+        }
+    }
+}
+
+void
+SyntheticWorkload::reset()
+{
+    rng_.reseed(cfg_.seed);
+    buf_.clear();
+    dispatcherPc_ = map_.dispatcherBase();
+    curPc_ = 0;
+    fnBase_ = fnEnd_ = 0;
+    blockLeft_ = 0;
+    aluRot_ = loadRot_ = 0;
+    sinceSerialize_ = 0;
+    oneShot_ = 0;
+}
+
+bool
+SyntheticWorkload::next(TraceRecord &rec)
+{
+    while (buf_.empty())
+        generateTransaction();
+    rec = buf_.front();
+    buf_.pop_front();
+    return true;
+}
+
+void
+SyntheticWorkload::push(const TraceRecord &rec)
+{
+    buf_.push_back(rec);
+    if (++sinceSerialize_ >= cfg_.serializeEvery) {
+        sinceSerialize_ = 0;
+        TraceRecord s;
+        s.pc = rec.pc + 4;
+        s.op = OpClass::Serialize;
+        buf_.push_back(s);
+    }
+}
+
+void
+SyntheticWorkload::emitAlu()
+{
+    TraceRecord r;
+    r.pc = curPc_;
+    curPc_ += 4;
+    r.op = OpClass::IntAlu;
+    const std::uint8_t dst = RegAlu0 + (aluRot_ % 24);
+    // Filler is mostly a dependent chain: commercial codes run at
+    // CPI_perf around 1.2 (Table 1), not at peak superscalar IPC.
+    r.dstReg = dst;
+    r.srcReg0 = (aluRot_ % 4 == 3) ? NoReg : RegAlu0 + ((aluRot_ + 23) % 24);
+    r.srcReg1 = RegAlu0 + ((aluRot_ + 11) % 24);
+    ++aluRot_;
+    push(r);
+}
+
+void
+SyntheticWorkload::emitBranch(Addr target, bool noisy)
+{
+    TraceRecord r;
+    r.pc = curPc_;
+    curPc_ += 4;
+    r.op = OpClass::Branch;
+    r.taken = noisy ? (rng_.next() & 1) : true;
+    r.target = target;
+    r.srcReg0 = RegAlu0 + ((aluRot_ + 23) % 24);
+    push(r);
+    // Taken or not, the next instruction in the trace is at `target`
+    // for block-end branches (target == fall-through block start).
+    curPc_ = target;
+}
+
+void
+SyntheticWorkload::emitCode(unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        if (blockLeft_ == 0) {
+            // End of a basic block: branch to the next one (wrapping
+            // inside the function to bound its footprint).
+            Addr next = curPc_ + 4;
+            if (next + cfg_.blockInsts * 4 >= fnEnd_)
+                next = fnBase_;
+            emitBranch(next, rng_.chance(cfg_.branchNoise));
+            blockLeft_ = cfg_.blockInsts - 1;
+        } else {
+            emitAlu();
+            --blockLeft_;
+        }
+    }
+}
+
+void
+SyntheticWorkload::emitDispatcherStep()
+{
+    // A few hot dispatcher instructions between transactions/ops.
+    curPc_ = dispatcherPc_;
+    blockLeft_ = 1000; // the dispatcher has no block-end branches
+    emitCode(3);
+    dispatcherPc_ = curPc_;
+    // Wrap within the dispatcher region, branching back to its start.
+    if (dispatcherPc_ + 64 >=
+        map_.dispatcherBase() + map_.dispatcherBytes()) {
+        emitBranch(map_.dispatcherBase(), false);
+        dispatcherPc_ = map_.dispatcherBase();
+        curPc_ = dispatcherPc_;
+    }
+}
+
+void
+SyntheticWorkload::emitCall(Addr fn_base)
+{
+    TraceRecord r;
+    r.pc = dispatcherPc_;
+    r.op = OpClass::Call;
+    r.taken = true;
+    r.target = fn_base;
+    push(r);
+    dispatcherPc_ += 4; // the RAS return point is call PC + 4
+
+    fnBase_ = fn_base;
+    fnEnd_ = fn_base + cfg_.funcBytes;
+    curPc_ = fn_base;
+    blockLeft_ = cfg_.blockInsts - 1;
+}
+
+void
+SyntheticWorkload::emitReturn()
+{
+    TraceRecord r;
+    r.pc = curPc_;
+    r.op = OpClass::Return;
+    r.taken = true;
+    r.target = dispatcherPc_; // matches the pushed call PC + 4
+    push(r);
+    curPc_ = dispatcherPc_;
+}
+
+void
+SyntheticWorkload::emitLoad(Addr addr, std::uint8_t dst, std::uint8_t src)
+{
+    TraceRecord r;
+    r.pc = curPc_;
+    curPc_ += 4;
+    r.op = OpClass::Load;
+    r.addr = addr;
+    r.dstReg = dst;
+    r.srcReg0 = src;
+    push(r);
+    if (blockLeft_ > 0)
+        --blockLeft_;
+}
+
+void
+SyntheticWorkload::emitStore(Addr addr, std::uint8_t src)
+{
+    TraceRecord r;
+    r.pc = curPc_;
+    curPc_ += 4;
+    r.op = OpClass::Store;
+    r.addr = addr;
+    r.srcReg0 = src;
+    r.srcReg1 = RegAlu0 + ((aluRot_ + 5) % 24);
+    push(r);
+    if (blockLeft_ > 0)
+        --blockLeft_;
+}
+
+void
+SyntheticWorkload::emitOp(const OpDef &op, std::uint32_t key,
+                          unsigned op_idx, bool force_cold)
+{
+    // Derive this op's identity from the transaction key and a small
+    // per-op group -- *not* the transaction type. Like rows in an
+    // OLTP database, the same entity's objects are shared by every
+    // transaction type that touches the entity, so any recurrence of
+    // the key replays recurring addresses. A configurable fraction of
+    // ops instead uses a one-shot key (transaction-local data),
+    // bounding coverage.
+    std::uint32_t id;
+    if (force_cold ||
+        (op.kind != OpDef::Kind::Hot &&
+         rng_.chance(cfg_.coldKeyFraction))) {
+        id = static_cast<std::uint32_t>(
+            mix64(0xc01dULL << 32 | ++oneShot_));
+    } else {
+        id = static_cast<std::uint32_t>(
+            mix64(static_cast<std::uint64_t>(key) * 8 + (op_idx & 7)) &
+            0x7fffffff);
+    }
+
+    // Hot entities run hot (mostly resident) code; a deterministic
+    // per-entity fraction walks a key-derived cold function instead,
+    // so instruction-miss sequences recur with the key and the
+    // instruction footprint scales with numFunctions.
+    const std::uint64_t fnh = mix64(0xf00dULL << 32 | id);
+    const bool hot_fn =
+        (fnh % 10000) <
+        static_cast<std::uint64_t>(cfg_.codeHotFraction * 10000.0);
+    const std::uint32_t fn =
+        hot_fn ? op.fn
+               : static_cast<std::uint32_t>(fnh % cfg_.numFunctions);
+
+    emitDispatcherStep();
+    emitCall(map_.functionBase(fn));
+
+    // Address-generation ALU feeding the base register.
+    {
+        TraceRecord r;
+        r.pc = curPc_;
+        curPc_ += 4;
+        r.op = OpClass::IntAlu;
+        r.dstReg = RegBase;
+        // The previous op's chased value feeds this op's address
+        // computation (an OLTP transaction's serial spine); scans
+        // then fan out in parallel underneath it.
+        r.srcReg0 = RegChase;
+        push(r);
+    }
+
+    // Filler lengths are deterministic per (op slot, access index):
+    // a static instruction sequence has fixed load PCs, which
+    // PC-localized prefetchers (GHB PC/DC, SMS) legitimately exploit.
+    unsigned fill_n = 0;
+    auto filler = [&]() {
+        const std::uint64_t h =
+            mix64((static_cast<std::uint64_t>(op.fn) << 24) ^
+                  (static_cast<std::uint64_t>(op_idx) << 8) ^ fill_n++);
+        return op.fillerMin +
+               static_cast<unsigned>(h % (op.fillerMax - op.fillerMin + 1));
+    };
+
+    Addr last_line = 0;
+    switch (op.kind) {
+      case OpDef::Kind::Chase: {
+        const std::uint32_t chain = id;
+        // A pointer-chase loop: every hop executes the same body, so
+        // the chasing load has one fixed PC (as `while (p) p =
+        // p->next` does) -- the stream PC-localized prefetchers key
+        // on.
+        const unsigned body = filler();
+        const Addr loop_head = curPc_;
+        for (unsigned h = 0; h < op.len; ++h) {
+            curPc_ = loop_head;
+            blockLeft_ = body + 2; // no block-end branch inside
+            emitCode(body);
+            last_line = map_.chainNode(chain, h);
+            emitLoad(last_line, RegChase,
+                     h == 0 ? RegBase : RegChase);
+            // Loop back-branch: taken until the final hop.
+            TraceRecord br;
+            br.pc = curPc_;
+            br.op = OpClass::Branch;
+            br.taken = (h + 1 < op.len);
+            br.target = loop_head;
+            br.srcReg0 = RegChase;
+            push(br);
+            curPc_ = br.taken ? loop_head : br.pc + 4;
+        }
+        blockLeft_ = cfg_.blockInsts - 1;
+        if (op.depBranch) {
+            emitCode(2);
+            // A branch consuming the chased value: if the chase
+            // missed off-chip and this mispredicts, the window
+            // terminates on it (Section 2.1).
+            TraceRecord r;
+            r.pc = curPc_;
+            curPc_ += 4;
+            r.op = OpClass::Branch;
+            r.taken = rng_.chance(0.7);
+            r.target = curPc_ + 4;
+            r.srcReg0 = RegChase;
+            push(r);
+            curPc_ = r.target;
+        }
+        break;
+      }
+      case OpDef::Kind::BTree: {
+        const std::uint32_t k = id;
+        // Root: hot, then one dependent node per level; the walk
+        // extends the serial spine.
+        emitCode(filler());
+        emitLoad(map_.btreeNode(0, k), RegChase, RegBase);
+        for (unsigned l = 1; l <= cfg_.btreeLevels; ++l) {
+            emitCode(filler());
+            last_line = map_.btreeNode(l, k);
+            emitLoad(last_line, RegChase, RegChase);
+        }
+        break;
+      }
+      case OpDef::Kind::Scan: {
+        const Addr page = map_.recordPage(id);
+        std::uint8_t last_dst = RegBase;
+        // A record-scan loop: one load PC striding through the page's
+        // lines (what stream prefetchers and SMS legitimately see).
+        const unsigned body = filler();
+        const Addr loop_head = curPc_;
+        for (unsigned l = 0; l < op.len; ++l) {
+            curPc_ = loop_head;
+            blockLeft_ = body + 2;
+            emitCode(body);
+            last_line = page + static_cast<Addr>(l) * 64;
+            last_dst = RegLoad0 + (loadRot_++ % 12);
+            emitLoad(last_line, last_dst, RegBase);
+            TraceRecord br;
+            br.pc = curPc_;
+            br.op = OpClass::Branch;
+            br.taken = (l + 1 < op.len);
+            br.target = loop_head;
+            br.srcReg0 = last_dst;
+            push(br);
+            curPc_ = br.taken ? loop_head : br.pc + 4;
+        }
+        blockLeft_ = cfg_.blockInsts - 1;
+        // The scan's aggregate extends the serial spine, so the next
+        // op's first access cannot overlap this scan (stable epoch
+        // partitioning, like a query result feeding the next step).
+        {
+            TraceRecord r;
+            r.pc = curPc_;
+            curPc_ += 4;
+            r.op = OpClass::IntAlu;
+            r.dstReg = RegChase;
+            r.srcReg0 = last_dst;
+            push(r);
+        }
+        break;
+      }
+      case OpDef::Kind::Hot: {
+        for (unsigned l = 0; l < op.len; ++l) {
+            emitCode(filler());
+            last_line = map_.hotLine(
+                static_cast<std::uint32_t>(mix64(id + l)));
+            emitLoad(last_line, RegLoad0 + (loadRot_++ % 12), RegBase);
+        }
+        break;
+      }
+    }
+
+    if (op.store && last_line) {
+        emitCode(3);
+        emitStore(last_line, RegBase);
+    }
+
+    emitCode(rng_.range(4, 10));
+    emitReturn();
+}
+
+void
+SyntheticWorkload::generateTransaction()
+{
+    // Entity-type affinity: an entity is always processed by the same
+    // transaction type (a customer replays the same interaction), so
+    // a recurring key replays the *whole* miss sequence, not just the
+    // addresses. Per-instance variability still comes from cold
+    // (one-shot) ops, branch noise and cache state.
+    const std::uint32_t key = keys_.sample(rng_);
+    const unsigned type = static_cast<unsigned>(
+        mix64(0x7e57ULL << 32 | key) % cfg_.txnTypes);
+
+    // Interrupt/jitter op: a short one-shot access injected at a
+    // random position. This models the positional noise real systems
+    // exhibit (interrupts, lock retries, buffer-pool misses): exact
+    // successor *distances* are unstable even when the sequence
+    // itself recurs, which distinguishes positional (depth-keyed)
+    // predictors from windowed ones.
+    OpDef jitter;
+    jitter.kind = OpDef::Kind::Chase;
+    jitter.len = 1 + (rng_.next() & 1);
+    jitter.fn = 0;
+    jitter.fillerMin = cfg_.fillerInstsMin;
+    jitter.fillerMax = cfg_.fillerInstsMax;
+
+    for (unsigned i = 0; i < types_[type].ops.size(); ++i) {
+        if (rng_.chance(cfg_.jitterProb))
+            emitOp(jitter, key, (type << 4) | 15, true);
+        emitOp(types_[type].ops[i], key, (type << 4) | i);
+    }
+}
+
+} // namespace ebcp

@@ -1,0 +1,160 @@
+#include "trace/trace_file.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+namespace
+{
+
+constexpr char Magic[8] = {'E', 'B', 'C', 'P', 'T', 'R', 'C', '1'};
+
+/** On-disk record layout (little-endian, fixed 32 bytes). */
+struct DiskRecord
+{
+    std::uint64_t pc;
+    std::uint64_t addr;
+    std::uint64_t target;
+    std::uint8_t op;
+    std::uint8_t dstReg;
+    std::uint8_t srcReg0;
+    std::uint8_t srcReg1;
+    std::uint8_t taken;
+    std::uint8_t pad[3];
+};
+
+static_assert(sizeof(DiskRecord) == 32, "trace record layout");
+
+DiskRecord
+pack(const TraceRecord &r)
+{
+    DiskRecord d{};
+    d.pc = r.pc;
+    d.addr = r.addr;
+    d.target = r.target;
+    d.op = static_cast<std::uint8_t>(r.op);
+    d.dstReg = r.dstReg;
+    d.srcReg0 = r.srcReg0;
+    d.srcReg1 = r.srcReg1;
+    d.taken = r.taken ? 1 : 0;
+    return d;
+}
+
+TraceRecord
+unpack(const DiskRecord &d)
+{
+    TraceRecord r;
+    r.pc = d.pc;
+    r.addr = d.addr;
+    r.target = d.target;
+    r.op = static_cast<OpClass>(d.op);
+    r.dstReg = d.dstReg;
+    r.srcReg0 = d.srcReg0;
+    r.srcReg1 = d.srcReg1;
+    r.taken = d.taken != 0;
+    return r;
+}
+
+} // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    fatal_if(!file_, "cannot open trace file '", path, "' for writing");
+    std::uint32_t version = 1;
+    std::uint32_t rec_size = sizeof(DiskRecord);
+    std::fwrite(Magic, sizeof(Magic), 1, file_);
+    std::fwrite(&version, sizeof(version), 1, file_);
+    std::fwrite(&rec_size, sizeof(rec_size), 1, file_);
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    close();
+}
+
+void
+TraceFileWriter::write(const TraceRecord &rec)
+{
+    panic_if(!file_, "write to a closed trace file");
+    DiskRecord d = pack(rec);
+    std::fwrite(&d, sizeof(d), 1, file_);
+    ++written_;
+}
+
+void
+TraceFileWriter::capture(TraceSource &src, std::uint64_t count)
+{
+    TraceRecord rec;
+    for (std::uint64_t i = 0; i < count && src.next(rec); ++i)
+        write(rec);
+}
+
+void
+TraceFileWriter::close()
+{
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+FileTraceSource::FileTraceSource(const std::string &path, bool loop)
+    : loop_(loop)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    fatal_if(!file_, "cannot open trace file '", path, "'");
+    readHeader();
+}
+
+void
+FileTraceSource::readHeader()
+{
+    char magic[8];
+    std::uint32_t version = 0;
+    std::uint32_t rec_size = 0;
+    fatal_if(std::fread(magic, sizeof(magic), 1, file_) != 1 ||
+                 std::memcmp(magic, Magic, sizeof(Magic)) != 0,
+             "not an EBCP trace file");
+    fatal_if(std::fread(&version, sizeof(version), 1, file_) != 1 ||
+                 version != 1,
+             "unsupported trace file version");
+    fatal_if(std::fread(&rec_size, sizeof(rec_size), 1, file_) != 1 ||
+                 rec_size != sizeof(DiskRecord),
+             "trace record size mismatch");
+    dataStart_ = std::ftell(file_);
+}
+
+FileTraceSource::~FileTraceSource()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+FileTraceSource::next(TraceRecord &rec)
+{
+    DiskRecord d;
+    if (std::fread(&d, sizeof(d), 1, file_) != 1) {
+        if (!loop_)
+            return false;
+        std::fseek(file_, dataStart_, SEEK_SET);
+        if (std::fread(&d, sizeof(d), 1, file_) != 1)
+            return false; // empty trace
+    }
+    rec = unpack(d);
+    ++read_;
+    return true;
+}
+
+void
+FileTraceSource::reset()
+{
+    std::fseek(file_, dataStart_, SEEK_SET);
+    read_ = 0;
+}
+
+} // namespace ebcp

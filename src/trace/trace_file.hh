@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Binary trace record/replay.
+ *
+ * The paper's methodology is trace-driven; this pair of classes lets
+ * users capture a synthetic workload (or convert an external trace,
+ * e.g. from a ChampSim-style tracer) into this simulator's format and
+ * replay it deterministically.
+ *
+ * Format: an 16-byte header ("EBCPTRC1" + version + record size),
+ * then fixed-size little-endian records until end of file.
+ */
+
+#ifndef EBCP_TRACE_TRACE_FILE_HH
+#define EBCP_TRACE_TRACE_FILE_HH
+
+#include <cstdio>
+#include <string>
+
+#include "cpu/trace.hh"
+
+namespace ebcp
+{
+
+/** Writes TraceRecords to a file. */
+class TraceFileWriter
+{
+  public:
+    /** Opens @p path for writing; fatal() on failure. */
+    explicit TraceFileWriter(const std::string &path);
+    ~TraceFileWriter();
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    /** Append one record. */
+    void write(const TraceRecord &rec);
+
+    /** Capture @p count records from @p src. */
+    void capture(TraceSource &src, std::uint64_t count);
+
+    std::uint64_t recordsWritten() const { return written_; }
+
+    /** Flush and close (also done by the destructor). */
+    void close();
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t written_ = 0;
+};
+
+/** Replays a trace file as a TraceSource. */
+class FileTraceSource : public TraceSource
+{
+  public:
+    /**
+     * @param path trace file to read
+     * @param loop restart from the beginning at end-of-file (so the
+     *        file can feed arbitrarily long runs, as the generator
+     *        sources do)
+     */
+    explicit FileTraceSource(const std::string &path, bool loop = true);
+    ~FileTraceSource() override;
+
+    FileTraceSource(const FileTraceSource &) = delete;
+    FileTraceSource &operator=(const FileTraceSource &) = delete;
+
+    bool next(TraceRecord &rec) override;
+    void reset() override;
+
+    std::uint64_t recordsRead() const { return read_; }
+
+  private:
+    void readHeader();
+
+    std::FILE *file_ = nullptr;
+    bool loop_;
+    std::uint64_t read_ = 0;
+    long dataStart_ = 0;
+};
+
+} // namespace ebcp
+
+#endif // EBCP_TRACE_TRACE_FILE_HH

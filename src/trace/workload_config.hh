@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Parameters of the synthetic commercial-workload generator.
+ *
+ * The paper's traces are proprietary (a large OLTP database, TPC-W,
+ * SPECjbb2005, SPECjAppServer2004 on SPARC). What correlation
+ * prefetchers actually see is the miss-address stream, so the
+ * generator synthesizes the properties that shape it:
+ *
+ *  - transactions: each of a fixed set of transaction types executes
+ *    a deterministic sequence of operations over data derived from a
+ *    per-instance key, so recurring (type, key) pairs replay the same
+ *    miss sequence -- the recurrence correlation prefetchers exploit;
+ *  - irregular addresses: pointer chases and B-tree walks produce
+ *    dependent, non-strided misses (low MLP, stream-defeating);
+ *  - record scans: independent loads over 2KB pages (bursty MLP,
+ *    spatially local -- what SMS can learn);
+ *  - large code paths: every operation runs inside a synthetic
+ *    function body, giving an instruction footprint far beyond the
+ *    L2 for the I-miss-heavy workloads;
+ *  - noise: a fraction of operations use one-shot keys, bounding the
+ *    achievable coverage like real transaction-local data does.
+ */
+
+#ifndef EBCP_TRACE_WORKLOAD_CONFIG_HH
+#define EBCP_TRACE_WORKLOAD_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/** Relative weight of each operation kind in a transaction body. */
+struct OpMix
+{
+    double chase = 1.0; //!< pointer chase (serial dependent loads)
+    double btree = 1.0; //!< index lookup (serial, top levels hot)
+    double scan = 1.0;  //!< record-page scan (independent loads)
+    double hot = 1.0;   //!< hot-structure work (on-chip hits)
+};
+
+/** All generator knobs. */
+struct WorkloadConfig
+{
+    std::string name = "synthetic";
+    std::uint64_t seed = 1;
+
+    // ---- code side -----------------------------------------------------
+    unsigned numFunctions = 2048;      //!< distinct function bodies
+    unsigned funcBytes = 4096;         //!< bytes of code per function
+    unsigned blockInsts = 12;          //!< instructions per basic block
+    double branchNoise = 0.06;         //!< fraction of random-outcome
+                                       //!< conditional branches
+    double codeHotFraction = 0.85;     //!< calls that reuse the hot
+                                       //!< function subset
+    unsigned hotFunctions = 64;        //!< size of that hot subset
+
+    // ---- data side -----------------------------------------------------
+    std::uint64_t heapLines = 8u << 20; //!< data footprint in lines
+    unsigned numChains = 16384;        //!< key space (chain heads)
+    unsigned chaseLenMin = 2;          //!< hops per pointer chase
+    unsigned chaseLenMax = 5;
+    unsigned scanLinesMin = 2;         //!< lines per record-page scan
+    unsigned scanLinesMax = 6;
+    unsigned btreeLevels = 3;          //!< serial levels below the root
+    double zipfSkew = 0.75;            //!< key popularity skew
+    double coldKeyFraction = 0.25;     //!< one-shot (unlearnable) ops
+    double jitterProb = 0.15;          //!< per-op chance of an injected
+                                       //!< interrupt (a one-shot access
+                                       //!< at a *random position*,
+                                       //!< shifting successor
+                                       //!< distances like lock retries
+                                       //!< and interrupts do)
+    double storeFraction = 0.30;       //!< ops that also write a line
+    double depBranchProb = 0.15;       //!< branch fed by a chase load
+
+    // ---- transaction shape ----------------------------------------------
+    unsigned txnTypes = 16;
+    unsigned opsPerTxnMin = 4;
+    unsigned opsPerTxnMax = 10;
+    OpMix mix;
+    unsigned fillerInstsMin = 20;  //!< ALU work between data accesses
+    unsigned fillerInstsMax = 60;
+    unsigned serializeEvery = 50000; //!< ~insts between serializers
+
+    // ---- layout --------------------------------------------------------
+    Addr codeBase = 0x0000'4000'0000ULL;
+    Addr heapBase = 0x0010'0000'0000ULL;
+    Addr hotBase = 0x0008'0000'0000ULL;
+    std::uint64_t hotBytes = 192 * KiB; //!< hot data (fits in L2)
+};
+
+} // namespace ebcp
+
+#endif // EBCP_TRACE_WORKLOAD_CONFIG_HH

@@ -1,0 +1,146 @@
+#include "trace/workloads.hh"
+
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+WorkloadConfig
+databaseConfig(std::uint64_t seed)
+{
+    WorkloadConfig c;
+    c.name = "database";
+    c.seed = seed;
+    // Data-miss dominated: scans (bursty MLP) over a very large
+    // record heap, plus index chases; overall MLP ~1.8.
+    c.txnTypes = 8;
+    c.numFunctions = 2048;
+    c.hotFunctions = 40;
+    c.codeHotFraction = 0.952;
+    c.heapLines = 8u << 20;         // 512MB of records
+    c.numChains = 1536;
+    c.chaseLenMin = 3;
+    c.chaseLenMax = 5;
+    c.scanLinesMin = 3;
+    c.scanLinesMax = 5;
+    c.zipfSkew = 0.35;
+    c.coldKeyFraction = 0.04;
+    c.mix = {0.6, 0.5, 1.5, 0.8};
+    c.opsPerTxnMin = 5;
+    c.opsPerTxnMax = 10;
+    c.fillerInstsMin = 65;
+    c.fillerInstsMax = 130;
+    return c;
+}
+
+WorkloadConfig
+tpcwConfig(std::uint64_t seed)
+{
+    WorkloadConfig c;
+    c.name = "tpcw";
+    c.seed = seed;
+    // Web-tier: large code paths, light data traffic, low MLP.
+    c.txnTypes = 8;
+    c.numFunctions = 3072;
+    c.hotFunctions = 32;
+    c.codeHotFraction = 0.976;
+    c.heapLines = 4u << 20;
+    c.numChains = 2048;
+    c.chaseLenMin = 1;
+    c.chaseLenMax = 3;
+    c.scanLinesMin = 2;
+    c.scanLinesMax = 3;
+    c.zipfSkew = 0.40;
+    c.coldKeyFraction = 0.04;
+    c.mix = {0.8, 0.4, 0.45, 2.8};
+    c.opsPerTxnMin = 5;
+    c.opsPerTxnMax = 10;
+    c.fillerInstsMin = 70;
+    c.fillerInstsMax = 140;
+    return c;
+}
+
+WorkloadConfig
+specjbbConfig(std::uint64_t seed)
+{
+    WorkloadConfig c;
+    c.name = "specjbb";
+    c.seed = seed;
+    // Middle-tier Java: small, hot code; object-graph chases plus
+    // allocation-style scans; medium MLP.
+    c.txnTypes = 8;
+    c.numFunctions = 512;
+    c.hotFunctions = 64;
+    c.codeHotFraction = 0.990;
+    c.heapLines = 6u << 20;
+    c.numChains = 1280;
+    c.chaseLenMin = 3;
+    c.chaseLenMax = 5;
+    c.scanLinesMin = 4;
+    c.scanLinesMax = 6;
+    c.zipfSkew = 0.35;
+    c.coldKeyFraction = 0.04;
+    c.mix = {0.8, 0.3, 1.0, 1.2};
+    c.opsPerTxnMin = 5;
+    c.opsPerTxnMax = 10;
+    c.fillerInstsMin = 62;
+    c.fillerInstsMax = 128;
+    return c;
+}
+
+WorkloadConfig
+specjasConfig(std::uint64_t seed)
+{
+    WorkloadConfig c;
+    c.name = "specjas";
+    c.seed = seed;
+    // Application server: the largest instruction working set in the
+    // suite, moderate data misses, low MLP.
+    c.txnTypes = 8;
+    c.numFunctions = 4096;
+    c.hotFunctions = 32;
+    c.codeHotFraction = 0.948;
+    c.heapLines = 5u << 20;
+    c.numChains = 2048;
+    c.chaseLenMin = 1;
+    c.chaseLenMax = 3;
+    c.scanLinesMin = 2;
+    c.scanLinesMax = 4;
+    c.zipfSkew = 0.40;
+    c.coldKeyFraction = 0.04;
+    c.mix = {0.9, 0.5, 0.6, 1.3};
+    c.opsPerTxnMin = 5;
+    c.opsPerTxnMax = 10;
+    c.fillerInstsMin = 42;
+    c.fillerInstsMax = 92;
+    return c;
+}
+
+WorkloadConfig
+workloadByName(const std::string &name, std::uint64_t seed)
+{
+    if (name == "database")
+        return databaseConfig(seed ? seed : 1);
+    if (name == "tpcw")
+        return tpcwConfig(seed ? seed : 2);
+    if (name == "specjbb")
+        return specjbbConfig(seed ? seed : 3);
+    if (name == "specjas")
+        return specjasConfig(seed ? seed : 4);
+    fatal("unknown workload '", name,
+          "' (expected database/tpcw/specjbb/specjas)");
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"database", "tpcw", "specjbb", "specjas"};
+}
+
+std::unique_ptr<SyntheticWorkload>
+makeWorkload(const std::string &name, std::uint64_t seed)
+{
+    return std::make_unique<SyntheticWorkload>(workloadByName(name, seed));
+}
+
+} // namespace ebcp

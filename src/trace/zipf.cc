@@ -1,0 +1,34 @@
+#include "trace/zipf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+ZipfSampler::ZipfSampler(std::uint32_t n, double skew)
+{
+    fatal_if(n == 0, "ZipfSampler over an empty range");
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+        cdf_[i] = sum;
+    }
+    for (double &v : cdf_)
+        v /= sum;
+}
+
+std::uint32_t
+ZipfSampler::sample(Pcg32 &rng) const
+{
+    const double u = rng.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        --it;
+    return static_cast<std::uint32_t>(it - cdf_.begin());
+}
+
+} // namespace ebcp

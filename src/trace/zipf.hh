@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Bounded Zipf-distributed key sampling (transaction key popularity).
+ */
+
+#ifndef EBCP_TRACE_ZIPF_HH
+#define EBCP_TRACE_ZIPF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace ebcp
+{
+
+/**
+ * Samples integers in [0, n) with probability proportional to
+ * 1 / (i+1)^skew, via a precomputed CDF and binary search.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint32_t n, double skew);
+
+    /** Draw one key using @p rng. */
+    std::uint32_t sample(Pcg32 &rng) const;
+
+    std::uint32_t range() const
+    {
+        return static_cast<std::uint32_t>(cdf_.size());
+    }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace ebcp
+
+#endif // EBCP_TRACE_ZIPF_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Bit manipulation helpers used by caches, predictors and tables.
+ */
+
+#ifndef EBCP_UTIL_BITFIELD_HH
+#define EBCP_UTIL_BITFIELD_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/** @return true if @p v is a (nonzero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** @return floor(log2(v)); v must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** @return ceil(log2(v)); v must be nonzero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOf2(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Align @p a down to a multiple of @p align (a power of two). */
+constexpr Addr
+alignDown(Addr a, std::uint64_t align)
+{
+    return a & ~(align - 1);
+}
+
+/** Align @p a up to a multiple of @p align (a power of two). */
+constexpr Addr
+alignUp(Addr a, std::uint64_t align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+/** Extract bits [first, last] (inclusive, last >= first) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned last, unsigned first)
+{
+    const std::uint64_t mask =
+        (last - first >= 63) ? ~std::uint64_t{0}
+                             : ((std::uint64_t{1} << (last - first + 1)) - 1);
+    return (v >> first) & mask;
+}
+
+/**
+ * Mix the bits of a 64-bit value; used to index hashed tables so that
+ * regular address strides do not map to conflicting entries.
+ * (SplitMix64 finalizer.)
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace ebcp
+
+#endif // EBCP_UTIL_BITFIELD_HH

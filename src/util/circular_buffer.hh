@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fixed-capacity circular buffer.
+ *
+ * Used for the EMAB (Section 3.4.2), the GHB, and several small
+ * hardware queues where the oldest element is overwritten when the
+ * structure is full -- exactly the behaviour a hardware circular
+ * buffer exhibits.
+ */
+
+#ifndef EBCP_UTIL_CIRCULAR_BUFFER_HH
+#define EBCP_UTIL_CIRCULAR_BUFFER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+/**
+ * A circular buffer holding up to @c capacity elements; pushing into a
+ * full buffer silently drops the oldest element.
+ */
+template <typename T>
+class CircularBuffer
+{
+  public:
+    explicit CircularBuffer(std::size_t capacity)
+        : data_(capacity), capacity_(capacity)
+    {
+        panic_if(capacity == 0, "CircularBuffer capacity must be > 0");
+    }
+
+    /** Append @p v, evicting the oldest element if full. */
+    void
+    push(const T &v)
+    {
+        data_[(head_ + size_) % capacity_] = v;
+        if (size_ == capacity_)
+            head_ = (head_ + 1) % capacity_;
+        else
+            ++size_;
+    }
+
+    /** Remove and return the oldest element. */
+    T
+    pop()
+    {
+        panic_if(size_ == 0, "pop from empty CircularBuffer");
+        T v = data_[head_];
+        head_ = (head_ + 1) % capacity_;
+        --size_;
+        return v;
+    }
+
+    /** @return element @p i, 0 = oldest, size()-1 = newest. */
+    const T &
+    at(std::size_t i) const
+    {
+        panic_if(i >= size_, "CircularBuffer index out of range");
+        return data_[(head_ + i) % capacity_];
+    }
+
+    T &
+    at(std::size_t i)
+    {
+        panic_if(i >= size_, "CircularBuffer index out of range");
+        return data_[(head_ + i) % capacity_];
+    }
+
+    /** @return the newest element. */
+    const T &back() const { return at(size_ - 1); }
+    T &back() { return at(size_ - 1); }
+
+    /** @return the oldest element. */
+    const T &front() const { return at(0); }
+    T &front() { return at(0); }
+
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return capacity_; }
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == capacity_; }
+
+    /** Drop all contents. */
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    std::vector<T> data_;
+    std::size_t capacity_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace ebcp
+
+#endif // EBCP_UTIL_CIRCULAR_BUFFER_HH

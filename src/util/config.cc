@@ -1,0 +1,84 @@
+#include "util/config.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace ebcp
+{
+
+ConfigStore
+ConfigStore::fromArgs(int argc, char **argv)
+{
+    ConfigStore cs;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg(argv[i]);
+        auto eq = arg.find('=');
+        if (eq == std::string::npos || eq == 0)
+            continue;
+        cs.set(trim(arg.substr(0, eq)), trim(arg.substr(eq + 1)));
+    }
+    return cs;
+}
+
+void
+ConfigStore::set(const std::string &key, const std::string &value)
+{
+    entries_[key] = value;
+}
+
+bool
+ConfigStore::has(const std::string &key) const
+{
+    return entries_.count(key) != 0;
+}
+
+std::string
+ConfigStore::getString(const std::string &key, const std::string &def) const
+{
+    auto it = entries_.find(key);
+    return it == entries_.end() ? def : it->second;
+}
+
+std::uint64_t
+ConfigStore::getU64(const std::string &key, std::uint64_t def) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return def;
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
+    fatal_if(end == it->second.c_str() || *end != '\0',
+             "config key '", key, "' is not an integer: ", it->second);
+    return v;
+}
+
+double
+ConfigStore::getDouble(const std::string &key, double def) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    fatal_if(end == it->second.c_str() || *end != '\0',
+             "config key '", key, "' is not a number: ", it->second);
+    return v;
+}
+
+bool
+ConfigStore::getBool(const std::string &key, bool def) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return def;
+    std::string v = toLower(it->second);
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    fatal("config key '", key, "' is not a boolean: ", it->second);
+}
+
+} // namespace ebcp

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A tiny typed key=value configuration store.
+ *
+ * Examples and benches accept "key=value" command-line overrides; this
+ * store parses them and hands out typed values with defaults, so that
+ * configuration plumbing does not clutter experiment code.
+ */
+
+#ifndef EBCP_UTIL_CONFIG_HH
+#define EBCP_UTIL_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ebcp
+{
+
+/** String-keyed configuration with typed accessors. */
+class ConfigStore
+{
+  public:
+    ConfigStore() = default;
+
+    /** Parse argv-style "key=value" tokens; ignores non-matching args. */
+    static ConfigStore fromArgs(int argc, char **argv);
+
+    /** Set (or overwrite) a key. */
+    void set(const std::string &key, const std::string &value);
+
+    /** @return true if @p key is present. */
+    bool has(const std::string &key) const;
+
+    /** Typed getters; fatal() on malformed values. */
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    std::uint64_t getU64(const std::string &key, std::uint64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    /** Access to all keys, for echoing effective configuration. */
+    const std::map<std::string, std::string> &entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    std::map<std::string, std::string> entries_;
+};
+
+} // namespace ebcp
+
+#endif // EBCP_UTIL_CONFIG_HH

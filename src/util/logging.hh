@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Error and status reporting, modeled on gem5's logging.hh.
+ *
+ * panic()  - an internal invariant was violated (simulator bug);
+ *            aborts so a debugger / core dump can capture state.
+ * fatal()  - the user asked for something impossible (bad config);
+ *            exits with an error code.
+ * warn()   - something is approximated or suspicious but simulation
+ *            can continue.
+ * inform() - plain status output.
+ */
+
+#ifndef EBCP_UTIL_LOGGING_HH
+#define EBCP_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace ebcp
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Build a message from stream-style arguments. */
+template <typename... Args>
+std::string
+logFormat(Args &&...args)
+{
+    std::ostringstream os;
+    // void-cast so the empty pack (a bare `os;` statement) is silent.
+    static_cast<void>((os << ... << args));
+    return os.str();
+}
+
+} // namespace ebcp
+
+#define panic(...) \
+    ::ebcp::panicImpl(__FILE__, __LINE__, ::ebcp::logFormat(__VA_ARGS__))
+
+#define fatal(...) \
+    ::ebcp::fatalImpl(__FILE__, __LINE__, ::ebcp::logFormat(__VA_ARGS__))
+
+#define warn(...) ::ebcp::warnImpl(::ebcp::logFormat(__VA_ARGS__))
+
+#define inform(...) ::ebcp::informImpl(::ebcp::logFormat(__VA_ARGS__))
+
+/** panic() unless the stated invariant holds. */
+#define panic_if(cond, ...)                                          \
+    do {                                                             \
+        if (cond)                                                    \
+            panic("panic condition '" #cond "' met: ", __VA_ARGS__); \
+    } while (0)
+
+/** fatal() unless the stated user-facing requirement holds. */
+#define fatal_if(cond, ...)                                          \
+    do {                                                             \
+        if (cond)                                                    \
+            fatal("fatal condition '" #cond "' met: ", __VA_ARGS__); \
+    } while (0)
+
+#endif // EBCP_UTIL_LOGGING_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * PCG32 (O'Neill): small state, excellent statistical quality, and --
+ * crucially for reproducible experiments -- identical streams on every
+ * platform for a given seed, unlike std::default_random_engine.
+ */
+
+#ifndef EBCP_UTIL_RANDOM_HH
+#define EBCP_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+/** PCG32 pseudo-random generator. */
+class Pcg32
+{
+  public:
+    explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                   std::uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        reseed(seed, stream);
+    }
+
+    /** Reset to a deterministic state derived from @p seed. */
+    void
+    reseed(std::uint64_t seed, std::uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        state_ = 0;
+        inc_ = (stream << 1) | 1;
+        next();
+        state_ += seed;
+        next();
+    }
+
+    /** @return the next 32 uniformly distributed bits. */
+    std::uint32_t
+    next()
+    {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        std::uint32_t xorshifted =
+            static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+        std::uint32_t rot = static_cast<std::uint32_t>(old >> 59);
+        return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+    }
+
+    /** @return 64 uniformly distributed bits. */
+    std::uint64_t
+    next64()
+    {
+        return (static_cast<std::uint64_t>(next()) << 32) | next();
+    }
+
+    /** @return a uniform integer in [0, bound); bound must be > 0. */
+    std::uint32_t
+    below(std::uint32_t bound)
+    {
+        panic_if(bound == 0, "Pcg32::below(0)");
+        // Lemire's unbiased bounded generation.
+        std::uint64_t m = std::uint64_t{next()} * bound;
+        std::uint32_t l = static_cast<std::uint32_t>(m);
+        if (l < bound) {
+            std::uint32_t t = -bound % bound;
+            while (l < t) {
+                m = std::uint64_t{next()} * bound;
+                l = static_cast<std::uint32_t>(m);
+            }
+        }
+        return static_cast<std::uint32_t>(m >> 32);
+    }
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    std::uint32_t
+    range(std::uint32_t lo, std::uint32_t hi)
+    {
+        panic_if(hi < lo, "Pcg32::range with hi < lo");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return next() * (1.0 / 4294967296.0);
+    }
+
+    /** @return true with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    std::uint64_t state_ = 0;
+    std::uint64_t inc_ = 0;
+};
+
+} // namespace ebcp
+
+#endif // EBCP_UTIL_RANDOM_HH

@@ -1,0 +1,77 @@
+#include "util/str.hh"
+
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == sep) {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::string
+toLower(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::string
+fmtDouble(double v, int prec)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(prec);
+    os << v;
+    return os.str();
+}
+
+std::string
+fmtSize(std::uint64_t bytes)
+{
+    std::ostringstream os;
+    if (bytes >= GiB && bytes % GiB == 0)
+        os << bytes / GiB << "GB";
+    else if (bytes >= MiB && bytes % MiB == 0)
+        os << bytes / MiB << "MB";
+    else if (bytes >= KiB && bytes % KiB == 0)
+        os << bytes / KiB << "KB";
+    else
+        os << bytes << "B";
+    return os.str();
+}
+
+} // namespace ebcp

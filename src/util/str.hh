@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Small string helpers shared by the config store and table printers.
+ */
+
+#ifndef EBCP_UTIL_STR_HH
+#define EBCP_UTIL_STR_HH
+
+#include <string>
+#include <vector>
+
+namespace ebcp
+{
+
+/** Split @p s on @p sep, dropping empty fields. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** Lower-case an ASCII string. */
+std::string toLower(const std::string &s);
+
+/** Format a double with @p prec digits after the decimal point. */
+std::string fmtDouble(double v, int prec = 2);
+
+/** Format bytes as a human-readable size ("64B", "2MB", "64MB"). */
+std::string fmtSize(std::uint64_t bytes);
+
+} // namespace ebcp
+
+#endif // EBCP_UTIL_STR_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ *
+ * The conventions follow common architecture-simulator practice: a
+ * Tick is one core clock cycle at the configured core frequency, and
+ * an Addr is a physical byte address (the prefetchers in this project
+ * operate purely on physical addresses, per Section 3.4.1 of the
+ * paper).
+ */
+
+#ifndef EBCP_UTIL_TYPES_HH
+#define EBCP_UTIL_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace ebcp
+{
+
+/** Simulated time in core clock cycles. */
+using Tick = std::uint64_t;
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Instruction sequence number within a run. */
+using InstSeqNum = std::uint64_t;
+
+/** Monotonically increasing epoch identifier. */
+using EpochId = std::uint64_t;
+
+/** A tick value meaning "never" / "not scheduled". */
+constexpr Tick MaxTick = std::numeric_limits<Tick>::max();
+
+/** An address value meaning "invalid / no address". */
+constexpr Addr InvalidAddr = std::numeric_limits<Addr>::max();
+
+/** Bytes per kilobyte/megabyte, for readable config code. */
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * KiB;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+} // namespace ebcp
+
+#endif // EBCP_UTIL_TYPES_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the gshare + BTB + RAS branch predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/branch_predictor.hh"
+
+using namespace ebcp;
+
+TEST(BranchPredictorTest, LearnsAlwaysTakenBranch)
+{
+    BranchPredictor bp;
+    // Warm up: global history shifts the gshare index until it
+    // saturates (16 history bits), so each touched counter needs two
+    // taken outcomes before the prediction settles.
+    for (int i = 0; i < 64; ++i)
+        bp.predict(0x1000, OpClass::Branch, true, 0x2000);
+    std::uint64_t before = bp.mispredicts();
+    for (int i = 0; i < 100; ++i)
+        bp.predict(0x1000, OpClass::Branch, true, 0x2000);
+    EXPECT_EQ(bp.mispredicts(), before);
+}
+
+TEST(BranchPredictorTest, LearnsAlwaysNotTaken)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 64; ++i)
+        bp.predict(0x1000, OpClass::Branch, false, 0x2000);
+    std::uint64_t before = bp.mispredicts();
+    for (int i = 0; i < 100; ++i)
+        bp.predict(0x1000, OpClass::Branch, false, 0x2000);
+    EXPECT_EQ(bp.mispredicts(), before);
+}
+
+TEST(BranchPredictorTest, AlternatingPatternLearnedViaHistory)
+{
+    BranchPredictor bp;
+    // gshare should capture a strict T/NT alternation once history
+    // differentiates the two contexts.
+    bool taken = false;
+    for (int i = 0; i < 64; ++i) {
+        bp.predict(0x1000, OpClass::Branch, taken, 0x2000);
+        taken = !taken;
+    }
+    std::uint64_t before = bp.mispredicts();
+    for (int i = 0; i < 200; ++i) {
+        bp.predict(0x1000, OpClass::Branch, taken, 0x2000);
+        taken = !taken;
+    }
+    EXPECT_LE(bp.mispredicts() - before, 4u);
+}
+
+TEST(BranchPredictorTest, BtbMissOnFirstTakenEncounter)
+{
+    BranchPredictor bp;
+    // Even a predicted-taken branch redirects if the BTB lacks the
+    // target; the very first encounter is counter-state dependent,
+    // so drive the counter to taken first.
+    bp.predict(0x1000, OpClass::Branch, true, 0x2000);
+    bp.predict(0x1000, OpClass::Branch, true, 0x2000);
+    std::uint64_t misses = bp.mispredicts();
+    EXPECT_GE(misses, 1u); // at least the initial not-taken counters
+}
+
+TEST(BranchPredictorTest, TargetChangeCausesMispredict)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 8; ++i)
+        bp.predict(0x1000, OpClass::Branch, true, 0x2000);
+    std::uint64_t before = bp.mispredicts();
+    bp.predict(0x1000, OpClass::Branch, true, 0x3000);
+    EXPECT_EQ(bp.mispredicts(), before + 1);
+}
+
+TEST(BranchPredictorTest, RasPredictsMatchedCallReturn)
+{
+    BranchPredictor bp;
+    // call at 0x1000 pushes 0x1004; return to 0x1004 is predicted.
+    bp.predict(0x1000, OpClass::Call, true, 0x8000);
+    std::uint64_t before = bp.mispredicts();
+    bool ok = bp.predict(0x8100, OpClass::Return, true, 0x1004);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(bp.mispredicts(), before);
+}
+
+TEST(BranchPredictorTest, RasHandlesNesting)
+{
+    BranchPredictor bp;
+    bp.predict(0x1000, OpClass::Call, true, 0x8000);
+    bp.predict(0x2000, OpClass::Call, true, 0x9000);
+    EXPECT_TRUE(bp.predict(0x9100, OpClass::Return, true, 0x2004));
+    EXPECT_TRUE(bp.predict(0x8100, OpClass::Return, true, 0x1004));
+}
+
+TEST(BranchPredictorTest, MismatchedReturnMispredicts)
+{
+    BranchPredictor bp;
+    bp.predict(0x1000, OpClass::Call, true, 0x8000);
+    std::uint64_t before = bp.mispredicts();
+    EXPECT_FALSE(bp.predict(0x8100, OpClass::Return, true, 0xdead));
+    EXPECT_EQ(bp.mispredicts(), before + 1);
+}
+
+TEST(BranchPredictorTest, ResetForgets)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 8; ++i)
+        bp.predict(0x1000, OpClass::Branch, true, 0x2000);
+    bp.reset();
+    // Counters back to weakly-not-taken: a taken branch mispredicts.
+    std::uint64_t before = bp.mispredicts();
+    bp.predict(0x1000, OpClass::Branch, true, 0x2000);
+    EXPECT_EQ(bp.mispredicts(), before + 1);
+}
+
+TEST(BranchPredictorTest, LookupsCounted)
+{
+    BranchPredictor bp;
+    bp.predict(0x1000, OpClass::Branch, true, 0x2000);
+    bp.predict(0x1000, OpClass::Call, true, 0x2000);
+    EXPECT_EQ(bp.lookups(), 2u);
+}

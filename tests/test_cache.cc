@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Unit tests for the cache library: tag array semantics, replacement,
+ * the Cache wrapper and configuration validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/cache_config.hh"
+#include "cache/tag_array.hh"
+
+using namespace ebcp;
+
+namespace
+{
+
+CacheConfig
+smallCache()
+{
+    CacheConfig c;
+    c.name = "t";
+    c.sizeBytes = 4 * KiB; // 16 sets x 4 ways x 64B
+    c.ways = 4;
+    c.lineBytes = 64;
+    c.hitLatency = 3;
+    return c;
+}
+
+} // namespace
+
+TEST(TagArrayTest, MissThenHitAfterInsert)
+{
+    TagArray t(16, 4, 64);
+    EXPECT_FALSE(t.access(0x1000, false));
+    t.insert(0x1000);
+    EXPECT_TRUE(t.access(0x1000, false));
+}
+
+TEST(TagArrayTest, SameLineDifferentOffsetsHit)
+{
+    TagArray t(16, 4, 64);
+    t.insert(0x1000);
+    EXPECT_TRUE(t.access(0x103f, false));
+    EXPECT_FALSE(t.access(0x1040, false));
+}
+
+TEST(TagArrayTest, LruEvictsLeastRecentlyUsed)
+{
+    TagArray t(1, 2, 64); // one set, two ways
+    t.insert(0x0);
+    t.insert(0x40);
+    t.access(0x0, false); // make 0x0 MRU
+    Eviction ev = t.insert(0x80);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, 0x40u);
+    EXPECT_TRUE(t.contains(0x0));
+    EXPECT_FALSE(t.contains(0x40));
+}
+
+TEST(TagArrayTest, InsertPrefersInvalidWays)
+{
+    TagArray t(1, 4, 64);
+    t.insert(0x0);
+    Eviction ev = t.insert(0x40);
+    EXPECT_FALSE(ev.valid);
+}
+
+TEST(TagArrayTest, DirtyBitTracksWrites)
+{
+    TagArray t(1, 1, 64);
+    t.insert(0x0);
+    t.access(0x0, true);
+    Eviction ev = t.insert(0x40);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.dirty);
+}
+
+TEST(TagArrayTest, InsertDirtyFlag)
+{
+    TagArray t(1, 1, 64);
+    t.insert(0x0, true);
+    Eviction ev = t.insert(0x40);
+    EXPECT_TRUE(ev.dirty);
+}
+
+TEST(TagArrayTest, ReinsertRefreshesNotEvicts)
+{
+    TagArray t(1, 2, 64);
+    t.insert(0x0);
+    t.insert(0x40);
+    Eviction ev = t.insert(0x0); // already present
+    EXPECT_FALSE(ev.valid);
+    EXPECT_TRUE(t.contains(0x40));
+}
+
+TEST(TagArrayTest, InvalidateRemovesLine)
+{
+    TagArray t(16, 4, 64);
+    t.insert(0x1000);
+    EXPECT_TRUE(t.invalidate(0x1000));
+    EXPECT_FALSE(t.contains(0x1000));
+    EXPECT_FALSE(t.invalidate(0x1000));
+}
+
+TEST(TagArrayTest, ResetClearsEverything)
+{
+    TagArray t(16, 4, 64);
+    t.insert(0x1000);
+    t.insert(0x2000);
+    t.reset();
+    EXPECT_EQ(t.validCount(), 0u);
+}
+
+TEST(TagArrayTest, SetIndexMapsBySetBits)
+{
+    TagArray t(16, 4, 64);
+    EXPECT_EQ(t.setIndex(0x0), 0u);
+    EXPECT_EQ(t.setIndex(0x40), 1u);
+    EXPECT_EQ(t.setIndex(0x40 * 16), 0u); // wraps
+}
+
+TEST(TagArrayTest, ConflictsOnlyWithinSet)
+{
+    TagArray t(2, 1, 64); // 2 sets, direct-mapped
+    t.insert(0x0);   // set 0
+    t.insert(0x40);  // set 1
+    EXPECT_TRUE(t.contains(0x0));
+    EXPECT_TRUE(t.contains(0x40));
+    t.insert(0x80);  // set 0 again: evicts 0x0 only
+    EXPECT_FALSE(t.contains(0x0));
+    EXPECT_TRUE(t.contains(0x40));
+}
+
+TEST(TagArrayTest, RandomPolicyStillEvictsSomething)
+{
+    TagArray t(1, 2, 64, ReplPolicy::Random);
+    t.insert(0x0);
+    t.insert(0x40);
+    Eviction ev = t.insert(0x80);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_EQ(t.validCount(), 2u);
+}
+
+TEST(CacheTest, HitMissCounters)
+{
+    Cache c(smallCache());
+    c.access(0x1000, false);
+    c.fill(0x1000);
+    c.access(0x1000, false);
+    c.access(0x1000, false);
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(CacheTest, AccessDoesNotAllocate)
+{
+    Cache c(smallCache());
+    c.access(0x1000, false);
+    EXPECT_FALSE(c.contains(0x1000));
+}
+
+TEST(CacheTest, FillEvictionReporting)
+{
+    CacheConfig cfg = smallCache();
+    cfg.sizeBytes = 128; // 1 set, 2 ways... 128/(4*64) < 1
+    cfg.ways = 2;
+    // 128B / (2 ways * 64B) = 1 set.
+    Cache c(cfg);
+    c.fill(0x0, true);
+    c.fill(0x40 * 16, false);
+    Eviction ev = c.fill(0x40 * 32, false);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.dirty); // LRU victim was the dirty first fill
+}
+
+TEST(CacheTest, FlushEmpties)
+{
+    Cache c(smallCache());
+    c.fill(0x1000);
+    c.flush();
+    EXPECT_FALSE(c.contains(0x1000));
+}
+
+TEST(CacheTest, LineAddrHelper)
+{
+    Cache c(smallCache());
+    EXPECT_EQ(c.lineAddr(0x1039), 0x1000u);
+}
+
+TEST(CacheConfigTest, SetsComputation)
+{
+    CacheConfig c;
+    c.sizeBytes = 32 * KiB;
+    c.ways = 4;
+    c.lineBytes = 64;
+    EXPECT_EQ(c.sets(), 128u);
+}
+
+TEST(CacheConfigTest, PaperGeometries)
+{
+    // The paper's L1: 32KB/4-way/64B; L2: 2MB/4-way/64B.
+    CacheConfig l1;
+    l1.sizeBytes = 32 * KiB;
+    l1.ways = 4;
+    EXPECT_EQ(l1.sets(), 128u);
+
+    CacheConfig l2;
+    l2.sizeBytes = 2 * MiB;
+    l2.ways = 4;
+    EXPECT_EQ(l2.sets(), 8192u);
+}
+
+using CacheGeometryTest = ::testing::TestWithParam<unsigned>;
+
+TEST_P(CacheGeometryTest, FillUpToCapacityNoEviction)
+{
+    const unsigned ways = GetParam();
+    CacheConfig cfg;
+    cfg.name = "p";
+    cfg.lineBytes = 64;
+    cfg.ways = ways;
+    cfg.sizeBytes = std::uint64_t{16} * ways * 64; // 16 sets
+    Cache c(cfg);
+    // Fill exactly to capacity: no valid line may be displaced.
+    for (unsigned s = 0; s < 16; ++s) {
+        for (unsigned w = 0; w < ways; ++w) {
+            Addr a = (static_cast<Addr>(w) * 16 + s) * 64;
+            Eviction ev = c.fill(a);
+            EXPECT_FALSE(ev.valid);
+        }
+    }
+    // One more line per set must now evict.
+    Eviction ev = c.fill(static_cast<Addr>(ways) * 16 * 64);
+    EXPECT_TRUE(ev.valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(Associativities, CacheGeometryTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Calibration regression tests: the four workloads must keep their
+ * Table 1 signatures (within generous bands, so legitimate generator
+ * tweaks don't trip them, but a broken calibration does).
+ *
+ * Windows are shorter than the bench defaults to keep the suite fast,
+ * so bands account for the colder caches of a 1M-instruction warm-up.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/simulator.hh"
+#include "trace/workloads.hh"
+
+using namespace ebcp;
+
+namespace
+{
+
+const SimResults &
+baselineOf(const std::string &w)
+{
+    static std::map<std::string, SimResults> cache;
+    auto it = cache.find(w);
+    if (it == cache.end()) {
+        SimConfig cfg;
+        PrefetcherParams p;
+        p.name = "null";
+        auto src = makeWorkload(w);
+        it = cache.emplace(w, runOnce(cfg, p, *src, 1'000'000,
+                                      2'000'000))
+                 .first;
+    }
+    return it->second;
+}
+
+} // namespace
+
+TEST(Calibration, DatabaseSignature)
+{
+    const SimResults &r = baselineOf("database");
+    EXPECT_GT(r.cpi, 2.5);
+    EXPECT_LT(r.cpi, 6.0);
+    EXPECT_GT(r.epochsPer1k, 3.0);
+    EXPECT_LT(r.epochsPer1k, 9.0);
+    EXPECT_GT(r.l2LoadMissPer1k, 4.0);
+    EXPECT_LT(r.l2LoadMissPer1k, 12.0);
+    EXPECT_GT(r.l2InstMissPer1k, 0.4);
+    EXPECT_LT(r.l2InstMissPer1k, 3.0);
+}
+
+TEST(Calibration, TpcwIsLightest)
+{
+    const SimResults &tpcw = baselineOf("tpcw");
+    for (const char *other : {"database", "specjbb", "specjas"}) {
+        const SimResults &o = baselineOf(other);
+        EXPECT_LT(tpcw.epochsPer1k, o.epochsPer1k) << other;
+        EXPECT_LT(tpcw.l2LoadMissPer1k + tpcw.l2InstMissPer1k,
+                  o.l2LoadMissPer1k + o.l2InstMissPer1k)
+            << other;
+    }
+}
+
+TEST(Calibration, SpecjbbHasTinyInstructionFootprint)
+{
+    const SimResults &jbb = baselineOf("specjbb");
+    EXPECT_LT(jbb.l2InstMissPer1k, 0.5);
+    for (const char *other : {"database", "tpcw", "specjas"})
+        EXPECT_LT(jbb.l2InstMissPer1k,
+                  baselineOf(other).l2InstMissPer1k)
+            << other;
+}
+
+TEST(Calibration, SpecjasHasTheLargestInstructionFootprint)
+{
+    const SimResults &jas = baselineOf("specjas");
+    for (const char *other : {"database", "tpcw", "specjbb"})
+        EXPECT_GT(jas.l2InstMissPer1k,
+                  baselineOf(other).l2InstMissPer1k)
+            << other;
+}
+
+TEST(Calibration, DatabaseIsMostDataMissIntensive)
+{
+    const SimResults &db = baselineOf("database");
+    for (const char *other : {"tpcw", "specjas"})
+        EXPECT_GT(db.l2LoadMissPer1k,
+                  baselineOf(other).l2LoadMissPer1k)
+            << other;
+}
+
+TEST(Calibration, MlpBandsMatchTable1)
+{
+    // Misses-per-epoch (MLP) signature: database and specjbb medium,
+    // tpcw and specjas low (Table 1's epoch/miss ratios).
+    auto mlp = [](const SimResults &r) {
+        return (r.l2LoadMissPer1k + r.l2InstMissPer1k) / r.epochsPer1k;
+    };
+    EXPECT_GT(mlp(baselineOf("database")), 1.2);
+    EXPECT_GT(mlp(baselineOf("specjbb")), 1.2);
+    EXPECT_LT(mlp(baselineOf("tpcw")), 1.5);
+    EXPECT_LT(mlp(baselineOf("specjas")), 1.45);
+}
+
+TEST(Calibration, OffChipCpiShareIsCommercial)
+{
+    // The paper's premise: a large fraction of execution time is
+    // off-chip. Check the epoch-model share on the heaviest workload.
+    const SimResults &db = baselineOf("database");
+    const double offchip_cpi = db.epochsPer1k / 1000.0 * 500.0;
+    EXPECT_GT(offchip_cpi / db.cpi, 0.35);
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Property-style sweeps over the bandwidth channel and memory system:
+ * conservation and priority invariants that must hold for any
+ * bandwidth, request mix, or arrival pattern.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/main_memory.hh"
+#include "util/random.hh"
+
+using namespace ebcp;
+
+class ChannelPropertyTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ChannelPropertyTest, GrantsNeverPrecedeRequests)
+{
+    Channel c("c", GetParam(), 5000);
+    Pcg32 rng(1);
+    Tick when = 0;
+    for (int i = 0; i < 2000; ++i) {
+        when += rng.below(50);
+        MemPriority pri = rng.chance(0.5) ? MemPriority::Demand
+                                          : MemPriority::Low;
+        MemAccessResult r = c.request(when, pri, 64);
+        if (!r.dropped) {
+            EXPECT_GE(r.grant, when);
+        }
+    }
+}
+
+TEST_P(ChannelPropertyTest, DemandGrantsAreMonotone)
+{
+    Channel c("c", GetParam(), 5000);
+    Pcg32 rng(2);
+    Tick when = 0;
+    Tick last_grant = 0;
+    for (int i = 0; i < 2000; ++i) {
+        when += rng.below(30);
+        // Interleave low-priority noise.
+        if (rng.chance(0.4))
+            c.request(when, MemPriority::Low, 64);
+        MemAccessResult r = c.request(when, MemPriority::Demand, 64);
+        EXPECT_GE(r.grant, last_grant);
+        last_grant = r.grant;
+    }
+}
+
+TEST_P(ChannelPropertyTest, DemandNeverWaitsOnLowPriority)
+{
+    // A demand request issued when no other demand is pending must be
+    // granted immediately, regardless of low-priority backlog.
+    Channel c("c", GetParam(), 100000);
+    Pcg32 rng(3);
+    for (int i = 0; i < 500; ++i) {
+        Tick when = static_cast<Tick>(i) * 2000;
+        for (int k = 0; k < 10; ++k)
+            c.request(when, MemPriority::Low, 64);
+        MemAccessResult r = c.request(when + 1000, MemPriority::Demand,
+                                      64);
+        EXPECT_EQ(r.grant, when + 1000);
+    }
+}
+
+TEST_P(ChannelPropertyTest, BusyTimeMatchesGrantedTransfers)
+{
+    Channel c("c", GetParam(), 200);
+    Pcg32 rng(4);
+    std::uint64_t granted = 0;
+    Tick when = 0;
+    for (int i = 0; i < 1000; ++i) {
+        when += rng.below(25);
+        MemAccessResult r = c.request(
+            when,
+            rng.chance(0.3) ? MemPriority::Demand : MemPriority::Low,
+            64);
+        if (!r.dropped)
+            ++granted;
+    }
+    EXPECT_EQ(c.busyTicks(), granted * c.occupancy(64));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, ChannelPropertyTest,
+                         ::testing::Values(0.8, 1.6, 3.2, 6.4));
+
+TEST(MemoryProperties, ReadsAndWritesAreIndependentChannels)
+{
+    MemConfig cfg;
+    MainMemory mem(cfg);
+    Pcg32 rng(5);
+    // Saturating one direction must not delay the other.
+    for (int i = 0; i < 20; ++i)
+        mem.access(0, MemReqType::DemandLoad);
+    MemAccessResult w = mem.access(0, MemReqType::StoreWrite);
+    EXPECT_EQ(w.grant, 0u);
+    for (int i = 0; i < 20; ++i)
+        mem.access(1000, MemReqType::StoreWrite);
+    MemAccessResult r = mem.access(1000, MemReqType::DemandLoad);
+    EXPECT_GE(r.grant, 1000u);
+    EXPECT_LE(r.grant, 1000u + 20u * 20u); // only behind earlier reads
+}
+
+TEST(MemoryProperties, CompletionAlwaysCoversLatency)
+{
+    MemConfig cfg;
+    MainMemory mem(cfg);
+    Pcg32 rng(6);
+    Tick when = 0;
+    for (int i = 0; i < 1000; ++i) {
+        when += rng.below(100);
+        MemAccessResult r = mem.access(when, MemReqType::DemandLoad);
+        EXPECT_GE(r.complete, when + cfg.latency);
+    }
+}
+
+TEST(MemoryProperties, LoadedLatencyDegradesGracefully)
+{
+    // Heavily loaded demand traffic queues but every request is
+    // eventually serviced in bounded time (no starvation).
+    MemConfig cfg;
+    MainMemory mem(cfg);
+    Tick worst = 0;
+    for (int i = 0; i < 100; ++i) {
+        MemAccessResult r = mem.access(0, MemReqType::DemandLoad);
+        worst = std::max(worst, r.complete);
+    }
+    // 100 transfers at 20 ticks each + latency.
+    EXPECT_LE(worst, 100u * 20u + cfg.latency);
+}

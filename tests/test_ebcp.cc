@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Tests for the epoch-based correlation prefetcher control, driven
+ * through a mock engine with hand-built epoch streams -- including
+ * the paper's A..I example from Section 3.1/3.4.2.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/ebcp.hh"
+
+using namespace ebcp;
+
+namespace
+{
+
+/** Engine mock: instant table ops, records everything. */
+class MockEngine : public PrefetchEngine
+{
+  public:
+    struct Issued
+    {
+        Addr addr;
+        Tick when;
+        std::uint64_t corrIndex;
+        bool hasCorr;
+    };
+
+    std::vector<Issued> prefetches;
+    unsigned tableReads = 0;
+    unsigned tableWrites = 0;
+    Tick tableLatency = 500;
+
+    void
+    issuePrefetch(Addr a, Tick when, std::uint64_t ci, bool hc) override
+    {
+        prefetches.push_back({a, when, ci, hc});
+    }
+
+    MemAccessResult
+    tableRead(Tick when) override
+    {
+        ++tableReads;
+        return {when, when + tableLatency, false};
+    }
+
+    MemAccessResult
+    tableWrite(Tick when) override
+    {
+        ++tableWrites;
+        return {when, when + 1, false};
+    }
+
+    Tick memoryLatency() const override { return 500; }
+
+    bool
+    issuedAddr(Addr a) const
+    {
+        return std::any_of(prefetches.begin(), prefetches.end(),
+                           [a](const Issued &i) { return i.addr == a; });
+    }
+};
+
+/** Drive one off-chip miss through the prefetcher. */
+void
+miss(EpochBasedPrefetcher &p, Addr line, Tick when, Tick latency = 500)
+{
+    L2AccessInfo i;
+    i.pc = line;
+    i.lineAddr = line;
+    i.offChip = true;
+    i.when = when;
+    i.complete = when + latency;
+    p.observeAccess(i);
+}
+
+/** Drive a prefetch-buffer hit through the prefetcher. */
+void
+pfHit(EpochBasedPrefetcher &p, Addr line, Tick when)
+{
+    L2AccessInfo i;
+    i.pc = line;
+    i.lineAddr = line;
+    i.prefBufHit = true;
+    i.when = when;
+    i.complete = when + 23;
+    p.observeAccess(i);
+}
+
+/**
+ * Replay the paper's example: epochs {A,B} {C,D,E} {F,G} {H,I},
+ * spaced a full memory latency apart so each group is one epoch.
+ */
+void
+paperExample(EpochBasedPrefetcher &p, Tick base)
+{
+    miss(p, 0xA00, base + 0);
+    miss(p, 0xB00, base + 10);
+    miss(p, 0xC00, base + 600);
+    miss(p, 0xD00, base + 610);
+    miss(p, 0xE00, base + 620);
+    miss(p, 0xF00, base + 1200);
+    miss(p, 0x1000, base + 1210);
+    miss(p, 0x1100, base + 1800);
+    miss(p, 0x1200, base + 1810);
+}
+
+EbcpConfig
+smallCfg()
+{
+    EbcpConfig c;
+    c.tableEntries = 1 << 16;
+    c.prefetchDegree = 8;
+    return c;
+}
+
+} // namespace
+
+TEST(EbcpTest, TrainsEpochIKeyWithEpochsI2I3)
+{
+    MockEngine eng;
+    EpochBasedPrefetcher p(smallCfg());
+    p.setEngine(&eng);
+
+    paperExample(p, 0);
+    // Open a fifth epoch: the EMAB is full, so training for trigger A
+    // (epoch i) with payload {F,G,H,I} (epochs i+2, i+3) happens now.
+    miss(p, 0x2000, 2400);
+
+    std::vector<Addr> out;
+    ASSERT_TRUE(p.table().lookup(0xA00, out));
+    for (Addr a : {0xF00, 0x1000, 0x1100, 0x1200})
+        EXPECT_NE(std::find(out.begin(), out.end(), Addr(a)), out.end())
+            << std::hex << a;
+    // Epoch i+1's misses (C, D, E) are deliberately not stored.
+    EXPECT_EQ(std::find(out.begin(), out.end(), Addr(0xC00)), out.end());
+    EXPECT_EQ(std::find(out.begin(), out.end(), Addr(0xD00)), out.end());
+}
+
+TEST(EbcpTest, MinusVariantStoresNextEpoch)
+{
+    MockEngine eng;
+    EbcpConfig cfg = smallCfg();
+    cfg.minusVariant = true;
+    EpochBasedPrefetcher p(cfg);
+    p.setEngine(&eng);
+
+    paperExample(p, 0);
+    miss(p, 0x2000, 2400);
+
+    std::vector<Addr> out;
+    ASSERT_TRUE(p.table().lookup(0xA00, out));
+    // EBCP-minus records epochs i+1 and i+2: C,D,E,F,G.
+    EXPECT_NE(std::find(out.begin(), out.end(), Addr(0xC00)), out.end());
+    EXPECT_NE(std::find(out.begin(), out.end(), Addr(0xF00)), out.end());
+    // ...but not i+3.
+    EXPECT_EQ(std::find(out.begin(), out.end(), Addr(0x1100)), out.end());
+}
+
+TEST(EbcpTest, PredictionIssuesAfterTableRead)
+{
+    MockEngine eng;
+    EpochBasedPrefetcher p(smallCfg());
+    p.setEngine(&eng);
+
+    paperExample(p, 0);
+    miss(p, 0x2000, 2400); // trains the A entry
+
+    // Recurrence: A triggers a new epoch; prefetches must issue no
+    // earlier than the table read completes (the main-memory table
+    // has no magic on-chip copy).
+    eng.prefetches.clear();
+    miss(p, 0xA00, 10000);
+    ASSERT_FALSE(eng.prefetches.empty());
+    for (const auto &i : eng.prefetches)
+        EXPECT_GE(i.when, 10000 + eng.tableLatency);
+    EXPECT_TRUE(eng.issuedAddr(0xF00));
+    EXPECT_TRUE(eng.issuedAddr(0x1100));
+}
+
+TEST(EbcpTest, PrefetchesCarryCorrelationIndex)
+{
+    MockEngine eng;
+    EpochBasedPrefetcher p(smallCfg());
+    p.setEngine(&eng);
+    paperExample(p, 0);
+    miss(p, 0x2000, 2400);
+    eng.prefetches.clear();
+    miss(p, 0xA00, 10000);
+    ASSERT_FALSE(eng.prefetches.empty());
+    for (const auto &i : eng.prefetches) {
+        EXPECT_TRUE(i.hasCorr);
+        EXPECT_EQ(i.corrIndex, p.table().indexOf(0xA00));
+    }
+}
+
+TEST(EbcpTest, PrefetchBufferHitRefreshesLruAndWrites)
+{
+    MockEngine eng;
+    EpochBasedPrefetcher p(smallCfg());
+    p.setEngine(&eng);
+    paperExample(p, 0);
+    miss(p, 0x2000, 2400);
+
+    unsigned writes_before = eng.tableWrites;
+    p.observePrefetchHit(0xF00, p.table().indexOf(0xA00), 5000);
+    EXPECT_EQ(eng.tableWrites, writes_before + 1);
+}
+
+TEST(EbcpTest, PrefetchBufferHitOnUnknownAddressNoWrite)
+{
+    MockEngine eng;
+    EpochBasedPrefetcher p(smallCfg());
+    p.setEngine(&eng);
+    paperExample(p, 0);
+    miss(p, 0x2000, 2400);
+    unsigned writes_before = eng.tableWrites;
+    p.observePrefetchHit(0xdead, p.table().indexOf(0xA00), 5000);
+    EXPECT_EQ(eng.tableWrites, writes_before);
+}
+
+TEST(EbcpTest, PfHitsActAsEpochTriggers)
+{
+    MockEngine eng;
+    EpochBasedPrefetcher p(smallCfg());
+    p.setEngine(&eng);
+    paperExample(p, 0);
+    miss(p, 0x2000, 2400);
+
+    // A prefetch-buffer hit on A (the averted trigger) must still
+    // perform the lookup and keep the chain going (Section 3.4.3).
+    eng.prefetches.clear();
+    pfHit(p, 0xA00, 20000);
+    EXPECT_TRUE(eng.issuedAddr(0xF00));
+}
+
+TEST(EbcpTest, L2HitsAreIgnored)
+{
+    MockEngine eng;
+    EpochBasedPrefetcher p(smallCfg());
+    p.setEngine(&eng);
+    L2AccessInfo i;
+    i.lineAddr = 0x1000;
+    i.l2Hit = true;
+    i.when = 0;
+    i.complete = 23;
+    p.observeAccess(i);
+    EXPECT_EQ(eng.tableReads, 0u);
+}
+
+TEST(EbcpTest, InactiveAfterReclaimSkipsWork)
+{
+    MockEngine eng;
+    EbcpConfig cfg = smallCfg();
+    cfg.reallocRetryInterval = 1'000'000;
+    EpochBasedPrefetcher p(cfg);
+    p.setEngine(&eng);
+    paperExample(p, 0);
+    miss(p, 0x2000, 2400);
+
+    p.reclaimTable(3000);
+    unsigned reads_before = eng.tableReads;
+    miss(p, 0xA00, 4000); // new epoch while inactive
+    EXPECT_EQ(eng.tableReads, reads_before);
+
+    // Table contents were lost with the region.
+    std::vector<Addr> out;
+    EXPECT_FALSE(p.table().lookup(0xA00, out));
+}
+
+TEST(EbcpTest, ReactivatesAfterRetryInterval)
+{
+    MockEngine eng;
+    EbcpConfig cfg = smallCfg();
+    cfg.reallocRetryInterval = 1000;
+    EpochBasedPrefetcher p(cfg);
+    p.setEngine(&eng);
+    paperExample(p, 0);
+    miss(p, 0x2000, 2400);
+    p.reclaimTable(3000);
+
+    miss(p, 0xA00, 3500); // still inactive
+    unsigned reads_mid = eng.tableReads;
+    miss(p, 0xB00, 4200); // past the retry interval: active again
+    EXPECT_GT(eng.tableReads, reads_mid);
+}
+
+TEST(EbcpTest, DegreeLimitsPrefetchesPerMatch)
+{
+    MockEngine eng;
+    EbcpConfig cfg = smallCfg();
+    cfg.prefetchDegree = 2;
+    EpochBasedPrefetcher p(cfg);
+    p.setEngine(&eng);
+    paperExample(p, 0);
+    miss(p, 0x2000, 2400);
+    eng.prefetches.clear();
+    miss(p, 0xA00, 10000);
+    EXPECT_LE(eng.prefetches.size(), 2u);
+}
+
+TEST(EbcpTest, TrainAllOldestMissesKeysEveryMiss)
+{
+    MockEngine eng;
+    EbcpConfig cfg = smallCfg();
+    cfg.trainAllOldestMisses = true;
+    EpochBasedPrefetcher p(cfg);
+    p.setEngine(&eng);
+    paperExample(p, 0);
+    miss(p, 0x2000, 2400);
+
+    // Both A and B (epoch i's misses) must now key entries.
+    std::vector<Addr> out;
+    EXPECT_TRUE(p.table().lookup(0xA00, out));
+    EXPECT_TRUE(p.table().lookup(0xB00, out));
+}
+
+TEST(EbcpTest, TableTrafficPerEpochMatchesPaper)
+{
+    // Section 3.4.4: one prediction read plus one update
+    // read-modify-write per epoch boundary (once the EMAB is full).
+    MockEngine eng;
+    EpochBasedPrefetcher p(smallCfg());
+    p.setEngine(&eng);
+    paperExample(p, 0);
+    unsigned reads_before = eng.tableReads;
+    unsigned writes_before = eng.tableWrites;
+    miss(p, 0x2000, 2400); // one new epoch
+    EXPECT_EQ(eng.tableReads - reads_before, 2u);
+    EXPECT_EQ(eng.tableWrites - writes_before, 1u);
+}
+
+TEST(EbcpCmpTest, PerCoreStatesAreIndependent)
+{
+    // Two cores replay the paper example at interleaved times; with
+    // per-core states each chain trains cleanly.
+    MockEngine eng;
+    EbcpConfig cfg = smallCfg();
+    cfg.numCoreStates = 2;
+    EpochBasedPrefetcher p(cfg);
+    p.setEngine(&eng);
+
+    auto missOn = [&](unsigned core, Addr line, Tick when) {
+        L2AccessInfo i;
+        i.pc = line;
+        i.lineAddr = line;
+        i.offChip = true;
+        i.when = when;
+        i.complete = when + 500;
+        i.coreId = core;
+        p.observeAccess(i);
+    };
+
+    // Core 0: A,B,C,D,E at 600-tick epoch spacing; core 1: the same
+    // positions shifted by 300 with its own addresses.
+    for (int r = 0; r < 2; ++r) {
+        for (int k = 0; k < 6; ++k) {
+            Tick base = static_cast<Tick>(r) * 10000 +
+                        static_cast<Tick>(k) * 600;
+            missOn(0, 0xA000 + static_cast<Addr>(k) * 0x100, base);
+            missOn(1, 0xF0000 + static_cast<Addr>(k) * 0x100,
+                   base + 300);
+        }
+    }
+
+    // Core 0's trigger keys core 0's own later epochs.
+    std::vector<Addr> out;
+    ASSERT_TRUE(p.table().lookup(0xA000, out));
+    EXPECT_NE(std::find(out.begin(), out.end(), Addr(0xA200)),
+              out.end());
+    // ...and never core 1's addresses.
+    for (Addr a : out)
+        EXPECT_LT(a, 0xF0000u);
+}
+
+TEST(EbcpCmpTest, SharedStateMixesCores)
+{
+    // With one shared epoch state, the same interleaved streams merge
+    // into joint epochs: core 1 addresses leak into core 0's entries.
+    MockEngine eng;
+    EbcpConfig cfg = smallCfg();
+    cfg.numCoreStates = 1;
+    EpochBasedPrefetcher p(cfg);
+    p.setEngine(&eng);
+
+    auto missOn = [&](unsigned core, Addr line, Tick when) {
+        L2AccessInfo i;
+        i.pc = line;
+        i.lineAddr = line;
+        i.offChip = true;
+        i.when = when;
+        i.complete = when + 500;
+        i.coreId = core;
+        p.observeAccess(i);
+    };
+
+    for (int r = 0; r < 2; ++r) {
+        for (int k = 0; k < 6; ++k) {
+            Tick base = static_cast<Tick>(r) * 10000 +
+                        static_cast<Tick>(k) * 600;
+            missOn(0, 0xA000 + static_cast<Addr>(k) * 0x100, base);
+            missOn(1, 0xF0000 + static_cast<Addr>(k) * 0x100,
+                   base + 300);
+        }
+    }
+
+    std::vector<Addr> out;
+    if (p.table().lookup(0xA000, out)) {
+        bool leaked = false;
+        for (Addr a : out)
+            if (a >= 0xF0000)
+                leaked = true;
+        EXPECT_TRUE(leaked);
+    }
+}
+
+TEST(EbcpTest, OnChipTableNeedsNoEngineTraffic)
+{
+    MockEngine eng;
+    EbcpConfig cfg = smallCfg();
+    cfg.onChipTable = true;
+    EpochBasedPrefetcher p(cfg);
+    p.setEngine(&eng);
+    paperExample(p, 0);
+    miss(p, 0x2000, 2400);
+    EXPECT_EQ(eng.tableReads, 0u);
+    EXPECT_EQ(eng.tableWrites, 0u);
+    // Prediction on recurrence issues immediately at the trigger.
+    eng.prefetches.clear();
+    miss(p, 0xA00, 10000);
+    ASSERT_FALSE(eng.prefetches.empty());
+    for (const auto &i : eng.prefetches)
+        EXPECT_EQ(i.when, 10000u);
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the Epoch Miss Addresses Buffer (Section 3.4.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/emab.hh"
+
+using namespace ebcp;
+
+TEST(EmabTest, FillsAfterFourEpochs)
+{
+    Emab e(4, 8);
+    EXPECT_FALSE(e.full());
+    for (EpochId i = 1; i <= 4; ++i)
+        e.beginEpoch(i, 0x1000 * i);
+    EXPECT_TRUE(e.full());
+}
+
+TEST(EmabTest, OldestEntryIsEpochIMinus3)
+{
+    Emab e(4, 8);
+    for (EpochId i = 1; i <= 4; ++i)
+        e.beginEpoch(i, 0x1000 * i);
+    EXPECT_EQ(e.entry(0).epoch, 1u);
+    EXPECT_EQ(e.entry(3).epoch, 4u);
+    // A fifth epoch overwrites the oldest.
+    e.beginEpoch(5, 0x5000);
+    EXPECT_EQ(e.entry(0).epoch, 2u);
+    EXPECT_EQ(e.entry(3).epoch, 5u);
+}
+
+TEST(EmabTest, RecordsMissesIntoCurrentEpoch)
+{
+    Emab e(4, 8);
+    e.beginEpoch(1, 0xa000);
+    e.recordMiss(0xa000);
+    e.recordMiss(0xb000);
+    e.beginEpoch(2, 0xc000);
+    e.recordMiss(0xc000);
+    EXPECT_EQ(e.entry(0).missAddrs.size(), 2u);
+    EXPECT_EQ(e.entry(1).missAddrs.size(), 1u);
+    EXPECT_EQ(e.entry(0).missAddrs[1], 0xb000u);
+}
+
+TEST(EmabTest, KeyAddrIsFirstEvent)
+{
+    Emab e(4, 8);
+    e.beginEpoch(1, 0xdead);
+    EXPECT_EQ(e.current().keyAddr, 0xdeadu);
+}
+
+TEST(EmabTest, PerEpochAddressCap)
+{
+    Emab e(4, 3);
+    e.beginEpoch(1, 0x0);
+    for (Addr a = 0; a < 10; ++a)
+        e.recordMiss(a * 64);
+    EXPECT_EQ(e.current().missAddrs.size(), 3u);
+    // The oldest misses are the ones kept.
+    EXPECT_EQ(e.current().missAddrs[0], 0u);
+    EXPECT_EQ(e.current().missAddrs[2], 128u);
+}
+
+TEST(EmabTest, RecordBeforeFirstEpochIsIgnored)
+{
+    Emab e(4, 8);
+    e.recordMiss(0x1234); // no epoch open
+    e.beginEpoch(1, 0x1000);
+    EXPECT_TRUE(e.current().missAddrs.empty());
+}
+
+TEST(EmabTest, ClearEmpties)
+{
+    Emab e(4, 8);
+    e.beginEpoch(1, 0x1000);
+    e.clear();
+    EXPECT_EQ(e.size(), 0u);
+    EXPECT_FALSE(e.full());
+}
+
+TEST(EmabTest, PaperExampleEpochWindow)
+{
+    // Paper Section 3.4.2: with the EMAB holding epochs i..i+3, the
+    // key comes from epoch i and the payload from epochs i+2 and
+    // i+3. Verify the entries line up that way.
+    Emab e(4, 8);
+    // Epoch i: misses A, B.
+    e.beginEpoch(10, 0xA0);
+    e.recordMiss(0xA0);
+    e.recordMiss(0xB0);
+    // Epoch i+1: C, D, E.
+    e.beginEpoch(11, 0xC0);
+    e.recordMiss(0xC0);
+    e.recordMiss(0xD0);
+    e.recordMiss(0xE0);
+    // Epoch i+2: F, G.
+    e.beginEpoch(12, 0xF0);
+    e.recordMiss(0xF0);
+    e.recordMiss(0x100);
+    // Epoch i+3: H, I.
+    e.beginEpoch(13, 0x110);
+    e.recordMiss(0x110);
+    e.recordMiss(0x120);
+
+    ASSERT_TRUE(e.full());
+    EXPECT_EQ(e.entry(0).keyAddr, 0xA0u); // key = epoch i trigger
+    // Payload epochs i+2, i+3:
+    EXPECT_EQ(e.entry(2).missAddrs[0], 0xF0u);
+    EXPECT_EQ(e.entry(3).missAddrs[1], 0x120u);
+}

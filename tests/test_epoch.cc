@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for epoch tracking (Section 2.1 semantics) and the
+ * analytical CPI decomposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "epoch/epoch_tracker.hh"
+#include "epoch/mlp_model.hh"
+
+using namespace ebcp;
+
+TEST(EpochTrackerTest, FirstAccessStartsEpochOne)
+{
+    EpochTracker t;
+    EpochEvent e = t.observe(100, 600);
+    EXPECT_TRUE(e.newEpoch);
+    EXPECT_EQ(e.epoch, 1u);
+    EXPECT_EQ(t.epochs(), 1u);
+}
+
+TEST(EpochTrackerTest, OverlappingAccessesShareEpoch)
+{
+    EpochTracker t;
+    t.observe(100, 600);
+    EpochEvent e = t.observe(200, 700);
+    EXPECT_FALSE(e.newEpoch);
+    EXPECT_EQ(e.epoch, 1u);
+    EXPECT_EQ(t.epochs(), 1u);
+}
+
+TEST(EpochTrackerTest, DisjointAccessStartsNewEpoch)
+{
+    EpochTracker t;
+    t.observe(100, 600);
+    EpochEvent e = t.observe(600, 1100);
+    EXPECT_TRUE(e.newEpoch);
+    EXPECT_EQ(e.epoch, 2u);
+}
+
+TEST(EpochTrackerTest, TransitiveOverlapExtendsEpoch)
+{
+    EpochTracker t;
+    t.observe(100, 600);
+    t.observe(550, 1050); // overlaps first, extends end to 1050
+    EpochEvent e = t.observe(1000, 1500);
+    EXPECT_FALSE(e.newEpoch); // still inside the extended group
+    EXPECT_EQ(t.currentEpochEnd(), 1500u);
+}
+
+TEST(EpochTrackerTest, ZeroOutstandingTransitionRule)
+{
+    // Exactly the paper's rule: a new epoch begins when the number of
+    // outstanding accesses transitions from 0 to 1.
+    EpochTracker t;
+    t.observe(0, 500);
+    t.observe(100, 400);  // nested: ends before the first
+    EpochEvent e = t.observe(450, 950); // still one outstanding
+    EXPECT_FALSE(e.newEpoch);
+    EpochEvent f = t.observe(960, 1460); // all resolved: new epoch
+    EXPECT_TRUE(f.newEpoch);
+}
+
+TEST(EpochTrackerTest, MlpStatistics)
+{
+    EpochTracker t;
+    t.observe(0, 500);
+    t.observe(10, 510);
+    t.observe(20, 520); // 3 misses in epoch 1
+    t.observe(600, 1100); // epoch 2 begins, closing epoch 1
+    EXPECT_EQ(t.epochs(), 2u);
+}
+
+TEST(EpochTrackerTest, MeasurementResetKeepsEpochIds)
+{
+    EpochTracker t;
+    t.observe(0, 500);
+    t.observe(600, 1100);
+    EpochId cur = t.currentEpoch();
+    t.beginMeasurement();
+    EXPECT_EQ(t.epochs(), 0u); // counter reset
+    EpochEvent e = t.observe(1200, 1700);
+    EXPECT_EQ(e.epoch, cur + 1); // ids keep counting
+}
+
+TEST(MlpModelTest, CpiDecompositionIdentity)
+{
+    EpochModel m;
+    m.cpiPerf = 1.2;
+    m.overlap = 0.25;
+    m.epi = 0.004;
+    m.missPenalty = 500;
+    // CPI = 1.2*0.75 + 0.004*500 = 0.9 + 2.0
+    EXPECT_NEAR(m.cpiOverall(), 2.9, 1e-9);
+}
+
+TEST(MlpModelTest, SolveOverlapRoundTrips)
+{
+    EpochModel m;
+    m.cpiPerf = 1.2;
+    m.overlap = 0.3;
+    m.epi = 0.004;
+    m.missPenalty = 500;
+    double ov =
+        solveOverlap(m.cpiOverall(), m.cpiPerf, m.epi, m.missPenalty);
+    EXPECT_NEAR(ov, 0.3, 1e-9);
+}
+
+TEST(MlpModelTest, SolveOverlapClamps)
+{
+    EXPECT_DOUBLE_EQ(solveOverlap(100.0, 1.0, 0.004, 500), 0.0);
+    EXPECT_DOUBLE_EQ(solveOverlap(0.0, 1.0, 0.0, 500), 1.0);
+}
+
+TEST(MlpModelTest, EpochReductionIsLinearInEpi)
+{
+    EpochModel m;
+    m.cpiPerf = 1.2;
+    m.overlap = 0.0;
+    m.epi = 0.004;
+    m.missPenalty = 500;
+    // Removing 50% of epochs removes 50% of off-chip CPI.
+    double cpi_half = predictCpiAfterEpochReduction(m, 0.5);
+    EXPECT_NEAR(cpi_half, 1.2 + 1.0, 1e-9);
+    // Removing all epochs leaves CPI_perf.
+    EXPECT_NEAR(predictCpiAfterEpochReduction(m, 1.0), 1.2, 1e-9);
+}

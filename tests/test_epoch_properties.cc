@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Property sweeps over the epoch tracker: invariants that must hold
+ * for arbitrary interval streams (the tracker is the measurement
+ * foundation of the whole reproduction).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "epoch/epoch_tracker.hh"
+#include "util/random.hh"
+
+using namespace ebcp;
+
+namespace
+{
+
+struct Interval
+{
+    Tick issue;
+    Tick complete;
+};
+
+/** Random non-decreasing-issue interval stream. */
+std::vector<Interval>
+randomStream(std::uint64_t seed, int n, unsigned gap, unsigned len)
+{
+    Pcg32 rng(seed);
+    std::vector<Interval> out;
+    Tick t = 0;
+    for (int i = 0; i < n; ++i) {
+        t += rng.below(gap);
+        out.push_back({t, t + 1 + rng.below(len)});
+    }
+    return out;
+}
+
+/** Reference epoch count: number of 0->1 transitions of outstanding
+ * accesses (computed by sweeping the full timeline). */
+std::uint64_t
+referenceEpochs(const std::vector<Interval> &iv)
+{
+    std::uint64_t epochs = 0;
+    Tick group_end = 0;
+    for (const Interval &i : iv) {
+        if (i.issue >= group_end) {
+            ++epochs;
+            group_end = i.complete;
+        } else {
+            group_end = std::max(group_end, i.complete);
+        }
+    }
+    return epochs;
+}
+
+} // namespace
+
+class EpochPropertyTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(EpochPropertyTest, MatchesReferenceCount)
+{
+    const auto &[gap, len] = GetParam();
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        auto stream = randomStream(seed, 2000, gap, len);
+        EpochTracker t;
+        for (const Interval &i : stream)
+            t.observe(i.issue, i.complete);
+        EXPECT_EQ(t.epochs(), referenceEpochs(stream))
+            << "seed " << seed;
+    }
+}
+
+TEST_P(EpochPropertyTest, EpochIdsAreMonotone)
+{
+    const auto &[gap, len] = GetParam();
+    auto stream = randomStream(42, 2000, gap, len);
+    EpochTracker t;
+    EpochId prev = 0;
+    for (const Interval &i : stream) {
+        EpochEvent e = t.observe(i.issue, i.complete);
+        EXPECT_GE(e.epoch, prev);
+        EXPECT_LE(e.epoch, prev + 1);
+        prev = e.epoch;
+    }
+}
+
+TEST_P(EpochPropertyTest, EveryAccessBelongsToCurrentEpoch)
+{
+    const auto &[gap, len] = GetParam();
+    auto stream = randomStream(7, 1000, gap, len);
+    EpochTracker t;
+    for (const Interval &i : stream) {
+        EpochEvent e = t.observe(i.issue, i.complete);
+        EXPECT_EQ(e.epoch, t.currentEpoch());
+        EXPECT_GE(t.currentEpochEnd(), i.issue);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GapLenGrid, EpochPropertyTest,
+    ::testing::Combine(
+        // issue gap regimes: dense (heavy overlap) to sparse (serial)
+        ::testing::Values(20u, 200u, 1200u),
+        // access length regimes: short to memory-latency scale
+        ::testing::Values(30u, 500u)));
+
+TEST(EpochPropertyEdge, BackToBackBoundary)
+{
+    // An access issuing exactly at the previous group's end starts a
+    // new epoch (outstanding count touched zero).
+    EpochTracker t;
+    t.observe(0, 500);
+    EpochEvent e = t.observe(500, 1000);
+    EXPECT_TRUE(e.newEpoch);
+}
+
+TEST(EpochPropertyEdge, OneTickOverlapMerges)
+{
+    EpochTracker t;
+    t.observe(0, 500);
+    EpochEvent e = t.observe(499, 999);
+    EXPECT_FALSE(e.newEpoch);
+}
+
+TEST(EpochPropertyEdge, ZeroLengthRunsCount)
+{
+    // Degenerate (instant) accesses are tolerated.
+    EpochTracker t;
+    t.observe(10, 10);
+    t.observe(10, 10);
+    EXPECT_GE(t.epochs(), 1u);
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the memory system: bandwidth channel semantics,
+ * priority rules, drop behaviour and main-memory timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/channel.hh"
+#include "mem/main_memory.hh"
+#include "mem/mem_config.hh"
+#include "mem/request.hh"
+
+using namespace ebcp;
+
+TEST(RequestTypes, PriorityMapping)
+{
+    EXPECT_EQ(priorityOf(MemReqType::DemandInst), MemPriority::Demand);
+    EXPECT_EQ(priorityOf(MemReqType::DemandLoad), MemPriority::Demand);
+    EXPECT_EQ(priorityOf(MemReqType::StoreWrite), MemPriority::Demand);
+    EXPECT_EQ(priorityOf(MemReqType::Prefetch), MemPriority::Low);
+    EXPECT_EQ(priorityOf(MemReqType::TableRead), MemPriority::Low);
+    EXPECT_EQ(priorityOf(MemReqType::TableWrite), MemPriority::Low);
+}
+
+TEST(RequestTypes, Names)
+{
+    EXPECT_STREQ(memReqTypeName(MemReqType::Prefetch), "prefetch");
+    EXPECT_STREQ(memReqTypeName(MemReqType::DemandLoad), "demand-load");
+}
+
+TEST(ChannelTest, OccupancyFromBandwidth)
+{
+    // 3.2 bytes/tick: a 64B line occupies 20 ticks.
+    Channel c("c", 3.2, 10000);
+    EXPECT_EQ(c.occupancy(64), 20u);
+    // 1.6 bytes/tick: 40 ticks.
+    Channel w("w", 1.6, 10000);
+    EXPECT_EQ(w.occupancy(64), 40u);
+}
+
+TEST(ChannelTest, BackToBackDemandSerializes)
+{
+    Channel c("c", 3.2, 10000);
+    auto a = c.request(0, MemPriority::Demand, 64);
+    auto b = c.request(0, MemPriority::Demand, 64);
+    EXPECT_EQ(a.grant, 0u);
+    EXPECT_EQ(b.grant, 20u);
+}
+
+TEST(ChannelTest, IdleChannelGrantsImmediately)
+{
+    Channel c("c", 3.2, 10000);
+    auto a = c.request(500, MemPriority::Demand, 64);
+    EXPECT_EQ(a.grant, 500u);
+}
+
+TEST(ChannelTest, LowPriorityNeverDelaysDemand)
+{
+    Channel c("c", 3.2, 10000);
+    // Saturate with low-priority traffic.
+    for (int i = 0; i < 10; ++i)
+        c.request(0, MemPriority::Low, 64);
+    // A demand request at t=0 is still granted at t=0.
+    auto d = c.request(0, MemPriority::Demand, 64);
+    EXPECT_EQ(d.grant, 0u);
+}
+
+TEST(ChannelTest, DemandDelaysLowPriority)
+{
+    Channel c("c", 3.2, 10000);
+    c.request(0, MemPriority::Demand, 64); // busy until 20
+    auto l = c.request(0, MemPriority::Low, 64);
+    EXPECT_EQ(l.grant, 20u);
+}
+
+TEST(ChannelTest, LowPriorityDroppedWhenSaturated)
+{
+    Channel c("c", 3.2, 50); // drop after 50 ticks of queueing
+    bool dropped = false;
+    for (int i = 0; i < 10; ++i) {
+        auto r = c.request(0, MemPriority::Low, 64);
+        if (r.dropped)
+            dropped = true;
+    }
+    EXPECT_TRUE(dropped);
+    // The first few must have been granted.
+    auto first = Channel("c2", 3.2, 50).request(0, MemPriority::Low, 64);
+    EXPECT_FALSE(first.dropped);
+}
+
+TEST(ChannelTest, DroppedRequestsDoNotOccupyBus)
+{
+    Channel c("c", 3.2, 0); // any queueing drops
+    c.request(0, MemPriority::Low, 64);  // granted at 0
+    auto second = c.request(0, MemPriority::Low, 64);
+    EXPECT_TRUE(second.dropped);
+    // Bus frees at 20 as if only one transfer happened.
+    auto third = c.request(20, MemPriority::Low, 64);
+    EXPECT_FALSE(third.dropped);
+    EXPECT_EQ(third.grant, 20u);
+}
+
+TEST(ChannelTest, BandwidthChangeTakesEffect)
+{
+    Channel c("c", 3.2, 10000);
+    c.setBandwidth(1.6);
+    EXPECT_EQ(c.occupancy(64), 40u);
+}
+
+TEST(ChannelTest, BusyTicksAccumulate)
+{
+    Channel c("c", 3.2, 10000);
+    c.request(0, MemPriority::Demand, 64);
+    c.request(100, MemPriority::Demand, 64);
+    EXPECT_EQ(c.busyTicks(), 40u);
+}
+
+TEST(MainMemoryTest, ReadCompletesAfterLatency)
+{
+    MemConfig cfg;
+    MainMemory mem(cfg);
+    auto r = mem.access(1000, MemReqType::DemandLoad);
+    EXPECT_EQ(r.complete, 1000 + cfg.latency);
+}
+
+TEST(MainMemoryTest, LoadedReadsQueueBehindEachOther)
+{
+    MemConfig cfg;
+    MainMemory mem(cfg);
+    auto a = mem.access(0, MemReqType::DemandLoad);
+    auto b = mem.access(0, MemReqType::DemandLoad);
+    EXPECT_EQ(a.complete, cfg.latency);
+    EXPECT_EQ(b.complete, 20 + cfg.latency); // waits one transfer slot
+}
+
+TEST(MainMemoryTest, WritesUseTheWriteBus)
+{
+    MemConfig cfg;
+    MainMemory mem(cfg);
+    // Saturate the read bus; a write is unaffected.
+    for (int i = 0; i < 5; ++i)
+        mem.access(0, MemReqType::DemandLoad);
+    auto w = mem.access(0, MemReqType::StoreWrite);
+    EXPECT_EQ(w.grant, 0u);
+    // Write completes at grant + occupancy (64B at 1.6B/tick = 40).
+    EXPECT_EQ(w.complete, 40u);
+}
+
+TEST(MainMemoryTest, TableTrafficIsLowPriority)
+{
+    MemConfig cfg;
+    MainMemory mem(cfg);
+    mem.access(0, MemReqType::DemandLoad); // read bus busy to 20
+    auto t = mem.access(0, MemReqType::TableRead);
+    EXPECT_EQ(t.grant, 20u);
+    EXPECT_EQ(t.complete, 20 + cfg.latency);
+}
+
+TEST(MainMemoryTest, MultiLineTableEntryTransfers)
+{
+    MemConfig cfg;
+    MainMemory mem(cfg);
+    // A 256B table entry occupies 256/3.2 = 80 ticks.
+    auto a = mem.access(0, MemReqType::TableRead, 256);
+    auto b = mem.access(0, MemReqType::TableRead, 64);
+    EXPECT_EQ(a.grant, 0u);
+    EXPECT_EQ(b.grant, 80u);
+}
+
+TEST(MainMemoryTest, BandwidthScaling)
+{
+    MemConfig cfg;
+    MainMemory mem(cfg);
+    mem.setBandwidthScale(0.5);
+    auto a = mem.access(0, MemReqType::DemandLoad);
+    auto b = mem.access(0, MemReqType::DemandLoad);
+    EXPECT_EQ(b.grant - a.grant, 40u); // 64B at 1.6B/tick
+}
+
+TEST(MainMemoryTest, ConfigHelpers)
+{
+    MemConfig cfg;
+    EXPECT_DOUBLE_EQ(cfg.readGBps(3.0), 9.6);
+    cfg.scaleBandwidth(0.5);
+    EXPECT_DOUBLE_EQ(cfg.readBytesPerTick, 1.6);
+    EXPECT_DOUBLE_EQ(cfg.writeBytesPerTick, 0.8);
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the MSHR file: merging, capacity stalls and lazy
+ * retirement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hh"
+
+using namespace ebcp;
+
+TEST(MshrTest, EmptyFileAllocatesImmediately)
+{
+    MshrFile m("m", 4);
+    EXPECT_EQ(m.whenCanAllocate(100), 100u);
+}
+
+TEST(MshrTest, TracksInFlightCompletion)
+{
+    MshrFile m("m", 4);
+    m.allocate(0x1000, 500);
+    EXPECT_EQ(m.inFlightCompletion(0x1000), 500u);
+    EXPECT_EQ(m.inFlightCompletion(0x2000), MaxTick);
+}
+
+TEST(MshrTest, AdvanceRetiresCompleted)
+{
+    MshrFile m("m", 4);
+    m.allocate(0x1000, 500);
+    m.advance(499);
+    EXPECT_EQ(m.inFlightCompletion(0x1000), 500u);
+    m.advance(500);
+    EXPECT_EQ(m.inFlightCompletion(0x1000), MaxTick);
+    EXPECT_EQ(m.occupancy(), 0u);
+}
+
+TEST(MshrTest, FullFileDelaysToEarliestCompletion)
+{
+    MshrFile m("m", 2);
+    m.allocate(0x1000, 500);
+    m.allocate(0x2000, 700);
+    EXPECT_EQ(m.whenCanAllocate(100), 500u);
+}
+
+TEST(MshrTest, FullFileNeverReturnsPast)
+{
+    MshrFile m("m", 1);
+    m.allocate(0x1000, 500);
+    EXPECT_EQ(m.whenCanAllocate(600), 600u);
+}
+
+TEST(MshrTest, ReMissAfterRetireGetsFreshEntry)
+{
+    MshrFile m("m", 2);
+    m.allocate(0x1000, 500);
+    m.advance(600);
+    m.allocate(0x1000, 1200);
+    EXPECT_EQ(m.inFlightCompletion(0x1000), 1200u);
+    m.advance(700);
+    // The stale heap entry (500) must not erase the fresh one.
+    EXPECT_EQ(m.inFlightCompletion(0x1000), 1200u);
+}
+
+TEST(MshrTest, OccupancyCounts)
+{
+    MshrFile m("m", 8);
+    m.allocate(0x1000, 100);
+    m.allocate(0x2000, 200);
+    EXPECT_EQ(m.occupancy(), 2u);
+    m.advance(150);
+    EXPECT_EQ(m.occupancy(), 1u);
+}
+
+TEST(MshrTest, ClearDropsAll)
+{
+    MshrFile m("m", 4);
+    m.allocate(0x1000, 100);
+    m.clear();
+    EXPECT_EQ(m.occupancy(), 0u);
+    EXPECT_EQ(m.inFlightCompletion(0x1000), MaxTick);
+}
+
+TEST(MshrTest, CapacityIsExact)
+{
+    MshrFile m("m", 3);
+    m.allocate(0x1, 1000);
+    m.allocate(0x2, 1001);
+    EXPECT_EQ(m.whenCanAllocate(0), 0u); // still one free
+    m.allocate(0x3, 1002);
+    EXPECT_EQ(m.whenCanAllocate(0), 1000u);
+}

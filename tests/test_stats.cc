@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the statistics framework.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/group.hh"
+#include "stats/statistic.hh"
+#include "stats/table.hh"
+
+using namespace ebcp;
+
+TEST(Scalar, IncrementAndAdd)
+{
+    Scalar s("s", "d");
+    ++s;
+    s += 4;
+    EXPECT_EQ(s.value(), 5u);
+}
+
+TEST(Scalar, Reset)
+{
+    Scalar s("s", "d");
+    s += 10;
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Scalar, Render)
+{
+    Scalar s("s", "d");
+    s += 7;
+    EXPECT_EQ(s.render(), "7");
+}
+
+TEST(Average, MeanOfSamples)
+{
+    Average a("a", "d");
+    a.sample(1.0);
+    a.sample(2.0);
+    a.sample(3.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Average, EmptyMeanIsZero)
+{
+    Average a("a", "d");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Average, Reset)
+{
+    Average a("a", "d");
+    a.sample(5.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(DistributionStat, BucketsSamples)
+{
+    Distribution d("d", "desc", 0.0, 10.0, 5);
+    d.sample(0.5);  // bucket 0
+    d.sample(3.0);  // bucket 1
+    d.sample(9.9);  // bucket 4
+    EXPECT_EQ(d.bucketCount(0), 1u);
+    EXPECT_EQ(d.bucketCount(1), 1u);
+    EXPECT_EQ(d.bucketCount(4), 1u);
+    EXPECT_EQ(d.samples(), 3u);
+}
+
+TEST(DistributionStat, UnderOverflow)
+{
+    Distribution d("d", "desc", 0.0, 10.0, 5);
+    d.sample(-1.0);
+    d.sample(10.0);
+    d.sample(100.0);
+    EXPECT_EQ(d.underflows(), 1u);
+    EXPECT_EQ(d.overflows(), 2u);
+}
+
+TEST(DistributionStat, Mean)
+{
+    Distribution d("d", "desc", 0.0, 100.0, 10);
+    d.sample(10.0);
+    d.sample(30.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 20.0);
+}
+
+TEST(DistributionStat, Reset)
+{
+    Distribution d("d", "desc", 0.0, 10.0, 2);
+    d.sample(1.0);
+    d.reset();
+    EXPECT_EQ(d.samples(), 0u);
+    EXPECT_EQ(d.bucketCount(0), 0u);
+}
+
+TEST(StatGroupTest, DumpContainsNamesAndValues)
+{
+    StatGroup g("grp");
+    Scalar s("counter", "a counter");
+    g.add(s);
+    s += 3;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("grp.counter"), std::string::npos);
+    EXPECT_NE(os.str().find("3"), std::string::npos);
+    EXPECT_NE(os.str().find("a counter"), std::string::npos);
+}
+
+TEST(StatGroupTest, ChildGroupsDumpWithPrefix)
+{
+    StatGroup parent("p");
+    StatGroup child("c");
+    Scalar s("x", "d");
+    child.add(s);
+    parent.addChild(child);
+    std::ostringstream os;
+    parent.dump(os);
+    EXPECT_NE(os.str().find("p.c.x"), std::string::npos);
+}
+
+TEST(StatGroupTest, ResetAllRecurses)
+{
+    StatGroup parent("p");
+    StatGroup child("c");
+    Scalar a("a", "d"), b("b", "d");
+    parent.add(a);
+    child.add(b);
+    parent.addChild(child);
+    a += 1;
+    b += 2;
+    parent.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(AsciiTableTest, RendersHeaderAndRows)
+{
+    AsciiTable t("title");
+    t.setHeader({"name", "v1", "v2"});
+    t.addRow("row", {1.5, 2.25});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("title"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("1.50"), std::string::npos);
+    EXPECT_NE(out.find("2.25"), std::string::npos);
+}
+
+TEST(AsciiTableTest, HandlesRaggedRows)
+{
+    AsciiTable t("t");
+    t.setHeader({"a", "b"});
+    t.addRow({"x"});
+    t.addRow({"y", "1", "2"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("y"), std::string::npos);
+}
+
+TEST(AsciiTableTest, PrecisionControl)
+{
+    AsciiTable t("t");
+    t.addRow("r", {3.14159}, 4);
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("3.1416"), std::string::npos);
+}

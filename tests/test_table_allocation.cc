@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the table allocation state machine (Section 3.4.1):
+ * start-up request, OS reclaim, periodic retry and reactivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/table_allocation.hh"
+
+using namespace ebcp;
+
+TEST(TableAllocTest, InitialRequestActivates)
+{
+    TableAllocation a(64 * MiB, 1000);
+    EXPECT_EQ(a.state(), TableAllocation::State::Unallocated);
+    EXPECT_TRUE(a.requestInitial(0));
+    EXPECT_EQ(a.state(), TableAllocation::State::Active);
+    EXPECT_NE(a.baseAddr(), InvalidAddr);
+}
+
+TEST(TableAllocTest, DeniedInitialGoesInactive)
+{
+    TableAllocation a(64 * MiB, 1000);
+    a.setOsPolicy([](Tick) { return false; });
+    EXPECT_FALSE(a.requestInitial(0));
+    EXPECT_EQ(a.state(), TableAllocation::State::Inactive);
+    EXPECT_FALSE(a.active(500));
+}
+
+TEST(TableAllocTest, ReclaimDeactivates)
+{
+    TableAllocation a(64 * MiB, 1000);
+    a.requestInitial(0);
+    a.reclaim(100);
+    EXPECT_EQ(a.state(), TableAllocation::State::Inactive);
+    EXPECT_EQ(a.baseAddr(), InvalidAddr);
+    EXPECT_FALSE(a.active(100));
+}
+
+TEST(TableAllocTest, RetryAfterIntervalReactivates)
+{
+    TableAllocation a(64 * MiB, 1000);
+    a.requestInitial(0);
+    a.reclaim(100);
+    EXPECT_FALSE(a.active(1099)); // before the retry interval
+    EXPECT_TRUE(a.active(1100));  // re-request granted
+    EXPECT_EQ(a.state(), TableAllocation::State::Active);
+}
+
+TEST(TableAllocTest, RetryRespectsOsDenial)
+{
+    TableAllocation a(64 * MiB, 1000);
+    a.requestInitial(0);
+    a.reclaim(100);
+    int denials = 0;
+    a.setOsPolicy([&](Tick) {
+        ++denials;
+        return denials > 2; // deny twice, then grant
+    });
+    EXPECT_FALSE(a.active(1100)); // denial 1
+    EXPECT_FALSE(a.active(1150)); // still waiting for next interval
+    EXPECT_FALSE(a.active(2100)); // denial 2
+    EXPECT_TRUE(a.active(3100));  // granted
+}
+
+TEST(TableAllocTest, ReclaimWhileInactiveIsNoop)
+{
+    TableAllocation a(64 * MiB, 1000);
+    a.setOsPolicy([](Tick) { return false; });
+    a.requestInitial(0);
+    a.reclaim(50); // already inactive
+    EXPECT_EQ(a.state(), TableAllocation::State::Inactive);
+}
+
+TEST(TableAllocTest, RepeatedInitialRequestIsIdempotent)
+{
+    TableAllocation a(64 * MiB, 1000);
+    EXPECT_TRUE(a.requestInitial(0));
+    EXPECT_TRUE(a.requestInitial(10));
+    EXPECT_EQ(a.state(), TableAllocation::State::Active);
+}
+
+TEST(TableAllocTest, RegionSizeReported)
+{
+    TableAllocation a(64 * MiB, 1000);
+    EXPECT_EQ(a.regionBytes(), 64 * MiB);
+}

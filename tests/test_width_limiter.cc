@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the WidthLimiter pipeline-resource model and the op-class
+ * property tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/op_class.hh"
+#include "cpu/width_limiter.hh"
+
+using namespace ebcp;
+
+TEST(WidthLimiterTest, WidthEventsShareACycle)
+{
+    WidthLimiter w(4);
+    EXPECT_EQ(w.next(10), 10u);
+    EXPECT_EQ(w.next(10), 10u);
+    EXPECT_EQ(w.next(10), 10u);
+    EXPECT_EQ(w.next(10), 10u);
+    EXPECT_EQ(w.next(10), 11u); // fifth spills to the next cycle
+}
+
+TEST(WidthLimiterTest, LaterRequestMovesForward)
+{
+    WidthLimiter w(2);
+    EXPECT_EQ(w.next(5), 5u);
+    EXPECT_EQ(w.next(9), 9u); // jumps ahead, resets the count
+    EXPECT_EQ(w.next(9), 9u);
+    EXPECT_EQ(w.next(9), 10u);
+}
+
+TEST(WidthLimiterTest, NeverGoesBackwards)
+{
+    WidthLimiter w(1);
+    EXPECT_EQ(w.next(100), 100u);
+    // An earlier request cannot be scheduled before a later one
+    // already granted (in-order stage).
+    EXPECT_EQ(w.next(50), 101u);
+}
+
+TEST(WidthLimiterTest, WidthOneSerializes)
+{
+    WidthLimiter w(1);
+    Tick prev = w.next(0);
+    for (int i = 0; i < 10; ++i) {
+        Tick t = w.next(0);
+        EXPECT_EQ(t, prev + 1);
+        prev = t;
+    }
+}
+
+TEST(WidthLimiterTest, ClearRestarts)
+{
+    WidthLimiter w(1);
+    w.next(100);
+    w.clear();
+    EXPECT_EQ(w.next(0), 0u);
+}
+
+TEST(OpClassTest, Latencies)
+{
+    EXPECT_EQ(opLatency(OpClass::IntAlu), 1u);
+    EXPECT_EQ(opLatency(OpClass::FpAdd), 3u);
+    EXPECT_EQ(opLatency(OpClass::FpMul), 4u);
+}
+
+TEST(OpClassTest, Categories)
+{
+    EXPECT_TRUE(isControl(OpClass::Branch));
+    EXPECT_TRUE(isControl(OpClass::Call));
+    EXPECT_TRUE(isControl(OpClass::Return));
+    EXPECT_FALSE(isControl(OpClass::Load));
+    EXPECT_TRUE(isMem(OpClass::Load));
+    EXPECT_TRUE(isMem(OpClass::Store));
+    EXPECT_FALSE(isMem(OpClass::IntAlu));
+}
+
+TEST(OpClassTest, NamesAreDistinct)
+{
+    EXPECT_STRNE(opClassName(OpClass::Load), opClassName(OpClass::Store));
+    EXPECT_STRNE(opClassName(OpClass::Branch),
+                 opClassName(OpClass::Call));
+}

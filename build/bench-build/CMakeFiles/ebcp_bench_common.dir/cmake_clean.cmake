@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebcp_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/ebcp_bench_common.dir/bench_common.cc.o.d"
+  "libebcp_bench_common.a"
+  "libebcp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebcp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_ablation"
+  "../bench/ext_ablation.pdb"
+  "CMakeFiles/ext_ablation.dir/ext_ablation.cc.o"
+  "CMakeFiles/ext_ablation.dir/ext_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_cmp_scaling"
+  "../bench/ext_cmp_scaling.pdb"
+  "CMakeFiles/ext_cmp_scaling.dir/ext_cmp_scaling.cc.o"
+  "CMakeFiles/ext_cmp_scaling.dir/ext_cmp_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cmp_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

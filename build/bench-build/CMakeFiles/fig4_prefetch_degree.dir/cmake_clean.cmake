@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_prefetch_degree"
+  "../bench/fig4_prefetch_degree.pdb"
+  "CMakeFiles/fig4_prefetch_degree.dir/fig4_prefetch_degree.cc.o"
+  "CMakeFiles/fig4_prefetch_degree.dir/fig4_prefetch_degree.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_prefetch_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_degree_metrics"
+  "../bench/fig5_degree_metrics.pdb"
+  "CMakeFiles/fig5_degree_metrics.dir/fig5_degree_metrics.cc.o"
+  "CMakeFiles/fig5_degree_metrics.dir/fig5_degree_metrics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_degree_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

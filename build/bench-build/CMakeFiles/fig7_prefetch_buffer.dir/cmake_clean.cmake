@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_prefetch_buffer"
+  "../bench/fig7_prefetch_buffer.pdb"
+  "CMakeFiles/fig7_prefetch_buffer.dir/fig7_prefetch_buffer.cc.o"
+  "CMakeFiles/fig7_prefetch_buffer.dir/fig7_prefetch_buffer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_prefetch_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

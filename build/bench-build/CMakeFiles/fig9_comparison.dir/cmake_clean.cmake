@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_comparison"
+  "../bench/fig9_comparison.pdb"
+  "CMakeFiles/fig9_comparison.dir/fig9_comparison.cc.o"
+  "CMakeFiles/fig9_comparison.dir/fig9_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

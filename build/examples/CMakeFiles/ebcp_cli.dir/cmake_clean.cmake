@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebcp_cli.dir/ebcp_cli.cpp.o"
+  "CMakeFiles/ebcp_cli.dir/ebcp_cli.cpp.o.d"
+  "ebcp_cli"
+  "ebcp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebcp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

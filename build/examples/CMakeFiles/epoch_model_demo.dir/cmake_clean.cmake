@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoch_model_demo.dir/epoch_model_demo.cpp.o"
+  "CMakeFiles/epoch_model_demo.dir/epoch_model_demo.cpp.o.d"
+  "epoch_model_demo"
+  "epoch_model_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoch_model_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_tuning.dir/oltp_tuning.cpp.o"
+  "CMakeFiles/oltp_tuning.dir/oltp_tuning.cpp.o.d"
+  "oltp_tuning"
+  "oltp_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_reclaim_demo.dir/table_reclaim_demo.cpp.o"
+  "CMakeFiles/table_reclaim_demo.dir/table_reclaim_demo.cpp.o.d"
+  "table_reclaim_demo"
+  "table_reclaim_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_reclaim_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/trace_tool.cpp" "examples/CMakeFiles/trace_tool.dir/trace_tool.cpp.o" "gcc" "examples/CMakeFiles/trace_tool.dir/trace_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ebcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_epoch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebcp_cache.dir/cache/cache.cc.o"
+  "CMakeFiles/ebcp_cache.dir/cache/cache.cc.o.d"
+  "CMakeFiles/ebcp_cache.dir/cache/mshr.cc.o"
+  "CMakeFiles/ebcp_cache.dir/cache/mshr.cc.o.d"
+  "CMakeFiles/ebcp_cache.dir/cache/prefetch_buffer.cc.o"
+  "CMakeFiles/ebcp_cache.dir/cache/prefetch_buffer.cc.o.d"
+  "CMakeFiles/ebcp_cache.dir/cache/tag_array.cc.o"
+  "CMakeFiles/ebcp_cache.dir/cache/tag_array.cc.o.d"
+  "libebcp_cache.a"
+  "libebcp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebcp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/correlation_table.cc" "src/CMakeFiles/ebcp_core.dir/core/correlation_table.cc.o" "gcc" "src/CMakeFiles/ebcp_core.dir/core/correlation_table.cc.o.d"
+  "/root/repo/src/core/ebcp.cc" "src/CMakeFiles/ebcp_core.dir/core/ebcp.cc.o" "gcc" "src/CMakeFiles/ebcp_core.dir/core/ebcp.cc.o.d"
+  "/root/repo/src/core/emab.cc" "src/CMakeFiles/ebcp_core.dir/core/emab.cc.o" "gcc" "src/CMakeFiles/ebcp_core.dir/core/emab.cc.o.d"
+  "/root/repo/src/core/table_allocation.cc" "src/CMakeFiles/ebcp_core.dir/core/table_allocation.cc.o" "gcc" "src/CMakeFiles/ebcp_core.dir/core/table_allocation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ebcp_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_epoch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

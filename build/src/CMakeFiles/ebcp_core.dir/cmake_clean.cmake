@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebcp_core.dir/core/correlation_table.cc.o"
+  "CMakeFiles/ebcp_core.dir/core/correlation_table.cc.o.d"
+  "CMakeFiles/ebcp_core.dir/core/ebcp.cc.o"
+  "CMakeFiles/ebcp_core.dir/core/ebcp.cc.o.d"
+  "CMakeFiles/ebcp_core.dir/core/emab.cc.o"
+  "CMakeFiles/ebcp_core.dir/core/emab.cc.o.d"
+  "CMakeFiles/ebcp_core.dir/core/table_allocation.cc.o"
+  "CMakeFiles/ebcp_core.dir/core/table_allocation.cc.o.d"
+  "libebcp_core.a"
+  "libebcp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebcp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

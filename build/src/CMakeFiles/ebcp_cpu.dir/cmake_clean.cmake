@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebcp_cpu.dir/cpu/branch_predictor.cc.o"
+  "CMakeFiles/ebcp_cpu.dir/cpu/branch_predictor.cc.o.d"
+  "CMakeFiles/ebcp_cpu.dir/cpu/core_model.cc.o"
+  "CMakeFiles/ebcp_cpu.dir/cpu/core_model.cc.o.d"
+  "CMakeFiles/ebcp_cpu.dir/cpu/op_class.cc.o"
+  "CMakeFiles/ebcp_cpu.dir/cpu/op_class.cc.o.d"
+  "libebcp_cpu.a"
+  "libebcp_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebcp_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

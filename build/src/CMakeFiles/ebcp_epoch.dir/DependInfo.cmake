@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/epoch/epoch_tracker.cc" "src/CMakeFiles/ebcp_epoch.dir/epoch/epoch_tracker.cc.o" "gcc" "src/CMakeFiles/ebcp_epoch.dir/epoch/epoch_tracker.cc.o.d"
+  "/root/repo/src/epoch/mlp_model.cc" "src/CMakeFiles/ebcp_epoch.dir/epoch/mlp_model.cc.o" "gcc" "src/CMakeFiles/ebcp_epoch.dir/epoch/mlp_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ebcp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

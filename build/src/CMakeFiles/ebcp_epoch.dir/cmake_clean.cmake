@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebcp_epoch.dir/epoch/epoch_tracker.cc.o"
+  "CMakeFiles/ebcp_epoch.dir/epoch/epoch_tracker.cc.o.d"
+  "CMakeFiles/ebcp_epoch.dir/epoch/mlp_model.cc.o"
+  "CMakeFiles/ebcp_epoch.dir/epoch/mlp_model.cc.o.d"
+  "libebcp_epoch.a"
+  "libebcp_epoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebcp_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

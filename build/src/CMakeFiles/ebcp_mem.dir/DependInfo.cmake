@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/channel.cc" "src/CMakeFiles/ebcp_mem.dir/mem/channel.cc.o" "gcc" "src/CMakeFiles/ebcp_mem.dir/mem/channel.cc.o.d"
+  "/root/repo/src/mem/main_memory.cc" "src/CMakeFiles/ebcp_mem.dir/mem/main_memory.cc.o" "gcc" "src/CMakeFiles/ebcp_mem.dir/mem/main_memory.cc.o.d"
+  "/root/repo/src/mem/request.cc" "src/CMakeFiles/ebcp_mem.dir/mem/request.cc.o" "gcc" "src/CMakeFiles/ebcp_mem.dir/mem/request.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ebcp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebcp_mem.dir/mem/channel.cc.o"
+  "CMakeFiles/ebcp_mem.dir/mem/channel.cc.o.d"
+  "CMakeFiles/ebcp_mem.dir/mem/main_memory.cc.o"
+  "CMakeFiles/ebcp_mem.dir/mem/main_memory.cc.o.d"
+  "CMakeFiles/ebcp_mem.dir/mem/request.cc.o"
+  "CMakeFiles/ebcp_mem.dir/mem/request.cc.o.d"
+  "libebcp_mem.a"
+  "libebcp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebcp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

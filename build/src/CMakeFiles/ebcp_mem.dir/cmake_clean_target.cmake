@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libebcp_mem.a"
+)

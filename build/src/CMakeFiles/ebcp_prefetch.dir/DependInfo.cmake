@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/ghb.cc" "src/CMakeFiles/ebcp_prefetch.dir/prefetch/ghb.cc.o" "gcc" "src/CMakeFiles/ebcp_prefetch.dir/prefetch/ghb.cc.o.d"
+  "/root/repo/src/prefetch/nextline.cc" "src/CMakeFiles/ebcp_prefetch.dir/prefetch/nextline.cc.o" "gcc" "src/CMakeFiles/ebcp_prefetch.dir/prefetch/nextline.cc.o.d"
+  "/root/repo/src/prefetch/sms.cc" "src/CMakeFiles/ebcp_prefetch.dir/prefetch/sms.cc.o" "gcc" "src/CMakeFiles/ebcp_prefetch.dir/prefetch/sms.cc.o.d"
+  "/root/repo/src/prefetch/solihin.cc" "src/CMakeFiles/ebcp_prefetch.dir/prefetch/solihin.cc.o" "gcc" "src/CMakeFiles/ebcp_prefetch.dir/prefetch/solihin.cc.o.d"
+  "/root/repo/src/prefetch/stream_prefetcher.cc" "src/CMakeFiles/ebcp_prefetch.dir/prefetch/stream_prefetcher.cc.o" "gcc" "src/CMakeFiles/ebcp_prefetch.dir/prefetch/stream_prefetcher.cc.o.d"
+  "/root/repo/src/prefetch/tcp.cc" "src/CMakeFiles/ebcp_prefetch.dir/prefetch/tcp.cc.o" "gcc" "src/CMakeFiles/ebcp_prefetch.dir/prefetch/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ebcp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_epoch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebcp_prefetch.dir/prefetch/ghb.cc.o"
+  "CMakeFiles/ebcp_prefetch.dir/prefetch/ghb.cc.o.d"
+  "CMakeFiles/ebcp_prefetch.dir/prefetch/nextline.cc.o"
+  "CMakeFiles/ebcp_prefetch.dir/prefetch/nextline.cc.o.d"
+  "CMakeFiles/ebcp_prefetch.dir/prefetch/sms.cc.o"
+  "CMakeFiles/ebcp_prefetch.dir/prefetch/sms.cc.o.d"
+  "CMakeFiles/ebcp_prefetch.dir/prefetch/solihin.cc.o"
+  "CMakeFiles/ebcp_prefetch.dir/prefetch/solihin.cc.o.d"
+  "CMakeFiles/ebcp_prefetch.dir/prefetch/stream_prefetcher.cc.o"
+  "CMakeFiles/ebcp_prefetch.dir/prefetch/stream_prefetcher.cc.o.d"
+  "CMakeFiles/ebcp_prefetch.dir/prefetch/tcp.cc.o"
+  "CMakeFiles/ebcp_prefetch.dir/prefetch/tcp.cc.o.d"
+  "libebcp_prefetch.a"
+  "libebcp_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebcp_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

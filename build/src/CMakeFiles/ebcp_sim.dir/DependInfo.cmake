@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cmp_system.cc" "src/CMakeFiles/ebcp_sim.dir/sim/cmp_system.cc.o" "gcc" "src/CMakeFiles/ebcp_sim.dir/sim/cmp_system.cc.o.d"
+  "/root/repo/src/sim/hierarchy.cc" "src/CMakeFiles/ebcp_sim.dir/sim/hierarchy.cc.o" "gcc" "src/CMakeFiles/ebcp_sim.dir/sim/hierarchy.cc.o.d"
+  "/root/repo/src/sim/l2_subsystem.cc" "src/CMakeFiles/ebcp_sim.dir/sim/l2_subsystem.cc.o" "gcc" "src/CMakeFiles/ebcp_sim.dir/sim/l2_subsystem.cc.o.d"
+  "/root/repo/src/sim/prefetcher_factory.cc" "src/CMakeFiles/ebcp_sim.dir/sim/prefetcher_factory.cc.o" "gcc" "src/CMakeFiles/ebcp_sim.dir/sim/prefetcher_factory.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/ebcp_sim.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/ebcp_sim.dir/sim/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ebcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_epoch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebcp_sim.dir/sim/cmp_system.cc.o"
+  "CMakeFiles/ebcp_sim.dir/sim/cmp_system.cc.o.d"
+  "CMakeFiles/ebcp_sim.dir/sim/hierarchy.cc.o"
+  "CMakeFiles/ebcp_sim.dir/sim/hierarchy.cc.o.d"
+  "CMakeFiles/ebcp_sim.dir/sim/l2_subsystem.cc.o"
+  "CMakeFiles/ebcp_sim.dir/sim/l2_subsystem.cc.o.d"
+  "CMakeFiles/ebcp_sim.dir/sim/prefetcher_factory.cc.o"
+  "CMakeFiles/ebcp_sim.dir/sim/prefetcher_factory.cc.o.d"
+  "CMakeFiles/ebcp_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/ebcp_sim.dir/sim/simulator.cc.o.d"
+  "libebcp_sim.a"
+  "libebcp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebcp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/group.cc" "src/CMakeFiles/ebcp_stats.dir/stats/group.cc.o" "gcc" "src/CMakeFiles/ebcp_stats.dir/stats/group.cc.o.d"
+  "/root/repo/src/stats/statistic.cc" "src/CMakeFiles/ebcp_stats.dir/stats/statistic.cc.o" "gcc" "src/CMakeFiles/ebcp_stats.dir/stats/statistic.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/ebcp_stats.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/ebcp_stats.dir/stats/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ebcp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebcp_stats.dir/stats/group.cc.o"
+  "CMakeFiles/ebcp_stats.dir/stats/group.cc.o.d"
+  "CMakeFiles/ebcp_stats.dir/stats/statistic.cc.o"
+  "CMakeFiles/ebcp_stats.dir/stats/statistic.cc.o.d"
+  "CMakeFiles/ebcp_stats.dir/stats/table.cc.o"
+  "CMakeFiles/ebcp_stats.dir/stats/table.cc.o.d"
+  "libebcp_stats.a"
+  "libebcp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebcp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/address_map.cc" "src/CMakeFiles/ebcp_trace.dir/trace/address_map.cc.o" "gcc" "src/CMakeFiles/ebcp_trace.dir/trace/address_map.cc.o.d"
+  "/root/repo/src/trace/synthetic_workload.cc" "src/CMakeFiles/ebcp_trace.dir/trace/synthetic_workload.cc.o" "gcc" "src/CMakeFiles/ebcp_trace.dir/trace/synthetic_workload.cc.o.d"
+  "/root/repo/src/trace/trace_file.cc" "src/CMakeFiles/ebcp_trace.dir/trace/trace_file.cc.o" "gcc" "src/CMakeFiles/ebcp_trace.dir/trace/trace_file.cc.o.d"
+  "/root/repo/src/trace/workloads.cc" "src/CMakeFiles/ebcp_trace.dir/trace/workloads.cc.o" "gcc" "src/CMakeFiles/ebcp_trace.dir/trace/workloads.cc.o.d"
+  "/root/repo/src/trace/zipf.cc" "src/CMakeFiles/ebcp_trace.dir/trace/zipf.cc.o" "gcc" "src/CMakeFiles/ebcp_trace.dir/trace/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ebcp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ebcp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

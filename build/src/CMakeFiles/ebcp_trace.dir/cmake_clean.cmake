@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebcp_trace.dir/trace/address_map.cc.o"
+  "CMakeFiles/ebcp_trace.dir/trace/address_map.cc.o.d"
+  "CMakeFiles/ebcp_trace.dir/trace/synthetic_workload.cc.o"
+  "CMakeFiles/ebcp_trace.dir/trace/synthetic_workload.cc.o.d"
+  "CMakeFiles/ebcp_trace.dir/trace/trace_file.cc.o"
+  "CMakeFiles/ebcp_trace.dir/trace/trace_file.cc.o.d"
+  "CMakeFiles/ebcp_trace.dir/trace/workloads.cc.o"
+  "CMakeFiles/ebcp_trace.dir/trace/workloads.cc.o.d"
+  "CMakeFiles/ebcp_trace.dir/trace/zipf.cc.o"
+  "CMakeFiles/ebcp_trace.dir/trace/zipf.cc.o.d"
+  "libebcp_trace.a"
+  "libebcp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebcp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

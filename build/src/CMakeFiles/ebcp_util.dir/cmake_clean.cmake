@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebcp_util.dir/util/config.cc.o"
+  "CMakeFiles/ebcp_util.dir/util/config.cc.o.d"
+  "CMakeFiles/ebcp_util.dir/util/logging.cc.o"
+  "CMakeFiles/ebcp_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/ebcp_util.dir/util/str.cc.o"
+  "CMakeFiles/ebcp_util.dir/util/str.cc.o.d"
+  "libebcp_util.a"
+  "libebcp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebcp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

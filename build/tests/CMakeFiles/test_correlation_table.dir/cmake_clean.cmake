@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_correlation_table.dir/test_correlation_table.cc.o"
+  "CMakeFiles/test_correlation_table.dir/test_correlation_table.cc.o.d"
+  "test_correlation_table"
+  "test_correlation_table.pdb"
+  "test_correlation_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_correlation_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

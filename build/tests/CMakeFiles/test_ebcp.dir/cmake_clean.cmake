@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ebcp.dir/test_ebcp.cc.o"
+  "CMakeFiles/test_ebcp.dir/test_ebcp.cc.o.d"
+  "test_ebcp"
+  "test_ebcp.pdb"
+  "test_ebcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ebcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

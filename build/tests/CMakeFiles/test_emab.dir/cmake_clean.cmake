@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emab.dir/test_emab.cc.o"
+  "CMakeFiles/test_emab.dir/test_emab.cc.o.d"
+  "test_emab"
+  "test_emab.pdb"
+  "test_emab[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_epoch_properties.dir/test_epoch_properties.cc.o"
+  "CMakeFiles/test_epoch_properties.dir/test_epoch_properties.cc.o.d"
+  "test_epoch_properties"
+  "test_epoch_properties.pdb"
+  "test_epoch_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_epoch_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_allocation.dir/test_table_allocation.cc.o"
+  "CMakeFiles/test_table_allocation.dir/test_table_allocation.cc.o.d"
+  "test_table_allocation"
+  "test_table_allocation.pdb"
+  "test_table_allocation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_width_limiter.dir/test_width_limiter.cc.o"
+  "CMakeFiles/test_width_limiter.dir/test_width_limiter.cc.o.d"
+  "test_width_limiter"
+  "test_width_limiter.pdb"
+  "test_width_limiter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_width_limiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_branch_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_calibration[1]_include.cmake")
+include("/root/repo/build/tests/test_channel_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_cmp[1]_include.cmake")
+include("/root/repo/build/tests/test_core_model[1]_include.cmake")
+include("/root/repo/build/tests/test_correlation_table[1]_include.cmake")
+include("/root/repo/build/tests/test_ebcp[1]_include.cmake")
+include("/root/repo/build/tests/test_emab[1]_include.cmake")
+include("/root/repo/build/tests/test_epoch[1]_include.cmake")
+include("/root/repo/build/tests/test_epoch_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_mshr[1]_include.cmake")
+include("/root/repo/build/tests/test_prefetch_buffer[1]_include.cmake")
+include("/root/repo/build/tests/test_prefetchers[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_shapes[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_table_allocation[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_file[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_width_limiter[1]_include.cmake")

@@ -4,19 +4,27 @@
  * simulator and of the prefetchers, exposed as key=value arguments.
  *
  * Usage examples:
- * *   ebcp_cli workload=database prefetcher=ebcp degree=8 \
+ *   ebcp_cli workload=database prefetcher=ebcp degree=8 \
  *            table_entries=1048576 warm=4000000 measure=8000000
  *   ebcp_cli trace=/tmp/db.trc prefetcher=solihin-6-1
  *   ebcp_cli workload=specjbb cores=4 prefetcher=ebcp per_core=1
  *   ebcp_cli workload=tpcw prefetcher=ghb-large dump_stats=1
  *
- * Run with help=1 for the full knob list.
+ * Robustness knobs:
+ *   ebcp_cli workload=database faults=trace-bitflip,table-drop \
+ *            fault_rate=1e-3 trace_policy=skip-corrupt dump_stats=1
+ *   ebcp_cli workload=database faults=demand-stall stall_after=100000 \
+ *            watchdog=1000000
+ *
+ * Unknown keys are rejected with a nearest-key suggestion; a typo
+ * must not silently run the defaults. Run with help=1 for the list.
  */
 
 #include <iostream>
 
 #include "sim/cmp_system.hh"
 #include "sim/simulator.hh"
+#include "trace/fault_injection.hh"
 #include "trace/trace_file.hh"
 #include "trace/workloads.hh"
 #include "util/config.hh"
@@ -55,7 +63,43 @@ printHelp()
         "  bw_scale=F          memory bandwidth scale (default 1.0)\n"
         "  mem_latency=N       unloaded memory latency (default 500)\n"
         "  rob=N               reorder buffer entries (default 128)\n"
-        "  perfect_l2=0|1      CPI_perf mode\n";
+        "  perfect_l2=0|1      CPI_perf mode\n"
+        "\n"
+        "robustness:\n"
+        "  faults=LIST         comma-separated fault kinds to inject:\n"
+        "                      trace-bitflip|trace-truncate|\n"
+        "                      trace-shortread|table-drop|table-delay|\n"
+        "                      demand-stall\n"
+        "  fault_seed=N        fault-injection seed (default 1)\n"
+        "  fault_rate=F        per-opportunity fault probability\n"
+        "                      (default 1e-3)\n"
+        "  stall_after=N       demand accesses before demand-stall\n"
+        "  trace_policy=strict|skip-corrupt|stop-at-corrupt\n"
+        "                      reaction to corrupt trace chunks\n"
+        "  watchdog=N          max ticks between retirements before the\n"
+        "                      run is declared stalled (0 = off)\n";
+}
+
+const std::vector<std::string> &
+knownKeys()
+{
+    static const std::vector<std::string> keys = {
+        "help",        "workload",    "trace",        "seed",
+        "warm",        "measure",     "cores",        "dump_stats",
+        "prefetcher",  "degree",      "table_entries","train_all",
+        "on_chip_table","per_core",   "l2_kb",        "pf_buffer",
+        "bw_scale",    "mem_latency", "rob",          "perfect_l2",
+        "faults",      "fault_seed",  "fault_rate",   "stall_after",
+        "trace_policy","watchdog",
+    };
+    return keys;
+}
+
+int
+fail(const Status &s)
+{
+    std::cerr << "ebcp_cli: " << s.toString() << "\n";
+    return 1;
 }
 
 } // namespace
@@ -63,11 +107,17 @@ printHelp()
 int
 main(int argc, char **argv)
 {
-    ConfigStore cs = ConfigStore::fromArgs(argc, argv);
+    StatusOr<ConfigStore> parsed = ConfigStore::parseArgs(argc, argv);
+    if (!parsed.ok())
+        return fail(parsed.status());
+    ConfigStore cs = parsed.take();
+
     if (cs.getBool("help", false)) {
         printHelp();
         return 0;
     }
+    if (Status s = cs.checkKnownKeys(knownKeys()); !s.ok())
+        return fail(s);
 
     SimConfig cfg;
     cfg.l2.sizeBytes = cs.getU64("l2_kb", 2048) * KiB;
@@ -77,6 +127,21 @@ main(int argc, char **argv)
     cfg.mem.scaleBandwidth(cs.getDouble("bw_scale", 1.0));
     cfg.core.robEntries = static_cast<unsigned>(cs.getU64("rob", 128));
     cfg.perfectL2 = cs.getBool("perfect_l2", false);
+    cfg.watchdogTicks = cs.getU64("watchdog", 0);
+
+    StatusOr<FaultPlan> plan =
+        FaultPlan::parse(cs.getString("faults", ""),
+                         cs.getU64("fault_seed", 1));
+    if (!plan.ok())
+        return fail(plan.status());
+    cfg.faults = plan.take();
+    cfg.faults.rate = cs.getDouble("fault_rate", 1e-3);
+    cfg.faults.stallAfter = cs.getU64("stall_after", 100'000);
+
+    StatusOr<TraceReadPolicy> policy = traceReadPolicyFromName(
+        cs.getString("trace_policy", "strict"));
+    if (!policy.ok())
+        return fail(policy.status());
 
     const unsigned cores =
         static_cast<unsigned>(cs.getU64("cores", 1));
@@ -89,6 +154,7 @@ main(int argc, char **argv)
     pf.solihin.tableEntries = pf.ebcp.tableEntries;
     pf.ebcp.trainAllOldestMisses = cs.getBool("train_all", false);
     pf.ebcp.onChipTable = cs.getBool("on_chip_table", false);
+    pf.ebcp.faults = cfg.faults;
     if (cs.getBool("per_core", true))
         pf.ebcp.numCoreStates = cores;
 
@@ -96,10 +162,27 @@ main(int argc, char **argv)
     const std::uint64_t measure = cs.getU64("measure", 4'000'000);
 
     if (cores > 1) {
-        fatal_if(cs.has("trace"), "CMP mode replays workloads only");
+        if (cs.has("trace"))
+            return fail(invalidArgError(
+                "CMP mode replays workloads only"));
         const std::string workload =
             cs.getString("workload", "database");
-        CmpResults r = runCmp(cfg, pf, workload, cores, warm, measure);
+
+        CmpSystem sys(cfg, pf, cores);
+        std::vector<std::unique_ptr<SyntheticWorkload>> owned;
+        std::vector<TraceSource *> sources;
+        for (unsigned i = 0; i < cores; ++i) {
+            StatusOr<std::unique_ptr<SyntheticWorkload>> w =
+                tryMakeWorkload(workload, 1000 + i);
+            if (!w.ok())
+                return fail(w.status());
+            owned.push_back(w.take());
+            sources.push_back(owned.back().get());
+        }
+        StatusOr<CmpResults> res = sys.tryRun(sources, warm, measure);
+        if (!res.ok())
+            return fail(res.status());
+        CmpResults r = res.take();
         std::cout << cores << "-core '" << workload << "' with "
                   << pf.name << ":\n  aggregate CPI "
                   << r.aggregateCpi << ", coverage "
@@ -111,18 +194,42 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // Build the trace source chain: file or workload, optionally
+    // wrapped in the fault injector.
     std::unique_ptr<TraceSource> src;
+    FileTraceSource *file_src = nullptr;
     std::string source_name;
     if (cs.has("trace")) {
         source_name = cs.getString("trace", "");
-        src = std::make_unique<FileTraceSource>(source_name, true);
+        StatusOr<std::unique_ptr<FileTraceSource>> f =
+            FileTraceSource::open(source_name, true, policy.value());
+        if (!f.ok())
+            return fail(f.status());
+        file_src = f.value().get();
+        src = f.take();
     } else {
         source_name = cs.getString("workload", "database");
-        src = makeWorkload(source_name, cs.getU64("seed", 0));
+        StatusOr<std::unique_ptr<SyntheticWorkload>> w =
+            tryMakeWorkload(source_name, cs.getU64("seed", 0));
+        if (!w.ok())
+            return fail(w.status());
+        src = w.take();
+    }
+
+    std::unique_ptr<FaultInjectingTraceSource> injector;
+    TraceSource *run_src = src.get();
+    if (cfg.faults.traceBitflip || cfg.faults.traceTruncate ||
+        cfg.faults.traceShortRead) {
+        injector = std::make_unique<FaultInjectingTraceSource>(
+            *src, cfg.faults);
+        run_src = injector.get();
     }
 
     Simulator sim(cfg, pf);
-    SimResults r = sim.run(*src, warm, measure);
+    StatusOr<SimResults> res = sim.tryRun(*run_src, warm, measure);
+    if (!res.ok())
+        return fail(res.status());
+    SimResults r = res.take();
 
     std::cout << "'" << source_name << "' with " << pf.name << ":\n"
               << "  CPI " << r.cpi << "\n"
@@ -137,7 +244,29 @@ main(int argc, char **argv)
               << "  bus utilization: read " << r.readBusUtil * 100.0
               << "%, write " << r.writeBusUtil * 100.0 << "%\n";
 
-    if (cs.getBool("dump_stats", false))
+    // Robustness report: what was injected, what was recovered.
+    if (injector)
+        std::cout << "  faults injected: " << injector->bitflipsInjected()
+                  << " bitflips, " << injector->shortReadsInjected()
+                  << " short reads (" << injector->recordsDropped()
+                  << " records), " << injector->truncationsInjected()
+                  << " truncations\n";
+    if (file_src) {
+        std::cout << "  trace integrity: " << file_src->corruptChunks()
+                  << " corrupt chunks, " << file_src->recordsSkipped()
+                  << " records skipped, " << file_src->truncatedTails()
+                  << " truncated tails, " << file_src->recordsSanitized()
+                  << " records sanitized\n";
+        if (!file_src->status().ok())
+            return fail(file_src->status());
+    }
+
+    if (cs.getBool("dump_stats", false)) {
         sim.dumpStats(std::cout);
+        if (injector)
+            injector->stats().dump(std::cout);
+        if (file_src)
+            file_src->stats().dump(std::cout);
+    }
     return 0;
 }

@@ -7,7 +7,12 @@
  *              file=/tmp/db.trc
  *   trace_tool mode=dump file=/tmp/db.trc [count=20]
  *   trace_tool mode=replay file=/tmp/db.trc [prefetcher=ebcp] \
- *              [warm=500000] [measure=1000000]
+ *              [warm=500000] [measure=1000000] \
+ *              [trace_policy=strict|skip-corrupt|stop-at-corrupt]
+ *
+ * All file and name errors are reported to stderr with context and a
+ * nonzero exit -- a bad path or a corrupt trace is user input, not a
+ * simulator bug.
  */
 
 #include <iostream>
@@ -24,17 +29,42 @@ namespace
 {
 
 int
+fail(const Status &s)
+{
+    std::cerr << "trace_tool: " << s.toString() << "\n";
+    return 1;
+}
+
+StatusOr<TraceReadPolicy>
+policyOf(const ConfigStore &cs)
+{
+    return traceReadPolicyFromName(
+        cs.getString("trace_policy", "strict"));
+}
+
+int
 record(const ConfigStore &cs)
 {
     const std::string workload = cs.getString("workload", "database");
     const std::string file = cs.getString("file", "/tmp/ebcp.trc");
     const std::uint64_t insts = cs.getU64("insts", 1'000'000);
 
-    auto src = makeWorkload(workload);
-    TraceFileWriter w(file);
-    w.capture(*src, insts);
-    std::cout << "recorded " << w.recordsWritten() << " records of '"
-              << workload << "' to " << file << "\n";
+    StatusOr<std::unique_ptr<SyntheticWorkload>> src =
+        tryMakeWorkload(workload);
+    if (!src.ok())
+        return fail(src.status());
+
+    StatusOr<std::unique_ptr<TraceFileWriter>> w =
+        TraceFileWriter::open(file);
+    if (!w.ok())
+        return fail(w.status());
+
+    if (Status s = w.value()->capture(*src.value(), insts); !s.ok())
+        return fail(s);
+    if (Status s = w.value()->close(); !s.ok())
+        return fail(s);
+    std::cout << "recorded " << w.value()->recordsWritten()
+              << " records of '" << workload << "' to " << file << "\n";
     return 0;
 }
 
@@ -44,7 +74,16 @@ dump(const ConfigStore &cs)
     const std::string file = cs.getString("file", "/tmp/ebcp.trc");
     const std::uint64_t count = cs.getU64("count", 20);
 
-    FileTraceSource src(file, false);
+    StatusOr<TraceReadPolicy> policy = policyOf(cs);
+    if (!policy.ok())
+        return fail(policy.status());
+
+    StatusOr<std::unique_ptr<FileTraceSource>> opened =
+        FileTraceSource::open(file, false, policy.value());
+    if (!opened.ok())
+        return fail(opened.status());
+    FileTraceSource &src = *opened.value();
+
     TraceRecord rec;
     for (std::uint64_t i = 0; i < count && src.next(rec); ++i) {
         std::cout << std::hex << "pc=0x" << rec.pc << std::dec << " "
@@ -57,6 +96,8 @@ dump(const ConfigStore &cs)
                       << std::dec;
         std::cout << "\n";
     }
+    if (!src.status().ok())
+        return fail(src.status());
     return 0;
 }
 
@@ -71,12 +112,31 @@ replay(const ConfigStore &cs)
     PrefetcherParams p;
     p.name = cs.getString("prefetcher", "ebcp");
 
-    FileTraceSource src(file, true);
-    SimResults r = runOnce(cfg, p, src, warm, measure);
+    StatusOr<TraceReadPolicy> policy = policyOf(cs);
+    if (!policy.ok())
+        return fail(policy.status());
+
+    StatusOr<std::unique_ptr<FileTraceSource>> opened =
+        FileTraceSource::open(file, true, policy.value());
+    if (!opened.ok())
+        return fail(opened.status());
+    FileTraceSource &src = *opened.value();
+
+    Simulator sim(cfg, p);
+    StatusOr<SimResults> res = sim.tryRun(src, warm, measure);
+    if (!res.ok())
+        return fail(res.status());
+    SimResults r = res.take();
     std::cout << "replayed " << src.recordsRead() << " records ("
               << p.name << "): CPI " << r.cpi << ", "
               << r.epochsPer1k << " epochs/1000, coverage "
               << r.coverage * 100.0 << "%\n";
+    if (src.corruptChunks() || src.recordsSkipped())
+        std::cout << "trace integrity: " << src.corruptChunks()
+                  << " corrupt chunks, " << src.recordsSkipped()
+                  << " records skipped\n";
+    if (!src.status().ok())
+        return fail(src.status());
     return 0;
 }
 
@@ -85,7 +145,11 @@ replay(const ConfigStore &cs)
 int
 main(int argc, char **argv)
 {
-    ConfigStore cs = ConfigStore::fromArgs(argc, argv);
+    StatusOr<ConfigStore> parsed = ConfigStore::parseArgs(argc, argv);
+    if (!parsed.ok())
+        return fail(parsed.status());
+    const ConfigStore cs = parsed.take();
+
     const std::string mode = cs.getString("mode", "record");
     if (mode == "record")
         return record(cs);
@@ -93,7 +157,6 @@ main(int argc, char **argv)
         return dump(cs);
     if (mode == "replay")
         return replay(cs);
-    std::cerr << "unknown mode '" << mode
-              << "' (expected record/dump/replay)\n";
-    return 1;
+    return fail(invalidArgError("unknown mode '", mode,
+                                "' (expected record/dump/replay)"));
 }

@@ -1,6 +1,7 @@
 #include "cache/mshr.hh"
 
 #include <algorithm>
+#include <ostream>
 
 #include "util/logging.hh"
 
@@ -66,6 +67,23 @@ MshrFile::clear()
 {
     inflight_.clear();
     heap_ = {};
+}
+
+void
+MshrFile::dump(std::ostream &os, std::size_t max_entries) const
+{
+    os << stats_.name() << ": " << inflight_.size() << "/" << entries_
+       << " in flight\n";
+    std::size_t shown = 0;
+    for (const auto &kv : inflight_) {
+        if (shown++ >= max_entries) {
+            os << "  ... " << (inflight_.size() - max_entries)
+               << " more\n";
+            break;
+        }
+        os << "  line 0x" << std::hex << kv.first << std::dec
+           << " completes @" << kv.second << "\n";
+    }
 }
 
 } // namespace ebcp

@@ -57,6 +57,10 @@ class MshrFile
     /** Drop all tracked entries. */
     void clear();
 
+    /** One-line-per-entry snapshot of the in-flight misses (watchdog
+     * diagnostics); at most @p max_entries lines. */
+    void dump(std::ostream &os, std::size_t max_entries = 8) const;
+
     StatGroup &stats() { return stats_; }
 
   private:

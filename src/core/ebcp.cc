@@ -11,7 +11,9 @@ EpochBasedPrefetcher::EpochBasedPrefetcher(const EbcpConfig &cfg)
     : Prefetcher("ebcp"),
       cfg_(cfg),
       table_({cfg.tableEntries, cfg.prefetchDegree, 64}),
-      alloc_(table_.config().footprintBytes(), cfg.reallocRetryInterval)
+      alloc_(table_.config().footprintBytes(), cfg.reallocRetryInterval),
+      faultRng_(cfg.faults.seed,
+                static_cast<std::uint64_t>(FaultStream::Table))
 {
     fatal_if(cfg.numCoreStates == 0, "EBCP needs at least one core");
     for (unsigned i = 0; i < cfg.numCoreStates; ++i)
@@ -24,9 +26,30 @@ EpochBasedPrefetcher::EpochBasedPrefetcher(const EbcpConfig &cfg)
     stats().add(prefetchesRequested_);
     stats().add(inactiveSkips_);
     stats().add(droppedTableReads_);
+    stats().add(injectedReadDrops_);
+    stats().add(injectedReadDelays_);
     stats().addChild(table_.stats());
     stats().addChild(alloc_.stats());
     stats().addChild(states_[0]->tracker.stats());
+}
+
+MemAccessResult
+EpochBasedPrefetcher::faultyTableRead(Tick when)
+{
+    // Injected table-read faults model the real failure modes of a
+    // best-effort memory-resident table -- a read lost to saturation
+    // or arriving too late -- and must degrade coverage only.
+    if (cfg_.faults.tableDrop && faultRng_.chance(cfg_.faults.rate)) {
+        ++injectedReadDrops_;
+        return MemAccessResult{when, when, true};
+    }
+    MemAccessResult rd = engine_->tableRead(when);
+    if (!rd.dropped && cfg_.faults.tableDelay &&
+        faultRng_.chance(cfg_.faults.rate)) {
+        ++injectedReadDelays_;
+        rd.complete += cfg_.faults.tableDelayTicks;
+    }
+    return rd;
 }
 
 EpochBasedPrefetcher::CoreState &
@@ -121,7 +144,7 @@ EpochBasedPrefetcher::onEpochStart(const L2AccessInfo &info,
                 // priority (Section 3.4.4's second read + first
                 // write). An idealized on-chip table costs nothing.
                 if (!cfg_.onChipTable) {
-                    MemAccessResult rd = engine_->tableRead(info.when);
+                    MemAccessResult rd = faultyTableRead(info.when);
                     if (rd.dropped) {
                         ++droppedTableReads_;
                         continue;
@@ -143,7 +166,7 @@ EpochBasedPrefetcher::onEpochStart(const L2AccessInfo &info,
     ++predictions_;
     MemAccessResult rd{info.when, info.when, false};
     if (!cfg_.onChipTable) {
-        rd = engine_->tableRead(info.when);
+        rd = faultyTableRead(info.when);
         if (rd.dropped) {
             ++droppedTableReads_;
             return;

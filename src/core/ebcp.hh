@@ -36,6 +36,8 @@
 #include "core/table_allocation.hh"
 #include "epoch/epoch_tracker.hh"
 #include "prefetch/prefetcher.hh"
+#include "util/fault.hh"
+#include "util/random.hh"
 
 namespace ebcp
 {
@@ -85,6 +87,13 @@ struct EbcpConfig
      * memory-resident table matter.
      */
     bool onChipTable = false;
+
+    /**
+     * Fault-injection plan for the table read path (table-drop /
+     * table-delay kinds): demonstrates that a lost or late
+     * correlation-table read costs coverage, never correctness.
+     */
+    FaultPlan faults;
 };
 
 /** The epoch-based correlation prefetcher control. */
@@ -125,6 +134,9 @@ class EpochBasedPrefetcher : public Prefetcher
     void onEpochStart(const L2AccessInfo &info, EpochId epoch,
                       CoreState &cs);
 
+    /** engine_->tableRead() with the plan's table faults applied. */
+    MemAccessResult faultyTableRead(Tick when);
+
     /** Gather the training payload (older epoch first, deduplicated,
      * truncated to the table's slot count). */
     std::vector<Addr> trainingPayload(const CoreState &cs) const;
@@ -136,6 +148,7 @@ class EpochBasedPrefetcher : public Prefetcher
     CorrelationTable table_;
     TableAllocation alloc_;
     bool osRequested_ = false;
+    Pcg32 faultRng_;
 
     std::vector<Addr> lookupOut_; //!< scratch, avoids per-epoch allocs
 
@@ -149,6 +162,10 @@ class EpochBasedPrefetcher : public Prefetcher
                           "epoch boundaries skipped while inactive"};
     Scalar droppedTableReads_{"dropped_table_reads",
                               "table reads lost to bus saturation"};
+    Scalar injectedReadDrops_{"injected_read_drops",
+                              "table reads lost to fault injection"};
+    Scalar injectedReadDelays_{"injected_read_delays",
+                               "table reads delayed by fault injection"};
 };
 
 } // namespace ebcp

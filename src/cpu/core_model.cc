@@ -74,10 +74,13 @@ CoreModel::process(const TraceRecord &rec)
     // ------------------------------------------------------------------
     // Issue + execute.
     // ------------------------------------------------------------------
+    // The < NumArchRegs bound subsumes the != NoReg check and also
+    // shields the array from out-of-range register ids in records
+    // from untrusted sources (corrupt traces, fault injection).
     Tick ready = t.dispatch;
-    if (rec.srcReg0 != NoReg)
+    if (rec.srcReg0 < NumArchRegs)
         ready = std::max(ready, regReady_[rec.srcReg0]);
-    if (rec.srcReg1 != NoReg)
+    if (rec.srcReg1 < NumArchRegs)
         ready = std::max(ready, regReady_[rec.srcReg1]);
 
     switch (rec.op) {
@@ -135,7 +138,7 @@ CoreModel::process(const TraceRecord &rec)
         break;
     }
 
-    if (rec.dstReg != NoReg)
+    if (rec.dstReg < NumArchRegs)
         regReady_[rec.dstReg] = t.complete;
 
     // ------------------------------------------------------------------
@@ -164,8 +167,28 @@ void
 CoreModel::run(TraceSource &src, std::uint64_t count)
 {
     TraceRecord rec;
-    for (std::uint64_t i = 0; i < count && src.next(rec); ++i)
-        process(rec);
+    Tick prev_retire = lastRetire_;
+    for (std::uint64_t i = 0; i < count && src.next(rec); ++i) {
+        const InstTiming t = process(rec);
+        if (watchdogLimit_ && t.retire > prev_retire + watchdogLimit_) {
+            watchdogTripped_ = true;
+            watchdogGap_ = t.retire - prev_retire;
+            return;
+        }
+        prev_retire = t.retire;
+    }
+}
+
+unsigned
+CoreModel::robOccupancyAfter(Tick t) const
+{
+    const std::uint64_t valid =
+        std::min<std::uint64_t>(seq_, cfg_.robEntries);
+    unsigned busy = 0;
+    for (std::uint64_t i = 0; i < valid; ++i)
+        if (robRetire_[i] > t)
+            ++busy;
+    return busy;
 }
 
 void

@@ -87,6 +87,30 @@ class CoreModel
     Tick now() const { return lastRetire_; }
     std::uint64_t instCount() const { return insts_; }
 
+    /**
+     * Arm the forward-progress watchdog: run() stops (and
+     * watchdogTripped() turns true) once consecutive retirements are
+     * more than @p max_retire_gap ticks apart. In this one-pass model
+     * every instruction retires eventually, so a liveness bug in the
+     * timing machinery (leaked MSHR, wedged channel) manifests as an
+     * unbounded tick jump between retirements -- exactly what this
+     * detects. 0 disables.
+     */
+    void setWatchdog(Tick max_retire_gap)
+    {
+        watchdogLimit_ = max_retire_gap;
+    }
+
+    bool watchdogTripped() const { return watchdogTripped_; }
+
+    /** The retire gap that tripped the watchdog. */
+    Tick watchdogGap() const { return watchdogGap_; }
+
+    /** ROB entries retiring after tick @p t (watchdog diagnostics:
+     * pass the last healthy retire tick to see what was in flight
+     * across the stall). */
+    unsigned robOccupancyAfter(Tick t) const;
+
     BranchPredictor &branchPredictor() { return bp_; }
     StatGroup &stats() { return stats_; }
 
@@ -128,6 +152,10 @@ class CoreModel
     std::uint64_t insts_ = 0;
     std::uint64_t instMark_ = 0;
     Tick tickMark_ = 0;
+
+    Tick watchdogLimit_ = 0; //!< max retire-to-retire gap; 0 = off
+    Tick watchdogGap_ = 0;
+    bool watchdogTripped_ = false;
 
     StatGroup stats_;
     Scalar loads_{"loads", "load instructions"};

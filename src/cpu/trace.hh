@@ -39,6 +39,35 @@ struct TraceRecord
     Addr target = 0;           //!< branch target (control classes)
 };
 
+/**
+ * Clamp out-of-range fields of a record from an untrusted source
+ * (corrupt trace file, fault injection): an unknown op class becomes a
+ * Nop and an out-of-range register id becomes NoReg, so a flipped bit
+ * can at worst mistime an instruction, never index out of bounds.
+ *
+ * @return true if anything was clamped.
+ */
+inline bool
+sanitizeRecord(TraceRecord &r)
+{
+    bool touched = false;
+    if (static_cast<unsigned char>(r.op) >
+        static_cast<unsigned char>(OpClass::Nop)) {
+        r.op = OpClass::Nop;
+        touched = true;
+    }
+    const auto clampReg = [&touched](std::uint8_t &reg) {
+        if (reg >= NumArchRegs && reg != NoReg) {
+            reg = NoReg;
+            touched = true;
+        }
+    };
+    clampReg(r.dstReg);
+    clampReg(r.srcReg0);
+    clampReg(r.srcReg1);
+    return touched;
+}
+
 /** Pull-model trace source. */
 class TraceSource
 {

@@ -1,5 +1,6 @@
 #include "sim/cmp_system.hh"
 
+#include "sim/watchdog.hh"
 #include "trace/workloads.hh"
 #include "util/logging.hh"
 
@@ -23,10 +24,11 @@ CmpSystem::CmpSystem(const SimConfig &cfg, const PrefetcherParams &pf,
         ports_.push_back(std::make_unique<Hierarchy>(cfg_, *l2side_, i));
         coreModels_.push_back(
             std::make_unique<CoreModel>(cfg_.core, *ports_[i]));
+        coreModels_.back()->setWatchdog(cfg_.watchdogTicks);
     }
 }
 
-void
+Status
 CmpSystem::runPhase(std::vector<TraceSource *> &sources,
                     std::uint64_t insts_per_core)
 {
@@ -48,27 +50,34 @@ CmpSystem::runPhase(std::vector<TraceSource *> &sources,
             if (chunk == 0)
                 continue;
             coreModels_[i]->run(*sources[i], chunk);
+            if (coreModels_[i]->watchdogTripped())
+                return stalledError(progressDiagnostic(
+                    logFormat("core", i), *coreModels_[i], *l2side_,
+                    mem_, *prefetcher_));
             done[i] += chunk;
             remaining -= chunk;
         }
     }
+    return Status();
 }
 
-CmpResults
-CmpSystem::run(std::vector<TraceSource *> &sources, std::uint64_t warm,
-               std::uint64_t measure)
+StatusOr<CmpResults>
+CmpSystem::tryRun(std::vector<TraceSource *> &sources,
+                  std::uint64_t warm, std::uint64_t measure)
 {
     fatal_if(sources.size() != cores_,
              "CMP needs one trace source per core");
 
-    runPhase(sources, warm);
+    if (Status s = runPhase(sources, warm); !s.ok())
+        return s;
 
     for (auto &c : coreModels_)
         c->beginMeasurement();
     l2side_->beginMeasurement();
     mem_.stats().resetAll();
 
-    runPhase(sources, measure);
+    if (Status s = runPhase(sources, measure); !s.ok())
+        return s;
 
     CmpResults res;
     std::uint64_t total_insts = 0;
@@ -99,6 +108,15 @@ CmpSystem::run(std::vector<TraceSource *> &sources, std::uint64_t warm,
                        : 0.0;
     res.epochs = l2side_->epochTracker().epochs();
     return res;
+}
+
+CmpResults
+CmpSystem::run(std::vector<TraceSource *> &sources, std::uint64_t warm,
+               std::uint64_t measure)
+{
+    StatusOr<CmpResults> r = tryRun(sources, warm, measure);
+    fatal_if(!r.ok(), r.status().toString());
+    return r.take();
 }
 
 CmpResults

@@ -31,6 +31,7 @@
 #include "sim/results.hh"
 #include "sim/sim_config.hh"
 #include "util/random.hh"
+#include "util/status.hh"
 
 namespace ebcp
 {
@@ -63,8 +64,17 @@ class CmpSystem
      * Run all cores, interleaved, for @p warm then @p measure
      * instructions per core.
      *
+     * Fails with StatusCode::Stalled (message carrying the offending
+     * core's progress diagnostic) if the configured forward-progress
+     * watchdog trips on any core.
+     *
      * @param sources one trace source per core
      */
+    StatusOr<CmpResults> tryRun(std::vector<TraceSource *> &sources,
+                                std::uint64_t warm,
+                                std::uint64_t measure);
+
+    /** As tryRun(), but a watchdog trip is fatal. */
     CmpResults run(std::vector<TraceSource *> &sources,
                    std::uint64_t warm, std::uint64_t measure);
 
@@ -74,8 +84,8 @@ class CmpSystem
     Prefetcher &prefetcher() { return *prefetcher_; }
 
   private:
-    void runPhase(std::vector<TraceSource *> &sources,
-                  std::uint64_t insts_per_core);
+    Status runPhase(std::vector<TraceSource *> &sources,
+                    std::uint64_t insts_per_core);
 
     SimConfig cfg_;
     unsigned cores_;

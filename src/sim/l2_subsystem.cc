@@ -23,6 +23,7 @@ L2Subsystem::L2Subsystem(const SimConfig &cfg, MainMemory &mem,
     stats_.add(usefulPrefetches_);
     stats_.add(latePrefetchStalls_);
     stats_.add(lateStallTicks_);
+    stats_.add(injectedStalls_);
     stats_.addChild(l2_.stats());
     stats_.addChild(prefBuf_.stats());
     stats_.addChild(l2Mshrs_.stats());
@@ -45,6 +46,16 @@ L2Subsystem::access(Addr addr, Addr pc, Tick when, bool is_inst,
     info.isInst = is_inst;
     info.when = when;
     info.coreId = core_id;
+
+    // Injected liveness bug (watchdog demo/testing): once the demand
+    // count crosses the threshold, one access "loses" its completion
+    // far in the future, exactly like a wedged channel would look.
+    if (cfg_.faults.demandStall && ++demandCount_ == cfg_.faults.stallAfter) {
+        ++injectedStalls_;
+        out.complete = when + FaultPlan::StallTicks;
+        out.offChip = true;
+        return out;
+    }
 
     if (cfg_.perfectL2) {
         // CPI_perf mode: the furthest on-chip cache always hits.

@@ -60,6 +60,7 @@ class L2Subsystem : public PrefetchEngine
     EpochTracker &epochTracker() { return epochs_; }
     Cache &l2() { return l2_; }
     PrefetchBuffer &prefetchBuffer() { return prefBuf_; }
+    MshrFile &mshrs() { return l2Mshrs_; }
 
     std::uint64_t usefulPrefetches() const
     {
@@ -91,6 +92,7 @@ class L2Subsystem : public PrefetchEngine
     MshrFile l2Mshrs_;
     EpochTracker epochs_;
     unsigned tableBytes_ = 64;
+    std::uint64_t demandCount_ = 0; //!< demand accesses (fault trigger)
 
     StatGroup stats_;
     Scalar offChipInst_{"offchip_inst", "instruction fetches off chip"};
@@ -107,6 +109,8 @@ class L2Subsystem : public PrefetchEngine
                                "buffer hits that still had to wait"};
     Average lateStallTicks_{"late_stall_ticks",
                             "residual wait of late prefetch hits"};
+    Scalar injectedStalls_{"injected_stalls",
+                           "demand-stall faults injected"};
 };
 
 } // namespace ebcp

@@ -1,12 +1,13 @@
 #include "sim/prefetcher_factory.hh"
 
 #include "util/logging.hh"
+#include "util/str.hh"
 
 namespace ebcp
 {
 
-std::unique_ptr<Prefetcher>
-createPrefetcher(const PrefetcherParams &p)
+StatusOr<std::unique_ptr<Prefetcher>>
+tryCreatePrefetcher(const PrefetcherParams &p)
 {
     const std::string &n = p.name;
 
@@ -58,7 +59,19 @@ createPrefetcher(const PrefetcherParams &p)
         return std::make_unique<SolihinPrefetcher>(
             SolihinConfig::depth6width1(), "solihin_6_1");
 
-    fatal("unknown prefetcher '", n, "'");
+    std::string hint = nearestMatch(n, prefetcherNames());
+    return notFoundError("unknown prefetcher '", n, "'",
+                         hint.empty()
+                             ? std::string()
+                             : " (did you mean '" + hint + "'?)");
+}
+
+std::unique_ptr<Prefetcher>
+createPrefetcher(const PrefetcherParams &p)
+{
+    StatusOr<std::unique_ptr<Prefetcher>> r = tryCreatePrefetcher(p);
+    fatal_if(!r.ok(), r.status().toString());
+    return r.take();
 }
 
 std::vector<std::string>

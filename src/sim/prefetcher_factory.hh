@@ -21,6 +21,7 @@
 #include "prefetch/solihin.hh"
 #include "prefetch/stream_prefetcher.hh"
 #include "prefetch/tcp.hh"
+#include "util/status.hh"
 
 namespace ebcp
 {
@@ -39,8 +40,13 @@ struct PrefetcherParams
 };
 
 /**
- * Build a prefetcher. fatal()s on an unknown name.
+ * Build a prefetcher; an unknown name yields NotFound with a
+ * nearest-name suggestion.
  */
+StatusOr<std::unique_ptr<Prefetcher>>
+tryCreatePrefetcher(const PrefetcherParams &p);
+
+/** As tryCreatePrefetcher(), but an unknown name is fatal. */
 std::unique_ptr<Prefetcher> createPrefetcher(const PrefetcherParams &p);
 
 /** All names the factory accepts (for tests and CLI help). */

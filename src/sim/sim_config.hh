@@ -12,6 +12,7 @@
 #include "cache/cache_config.hh"
 #include "cpu/core_config.hh"
 #include "mem/mem_config.hh"
+#include "util/fault.hh"
 #include "util/types.hh"
 
 namespace ebcp
@@ -40,6 +41,16 @@ struct SimConfig
 
     /** Prefetcher selection for the factory ("null", "ebcp", ...). */
     std::string prefetcher = "null";
+
+    /**
+     * Forward-progress watchdog: maximum tolerated gap (in ticks)
+     * between consecutive retirements before the run is declared
+     * stalled and aborted with a diagnostic dump. 0 disables.
+     */
+    Tick watchdogTicks = 0;
+
+    /** Deterministic fault-injection plan (none armed by default). */
+    FaultPlan faults;
 };
 
 } // namespace ebcp

@@ -2,6 +2,9 @@
 
 #include <ostream>
 
+#include "sim/watchdog.hh"
+#include "util/logging.hh"
+
 namespace ebcp
 {
 
@@ -19,11 +22,16 @@ Simulator::Simulator(const SimConfig &cfg, const PrefetcherParams &pf)
             e->table().config().entryTransferBytes());
 }
 
-SimResults
-Simulator::run(TraceSource &src, std::uint64_t warm_insts,
-               std::uint64_t measure_insts)
+StatusOr<SimResults>
+Simulator::tryRun(TraceSource &src, std::uint64_t warm_insts,
+                  std::uint64_t measure_insts)
 {
+    core_->setWatchdog(cfg_.watchdogTicks);
+
     core_->run(src, warm_insts);
+    if (core_->watchdogTripped())
+        return stalledError(progressDiagnostic("", *core_, *l2side_,
+                                               mem_, *prefetcher_));
 
     core_->beginMeasurement();
     hier_->beginMeasurement();
@@ -33,7 +41,19 @@ Simulator::run(TraceSource &src, std::uint64_t warm_insts,
     writeBusyMark_ = mem_.writeChannel().busyTicks();
 
     core_->run(src, measure_insts);
+    if (core_->watchdogTripped())
+        return stalledError(progressDiagnostic("", *core_, *l2side_,
+                                               mem_, *prefetcher_));
     return collect();
+}
+
+SimResults
+Simulator::run(TraceSource &src, std::uint64_t warm_insts,
+               std::uint64_t measure_insts)
+{
+    StatusOr<SimResults> r = tryRun(src, warm_insts, measure_insts);
+    fatal_if(!r.ok(), r.status().toString());
+    return r.take();
 }
 
 SimResults

@@ -16,6 +16,7 @@
 #include "sim/prefetcher_factory.hh"
 #include "sim/results.hh"
 #include "sim/sim_config.hh"
+#include "util/status.hh"
 
 namespace ebcp
 {
@@ -29,7 +30,16 @@ class Simulator
     /**
      * Warm caches and predictors for @p warm_insts instructions, then
      * measure for @p measure_insts.
+     *
+     * Fails with StatusCode::Stalled -- the message carrying a full
+     * progress diagnostic (ROB/MSHR/channel/EMAB state) -- if the
+     * configured forward-progress watchdog trips in either window.
      */
+    StatusOr<SimResults> tryRun(TraceSource &src,
+                                std::uint64_t warm_insts,
+                                std::uint64_t measure_insts);
+
+    /** As tryRun(), but a watchdog trip is fatal. */
     SimResults run(TraceSource &src, std::uint64_t warm_insts,
                    std::uint64_t measure_insts);
 

@@ -1,0 +1,49 @@
+#include "sim/watchdog.hh"
+
+#include <sstream>
+
+#include "core/ebcp.hh"
+
+namespace ebcp
+{
+
+std::string
+progressDiagnostic(const std::string &label, CoreModel &core,
+                   L2Subsystem &l2side, MainMemory &mem,
+                   Prefetcher &prefetcher)
+{
+    std::ostringstream os;
+    const Tick tripped_at = core.now();
+    const Tick gap = core.watchdogGap();
+    const Tick healthy = tripped_at > gap ? tripped_at - gap : 0;
+
+    os << "forward-progress watchdog tripped";
+    if (!label.empty())
+        os << " on " << label;
+    os << ": " << gap << " ticks between retirements (last healthy "
+       << "retire @" << healthy << ", stalled retire @" << tripped_at
+       << ", " << core.instCount() << " insts processed)\n";
+
+    os << "rob: " << core.robOccupancyAfter(healthy)
+       << " entries were in flight across the stall\n";
+
+    l2side.mshrs().dump(os);
+
+    os << "read channel: " << mem.readChannel().busyTicks()
+       << " busy ticks; write channel: "
+       << mem.writeChannel().busyTicks() << " busy ticks\n";
+
+    if (auto *e = dynamic_cast<EpochBasedPrefetcher *>(&prefetcher)) {
+        const Emab &emab = e->emab();
+        os << "emab: " << emab.size() << " epochs recorded\n";
+        for (std::size_t i = 0; i < emab.size(); ++i) {
+            const EmabEntry &ent = emab.entry(i);
+            os << "  epoch " << ent.epoch << " key 0x" << std::hex
+               << ent.keyAddr << std::dec << ", " << ent.missAddrs.size()
+               << " misses\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace ebcp

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Forward-progress watchdog diagnostics.
+ *
+ * When a CoreModel's retire-gap watchdog trips, the interesting
+ * question is *what was in flight across the stall*: which window
+ * entries had not retired, which MSHRs held unreturned misses, how
+ * busy the memory channels were, and what the prefetcher's epoch
+ * state looked like. progressDiagnostic() gathers all of that into a
+ * human-readable dump so the Stalled status carries enough context to
+ * localize the liveness bug without re-running under a debugger.
+ */
+
+#ifndef EBCP_SIM_WATCHDOG_HH
+#define EBCP_SIM_WATCHDOG_HH
+
+#include <string>
+
+#include "cpu/core_model.hh"
+#include "mem/main_memory.hh"
+#include "prefetch/prefetcher.hh"
+#include "sim/l2_subsystem.hh"
+
+namespace ebcp
+{
+
+/**
+ * Build the diagnostic dump for a tripped watchdog on @p core.
+ * @p label names the core in multi-core dumps ("core0"); pass "" for
+ * single-core systems.
+ */
+std::string progressDiagnostic(const std::string &label, CoreModel &core,
+                               L2Subsystem &l2side, MainMemory &mem,
+                               Prefetcher &prefetcher);
+
+} // namespace ebcp
+
+#endif // EBCP_SIM_WATCHDOG_HH

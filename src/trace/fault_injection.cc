@@ -1,0 +1,83 @@
+#include "trace/fault_injection.hh"
+
+namespace ebcp
+{
+
+FaultInjectingTraceSource::FaultInjectingTraceSource(
+    TraceSource &inner, const FaultPlan &plan)
+    : inner_(inner), plan_(plan),
+      rng_(plan.seed,
+           static_cast<std::uint64_t>(FaultStream::TraceSource))
+{
+    stats_.add(bitflips_);
+    stats_.add(truncations_);
+    stats_.add(shortReads_);
+    stats_.add(recordsDropped_);
+}
+
+void
+FaultInjectingTraceSource::flipOneBit(TraceRecord &rec)
+{
+    // Flip within the fields a real on-disk corruption could reach.
+    // Address-like fields get the full 64-bit range; control fields
+    // get their own width. Sanitization below keeps the result safe.
+    switch (rng_.below(7)) {
+      case 0: rec.pc ^= 1ULL << rng_.below(64); break;
+      case 1: rec.addr ^= 1ULL << rng_.below(64); break;
+      case 2: rec.target ^= 1ULL << rng_.below(64); break;
+      case 3:
+        rec.op = static_cast<OpClass>(static_cast<std::uint8_t>(rec.op) ^
+                                      (1u << rng_.below(8)));
+        break;
+      case 4: rec.dstReg ^= 1u << rng_.below(8); break;
+      case 5: rec.srcReg0 ^= 1u << rng_.below(8); break;
+      case 6: rec.srcReg1 ^= 1u << rng_.below(8); break;
+    }
+    ++bitflips_;
+}
+
+bool
+FaultInjectingTraceSource::next(TraceRecord &rec)
+{
+    if (truncated_)
+        return false;
+    if (plan_.traceTruncate && delivered_ >= plan_.truncateAfter) {
+        truncated_ = true;
+        ++truncations_;
+        return false;
+    }
+
+    if (plan_.traceShortRead && rng_.chance(plan_.rate)) {
+        // A short read loses a small run of consecutive records.
+        const std::uint32_t n = 1 + rng_.below(16);
+        TraceRecord lost;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (!inner_.next(lost))
+                return false;
+            ++recordsDropped_;
+        }
+        ++shortReads_;
+    }
+
+    if (!inner_.next(rec))
+        return false;
+
+    if (plan_.traceBitflip && rng_.chance(plan_.rate)) {
+        flipOneBit(rec);
+        sanitizeRecord(rec);
+    }
+    ++delivered_;
+    return true;
+}
+
+void
+FaultInjectingTraceSource::reset()
+{
+    inner_.reset();
+    rng_.reseed(plan_.seed,
+                static_cast<std::uint64_t>(FaultStream::TraceSource));
+    delivered_ = 0;
+    truncated_ = false;
+}
+
+} // namespace ebcp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A TraceSource wrapper that injects deterministic faults into the
+ * record stream, for proving the simulator degrades instead of dying
+ * on damaged input (the robustness analogue of the paper's best-effort
+ * correlation-table reads: a lost record, like a lost table read, must
+ * cost accuracy, not correctness).
+ *
+ * Faults (armed via FaultPlan, all seeded):
+ *  - bit-flip: one random bit of a delivered record's payload fields
+ *    flips, as an undetected media/conversion error would;
+ *  - truncate: the source ends permanently after a configured number
+ *    of records, as a truncated file would;
+ *  - short-read: a small run of records vanishes, as a short read
+ *    dropped on the floor would.
+ *
+ * Every delivered record is sanitized (see sanitizeRecord), so a flip
+ * in an op/register field degrades to a Nop/NoReg rather than feeding
+ * the timing model out-of-range indices.
+ */
+
+#ifndef EBCP_TRACE_FAULT_INJECTION_HH
+#define EBCP_TRACE_FAULT_INJECTION_HH
+
+#include "cpu/trace.hh"
+#include "stats/group.hh"
+#include "util/fault.hh"
+#include "util/random.hh"
+
+namespace ebcp
+{
+
+/** Wraps another TraceSource and injects the plan's trace faults. */
+class FaultInjectingTraceSource : public TraceSource
+{
+  public:
+    /** @p inner must outlive this wrapper. */
+    FaultInjectingTraceSource(TraceSource &inner, const FaultPlan &plan);
+
+    bool next(TraceRecord &rec) override;
+
+    /** Restart both the wrapper's fault stream and the inner source,
+     * reproducing the exact same fault sequence. */
+    void reset() override;
+
+    std::uint64_t bitflipsInjected() const { return bitflips_.value(); }
+    std::uint64_t truncationsInjected() const
+    {
+        return truncations_.value();
+    }
+    std::uint64_t shortReadsInjected() const
+    {
+        return shortReads_.value();
+    }
+    std::uint64_t recordsDropped() const
+    {
+        return recordsDropped_.value();
+    }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    void flipOneBit(TraceRecord &rec);
+
+    TraceSource &inner_;
+    FaultPlan plan_;
+    Pcg32 rng_;
+    std::uint64_t delivered_ = 0;
+    bool truncated_ = false;
+
+    StatGroup stats_{"fault_injection"};
+    Scalar bitflips_{"bitflips", "record bit-flip faults injected"};
+    Scalar truncations_{"truncations", "trace truncation faults fired"};
+    Scalar shortReads_{"short_reads", "short-read faults injected"};
+    Scalar recordsDropped_{"records_dropped",
+                           "records lost to short-read faults"};
+};
+
+} // namespace ebcp
+
+#endif // EBCP_TRACE_FAULT_INJECTION_HH

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "util/crc32.hh"
 #include "util/logging.hh"
 
 namespace ebcp
@@ -10,7 +11,8 @@ namespace ebcp
 namespace
 {
 
-constexpr char Magic[8] = {'E', 'B', 'C', 'P', 'T', 'R', 'C', '1'};
+constexpr char MagicV1[8] = {'E', 'B', 'C', 'P', 'T', 'R', 'C', '1'};
+constexpr char MagicV2[8] = {'E', 'B', 'C', 'P', 'T', 'R', 'C', '2'};
 
 /** On-disk record layout (little-endian, fixed 32 bytes). */
 struct DiskRecord
@@ -27,6 +29,18 @@ struct DiskRecord
 };
 
 static_assert(sizeof(DiskRecord) == 32, "trace record layout");
+
+/** Per-chunk prefix: record count + CRC-32 of the packed records. */
+struct ChunkHeader
+{
+    std::uint32_t count;
+    std::uint32_t crc;
+};
+
+static_assert(sizeof(ChunkHeader) == 8, "chunk header layout");
+
+/** Sanity bound on chunk_records: a chunk stays well under 32MB. */
+constexpr unsigned MaxChunkRecords = 1u << 20;
 
 DiskRecord
 pack(const TraceRecord &r)
@@ -60,72 +74,189 @@ unpack(const DiskRecord &d)
 
 } // namespace
 
-TraceFileWriter::TraceFileWriter(const std::string &path)
+StatusOr<TraceReadPolicy>
+traceReadPolicyFromName(const std::string &name)
 {
-    file_ = std::fopen(path.c_str(), "wb");
-    fatal_if(!file_, "cannot open trace file '", path, "' for writing");
-    std::uint32_t version = 1;
-    std::uint32_t rec_size = sizeof(DiskRecord);
-    std::fwrite(Magic, sizeof(Magic), 1, file_);
-    std::fwrite(&version, sizeof(version), 1, file_);
-    std::fwrite(&rec_size, sizeof(rec_size), 1, file_);
+    if (name == "strict")
+        return TraceReadPolicy::Strict;
+    if (name == "skip-corrupt")
+        return TraceReadPolicy::SkipCorrupt;
+    if (name == "stop-at-corrupt")
+        return TraceReadPolicy::StopAtCorrupt;
+    return invalidArgError("unknown trace read policy '", name,
+                           "' (expected strict/skip-corrupt/"
+                           "stop-at-corrupt)");
+}
+
+// ---------------------------------------------------------------------
+// TraceFileWriter
+// ---------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<TraceFileWriter>>
+TraceFileWriter::open(const std::string &path, unsigned chunk_records)
+{
+    if (chunk_records == 0 || chunk_records > MaxChunkRecords)
+        return invalidArgError("trace chunk size ", chunk_records,
+                               " out of range [1, ", MaxChunkRecords,
+                               "]");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return ioError("cannot open trace file '", path,
+                       "' for writing: ", errnoString());
+
+    unsigned char header[24];
+    std::memcpy(header, MagicV2, 8);
+    const std::uint32_t version = 2;
+    const std::uint32_t rec_size = sizeof(DiskRecord);
+    const std::uint32_t chunk32 = chunk_records;
+    std::memcpy(header + 8, &version, 4);
+    std::memcpy(header + 12, &rec_size, 4);
+    std::memcpy(header + 16, &chunk32, 4);
+    const std::uint32_t hcrc = crc32(header, 20);
+    std::memcpy(header + 20, &hcrc, 4);
+    if (std::fwrite(header, sizeof(header), 1, f) != 1) {
+        Status err = ioError("cannot write trace header to '", path,
+                             "': ", errnoString());
+        std::fclose(f);
+        return err;
+    }
+
+    return std::unique_ptr<TraceFileWriter>(
+        new TraceFileWriter(f, path, chunk_records));
 }
 
 TraceFileWriter::~TraceFileWriter()
 {
-    close();
+    Status s = close();
+    if (!s.ok())
+        warn("closing trace file: ", s.toString());
 }
 
-void
+Status
+TraceFileWriter::flushChunk()
+{
+    if (chunk_.empty())
+        return Status();
+    ChunkHeader h;
+    h.count =
+        static_cast<std::uint32_t>(chunk_.size() / sizeof(DiskRecord));
+    h.crc = crc32(chunk_.data(), chunk_.size());
+    if (std::fwrite(&h, sizeof(h), 1, file_) != 1 ||
+        std::fwrite(chunk_.data(), chunk_.size(), 1, file_) != 1)
+        return ioError("short write to trace file '", path_,
+                       "': ", errnoString());
+    chunk_.clear();
+    return Status();
+}
+
+Status
 TraceFileWriter::write(const TraceRecord &rec)
 {
-    panic_if(!file_, "write to a closed trace file");
-    DiskRecord d = pack(rec);
-    std::fwrite(&d, sizeof(d), 1, file_);
+    if (!file_)
+        return ioError("write to a closed trace file '", path_, "'");
+    const DiskRecord d = pack(rec);
+    const auto *bytes = reinterpret_cast<const unsigned char *>(&d);
+    chunk_.insert(chunk_.end(), bytes, bytes + sizeof(d));
     ++written_;
+    if (chunk_.size() >= chunkRecords_ * sizeof(DiskRecord))
+        return flushChunk();
+    return Status();
 }
 
-void
+Status
 TraceFileWriter::capture(TraceSource &src, std::uint64_t count)
 {
     TraceRecord rec;
-    for (std::uint64_t i = 0; i < count && src.next(rec); ++i)
-        write(rec);
+    for (std::uint64_t i = 0; i < count && src.next(rec); ++i) {
+        Status s = write(rec);
+        if (!s.ok())
+            return s;
+    }
+    return Status();
 }
 
-void
+Status
 TraceFileWriter::close()
 {
-    if (file_) {
-        std::fclose(file_);
-        file_ = nullptr;
-    }
+    if (!file_)
+        return Status();
+    Status s = flushChunk();
+    if (s.ok() && std::fflush(file_) != 0)
+        s = ioError("cannot flush trace file '", path_,
+                    "': ", errnoString());
+    if (std::fclose(file_) != 0 && s.ok())
+        s = ioError("cannot close trace file '", path_,
+                    "': ", errnoString());
+    file_ = nullptr;
+    return s;
 }
 
-FileTraceSource::FileTraceSource(const std::string &path, bool loop)
-    : loop_(loop)
+// ---------------------------------------------------------------------
+// FileTraceSource
+// ---------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<FileTraceSource>>
+FileTraceSource::open(const std::string &path, bool loop,
+                      TraceReadPolicy policy)
 {
-    file_ = std::fopen(path.c_str(), "rb");
-    fatal_if(!file_, "cannot open trace file '", path, "'");
-    readHeader();
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return ioError("cannot open trace file '", path,
+                       "': ", errnoString());
+    std::unique_ptr<FileTraceSource> src(
+        new FileTraceSource(f, path, loop, policy));
+    Status s = src->readHeader();
+    if (!s.ok())
+        return s.withContext("trace file '" + path + "'");
+    return src;
 }
 
-void
+Status
 FileTraceSource::readHeader()
 {
     char magic[8];
+    if (std::fread(magic, sizeof(magic), 1, file_) != 1)
+        return corruptionError("truncated header (not a trace file?)");
+    if (std::memcmp(magic, MagicV2, sizeof(MagicV2)) == 0)
+        version_ = 2;
+    else if (std::memcmp(magic, MagicV1, sizeof(MagicV1)) == 0)
+        version_ = 1;
+    else
+        return corruptionError("bad magic (not an EBCP trace file)");
+
     std::uint32_t version = 0;
     std::uint32_t rec_size = 0;
-    fatal_if(std::fread(magic, sizeof(magic), 1, file_) != 1 ||
-                 std::memcmp(magic, Magic, sizeof(Magic)) != 0,
-             "not an EBCP trace file");
-    fatal_if(std::fread(&version, sizeof(version), 1, file_) != 1 ||
-                 version != 1,
-             "unsupported trace file version");
-    fatal_if(std::fread(&rec_size, sizeof(rec_size), 1, file_) != 1 ||
-                 rec_size != sizeof(DiskRecord),
-             "trace record size mismatch");
+    if (std::fread(&version, sizeof(version), 1, file_) != 1 ||
+        std::fread(&rec_size, sizeof(rec_size), 1, file_) != 1)
+        return corruptionError("truncated header");
+    if (version != version_)
+        return corruptionError("header version field ", version,
+                               " contradicts magic (v", version_, ")");
+    if (rec_size != sizeof(DiskRecord))
+        return corruptionError("record size ", rec_size,
+                               " (expected ", sizeof(DiskRecord), ")");
+
+    if (version_ == 2) {
+        std::uint32_t chunk32 = 0;
+        std::uint32_t hcrc = 0;
+        if (std::fread(&chunk32, sizeof(chunk32), 1, file_) != 1 ||
+            std::fread(&hcrc, sizeof(hcrc), 1, file_) != 1)
+            return corruptionError("truncated header");
+        unsigned char header[20];
+        std::memcpy(header, MagicV2, 8);
+        std::memcpy(header + 8, &version, 4);
+        std::memcpy(header + 12, &rec_size, 4);
+        std::memcpy(header + 16, &chunk32, 4);
+        if (crc32(header, sizeof(header)) != hcrc)
+            return corruptionError("header CRC mismatch");
+        if (chunk32 == 0 || chunk32 > MaxChunkRecords)
+            return corruptionError("chunk size ", chunk32,
+                                   " out of range");
+        chunkRecords_ = chunk32;
+    }
+
     dataStart_ = std::ftell(file_);
+    return Status();
 }
 
 FileTraceSource::~FileTraceSource()
@@ -135,26 +266,152 @@ FileTraceSource::~FileTraceSource()
 }
 
 bool
-FileTraceSource::next(TraceRecord &rec)
+FileTraceSource::onCorrupt(const std::string &what)
+{
+    ++corruptChunks_;
+    switch (policy_) {
+      case TraceReadPolicy::Strict:
+        status_ = corruptionError("trace file '", path_, "': ", what);
+        ended_ = true;
+        return false;
+      case TraceReadPolicy::SkipCorrupt:
+        return true;
+      case TraceReadPolicy::StopAtCorrupt:
+        ended_ = true;
+        return false;
+    }
+    return false;
+}
+
+bool
+FileTraceSource::fillFromChunk()
+{
+    // Scan chunks until one passes its integrity check (or the policy
+    // says stop). A corrupt chunk *header* cannot be skipped -- without
+    // a trustworthy count there is no next-chunk boundary -- so it
+    // ends the stream under every policy (an error under Strict).
+    while (true) {
+        ChunkHeader h;
+        const std::size_t got =
+            std::fread(&h, 1, sizeof(h), file_);
+        if (got == 0)
+            return false; // clean end of data
+        if (got < sizeof(h)) {
+            ++truncatedTails_;
+            if (policy_ == TraceReadPolicy::Strict) {
+                status_ = corruptionError("trace file '", path_,
+                                          "': truncated chunk header");
+                ended_ = true;
+            }
+            return false;
+        }
+        if (h.count == 0 || h.count > chunkRecords_) {
+            // Unskippable even under SkipCorrupt: without a
+            // trustworthy count there is no next-chunk boundary to
+            // resync to, so the stream ends here under every policy.
+            onCorrupt(logFormat("implausible chunk count ", h.count));
+            ended_ = true;
+            return false;
+        }
+
+        std::vector<unsigned char> payload(
+            static_cast<std::size_t>(h.count) * sizeof(DiskRecord));
+        if (std::fread(payload.data(), 1, payload.size(), file_) !=
+            payload.size()) {
+            ++truncatedTails_;
+            if (policy_ == TraceReadPolicy::Strict) {
+                status_ = corruptionError("trace file '", path_,
+                                          "': truncated chunk payload");
+                ended_ = true;
+            }
+            return false;
+        }
+        if (crc32(payload.data(), payload.size()) != h.crc) {
+            if (!onCorrupt("chunk CRC mismatch"))
+                return false;
+            recordsSkipped_ += h.count;
+            continue; // SkipCorrupt: try the next chunk
+        }
+
+        ++chunksRead_;
+        buffer_.resize(h.count);
+        for (std::uint32_t i = 0; i < h.count; ++i) {
+            DiskRecord d;
+            std::memcpy(&d, payload.data() + i * sizeof(DiskRecord),
+                        sizeof(d));
+            buffer_[i] = unpack(d);
+            if (sanitizeRecord(buffer_[i]))
+                ++recordsSanitized_;
+        }
+        bufferPos_ = 0;
+        return true;
+    }
+}
+
+bool
+FileTraceSource::nextV1(TraceRecord &rec)
 {
     DiskRecord d;
-    if (std::fread(&d, sizeof(d), 1, file_) != 1) {
-        if (!loop_)
-            return false;
-        std::fseek(file_, dataStart_, SEEK_SET);
-        if (std::fread(&d, sizeof(d), 1, file_) != 1)
-            return false; // empty trace
+    const std::size_t got = std::fread(&d, 1, sizeof(d), file_);
+    if (got == 0)
+        return false;
+    if (got < sizeof(d)) {
+        // v1 has no CRC; a partial record at EOF is the only
+        // detectable damage.
+        ++truncatedTails_;
+        if (policy_ == TraceReadPolicy::Strict) {
+            status_ = corruptionError("trace file '", path_,
+                                      "': truncated record");
+            ended_ = true;
+        }
+        return false;
     }
     rec = unpack(d);
-    ++read_;
+    if (sanitizeRecord(rec))
+        ++recordsSanitized_;
     return true;
+}
+
+bool
+FileTraceSource::next(TraceRecord &rec)
+{
+    if (ended_)
+        return false;
+
+    for (int pass = 0; pass < 2; ++pass) {
+        if (version_ == 1) {
+            if (nextV1(rec)) {
+                ++read_;
+                return true;
+            }
+        } else {
+            if (bufferPos_ < buffer_.size() || fillFromChunk()) {
+                rec = buffer_[bufferPos_++];
+                ++read_;
+                return true;
+            }
+        }
+        if (ended_ || !loop_)
+            return false;
+        // End of data: wrap to the first record, as the generator
+        // sources effectively do.
+        std::fseek(file_, dataStart_, SEEK_SET);
+        buffer_.clear();
+        bufferPos_ = 0;
+        ++loops_;
+    }
+    return false; // empty (or fully corrupt) trace: nothing to loop
 }
 
 void
 FileTraceSource::reset()
 {
     std::fseek(file_, dataStart_, SEEK_SET);
+    buffer_.clear();
+    bufferPos_ = 0;
     read_ = 0;
+    if (policy_ != TraceReadPolicy::Strict || status_.ok())
+        ended_ = false;
 }
 
 } // namespace ebcp

@@ -1,6 +1,7 @@
 #include "trace/workloads.hh"
 
 #include "util/logging.hh"
+#include "util/str.hh"
 
 namespace ebcp
 {
@@ -116,8 +117,8 @@ specjasConfig(std::uint64_t seed)
     return c;
 }
 
-WorkloadConfig
-workloadByName(const std::string &name, std::uint64_t seed)
+StatusOr<WorkloadConfig>
+tryWorkloadByName(const std::string &name, std::uint64_t seed)
 {
     if (name == "database")
         return databaseConfig(seed ? seed : 1);
@@ -127,14 +128,35 @@ workloadByName(const std::string &name, std::uint64_t seed)
         return specjbbConfig(seed ? seed : 3);
     if (name == "specjas")
         return specjasConfig(seed ? seed : 4);
-    fatal("unknown workload '", name,
-          "' (expected database/tpcw/specjbb/specjas)");
+    std::string hint = nearestMatch(name, workloadNames());
+    return notFoundError("unknown workload '", name,
+                         "' (expected database/tpcw/specjbb/specjas",
+                         hint.empty() ? std::string()
+                                      : "; did you mean '" + hint + "'?",
+                         ")");
+}
+
+WorkloadConfig
+workloadByName(const std::string &name, std::uint64_t seed)
+{
+    StatusOr<WorkloadConfig> r = tryWorkloadByName(name, seed);
+    fatal_if(!r.ok(), r.status().toString());
+    return r.take();
 }
 
 std::vector<std::string>
 workloadNames()
 {
     return {"database", "tpcw", "specjbb", "specjas"};
+}
+
+StatusOr<std::unique_ptr<SyntheticWorkload>>
+tryMakeWorkload(const std::string &name, std::uint64_t seed)
+{
+    StatusOr<WorkloadConfig> cfg = tryWorkloadByName(name, seed);
+    if (!cfg.ok())
+        return cfg.status();
+    return std::make_unique<SyntheticWorkload>(cfg.take());
 }
 
 std::unique_ptr<SyntheticWorkload>

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "trace/synthetic_workload.hh"
+#include "util/status.hh"
 
 namespace ebcp
 {
@@ -34,14 +35,23 @@ WorkloadConfig specjbbConfig(std::uint64_t seed = 3);
 WorkloadConfig specjasConfig(std::uint64_t seed = 4);
 
 /** Look up a workload by name ("database", "tpcw", "specjbb",
- * "specjas"); fatal() on an unknown name. */
+ * "specjas"); an unknown name yields NotFound with a nearest-name
+ * suggestion. */
+StatusOr<WorkloadConfig> tryWorkloadByName(const std::string &name,
+                                           std::uint64_t seed = 0);
+
+/** As tryWorkloadByName(), but an unknown name is fatal. */
 WorkloadConfig workloadByName(const std::string &name,
                               std::uint64_t seed = 0);
 
 /** The paper's benchmark suite, in presentation order. */
 std::vector<std::string> workloadNames();
 
-/** Convenience: construct the generator for a named workload. */
+/** Construct the generator for a named workload (NotFound as above). */
+StatusOr<std::unique_ptr<SyntheticWorkload>>
+tryMakeWorkload(const std::string &name, std::uint64_t seed = 0);
+
+/** As tryMakeWorkload(), but an unknown name is fatal. */
 std::unique_ptr<SyntheticWorkload>
 makeWorkload(const std::string &name, std::uint64_t seed = 0);
 

@@ -8,18 +8,32 @@
 namespace ebcp
 {
 
-ConfigStore
-ConfigStore::fromArgs(int argc, char **argv)
+StatusOr<ConfigStore>
+ConfigStore::parseArgs(int argc, char **argv)
 {
     ConfigStore cs;
     for (int i = 1; i < argc; ++i) {
         std::string arg(argv[i]);
         auto eq = arg.find('=');
         if (eq == std::string::npos || eq == 0)
-            continue;
-        cs.set(trim(arg.substr(0, eq)), trim(arg.substr(eq + 1)));
+            return invalidArgError("malformed argument '", arg,
+                                   "' (expected key=value)");
+        const std::string key = trim(arg.substr(0, eq));
+        if (key.empty())
+            return invalidArgError("malformed argument '", arg,
+                                   "' (empty key)");
+        cs.set(key, trim(arg.substr(eq + 1)));
     }
     return cs;
+}
+
+ConfigStore
+ConfigStore::fromArgs(int argc, char **argv)
+{
+    StatusOr<ConfigStore> cs = parseArgs(argc, argv);
+    if (!cs.ok())
+        fatal(cs.status().toString());
+    return cs.take();
 }
 
 void
@@ -34,41 +48,44 @@ ConfigStore::has(const std::string &key) const
     return entries_.count(key) != 0;
 }
 
-std::string
-ConfigStore::getString(const std::string &key, const std::string &def) const
+StatusOr<std::string>
+ConfigStore::tryGetString(const std::string &key,
+                          const std::string &def) const
 {
     auto it = entries_.find(key);
     return it == entries_.end() ? def : it->second;
 }
 
-std::uint64_t
-ConfigStore::getU64(const std::string &key, std::uint64_t def) const
+StatusOr<std::uint64_t>
+ConfigStore::tryGetU64(const std::string &key, std::uint64_t def) const
 {
     auto it = entries_.find(key);
     if (it == entries_.end())
         return def;
     char *end = nullptr;
     std::uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
-    fatal_if(end == it->second.c_str() || *end != '\0',
-             "config key '", key, "' is not an integer: ", it->second);
+    if (end == it->second.c_str() || *end != '\0')
+        return invalidArgError("config key '", key,
+                               "' is not an integer: ", it->second);
     return v;
 }
 
-double
-ConfigStore::getDouble(const std::string &key, double def) const
+StatusOr<double>
+ConfigStore::tryGetDouble(const std::string &key, double def) const
 {
     auto it = entries_.find(key);
     if (it == entries_.end())
         return def;
     char *end = nullptr;
     double v = std::strtod(it->second.c_str(), &end);
-    fatal_if(end == it->second.c_str() || *end != '\0',
-             "config key '", key, "' is not a number: ", it->second);
+    if (end == it->second.c_str() || *end != '\0')
+        return invalidArgError("config key '", key,
+                               "' is not a number: ", it->second);
     return v;
 }
 
-bool
-ConfigStore::getBool(const std::string &key, bool def) const
+StatusOr<bool>
+ConfigStore::tryGetBool(const std::string &key, bool def) const
 {
     auto it = entries_.find(key);
     if (it == entries_.end())
@@ -78,7 +95,63 @@ ConfigStore::getBool(const std::string &key, bool def) const
         return true;
     if (v == "0" || v == "false" || v == "no" || v == "off")
         return false;
-    fatal("config key '", key, "' is not a boolean: ", it->second);
+    return invalidArgError("config key '", key,
+                           "' is not a boolean: ", it->second);
+}
+
+std::string
+ConfigStore::getString(const std::string &key, const std::string &def) const
+{
+    return tryGetString(key, def).take();
+}
+
+std::uint64_t
+ConfigStore::getU64(const std::string &key, std::uint64_t def) const
+{
+    StatusOr<std::uint64_t> v = tryGetU64(key, def);
+    if (!v.ok())
+        fatal(v.status().toString());
+    return v.value();
+}
+
+double
+ConfigStore::getDouble(const std::string &key, double def) const
+{
+    StatusOr<double> v = tryGetDouble(key, def);
+    if (!v.ok())
+        fatal(v.status().toString());
+    return v.value();
+}
+
+bool
+ConfigStore::getBool(const std::string &key, bool def) const
+{
+    StatusOr<bool> v = tryGetBool(key, def);
+    if (!v.ok())
+        fatal(v.status().toString());
+    return v.value();
+}
+
+Status
+ConfigStore::checkKnownKeys(const std::vector<std::string> &known) const
+{
+    for (const auto &kv : entries_) {
+        bool found = false;
+        for (const std::string &k : known) {
+            if (kv.first == k) {
+                found = true;
+                break;
+            }
+        }
+        if (found)
+            continue;
+        std::string msg = logFormat("unknown key '", kv.first, "'");
+        const std::string near = nearestMatch(kv.first, known);
+        if (!near.empty())
+            msg += logFormat(" (did you mean '", near, "'?)");
+        return invalidArgError(msg);
+    }
+    return Status();
 }
 
 } // namespace ebcp

@@ -5,6 +5,12 @@
  * Examples and benches accept "key=value" command-line overrides; this
  * store parses them and hands out typed values with defaults, so that
  * configuration plumbing does not clutter experiment code.
+ *
+ * Malformed tokens and malformed values are rejected, never silently
+ * ignored: a typo must not invalidate an experiment by running the
+ * defaults. The try* accessors and parseArgs() return Status for
+ * callers that render errors themselves; the non-try forms are
+ * boundary conveniences that exit on error.
  */
 
 #ifndef EBCP_UTIL_CONFIG_HH
@@ -13,6 +19,9 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
+
+#include "util/status.hh"
 
 namespace ebcp
 {
@@ -23,7 +32,14 @@ class ConfigStore
   public:
     ConfigStore() = default;
 
-    /** Parse argv-style "key=value" tokens; ignores non-matching args. */
+    /**
+     * Parse argv-style "key=value" tokens. Tokens without '=' (or
+     * with an empty key) are rejected -- a mistyped override must not
+     * be silently dropped.
+     */
+    static StatusOr<ConfigStore> parseArgs(int argc, char **argv);
+
+    /** parseArgs() for boundary code: renders the error and exits. */
     static ConfigStore fromArgs(int argc, char **argv);
 
     /** Set (or overwrite) a key. */
@@ -32,12 +48,28 @@ class ConfigStore
     /** @return true if @p key is present. */
     bool has(const std::string &key) const;
 
-    /** Typed getters; fatal() on malformed values. */
+    /** Typed getters returning Status on malformed values. */
+    StatusOr<std::string> tryGetString(const std::string &key,
+                                       const std::string &def) const;
+    StatusOr<std::uint64_t> tryGetU64(const std::string &key,
+                                      std::uint64_t def) const;
+    StatusOr<double> tryGetDouble(const std::string &key,
+                                  double def) const;
+    StatusOr<bool> tryGetBool(const std::string &key, bool def) const;
+
+    /** Typed getters; fatal() on malformed values (boundary code). */
     std::string getString(const std::string &key,
                           const std::string &def) const;
     std::uint64_t getU64(const std::string &key, std::uint64_t def) const;
     double getDouble(const std::string &key, double def) const;
     bool getBool(const std::string &key, bool def) const;
+
+    /**
+     * Verify every present key appears in @p known; an unknown key
+     * (e.g. the typo "tabel_entries") yields an error carrying a
+     * nearest-key suggestion.
+     */
+    Status checkKnownKeys(const std::vector<std::string> &known) const;
 
     /** Access to all keys, for echoing effective configuration. */
     const std::map<std::string, std::string> &entries() const

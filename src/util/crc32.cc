@@ -1,0 +1,44 @@
+#include "util/crc32.hh"
+
+#include <array>
+
+namespace ebcp
+{
+
+namespace
+{
+
+/** The reflected-polynomial byte table, built once at startup. */
+std::array<std::uint32_t, 256>
+buildTable()
+{
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        t[i] = c;
+    }
+    return t;
+}
+
+const std::array<std::uint32_t, 256> &
+table()
+{
+    static const std::array<std::uint32_t, 256> t = buildTable();
+    return t;
+}
+
+} // namespace
+
+std::uint32_t
+crc32Update(std::uint32_t crc, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    const auto &t = table();
+    for (std::size_t i = 0; i < len; ++i)
+        crc = t[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+    return crc;
+}
+
+} // namespace ebcp

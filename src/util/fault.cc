@@ -1,0 +1,46 @@
+#include "util/fault.hh"
+
+#include "util/str.hh"
+
+namespace ebcp
+{
+
+std::vector<std::string>
+FaultPlan::kindNames()
+{
+    return {"trace-bitflip", "trace-truncate", "trace-shortread",
+            "table-drop",    "table-delay",    "demand-stall"};
+}
+
+StatusOr<FaultPlan>
+FaultPlan::parse(const std::string &list, std::uint64_t seed)
+{
+    FaultPlan plan;
+    plan.seed = seed;
+    for (const std::string &raw : split(list, ',')) {
+        const std::string kind = trim(raw);
+        if (kind == "trace-bitflip")
+            plan.traceBitflip = true;
+        else if (kind == "trace-truncate")
+            plan.traceTruncate = true;
+        else if (kind == "trace-shortread")
+            plan.traceShortRead = true;
+        else if (kind == "table-drop")
+            plan.tableDrop = true;
+        else if (kind == "table-delay")
+            plan.tableDelay = true;
+        else if (kind == "demand-stall")
+            plan.demandStall = true;
+        else {
+            std::string msg =
+                logFormat("unknown fault kind '", kind, "'");
+            const std::string near = nearestMatch(kind, kindNames());
+            if (!near.empty())
+                msg += logFormat(" (did you mean '", near, "'?)");
+            return invalidArgError(msg);
+        }
+    }
+    return plan;
+}
+
+} // namespace ebcp

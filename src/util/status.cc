@@ -1,0 +1,49 @@
+#include "util/status.hh"
+
+#include <cerrno>
+#include <cstring>
+
+namespace ebcp
+{
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "ok";
+      case StatusCode::InvalidArgument: return "invalid argument";
+      case StatusCode::NotFound: return "not found";
+      case StatusCode::IoError: return "I/O error";
+      case StatusCode::Corruption: return "corruption";
+      case StatusCode::Stalled: return "stalled";
+    }
+    return "unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    return std::string(statusCodeName(code_)) + ": " + msg_;
+}
+
+Status
+Status::withContext(const std::string &context) const
+{
+    if (ok())
+        return *this;
+    return Status(code_, context + ": " + msg_);
+}
+
+std::string
+errnoString()
+{
+    const int e = errno;
+    std::string out = "error " + std::to_string(e);
+    if (const char *s = std::strerror(e))
+        out += std::string(" (") + s + ")";
+    return out;
+}
+
+} // namespace ebcp

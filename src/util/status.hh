@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Recoverable-error reporting: Status and StatusOr<T>.
+ *
+ * The error-handling policy (see DESIGN.md section 7):
+ *
+ *  - panic()  : an internal invariant broke -- a simulator bug; abort.
+ *  - Status   : the *input* was bad (unreadable trace, malformed
+ *               config, unknown name) -- return the error to the
+ *               caller, who renders it with context and decides
+ *               whether to retry, skip, or exit.
+ *  - watchdog : the timing model stopped making forward progress --
+ *               liveness failure, reported as a Status carrying a
+ *               diagnostic dump.
+ *
+ * Library code below the user-input boundary must not call fatal();
+ * it returns a Status instead. Examples and benches are the boundary:
+ * they render the message and exit nonzero.
+ */
+
+#ifndef EBCP_UTIL_STATUS_HH
+#define EBCP_UTIL_STATUS_HH
+
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+/** Coarse classification of a recoverable error. */
+enum class StatusCode
+{
+    Ok,
+    InvalidArgument, //!< malformed user input (config value, name)
+    NotFound,        //!< missing file / unknown key
+    IoError,         //!< OS-level read/write failure (carries errno)
+    Corruption,      //!< data failed an integrity check (CRC, header)
+    Stalled,         //!< forward-progress watchdog tripped
+};
+
+/** @return a short printable name for @p code. */
+const char *statusCodeName(StatusCode code);
+
+/** The result of an operation that can fail recoverably. */
+class Status
+{
+  public:
+    /** Success. */
+    Status() = default;
+
+    /** An error of kind @p code described by @p msg. */
+    Status(StatusCode code, std::string msg)
+        : code_(code), msg_(std::move(msg))
+    {}
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return msg_; }
+
+    /** "code: message", for rendering at the CLI boundary. */
+    std::string toString() const;
+
+    /** A copy with "@p context: " prepended to the message. */
+    Status withContext(const std::string &context) const;
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string msg_;
+};
+
+/** Shorthand constructors, stream-style like the logging macros. */
+template <typename... Args>
+Status
+invalidArgError(Args &&...args)
+{
+    return Status(StatusCode::InvalidArgument,
+                  logFormat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+Status
+notFoundError(Args &&...args)
+{
+    return Status(StatusCode::NotFound,
+                  logFormat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+Status
+ioError(Args &&...args)
+{
+    return Status(StatusCode::IoError,
+                  logFormat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+Status
+corruptionError(Args &&...args)
+{
+    return Status(StatusCode::Corruption,
+                  logFormat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+Status
+stalledError(Args &&...args)
+{
+    return Status(StatusCode::Stalled,
+                  logFormat(std::forward<Args>(args)...));
+}
+
+/** The current errno rendered as "error 2 (No such file...)". */
+std::string errnoString();
+
+/**
+ * Either a value or the Status explaining why there is none.
+ *
+ * Accessing value() without checking ok() on an error is a programmer
+ * bug and panics; callers are expected to branch on ok() (or use
+ * valueOr) first.
+ */
+template <typename T>
+class StatusOr
+{
+  public:
+    /** An error result; @p status must not be Ok. */
+    StatusOr(Status status) : status_(std::move(status))
+    {
+        panic_if(status_.ok(), "StatusOr constructed from an Ok status");
+    }
+
+    /** A success result holding @p value (anything T constructs
+     * from, e.g. unique_ptr to a derived type). */
+    template <typename U = T,
+              typename = std::enable_if_t<
+                  std::is_constructible_v<T, U &&> &&
+                  !std::is_same_v<std::decay_t<U>, StatusOr<T>> &&
+                  !std::is_same_v<std::decay_t<U>, Status>>>
+    StatusOr(U &&value) : value_(std::forward<U>(value))
+    {}
+
+    bool ok() const { return status_.ok(); }
+    const Status &status() const { return status_; }
+
+    T &
+    value()
+    {
+        panic_if(!ok(), "StatusOr::value() on error: ",
+                 status_.toString());
+        return *value_;
+    }
+
+    const T &
+    value() const
+    {
+        panic_if(!ok(), "StatusOr::value() on error: ",
+                 status_.toString());
+        return *value_;
+    }
+
+    /** Move the value out (for move-only payloads). */
+    T
+    take()
+    {
+        panic_if(!ok(), "StatusOr::take() on error: ",
+                 status_.toString());
+        return std::move(*value_);
+    }
+
+    /** The value, or @p def when this holds an error. */
+    T
+    valueOr(T def) const
+    {
+        return ok() ? *value_ : std::move(def);
+    }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace ebcp
+
+#endif // EBCP_UTIL_STATUS_HH

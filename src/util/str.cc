@@ -1,5 +1,6 @@
 #include "util/str.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdint>
 #include <sstream>
@@ -57,6 +58,43 @@ fmtDouble(double v, int prec)
     os.precision(prec);
     os << v;
     return os.str();
+}
+
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    // Single-row dynamic program; strings here are short config keys.
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t subst =
+                diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            diag = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+        }
+    }
+    return row[b.size()];
+}
+
+std::string
+nearestMatch(const std::string &word,
+             const std::vector<std::string> &candidates,
+             std::size_t max_distance)
+{
+    std::string best;
+    std::size_t best_dist = max_distance + 1;
+    for (const std::string &c : candidates) {
+        const std::size_t d = editDistance(word, c);
+        if (d < best_dist) {
+            best_dist = d;
+            best = c;
+        }
+    }
+    return best;
 }
 
 std::string

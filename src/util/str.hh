@@ -27,6 +27,18 @@ std::string fmtDouble(double v, int prec = 2);
 /** Format bytes as a human-readable size ("64B", "2MB", "64MB"). */
 std::string fmtSize(std::uint64_t bytes);
 
+/** Edit (Levenshtein) distance between @p a and @p b. */
+std::size_t editDistance(const std::string &a, const std::string &b);
+
+/**
+ * The candidate closest to @p word by edit distance, for "did you
+ * mean" suggestions on mistyped keys/names.
+ * @return empty string if no candidate is within @p max_distance.
+ */
+std::string nearestMatch(const std::string &word,
+                         const std::vector<std::string> &candidates,
+                         std::size_t max_distance = 3);
+
 } // namespace ebcp
 
 #endif // EBCP_UTIL_STR_HH

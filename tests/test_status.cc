@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the recoverable-error layer: Status, StatusOr, the
+ * fault-plan parser and the "did you mean" string helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "util/fault.hh"
+#include "util/status.hh"
+#include "util/str.hh"
+
+using namespace ebcp;
+
+TEST(Status, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Ok);
+    EXPECT_TRUE(s.message().empty());
+}
+
+TEST(Status, CarriesCodeAndMessage)
+{
+    Status s(StatusCode::Corruption, "bad chunk");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Corruption);
+    EXPECT_EQ(s.message(), "bad chunk");
+}
+
+TEST(Status, ToStringNamesTheCode)
+{
+    Status s = ioError("disk on fire");
+    std::string rendered = s.toString();
+    EXPECT_NE(rendered.find(statusCodeName(StatusCode::IoError)),
+              std::string::npos)
+        << rendered;
+    EXPECT_NE(rendered.find("disk on fire"), std::string::npos);
+}
+
+TEST(Status, FactoriesSetTheirCodes)
+{
+    EXPECT_EQ(invalidArgError("x").code(), StatusCode::InvalidArgument);
+    EXPECT_EQ(notFoundError("x").code(), StatusCode::NotFound);
+    EXPECT_EQ(ioError("x").code(), StatusCode::IoError);
+    EXPECT_EQ(corruptionError("x").code(), StatusCode::Corruption);
+    EXPECT_EQ(stalledError("x").code(), StatusCode::Stalled);
+}
+
+TEST(Status, FactoriesConcatenateStreamStyle)
+{
+    Status s = invalidArgError("key '", "rob", "' = ", 128);
+    EXPECT_EQ(s.message(), "key 'rob' = 128");
+}
+
+TEST(Status, WithContextPrepends)
+{
+    Status s = corruptionError("CRC mismatch");
+    Status wrapped = s.withContext("/tmp/a.trc chunk 3");
+    EXPECT_EQ(wrapped.code(), StatusCode::Corruption);
+    EXPECT_EQ(wrapped.message(), "/tmp/a.trc chunk 3: CRC mismatch");
+    // Original untouched.
+    EXPECT_EQ(s.message(), "CRC mismatch");
+}
+
+TEST(Status, ErrnoStringIsDescriptive)
+{
+    errno = ENOENT;
+    std::string s = errnoString();
+    EXPECT_NE(s.find("2"), std::string::npos) << s;
+}
+
+TEST(StatusOr, HoldsValue)
+{
+    StatusOr<int> v = 42;
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v.value(), 42);
+    EXPECT_EQ(v.valueOr(7), 42);
+}
+
+TEST(StatusOr, HoldsError)
+{
+    StatusOr<int> v = notFoundError("no such workload");
+    EXPECT_FALSE(v.ok());
+    EXPECT_EQ(v.status().code(), StatusCode::NotFound);
+    EXPECT_EQ(v.valueOr(7), 7);
+}
+
+TEST(StatusOr, TakeMovesOutMoveOnlyPayloads)
+{
+    StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(9);
+    ASSERT_TRUE(v.ok());
+    std::unique_ptr<int> p = v.take();
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, 9);
+}
+
+namespace
+{
+struct Base
+{
+    virtual ~Base() = default;
+};
+struct Derived : Base
+{
+};
+} // namespace
+
+TEST(StatusOr, AcceptsConvertibleValues)
+{
+    // unique_ptr<Derived> -> unique_ptr<Base>, as the factory
+    // functions return.
+    StatusOr<std::unique_ptr<Base>> v = std::make_unique<Derived>();
+    ASSERT_TRUE(v.ok());
+    EXPECT_NE(v.value(), nullptr);
+}
+
+TEST(FaultPlan, EmptyListArmsNothing)
+{
+    StatusOr<FaultPlan> p = FaultPlan::parse("", 5);
+    ASSERT_TRUE(p.ok());
+    EXPECT_FALSE(p.value().any());
+    EXPECT_EQ(p.value().seed, 5u);
+}
+
+TEST(FaultPlan, ParsesKnownKinds)
+{
+    StatusOr<FaultPlan> p =
+        FaultPlan::parse("trace-bitflip,table-drop,demand-stall", 1);
+    ASSERT_TRUE(p.ok());
+    EXPECT_TRUE(p.value().traceBitflip);
+    EXPECT_TRUE(p.value().tableDrop);
+    EXPECT_TRUE(p.value().demandStall);
+    EXPECT_FALSE(p.value().traceTruncate);
+    EXPECT_FALSE(p.value().traceShortRead);
+    EXPECT_FALSE(p.value().tableDelay);
+    EXPECT_TRUE(p.value().any());
+}
+
+TEST(FaultPlan, EveryAdvertisedKindParses)
+{
+    for (const std::string &kind : FaultPlan::kindNames()) {
+        StatusOr<FaultPlan> p = FaultPlan::parse(kind, 1);
+        EXPECT_TRUE(p.ok()) << kind;
+        EXPECT_TRUE(p.value().any()) << kind;
+    }
+}
+
+TEST(FaultPlan, UnknownKindSuggestsNearest)
+{
+    StatusOr<FaultPlan> p = FaultPlan::parse("table-dropp", 1);
+    ASSERT_FALSE(p.ok());
+    EXPECT_EQ(p.status().code(), StatusCode::InvalidArgument);
+    EXPECT_NE(p.status().message().find("table-drop"),
+              std::string::npos)
+        << p.status().message();
+}
+
+TEST(Str, EditDistance)
+{
+    EXPECT_EQ(editDistance("", ""), 0u);
+    EXPECT_EQ(editDistance("abc", "abc"), 0u);
+    EXPECT_EQ(editDistance("abc", ""), 3u);
+    EXPECT_EQ(editDistance("kitten", "sitting"), 3u);
+    EXPECT_EQ(editDistance("tabel_entries", "table_entries"), 2u);
+}
+
+TEST(Str, NearestMatchFindsTypo)
+{
+    EXPECT_EQ(nearestMatch("tabel_entries",
+                           {"table_entries", "degree", "rob"}),
+              "table_entries");
+    // Nothing within the distance cap -> no suggestion.
+    EXPECT_EQ(nearestMatch("zzzzzzzz", {"table_entries", "degree"}),
+              "");
+}

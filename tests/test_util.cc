@@ -213,14 +213,55 @@ TEST(CircularBuffer, FullFlag)
 
 TEST(ConfigStore, ParsesKeyValueArgs)
 {
-    const char *argv[] = {"prog", "alpha=1", "beta=hello", "noequals"};
-    ConfigStore cs =
-        ConfigStore::fromArgs(4, const_cast<char **>(argv));
+    const char *argv[] = {"prog", "alpha=1", "beta=hello"};
+    StatusOr<ConfigStore> parsed =
+        ConfigStore::parseArgs(3, const_cast<char **>(argv));
+    ASSERT_TRUE(parsed.ok());
+    ConfigStore cs = parsed.take();
     EXPECT_TRUE(cs.has("alpha"));
     EXPECT_TRUE(cs.has("beta"));
-    EXPECT_FALSE(cs.has("noequals"));
     EXPECT_EQ(cs.getU64("alpha", 0), 1u);
     EXPECT_EQ(cs.getString("beta", ""), "hello");
+}
+
+TEST(ConfigStore, RejectsMalformedTokens)
+{
+    // A token without '=' (or with an empty key) must be an error, not
+    // silently dropped: a mistyped override would otherwise invalidate
+    // an experiment by running the defaults.
+    const char *no_eq[] = {"prog", "alpha=1", "noequals"};
+    EXPECT_FALSE(
+        ConfigStore::parseArgs(3, const_cast<char **>(no_eq)).ok());
+
+    const char *empty_key[] = {"prog", "=5"};
+    EXPECT_FALSE(
+        ConfigStore::parseArgs(2, const_cast<char **>(empty_key)).ok());
+}
+
+TEST(ConfigStore, TryGettersReportMalformedValues)
+{
+    ConfigStore cs;
+    cs.set("n", "12x");
+    cs.set("f", "fast");
+    cs.set("b", "maybe");
+    EXPECT_FALSE(cs.tryGetU64("n", 0).ok());
+    EXPECT_FALSE(cs.tryGetDouble("f", 0.0).ok());
+    EXPECT_FALSE(cs.tryGetBool("b", false).ok());
+    EXPECT_EQ(cs.tryGetU64("absent", 7).value(), 7u);
+}
+
+TEST(ConfigStore, CheckKnownKeysSuggestsNearest)
+{
+    ConfigStore cs;
+    cs.set("tabel_entries", "1024"); // typo of table_entries
+    Status s = cs.checkKnownKeys({"table_entries", "degree"});
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.message().find("table_entries"), std::string::npos)
+        << s.message();
+
+    cs = ConfigStore();
+    cs.set("degree", "4");
+    EXPECT_TRUE(cs.checkKnownKeys({"table_entries", "degree"}).ok());
 }
 
 TEST(ConfigStore, DefaultsWhenAbsent)

@@ -1,7 +1,10 @@
 #include "bench/bench_common.hh"
 
-#include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <mutex>
+
+#include "util/str.hh"
 
 namespace ebcp::bench
 {
@@ -9,19 +12,31 @@ namespace ebcp::bench
 RunScale
 resolveScale(int argc, char **argv)
 {
-    RunScale s;
-    double scale = 1.0;
-    if (const char *env = std::getenv("EBCP_BENCH_SCALE"))
-        scale = std::atof(env);
-    if (scale <= 0.0)
-        scale = 1.0;
-    s.warm = static_cast<std::uint64_t>(s.warm * scale);
-    s.measure = static_cast<std::uint64_t>(s.measure * scale);
-
     ConfigStore cs = ConfigStore::fromArgs(argc, argv);
-    s.warm = cs.getU64("warm", s.warm);
-    s.measure = cs.getU64("measure", s.measure);
-    return s;
+    StatusOr<RunScale> s = runner::tryResolveScaleFromEnv(cs);
+    if (!s.ok()) {
+        std::cerr << "error resolving run scale: "
+                  << s.status().toString()
+                  << "\n(usage: warm=N measure=N overrides, or "
+                     "EBCP_BENCH_SCALE=<positive factor>)\n";
+        std::exit(2);
+    }
+    return s.value();
+}
+
+unsigned
+resolveJobs(int argc, char **argv)
+{
+    ConfigStore cs = ConfigStore::fromArgs(argc, argv);
+    StatusOr<unsigned> jobs = runner::tryResolveJobsFromEnv(cs);
+    if (!jobs.ok()) {
+        std::cerr << "error resolving sweep jobs: "
+                  << jobs.status().toString()
+                  << "\n(usage: jobs=N override, or "
+                     "EBCP_BENCH_JOBS=<positive integer>)\n";
+        std::exit(2);
+    }
+    return jobs.value();
 }
 
 void
@@ -50,16 +65,35 @@ run(const std::string &workload, const SimConfig &cfg,
 const SimResults &
 baseline(const std::string &workload, const RunScale &scale)
 {
-    static std::map<std::string, SimResults> cache;
-    auto it = cache.find(workload);
-    if (it == cache.end()) {
+    // Per-entry state so concurrent callers of *different* workloads
+    // compute in parallel, while two callers of the same workload
+    // compute it exactly once. unique_ptr gives the caller a stable
+    // reference even as the map rehashes/rebalances around it.
+    struct Entry
+    {
+        std::once_flag once;
+        std::unique_ptr<SimResults> results;
+    };
+    static std::mutex map_mu;
+    static std::map<std::string, Entry> cache;
+
+    // Keying by scale as well closes a latent serial bug: two calls
+    // with different windows used to alias one cache slot.
+    const std::string key = workload + "@" + std::to_string(scale.warm) +
+                            "+" + std::to_string(scale.measure);
+    Entry *entry;
+    {
+        std::lock_guard<std::mutex> lock(map_mu);
+        entry = &cache[key];
+    }
+    std::call_once(entry->once, [&]() {
         PrefetcherParams null_pf;
         null_pf.name = "null";
         SimConfig cfg;
-        it = cache.emplace(workload, run(workload, cfg, null_pf, scale))
-                 .first;
-    }
-    return it->second;
+        entry->results = std::make_unique<SimResults>(
+            run(workload, cfg, null_pf, scale));
+    });
+    return *entry->results;
 }
 
 std::vector<double>
@@ -72,6 +106,107 @@ improvementRow(const std::string &workload,
     out.reserve(series.size());
     for (const SimResults &r : series)
         out.push_back(improvementPct(base, r));
+    return out;
+}
+
+BenchSweep::BenchSweep(int argc, char **argv)
+    : scale_(resolveScale(argc, argv)),
+      jobs_(resolveJobs(argc, argv)),
+      runner_(jobs_)
+{}
+
+std::size_t
+BenchSweep::add(const std::string &workload, const SimConfig &cfg,
+                const PrefetcherParams &pf)
+{
+    RunDesc d;
+    d.workload = workload;
+    d.cfg = cfg;
+    d.pf = pf;
+    d.scale = scale_;
+    return add(std::move(d));
+}
+
+std::size_t
+BenchSweep::add(RunDesc d)
+{
+    panic_if(executed_, "BenchSweep::add() after execute()");
+    pending_.push_back(std::move(d));
+    return pending_.size() - 1;
+}
+
+std::size_t
+BenchSweep::addBaseline(const std::string &workload)
+{
+    auto it = baselines_.find(workload);
+    if (it != baselines_.end())
+        return it->second;
+    RunDesc d;
+    d.label = workload + "/baseline";
+    d.workload = workload;
+    d.pf.name = "null";
+    d.scale = scale_;
+    const std::size_t idx = add(std::move(d));
+    baselines_.emplace(workload, idx);
+    return idx;
+}
+
+void
+BenchSweep::execute()
+{
+    panic_if(executed_, "BenchSweep::execute() called twice");
+    executed_ = true;
+    results_ = runner_.run(pending_);
+
+    const runner::SweepStats &st = runner_.stats();
+    std::cout << "sweep: " << st.launched << " runs (" << st.completed
+              << " ok, " << st.failed << " failed) on " << st.jobs
+              << (st.jobs == 1 ? " job" : " jobs") << " in "
+              << fmtDouble(st.wallSeconds, 1) << "s, "
+              << fmtDouble(st.instsPerSec() / 1e6, 2)
+              << "M simulated insts/s\n";
+    for (std::size_t i = 0; i < results_.size(); ++i)
+        if (!results_[i].ok())
+            std::cerr << "run " << runner::runLabel(pending_[i])
+                      << " failed: " << results_[i].status.toString()
+                      << "\n";
+}
+
+const SimResults &
+BenchSweep::result(std::size_t idx) const
+{
+    panic_if(!executed_, "BenchSweep::result() before execute()");
+    panic_if(idx >= results_.size(), "BenchSweep run index out of range");
+    const runner::RunResult &r = results_[idx];
+    fatal_if(!r.ok(), "run ", runner::runLabel(pending_[idx]),
+             " failed: ", r.status.toString());
+    return r.results;
+}
+
+const SimResults &
+BenchSweep::baseline(const std::string &workload) const
+{
+    auto it = baselines_.find(workload);
+    panic_if(it == baselines_.end(), "no baseline enqueued for '",
+             workload, "'");
+    return result(it->second);
+}
+
+double
+BenchSweep::improvement(const std::string &workload,
+                        std::size_t idx) const
+{
+    return improvementPct(baseline(workload), result(idx));
+}
+
+std::vector<double>
+BenchSweep::improvementRow(const std::string &workload,
+                           const std::vector<std::size_t> &idxs) const
+{
+    std::vector<double> out;
+    out.reserve(idxs.size());
+    for (std::size_t idx : idxs)
+        out.push_back(improvement(workload, idx));
     return out;
 }
 

@@ -1,12 +1,19 @@
 /**
  * @file
  * Shared machinery for the paper-reproduction benches: run scaling,
- * baseline caching and uniform table output.
+ * the parallel sweep wrapper, baseline caching and uniform table
+ * output.
  *
- * Every bench accepts "warm=N measure=N" command-line overrides and
- * the EBCP_BENCH_SCALE environment variable (e.g. 0.25 for a quick
- * pass, 4 for a long one). Defaults reproduce the calibrated
- * measurement windows in EXPERIMENTS.md.
+ * Every bench accepts "warm=N measure=N" command-line overrides, the
+ * EBCP_BENCH_SCALE environment variable (e.g. 0.25 for a quick pass,
+ * 4 for a long one), and "jobs=N" / EBCP_BENCH_JOBS to size the
+ * parallel sweep engine (default: hardware concurrency). Defaults
+ * reproduce the calibrated measurement windows in EXPERIMENTS.md.
+ *
+ * Benches are two-phase: enqueue every (workload x config) run on a
+ * BenchSweep, execute() once, then assemble tables from the results.
+ * Execution is deterministic -- the same tables come out at jobs=1
+ * and jobs=N.
  */
 
 #ifndef EBCP_BENCH_BENCH_COMMON_HH
@@ -17,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "runner/options.hh"
+#include "runner/sweep.hh"
 #include "sim/simulator.hh"
 #include "stats/table.hh"
 #include "trace/workloads.hh"
@@ -25,33 +34,97 @@
 namespace ebcp::bench
 {
 
-/** Measurement window sizes for one run. */
-struct RunScale
-{
-    std::uint64_t warm = 4'000'000;
-    std::uint64_t measure = 8'000'000;
-};
+using runner::RunDesc;
+using runner::RunScale;
 
-/** Resolve the run scale from argv overrides and the environment. */
+/**
+ * Resolve the run scale from argv overrides and the environment;
+ * malformed or non-positive values render a coded error and exit.
+ */
 RunScale resolveScale(int argc, char **argv);
+
+/** Resolve the sweep worker count (jobs= / EBCP_BENCH_JOBS); exits on
+ * malformed values. */
+unsigned resolveJobs(int argc, char **argv);
 
 /** Print the standard bench banner. */
 void banner(const std::string &title, const std::string &paper_ref,
             const RunScale &scale);
 
-/** Run one configuration on one workload. */
+/** Run one configuration on one workload, serially. */
 SimResults run(const std::string &workload, const SimConfig &cfg,
                const PrefetcherParams &pf, const RunScale &scale);
 
-/** Baseline (no prefetching) results, cached per workload. */
+/**
+ * Baseline (no prefetching) results, memoized per (workload, scale).
+ * Thread-safe: concurrent callers compute each baseline exactly once,
+ * and the returned reference is stable for the process lifetime.
+ */
 const SimResults &baseline(const std::string &workload,
                            const RunScale &scale);
 
-/** Percent-improvement row over the cached baselines. */
+/** Percent-improvement row over the cached baselines (serial path). */
 std::vector<double>
 improvementRow(const std::string &workload,
                const std::vector<SimResults> &series,
                const RunScale &scale);
+
+/**
+ * The bench-side face of the parallel sweep engine: collects run
+ * descriptors (returning their indices), executes them all on a
+ * SweepRunner, prints the sweep summary, and serves results back by
+ * index. A failed run is fatal at first access with the run's label
+ * and Status -- a paper table must not silently contain holes.
+ */
+class BenchSweep
+{
+  public:
+    /** Resolves scale and jobs from @p argv and the environment. */
+    BenchSweep(int argc, char **argv);
+
+    const RunScale &scale() const { return scale_; }
+    unsigned jobs() const { return jobs_; }
+
+    /** Enqueue a single-core run at the bench scale. @return index */
+    std::size_t add(const std::string &workload, const SimConfig &cfg,
+                    const PrefetcherParams &pf);
+
+    /** Enqueue a fully-specified descriptor. @return index */
+    std::size_t add(RunDesc d);
+
+    /** Enqueue (once per workload) the no-prefetching baseline.
+     * @return index */
+    std::size_t addBaseline(const std::string &workload);
+
+    /** Execute every pending descriptor and print the sweep summary. */
+    void execute();
+
+    /** Result of run @p idx; fatal if that run failed. */
+    const SimResults &result(std::size_t idx) const;
+
+    /** Baseline results for @p workload (addBaseline required). */
+    const SimResults &baseline(const std::string &workload) const;
+
+    /** Percent improvement of run @p idx over its workload baseline. */
+    double improvement(const std::string &workload,
+                       std::size_t idx) const;
+
+    /** improvement() across @p idxs, for table rows. */
+    std::vector<double>
+    improvementRow(const std::string &workload,
+                   const std::vector<std::size_t> &idxs) const;
+
+    const runner::SweepStats &stats() const { return runner_.stats(); }
+
+  private:
+    RunScale scale_;
+    unsigned jobs_;
+    runner::SweepRunner runner_;
+    std::vector<RunDesc> pending_;
+    std::vector<runner::RunResult> results_;
+    std::map<std::string, std::size_t> baselines_;
+    bool executed_ = false;
+};
 
 } // namespace ebcp::bench
 

@@ -28,9 +28,10 @@ using namespace ebcp::bench;
 int
 main(int argc, char **argv)
 {
-    RunScale scale = resolveScale(argc, argv);
+    BenchSweep sweep(argc, argv);
     banner("Extension: EBCP design-choice ablation",
-           "Sections 3.1, 3.2, 3.4.2 / Figure 9's EBCP-minus", scale);
+           "Sections 3.1, 3.2, 3.4.2 / Figure 9's EBCP-minus",
+           sweep.scale());
 
     struct Variant
     {
@@ -54,8 +55,11 @@ main(int argc, char **argv)
         header.push_back(w);
     t.setHeader(header);
 
+    for (const auto &w : workloadNames())
+        sweep.addBaseline(w);
+    std::vector<std::vector<std::size_t>> idx;
     for (const auto &v : variants) {
-        std::vector<double> row;
+        std::vector<std::size_t> row;
         for (const auto &w : workloadNames()) {
             SimConfig cfg;
             PrefetcherParams p;
@@ -64,10 +68,18 @@ main(int argc, char **argv)
             p.ebcp.minusVariant = v.minus;
             p.ebcp.trainAllOldestMisses = v.trainAll;
             p.ebcp.onChipTable = v.onChip;
-            SimResults r = run(w, cfg, p, scale);
-            row.push_back(improvementPct(baseline(w, scale), r));
+            row.push_back(sweep.add(w, cfg, p));
         }
-        t.addRow(v.label, row);
+        idx.push_back(std::move(row));
+    }
+    sweep.execute();
+
+    const std::vector<std::string> workloads = workloadNames();
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        std::vector<double> row;
+        for (std::size_t k = 0; k < workloads.size(); ++k)
+            row.push_back(sweep.improvement(workloads[k], idx[v][k]));
+        t.addRow(variants[v].label, row);
     }
     t.print(std::cout);
 

@@ -19,7 +19,6 @@
 #include <iostream>
 
 #include "bench/bench_common.hh"
-#include "sim/cmp_system.hh"
 #include "util/str.hh"
 
 using namespace ebcp;
@@ -28,9 +27,10 @@ using namespace ebcp::bench;
 int
 main(int argc, char **argv)
 {
-    RunScale scale = resolveScale(argc, argv);
+    BenchSweep sweep(argc, argv);
     // CMP runs are per-core windows; keep the default total work
     // comparable to the single-core benches.
+    RunScale scale = sweep.scale();
     scale.warm /= 2;
     scale.measure /= 2;
 
@@ -48,51 +48,72 @@ main(int argc, char **argv)
     AsciiTable tc("database: coverage / accuracy (%)");
     tc.setHeader({"scheme", "1 core", "2 cores", "4 cores", "8 cores"});
 
-    std::vector<double> base_cpi;
+    auto makeDesc = [&](const std::string &scheme, unsigned cores,
+                        bool per_core_state) {
+        RunDesc d;
+        d.label = scheme + "/" + std::to_string(cores) + "c";
+        d.workload = workload;
+        d.scale = scale;
+        d.cores = cores;
+        d.pf.name = scheme;
+        d.pf.ebcp.prefetchDegree = 8;
+        d.pf.ebcp.tableEntries = 1ULL << 18;
+        d.pf.solihin.tableEntries = 1ULL << 18;
+        d.pf.ebcp.numCoreStates = per_core_state ? cores : 1;
+        return d;
+    };
+
+    std::vector<std::size_t> base_idx;
     for (unsigned n : core_counts) {
-        PrefetcherParams none;
-        none.name = "null";
-        SimConfig cfg;
-        CmpResults r = runCmp(cfg, none, workload, n, scale.warm,
-                              scale.measure);
-        base_cpi.push_back(r.aggregateCpi);
+        RunDesc d = makeDesc("null", n, false);
+        d.pf = PrefetcherParams{};
+        d.pf.name = "null";
+        d.label = "null/" + std::to_string(n) + "c";
+        base_idx.push_back(sweep.add(std::move(d)));
     }
+
+    struct Scheme
     {
-        std::vector<double> row;
-        for (double c : base_cpi)
-            row.push_back(c);
+        std::string label;
+        std::string name;
+        bool perCoreState;
+    };
+    const std::vector<Scheme> schemes{
+        {"ebcp (per-core EMABs)", "ebcp", true},
+        {"ebcp (shared epoch state)", "ebcp", false},
+        {"solihin-6-1 (memory side)", "solihin-6-1", false},
+    };
+    std::vector<std::vector<std::size_t>> idx;
+    for (const auto &s : schemes) {
+        std::vector<std::size_t> row;
+        for (unsigned n : core_counts)
+            row.push_back(sweep.add(makeDesc(s.name, n, s.perCoreState)));
+        idx.push_back(std::move(row));
+    }
+    sweep.execute();
+
+    std::vector<double> base_cpi;
+    for (std::size_t b : base_idx)
+        base_cpi.push_back(sweep.result(b).cpi);
+    {
         AsciiTable tb("baseline aggregate CPI per core count");
         tb.setHeader({"", "1 core", "2 cores", "4 cores", "8 cores"});
-        tb.addRow("no-prefetch CPI", row);
+        tb.addRow("no-prefetch CPI", base_cpi);
         tb.print(std::cout);
     }
 
-    auto sweep = [&](const std::string &label,
-                     const std::string &scheme, bool per_core_state) {
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
         std::vector<double> row;
-        std::vector<std::string> covrow{label};
+        std::vector<std::string> covrow{schemes[s].label};
         for (std::size_t k = 0; k < core_counts.size(); ++k) {
-            const unsigned n = core_counts[k];
-            SimConfig cfg;
-            PrefetcherParams p;
-            p.name = scheme;
-            p.ebcp.prefetchDegree = 8;
-            p.ebcp.tableEntries = 1ULL << 18;
-            p.solihin.tableEntries = 1ULL << 18;
-            p.ebcp.numCoreStates = per_core_state ? n : 1;
-            CmpResults r = runCmp(cfg, p, workload, n, scale.warm,
-                                  scale.measure);
-            row.push_back((base_cpi[k] / r.aggregateCpi - 1.0) * 100.0);
+            const SimResults &r = sweep.result(idx[s][k]);
+            row.push_back((base_cpi[k] / r.cpi - 1.0) * 100.0);
             covrow.push_back(fmtDouble(r.coverage * 100.0, 1) + " / " +
                              fmtDouble(r.accuracy * 100.0, 1));
         }
-        t.addRow(label, row);
+        t.addRow(schemes[s].label, row);
         tc.addRow(covrow);
-    };
-
-    sweep("ebcp (per-core EMABs)", "ebcp", true);
-    sweep("ebcp (shared epoch state)", "ebcp", false);
-    sweep("solihin-6-1 (memory side)", "solihin-6-1", false);
+    }
     t.print(std::cout);
     tc.print(std::cout);
 

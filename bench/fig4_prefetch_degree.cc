@@ -16,9 +16,9 @@ using namespace ebcp::bench;
 int
 main(int argc, char **argv)
 {
-    RunScale scale = resolveScale(argc, argv);
+    BenchSweep sweep(argc, argv);
     banner("Figure 4: effect of limiting the number of prefetches",
-           "Figure 4 (Section 5.2.1)", scale);
+           "Figure 4 (Section 5.2.1)", sweep.scale());
 
     const std::vector<unsigned> degrees{1, 2, 4, 8, 16, 32};
 
@@ -29,8 +29,9 @@ main(int argc, char **argv)
         header.push_back("deg " + std::to_string(d));
     t.setHeader(header);
 
+    std::map<std::string, std::vector<std::size_t>> series;
     for (const auto &w : workloadNames()) {
-        std::vector<SimResults> series;
+        sweep.addBaseline(w);
         for (unsigned d : degrees) {
             SimConfig cfg;
             cfg.prefetchBufferEntries = 1024; // idealized buffer
@@ -39,10 +40,13 @@ main(int argc, char **argv)
             p.ebcp.prefetchDegree = d;
             p.ebcp.tableEntries = 1ULL << 23; // idealized 8M entries
             p.ebcp.emabAddrsPerEntry = 32;
-            series.push_back(run(w, cfg, p, scale));
+            series[w].push_back(sweep.add(w, cfg, p));
         }
-        t.addRow(w, improvementRow(w, series, scale));
     }
+    sweep.execute();
+
+    for (const auto &w : workloadNames())
+        t.addRow(w, sweep.improvementRow(w, series[w]));
     t.print(std::cout);
 
     std::cout << "\nExpected shape (paper): improvement grows with degree"

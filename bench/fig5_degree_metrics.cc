@@ -15,23 +15,16 @@ using namespace ebcp::bench;
 int
 main(int argc, char **argv)
 {
-    RunScale scale = resolveScale(argc, argv);
+    BenchSweep sweep(argc, argv);
     banner("Figure 5: EPI, L2 miss rates, coverage and accuracy vs "
            "prefetch degree",
-           "Figure 5 (Section 5.2.1)", scale);
+           "Figure 5 (Section 5.2.1)", sweep.scale());
 
     const std::vector<unsigned> degrees{1, 2, 4, 8, 16, 32};
 
+    std::map<std::string, std::vector<std::size_t>> idx;
     for (const auto &w : workloadNames()) {
-        const SimResults &base = baseline(w, scale);
-
-        AsciiTable t(w);
-        std::vector<std::string> header{"metric", "no-pf"};
-        for (unsigned d : degrees)
-            header.push_back("deg " + std::to_string(d));
-        t.setHeader(header);
-
-        std::vector<SimResults> series;
+        sweep.addBaseline(w);
         for (unsigned d : degrees) {
             SimConfig cfg;
             cfg.prefetchBufferEntries = 1024;
@@ -40,8 +33,23 @@ main(int argc, char **argv)
             p.ebcp.prefetchDegree = d;
             p.ebcp.tableEntries = 1ULL << 23;
             p.ebcp.emabAddrsPerEntry = 32;
-            series.push_back(run(w, cfg, p, scale));
+            idx[w].push_back(sweep.add(w, cfg, p));
         }
+    }
+    sweep.execute();
+
+    for (const auto &w : workloadNames()) {
+        const SimResults &base = sweep.baseline(w);
+
+        AsciiTable t(w);
+        std::vector<std::string> header{"metric", "no-pf"};
+        for (unsigned d : degrees)
+            header.push_back("deg " + std::to_string(d));
+        t.setHeader(header);
+
+        std::vector<SimResults> series;
+        for (std::size_t i : idx[w])
+            series.push_back(sweep.result(i));
 
         auto row = [&](const std::string &label, auto getter,
                        double base_v) {

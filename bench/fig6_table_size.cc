@@ -21,9 +21,9 @@ using namespace ebcp::bench;
 int
 main(int argc, char **argv)
 {
-    RunScale scale = resolveScale(argc, argv);
+    BenchSweep sweep(argc, argv);
     banner("Figure 6: effect of limiting predictor table entries",
-           "Figure 6 (Section 5.2.2)", scale);
+           "Figure 6 (Section 5.2.2)", sweep.scale());
 
     const std::vector<std::uint64_t> entries{
         1ULL << 10, 1ULL << 12, 1ULL << 14, 1ULL << 16, 1ULL << 18,
@@ -38,18 +38,22 @@ main(int argc, char **argv)
                              : std::to_string(e >> 10) + "K");
     t.setHeader(header);
 
+    std::map<std::string, std::vector<std::size_t>> idx;
     for (const auto &w : workloadNames()) {
-        std::vector<SimResults> series;
+        sweep.addBaseline(w);
         for (std::uint64_t e : entries) {
             SimConfig cfg;
             PrefetcherParams p;
             p.name = "ebcp";
             p.ebcp.prefetchDegree = 8;
             p.ebcp.tableEntries = e;
-            series.push_back(run(w, cfg, p, scale));
+            idx[w].push_back(sweep.add(w, cfg, p));
         }
-        t.addRow(w, improvementRow(w, series, scale));
     }
+    sweep.execute();
+
+    for (const auto &w : workloadNames())
+        t.addRow(w, sweep.improvementRow(w, idx[w]));
     t.print(std::cout);
 
     std::cout << "\nExpected shape (paper): performance is flat above"

@@ -15,9 +15,9 @@ using namespace ebcp::bench;
 int
 main(int argc, char **argv)
 {
-    RunScale scale = resolveScale(argc, argv);
+    BenchSweep sweep(argc, argv);
     banner("Figure 7: effect of limiting prefetch buffer entries",
-           "Figure 7 (Section 5.2.3)", scale);
+           "Figure 7 (Section 5.2.3)", sweep.scale());
 
     const std::vector<unsigned> sizes{16, 32, 64, 128, 256, 512, 1024};
 
@@ -28,8 +28,9 @@ main(int argc, char **argv)
         header.push_back(std::to_string(s));
     t.setHeader(header);
 
+    std::map<std::string, std::vector<std::size_t>> idx;
     for (const auto &w : workloadNames()) {
-        std::vector<SimResults> series;
+        sweep.addBaseline(w);
         for (unsigned s : sizes) {
             SimConfig cfg;
             cfg.prefetchBufferEntries = s;
@@ -37,10 +38,13 @@ main(int argc, char **argv)
             p.name = "ebcp";
             p.ebcp.prefetchDegree = 8;
             p.ebcp.tableEntries = 1ULL << 20;
-            series.push_back(run(w, cfg, p, scale));
+            idx[w].push_back(sweep.add(w, cfg, p));
         }
-        t.addRow(w, improvementRow(w, series, scale));
     }
+    sweep.execute();
+
+    for (const auto &w : workloadNames())
+        t.addRow(w, sweep.improvementRow(w, idx[w]));
     t.print(std::cout);
 
     std::cout << "\nExpected shape (paper): a 64-entry buffer captures"

@@ -16,9 +16,9 @@ using namespace ebcp::bench;
 int
 main(int argc, char **argv)
 {
-    RunScale scale = resolveScale(argc, argv);
+    BenchSweep sweep(argc, argv);
     banner("Figure 8: effect of available memory bandwidth",
-           "Figure 8 (Section 5.2.4)", scale);
+           "Figure 8 (Section 5.2.4)", sweep.scale());
 
     const std::vector<unsigned> degrees{2, 4, 8, 16, 32};
     const std::vector<std::pair<std::string, double>> bws{
@@ -27,15 +27,12 @@ main(int argc, char **argv)
         {"9.6GB/s", 1.0},
     };
 
+    // idx[workload][bandwidth] -> run indices across degrees
+    std::map<std::string, std::vector<std::vector<std::size_t>>> idx;
     for (const auto &w : workloadNames()) {
-        AsciiTable t(w + ": overall performance improvement (%)");
-        std::vector<std::string> header{"read bandwidth"};
-        for (unsigned d : degrees)
-            header.push_back("deg " + std::to_string(d));
-        t.setHeader(header);
-
+        sweep.addBaseline(w);
         for (const auto &[label, factor] : bws) {
-            std::vector<SimResults> series;
+            std::vector<std::size_t> row;
             for (unsigned d : degrees) {
                 SimConfig cfg;
                 cfg.mem.scaleBandwidth(factor);
@@ -45,11 +42,24 @@ main(int argc, char **argv)
                 p.ebcp.prefetchDegree = d;
                 p.ebcp.tableEntries = 1ULL << 20;
                 p.ebcp.emabAddrsPerEntry = 32;
-                series.push_back(run(w, cfg, p, scale));
+                row.push_back(sweep.add(w, cfg, p));
             }
+            idx[w].push_back(std::move(row));
+        }
+    }
+    sweep.execute();
+
+    for (const auto &w : workloadNames()) {
+        AsciiTable t(w + ": overall performance improvement (%)");
+        std::vector<std::string> header{"read bandwidth"};
+        for (unsigned d : degrees)
+            header.push_back("deg " + std::to_string(d));
+        t.setHeader(header);
+
+        for (std::size_t b = 0; b < bws.size(); ++b) {
             // Improvements are relative to the *default-bandwidth*
             // baseline without prefetching, as in the paper.
-            t.addRow(label, improvementRow(w, series, scale));
+            t.addRow(bws[b].first, sweep.improvementRow(w, idx[w][b]));
         }
         t.print(std::cout);
     }

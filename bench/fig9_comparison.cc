@@ -23,9 +23,9 @@ using namespace ebcp::bench;
 int
 main(int argc, char **argv)
 {
-    RunScale scale = resolveScale(argc, argv);
+    BenchSweep sweep(argc, argv);
     banner("Figure 9: performance comparison with other prefetchers",
-           "Figure 9 (Section 5.3)", scale);
+           "Figure 9 (Section 5.3)", sweep.scale());
 
     const std::vector<std::string> schemes{
         "stream",      "ghb-small", "ghb-large", "tcp-small",
@@ -44,8 +44,10 @@ main(int argc, char **argv)
     AsciiTable acc("Accuracy (%)");
     acc.setHeader(header);
 
+    for (const auto &w : workloadNames())
+        sweep.addBaseline(w);
+    std::map<std::string, std::vector<std::size_t>> idx;
     for (const auto &scheme : schemes) {
-        std::vector<double> imps, covs, accs;
         for (const auto &w : workloadNames()) {
             SimConfig cfg;
             PrefetcherParams p;
@@ -53,8 +55,18 @@ main(int argc, char **argv)
             p.ebcp.prefetchDegree = 6;
             p.ebcp.tableEntries = 1ULL << 16;   // scaled 1M
             p.solihin.tableEntries = 1ULL << 16; // scaled 1M
-            SimResults r = run(w, cfg, p, scale);
-            imps.push_back(improvementPct(baseline(w, scale), r));
+            idx[scheme].push_back(sweep.add(w, cfg, p));
+        }
+    }
+    sweep.execute();
+
+    for (const auto &scheme : schemes) {
+        std::vector<double> imps, covs, accs;
+        const std::vector<std::string> workloads = workloadNames();
+        for (std::size_t k = 0; k < workloads.size(); ++k) {
+            const SimResults &r = sweep.result(idx[scheme][k]);
+            imps.push_back(sweep.improvement(workloads[k],
+                                             idx[scheme][k]));
             covs.push_back(r.coverage * 100.0);
             accs.push_back(r.accuracy * 100.0);
         }

@@ -15,16 +15,20 @@ using namespace ebcp::bench;
 int
 main(int argc, char **argv)
 {
-    RunScale scale = resolveScale(argc, argv);
+    BenchSweep sweep(argc, argv);
     banner("Table 1: baseline processor without correlation prefetching",
-           "Table 1 (Section 5.1)", scale);
+           "Table 1 (Section 5.1)", sweep.scale());
 
     AsciiTable t("Baseline statistics (paper values in parentheses)");
     t.setHeader({"metric", "database", "tpcw", "specjbb", "specjas"});
 
+    for (const auto &w : workloadNames())
+        sweep.addBaseline(w);
+    sweep.execute();
+
     std::vector<SimResults> rs;
     for (const auto &w : workloadNames())
-        rs.push_back(baseline(w, scale));
+        rs.push_back(sweep.baseline(w));
 
     t.addRow("CPI_overall",
              {rs[0].cpi, rs[1].cpi, rs[2].cpi, rs[3].cpi});

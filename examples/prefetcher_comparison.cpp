@@ -1,15 +1,19 @@
 /**
  * @file
  * Compare every prefetcher in the library on one workload -- the
- * interactive counterpart of the Figure 9 bench.
+ * interactive counterpart of the Figure 9 bench -- using the parallel
+ * sweep engine directly (jobs=N / EBCP_BENCH_JOBS select the worker
+ * count; results are identical at any job count).
  *
  * Usage:
  *   prefetcher_comparison [workload=specjbb] [warm=2000000]
- *                         [measure=4000000] [degree=6]
+ *                         [measure=4000000] [degree=6] [jobs=N]
  */
 
 #include <iostream>
 
+#include "runner/options.hh"
+#include "runner/sweep.hh"
 #include "sim/simulator.hh"
 #include "stats/table.hh"
 #include "trace/workloads.hh"
@@ -28,30 +32,65 @@ main(int argc, char **argv)
     const unsigned degree =
         static_cast<unsigned>(cs.getU64("degree", 6));
 
-    SimConfig cfg;
-    PrefetcherParams none;
-    none.name = "null";
-    auto base_src = makeWorkload(workload);
-    SimResults base = runOnce(cfg, none, *base_src, warm, measure);
+    StatusOr<unsigned> jobs = runner::tryResolveJobsFromEnv(cs);
+    if (!jobs.ok()) {
+        std::cerr << jobs.status().toString() << "\n";
+        return 2;
+    }
 
+    runner::RunScale scale;
+    scale.warm = warm;
+    scale.measure = measure;
+
+    std::vector<runner::RunDesc> descs;
+    {
+        runner::RunDesc base;
+        base.label = workload + "/baseline";
+        base.workload = workload;
+        base.pf.name = "null";
+        base.scale = scale;
+        descs.push_back(std::move(base));
+    }
+    std::vector<std::string> schemes;
+    for (const auto &name : prefetcherNames()) {
+        if (name == "null")
+            continue;
+        runner::RunDesc d;
+        d.workload = workload;
+        d.pf.name = name;
+        d.pf.ebcp.prefetchDegree = degree;
+        d.scale = scale;
+        schemes.push_back(name);
+        descs.push_back(std::move(d));
+    }
+
+    runner::SweepRunner pool(jobs.value());
+    std::vector<runner::RunResult> results = pool.run(descs);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ok()) {
+            std::cerr << "run " << runner::runLabel(descs[i])
+                      << " failed: " << results[i].status.toString()
+                      << "\n";
+            return 1;
+        }
+    }
+
+    const SimResults &base = results[0].results;
     std::cout << "workload '" << workload << "': baseline CPI "
               << base.cpi << ", " << base.epochsPer1k
               << " epochs/1000 insts\n";
+    const runner::SweepStats &st = pool.stats();
+    std::cout << "sweep: " << st.launched << " runs on " << st.jobs
+              << " jobs in " << fmtDouble(st.wallSeconds, 1) << "s\n";
 
     AsciiTable t("Prefetcher comparison (degree " +
                  std::to_string(degree) + ")");
     t.setHeader({"scheme", "improvement %", "EPI reduction %",
                  "coverage %", "accuracy %", "issued", "dropped"});
 
-    for (const auto &name : prefetcherNames()) {
-        if (name == "null")
-            continue;
-        PrefetcherParams p;
-        p.name = name;
-        p.ebcp.prefetchDegree = degree;
-        auto src = makeWorkload(workload);
-        SimResults r = runOnce(cfg, p, *src, warm, measure);
-        t.addRow({name, fmtDouble(improvementPct(base, r), 2),
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        const SimResults &r = results[i + 1].results;
+        t.addRow({schemes[i], fmtDouble(improvementPct(base, r), 2),
                   fmtDouble(epiReductionPct(base, r), 2),
                   fmtDouble(r.coverage * 100.0, 1),
                   fmtDouble(r.accuracy * 100.0, 1),

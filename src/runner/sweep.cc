@@ -1,0 +1,229 @@
+#include "runner/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "sim/cmp_system.hh"
+#include "sim/simulator.hh"
+#include "trace/fault_injection.hh"
+#include "trace/workloads.hh"
+
+namespace ebcp::runner
+{
+
+std::uint64_t
+runSeed(const RunDesc &d)
+{
+    if (d.seed)
+        return d.seed;
+    // The workload table owns the calibrated default seeds; reuse it
+    // so runSeed() and execution can never disagree.
+    StatusOr<WorkloadConfig> cfg = tryWorkloadByName(d.workload, 0);
+    return cfg.ok() ? cfg.value().seed : 0;
+}
+
+std::string
+runLabel(const RunDesc &d)
+{
+    if (!d.label.empty())
+        return d.label;
+    return d.workload + "/" + d.pf.name;
+}
+
+unsigned
+defaultJobs()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+namespace
+{
+
+/** Single-core path: mirrors examples/ebcp_cli's wiring, including
+ * the fault-injection wrapper and the EBCP-side fault plan. */
+RunResult
+executeSingle(const RunDesc &d)
+{
+    RunResult out;
+    StatusOr<std::unique_ptr<SyntheticWorkload>> src =
+        tryMakeWorkload(d.workload, d.seed);
+    if (!src.ok()) {
+        out.status = src.status().withContext(runLabel(d));
+        return out;
+    }
+    std::unique_ptr<SyntheticWorkload> owned = src.take();
+    TraceSource *source = owned.get();
+
+    std::unique_ptr<FaultInjectingTraceSource> injector;
+    const FaultPlan &faults = d.cfg.faults;
+    if (faults.traceBitflip || faults.traceTruncate ||
+        faults.traceShortRead) {
+        injector =
+            std::make_unique<FaultInjectingTraceSource>(*source, faults);
+        source = injector.get();
+    }
+
+    PrefetcherParams pf = d.pf;
+    if (faults.any())
+        pf.ebcp.faults = faults;
+
+    {
+        // Validate the prefetcher name up front: the Simulator
+        // constructor treats an unknown name as fatal, but a sweep
+        // must degrade to a per-run error instead.
+        StatusOr<std::unique_ptr<Prefetcher>> probe =
+            tryCreatePrefetcher(pf);
+        if (!probe.ok()) {
+            out.status = probe.status().withContext(runLabel(d));
+            return out;
+        }
+    }
+
+    Simulator sim(d.cfg, pf);
+    StatusOr<SimResults> r =
+        sim.tryRun(*source, d.scale.warm, d.scale.measure);
+    if (!r.ok()) {
+        out.status = r.status().withContext(runLabel(d));
+        return out;
+    }
+    out.results = r.take();
+    return out;
+}
+
+/** CMP path: per-core workload instances with seeds derived from the
+ * descriptor seed, as runCmp() does serially. */
+RunResult
+executeCmp(const RunDesc &d)
+{
+    RunResult out;
+    std::vector<std::unique_ptr<SyntheticWorkload>> owned;
+    std::vector<TraceSource *> sources;
+    for (unsigned i = 0; i < d.cores; ++i) {
+        const std::uint64_t seed = d.seed ? d.seed + i : 1000 + i;
+        StatusOr<std::unique_ptr<SyntheticWorkload>> src =
+            tryMakeWorkload(d.workload, seed);
+        if (!src.ok()) {
+            out.status = src.status().withContext(runLabel(d));
+            return out;
+        }
+        owned.push_back(src.take());
+        sources.push_back(owned.back().get());
+    }
+
+    {
+        StatusOr<std::unique_ptr<Prefetcher>> probe =
+            tryCreatePrefetcher(d.pf);
+        if (!probe.ok()) {
+            out.status = probe.status().withContext(runLabel(d));
+            return out;
+        }
+    }
+
+    CmpSystem sys(d.cfg, d.pf, d.cores);
+    StatusOr<CmpResults> r =
+        sys.tryRun(sources, d.scale.warm, d.scale.measure);
+    if (!r.ok()) {
+        out.status = r.status().withContext(runLabel(d));
+        return out;
+    }
+
+    // Fold the CMP aggregate into the SimResults shape the sweep and
+    // table code consume; per-core breakdowns stay a CmpSystem
+    // concern.
+    const CmpResults cmp = r.take();
+    SimResults &res = out.results;
+    res.cpi = cmp.aggregateCpi;
+    res.coverage = cmp.coverage;
+    res.accuracy = cmp.accuracy;
+    res.epochs = cmp.epochs;
+    for (const SimResults &core : cmp.perCore) {
+        res.insts += core.insts;
+        res.cycles = std::max(res.cycles, core.cycles);
+        res.usefulPrefetches += core.usefulPrefetches;
+        res.issuedPrefetches += core.issuedPrefetches;
+        res.droppedPrefetches += core.droppedPrefetches;
+    }
+    if (res.insts)
+        res.epochsPer1k =
+            cmp.epochs * 1000.0 / static_cast<double>(res.insts);
+    return out;
+}
+
+} // namespace
+
+RunResult
+executeRun(const RunDesc &d)
+{
+    try {
+        return d.cores > 1 ? executeCmp(d) : executeSingle(d);
+    } catch (const std::exception &e) {
+        RunResult out;
+        out.status = Status(StatusCode::Corruption,
+                            logFormat(runLabel(d),
+                                      ": uncaught exception: ", e.what()));
+        return out;
+    }
+}
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs ? jobs : defaultJobs())
+{}
+
+std::vector<RunResult>
+SweepRunner::run(const std::vector<RunDesc> &descs)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    std::vector<RunResult> results(descs.size());
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, descs.size()));
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < descs.size(); ++i)
+            results[i] = executeRun(descs[i]);
+    } else {
+        // Work stealing off a shared index: workers claim the next
+        // unstarted descriptor and write results[i] in place, so the
+        // output order is the submission order no matter who runs
+        // what.
+        std::atomic<std::size_t> next{0};
+        auto worker = [&]() {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= descs.size())
+                    return;
+                results[i] = executeRun(descs[i]);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    stats_ = SweepStats{};
+    stats_.launched = descs.size();
+    stats_.jobs = workers ? workers : 1;
+    for (const RunResult &r : results) {
+        if (r.ok()) {
+            ++stats_.completed;
+            stats_.measuredInsts += r.results.insts;
+        } else {
+            ++stats_.failed;
+        }
+    }
+    stats_.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return results;
+}
+
+} // namespace ebcp::runner

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Parallel sweep engine: a fixed-size thread pool that executes a
+ * list of RunDescs and returns per-run results in submission order.
+ *
+ * Guarantees (see tests/test_runner.cc):
+ *
+ *  - determinism: each run's SimResults are a pure function of its
+ *    descriptor, so a sweep is bit-identical at jobs=1 and jobs=N;
+ *  - isolation: each run builds its own Simulator/CmpSystem and trace
+ *    source; a faulted run (watchdog stall, bad descriptor) yields a
+ *    non-OK per-run Status without aborting or perturbing the rest of
+ *    the sweep;
+ *  - ordering: results[i] always corresponds to descs[i], regardless
+ *    of which worker finished first.
+ *
+ * Every paper bench (Figures 4-9, Table 1, extensions) funnels its
+ * (workload x config) grid through this engine; see bench_common.hh
+ * for the bench-side convenience wrapper.
+ */
+
+#ifndef EBCP_RUNNER_SWEEP_HH
+#define EBCP_RUNNER_SWEEP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "runner/run_desc.hh"
+#include "sim/results.hh"
+#include "util/status.hh"
+
+namespace ebcp::runner
+{
+
+/** Outcome of one run: a Status plus, when OK, the results. */
+struct RunResult
+{
+    Status status;
+    SimResults results; //!< valid only when status.ok()
+
+    bool ok() const { return status.ok(); }
+};
+
+/** Aggregate accounting of one sweep execution. */
+struct SweepStats
+{
+    std::size_t launched = 0;  //!< descriptors submitted
+    std::size_t completed = 0; //!< runs that returned OK
+    std::size_t failed = 0;    //!< runs that returned a non-OK Status
+    unsigned jobs = 1;         //!< worker threads used
+    double wallSeconds = 0.0;
+
+    /** Instructions measured across successful runs (warm excluded). */
+    std::uint64_t measuredInsts = 0;
+
+    /** Aggregate simulation throughput over the sweep's wall clock. */
+    double instsPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(measuredInsts) / wallSeconds
+                   : 0.0;
+    }
+};
+
+/**
+ * Execute one descriptor in isolation. Bad workload / prefetcher
+ * names, watchdog stalls and uncaught exceptions come back as the
+ * Status; the simulation itself runs exactly as the serial
+ * runOnce()/runCmp() paths would.
+ */
+RunResult executeRun(const RunDesc &d);
+
+/** The default worker count: hardware concurrency, at least 1. */
+unsigned defaultJobs();
+
+/** Fixed-size thread-pool executor for run descriptors. */
+class SweepRunner
+{
+  public:
+    /** @param jobs worker threads; 0 selects defaultJobs(). */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    /**
+     * Execute every descriptor and return results in submission
+     * order. Never throws and never aborts on a failed run; inspect
+     * each RunResult::status. Also refreshes stats().
+     */
+    std::vector<RunResult> run(const std::vector<RunDesc> &descs);
+
+    /** Accounting for the most recent run(). */
+    const SweepStats &stats() const { return stats_; }
+
+    unsigned jobs() const { return jobs_; }
+
+  private:
+    unsigned jobs_;
+    SweepStats stats_;
+};
+
+} // namespace ebcp::runner
+
+#endif // EBCP_RUNNER_SWEEP_HH

@@ -38,10 +38,16 @@ Distribution::sample(double v)
     sum_ += v;
     if (v < min_) {
         ++underflow_;
-    } else if (v >= max_) {
+    } else if (v > max_) {
         ++overflow_;
     } else {
-        ++counts_[static_cast<std::size_t>((v - min_) / width_)];
+        // The last bucket is closed ([..., max]), and the clamp also
+        // absorbs float rounding where (v - min_) / width_ lands on
+        // the bucket count for v just below max.
+        std::size_t i = static_cast<std::size_t>((v - min_) / width_);
+        if (i >= counts_.size())
+            i = counts_.size() - 1;
+        ++counts_[i];
     }
 }
 

@@ -91,7 +91,11 @@ class Average : public StatBase
     std::uint64_t count_ = 0;
 };
 
-/** A bucketed histogram over [min, max) with uniform bucket width. */
+/**
+ * A bucketed histogram over [min, max] with uniform bucket width.
+ * Buckets are half-open except the last, which is closed: a sample
+ * exactly equal to max lands in the last bucket, not in overflow.
+ */
 class Distribution : public StatBase
 {
   public:

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tests for the bench-layer helpers: the thread-safe baseline cache
+ * (single computation per key, stable storage under concurrency, and
+ * scale-keyed entries).
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hh"
+
+using namespace ebcp;
+using namespace ebcp::bench;
+
+TEST(BaselineCache, ConcurrentCallersShareOneStableEntry)
+{
+    RunScale scale;
+    scale.warm = 20'000;
+    scale.measure = 40'000;
+
+    constexpr int kThreads = 8;
+    std::vector<const SimResults *> ptrs(kThreads, nullptr);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i)
+        threads.emplace_back(
+            [&, i]() { ptrs[i] = &baseline("database", scale); });
+    for (std::thread &t : threads)
+        t.join();
+
+    // Single computation: every caller got the same stable storage.
+    for (int i = 1; i < kThreads; ++i)
+        EXPECT_EQ(ptrs[0], ptrs[i]);
+    ASSERT_NE(ptrs[0], nullptr);
+    EXPECT_EQ(ptrs[0]->insts, 40'000u);
+}
+
+TEST(BaselineCache, KeyedByScaleAndStableAcrossInsertions)
+{
+    RunScale a;
+    a.warm = 20'000;
+    a.measure = 40'000;
+    RunScale b = a;
+    b.measure = 60'000;
+
+    const SimResults &ra = baseline("tpcw", a);
+    // Different windows must not alias the same cache slot (the old
+    // workload-only key returned scale-a results for a scale-b ask).
+    const SimResults &rb = baseline("tpcw", b);
+    EXPECT_NE(&ra, &rb);
+    EXPECT_EQ(ra.insts, 40'000u);
+    EXPECT_EQ(rb.insts, 60'000u);
+
+    // References stay valid and identical after further insertions.
+    baseline("specjbb", a);
+    EXPECT_EQ(&baseline("tpcw", a), &ra);
+    EXPECT_EQ(&baseline("tpcw", b), &rb);
+}

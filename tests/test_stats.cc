@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "stats/group.hh"
@@ -77,10 +78,35 @@ TEST(DistributionStat, UnderOverflow)
 {
     Distribution d("d", "desc", 0.0, 10.0, 5);
     d.sample(-1.0);
-    d.sample(10.0);
+    d.sample(10.1);
     d.sample(100.0);
     EXPECT_EQ(d.underflows(), 1u);
     EXPECT_EQ(d.overflows(), 2u);
+}
+
+// Regression: the boundary sample v == max belongs to the (closed)
+// last bucket, never to overflow -- and values just inside max must
+// not index one past the last bucket through float rounding.
+TEST(DistributionStat, BoundaryLandsInLastBucket)
+{
+    Distribution d("d", "desc", 0.0, 10.0, 5);
+    d.sample(10.0);                            // exactly max
+    d.sample(std::nextafter(10.0, 0.0));       // just inside max
+    d.sample(0.0);                             // exactly min
+    EXPECT_EQ(d.bucketCount(4), 2u);
+    EXPECT_EQ(d.bucketCount(0), 1u);
+    EXPECT_EQ(d.overflows(), 0u);
+    EXPECT_EQ(d.underflows(), 0u);
+
+    d.sample(std::nextafter(10.0, 11.0)); // just past max
+    EXPECT_EQ(d.overflows(), 1u);
+
+    // Non-zero min, bucket width with a non-terminating binary
+    // representation: the clamp must still keep max in range.
+    Distribution e("e", "desc", 1.0, 2.0, 3);
+    e.sample(2.0);
+    EXPECT_EQ(e.bucketCount(2), 1u);
+    EXPECT_EQ(e.overflows(), 0u);
 }
 
 TEST(DistributionStat, Mean)

@@ -113,7 +113,15 @@ BenchSweep::BenchSweep(int argc, char **argv)
     : scale_(resolveScale(argc, argv)),
       jobs_(resolveJobs(argc, argv)),
       runner_(jobs_)
-{}
+{
+    // The largest paper sweep (fig9) enqueues ~50 descriptors; each
+    // RunDesc embeds a SimConfig, so reallocation during add() copies
+    // every queued config. One up-front reservation keeps enqueueing
+    // copy-free; the descriptors themselves are the only per-run
+    // SimConfig copies (SweepRunner takes the vector by const
+    // reference).
+    pending_.reserve(64);
+}
 
 std::size_t
 BenchSweep::add(const std::string &workload, const SimConfig &cfg,

@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Single-run simulator-throughput harness with hardware perf counters.
+ *
+ * Unlike the paper benches (which report *simulated* metrics), this
+ * bench measures the simulator itself: simulated instructions per
+ * wall-clock second for each Table 1 workload under the null and EBCP
+ * prefetchers, alongside the hot-structure counters the hot-path
+ * overhaul introduced (FlatMap probe statistics for the MSHR file,
+ * correlation table and Solihin table; RecordRing churn for the trace
+ * generator) and host cycles/instructions via perf_event_open when the
+ * kernel allows it.
+ *
+ * Runs are strictly serial -- one Simulator at a time on one thread --
+ * so the insts/sec numbers are comparable across commits and machines
+ * without scheduler noise from the parallel sweep engine.
+ *
+ * Keys: warm=N measure=N (windows; EBCP_BENCH_SCALE honoured),
+ *       pf=null,ebcp      (comma-separated prefetcher list),
+ *       reps=N            (best-of-N per configuration; wall-clock
+ *                          throughput is a max-estimator metric --
+ *                          the fastest rep is the least-interfered
+ *                          one, and simulated results are identical
+ *                          across reps by construction),
+ *       min_ips=N         (fail if any run is slower than N simulated
+ *                          insts/sec; 0 disables -- the perf-smoke
+ *                          ctest floor),
+ *       json=PATH         (machine-readable report; default
+ *                          BENCH_throughput.json, json= to disable).
+ *
+ * The JSON report is re-read and re-parsed before exit; a bench that
+ * emits malformed JSON fails, so ctest's well-formedness check is the
+ * bench's own exit status.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "core/ebcp.hh"
+#include "prefetch/solihin.hh"
+#include "stats/table.hh"
+#include "util/perf_counters.hh"
+#include "util/str.hh"
+
+using namespace ebcp;
+using namespace ebcp::bench;
+
+namespace
+{
+
+/** Everything measured about one (workload, prefetcher) run. */
+struct RunReport
+{
+    std::string workload;
+    std::string pf;
+    std::uint64_t insts = 0; //!< simulated instructions (warm + measure)
+    double seconds = 0.0;
+    double instsPerSec = 0.0;
+    SimResults results;
+    PerfSample host;
+
+    FlatMapStats mshr;
+    FlatMapStats corr;
+    bool hasCorr = false;
+    FlatMapStats solihin;
+    bool hasSolihin = false;
+    RingStats ring;
+    std::uint64_t usefulPrefetches = 0;
+};
+
+RunReport
+measureRun(const std::string &workload, const std::string &pf_name,
+           const RunScale &scale)
+{
+    RunReport rep;
+    rep.workload = workload;
+    rep.pf = pf_name;
+    rep.insts = scale.warm + scale.measure;
+
+    SimConfig cfg;
+    PrefetcherParams pf;
+    pf.name = pf_name;
+    Simulator sim(cfg, pf);
+    auto src = makeWorkload(workload);
+
+    PerfCounters counters;
+    counters.start();
+    const auto t0 = std::chrono::steady_clock::now();
+    rep.results = sim.run(*src, scale.warm, scale.measure);
+    const auto t1 = std::chrono::steady_clock::now();
+    counters.stop();
+
+    rep.seconds = std::chrono::duration<double>(t1 - t0).count();
+    rep.instsPerSec =
+        rep.seconds > 0.0 ? static_cast<double>(rep.insts) / rep.seconds
+                          : 0.0;
+    rep.host = counters.sample();
+
+    rep.mshr = sim.l2side().mshrs().mapStats();
+    rep.ring = src->ringStats();
+    if (auto *e = dynamic_cast<EpochBasedPrefetcher *>(&sim.prefetcher())) {
+        rep.corr = e->table().mapStats();
+        rep.hasCorr = true;
+    }
+    if (auto *s = dynamic_cast<SolihinPrefetcher *>(&sim.prefetcher())) {
+        rep.solihin = s->mapStats();
+        rep.hasSolihin = true;
+    }
+    // Registered-once counters read back through the one-time
+    // name lookup (hot paths bump the member objects directly).
+    if (const Scalar *useful =
+            sim.l2side().stats().findScalar("useful_prefetches"))
+        rep.usefulPrefetches = useful->value();
+    return rep;
+}
+
+// --- JSON emission -------------------------------------------------
+
+void
+jsonMapStats(std::ostream &os, const FlatMapStats &m)
+{
+    os << "{\"finds\": " << m.finds << ", \"hits\": " << m.hits
+       << ", \"inserts\": " << m.inserts << ", \"erases\": " << m.erases
+       << ", \"backshifts\": " << m.backshifts
+       << ", \"rehashes\": " << m.rehashes << ", \"probes_per_find\": "
+       << fmtDouble(m.probesPerFind(), 4) << "}";
+}
+
+void
+jsonRun(std::ostream &os, const RunReport &r)
+{
+    os << "    {\"workload\": \"" << r.workload << "\", \"prefetcher\": \""
+       << r.pf << "\",\n"
+       << "     \"insts\": " << r.insts << ", \"seconds\": "
+       << fmtDouble(r.seconds, 4) << ", \"insts_per_sec\": "
+       << fmtDouble(r.instsPerSec, 0) << ",\n"
+       << "     \"cpi\": " << fmtDouble(r.results.cpi, 6) << ",\n"
+       << "     \"host\": {\"available\": "
+       << (r.host.available ? "true" : "false")
+       << ", \"cycles\": " << r.host.cycles << ", \"instructions\": "
+       << r.host.instructions << ", \"ipc\": "
+       << fmtDouble(r.host.ipc(), 3) << ", \"cache_misses\": "
+       << r.host.cacheMisses << ", \"branch_misses\": "
+       << r.host.branchMisses << "},\n"
+       << "     \"mshr\": ";
+    jsonMapStats(os, r.mshr);
+    os << ",\n     \"corr_table\": ";
+    if (r.hasCorr)
+        jsonMapStats(os, r.corr);
+    else
+        os << "null";
+    os << ",\n     \"solihin_table\": ";
+    if (r.hasSolihin)
+        jsonMapStats(os, r.solihin);
+    else
+        os << "null";
+    os << ",\n     \"record_ring\": {\"pushes\": " << r.ring.pushes
+       << ", \"pops\": " << r.ring.pops << ", \"grows\": "
+       << r.ring.grows << "},\n"
+       << "     \"useful_prefetches\": " << r.usefulPrefetches << "}";
+}
+
+// --- Minimal JSON validator ----------------------------------------
+//
+// Just enough of RFC 8259 to prove the emitted report is well formed
+// (the perf-smoke test's "machine readable" guarantee). Rejects on
+// first error; no value tree is built.
+
+class JsonValidator
+{
+  public:
+    explicit JsonValidator(const std::string &text) : s_(text) {}
+
+    bool
+    validate()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\')
+                ++pos_; // skip the escaped character
+            ++pos_;
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p, ++pos_)
+            if (pos_ >= s_.size() || s_[pos_] != *p)
+                return false;
+        return true;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+                s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ConfigStore cs = ConfigStore::fromArgs(argc, argv);
+    Status known = cs.checkKnownKeys(
+        {"warm", "measure", "jobs", "pf", "reps", "min_ips", "json"});
+    if (!known.ok()) {
+        std::cerr << "error: " << known.toString() << "\n";
+        return 2;
+    }
+    const RunScale scale = resolveScale(argc, argv);
+    const double min_ips = cs.getDouble("min_ips", 0.0);
+    const std::string json_path =
+        cs.getString("json", "BENCH_throughput.json");
+    const std::vector<std::string> pfs =
+        split(cs.getString("pf", "null,ebcp"), ',');
+    const std::uint64_t reps = std::max<std::uint64_t>(
+        cs.getU64("reps", 1), 1);
+
+    banner("Simulator throughput: simulated insts/sec, per-structure "
+           "probe statistics,\nand host perf counters",
+           "infrastructure (no paper figure)", scale);
+
+    std::vector<RunReport> reports;
+    for (const auto &w : workloadNames())
+        for (const auto &pf : pfs) {
+            RunReport best;
+            for (std::uint64_t rep = 0; rep < reps; ++rep) {
+                RunReport r = measureRun(w, pf, scale);
+                if (rep == 0 || r.instsPerSec > best.instsPerSec)
+                    best = std::move(r);
+            }
+            std::cout << "  " << w << "/" << pf << ": "
+                      << fmtDouble(best.instsPerSec / 1e6, 2)
+                      << "M insts/s (" << fmtDouble(best.seconds, 2)
+                      << "s"
+                      << (reps > 1
+                              ? ", best of " + std::to_string(reps)
+                              : std::string())
+                      << ")\n";
+            reports.push_back(std::move(best));
+        }
+
+    AsciiTable t("Throughput and hot-structure statistics");
+    t.setHeader({"run", "Minsts/s", "host IPC", "mshr p/f",
+                 "corr p/f", "ring grows"});
+    double worst_ips = reports.empty() ? 0.0 : reports[0].instsPerSec;
+    for (const RunReport &r : reports) {
+        worst_ips = std::min(worst_ips, r.instsPerSec);
+        t.addRow({r.workload + "/" + r.pf,
+                  fmtDouble(r.instsPerSec / 1e6, 2),
+                  r.host.available ? fmtDouble(r.host.ipc(), 2) : "n/a",
+                  fmtDouble(r.mshr.probesPerFind(), 3),
+                  r.hasCorr ? fmtDouble(r.corr.probesPerFind(), 3)
+                            : "n/a",
+                  std::to_string(r.ring.grows)});
+    }
+    t.print(std::cout);
+    if (!reports.empty() && !reports.front().host.available)
+        std::cout << "(host perf counters unavailable -- "
+                     "perf_event_paranoid or container limits; "
+                     "insts/sec is wall-clock based and unaffected)\n";
+
+    if (!json_path.empty()) {
+        std::ostringstream os;
+        os << "{\n  \"bench\": \"throughput\",\n"
+           << "  \"warm\": " << scale.warm << ",\n"
+           << "  \"measure\": " << scale.measure << ",\n"
+           << "  \"min_insts_per_sec\": " << fmtDouble(min_ips, 0)
+           << ",\n  \"runs\": [\n";
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+            jsonRun(os, reports[i]);
+            os << (i + 1 < reports.size() ? ",\n" : "\n");
+        }
+        os << "  ]\n}\n";
+
+        std::ofstream out(json_path);
+        if (!out) {
+            std::cerr << "error: cannot write " << json_path << "\n";
+            return 2;
+        }
+        out << os.str();
+        out.close();
+
+        // Re-read and re-parse: the report must be consumable by a
+        // real JSON parser, not just look like JSON.
+        std::ifstream in(json_path);
+        std::stringstream buf;
+        buf << in.rdbuf();
+        const std::string text = buf.str();
+        if (!JsonValidator(text).validate()) {
+            std::cerr << "error: emitted " << json_path
+                      << " is not well-formed JSON\n";
+            return 1;
+        }
+        std::cout << "wrote " << json_path << " ("
+                  << text.size() << " bytes, validated)\n";
+    }
+
+    if (min_ips > 0.0 && worst_ips < min_ips) {
+        std::cerr << "FAIL: slowest run " << fmtDouble(worst_ips / 1e6, 2)
+                  << "M insts/s is below the min_ips floor of "
+                  << fmtDouble(min_ips / 1e6, 2) << "M insts/s\n";
+        return 1;
+    }
+    if (min_ips > 0.0)
+        std::cout << "min_ips floor " << fmtDouble(min_ips / 1e6, 2)
+                  << "M insts/s: passed (slowest run "
+                  << fmtDouble(worst_ips / 1e6, 2) << "M)\n";
+    return 0;
+}

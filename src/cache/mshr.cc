@@ -12,6 +12,10 @@ MshrFile::MshrFile(const std::string &name, unsigned entries)
     : entries_(entries), stats_(name)
 {
     fatal_if(entries == 0, "MSHR file needs at least one entry");
+    // Occupancy is bounded by the register count; a 2x reservation
+    // keeps the probe chains short and guarantees no rehash.
+    inflight_.reserve(2 * static_cast<std::size_t>(entries));
+    heap_.reserve(2 * static_cast<std::size_t>(entries));
     stats_.add(allocations_);
     stats_.add(merges_);
     stats_.add(fullStalls_);
@@ -20,24 +24,26 @@ MshrFile::MshrFile(const std::string &name, unsigned entries)
 void
 MshrFile::advance(Tick now)
 {
-    while (!heap_.empty() && heap_.top().complete <= now) {
-        auto it = inflight_.find(heap_.top().lineAddr);
+    while (!heap_.empty() && heap_.front().complete <= now) {
         // Only erase if the map still refers to this completion; a
         // line can re-miss later and get a fresh (later) entry.
-        if (it != inflight_.end() && it->second == heap_.top().complete)
-            inflight_.erase(it);
-        heap_.pop();
+        const Tick *t = inflight_.find(heap_.front().lineAddr);
+        if (t && *t == heap_.front().complete)
+            inflight_.erase(heap_.front().lineAddr);
+        std::pop_heap(heap_.begin(), heap_.end(),
+                      std::greater<HeapEntry>());
+        heap_.pop_back();
     }
 }
 
 Tick
 MshrFile::inFlightCompletion(Addr line_addr) const
 {
-    auto it = inflight_.find(line_addr);
-    if (it == inflight_.end())
+    const Tick *t = inflight_.find(line_addr);
+    if (!t)
         return MaxTick;
     ++merges_;
-    return it->second;
+    return *t;
 }
 
 Tick
@@ -47,10 +53,12 @@ MshrFile::whenCanAllocate(Tick now) const
         return now;
     ++fullStalls_;
     // The file is full: a register frees when the earliest outstanding
-    // miss completes.
+    // miss completes. A pure minimum, so the map's iteration order
+    // does not matter.
     Tick earliest = MaxTick;
-    for (const auto &kv : inflight_)
-        earliest = std::min(earliest, kv.second);
+    inflight_.forEach([&earliest](Addr, const Tick &t) {
+        earliest = std::min(earliest, t);
+    });
     return std::max(now, earliest);
 }
 
@@ -59,14 +67,15 @@ MshrFile::allocate(Addr line_addr, Tick complete)
 {
     ++allocations_;
     inflight_[line_addr] = complete;
-    heap_.push({complete, line_addr});
+    heap_.push_back({complete, line_addr});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<HeapEntry>());
 }
 
 void
 MshrFile::clear()
 {
     inflight_.clear();
-    heap_ = {};
+    heap_.clear();
 }
 
 void
@@ -75,15 +84,17 @@ MshrFile::dump(std::ostream &os, std::size_t max_entries) const
     os << stats_.name() << ": " << inflight_.size() << "/" << entries_
        << " in flight\n";
     std::size_t shown = 0;
-    for (const auto &kv : inflight_) {
+    inflight_.forEach([&](Addr line, const Tick &complete) {
+        if (shown > max_entries)
+            return;
         if (shown++ >= max_entries) {
             os << "  ... " << (inflight_.size() - max_entries)
                << " more\n";
-            break;
+            return;
         }
-        os << "  line 0x" << std::hex << kv.first << std::dec
-           << " completes @" << kv.second << "\n";
-    }
+        os << "  line 0x" << std::hex << line << std::dec
+           << " completes @" << complete << "\n";
+    });
 }
 
 } // namespace ebcp

@@ -11,11 +11,10 @@
 #ifndef EBCP_CACHE_MSHR_HH
 #define EBCP_CACHE_MSHR_HH
 
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "stats/group.hh"
+#include "util/flat_map.hh"
 #include "util/types.hh"
 
 namespace ebcp
@@ -63,9 +62,14 @@ class MshrFile
 
     StatGroup &stats() { return stats_; }
 
+    /** Host hash-map probe counters (throughput bench). */
+    const FlatMapStats &mapStats() const { return inflight_.stats(); }
+
   private:
     unsigned entries_;
-    std::unordered_map<Addr, Tick> inflight_;
+    // Reserved at construction so in-flight tracking never rehashes:
+    // the miss path is allocation-free in steady state.
+    FlatMap<Tick> inflight_;
 
     struct HeapEntry
     {
@@ -76,8 +80,9 @@ class MshrFile
             return complete > o.complete;
         }
     };
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                        std::greater<HeapEntry>> heap_;
+    // Min-heap over completion times, managed with std::push_heap /
+    // std::pop_heap so clear() keeps the storage.
+    std::vector<HeapEntry> heap_;
 
     StatGroup stats_;
     Scalar allocations_{"allocations", "misses tracked"};

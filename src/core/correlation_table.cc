@@ -47,22 +47,23 @@ CorrelationTable::lookup(Addr key, std::vector<Addr> &out,
         *index_out = idx;
 
     out.clear();
-    auto it = entries_.find(idx);
-    if (it == entries_.end() || it->second.tag != key)
+    const Entry *e = entries_.find(idx);
+    if (!e || e->tag != key)
         return false;
 
     ++tagHits_;
     // MRU-first, so a degree-limited prefetch takes the freshest
-    // addresses.
-    std::vector<const Slot *> by_stamp;
-    by_stamp.reserve(it->second.slots.size());
-    for (const Slot &s : it->second.slots)
-        by_stamp.push_back(&s);
-    std::sort(by_stamp.begin(), by_stamp.end(),
+    // addresses. Sorted through a member scratch vector so the
+    // per-lookup path allocates nothing once warmed (stamps are
+    // unique, so the order is deterministic).
+    byStamp_.clear();
+    for (const Slot &s : e->slots)
+        byStamp_.push_back(&s);
+    std::sort(byStamp_.begin(), byStamp_.end(),
               [](const Slot *a, const Slot *b) {
                   return a->stamp > b->stamp;
               });
-    for (const Slot *s : by_stamp)
+    for (const Slot *s : byStamp_)
         out.push_back(s->addr);
     return true;
 }
@@ -119,10 +120,10 @@ CorrelationTable::update(Addr key, const std::vector<Addr> &addrs)
 bool
 CorrelationTable::refreshLru(std::uint64_t index, Addr line_addr)
 {
-    auto it = entries_.find(index);
-    if (it == entries_.end())
+    Entry *e = entries_.find(index);
+    if (!e)
         return false;
-    for (Slot &s : it->second.slots) {
+    for (Slot &s : e->slots) {
         if (s.addr == line_addr) {
             s.stamp = ++stampCounter_;
             ++lruRefreshes_;

@@ -17,10 +17,10 @@
 #define EBCP_CORE_CORRELATION_TABLE_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "stats/group.hh"
+#include "util/flat_map.hh"
 #include "util/types.hh"
 
 namespace ebcp
@@ -95,6 +95,9 @@ class CorrelationTable
     const CorrTableConfig &config() const { return cfg_; }
     StatGroup &stats() { return stats_; }
 
+    /** Host hash-map probe counters (throughput bench). */
+    const FlatMapStats &mapStats() const { return entries_.stats(); }
+
   private:
     struct Slot
     {
@@ -110,7 +113,8 @@ class CorrelationTable
     };
 
     CorrTableConfig cfg_;
-    std::unordered_map<std::uint64_t, Entry> entries_;
+    FlatMap<Entry> entries_;
+    std::vector<const Slot *> byStamp_; //!< lookup() sort scratch
     std::uint64_t stampCounter_ = 0;
     std::uint64_t updateGen_ = 0;
 

@@ -86,14 +86,15 @@ EpochBasedPrefetcher::observeAccess(const L2AccessInfo &info)
         cs.emab.recordMiss(info.lineAddr);
 }
 
-std::vector<Addr>
-EpochBasedPrefetcher::trainingPayload(const CoreState &cs) const
+const std::vector<Addr> &
+EpochBasedPrefetcher::trainingPayload(const CoreState &cs)
 {
     // EMAB holds epochs i..i+3 (oldest first). Regular EBCP records
     // epochs i+2 and i+3 (entries 2, 3); EBCP-minus records i+1 and
     // i+2 (entries 1, 2).
     const std::size_t first = cfg_.minusVariant ? 1 : 2;
-    std::vector<Addr> payload;
+    std::vector<Addr> &payload = payloadScratch_;
+    payload.clear();
     for (std::size_t e = first; e <= first + 1; ++e) {
         for (Addr a : cs.emab.entry(e).missAddrs) {
             if (std::find(payload.begin(), payload.end(), a) ==
@@ -125,7 +126,8 @@ EpochBasedPrefetcher::onEpochStart(const L2AccessInfo &info,
 
     // --- 1. Training: record epochs i+2/i+3 under epoch i's key. ---
     if (cs.emab.full()) {
-        std::vector<Addr> keys;
+        std::vector<Addr> &keys = keysScratch_;
+        keys.clear();
         keys.push_back(cs.emab.entry(0).keyAddr);
         if (cfg_.trainAllOldestMisses) {
             // Section 3.4.2's alternative implementation: every miss
@@ -135,7 +137,7 @@ EpochBasedPrefetcher::onEpochStart(const L2AccessInfo &info,
                 if (a != keys.front())
                     keys.push_back(a);
         }
-        std::vector<Addr> payload = trainingPayload(cs);
+        const std::vector<Addr> &payload = trainingPayload(cs);
         if (!payload.empty()) {
             for (Addr key : keys) {
                 if (key == InvalidAddr)

@@ -137,9 +137,9 @@ class EpochBasedPrefetcher : public Prefetcher
     /** engine_->tableRead() with the plan's table faults applied. */
     MemAccessResult faultyTableRead(Tick when);
 
-    /** Gather the training payload (older epoch first, deduplicated,
-     * truncated to the table's slot count). */
-    std::vector<Addr> trainingPayload(const CoreState &cs) const;
+    /** Gather the training payload into payloadScratch_ (older epoch
+     * first, deduplicated, truncated to the table's slot count). */
+    const std::vector<Addr> &trainingPayload(const CoreState &cs);
 
     EbcpConfig cfg_;
     // unique_ptr storage: CoreState holds stat groups with interior
@@ -150,7 +150,11 @@ class EpochBasedPrefetcher : public Prefetcher
     bool osRequested_ = false;
     Pcg32 faultRng_;
 
-    std::vector<Addr> lookupOut_; //!< scratch, avoids per-epoch allocs
+    // Scratch vectors: reused across epochs so the per-epoch path
+    // allocates nothing once warmed.
+    std::vector<Addr> lookupOut_;
+    std::vector<Addr> payloadScratch_;
+    std::vector<Addr> keysScratch_;
 
     Scalar epochStarts_{"epoch_starts", "epoch triggers handled"};
     Scalar trainings_{"trainings", "table training updates performed"};

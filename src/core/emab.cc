@@ -15,11 +15,14 @@ Emab::Emab(unsigned entries, unsigned addrs_per_entry)
 void
 Emab::beginEpoch(EpochId epoch, Addr key_addr)
 {
-    EmabEntry e;
+    // Reuse the evicted entry's slot in place: the address vector
+    // keeps its capacity, so after the first lap around the ring an
+    // epoch begin allocates nothing.
+    EmabEntry &e = ring_.pushSlot();
     e.epoch = epoch;
     e.keyAddr = key_addr;
+    e.missAddrs.clear();
     e.missAddrs.reserve(addrsPerEntry_);
-    ring_.push(std::move(e));
 }
 
 void

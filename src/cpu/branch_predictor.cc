@@ -32,7 +32,7 @@ BranchPredictor::predict(Addr pc, OpClass op, bool taken, Addr target)
 
     if (op == OpClass::Return) {
         // Pop the RAS and compare.
-        rasTop_ = (rasTop_ + cfg_.rasEntries - 1) % cfg_.rasEntries;
+        rasTop_ = rasTop_ == 0 ? cfg_.rasEntries - 1 : rasTop_ - 1;
         if (ras_[rasTop_] == target)
             ++rasCorrect_;
         else
@@ -71,7 +71,8 @@ BranchPredictor::predict(Addr pc, OpClass op, bool taken, Addr target)
         if (op == OpClass::Call) {
             // Push the fall-through address.
             ras_[rasTop_] = pc + 4;
-            rasTop_ = (rasTop_ + 1) % cfg_.rasEntries;
+            if (++rasTop_ == cfg_.rasEntries)
+                rasTop_ = 0;
         }
     }
 

@@ -8,7 +8,8 @@ namespace ebcp
 {
 
 CoreModel::CoreModel(const CoreConfig &cfg, MemSystem &mem)
-    : cfg_(cfg), mem_(mem), bp_(cfg.branchPred),
+    : cfg_(cfg), mem_(mem), lineBytes_(mem.lineBytes()),
+      bp_(cfg.branchPred),
       robRetire_(cfg.robEntries, 0),
       iqIssue_(cfg.issueQueueEntries, 0),
       sbDrain_(cfg.storeBufferEntries, 0),
@@ -42,7 +43,7 @@ CoreModel::process(const TraceRecord &rec)
     // off-chip instruction miss stalls fetch entirely (window
     // termination condition).
     // ------------------------------------------------------------------
-    const Addr line = alignDown(rec.pc, mem_.lineBytes());
+    const Addr line = alignDown(rec.pc, lineBytes_);
     if (line != fetchLine_) {
         MemOutcome o = mem_.fetchInst(rec.pc, std::max(fetchResume_,
                                                        fetchLineReady_));
@@ -58,12 +59,12 @@ CoreModel::process(const TraceRecord &rec)
     // pending serialization barrier.
     // ------------------------------------------------------------------
     Tick d = std::max(t.fetch, serializeBarrier_);
-    d = std::max(d, robRetire_[seq_ % cfg_.robEntries]);
-    d = std::max(d, iqIssue_[seq_ % cfg_.issueQueueEntries]);
+    d = std::max(d, robRetire_[robIdx_]);
+    d = std::max(d, iqIssue_[iqIdx_]);
     if (rec.op == OpClass::Store)
-        d = std::max(d, sbDrain_[storeSeq_ % cfg_.storeBufferEntries]);
+        d = std::max(d, sbDrain_[sbIdx_]);
     if (rec.op == OpClass::Load)
-        d = std::max(d, lbComplete_[loadSeq_ % cfg_.loadBufferEntries]);
+        d = std::max(d, lbComplete_[lbIdx_]);
     if (rec.op == OpClass::Serialize) {
         // Serializers wait for the whole window to drain.
         d = std::max(d, lastRetire_);
@@ -92,7 +93,8 @@ CoreModel::process(const TraceRecord &rec)
         ++loads_;
         if (o.offChip)
             ++offChipLoads_;
-        lbComplete_[loadSeq_ % cfg_.loadBufferEntries] = t.complete;
+        lbComplete_[lbIdx_] = t.complete;
+        lbIdx_ = bump(lbIdx_, lbComplete_.size());
         ++loadSeq_;
         break;
       }
@@ -147,13 +149,15 @@ CoreModel::process(const TraceRecord &rec)
     t.retire = retireLim_.next(std::max(t.complete, lastRetire_));
     lastRetire_ = t.retire;
 
-    robRetire_[seq_ % cfg_.robEntries] = t.retire;
-    iqIssue_[seq_ % cfg_.issueQueueEntries] = t.issue;
+    robRetire_[robIdx_] = t.retire;
+    iqIssue_[iqIdx_] = t.issue;
+    robIdx_ = bump(robIdx_, robRetire_.size());
+    iqIdx_ = bump(iqIdx_, iqIssue_.size());
     ++seq_;
 
     if (rec.op == OpClass::Store) {
-        sbDrain_[storeSeq_ % cfg_.storeBufferEntries] =
-            mem_.store(rec.addr, t.retire);
+        sbDrain_[sbIdx_] = mem_.store(rec.addr, t.retire);
+        sbIdx_ = bump(sbIdx_, sbDrain_.size());
         ++storeSeq_;
     }
     if (rec.op == OpClass::Serialize)
@@ -166,16 +170,32 @@ CoreModel::process(const TraceRecord &rec)
 void
 CoreModel::run(TraceSource &src, std::uint64_t count)
 {
-    TraceRecord rec;
+    // Pull records in batches so the source's virtual dispatch
+    // amortizes over kRunBatch instructions. Never over-pull: the
+    // last batch requests exactly the remaining count, so the source
+    // is left positioned as if records had been pulled one at a time
+    // (except after a watchdog trip, where the run is abandoned).
+    constexpr std::size_t kRunBatch = 64;
+    TraceRecord batch[kRunBatch];
     Tick prev_retire = lastRetire_;
-    for (std::uint64_t i = 0; i < count && src.next(rec); ++i) {
-        const InstTiming t = process(rec);
-        if (watchdogLimit_ && t.retire > prev_retire + watchdogLimit_) {
-            watchdogTripped_ = true;
-            watchdogGap_ = t.retire - prev_retire;
-            return;
+    std::uint64_t remaining = count;
+    while (remaining > 0) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(kRunBatch, remaining));
+        const std::size_t got = src.nextBatch(batch, want);
+        for (std::size_t i = 0; i < got; ++i) {
+            const InstTiming t = process(batch[i]);
+            if (watchdogLimit_ &&
+                t.retire > prev_retire + watchdogLimit_) {
+                watchdogTripped_ = true;
+                watchdogGap_ = t.retire - prev_retire;
+                return;
+            }
+            prev_retire = t.retire;
         }
-        prev_retire = t.retire;
+        remaining -= got;
+        if (got < want)
+            return;
     }
 }
 

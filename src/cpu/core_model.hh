@@ -115,19 +115,32 @@ class CoreModel
     StatGroup &stats() { return stats_; }
 
   private:
+    /** Wrap a ring cursor (cheaper than % on a runtime size). */
+    static std::size_t
+    bump(std::size_t i, std::size_t size)
+    {
+        return ++i == size ? 0 : i;
+    }
+
     CoreConfig cfg_;
     MemSystem &mem_;
+    Addr lineBytes_; //!< cached mem_.lineBytes() (virtual call)
     BranchPredictor bp_;
 
     // Per-architectural-register ready times.
     std::array<Tick, NumArchRegs> regReady_{};
 
     // Window resources, as rings of the tick at which entry (i - size)
-    // frees.
+    // frees. The *Idx_ cursors track seq % size without the per-
+    // instruction division.
     std::vector<Tick> robRetire_;
     std::vector<Tick> iqIssue_;
     std::vector<Tick> sbDrain_;
     std::vector<Tick> lbComplete_;
+    std::size_t robIdx_ = 0;
+    std::size_t iqIdx_ = 0;
+    std::size_t sbIdx_ = 0;
+    std::size_t lbIdx_ = 0;
     std::uint64_t seq_ = 0;      //!< dispatched instruction count
     std::uint64_t storeSeq_ = 0; //!< dispatched store count
     std::uint64_t loadSeq_ = 0;  //!< dispatched load count

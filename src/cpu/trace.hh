@@ -12,6 +12,7 @@
 #ifndef EBCP_CPU_TRACE_HH
 #define EBCP_CPU_TRACE_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "cpu/op_class.hh"
@@ -80,6 +81,23 @@ class TraceSource
      *         never are).
      */
     virtual bool next(TraceRecord &rec) = 0;
+
+    /**
+     * Produce up to @p max records into @p out, returning how many
+     * were produced (fewer than @p max only at exhaustion, matching
+     * next()'s false). The core pulls records in batches so the
+     * per-instruction virtual dispatch amortizes; this default simply
+     * loops next(), and hot sources override it to fill @p out
+     * directly.
+     */
+    virtual std::size_t
+    nextBatch(TraceRecord *out, std::size_t max)
+    {
+        std::size_t n = 0;
+        while (n < max && next(out[n]))
+            ++n;
+        return n;
+    }
 
     /** Restart the source deterministically. */
     virtual void reset() = 0;

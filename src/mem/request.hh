@@ -12,6 +12,7 @@
 #define EBCP_MEM_REQUEST_HH
 
 #include <string>
+#include <type_traits>
 
 #include "util/types.hh"
 
@@ -60,6 +61,12 @@ struct MemAccessResult
     Tick complete = 0;   //!< when the data is back on chip
     bool dropped = false; //!< low-priority request dropped (saturation)
 };
+
+// The per-miss request path hands these around by value; keeping the
+// type trivially copyable guarantees the memory system never touches
+// the heap per request (the zero-steady-state-allocation contract the
+// throughput tests assert).
+static_assert(std::is_trivially_copyable_v<MemAccessResult>);
 
 } // namespace ebcp
 

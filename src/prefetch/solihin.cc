@@ -38,7 +38,12 @@ SolihinPrefetcher::train(Addr new_miss)
         Entry &e = table_[indexOf(pred)];
         if (e.tag != pred) {
             e.tag = pred;
-            e.levels.assign(cfg_.depth, {});
+            // Reallocation keeps the level array and per-level
+            // successor capacity; logically all levels become empty,
+            // the same state assign() produced.
+            e.levels.resize(cfg_.depth);
+            for (Level &l : e.levels)
+                l.succ.clear();
         }
         Level &lvl = e.levels[k];
         auto it = std::find(lvl.succ.begin(), lvl.succ.end(), new_miss);
@@ -71,12 +76,12 @@ SolihinPrefetcher::predict(const L2AccessInfo &info)
     if (rd.dropped)
         return;
 
-    auto it = table_.find(indexOf(info.lineAddr));
-    if (it == table_.end() || it->second.tag != info.lineAddr)
+    const Entry *e = table_.find(indexOf(info.lineAddr));
+    if (!e || e->tag != info.lineAddr)
         return;
     ++matches_;
 
-    for (const Level &lvl : it->second.levels) {
+    for (const Level &lvl : e->levels) {
         for (Addr a : lvl.succ) {
             engine_->issuePrefetch(a, rd.complete);
             ++issued_;

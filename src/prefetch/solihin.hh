@@ -25,11 +25,11 @@
 #define EBCP_PREFETCH_SOLIHIN_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "prefetch/prefetcher.hh"
 #include "util/circular_buffer.hh"
+#include "util/flat_map.hh"
 
 namespace ebcp
 {
@@ -67,6 +67,9 @@ class SolihinPrefetcher : public Prefetcher
 
     void observeAccess(const L2AccessInfo &info) override;
 
+    /** Host hash-map probe counters (throughput bench). */
+    const FlatMapStats &mapStats() const { return table_.stats(); }
+
   private:
     struct Level
     {
@@ -84,7 +87,7 @@ class SolihinPrefetcher : public Prefetcher
     void predict(const L2AccessInfo &info);
 
     SolihinConfig cfg_;
-    std::unordered_map<std::uint64_t, Entry> table_;
+    FlatMap<Entry> table_;
     CircularBuffer<Addr> recentMisses_;
     Tick lastMissTick_ = 0;
 

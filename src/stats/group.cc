@@ -14,6 +14,25 @@ StatGroup::resetAll()
         c->resetAll();
 }
 
+const StatBase *
+StatGroup::find(std::string_view path) const
+{
+    const auto dot = path.find('.');
+    if (dot == std::string_view::npos) {
+        for (const auto *s : stats_)
+            if (s->name() == path)
+                return s;
+        return nullptr;
+    }
+    const std::string_view head = path.substr(0, dot);
+    const std::string_view rest = path.substr(dot + 1);
+    for (const auto *c : children_)
+        if (c->name() == head)
+            if (const StatBase *s = c->find(rest))
+                return s;
+    return nullptr;
+}
+
 void
 StatGroup::dump(std::ostream &os, const std::string &prefix) const
 {

@@ -8,6 +8,7 @@
 
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "stats/statistic.hh"
@@ -41,6 +42,26 @@ class StatGroup
 
     /** Reset all registered stats, recursively. */
     void resetAll();
+
+    /**
+     * Locate a statistic by dot-separated path relative to this group
+     * (e.g. "corr_table.lookups"), or nullptr if absent.
+     *
+     * This is a one-time *setup* lookup for tools and benches that
+     * need counters by name; it walks the registry linearly. Hot paths
+     * must never call it per event -- components bump their counters
+     * through the member objects registered once at construction, and
+     * callers that sample repeatedly should cache the returned
+     * pointer.
+     */
+    const StatBase *find(std::string_view path) const;
+
+    /** find() and downcast to Scalar; nullptr if absent or not one. */
+    const Scalar *
+    findScalar(std::string_view path) const
+    {
+        return dynamic_cast<const Scalar *>(find(path));
+    }
 
     /** Dump "group.stat = value # desc" lines, recursively. */
     void dump(std::ostream &os, const std::string &prefix = "") const;

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A growable power-of-two ring buffer of trace records.
+ *
+ * SyntheticWorkload generates a whole transaction's records at once
+ * and the core drains them one by one. A std::deque pays block
+ * allocation/deallocation churn for that producer/consumer pattern;
+ * this ring reaches a high-water capacity during the first few
+ * transactions and then recycles the same storage forever -- zero
+ * steady-state allocation on the record path. RingStats counts grows
+ * so tests can assert exactly that.
+ */
+
+#ifndef EBCP_TRACE_RECORD_RING_HH
+#define EBCP_TRACE_RECORD_RING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+/** Traffic/allocation counters of one ring. */
+struct RingStats
+{
+    std::uint64_t pushes = 0;
+    std::uint64_t pops = 0;
+    std::uint64_t grows = 0; //!< capacity doublings (allocations)
+};
+
+/**
+ * FIFO ring of T with power-of-two capacity. Grows by doubling when
+ * full; never shrinks, so a warmed ring serves pushSlot()/popFront()
+ * without touching the allocator.
+ */
+template <typename T>
+class RecordRing
+{
+  public:
+    explicit RecordRing(std::size_t initial_capacity = 64)
+    {
+        std::size_t cap = 16;
+        while (cap < initial_capacity)
+            cap <<= 1;
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return slots_.size(); }
+
+    /**
+     * Append one element and return a reference to its slot. The slot
+     * holds the previous occupant's (stale) value; the caller must
+     * assign it.
+     */
+    T &
+    pushSlot()
+    {
+        if (size_ == slots_.size())
+            grow();
+        T &slot = slots_[(head_ + size_) & mask_];
+        ++size_;
+        ++stats_.pushes;
+        return slot;
+    }
+
+    /** Oldest element. */
+    const T &
+    front() const
+    {
+        panic_if(size_ == 0, "front() on an empty RecordRing");
+        return slots_[head_];
+    }
+
+    /** Drop the oldest element (its slot is recycled, not destroyed). */
+    void
+    popFront()
+    {
+        panic_if(size_ == 0, "popFront() on an empty RecordRing");
+        head_ = (head_ + 1) & mask_;
+        --size_;
+        ++stats_.pops;
+    }
+
+    /** Drop all elements; keeps the slot array (no deallocation). */
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+    const RingStats &stats() const { return stats_; }
+    void resetStats() { stats_ = {}; }
+
+  private:
+    void
+    grow()
+    {
+        // Re-linearize into a doubled array with the oldest element
+        // at index 0.
+        const std::size_t new_cap = slots_.size() * 2;
+        std::vector<T> next(new_cap);
+        for (std::size_t i = 0; i < size_; ++i)
+            next[i] = slots_[(head_ + i) & mask_];
+        slots_ = std::move(next);
+        mask_ = new_cap - 1;
+        head_ = 0;
+        ++stats_.grows;
+    }
+
+    std::vector<T> slots_;
+    std::size_t mask_ = 0;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+    RingStats stats_;
+};
+
+} // namespace ebcp
+
+#endif // EBCP_TRACE_RECORD_RING_HH

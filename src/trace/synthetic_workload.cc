@@ -80,7 +80,7 @@ SyntheticWorkload::reset()
     curPc_ = 0;
     fnBase_ = fnEnd_ = 0;
     blockLeft_ = 0;
-    aluRot_ = loadRot_ = 0;
+    aluIdx_ = aluPhase_ = loadIdx_ = 0;
     sinceSerialize_ = 0;
     oneShot_ = 0;
 }
@@ -91,20 +91,32 @@ SyntheticWorkload::next(TraceRecord &rec)
     while (buf_.empty())
         generateTransaction();
     rec = buf_.front();
-    buf_.pop_front();
+    buf_.popFront();
     return true;
+}
+
+std::size_t
+SyntheticWorkload::nextBatch(TraceRecord *out, std::size_t max)
+{
+    for (std::size_t n = 0; n < max; ++n) {
+        while (buf_.empty())
+            generateTransaction();
+        out[n] = buf_.front();
+        buf_.popFront();
+    }
+    return max;
 }
 
 void
 SyntheticWorkload::push(const TraceRecord &rec)
 {
-    buf_.push_back(rec);
+    buf_.pushSlot() = rec;
     if (++sinceSerialize_ >= cfg_.serializeEvery) {
         sinceSerialize_ = 0;
         TraceRecord s;
         s.pc = rec.pc + 4;
         s.op = OpClass::Serialize;
-        buf_.push_back(s);
+        buf_.pushSlot() = s;
     }
 }
 
@@ -115,13 +127,13 @@ SyntheticWorkload::emitAlu()
     r.pc = curPc_;
     curPc_ += 4;
     r.op = OpClass::IntAlu;
-    const std::uint8_t dst = RegAlu0 + (aluRot_ % 24);
     // Filler is mostly a dependent chain: commercial codes run at
     // CPI_perf around 1.2 (Table 1), not at peak superscalar IPC.
-    r.dstReg = dst;
-    r.srcReg0 = (aluRot_ % 4 == 3) ? NoReg : RegAlu0 + ((aluRot_ + 23) % 24);
-    r.srcReg1 = RegAlu0 + ((aluRot_ + 11) % 24);
-    ++aluRot_;
+    r.dstReg = RegAlu0 + aluIdx_;
+    r.srcReg0 = (aluPhase_ == 3) ? NoReg : RegAlu0 + aluPlus(23);
+    r.srcReg1 = RegAlu0 + aluPlus(11);
+    aluIdx_ = aluPlus(1);
+    aluPhase_ = (aluPhase_ + 1) & 3;
     push(r);
 }
 
@@ -134,7 +146,7 @@ SyntheticWorkload::emitBranch(Addr target, bool noisy)
     r.op = OpClass::Branch;
     r.taken = noisy ? (rng_.next() & 1) : true;
     r.target = target;
-    r.srcReg0 = RegAlu0 + ((aluRot_ + 23) % 24);
+    r.srcReg0 = RegAlu0 + aluPlus(23);
     push(r);
     // Taken or not, the next instruction in the trace is at `target`
     // for block-end branches (target == fall-through block start).
@@ -230,7 +242,7 @@ SyntheticWorkload::emitStore(Addr addr, std::uint8_t src)
     r.op = OpClass::Store;
     r.addr = addr;
     r.srcReg0 = src;
-    r.srcReg1 = RegAlu0 + ((aluRot_ + 5) % 24);
+    r.srcReg1 = RegAlu0 + aluPlus(5);
     push(r);
     if (blockLeft_ > 0)
         --blockLeft_;
@@ -370,7 +382,9 @@ SyntheticWorkload::emitOp(const OpDef &op, std::uint32_t key,
             blockLeft_ = body + 2;
             emitCode(body);
             last_line = page + static_cast<Addr>(l) * 64;
-            last_dst = RegLoad0 + (loadRot_++ % 12);
+            last_dst = RegLoad0 + loadIdx_;
+            if (++loadIdx_ == 12)
+                loadIdx_ = 0;
             emitLoad(last_line, last_dst, RegBase);
             TraceRecord br;
             br.pc = curPc_;
@@ -401,7 +415,9 @@ SyntheticWorkload::emitOp(const OpDef &op, std::uint32_t key,
             emitCode(filler());
             last_line = map_.hotLine(
                 static_cast<std::uint32_t>(mix64(id + l)));
-            emitLoad(last_line, RegLoad0 + (loadRot_++ % 12), RegBase);
+            emitLoad(last_line, RegLoad0 + loadIdx_, RegBase);
+            if (++loadIdx_ == 12)
+                loadIdx_ = 0;
         }
         break;
       }

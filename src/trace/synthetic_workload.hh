@@ -18,11 +18,11 @@
 #ifndef EBCP_TRACE_SYNTHETIC_WORKLOAD_HH
 #define EBCP_TRACE_SYNTHETIC_WORKLOAD_HH
 
-#include <deque>
 #include <vector>
 
 #include "cpu/trace.hh"
 #include "trace/address_map.hh"
+#include "trace/record_ring.hh"
 #include "trace/workload_config.hh"
 #include "trace/zipf.hh"
 #include "util/random.hh"
@@ -37,6 +37,7 @@ class SyntheticWorkload : public TraceSource
     explicit SyntheticWorkload(const WorkloadConfig &cfg);
 
     bool next(TraceRecord &rec) override;
+    std::size_t nextBatch(TraceRecord *out, std::size_t max) override;
     void reset() override;
 
     const WorkloadConfig &config() const { return cfg_; }
@@ -95,13 +96,18 @@ class SyntheticWorkload : public TraceSource
     void emitStore(Addr addr, std::uint8_t src);
     void push(const TraceRecord &rec);
 
+  public:
+    /** Buffer traffic/allocation counters (throughput bench). */
+    const RingStats &ringStats() const { return buf_.stats(); }
+
+  private:
     WorkloadConfig cfg_;
     AddressMap map_;
     Pcg32 rng_;
     ZipfSampler keys_;
     std::vector<TxnType> types_;
 
-    std::deque<TraceRecord> buf_;
+    RecordRing<TraceRecord> buf_;
 
     // Emission state.
     Addr curPc_ = 0;        //!< next instruction PC inside a function
@@ -109,8 +115,20 @@ class SyntheticWorkload : public TraceSource
     Addr fnEnd_ = 0;
     Addr dispatcherPc_ = 0; //!< return-to point in the dispatcher
     unsigned blockLeft_ = 0;
-    unsigned aluRot_ = 0;
-    unsigned loadRot_ = 0;
+    // Rotating register cursors, kept as wrapped indices so the
+    // per-instruction emitters never divide: aluIdx_ = aluRot % 24,
+    // aluPhase_ = aluRot % 4, loadIdx_ = loadRot % 12.
+    unsigned aluIdx_ = 0;
+    unsigned aluPhase_ = 0;
+    unsigned loadIdx_ = 0;
+
+    /** (aluIdx_ + k) % 24 for k < 24, without the division. */
+    unsigned
+    aluPlus(unsigned k) const
+    {
+        const unsigned i = aluIdx_ + k;
+        return i >= 24 ? i - 24 : i;
+    }
     std::uint64_t sinceSerialize_ = 0;
     std::uint64_t oneShot_ = 0; //!< counter for one-shot key synthesis
 

@@ -314,8 +314,13 @@ FileTraceSource::fillFromChunk()
             return false;
         }
 
-        std::vector<unsigned char> payload(
-            static_cast<std::size_t>(h.count) * sizeof(DiskRecord));
+        // Chunk payloads come from the free-list pool: the first chunk
+        // sizes the buffer, every later chunk reuses it (chunks share
+        // one fixed record budget, so the capacity never grows again).
+        PoolLease<std::vector<unsigned char>> payload_lease(payloadPool_);
+        std::vector<unsigned char> &payload = *payload_lease;
+        payload.resize(static_cast<std::size_t>(h.count) *
+                       sizeof(DiskRecord));
         if (std::fread(payload.data(), 1, payload.size(), file_) !=
             payload.size()) {
             ++truncatedTails_;

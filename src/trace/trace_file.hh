@@ -37,6 +37,7 @@
 
 #include "cpu/trace.hh"
 #include "stats/group.hh"
+#include "util/object_pool.hh"
 #include "util/status.hh"
 
 namespace ebcp
@@ -198,6 +199,17 @@ class FileTraceSource : public TraceSource
 
     std::vector<TraceRecord> buffer_; //!< records of the current chunk
     std::size_t bufferPos_ = 0;
+    //! Recycled chunk-payload buffers (no per-chunk allocation).
+    FreeListPool<std::vector<unsigned char>> payloadPool_;
+
+  public:
+    /** Payload-buffer reuse counters (throughput bench / tests). */
+    const PoolStats &payloadPoolStats() const
+    {
+        return payloadPool_.stats();
+    }
+
+  private:
 
     StatGroup stats_{"trace_source"};
     Scalar chunksRead_{"chunks_read", "CRC-verified chunks delivered"};

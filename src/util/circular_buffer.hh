@@ -37,11 +37,25 @@ class CircularBuffer
     void
     push(const T &v)
     {
-        data_[(head_ + size_) % capacity_] = v;
+        pushSlot() = v;
+    }
+
+    /**
+     * Append one element and return a reference to its slot (evicting
+     * the oldest element if full). The slot holds a recycled object
+     * with stale content -- the caller must reset it. Lets entries
+     * with internal capacity (e.g. the EMAB's address vectors) be
+     * reused in place instead of reallocated every push.
+     */
+    T &
+    pushSlot()
+    {
+        T &slot = data_[wrap(head_ + size_)];
         if (size_ == capacity_)
-            head_ = (head_ + 1) % capacity_;
+            head_ = wrap(head_ + 1);
         else
             ++size_;
+        return slot;
     }
 
     /** Remove and return the oldest element. */
@@ -50,7 +64,7 @@ class CircularBuffer
     {
         panic_if(size_ == 0, "pop from empty CircularBuffer");
         T v = data_[head_];
-        head_ = (head_ + 1) % capacity_;
+        head_ = wrap(head_ + 1);
         --size_;
         return v;
     }
@@ -60,14 +74,14 @@ class CircularBuffer
     at(std::size_t i) const
     {
         panic_if(i >= size_, "CircularBuffer index out of range");
-        return data_[(head_ + i) % capacity_];
+        return data_[wrap(head_ + i)];
     }
 
     T &
     at(std::size_t i)
     {
         panic_if(i >= size_, "CircularBuffer index out of range");
-        return data_[(head_ + i) % capacity_];
+        return data_[wrap(head_ + i)];
     }
 
     /** @return the newest element. */
@@ -92,6 +106,14 @@ class CircularBuffer
     }
 
   private:
+    // All internal offsets are < 2*capacity, so wrapping is a single
+    // compare-and-subtract instead of an integer division.
+    std::size_t
+    wrap(std::size_t i) const
+    {
+        return i >= capacity_ ? i - capacity_ : i;
+    }
+
     std::vector<T> data_;
     std::size_t capacity_;
     std::size_t head_ = 0;

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Open-addressed hash map for the simulator's hottest structures.
+ *
+ * The chained std::unordered_map pays a heap allocation per node and a
+ * pointer chase per probe; on the per-miss path (correlation table,
+ * MSHR file, Solihin table) that is the dominant metadata cost. This
+ * map stores key/value pairs inline in a power-of-two slot array and
+ * probes linearly, so a lookup is one hash, one mask and a short
+ * contiguous scan.
+ *
+ * Deletion uses backward-shift (no tombstones): displaced slots are
+ * moved back over the hole so probe chains never accumulate dead
+ * entries and lookup cost stays proportional to live load.
+ *
+ * The map is reserve-aware: reserve(n) sizes the array so n entries
+ * fit under the load-factor cap without rehashing, which is how the
+ * MSHR file achieves zero steady-state allocation.
+ *
+ * Cheap always-on counters (FlatMapStats) feed the throughput bench's
+ * per-structure probe statistics; they cost two increments per
+ * operation and no branches.
+ */
+
+#ifndef EBCP_UTIL_FLAT_MAP_HH
+#define EBCP_UTIL_FLAT_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+/** Operation counters of one FlatMap (throughput-bench reporting). */
+struct FlatMapStats
+{
+    std::uint64_t finds = 0;       //!< find() calls
+    std::uint64_t findProbes = 0;  //!< slots inspected across finds
+    std::uint64_t hits = 0;        //!< finds that located the key
+    std::uint64_t inserts = 0;     //!< new keys stored
+    std::uint64_t erases = 0;      //!< keys removed
+    std::uint64_t backshifts = 0;  //!< slots moved by backward-shift
+    std::uint64_t rehashes = 0;    //!< load-triggered growths; a
+                                   //!< deliberate reserve() is not
+                                   //!< counted
+
+    /** Mean probes per find (1.0 = every lookup hit its home slot). */
+    double
+    probesPerFind() const
+    {
+        return finds ? static_cast<double>(findProbes) /
+                           static_cast<double>(finds)
+                     : 0.0;
+    }
+};
+
+/** Default hash: finalize with mix64 so regular strides spread out. */
+struct FlatHash
+{
+    std::uint64_t
+    operator()(std::uint64_t k) const
+    {
+        return mix64(k);
+    }
+};
+
+/**
+ * Open-addressed, linear-probing hash map from a 64-bit key to V.
+ *
+ * Grows by doubling at 7/8 load. Iteration order is the slot order
+ * (unspecified, like unordered_map's); callers that iterate must be
+ * order-insensitive.
+ */
+template <typename V, typename Hash = FlatHash>
+class FlatMap
+{
+  public:
+    using Key = std::uint64_t;
+
+    explicit FlatMap(std::size_t initial_capacity = 16)
+    {
+        std::size_t cap = 16;
+        while (cap < initial_capacity)
+            cap <<= 1;
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    /** Size the array so @p n entries fit without rehashing. */
+    void
+    reserve(std::size_t n)
+    {
+        // Stay strictly below the 7/8 growth trigger.
+        std::size_t cap = slots_.size();
+        while (n + (n >> 3) + 1 > cap - (cap >> 3))
+            cap <<= 1;
+        if (cap != slots_.size())
+            rehash(cap);
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** @return pointer to the value for @p key, or nullptr. */
+    V *
+    find(Key key)
+    {
+        ++stats_.finds;
+        std::size_t i = Hash{}(key)&mask_;
+        while (true) {
+            ++stats_.findProbes;
+            Slot &s = slots_[i];
+            if (!s.used)
+                return nullptr;
+            if (s.key == key) {
+                ++stats_.hits;
+                return &s.value;
+            }
+            i = (i + 1) & mask_;
+        }
+    }
+
+    const V *
+    find(Key key) const
+    {
+        return const_cast<FlatMap *>(this)->find(key);
+    }
+
+    /** Value for @p key, default-constructing a new entry if absent. */
+    V &
+    operator[](Key key)
+    {
+        if (V *v = find(key))
+            return *v;
+        maybeGrow();
+        std::size_t i = Hash{}(key)&mask_;
+        while (slots_[i].used)
+            i = (i + 1) & mask_;
+        Slot &s = slots_[i];
+        s.key = key;
+        s.used = true;
+        s.value = V{};
+        ++size_;
+        ++stats_.inserts;
+        return s.value;
+    }
+
+    /** Insert or overwrite @p key -> @p value. */
+    void
+    insert(Key key, V value)
+    {
+        (*this)[key] = std::move(value);
+    }
+
+    /**
+     * Remove @p key. Backward-shift compaction: later slots of the
+     * probe chain that would become unreachable are moved over the
+     * hole, so no tombstones are ever left behind.
+     *
+     * @return true if the key was present.
+     */
+    bool
+    erase(Key key)
+    {
+        std::size_t i = Hash{}(key)&mask_;
+        while (true) {
+            Slot &s = slots_[i];
+            if (!s.used)
+                return false;
+            if (s.key == key)
+                break;
+            i = (i + 1) & mask_;
+        }
+        ++stats_.erases;
+        --size_;
+
+        // Shift successors back while they are displaced past the hole.
+        std::size_t hole = i;
+        std::size_t j = i;
+        while (true) {
+            j = (j + 1) & mask_;
+            Slot &cand = slots_[j];
+            if (!cand.used)
+                break;
+            const std::size_t home = Hash{}(cand.key)&mask_;
+            // cand may move into the hole iff its home position does
+            // not lie cyclically inside (hole, j] -- otherwise the
+            // move would put it before its home and break lookups.
+            const std::size_t dist_home = (j - home) & mask_;
+            const std::size_t dist_hole = (j - hole) & mask_;
+            if (dist_home >= dist_hole) {
+                slots_[hole] = std::move(cand);
+                cand.used = false;
+                hole = j;
+                ++stats_.backshifts;
+            }
+        }
+        slots_[hole].used = false;
+        slots_[hole].value = V{};
+        return true;
+    }
+
+    /** Drop all entries; keeps the slot array (no deallocation). */
+    void
+    clear()
+    {
+        for (Slot &s : slots_) {
+            if (s.used) {
+                s.used = false;
+                s.value = V{};
+            }
+        }
+        size_ = 0;
+    }
+
+    /** Visit every (key, value) pair; order is unspecified. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Slot &s : slots_)
+            if (s.used)
+                fn(s.key, s.value);
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (Slot &s : slots_)
+            if (s.used)
+                fn(s.key, s.value);
+    }
+
+    const FlatMapStats &stats() const { return stats_; }
+    void resetStats() { stats_ = {}; }
+
+  private:
+    struct Slot
+    {
+        Key key = 0;
+        V value{};
+        bool used = false;
+    };
+
+    void
+    maybeGrow()
+    {
+        // Grow at 7/8 occupancy; linear probing degrades sharply past
+        // that point. Only these load-triggered growths count toward
+        // stats_.rehashes -- a deliberate pre-sizing via reserve()
+        // does not, so the counter reads as "unplanned allocations on
+        // the hot path".
+        if (size_ + 1 > slots_.size() - (slots_.size() >> 3)) {
+            ++stats_.rehashes;
+            rehash(slots_.size() * 2);
+        }
+    }
+
+    void
+    rehash(std::size_t new_cap)
+    {
+        panic_if(!isPowerOf2(new_cap), "FlatMap capacity not power of 2");
+        std::vector<Slot> old = std::move(slots_);
+        slots_.clear();
+        slots_.resize(new_cap);
+        mask_ = new_cap - 1;
+        for (Slot &s : old) {
+            if (!s.used)
+                continue;
+            std::size_t i = Hash{}(s.key)&mask_;
+            while (slots_[i].used)
+                i = (i + 1) & mask_;
+            slots_[i].key = s.key;
+            slots_[i].value = std::move(s.value);
+            slots_[i].used = true;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+    FlatMapStats stats_;
+};
+
+} // namespace ebcp
+
+#endif // EBCP_UTIL_FLAT_MAP_HH

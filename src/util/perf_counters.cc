@@ -1,0 +1,119 @@
+#include "util/perf_counters.hh"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <initializer_list>
+#endif
+
+namespace ebcp
+{
+
+#if defined(__linux__)
+
+namespace
+{
+
+int
+openCounter(std::uint32_t type, std::uint64_t config)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = type;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    attr.disabled = 1;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    // pid=0 cpu=-1: this thread, any CPU.
+    return static_cast<int>(
+        syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+std::uint64_t
+readCounter(int fd)
+{
+    if (fd < 0)
+        return 0;
+    std::uint64_t v = 0;
+    if (read(fd, &v, sizeof(v)) != static_cast<ssize_t>(sizeof(v)))
+        return 0;
+    return v;
+}
+
+void
+controlCounter(int fd, unsigned long request)
+{
+    if (fd >= 0)
+        ioctl(fd, request, 0);
+}
+
+} // namespace
+
+PerfCounters::PerfCounters()
+{
+    cyclesFd_ = openCounter(PERF_TYPE_HARDWARE,
+                            PERF_COUNT_HW_CPU_CYCLES);
+    instructionsFd_ = openCounter(PERF_TYPE_HARDWARE,
+                                  PERF_COUNT_HW_INSTRUCTIONS);
+    cacheMissesFd_ = openCounter(PERF_TYPE_HARDWARE,
+                                 PERF_COUNT_HW_CACHE_MISSES);
+    branchMissesFd_ = openCounter(PERF_TYPE_HARDWARE,
+                                  PERF_COUNT_HW_BRANCH_MISSES);
+    available_ = cyclesFd_ >= 0 && instructionsFd_ >= 0;
+}
+
+PerfCounters::~PerfCounters()
+{
+    for (int fd : {cyclesFd_, instructionsFd_, cacheMissesFd_,
+                   branchMissesFd_})
+        if (fd >= 0)
+            close(fd);
+}
+
+void
+PerfCounters::start()
+{
+    for (int fd : {cyclesFd_, instructionsFd_, cacheMissesFd_,
+                   branchMissesFd_}) {
+        controlCounter(fd, PERF_EVENT_IOC_RESET);
+        controlCounter(fd, PERF_EVENT_IOC_ENABLE);
+    }
+}
+
+void
+PerfCounters::stop()
+{
+    for (int fd : {cyclesFd_, instructionsFd_, cacheMissesFd_,
+                   branchMissesFd_})
+        controlCounter(fd, PERF_EVENT_IOC_DISABLE);
+    sample_.available = available_;
+    sample_.cycles = readCounter(cyclesFd_);
+    sample_.instructions = readCounter(instructionsFd_);
+    sample_.cacheMisses = readCounter(cacheMissesFd_);
+    sample_.branchMisses = readCounter(branchMissesFd_);
+}
+
+#else // !__linux__
+
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+
+void
+PerfCounters::start()
+{
+}
+
+void
+PerfCounters::stop()
+{
+    sample_ = {};
+}
+
+#endif
+
+} // namespace ebcp

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Hardware performance counters via perf_event_open (no external
+ * dependencies).
+ *
+ * The throughput bench reports host cycles/instructions alongside
+ * simulated-insts/sec, so a perf regression can be attributed to the
+ * simulator (host IPC flat, instructions up) or to the machine (IPC
+ * down). Counter access is frequently unavailable -- containers,
+ * perf_event_paranoid, non-Linux hosts -- so construction degrades
+ * gracefully: available() turns false and every reading is zero, and
+ * callers must treat the numbers as advisory.
+ */
+
+#ifndef EBCP_UTIL_PERF_COUNTERS_HH
+#define EBCP_UTIL_PERF_COUNTERS_HH
+
+#include <cstdint>
+
+namespace ebcp
+{
+
+/** One stopped measurement interval's counter deltas. */
+struct PerfSample
+{
+    bool available = false; //!< false: every field below is zero
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t branchMisses = 0;
+
+    /** Host instructions per cycle (0 when unavailable). */
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/**
+ * A group of hardware counters over the calling thread. Usage:
+ * construct, start(), run the region, stop(), read sample().
+ */
+class PerfCounters
+{
+  public:
+    PerfCounters();
+    ~PerfCounters();
+
+    PerfCounters(const PerfCounters &) = delete;
+    PerfCounters &operator=(const PerfCounters &) = delete;
+
+    /** True if at least the cycle and instruction counters opened. */
+    bool available() const { return available_; }
+
+    /** Reset and enable the counters. */
+    void start();
+
+    /** Disable the counters and latch the interval's readings. */
+    void stop();
+
+    /** Readings of the most recent start()/stop() interval. */
+    const PerfSample &sample() const { return sample_; }
+
+  private:
+    // One fd per event; -1 where the event failed to open.
+    int cyclesFd_ = -1;
+    int instructionsFd_ = -1;
+    int cacheMissesFd_ = -1;
+    int branchMissesFd_ = -1;
+    bool available_ = false;
+    PerfSample sample_;
+};
+
+} // namespace ebcp
+
+#endif // EBCP_UTIL_PERF_COUNTERS_HH

@@ -1,9 +1,13 @@
 #include "bench/bench_common.hh"
 
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
+#include <sstream>
 
+#include "sim/stats_json.hh"
+#include "util/logging.hh"
 #include "util/str.hh"
 
 namespace ebcp::bench
@@ -112,6 +116,8 @@ improvementRow(const std::string &workload,
 BenchSweep::BenchSweep(int argc, char **argv)
     : scale_(resolveScale(argc, argv)),
       jobs_(resolveJobs(argc, argv)),
+      statsJsonPath_(
+          ConfigStore::fromArgs(argc, argv).getString("stats_json", "")),
       runner_(jobs_)
 {
     // The largest paper sweep (fig9) enqueues ~50 descriptors; each
@@ -178,6 +184,46 @@ BenchSweep::execute()
             std::cerr << "run " << runner::runLabel(pending_[i])
                       << " failed: " << results_[i].status.toString()
                       << "\n";
+
+    if (!statsJsonPath_.empty()) {
+        Status s = exportStatsJson(statsJsonPath_);
+        fatal_if(!s.ok(), "stats_json export failed: ", s.toString());
+        std::cout << "wrote " << statsJsonPath_ << " (schema "
+                  << StatsJsonSchema << ", validated)\n";
+    }
+}
+
+Status
+BenchSweep::exportStatsJson(const std::string &path,
+                            const std::string &source) const
+{
+    panic_if(!executed_, "BenchSweep::exportStatsJson() before execute()");
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    beginStatsJson(w, source);
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+        const runner::RunResult &r = results_[i];
+        if (!r.ok())
+            continue;
+        w.beginObject();
+        w.kv("label", runner::runLabel(pending_[i]));
+        w.key("results");
+        writeSimResultsJson(w, r.results);
+        w.endObject();
+    }
+    endStatsJson(w);
+
+    std::ofstream out(path);
+    if (!out)
+        return ioError(logFormat("cannot open ", path, " for writing"));
+    out << os.str();
+    out.close();
+    if (!out)
+        return ioError(logFormat("short write to ", path));
+
+    // Re-read and schema-check: the producer proves its own artifact.
+    return validateStatsJsonFile(path);
 }
 
 const SimResults &

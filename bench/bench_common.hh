@@ -14,6 +14,11 @@
  * BenchSweep, execute() once, then assemble tables from the results.
  * Execution is deterministic -- the same tables come out at jobs=1
  * and jobs=N.
+ *
+ * Every BenchSweep-based bench also accepts "stats_json=PATH": after
+ * execute(), the sweep's per-run SimResults are exported in the shared
+ * "ebcp-stats-v1" schema (sim/stats_json.hh) and the artifact is
+ * re-read and schema-validated before the bench continues.
  */
 
 #ifndef EBCP_BENCH_BENCH_COMMON_HH
@@ -96,8 +101,18 @@ class BenchSweep
      * @return index */
     std::size_t addBaseline(const std::string &workload);
 
-    /** Execute every pending descriptor and print the sweep summary. */
+    /** Execute every pending descriptor and print the sweep summary.
+     * Honours "stats_json=PATH" from argv: exports and validates the
+     * shared-schema report (a malformed artifact is fatal). */
     void execute();
+
+    /**
+     * Write every completed run to @p path in the "ebcp-stats-v1"
+     * schema, then re-read and validate the artifact. Failed runs are
+     * omitted (they are already reported on stderr by execute()).
+     */
+    Status exportStatsJson(const std::string &path,
+                           const std::string &source = "bench_sweep") const;
 
     /** Result of run @p idx; fatal if that run failed. */
     const SimResults &result(std::size_t idx) const;
@@ -119,6 +134,7 @@ class BenchSweep
   private:
     RunScale scale_;
     unsigned jobs_;
+    std::string statsJsonPath_;
     runner::SweepRunner runner_;
     std::vector<RunDesc> pending_;
     std::vector<runner::RunResult> results_;

@@ -26,15 +26,18 @@
  *                          insts/sec; 0 disables -- the perf-smoke
  *                          ctest floor),
  *       json=PATH         (machine-readable report; default
- *                          BENCH_throughput.json, json= to disable).
+ *                          BENCH_throughput.json, json= to disable),
+ *       stats_json=PATH   (per-run SimResults in the shared
+ *                          "ebcp-stats-v1" schema; disabled by
+ *                          default).
  *
- * The JSON report is re-read and re-parsed before exit; a bench that
- * emits malformed JSON fails, so ctest's well-formedness check is the
- * bench's own exit status.
+ * Both JSON artifacts are re-read and re-parsed (stats_json is also
+ * schema-validated) before exit; a bench that emits malformed JSON
+ * fails, so ctest's well-formedness check is the bench's own exit
+ * status.
  */
 
 #include <algorithm>
-#include <cctype>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -46,7 +49,9 @@
 #include "bench/bench_common.hh"
 #include "core/ebcp.hh"
 #include "prefetch/solihin.hh"
+#include "sim/stats_json.hh"
 #include "stats/table.hh"
+#include "util/json.hh"
 #include "util/perf_counters.hh"
 #include "util/str.hh"
 
@@ -168,173 +173,15 @@ jsonRun(std::ostream &os, const RunReport &r)
        << "     \"useful_prefetches\": " << r.usefulPrefetches << "}";
 }
 
-// --- Minimal JSON validator ----------------------------------------
-//
-// Just enough of RFC 8259 to prove the emitted report is well formed
-// (the perf-smoke test's "machine readable" guarantee). Rejects on
-// first error; no value tree is built.
-
-class JsonValidator
-{
-  public:
-    explicit JsonValidator(const std::string &text) : s_(text) {}
-
-    bool
-    validate()
-    {
-        skipWs();
-        if (!value())
-            return false;
-        skipWs();
-        return pos_ == s_.size();
-    }
-
-  private:
-    bool
-    value()
-    {
-        if (pos_ >= s_.size())
-            return false;
-        switch (s_[pos_]) {
-          case '{':
-            return object();
-          case '[':
-            return array();
-          case '"':
-            return string();
-          case 't':
-            return literal("true");
-          case 'f':
-            return literal("false");
-          case 'n':
-            return literal("null");
-          default:
-            return number();
-        }
-    }
-
-    bool
-    object()
-    {
-        ++pos_; // '{'
-        skipWs();
-        if (peek() == '}') {
-            ++pos_;
-            return true;
-        }
-        while (true) {
-            skipWs();
-            if (!string())
-                return false;
-            skipWs();
-            if (peek() != ':')
-                return false;
-            ++pos_;
-            skipWs();
-            if (!value())
-                return false;
-            skipWs();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            if (peek() == '}') {
-                ++pos_;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    bool
-    array()
-    {
-        ++pos_; // '['
-        skipWs();
-        if (peek() == ']') {
-            ++pos_;
-            return true;
-        }
-        while (true) {
-            skipWs();
-            if (!value())
-                return false;
-            skipWs();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            if (peek() == ']') {
-                ++pos_;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    bool
-    string()
-    {
-        if (peek() != '"')
-            return false;
-        ++pos_;
-        while (pos_ < s_.size() && s_[pos_] != '"') {
-            if (s_[pos_] == '\\')
-                ++pos_; // skip the escaped character
-            ++pos_;
-        }
-        if (pos_ >= s_.size())
-            return false;
-        ++pos_;
-        return true;
-    }
-
-    bool
-    number()
-    {
-        const std::size_t start = pos_;
-        if (peek() == '-')
-            ++pos_;
-        while (pos_ < s_.size() &&
-               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-                s_[pos_] == '+' || s_[pos_] == '-'))
-            ++pos_;
-        return pos_ > start;
-    }
-
-    bool
-    literal(const char *word)
-    {
-        for (const char *p = word; *p; ++p, ++pos_)
-            if (pos_ >= s_.size() || s_[pos_] != *p)
-                return false;
-        return true;
-    }
-
-    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-
-    void
-    skipWs()
-    {
-        while (pos_ < s_.size() &&
-               (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
-                s_[pos_] == '\r'))
-            ++pos_;
-    }
-
-    const std::string &s_;
-    std::size_t pos_ = 0;
-};
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     ConfigStore cs = ConfigStore::fromArgs(argc, argv);
-    Status known = cs.checkKnownKeys(
-        {"warm", "measure", "jobs", "pf", "reps", "min_ips", "json"});
+    Status known = cs.checkKnownKeys({"warm", "measure", "jobs", "pf",
+                                      "reps", "min_ips", "json",
+                                      "stats_json"});
     if (!known.ok()) {
         std::cerr << "error: " << known.toString() << "\n";
         return 2;
@@ -343,6 +190,7 @@ main(int argc, char **argv)
     const double min_ips = cs.getDouble("min_ips", 0.0);
     const std::string json_path =
         cs.getString("json", "BENCH_throughput.json");
+    const std::string stats_json_path = cs.getString("stats_json", "");
     const std::vector<std::string> pfs =
         split(cs.getString("pf", "null,ebcp"), ',');
     const std::uint64_t reps = std::max<std::uint64_t>(
@@ -415,17 +263,47 @@ main(int argc, char **argv)
 
         // Re-read and re-parse: the report must be consumable by a
         // real JSON parser, not just look like JSON.
-        std::ifstream in(json_path);
-        std::stringstream buf;
-        buf << in.rdbuf();
-        const std::string text = buf.str();
-        if (!JsonValidator(text).validate()) {
+        StatusOr<JsonValue> parsed = parseJsonFile(json_path);
+        if (!parsed.ok()) {
             std::cerr << "error: emitted " << json_path
-                      << " is not well-formed JSON\n";
+                      << " is not well-formed JSON: "
+                      << parsed.status().toString() << "\n";
             return 1;
         }
         std::cout << "wrote " << json_path << " ("
-                  << text.size() << " bytes, validated)\n";
+                  << os.str().size() << " bytes, validated)\n";
+    }
+
+    if (!stats_json_path.empty()) {
+        std::ostringstream ss;
+        JsonWriter w(ss);
+        beginStatsJson(w, "throughput_bench");
+        for (const RunReport &r : reports) {
+            w.beginObject();
+            w.kv("label", r.workload + "/" + r.pf);
+            w.key("results");
+            writeSimResultsJson(w, r.results);
+            w.endObject();
+        }
+        endStatsJson(w);
+
+        std::ofstream out(stats_json_path);
+        if (!out) {
+            std::cerr << "error: cannot write " << stats_json_path
+                      << "\n";
+            return 2;
+        }
+        out << ss.str();
+        out.close();
+
+        if (Status s = validateStatsJsonFile(stats_json_path); !s.ok()) {
+            std::cerr << "error: emitted " << stats_json_path
+                      << " failed schema validation: " << s.toString()
+                      << "\n";
+            return 1;
+        }
+        std::cout << "wrote " << stats_json_path << " (schema "
+                  << StatsJsonSchema << ", validated)\n";
     }
 
     if (min_ips > 0.0 && worst_ips < min_ips) {

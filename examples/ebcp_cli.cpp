@@ -10,6 +10,10 @@
  *   ebcp_cli workload=specjbb cores=4 prefetcher=ebcp per_core=1
  *   ebcp_cli workload=tpcw prefetcher=ghb-large dump_stats=1
  *
+ * Observability:
+ *   ebcp_cli workload=database trace_out=db.trace.json \
+ *            stats_json=stats.json interval=500000
+ *
  * Robustness knobs:
  *   ebcp_cli workload=database faults=trace-bitflip,table-drop \
  *            fault_rate=1e-3 trace_policy=skip-corrupt dump_stats=1
@@ -20,14 +24,20 @@
  * must not silently run the defaults. Run with help=1 for the list.
  */
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "sim/cmp_system.hh"
 #include "sim/simulator.hh"
+#include "sim/stats_json.hh"
+#include "stats/interval.hh"
 #include "trace/fault_injection.hh"
 #include "trace/trace_file.hh"
 #include "trace/workloads.hh"
 #include "util/config.hh"
+#include "util/event_trace.hh"
+#include "util/logging.hh"
 
 using namespace ebcp;
 
@@ -77,7 +87,17 @@ printHelp()
         "  trace_policy=strict|skip-corrupt|stop-at-corrupt\n"
         "                      reaction to corrupt trace chunks\n"
         "  watchdog=N          max ticks between retirements before the\n"
-        "                      run is declared stalled (0 = off)\n";
+        "                      run is declared stalled (0 = off)\n"
+        "\n"
+        "observability:\n"
+        "  trace_out=PATH      export the lifecycle timeline as Chrome\n"
+        "                      trace_event JSON (Perfetto-loadable)\n"
+        "  stats_json=PATH     structured report in the ebcp-stats-v1\n"
+        "                      schema (results + full statistic tree;\n"
+        "                      watchdog diagnostics on stalls)\n"
+        "  interval=N          snapshot statistics every N measured\n"
+        "                      insts; the series lands in stats_json's\n"
+        "                      \"intervals\" member (single-core only)\n";
 }
 
 const std::vector<std::string> &
@@ -90,7 +110,8 @@ knownKeys()
         "on_chip_table","per_core",   "l2_kb",        "pf_buffer",
         "bw_scale",    "mem_latency", "rob",          "perfect_l2",
         "faults",      "fault_seed",  "fault_rate",   "stall_after",
-        "trace_policy","watchdog",
+        "trace_policy","watchdog",    "trace_out",    "stats_json",
+        "interval",
     };
     return keys;
 }
@@ -100,6 +121,50 @@ fail(const Status &s)
 {
     std::cerr << "ebcp_cli: " << s.toString() << "\n";
     return 1;
+}
+
+Status
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    if (!out)
+        return ioError(logFormat("cannot open ", path, " for writing"));
+    out << text;
+    out.close();
+    if (!out)
+        return ioError(logFormat("short write to ", path));
+    return Status();
+}
+
+/**
+ * Frame, write and self-validate one ebcp-stats-v1 document. @p emit
+ * writes the run objects; @p diagnostic_raw (a complete JSON value or
+ * empty) becomes the top-level "diagnostic" member on stalled runs.
+ */
+template <typename EmitRuns>
+Status
+exportStatsDoc(const std::string &path, EmitRuns &&emit,
+               const std::string &diagnostic_raw = {})
+{
+    std::ostringstream ss;
+    JsonWriter w(ss);
+    beginStatsJson(w, "ebcp_cli");
+    emit(w);
+    endStatsJson(w, diagnostic_raw);
+    if (Status s = writeTextFile(path, ss.str()); !s.ok())
+        return s;
+    return validateStatsJsonFile(path);
+}
+
+int
+exportTrace(const TraceLog &tlog, const std::string &path)
+{
+    if (Status s = tlog.exportChromeJson(path); !s.ok())
+        return fail(s);
+    std::cout << "  wrote " << path << " (" << tlog.totalEvents()
+              << " events, " << tlog.totalDropped()
+              << " dropped, validated)\n";
+    return 0;
 }
 
 } // namespace
@@ -138,10 +203,14 @@ main(int argc, char **argv)
     cfg.faults.rate = cs.getDouble("fault_rate", 1e-3);
     cfg.faults.stallAfter = cs.getU64("stall_after", 100'000);
 
-    StatusOr<TraceReadPolicy> policy = traceReadPolicyFromName(
-        cs.getString("trace_policy", "strict"));
+    const std::string policy_name = cs.getString("trace_policy", "strict");
+    StatusOr<TraceReadPolicy> policy = traceReadPolicyFromName(policy_name);
     if (!policy.ok())
         return fail(policy.status());
+
+    const std::string trace_out = cs.getString("trace_out", "");
+    const std::string stats_json_path = cs.getString("stats_json", "");
+    const std::uint64_t interval = cs.getU64("interval", 0);
 
     const unsigned cores =
         static_cast<unsigned>(cs.getU64("cores", 1));
@@ -165,10 +234,17 @@ main(int argc, char **argv)
         if (cs.has("trace"))
             return fail(invalidArgError(
                 "CMP mode replays workloads only"));
+        if (interval)
+            return fail(invalidArgError(
+                "interval= sampling is single-core only"));
         const std::string workload =
             cs.getString("workload", "database");
 
         CmpSystem sys(cfg, pf, cores);
+        TraceLog tlog;
+        if (!trace_out.empty())
+            sys.attachTraceLog(tlog);
+        sys.setTracePolicyName(policy_name);
         std::vector<std::unique_ptr<SyntheticWorkload>> owned;
         std::vector<TraceSource *> sources;
         for (unsigned i = 0; i < cores; ++i) {
@@ -180,17 +256,52 @@ main(int argc, char **argv)
             sources.push_back(owned.back().get());
         }
         StatusOr<CmpResults> res = sys.tryRun(sources, warm, measure);
-        if (!res.ok())
+        if (!res.ok()) {
+            // Best-effort artifacts: a stalled run's trace and
+            // diagnostic are exactly what the operator needs next.
+            if (!stats_json_path.empty()) {
+                Status s =
+                    exportStatsDoc(stats_json_path, [](JsonWriter &) {},
+                                   sys.lastDiagnosticJson());
+                if (!s.ok())
+                    std::cerr << "ebcp_cli: stats_json export failed: "
+                              << s.toString() << "\n";
+            }
+            if (!trace_out.empty())
+                exportTrace(tlog, trace_out);
             return fail(res.status());
+        }
         CmpResults r = res.take();
         std::cout << cores << "-core '" << workload << "' with "
                   << pf.name << ":\n  aggregate CPI "
                   << r.aggregateCpi << ", coverage "
                   << r.coverage * 100.0 << "%, accuracy "
-                  << r.accuracy * 100.0 << "%\n";
+                  << r.accuracy * 100.0 << "%, timeliness "
+                  << r.timeliness * 100.0 << "%\n";
         for (unsigned i = 0; i < cores; ++i)
             std::cout << "  core " << i << ": CPI "
                       << r.perCore[i].cpi << "\n";
+
+        if (!trace_out.empty())
+            if (int rc = exportTrace(tlog, trace_out))
+                return rc;
+        if (!stats_json_path.empty()) {
+            const std::string label = workload + "/" + pf.name +
+                                      "/cmp" + std::to_string(cores);
+            const SimResults folded = foldCmpResults(r);
+            Status s = exportStatsDoc(
+                stats_json_path, [&](JsonWriter &w) {
+                    w.beginObject();
+                    w.kv("label", label);
+                    w.key("results");
+                    writeSimResultsJson(w, folded);
+                    w.endObject();
+                });
+            if (!s.ok())
+                return fail(s);
+            std::cout << "  wrote " << stats_json_path << " (schema "
+                      << StatsJsonSchema << ", validated)\n";
+        }
         return 0;
     }
 
@@ -226,9 +337,33 @@ main(int argc, char **argv)
     }
 
     Simulator sim(cfg, pf);
+    TraceLog tlog;
+    if (!trace_out.empty())
+        sim.attachTraceLog(tlog);
+    sim.setTracePolicyName(policy_name);
+    std::unique_ptr<IntervalSampler> sampler;
+    if (interval) {
+        sampler = std::make_unique<IntervalSampler>(
+            sim.l2side().stats(), interval);
+        sim.setSampler(sampler.get());
+    }
+
     StatusOr<SimResults> res = sim.tryRun(*run_src, warm, measure);
-    if (!res.ok())
+    if (!res.ok()) {
+        // Best-effort artifacts: the trace up to the stall and the
+        // watchdog diagnostic are exactly what the operator needs.
+        if (!stats_json_path.empty()) {
+            Status s =
+                exportStatsDoc(stats_json_path, [](JsonWriter &) {},
+                               sim.lastDiagnosticJson());
+            if (!s.ok())
+                std::cerr << "ebcp_cli: stats_json export failed: "
+                          << s.toString() << "\n";
+        }
+        if (!trace_out.empty())
+            exportTrace(tlog, trace_out);
         return fail(res.status());
+    }
     SimResults r = res.take();
 
     std::cout << "'" << source_name << "' with " << pf.name << ":\n"
@@ -241,6 +376,10 @@ main(int argc, char **argv)
               << "  prefetches: issued " << r.issuedPrefetches
               << ", useful " << r.usefulPrefetches << ", dropped "
               << r.droppedPrefetches << "\n"
+              << "  lifecycle: timely " << r.timelyPrefetches
+              << ", late " << r.latePrefetches << ", early-evicted "
+              << r.earlyEvictedPrefetches << " (timeliness "
+              << r.timeliness * 100.0 << "%)\n"
               << "  bus utilization: read " << r.readBusUtil * 100.0
               << "%, write " << r.writeBusUtil * 100.0 << "%\n";
 
@@ -267,6 +406,29 @@ main(int argc, char **argv)
             injector->stats().dump(std::cout);
         if (file_src)
             file_src->stats().dump(std::cout);
+    }
+
+    if (!trace_out.empty())
+        if (int rc = exportTrace(tlog, trace_out))
+            return rc;
+    if (!stats_json_path.empty()) {
+        Status s = exportStatsDoc(stats_json_path, [&](JsonWriter &w) {
+            w.beginObject();
+            w.kv("label", source_name + "/" + pf.name);
+            w.key("results");
+            writeSimResultsJson(w, r);
+            w.key("stats");
+            sim.dumpStatsJson(w);
+            if (sampler) {
+                w.key("intervals");
+                sampler->writeJson(w);
+            }
+            w.endObject();
+        });
+        if (!s.ok())
+            return fail(s);
+        std::cout << "  wrote " << stats_json_path << " (schema "
+                  << StatsJsonSchema << ", validated)\n";
     }
     return 0;
 }

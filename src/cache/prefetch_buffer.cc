@@ -66,7 +66,7 @@ PrefetchBuffer::lookup(Addr addr, Tick now)
     return res;
 }
 
-void
+Addr
 PrefetchBuffer::insert(Addr addr, Tick ready_time, std::uint64_t corr_index,
                        bool has_corr_index)
 {
@@ -82,7 +82,7 @@ PrefetchBuffer::insert(Addr addr, Tick ready_time, std::uint64_t corr_index,
             e->corrIndex = corr_index;
             e->hasCorrIndex = true;
         }
-        return;
+        return InvalidAddr;
     }
 
     const unsigned set = setOf(line);
@@ -96,8 +96,11 @@ PrefetchBuffer::insert(Addr addr, Tick ready_time, std::uint64_t corr_index,
         if (!victim || e.stamp < victim->stamp)
             victim = &e;
     }
-    if (victim->valid)
+    Addr evicted = InvalidAddr;
+    if (victim->valid) {
         ++replacedUnused_;
+        evicted = victim->lineAddr;
+    }
 
     victim->lineAddr = line;
     victim->readyTime = ready_time;
@@ -105,6 +108,7 @@ PrefetchBuffer::insert(Addr addr, Tick ready_time, std::uint64_t corr_index,
     victim->hasCorrIndex = has_corr_index;
     victim->valid = true;
     victim->stamp = ++stampCounter_;
+    return evicted;
 }
 
 void
@@ -112,6 +116,15 @@ PrefetchBuffer::flush()
 {
     for (auto &e : entries_)
         e.valid = false;
+}
+
+unsigned
+PrefetchBuffer::validCount() const
+{
+    unsigned n = 0;
+    for (const auto &e : entries_)
+        n += e.valid ? 1 : 0;
+    return n;
 }
 
 } // namespace ebcp

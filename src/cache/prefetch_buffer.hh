@@ -56,12 +56,20 @@ class PrefetchBuffer
     /**
      * Install a prefetched line that becomes available at
      * @p ready_time. Duplicate inserts refresh the existing entry.
+     *
+     * @return the line address of a valid, never-used entry this
+     *         insert replaced, or InvalidAddr if none was displaced
+     *         (the caller records the eviction in its lifecycle
+     *         ledger/trace).
      */
-    void insert(Addr addr, Tick ready_time, std::uint64_t corr_index,
+    Addr insert(Addr addr, Tick ready_time, std::uint64_t corr_index,
                 bool has_corr_index);
 
     /** Drop all contents. */
     void flush();
+
+    /** Valid (prefetched, not yet used) entries right now. */
+    unsigned validCount() const;
 
     unsigned entries() const { return sets_ * ways_; }
     std::uint64_t hitsTotal() const { return hits_.value(); }

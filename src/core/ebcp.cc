@@ -34,7 +34,7 @@ EpochBasedPrefetcher::EpochBasedPrefetcher(const EbcpConfig &cfg)
 }
 
 MemAccessResult
-EpochBasedPrefetcher::faultyTableRead(Tick when)
+EpochBasedPrefetcher::faultyTableRead(Tick when, Addr key)
 {
     // Injected table-read faults model the real failure modes of a
     // best-effort memory-resident table -- a read lost to saturation
@@ -49,7 +49,42 @@ EpochBasedPrefetcher::faultyTableRead(Tick when)
         ++injectedReadDelays_;
         rd.complete += cfg_.faults.tableDelayTicks;
     }
+    if (!rd.dropped)
+        EBCP_TRACE_EVENT(trace_, TraceEventKind::TableRead, when,
+                         rd.complete - when, key);
     return rd;
+}
+
+void
+EpochBasedPrefetcher::attachTraceLog(TraceLog &log)
+{
+    // Per-core epoch rows use tid = core id; the control's own
+    // EMAB/table row sits above them at tid 32.
+    trace_ = log.sink("ebcp", 32);
+    for (unsigned i = 0; i < states_.size(); ++i)
+        states_[i]->tracker.setTraceSink(
+            log.sink("ebcp/core" + std::to_string(i), i));
+}
+
+void
+EpochBasedPrefetcher::traceEmabTurnover(const CoreState &cs, EpochId epoch,
+                                        const L2AccessInfo &info)
+{
+#ifndef EBCP_DISABLE_EVENT_TRACE
+    if (!trace_)
+        return;
+    if (cs.emab.full()) {
+        const EmabEntry &old = cs.emab.entry(0);
+        EBCP_TRACE_EVENT(trace_, TraceEventKind::EmabEvict, info.when, 0,
+                         old.epoch, old.missAddrs.size());
+    }
+    EBCP_TRACE_EVENT(trace_, TraceEventKind::EmabInsert, info.when, 0,
+                     epoch, info.lineAddr);
+#else
+    (void)cs;
+    (void)epoch;
+    (void)info;
+#endif
 }
 
 EpochBasedPrefetcher::CoreState &
@@ -120,6 +155,7 @@ EpochBasedPrefetcher::onEpochStart(const L2AccessInfo &info,
     if (!alloc_.active(info.when)) {
         ++inactiveSkips_;
         // Keep recording epochs so the EMAB is warm on reactivation.
+        traceEmabTurnover(cs, epoch, info);
         cs.emab.beginEpoch(epoch, info.lineAddr);
         return;
     }
@@ -146,13 +182,15 @@ EpochBasedPrefetcher::onEpochStart(const L2AccessInfo &info,
                 // priority (Section 3.4.4's second read + first
                 // write). An idealized on-chip table costs nothing.
                 if (!cfg_.onChipTable) {
-                    MemAccessResult rd = faultyTableRead(info.when);
+                    MemAccessResult rd = faultyTableRead(info.when, key);
                     if (rd.dropped) {
                         ++droppedTableReads_;
                         continue;
                     }
                     table_.update(key, payload);
                     engine_->tableWrite(rd.complete);
+                    EBCP_TRACE_EVENT(trace_, TraceEventKind::TableWrite,
+                                     rd.complete, 0, key);
                 } else {
                     table_.update(key, payload);
                 }
@@ -162,13 +200,14 @@ EpochBasedPrefetcher::onEpochStart(const L2AccessInfo &info,
     }
 
     // --- 2. Open the new epoch in the EMAB. ---
+    traceEmabTurnover(cs, epoch, info);
     cs.emab.beginEpoch(epoch, info.lineAddr);
 
     // --- 3. Prediction lookup keyed by the new epoch's trigger. ---
     ++predictions_;
     MemAccessResult rd{info.when, info.when, false};
     if (!cfg_.onChipTable) {
-        rd = faultyTableRead(info.when);
+        rd = faultyTableRead(info.when, info.lineAddr);
         if (rd.dropped) {
             ++droppedTableReads_;
             return;
@@ -194,8 +233,11 @@ EpochBasedPrefetcher::observePrefetchHit(Addr line_addr,
 {
     if (table_.refreshLru(corr_index, line_addr)) {
         // LRU write-back of the entry (Section 3.4.4's second write).
-        if (!cfg_.onChipTable)
+        if (!cfg_.onChipTable) {
             engine_->tableWrite(when);
+            EBCP_TRACE_EVENT(trace_, TraceEventKind::TableWrite, when, 0,
+                             line_addr);
+        }
     }
 }
 

@@ -106,6 +106,12 @@ class EpochBasedPrefetcher : public Prefetcher
     void observePrefetchHit(Addr line_addr, std::uint64_t corr_index,
                             Tick when) override;
 
+    /**
+     * One sink for the control's EMAB/table events plus one
+     * EpochSpan row per core-state tracker.
+     */
+    void attachTraceLog(TraceLog &log) override;
+
     /** The simulated OS reclaims the table region (failure injection). */
     void reclaimTable(Tick now);
 
@@ -134,8 +140,12 @@ class EpochBasedPrefetcher : public Prefetcher
     void onEpochStart(const L2AccessInfo &info, EpochId epoch,
                       CoreState &cs);
 
+    /** Trace the EMAB eviction+insertion a beginEpoch will cause. */
+    void traceEmabTurnover(const CoreState &cs, EpochId epoch,
+                           const L2AccessInfo &info);
+
     /** engine_->tableRead() with the plan's table faults applied. */
-    MemAccessResult faultyTableRead(Tick when);
+    MemAccessResult faultyTableRead(Tick when, Addr key);
 
     /** Gather the training payload into payloadScratch_ (older epoch
      * first, deduplicated, truncated to the table's slot count). */

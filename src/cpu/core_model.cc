@@ -1,6 +1,7 @@
 #include "cpu/core_model.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/bitfield.hh"
 
@@ -179,6 +180,10 @@ CoreModel::run(TraceSource &src, std::uint64_t count)
     TraceRecord batch[kRunBatch];
     Tick prev_retire = lastRetire_;
     std::uint64_t remaining = count;
+    // One clock read per run() call (and one more on a trip), never
+    // per instruction: the wall-clock context in watchdog dumps must
+    // not slow the retirement loop.
+    const auto wall_start = std::chrono::steady_clock::now();
     while (remaining > 0) {
         const std::size_t want = static_cast<std::size_t>(
             std::min<std::uint64_t>(kRunBatch, remaining));
@@ -189,6 +194,10 @@ CoreModel::run(TraceSource &src, std::uint64_t count)
                 t.retire > prev_retire + watchdogLimit_) {
                 watchdogTripped_ = true;
                 watchdogGap_ = t.retire - prev_retire;
+                watchdogWallSeconds_ =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
                 return;
             }
             prev_retire = t.retire;

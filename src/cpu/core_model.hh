@@ -106,6 +106,9 @@ class CoreModel
     /** The retire gap that tripped the watchdog. */
     Tick watchdogGap() const { return watchdogGap_; }
 
+    /** Wall-clock seconds inside the run() call that tripped. */
+    double watchdogWallSeconds() const { return watchdogWallSeconds_; }
+
     /** ROB entries retiring after tick @p t (watchdog diagnostics:
      * pass the last healthy retire tick to see what was in flight
      * across the stall). */
@@ -169,6 +172,7 @@ class CoreModel
     Tick watchdogLimit_ = 0; //!< max retire-to-retire gap; 0 = off
     Tick watchdogGap_ = 0;
     bool watchdogTripped_ = false;
+    double watchdogWallSeconds_ = 0.0;
 
     StatGroup stats_;
     Scalar loads_{"loads", "load instructions"};

@@ -24,6 +24,9 @@ EpochTracker::observe(Tick issue, Tick complete)
         if (missesInEpoch_ > 0) {
             missesPerEpoch_.sample(missesInEpoch_);
             epochLength_.sample(static_cast<double>(curEnd_ - curStart_));
+            EBCP_TRACE_EVENT(trace_, TraceEventKind::EpochSpan, curStart_,
+                             curEnd_ - curStart_, curEpoch_,
+                             missesInEpoch_);
         }
         ++epochCount_;
         ++curEpoch_;

@@ -17,6 +17,7 @@
 #define EBCP_EPOCH_EPOCH_TRACKER_HH
 
 #include "stats/group.hh"
+#include "util/event_trace.hh"
 #include "util/types.hh"
 
 namespace ebcp
@@ -61,9 +62,16 @@ class EpochTracker
     /** Reset statistics (epoch ids keep counting). */
     void beginMeasurement();
 
+    /**
+     * Emit one EpochSpan event per completed epoch into @p sink
+     * (nullptr disables). Observation only: never affects timing.
+     */
+    void setTraceSink(TraceSink *sink) { trace_ = sink; }
+
     StatGroup &stats() { return stats_; }
 
   private:
+    TraceSink *trace_ = nullptr;
     Tick curEnd_ = 0;        //!< transitive end of current overlap group
     Tick curStart_ = 0;
     EpochId curEpoch_ = 0;

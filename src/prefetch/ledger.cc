@@ -1,0 +1,39 @@
+#include "prefetch/ledger.hh"
+
+namespace ebcp
+{
+
+PrefetchLedger::PrefetchLedger() : stats_("prefetch_ledger")
+{
+    stats_.add(issued_);
+    stats_.add(timelyHits_);
+    stats_.add(lateHits_);
+    stats_.add(evictedUnused_);
+    stats_.add(leadTicks_);
+    stats_.add(residualTicks_);
+}
+
+double
+PrefetchLedger::accuracy() const
+{
+    const std::uint64_t n = issued();
+    return n ? static_cast<double>(used()) / static_cast<double>(n) : 0.0;
+}
+
+double
+PrefetchLedger::timeliness() const
+{
+    const std::uint64_t n = used();
+    return n ? static_cast<double>(timelyHits()) / static_cast<double>(n)
+             : 0.0;
+}
+
+double
+PrefetchLedger::coverage(std::uint64_t demand_misses) const
+{
+    const std::uint64_t base = used() + demand_misses;
+    return base ? static_cast<double>(used()) / static_cast<double>(base)
+                : 0.0;
+}
+
+} // namespace ebcp

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Per-prefetch lifecycle accounting.
+ *
+ * Aggregate "useful / issued" ratios hide the failure mode the paper
+ * cares about most: a prefetch that arrives, but arrives late, or is
+ * pushed out of the buffer before its demand access shows up. The
+ * ledger classifies every issued prefetch into exactly one terminal
+ * state:
+ *
+ *  - timely hit:    demand access found the data already on chip;
+ *  - late hit:      demand access found the line still in flight and
+ *                   had to wait out the residual latency;
+ *  - evicted unused: replaced in the prefetch buffer before any use
+ *                   (issued too early, or plain wrong);
+ *  - resident unused: still sitting in the buffer at collection time
+ *                   (counted by the caller from the buffer, not here).
+ *
+ * From these it derives the three standard prefetching metrics:
+ * accuracy (used / issued), timeliness (timely / used), and -- with
+ * the demand-miss count supplied by the caller -- coverage. The
+ * ledger works for every prefetcher behind PrefetcherFactory because
+ * it hangs off the L2 subsystem's issue/hit/evict paths, not off any
+ * particular prediction algorithm.
+ */
+
+#ifndef EBCP_PREFETCH_LEDGER_HH
+#define EBCP_PREFETCH_LEDGER_HH
+
+#include "stats/group.hh"
+#include "util/types.hh"
+
+namespace ebcp
+{
+
+/** Classifies every issued prefetch into a terminal lifecycle state. */
+class PrefetchLedger
+{
+  public:
+    PrefetchLedger();
+
+    /** A prefetch read was accepted by the memory system. */
+    void onIssue() { ++issued_; }
+
+    /**
+     * A demand access consumed a prefetched line whose data was
+     * already on chip. @p lead_ticks is the slack between the fill
+     * and the use (larger = more headroom).
+     */
+    void
+    onHitTimely(Tick lead_ticks)
+    {
+        ++timelyHits_;
+        leadTicks_.sample(static_cast<double>(lead_ticks));
+    }
+
+    /**
+     * A demand access consumed a prefetched line still in flight and
+     * waited @p residual_ticks for it.
+     */
+    void
+    onHitLate(Tick residual_ticks)
+    {
+        ++lateHits_;
+        residualTicks_.sample(static_cast<double>(residual_ticks));
+    }
+
+    /** A valid, never-used buffer entry was replaced. */
+    void onEvictUnused() { ++evictedUnused_; }
+
+    std::uint64_t issued() const { return issued_.value(); }
+    std::uint64_t timelyHits() const { return timelyHits_.value(); }
+    std::uint64_t lateHits() const { return lateHits_.value(); }
+    std::uint64_t evictedUnused() const { return evictedUnused_.value(); }
+
+    /** Prefetches that served a demand access (timely or late). */
+    std::uint64_t used() const
+    {
+        return timelyHits_.value() + lateHits_.value();
+    }
+
+    /** used / issued; 0 when nothing was issued. */
+    double accuracy() const;
+
+    /** timely / used; 0 when nothing was used. */
+    double timeliness() const;
+
+    /**
+     * used / (used + @p demand_misses): the fraction of would-be
+     * misses the prefetcher averted.
+     */
+    double coverage(std::uint64_t demand_misses) const;
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    StatGroup stats_;
+    Scalar issued_{"issued", "prefetches tracked by the ledger"};
+    Scalar timelyHits_{"timely_hits",
+                       "demand hits with prefetch data already on chip"};
+    Scalar lateHits_{"late_hits",
+                     "demand hits on still-in-flight prefetches"};
+    Scalar evictedUnused_{"evicted_unused",
+                          "prefetches replaced before any use"};
+    Average leadTicks_{"lead_ticks",
+                       "fill-to-use slack of timely hits"};
+    Average residualTicks_{"residual_ticks",
+                           "demand wait of late hits"};
+};
+
+} // namespace ebcp
+
+#endif // EBCP_PREFETCH_LEDGER_HH

@@ -19,6 +19,7 @@
 
 #include "mem/request.hh"
 #include "stats/group.hh"
+#include "util/event_trace.hh"
 #include "util/types.hh"
 
 namespace ebcp
@@ -99,11 +100,19 @@ class Prefetcher
     /** Wire the engine before simulation starts. */
     void setEngine(PrefetchEngine *engine) { engine_ = engine; }
 
+    /**
+     * Attach lifecycle tracing. The default is a no-op; prefetchers
+     * with internal machinery worth a timeline row (the EBCP's EMAB
+     * and table traffic) override this and create sinks in @p log.
+     */
+    virtual void attachTraceLog(TraceLog &log) { (void)log; }
+
     const std::string &name() const { return name_; }
     StatGroup &stats() { return stats_; }
 
   protected:
     PrefetchEngine *engine_ = nullptr;
+    TraceSink *trace_ = nullptr; //!< set by attachTraceLog overrides
 
   private:
     std::string name_;

@@ -131,25 +131,7 @@ executeCmp(const RunDesc &d)
         return out;
     }
 
-    // Fold the CMP aggregate into the SimResults shape the sweep and
-    // table code consume; per-core breakdowns stay a CmpSystem
-    // concern.
-    const CmpResults cmp = r.take();
-    SimResults &res = out.results;
-    res.cpi = cmp.aggregateCpi;
-    res.coverage = cmp.coverage;
-    res.accuracy = cmp.accuracy;
-    res.epochs = cmp.epochs;
-    for (const SimResults &core : cmp.perCore) {
-        res.insts += core.insts;
-        res.cycles = std::max(res.cycles, core.cycles);
-        res.usefulPrefetches += core.usefulPrefetches;
-        res.issuedPrefetches += core.issuedPrefetches;
-        res.droppedPrefetches += core.droppedPrefetches;
-    }
-    if (res.insts)
-        res.epochsPer1k =
-            cmp.epochs * 1000.0 / static_cast<double>(res.insts);
+    out.results = foldCmpResults(r.take());
     return out;
 }
 

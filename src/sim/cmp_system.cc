@@ -1,5 +1,8 @@
 #include "sim/cmp_system.hh"
 
+#include <algorithm>
+#include <sstream>
+
 #include "sim/watchdog.hh"
 #include "trace/workloads.hh"
 #include "util/logging.hh"
@@ -50,10 +53,19 @@ CmpSystem::runPhase(std::vector<TraceSource *> &sources,
             if (chunk == 0)
                 continue;
             coreModels_[i]->run(*sources[i], chunk);
-            if (coreModels_[i]->watchdogTripped())
+            if (coreModels_[i]->watchdogTripped()) {
+                WatchdogContext ctx;
+                ctx.tracePolicy = tracePolicyName_;
+                std::ostringstream json;
+                JsonWriter w(json);
+                progressDiagnosticJson(w, logFormat("core", i),
+                                       *coreModels_[i], *l2side_, mem_,
+                                       *prefetcher_, ctx);
+                lastDiagnosticJson_ = json.str();
                 return stalledError(progressDiagnostic(
                     logFormat("core", i), *coreModels_[i], *l2side_,
-                    mem_, *prefetcher_));
+                    mem_, *prefetcher_, ctx));
+            }
             done[i] += chunk;
             remaining -= chunk;
         }
@@ -107,6 +119,12 @@ CmpSystem::tryRun(std::vector<TraceSource *> &sources,
                                  l2side_->issuedPrefetches())
                        : 0.0;
     res.epochs = l2side_->epochTracker().epochs();
+
+    const PrefetchLedger &ledger = l2side_->ledger();
+    res.timelyPrefetches = ledger.timelyHits();
+    res.latePrefetches = ledger.lateHits();
+    res.earlyEvictedPrefetches = ledger.evictedUnused();
+    res.timeliness = ledger.timeliness();
     return res;
 }
 
@@ -132,6 +150,31 @@ runCmp(const SimConfig &cfg, const PrefetcherParams &pf,
         sources.push_back(owned.back().get());
     }
     return sys.run(sources, warm, measure);
+}
+
+SimResults
+foldCmpResults(const CmpResults &cmp)
+{
+    SimResults res;
+    res.cpi = cmp.aggregateCpi;
+    res.coverage = cmp.coverage;
+    res.accuracy = cmp.accuracy;
+    res.timeliness = cmp.timeliness;
+    res.epochs = cmp.epochs;
+    res.timelyPrefetches = cmp.timelyPrefetches;
+    res.latePrefetches = cmp.latePrefetches;
+    res.earlyEvictedPrefetches = cmp.earlyEvictedPrefetches;
+    for (const SimResults &core : cmp.perCore) {
+        res.insts += core.insts;
+        res.cycles = std::max(res.cycles, core.cycles);
+        res.usefulPrefetches += core.usefulPrefetches;
+        res.issuedPrefetches += core.issuedPrefetches;
+        res.droppedPrefetches += core.droppedPrefetches;
+    }
+    if (res.insts)
+        res.epochsPer1k =
+            cmp.epochs * 1000.0 / static_cast<double>(res.insts);
+    return res;
 }
 
 } // namespace ebcp

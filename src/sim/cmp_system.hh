@@ -43,7 +43,13 @@ struct CmpResults
     double aggregateCpi = 0.0; //!< insts-weighted mean CPI
     double coverage = 0.0;
     double accuracy = 0.0;
+    double timeliness = 0.0; //!< timely fraction of used prefetches
     std::uint64_t epochs = 0;
+
+    // Shared-buffer prefetch lifecycle totals (PrefetchLedger).
+    std::uint64_t timelyPrefetches = 0;
+    std::uint64_t latePrefetches = 0;
+    std::uint64_t earlyEvictedPrefetches = 0;
 };
 
 /** A CMP with a shared L2 and prefetcher. */
@@ -78,6 +84,21 @@ class CmpSystem
     CmpResults run(std::vector<TraceSource *> &sources,
                    std::uint64_t warm, std::uint64_t measure);
 
+    /** Attach lifecycle tracing (observation only, shared L2 side). */
+    void attachTraceLog(TraceLog &log) { l2side_->attachTraceLog(log); }
+
+    /** Trace-read policy name carried into watchdog diagnostics. */
+    void setTracePolicyName(std::string name)
+    {
+        tracePolicyName_ = std::move(name);
+    }
+
+    /** JSON form of the last watchdog diagnostic ("" if none). */
+    const std::string &lastDiagnosticJson() const
+    {
+        return lastDiagnosticJson_;
+    }
+
     unsigned cores() const { return cores_; }
     CoreModel &core(unsigned i) { return *coreModels_[i]; }
     L2Subsystem &l2side() { return *l2side_; }
@@ -90,6 +111,8 @@ class CmpSystem
     SimConfig cfg_;
     unsigned cores_;
     std::uint64_t quantum_;
+    std::string tracePolicyName_;
+    std::string lastDiagnosticJson_;
     Pcg32 rng_{0xc3b0};
     MainMemory mem_;
     std::unique_ptr<Prefetcher> prefetcher_;
@@ -105,6 +128,13 @@ class CmpSystem
 CmpResults runCmp(const SimConfig &cfg, const PrefetcherParams &pf,
                   const std::string &workload, unsigned cores,
                   std::uint64_t warm, std::uint64_t measure);
+
+/**
+ * Fold a CMP aggregate into the single-run SimResults shape the sweep
+ * tables and the stats.json schema consume; per-core breakdowns stay
+ * a CmpResults concern.
+ */
+SimResults foldCmpResults(const CmpResults &cmp);
 
 } // namespace ebcp
 

@@ -28,7 +28,18 @@ L2Subsystem::L2Subsystem(const SimConfig &cfg, MainMemory &mem,
     stats_.addChild(prefBuf_.stats());
     stats_.addChild(l2Mshrs_.stats());
     stats_.addChild(epochs_.stats());
+    stats_.addChild(ledger_.stats());
     stats_.addChild(prefetcher_.stats());
+}
+
+void
+L2Subsystem::attachTraceLog(TraceLog &log)
+{
+    // tids: 0..31 are per-core rows (the prefetcher's epoch
+    // trackers); the shared L2-side machinery sits above them.
+    trace_ = log.sink("l2side", 33);
+    epochs_.setTraceSink(log.sink("demand_epochs", 34));
+    prefetcher_.attachTraceLog(log);
 }
 
 MemOutcome
@@ -104,6 +115,14 @@ L2Subsystem::access(Addr addr, Addr pc, Tick when, bool is_inst,
                 static_cast<double>(data_ready - when - l2_lat));
             epochs_.observe(when, data_ready);
             out.offChip = true;
+            ledger_.onHitLate(data_ready - when - l2_lat);
+            EBCP_TRACE_EVENT(trace_, TraceEventKind::PrefetchHitLate,
+                             when, 0, line, data_ready - when - l2_lat);
+        } else {
+            // Timely: the fill beat the demand access by this slack.
+            ledger_.onHitTimely(when + l2_lat - pb.readyTime);
+            EBCP_TRACE_EVENT(trace_, TraceEventKind::PrefetchHitTimely,
+                             when, 0, line);
         }
         ++usefulPrefetches_;
         info.prefBufHit = true;
@@ -125,6 +144,8 @@ L2Subsystem::access(Addr addr, Addr pc, Tick when, bool is_inst,
     out.complete = r.complete;
     l2Mshrs_.allocate(line, r.complete);
     epochs_.observe(alloc, r.complete);
+    EBCP_TRACE_EVENT(trace_, TraceEventKind::DemandMiss, alloc,
+                     r.complete - alloc, line);
     if (is_inst)
         ++offChipInst_;
     else
@@ -151,6 +172,16 @@ L2Subsystem::storeAccess(Addr addr, Tick when)
     PrefBufHit pb = prefBuf_.lookup(line, when);
     if (pb.hit) {
         ++usefulPrefetches_;
+        const Tick on_chip = when + l2_.hitLatency();
+        if (pb.readyTime > on_chip) {
+            ledger_.onHitLate(pb.readyTime - on_chip);
+            EBCP_TRACE_EVENT(trace_, TraceEventKind::PrefetchHitLate,
+                             when, 0, line, pb.readyTime - on_chip);
+        } else {
+            ledger_.onHitTimely(on_chip - pb.readyTime);
+            EBCP_TRACE_EVENT(trace_, TraceEventKind::PrefetchHitTimely,
+                             when, 0, line);
+        }
         l2_.fill(line, true);
         return std::max(when + l2_.hitLatency(), pb.readyTime);
     }
@@ -178,7 +209,18 @@ L2Subsystem::issuePrefetch(Addr line_addr, Tick when,
         return;
     }
     ++issuedPrefetches_;
-    prefBuf_.insert(line, r.complete, corr_index, has_corr);
+    ledger_.onIssue();
+    EBCP_TRACE_EVENT(trace_, TraceEventKind::PrefetchIssue, when, 0, line,
+                     corr_index);
+    EBCP_TRACE_EVENT(trace_, TraceEventKind::PrefetchFill, r.complete, 0,
+                     line);
+    const Addr evicted = prefBuf_.insert(line, r.complete, corr_index,
+                                         has_corr);
+    if (evicted != InvalidAddr) {
+        ledger_.onEvictUnused();
+        EBCP_TRACE_EVENT(trace_, TraceEventKind::PrefetchEvict, when, 0,
+                         evicted);
+    }
 }
 
 MemAccessResult

@@ -20,8 +20,10 @@
 #include "cpu/mem_iface.hh"
 #include "epoch/epoch_tracker.hh"
 #include "mem/main_memory.hh"
+#include "prefetch/ledger.hh"
 #include "prefetch/prefetcher.hh"
 #include "sim/sim_config.hh"
+#include "util/event_trace.hh"
 
 namespace ebcp
 {
@@ -57,10 +59,20 @@ class L2Subsystem : public PrefetchEngine
     /** Bytes per correlation-table transfer (set from table config). */
     void setTableTransferBytes(unsigned bytes) { tableBytes_ = bytes; }
 
+    /**
+     * Attach lifecycle tracing: one sink for the prefetch/demand
+     * events recorded here, one EpochSpan row for the demand epoch
+     * tracker, plus whatever rows the prefetcher adds. Observation
+     * only; timing is unchanged.
+     */
+    void attachTraceLog(TraceLog &log);
+
     EpochTracker &epochTracker() { return epochs_; }
     Cache &l2() { return l2_; }
     PrefetchBuffer &prefetchBuffer() { return prefBuf_; }
     MshrFile &mshrs() { return l2Mshrs_; }
+    PrefetchLedger &ledger() { return ledger_; }
+    const PrefetchLedger &ledger() const { return ledger_; }
 
     std::uint64_t usefulPrefetches() const
     {
@@ -91,6 +103,8 @@ class L2Subsystem : public PrefetchEngine
     PrefetchBuffer prefBuf_;
     MshrFile l2Mshrs_;
     EpochTracker epochs_;
+    PrefetchLedger ledger_;
+    TraceSink *trace_ = nullptr;
     unsigned tableBytes_ = 64;
     std::uint64_t demandCount_ = 0; //!< demand accesses (fault trigger)
 

@@ -28,11 +28,21 @@ struct SimResults
     std::uint64_t issuedPrefetches = 0;
     std::uint64_t droppedPrefetches = 0;
 
+    // Lifecycle split of the useful prefetches (PrefetchLedger):
+    // every issued prefetch ends as exactly one of timely hit, late
+    // hit, evicted-unused, or still-resident-unused.
+    std::uint64_t timelyPrefetches = 0; //!< used with data on chip
+    std::uint64_t latePrefetches = 0;   //!< used while still in flight
+    std::uint64_t earlyEvictedPrefetches = 0; //!< replaced before use
+
     /** Fraction of baseline misses averted by the prefetch buffer. */
     double coverage = 0.0;
 
     /** Fraction of issued prefetches that were used. */
     double accuracy = 0.0;
+
+    /** Fraction of used prefetches whose data arrived in time. */
+    double timeliness = 0.0;
 
     double readBusUtil = 0.0;  //!< busy fraction of the read bus
     double writeBusUtil = 0.0; //!< busy fraction of the write bus

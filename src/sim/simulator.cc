@@ -1,6 +1,7 @@
 #include "sim/simulator.hh"
 
 #include <ostream>
+#include <sstream>
 
 #include "sim/watchdog.hh"
 #include "util/logging.hh"
@@ -22,6 +23,20 @@ Simulator::Simulator(const SimConfig &cfg, const PrefetcherParams &pf)
             e->table().config().entryTransferBytes());
 }
 
+Status
+Simulator::stallStatus()
+{
+    WatchdogContext ctx;
+    ctx.tracePolicy = tracePolicyName_;
+    std::ostringstream json;
+    JsonWriter w(json);
+    progressDiagnosticJson(w, "", *core_, *l2side_, mem_, *prefetcher_,
+                           ctx);
+    lastDiagnosticJson_ = json.str();
+    return stalledError(progressDiagnostic("", *core_, *l2side_, mem_,
+                                           *prefetcher_, ctx));
+}
+
 StatusOr<SimResults>
 Simulator::tryRun(TraceSource &src, std::uint64_t warm_insts,
                   std::uint64_t measure_insts)
@@ -30,8 +45,7 @@ Simulator::tryRun(TraceSource &src, std::uint64_t warm_insts,
 
     core_->run(src, warm_insts);
     if (core_->watchdogTripped())
-        return stalledError(progressDiagnostic("", *core_, *l2side_,
-                                               mem_, *prefetcher_));
+        return stallStatus();
 
     core_->beginMeasurement();
     hier_->beginMeasurement();
@@ -40,10 +54,29 @@ Simulator::tryRun(TraceSource &src, std::uint64_t warm_insts,
     readBusyMark_ = mem_.readChannel().busyTicks();
     writeBusyMark_ = mem_.writeChannel().busyTicks();
 
-    core_->run(src, measure_insts);
-    if (core_->watchdogTripped())
-        return stalledError(progressDiagnostic("", *core_, *l2side_,
-                                               mem_, *prefetcher_));
+    if (!sampler_) {
+        core_->run(src, measure_insts);
+        if (core_->watchdogTripped())
+            return stallStatus();
+    } else {
+        // Drive the window in interval-sized chunks so the sampler
+        // sees exact boundaries. Bit-exact vs one run() call: the
+        // core's loop state lives entirely in its members.
+        const std::uint64_t interval = sampler_->interval();
+        std::uint64_t done = 0;
+        while (done < measure_insts) {
+            const std::uint64_t chunk = std::min(
+                interval - done % interval, measure_insts - done);
+            core_->run(src, chunk);
+            if (core_->watchdogTripped())
+                return stallStatus();
+            const std::uint64_t got = core_->measuredInsts();
+            if (got == done)
+                break; // trace exhausted
+            done = got;
+            sampler_->sample(done);
+        }
+    }
     return collect();
 }
 
@@ -74,6 +107,13 @@ Simulator::collect()
     r.usefulPrefetches = l2side_->usefulPrefetches();
     r.issuedPrefetches = l2side_->issuedPrefetches();
     r.droppedPrefetches = l2side_->droppedPrefetches();
+
+    const PrefetchLedger &ledger = l2side_->ledger();
+    r.timelyPrefetches = ledger.timelyHits();
+    r.latePrefetches = ledger.lateHits();
+    r.earlyEvictedPrefetches = ledger.evictedUnused();
+    r.timeliness = ledger.timeliness();
+
     const std::uint64_t misses =
         l2side_->offChipInst() + l2side_->offChipLoad();
     const std::uint64_t baseline_misses = misses + r.usefulPrefetches;
@@ -106,6 +146,18 @@ Simulator::dumpStats(std::ostream &os)
     hier_->stats().dump(os);
     l2side_->stats().dump(os);
     mem_.stats().dump(os);
+}
+
+void
+Simulator::dumpStatsJson(JsonWriter &w)
+{
+    w.beginObject();
+    for (StatGroup *g : {&core_->stats(), &hier_->stats(),
+                         &l2side_->stats(), &mem_.stats()}) {
+        w.key(g->name());
+        g->dumpJson(w);
+    }
+    w.endObject();
 }
 
 SimResults

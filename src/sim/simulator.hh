@@ -8,6 +8,7 @@
 #define EBCP_SIM_SIMULATOR_HH
 
 #include <memory>
+#include <string>
 
 #include "cpu/core_model.hh"
 #include "mem/main_memory.hh"
@@ -16,6 +17,8 @@
 #include "sim/prefetcher_factory.hh"
 #include "sim/results.hh"
 #include "sim/sim_config.hh"
+#include "stats/interval.hh"
+#include "util/event_trace.hh"
 #include "util/status.hh"
 
 namespace ebcp
@@ -46,6 +49,40 @@ class Simulator
     /** Collect results for the instructions since beginMeasurement(). */
     SimResults collect();
 
+    /**
+     * Attach lifecycle event tracing (must outlive the simulator).
+     * Observation only: SimResults are bit-identical with or without
+     * a log attached.
+     */
+    void attachTraceLog(TraceLog &log) { l2side_->attachTraceLog(log); }
+
+    /**
+     * Attach an interval sampler (nullptr detaches). With a sampler,
+     * the measurement window runs in interval-sized chunks and the
+     * sampler snapshots at each exact boundary plus the final
+     * (possibly partial) one. Chunked driving is bit-exact vs one
+     * run() call: the core re-derives its loop state from members.
+     */
+    void setSampler(IntervalSampler *sampler) { sampler_ = sampler; }
+
+    /** Trace-read policy name carried into watchdog diagnostics. */
+    void setTracePolicyName(std::string name)
+    {
+        tracePolicyName_ = std::move(name);
+    }
+
+    /**
+     * JSON form of the last watchdog diagnostic ("" if no stall
+     * happened). Drivers embed this in stats.json.
+     */
+    const std::string &lastDiagnosticJson() const
+    {
+        return lastDiagnosticJson_;
+    }
+
+    /** Dump every statistic group as one JSON object value. */
+    void dumpStatsJson(JsonWriter &w);
+
     CoreModel &core() { return *core_; }
     Hierarchy &hierarchy() { return *hier_; }
     L2Subsystem &l2side() { return *l2side_; }
@@ -56,12 +93,19 @@ class Simulator
     void dumpStats(std::ostream &os);
 
   private:
+    /** Build the Stalled status + JSON diagnostic for a trip. */
+    Status stallStatus();
+
     SimConfig cfg_;
     MainMemory mem_;
     std::unique_ptr<Prefetcher> prefetcher_;
     std::unique_ptr<L2Subsystem> l2side_;
     std::unique_ptr<Hierarchy> hier_;
     std::unique_ptr<CoreModel> core_;
+
+    IntervalSampler *sampler_ = nullptr;
+    std::string tracePolicyName_;
+    std::string lastDiagnosticJson_;
 
     Tick readBusyMark_ = 0;
     Tick writeBusyMark_ = 0;

@@ -7,24 +7,56 @@
 namespace ebcp
 {
 
+namespace
+{
+
+/** The facts both renderings share, gathered once. */
+struct Snapshot
+{
+    Tick trippedAt;
+    Tick gap;
+    Tick healthy;
+    std::uint64_t insts;
+    double wallSeconds;
+    unsigned robInFlight;
+};
+
+Snapshot
+gather(CoreModel &core)
+{
+    Snapshot s{};
+    s.trippedAt = core.now();
+    s.gap = core.watchdogGap();
+    s.healthy = s.trippedAt > s.gap ? s.trippedAt - s.gap : 0;
+    s.insts = core.instCount();
+    s.wallSeconds = core.watchdogWallSeconds();
+    s.robInFlight = core.robOccupancyAfter(s.healthy);
+    return s;
+}
+
+} // namespace
+
 std::string
 progressDiagnostic(const std::string &label, CoreModel &core,
                    L2Subsystem &l2side, MainMemory &mem,
-                   Prefetcher &prefetcher)
+                   Prefetcher &prefetcher, const WatchdogContext &ctx)
 {
     std::ostringstream os;
-    const Tick tripped_at = core.now();
-    const Tick gap = core.watchdogGap();
-    const Tick healthy = tripped_at > gap ? tripped_at - gap : 0;
+    const Snapshot s = gather(core);
 
     os << "forward-progress watchdog tripped";
     if (!label.empty())
         os << " on " << label;
-    os << ": " << gap << " ticks between retirements (last healthy "
-       << "retire @" << healthy << ", stalled retire @" << tripped_at
-       << ", " << core.instCount() << " insts processed)\n";
+    os << ": " << s.gap << " ticks between retirements (last healthy "
+       << "retire @" << s.healthy << ", stalled retire @" << s.trippedAt
+       << ", " << s.insts << " insts processed)\n";
 
-    os << "rob: " << core.robOccupancyAfter(healthy)
+    os << "wall clock: " << s.wallSeconds
+       << " s inside the stalled run\n";
+    if (!ctx.tracePolicy.empty())
+        os << "trace policy: " << ctx.tracePolicy << "\n";
+
+    os << "rob: " << s.robInFlight
        << " entries were in flight across the stall\n";
 
     l2side.mshrs().dump(os);
@@ -44,6 +76,55 @@ progressDiagnostic(const std::string &label, CoreModel &core,
         }
     }
     return os.str();
+}
+
+void
+progressDiagnosticJson(JsonWriter &w, const std::string &label,
+                       CoreModel &core, L2Subsystem &l2side,
+                       MainMemory &mem, Prefetcher &prefetcher,
+                       const WatchdogContext &ctx)
+{
+    const Snapshot s = gather(core);
+
+    w.beginObject();
+    w.kv("kind", "watchdog_stall");
+    if (!label.empty())
+        w.kv("core", label);
+    w.kv("retire_gap_ticks", s.gap);
+    w.kv("last_healthy_retire", s.healthy);
+    w.kv("stalled_retire", s.trippedAt);
+    w.kv("insts_processed", s.insts);
+    w.kv("wall_seconds", s.wallSeconds);
+    if (!ctx.tracePolicy.empty())
+        w.kv("trace_policy", ctx.tracePolicy);
+    w.kv("rob_in_flight", static_cast<std::uint64_t>(s.robInFlight));
+
+    w.key("mshrs").beginObject();
+    w.kv("occupancy",
+         static_cast<std::uint64_t>(l2side.mshrs().occupancy()));
+    w.kv("capacity", l2side.mshrs().capacity());
+    w.endObject();
+
+    w.key("channels").beginObject();
+    w.kv("read_busy_ticks", mem.readChannel().busyTicks());
+    w.kv("write_busy_ticks", mem.writeChannel().busyTicks());
+    w.endObject();
+
+    if (auto *e = dynamic_cast<EpochBasedPrefetcher *>(&prefetcher)) {
+        const Emab &emab = e->emab();
+        w.key("emab").beginArray();
+        for (std::size_t i = 0; i < emab.size(); ++i) {
+            const EmabEntry &ent = emab.entry(i);
+            w.beginObject();
+            w.kv("epoch", ent.epoch);
+            w.kv("key", ent.keyAddr);
+            w.kv("misses",
+                 static_cast<std::uint64_t>(ent.missAddrs.size()));
+            w.endObject();
+        }
+        w.endArray();
+    }
+    w.endObject();
 }
 
 } // namespace ebcp

@@ -6,9 +6,13 @@
  * question is *what was in flight across the stall*: which window
  * entries had not retired, which MSHRs held unreturned misses, how
  * busy the memory channels were, and what the prefetcher's epoch
- * state looked like. progressDiagnostic() gathers all of that into a
- * human-readable dump so the Stalled status carries enough context to
- * localize the liveness bug without re-running under a debugger.
+ * state looked like. progressDiagnostic() gathers all of that -- plus
+ * run context the caller supplies (wall-clock time spent inside the
+ * stalled run, the active trace-read policy) -- into a human-readable
+ * dump, and progressDiagnosticJson() emits the same facts as one JSON
+ * object so drivers can embed the diagnostic in stats.json instead of
+ * scraping text. The text form remains the ostream fallback carried
+ * by the Stalled status message.
  */
 
 #ifndef EBCP_SIM_WATCHDOG_HH
@@ -20,9 +24,17 @@
 #include "mem/main_memory.hh"
 #include "prefetch/prefetcher.hh"
 #include "sim/l2_subsystem.hh"
+#include "util/json.hh"
 
 namespace ebcp
 {
+
+/** Run context the simulator layers cannot see on their own. */
+struct WatchdogContext
+{
+    /** Active trace-read policy name ("" if the driver has none). */
+    std::string tracePolicy;
+};
 
 /**
  * Build the diagnostic dump for a tripped watchdog on @p core.
@@ -31,7 +43,14 @@ namespace ebcp
  */
 std::string progressDiagnostic(const std::string &label, CoreModel &core,
                                L2Subsystem &l2side, MainMemory &mem,
-                               Prefetcher &prefetcher);
+                               Prefetcher &prefetcher,
+                               const WatchdogContext &ctx = {});
+
+/** The same diagnostic as one JSON object value on @p w. */
+void progressDiagnosticJson(JsonWriter &w, const std::string &label,
+                            CoreModel &core, L2Subsystem &l2side,
+                            MainMemory &mem, Prefetcher &prefetcher,
+                            const WatchdogContext &ctx = {});
 
 } // namespace ebcp
 

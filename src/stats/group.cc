@@ -2,6 +2,8 @@
 
 #include <iomanip>
 
+#include "util/json.hh"
+
 namespace ebcp
 {
 
@@ -19,6 +21,8 @@ StatGroup::find(std::string_view path) const
 {
     const auto dot = path.find('.');
     if (dot == std::string_view::npos) {
+        if (path.empty())
+            return nullptr;
         for (const auto *s : stats_)
             if (s->name() == path)
                 return s;
@@ -26,6 +30,11 @@ StatGroup::find(std::string_view path) const
     }
     const std::string_view head = path.substr(0, dot);
     const std::string_view rest = path.substr(dot + 1);
+    // An empty segment ("a..b", ".b", "a.") can never name anything:
+    // groups and stats always have non-empty names, so reject it here
+    // rather than walking children looking for a group named "".
+    if (head.empty() || rest.empty())
+        return nullptr;
     for (const auto *c : children_)
         if (c->name() == head)
             if (const StatBase *s = c->find(rest))
@@ -44,6 +53,21 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
     }
     for (const auto *c : children_)
         c->dump(os, full);
+}
+
+void
+StatGroup::dumpJson(JsonWriter &w) const
+{
+    w.beginObject();
+    for (const auto *s : stats_) {
+        w.key(s->name());
+        s->writeJson(w);
+    }
+    for (const auto *c : children_) {
+        w.key(c->name());
+        c->dumpJson(w);
+    }
+    w.endObject();
 }
 
 } // namespace ebcp

@@ -16,6 +16,8 @@
 namespace ebcp
 {
 
+class JsonWriter;
+
 /**
  * A named collection of statistics and child groups.
  *
@@ -66,8 +68,16 @@ class StatGroup
     /** Dump "group.stat = value # desc" lines, recursively. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
 
+    /**
+     * Emit this group as one JSON object value: each statistic as a
+     * member (Scalars as integers, Averages/Distributions as small
+     * objects), each child group as a nested object.
+     */
+    void dumpJson(JsonWriter &w) const;
+
     const std::string &name() const { return name_; }
     const std::vector<StatBase *> &stats() const { return stats_; }
+    const std::vector<StatGroup *> &children() const { return children_; }
 
   private:
     std::string name_;

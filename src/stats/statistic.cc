@@ -2,16 +2,29 @@
 
 #include <sstream>
 
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 
 namespace ebcp
 {
 
+void
+StatBase::writeJson(JsonWriter &w) const
+{
+    w.value(render());
+}
+
 std::string
 Scalar::render() const
 {
     return std::to_string(value_);
+}
+
+void
+Scalar::writeJson(JsonWriter &w) const
+{
+    w.value(value_);
 }
 
 std::string
@@ -20,6 +33,15 @@ Average::render() const
     std::ostringstream os;
     os << fmtDouble(mean(), 4) << " (n=" << count_ << ")";
     return os.str();
+}
+
+void
+Average::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.kv("mean", mean());
+    w.kv("count", count_);
+    w.endObject();
 }
 
 Distribution::Distribution(std::string name, std::string desc, double min,
@@ -68,6 +90,21 @@ Distribution::render() const
     if (overflow_)
         os << " over=" << overflow_;
     return os.str();
+}
+
+void
+Distribution::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.kv("mean", mean());
+    w.kv("samples", samples_);
+    w.kv("underflow", underflow_);
+    w.kv("overflow", overflow_);
+    w.key("buckets").beginArray();
+    for (std::uint64_t c : counts_)
+        w.value(c);
+    w.endArray();
+    w.endObject();
 }
 
 void

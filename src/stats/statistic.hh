@@ -18,6 +18,8 @@
 namespace ebcp
 {
 
+class JsonWriter;
+
 /** Base class for a named, documented statistic. */
 class StatBase
 {
@@ -33,6 +35,13 @@ class StatBase
 
     /** Render the value(s) as a printable string. */
     virtual std::string render() const = 0;
+
+    /**
+     * Emit the value(s) as one JSON value (used by
+     * StatGroup::dumpJson). The default renders the printable string;
+     * the concrete classes emit real numbers/objects.
+     */
+    virtual void writeJson(JsonWriter &w) const;
 
     /** Reset to initial state (used between warm-up and measurement). */
     virtual void reset() = 0;
@@ -55,6 +64,7 @@ class Scalar : public StatBase
     void set(std::uint64_t v) { value_ = v; }
 
     std::string render() const override;
+    void writeJson(JsonWriter &w) const override;
     void reset() override { value_ = 0; }
 
   private:
@@ -78,6 +88,7 @@ class Average : public StatBase
     std::uint64_t count() const { return count_; }
 
     std::string render() const override;
+    void writeJson(JsonWriter &w) const override;
 
     void
     reset() override
@@ -112,6 +123,7 @@ class Distribution : public StatBase
     double mean() const { return samples_ ? sum_ / samples_ : 0.0; }
 
     std::string render() const override;
+    void writeJson(JsonWriter &w) const override;
     void reset() override;
 
   private:

@@ -1,0 +1,510 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ebcp
+{
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+// --- JsonWriter ----------------------------------------------------
+
+void
+JsonWriter::preValue()
+{
+    if (stack_.empty())
+        return;
+    if (stack_.back() == Scope::Object) {
+        panic_if(!keyPending_, "JsonWriter: object value without a key");
+        keyPending_ = false;
+        return;
+    }
+    if (!first_.back())
+        os_ << ", ";
+    first_.back() = false;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    panic_if(stack_.empty() || stack_.back() != Scope::Object,
+             "JsonWriter: key() outside an object");
+    panic_if(keyPending_, "JsonWriter: two keys in a row");
+    if (!first_.back())
+        os_ << ", ";
+    first_.back() = false;
+    os_ << '"' << jsonEscape(k) << "\": ";
+    keyPending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    preValue();
+    os_ << '{';
+    stack_.push_back(Scope::Object);
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    panic_if(stack_.empty() || stack_.back() != Scope::Object,
+             "JsonWriter: endObject() without beginObject()");
+    panic_if(keyPending_, "JsonWriter: endObject() after a dangling key");
+    os_ << '}';
+    stack_.pop_back();
+    first_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    preValue();
+    os_ << '[';
+    stack_.push_back(Scope::Array);
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    panic_if(stack_.empty() || stack_.back() != Scope::Array,
+             "JsonWriter: endArray() without beginArray()");
+    os_ << ']';
+    stack_.pop_back();
+    first_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    preValue();
+    os_ << '"' << jsonEscape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    preValue();
+    if (!std::isfinite(v)) {
+        // JSON has no NaN/Inf; null is the conventional stand-in.
+        os_ << "null";
+        return *this;
+    }
+    // max_digits10 round-trips doubles exactly through a conforming
+    // parser, so consumers see the same bits the simulator computed.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    preValue();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    preValue();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    preValue();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::nullValue()
+{
+    preValue();
+    os_ << "null";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::rawValue(std::string_view raw)
+{
+    preValue();
+    os_ << raw;
+    return *this;
+}
+
+// --- Parser --------------------------------------------------------
+
+const JsonValue *
+JsonValue::find(const std::string &k) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    auto it = object.find(k);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+bool
+JsonValue::hasNumber(const std::string &k) const
+{
+    const JsonValue *v = find(k);
+    return v && v->isNumber();
+}
+
+namespace
+{
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : s_(text) {}
+
+    StatusOr<JsonValue>
+    parse()
+    {
+        skipWs();
+        JsonValue v;
+        if (Status st = value(v); !st.ok())
+            return st;
+        skipWs();
+        if (pos_ != s_.size())
+            return err("trailing characters after document");
+        return v;
+    }
+
+  private:
+    Status
+    err(const std::string &what) const
+    {
+        return corruptionError("JSON parse error at byte ", pos_, ": ",
+                               what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+                s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    Status
+    value(JsonValue &out)
+    {
+        if (++depth_ > kMaxDepth)
+            return err("nesting too deep");
+        Status st = valueInner(out);
+        --depth_;
+        return st;
+    }
+
+    Status
+    valueInner(JsonValue &out)
+    {
+        if (pos_ >= s_.size())
+            return err("unexpected end of input");
+        switch (s_[pos_]) {
+          case '{':
+            return object(out);
+          case '[':
+            return array(out);
+          case '"':
+            out.type = JsonValue::Type::String;
+            return string(out.string);
+          case 't':
+            out.type = JsonValue::Type::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.type = JsonValue::Type::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.type = JsonValue::Type::Null;
+            return literal("null");
+          default:
+            return number(out);
+        }
+    }
+
+    Status
+    object(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return Status();
+        }
+        while (true) {
+            skipWs();
+            std::string k;
+            if (Status st = string(k); !st.ok())
+                return st;
+            skipWs();
+            if (peek() != ':')
+                return err("expected ':' after object key");
+            ++pos_;
+            skipWs();
+            JsonValue v;
+            if (Status st = value(v); !st.ok())
+                return st;
+            out.object.emplace(std::move(k), std::move(v));
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return Status();
+            }
+            return err("expected ',' or '}' in object");
+        }
+    }
+
+    Status
+    array(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Array;
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return Status();
+        }
+        while (true) {
+            skipWs();
+            JsonValue v;
+            if (Status st = value(v); !st.ok())
+                return st;
+            out.array.push_back(std::move(v));
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return Status();
+            }
+            return err("expected ',' or ']' in array");
+        }
+    }
+
+    Status
+    string(std::string &out)
+    {
+        if (peek() != '"')
+            return err("expected string");
+        ++pos_;
+        out.clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_];
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return err("unterminated escape");
+                switch (s_[pos_]) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'u': {
+                    if (pos_ + 4 >= s_.size())
+                        return err("truncated \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = s_[pos_ + 1 + i];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return err("bad hex digit in \\u escape");
+                    }
+                    pos_ += 4;
+                    // The artifacts this parser guards emit only
+                    // ASCII escapes; decode BMP code points as UTF-8.
+                    if (cp < 0x80) {
+                        out += static_cast<char>(cp);
+                    } else if (cp < 0x800) {
+                        out += static_cast<char>(0xC0 | (cp >> 6));
+                        out += static_cast<char>(0x80 | (cp & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (cp >> 12));
+                        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (cp & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    return err("unknown escape");
+                }
+                ++pos_;
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return err("raw control character in string");
+            } else {
+                out += c;
+                ++pos_;
+            }
+        }
+        if (pos_ >= s_.size())
+            return err("unterminated string");
+        ++pos_; // closing quote
+        return Status();
+    }
+
+    Status
+    number(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            return err("expected a value");
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos_;
+        if (peek() == '.') {
+            ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return err("digit required after decimal point");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return err("digit required in exponent");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        out.type = JsonValue::Type::Number;
+        out.number = std::strtod(std::string(s_.substr(start, pos_ - start))
+                                     .c_str(),
+                                 nullptr);
+        return Status();
+    }
+
+    Status
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p, ++pos_)
+            if (pos_ >= s_.size() || s_[pos_] != *p)
+                return err(std::string("bad literal (expected '") + word +
+                           "')");
+        return Status();
+    }
+
+    static constexpr int kMaxDepth = 128;
+
+    std::string_view s_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+StatusOr<JsonValue>
+parseJson(std::string_view text)
+{
+    return JsonParser(text).parse();
+}
+
+StatusOr<JsonValue>
+parseJsonFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return ioError("cannot open '", path, "' for reading");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    StatusOr<JsonValue> v = parseJson(buf.str());
+    if (!v.ok())
+        return v.status().withContext(path);
+    return v;
+}
+
+} // namespace ebcp

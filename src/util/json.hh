@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Minimal JSON emission and parsing.
+ *
+ * Every machine-readable artifact this project writes (stats.json,
+ * Chrome trace_event files, bench reports) goes through JsonWriter,
+ * which tracks nesting and comma state so emitters cannot produce
+ * structurally malformed output; and every artifact is re-read
+ * through parseJson() before the producing process exits, so a
+ * report that a real JSON parser would reject fails the run that
+ * wrote it rather than the consumer that reads it.
+ *
+ * The parser builds a plain value tree (no SAX, no streaming): the
+ * artifacts are bounded-size reports, not traces of the simulation's
+ * working set, and a tree makes schema validation direct.
+ */
+
+#ifndef EBCP_UTIL_JSON_HH
+#define EBCP_UTIL_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hh"
+
+namespace ebcp
+{
+
+/** Escape @p s per RFC 8259 (quotes not included). */
+std::string jsonEscape(std::string_view s);
+
+/**
+ * Structured JSON emitter: begin/end calls must nest correctly
+ * (checked with panics -- an emitter bug is a programming error, not
+ * a recoverable condition); commas and key quoting are handled here.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Key of the next member (objects only). */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(unsigned v) { return value(std::uint64_t(v)); }
+    JsonWriter &value(int v) { return value(std::int64_t(v)); }
+    JsonWriter &value(bool v);
+    JsonWriter &nullValue();
+
+    /** key(k) + value(v) in one call. */
+    template <typename T>
+    JsonWriter &
+    kv(std::string_view k, T &&v)
+    {
+        key(k);
+        return value(std::forward<T>(v));
+    }
+
+    /**
+     * Splice @p raw -- text that is already a complete JSON value --
+     * as the next value. The caller vouches for its validity (used
+     * for pre-rendered sub-documents).
+     */
+    JsonWriter &rawValue(std::string_view raw);
+
+    /** @return true once every opened scope has been closed. */
+    bool complete() const { return stack_.empty(); }
+
+  private:
+    enum class Scope : std::uint8_t { Object, Array };
+
+    void preValue();
+
+    std::ostream &os_;
+    std::vector<Scope> stack_;
+    std::vector<bool> first_;
+    bool keyPending_ = false;
+};
+
+/** A parsed JSON value (tree form). */
+struct JsonValue
+{
+    enum class Type : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    // Insertion order is irrelevant to the schemas validated here, so
+    // a map keeps member lookup simple.
+    std::map<std::string, JsonValue> object;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isBool() const { return type == Type::Bool; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** Member @p k of an object, or nullptr. */
+    const JsonValue *find(const std::string &k) const;
+
+    /** True if member @p k exists and is a number. */
+    bool hasNumber(const std::string &k) const;
+};
+
+/**
+ * Parse @p text as one JSON document. Trailing non-whitespace, bad
+ * escapes, unterminated containers etc. yield Corruption with the
+ * byte offset of the error.
+ */
+StatusOr<JsonValue> parseJson(std::string_view text);
+
+/** Read @p path and parseJson() its contents. */
+StatusOr<JsonValue> parseJsonFile(const std::string &path);
+
+} // namespace ebcp
+
+#endif // EBCP_UTIL_JSON_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the JSON writer and parser that back every
+ * machine-readable artifact (stats.json, Chrome traces, bench
+ * reports).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/json.hh"
+
+using namespace ebcp;
+
+TEST(JsonEscape, ControlAndQuoteCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(jsonEscape(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(JsonWriter, ObjectsArraysAndCommas)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("a", std::uint64_t(1));
+    w.key("b");
+    w.beginArray();
+    w.value(std::uint64_t(2));
+    w.value("three");
+    w.nullValue();
+    w.value(true);
+    w.endArray();
+    w.endObject();
+    EXPECT_TRUE(w.complete());
+    EXPECT_EQ(os.str(), "{\"a\": 1, \"b\": [2, \"three\", null, true]}");
+}
+
+TEST(JsonWriter, RawValueSplices)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("sub");
+    w.rawValue("{\"x\": 1}");
+    w.endObject();
+    EXPECT_EQ(os.str(), "{\"sub\": {\"x\": 1}}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginArray();
+    w.value(std::nan(""));
+    w.value(1.5);
+    w.endArray();
+    EXPECT_EQ(os.str(), "[null, 1.5]");
+}
+
+TEST(JsonParse, ScalarsAndNesting)
+{
+    StatusOr<JsonValue> v =
+        parseJson("{\"i\": 42, \"f\": -2.5e2, \"s\": \"hi\", "
+                  "\"b\": false, \"n\": null, \"a\": [1, [2]]}");
+    ASSERT_TRUE(v.ok()) << v.status().toString();
+    const JsonValue &d = v.value();
+    ASSERT_TRUE(d.isObject());
+    EXPECT_EQ(d.find("i")->number, 42.0);
+    EXPECT_EQ(d.find("f")->number, -250.0);
+    EXPECT_EQ(d.find("s")->string, "hi");
+    EXPECT_FALSE(d.find("b")->boolean);
+    EXPECT_TRUE(d.find("n")->isNull());
+    ASSERT_TRUE(d.find("a")->isArray());
+    EXPECT_EQ(d.find("a")->array[1].array[0].number, 2.0);
+    EXPECT_TRUE(d.hasNumber("i"));
+    EXPECT_FALSE(d.hasNumber("s"));
+    EXPECT_EQ(d.find("absent"), nullptr);
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    StatusOr<JsonValue> v = parseJson("\"a\\\"b\\n\\u0041\"");
+    ASSERT_TRUE(v.ok()) << v.status().toString();
+    EXPECT_EQ(v.value().string, "a\"b\nA");
+}
+
+TEST(JsonParse, RejectsMalformedDocuments)
+{
+    EXPECT_FALSE(parseJson("").ok());
+    EXPECT_FALSE(parseJson("{").ok());
+    EXPECT_FALSE(parseJson("[1, 2").ok());
+    EXPECT_FALSE(parseJson("{\"a\" 1}").ok());
+    EXPECT_FALSE(parseJson("\"unterminated").ok());
+    EXPECT_FALSE(parseJson("12 34").ok()); // trailing junk
+    EXPECT_FALSE(parseJson("{\"a\": 1,}").ok());
+    EXPECT_FALSE(parseJson("tru").ok());
+}
+
+TEST(JsonParse, ErrorsCarryByteOffsets)
+{
+    StatusOr<JsonValue> v = parseJson("{\"a\": !}");
+    ASSERT_FALSE(v.ok());
+    EXPECT_EQ(v.status().code(), StatusCode::Corruption);
+    EXPECT_NE(v.status().message().find("at byte 6"), std::string::npos)
+        << v.status().message();
+}
+
+TEST(JsonParse, WriterOutputRoundTrips)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("name", "run \"1\"\n");
+    w.kv("value", 0.1);
+    w.key("list");
+    w.beginArray();
+    w.value(std::int64_t(-7));
+    w.endArray();
+    w.endObject();
+
+    StatusOr<JsonValue> v = parseJson(os.str());
+    ASSERT_TRUE(v.ok()) << v.status().toString();
+    EXPECT_EQ(v.value().find("name")->string, "run \"1\"\n");
+    EXPECT_EQ(v.value().find("value")->number, 0.1);
+    EXPECT_EQ(v.value().find("list")->array[0].number, -7.0);
+}

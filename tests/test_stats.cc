@@ -11,6 +11,7 @@
 #include "stats/group.hh"
 #include "stats/statistic.hh"
 #include "stats/table.hh"
+#include "util/json.hh"
 
 using namespace ebcp;
 
@@ -164,6 +165,82 @@ TEST(StatGroupTest, ResetAllRecurses)
     parent.resetAll();
     EXPECT_EQ(a.value(), 0u);
     EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(StatGroupTest, FindLocatesStatsByDottedPath)
+{
+    StatGroup parent("p");
+    StatGroup child("c");
+    Scalar a("a", "d"), b("b", "d");
+    parent.add(a);
+    child.add(b);
+    parent.addChild(child);
+    a += 7;
+    EXPECT_EQ(parent.find("a"), &a);
+    EXPECT_EQ(parent.find("c.b"), &b);
+    EXPECT_EQ(parent.findScalar("a")->value(), 7u);
+    EXPECT_EQ(parent.find("missing"), nullptr);
+    EXPECT_EQ(parent.find("c.missing"), nullptr);
+}
+
+TEST(StatGroupTest, FindRejectsEmptyPathSegments)
+{
+    StatGroup parent("p");
+    StatGroup child("c");
+    Scalar a("a", "d"), b("b", "d");
+    parent.add(a);
+    child.add(b);
+    parent.addChild(child);
+
+    // "a..b"-style paths used to match as if the empty segment were
+    // absent; every empty segment must make the lookup fail instead.
+    EXPECT_EQ(parent.find(""), nullptr);
+    EXPECT_EQ(parent.find("."), nullptr);
+    EXPECT_EQ(parent.find(".a"), nullptr);
+    EXPECT_EQ(parent.find("a."), nullptr);
+    EXPECT_EQ(parent.find("c."), nullptr);
+    EXPECT_EQ(parent.find(".c.b"), nullptr);
+    EXPECT_EQ(parent.find("c..b"), nullptr);
+    EXPECT_EQ(parent.find("c.b."), nullptr);
+}
+
+TEST(StatGroupTest, DumpJsonIsWellFormedAndTyped)
+{
+    StatGroup parent("p");
+    StatGroup child("c");
+    Scalar s("counter", "d");
+    Average avg("avg", "d");
+    Distribution dist("dist", "d", 0.0, 10.0, 2);
+    parent.add(s);
+    parent.add(avg);
+    child.add(dist);
+    parent.addChild(child);
+    s += 3;
+    avg.sample(2.0);
+    avg.sample(4.0);
+    dist.sample(1.0);
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    parent.dumpJson(w);
+    ASSERT_TRUE(w.complete());
+
+    StatusOr<JsonValue> doc = parseJson(os.str());
+    ASSERT_TRUE(doc.ok()) << doc.status().toString();
+    const JsonValue &d = doc.value();
+    ASSERT_TRUE(d.isObject());
+    EXPECT_EQ(d.find("counter")->number, 3.0);
+    const JsonValue *a = d.find("avg");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->find("mean")->number, 3.0);
+    EXPECT_EQ(a->find("count")->number, 2.0);
+    const JsonValue *c = d.find("c");
+    ASSERT_NE(c, nullptr);
+    const JsonValue *di = c->find("dist");
+    ASSERT_NE(di, nullptr);
+    EXPECT_EQ(di->find("samples")->number, 1.0);
+    ASSERT_NE(di->find("buckets"), nullptr);
+    EXPECT_TRUE(di->find("buckets")->isArray());
 }
 
 TEST(AsciiTableTest, RendersHeaderAndRows)

@@ -88,6 +88,14 @@ printHelp()
         "                      reaction to corrupt trace chunks\n"
         "  watchdog=N          max ticks between retirements before the\n"
         "                      run is declared stalled (0 = off)\n"
+        "  audit=off|retire|epoch|every:N\n"
+        "                      invariant-audit cadence: re-derive every\n"
+        "                      component's structural invariants after\n"
+        "                      each retire, each epoch boundary, or\n"
+        "                      every N ticks (default off)\n"
+        "  audit_policy=collect|abort\n"
+        "                      on a violation: keep running and report,\n"
+        "                      or stop the run with an error\n"
         "\n"
         "observability:\n"
         "  trace_out=PATH      export the lifecycle timeline as Chrome\n"
@@ -111,7 +119,7 @@ knownKeys()
         "bw_scale",    "mem_latency", "rob",          "perfect_l2",
         "faults",      "fault_seed",  "fault_rate",   "stall_after",
         "trace_policy","watchdog",    "trace_out",    "stats_json",
-        "interval",
+        "interval",    "audit",       "audit_policy",
     };
     return keys;
 }
@@ -139,21 +147,36 @@ writeTextFile(const std::string &path, const std::string &text)
 /**
  * Frame, write and self-validate one ebcp-stats-v1 document. @p emit
  * writes the run objects; @p diagnostic_raw (a complete JSON value or
- * empty) becomes the top-level "diagnostic" member on stalled runs.
+ * empty) becomes the top-level "diagnostic" member on stalled runs,
+ * and @p audit_raw (an audit summary object or empty) the top-level
+ * "audit" member.
  */
 template <typename EmitRuns>
 Status
 exportStatsDoc(const std::string &path, EmitRuns &&emit,
-               const std::string &diagnostic_raw = {})
+               const std::string &diagnostic_raw = {},
+               const std::string &audit_raw = {})
 {
     std::ostringstream ss;
     JsonWriter w(ss);
     beginStatsJson(w, "ebcp_cli");
     emit(w);
-    endStatsJson(w, diagnostic_raw);
+    endStatsJson(w, diagnostic_raw, audit_raw);
     if (Status s = writeTextFile(path, ss.str()); !s.ok())
         return s;
     return validateStatsJsonFile(path);
+}
+
+/** One-line audit summary for the console report. */
+void
+printAuditSummary(const Auditor *aud)
+{
+    if (!aud)
+        return;
+    const AuditContext &ctx = aud->context();
+    std::cout << "  audit: " << aud->passes() << " passes, "
+              << ctx.checksRun() << " checks, "
+              << ctx.totalViolations() << " violations\n";
 }
 
 int
@@ -208,6 +231,16 @@ main(int argc, char **argv)
     if (!policy.ok())
         return fail(policy.status());
 
+    AuditOptions audit_opts;
+    if (Status s = parseAuditCadence(cs.getString("audit", "off"),
+                                     audit_opts);
+        !s.ok())
+        return fail(s);
+    if (Status s = parseAuditPolicy(cs.getString("audit_policy", "collect"),
+                                    audit_opts);
+        !s.ok())
+        return fail(s);
+
     const std::string trace_out = cs.getString("trace_out", "");
     const std::string stats_json_path = cs.getString("stats_json", "");
     const std::uint64_t interval = cs.getU64("interval", 0);
@@ -241,6 +274,8 @@ main(int argc, char **argv)
             cs.getString("workload", "database");
 
         CmpSystem sys(cfg, pf, cores);
+        if (Status s = sys.configureAudit(audit_opts); !s.ok())
+            return fail(s);
         TraceLog tlog;
         if (!trace_out.empty())
             sys.attachTraceLog(tlog);
@@ -262,7 +297,8 @@ main(int argc, char **argv)
             if (!stats_json_path.empty()) {
                 Status s =
                     exportStatsDoc(stats_json_path, [](JsonWriter &) {},
-                                   sys.lastDiagnosticJson());
+                                   sys.lastDiagnosticJson(),
+                                   sys.auditSummaryJson());
                 if (!s.ok())
                     std::cerr << "ebcp_cli: stats_json export failed: "
                               << s.toString() << "\n";
@@ -281,6 +317,7 @@ main(int argc, char **argv)
         for (unsigned i = 0; i < cores; ++i)
             std::cout << "  core " << i << ": CPI "
                       << r.perCore[i].cpi << "\n";
+        printAuditSummary(sys.auditor());
 
         if (!trace_out.empty())
             if (int rc = exportTrace(tlog, trace_out))
@@ -290,13 +327,15 @@ main(int argc, char **argv)
                                       "/cmp" + std::to_string(cores);
             const SimResults folded = foldCmpResults(r);
             Status s = exportStatsDoc(
-                stats_json_path, [&](JsonWriter &w) {
+                stats_json_path,
+                [&](JsonWriter &w) {
                     w.beginObject();
                     w.kv("label", label);
                     w.key("results");
                     writeSimResultsJson(w, folded);
                     w.endObject();
-                });
+                },
+                {}, sys.auditSummaryJson());
             if (!s.ok())
                 return fail(s);
             std::cout << "  wrote " << stats_json_path << " (schema "
@@ -337,6 +376,8 @@ main(int argc, char **argv)
     }
 
     Simulator sim(cfg, pf);
+    if (Status s = sim.configureAudit(audit_opts); !s.ok())
+        return fail(s);
     TraceLog tlog;
     if (!trace_out.empty())
         sim.attachTraceLog(tlog);
@@ -355,7 +396,8 @@ main(int argc, char **argv)
         if (!stats_json_path.empty()) {
             Status s =
                 exportStatsDoc(stats_json_path, [](JsonWriter &) {},
-                               sim.lastDiagnosticJson());
+                               sim.lastDiagnosticJson(),
+                               sim.auditSummaryJson());
             if (!s.ok())
                 std::cerr << "ebcp_cli: stats_json export failed: "
                           << s.toString() << "\n";
@@ -382,6 +424,7 @@ main(int argc, char **argv)
               << r.timeliness * 100.0 << "%)\n"
               << "  bus utilization: read " << r.readBusUtil * 100.0
               << "%, write " << r.writeBusUtil * 100.0 << "%\n";
+    printAuditSummary(sim.auditor());
 
     // Robustness report: what was injected, what was recovered.
     if (injector)
@@ -412,19 +455,22 @@ main(int argc, char **argv)
         if (int rc = exportTrace(tlog, trace_out))
             return rc;
     if (!stats_json_path.empty()) {
-        Status s = exportStatsDoc(stats_json_path, [&](JsonWriter &w) {
-            w.beginObject();
-            w.kv("label", source_name + "/" + pf.name);
-            w.key("results");
-            writeSimResultsJson(w, r);
-            w.key("stats");
-            sim.dumpStatsJson(w);
-            if (sampler) {
-                w.key("intervals");
-                sampler->writeJson(w);
-            }
-            w.endObject();
-        });
+        Status s = exportStatsDoc(
+            stats_json_path,
+            [&](JsonWriter &w) {
+                w.beginObject();
+                w.kv("label", source_name + "/" + pf.name);
+                w.key("results");
+                writeSimResultsJson(w, r);
+                w.key("stats");
+                sim.dumpStatsJson(w);
+                if (sampler) {
+                    w.key("intervals");
+                    sampler->writeJson(w);
+                }
+                w.endObject();
+            },
+            {}, sim.auditSummaryJson());
         if (!s.ok())
             return fail(s);
         std::cout << "  wrote " << stats_json_path << " (schema "

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# The full local verification matrix, in the order a reviewer would
+# want failures reported:
+#
+#   1. Release build (RelWithDebInfo, -Wall -Wextra -Wshadow -Werror)
+#      + clang-tidy lint + the complete ctest suite;
+#   2. address+undefined sanitizer build + the complete ctest suite;
+#   3. thread sanitizer build + the sweep-determinism gate (the one
+#      test that drives the parallel runner hard);
+#   4. -DEBCP_AUDIT=OFF build + the complete ctest suite, proving the
+#      audit hook sites compile away cleanly and nothing depends on
+#      them (golden results are pinned by the regular suite, which
+#      runs identically in this configuration).
+#
+# Every stage exports compile_commands.json. Roughly 10-15 minutes on
+# a laptop; set EBCP_CHECK_JOBS to bound parallelism.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${EBCP_CHECK_JOBS:-$(nproc)}"
+
+stage() {
+    echo
+    echo "==== $* ===="
+}
+
+run_ctest() {
+    ctest --test-dir "$1" --output-on-failure -j "${JOBS}" "${@:2}"
+}
+
+stage "1/4 release build + lint + tests"
+cmake -B build-check -DEBCP_WERROR=ON >/dev/null
+cmake --build build-check -j "${JOBS}"
+cmake --build build-check --target lint
+run_ctest build-check
+
+stage "2/4 address+undefined sanitizers"
+cmake -B build-check-asan -DEBCP_SANITIZE="address;undefined" \
+      -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build build-check-asan -j "${JOBS}"
+run_ctest build-check-asan
+
+stage "3/4 thread sanitizer (parallel sweep determinism)"
+cmake -B build-check-tsan -DEBCP_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build build-check-tsan --target test_runner -j "${JOBS}"
+run_ctest build-check-tsan -R 'sweep_determinism|SweepDeterminism'
+
+stage "4/4 -DEBCP_AUDIT=OFF build + tests"
+cmake -B build-check-noaudit -DEBCP_AUDIT=OFF >/dev/null
+cmake --build build-check-noaudit -j "${JOBS}"
+run_ctest build-check-noaudit
+
+echo
+echo "check: all stages passed"

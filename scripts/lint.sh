@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# clang-tidy over the simulator sources, driven by the exported
+# compile_commands.json. Invoked by the CMake `lint` target (which
+# sets EBCP_BUILD_DIR) or directly:
+#
+#   EBCP_BUILD_DIR=build scripts/lint.sh [extra clang-tidy args...]
+#
+# Degrades to a no-op notice when clang-tidy is not installed, so CI
+# recipes and scripts/check.sh can call it unconditionally.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${EBCP_BUILD_DIR:-build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "lint: clang-tidy not found on PATH; skipping (install" \
+         "clang-tidy to enable static analysis)"
+    exit 0
+fi
+
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+    echo "lint: ${BUILD_DIR}/compile_commands.json not found;" \
+         "configure first: cmake -B ${BUILD_DIR}" >&2
+    exit 1
+fi
+
+# Lint the library sources; headers are covered through inclusion via
+# the .clang-tidy HeaderFilterRegex.
+mapfile -t SOURCES < <(find src -name '*.cc' | sort)
+
+echo "lint: clang-tidy ($(clang-tidy --version | sed -n 's/.*version /version /p' | head -1))" \
+     "over ${#SOURCES[@]} files"
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -quiet -p "${BUILD_DIR}" "$@" "${SOURCES[@]}"
+else
+    clang-tidy -quiet -p "${BUILD_DIR}" "$@" "${SOURCES[@]}"
+fi
+
+echo "lint: clean"

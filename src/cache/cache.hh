@@ -53,6 +53,20 @@ class Cache
 
     StatGroup &stats() { return stats_; }
 
+    /** Visit every valid line address (audit cross-checks). */
+    template <typename Fn>
+    void
+    forEachValidLine(Fn &&fn) const
+    {
+        tags_.forEachValidLine(std::forward<Fn>(fn));
+    }
+
+    /** Re-derive the tag array's structural invariants. */
+    void audit(AuditContext &ctx) const { tags_.audit(ctx); }
+
+    /** Test-only: corrupt the tag array so audit() trips. */
+    void corruptForTest() { tags_.corruptForTest(); }
+
   private:
     CacheConfig cfg_;
     TagArray tags_;

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "util/logging.hh"
+#include "verify/audit.hh"
 
 namespace ebcp
 {
@@ -95,6 +96,47 @@ MshrFile::dump(std::ostream &os, std::size_t max_entries) const
         os << "  line 0x" << std::hex << line << std::dec
            << " completes @" << complete << "\n";
     });
+}
+
+void
+MshrFile::audit(AuditContext &ctx) const
+{
+    ctx.check(inflight_.size() <= entries_, "occupancy_within_capacity",
+              inflight_.size(), " misses tracked but only ", entries_,
+              " registers exist");
+    // The map is the authority on uniqueness: FlatMap keys are line
+    // addresses, so one line can never be tracked twice unless the
+    // map itself broke.
+    const std::string mapErr = inflight_.integrityError();
+    ctx.check(mapErr.empty(), "inflight_map_intact", mapErr);
+    ctx.check(heap_.size() >= inflight_.size(), "heap_covers_map",
+              "completion heap holds ", heap_.size(),
+              " entries for ", inflight_.size(), " tracked misses");
+    ctx.check(std::is_heap(heap_.begin(), heap_.end(),
+                           std::greater<HeapEntry>()),
+              "completion_heap_ordered",
+              "heap property violated over ", heap_.size(), " entries");
+    inflight_.forEach([&](Addr line, const Tick &complete) {
+        const bool covered =
+            std::any_of(heap_.begin(), heap_.end(),
+                        [&](const HeapEntry &h) {
+                            return h.lineAddr == line &&
+                                   h.complete == complete;
+                        });
+        ctx.check(covered, "tracked_miss_has_heap_entry",
+                  "line 0x", std::hex, line, std::dec, " completing @",
+                  complete, " is unknown to the retirement heap");
+    });
+}
+
+void
+MshrFile::corruptForTest()
+{
+    // Track more lines than the file has registers, behind the
+    // completion heap's back: trips occupancy_within_capacity and
+    // tracked_miss_has_heap_entry.
+    for (unsigned i = 0; i <= entries_; ++i)
+        inflight_[0xC0'0000 + 0x40ull * i] = MaxTick - 1;
 }
 
 } // namespace ebcp

@@ -20,6 +20,8 @@
 namespace ebcp
 {
 
+class AuditContext;
+
 /** A bounded set of in-flight line misses with completion times. */
 class MshrFile
 {
@@ -64,6 +66,20 @@ class MshrFile
 
     /** Host hash-map probe counters (throughput bench). */
     const FlatMapStats &mapStats() const { return inflight_.stats(); }
+
+    /**
+     * Re-derive the file's structural invariants: occupancy within
+     * the register count, the completion heap well-formed and
+     * covering every tracked miss, and the hash map internally
+     * intact. Stale heap entries for re-missed lines are expected
+     * (advance() filters them), so the heap may be larger than the
+     * map but never smaller.
+     */
+    void audit(AuditContext &ctx) const;
+
+    /** Test-only: track more misses than the file has registers,
+     * bypassing the completion heap, so audit() trips. */
+    void corruptForTest();
 
   private:
     unsigned entries_;

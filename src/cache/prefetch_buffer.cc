@@ -1,6 +1,7 @@
 #include "cache/prefetch_buffer.hh"
 
 #include "util/logging.hh"
+#include "verify/audit.hh"
 
 namespace ebcp
 {
@@ -125,6 +126,57 @@ PrefetchBuffer::validCount() const
     for (const auto &e : entries_)
         n += e.valid ? 1 : 0;
     return n;
+}
+
+void
+PrefetchBuffer::audit(AuditContext &ctx) const
+{
+    ctx.check(validCount() <= entries(), "occupancy_within_capacity",
+              validCount(), " valid entries in a ", entries(),
+              "-entry buffer");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &e = entries_[i];
+        if (!e.valid)
+            continue;
+        const unsigned set = static_cast<unsigned>(i / ways_);
+        ctx.check(setOf(e.lineAddr) == set, "entry_in_home_set",
+                  "line 0x", std::hex, e.lineAddr, std::dec,
+                  " stored in set ", set, " but indexes to set ",
+                  setOf(e.lineAddr), " -- lookups will miss it");
+        ctx.check(e.stamp <= stampCounter_, "stamp_not_from_future",
+                  "entry ", i, " stamp ", e.stamp, " exceeds counter ",
+                  stampCounter_);
+        for (std::size_t j = i + 1; j < entries_.size(); ++j) {
+            const Entry &o = entries_[j];
+            ctx.check(!(o.valid && o.lineAddr == e.lineAddr),
+                      "no_line_buffered_twice",
+                      "line 0x", std::hex, e.lineAddr, std::dec,
+                      " held by entries ", i, " and ", j);
+        }
+    }
+}
+
+void
+PrefetchBuffer::corruptForTest()
+{
+    fatal_if(sets_ < 2, "corruptForTest needs at least two sets");
+    // Clone the first valid entry into another set (duplicate + out of
+    // home set), or fabricate a misplaced entry in an empty buffer.
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (!entries_[i].valid)
+            continue;
+        const std::size_t other =
+            (i + static_cast<std::size_t>(ways_)) % entries_.size();
+        entries_[other] = entries_[i];
+        return;
+    }
+    Addr line = 1ULL << lineShift_;
+    while (setOf(line) == 0)
+        line += 1ULL << lineShift_;
+    entries_[0].lineAddr = line;
+    entries_[0].readyTime = 0;
+    entries_[0].valid = true;
+    entries_[0].stamp = stampCounter_;
 }
 
 } // namespace ebcp

@@ -22,6 +22,8 @@
 namespace ebcp
 {
 
+class AuditContext;
+
 /** Result of probing the prefetch buffer. */
 struct PrefBufHit
 {
@@ -76,6 +78,25 @@ class PrefetchBuffer
     std::uint64_t insertsTotal() const { return inserts_.value(); }
 
     StatGroup &stats() { return stats_; }
+
+    /** Visit every valid entry's (line address, ready time). */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (const Entry &e : entries_)
+            if (e.valid)
+                fn(e.lineAddr, e.readyTime);
+    }
+
+    /** Re-derive structural invariants: occupancy within the entry
+     * count, no line buffered twice, every valid entry indexed into
+     * its home set, no recency stamp from the future. */
+    void audit(AuditContext &ctx) const;
+
+    /** Test-only: clone a buffered line into a foreign set (or
+     * fabricate a misplaced entry) so audit() trips. */
+    void corruptForTest();
 
   private:
     struct Entry

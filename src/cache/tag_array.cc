@@ -1,5 +1,7 @@
 #include "cache/tag_array.hh"
 
+#include "verify/audit.hh"
+
 namespace ebcp
 {
 
@@ -124,6 +126,44 @@ TagArray::validCount() const
         if (w.valid)
             ++n;
     return n;
+}
+
+void
+TagArray::audit(AuditContext &ctx) const
+{
+    for (unsigned s = 0; s < sets_; ++s) {
+        for (unsigned w = 0; w < ways_; ++w) {
+            const Way &wy = way(s, w);
+            if (!wy.valid)
+                continue;
+            ctx.check(wy.stamp <= stampCounter_, "stamp_not_from_future",
+                      "set ", s, " way ", w, " stamp ", wy.stamp,
+                      " exceeds counter ", stampCounter_);
+            for (unsigned w2 = w + 1; w2 < ways_; ++w2) {
+                const Way &o = way(s, w2);
+                ctx.check(!(o.valid && o.tag == wy.tag),
+                          "no_duplicate_tags_in_set",
+                          "set ", s, " holds tag 0x", std::hex, wy.tag,
+                          std::dec, " in ways ", w, " and ", w2);
+            }
+        }
+    }
+}
+
+void
+TagArray::corruptForTest()
+{
+    fatal_if(ways_ < 2, "corruptForTest needs an associative array");
+    // Clone (or fabricate) a duplicate tag within set 0, which lookup
+    // can then resolve to either way: trips no_duplicate_tags_in_set.
+    Way &a = way(0, 0);
+    Way &b = way(0, 1);
+    if (!a.valid) {
+        a.tag = 0x1234;
+        a.valid = true;
+        a.stamp = stampCounter_;
+    }
+    b = a;
 }
 
 } // namespace ebcp

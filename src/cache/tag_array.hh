@@ -22,6 +22,8 @@
 namespace ebcp
 {
 
+class AuditContext;
+
 /** Result of inserting a line: what (if anything) was evicted. */
 struct Eviction
 {
@@ -79,6 +81,24 @@ class TagArray
 
     /** Count of valid lines (testing / occupancy checks). */
     std::size_t validCount() const;
+
+    /** Visit every valid line address. */
+    template <typename Fn>
+    void
+    forEachValidLine(Fn &&fn) const
+    {
+        for (unsigned s = 0; s < sets_; ++s)
+            for (unsigned w = 0; w < ways_; ++w)
+                if (way(s, w).valid)
+                    fn(way(s, w).tag << lineShift_);
+    }
+
+    /** Re-derive structural invariants: within each set no two valid
+     * ways share a tag, and no recency stamp is from the future. */
+    void audit(AuditContext &ctx) const;
+
+    /** Test-only: duplicate a tag within a set so audit() trips. */
+    void corruptForTest();
 
   private:
     struct Way

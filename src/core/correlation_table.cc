@@ -4,6 +4,7 @@
 
 #include "util/bitfield.hh"
 #include "util/logging.hh"
+#include "verify/audit.hh"
 
 namespace ebcp
 {
@@ -137,6 +138,58 @@ void
 CorrelationTable::clear()
 {
     entries_.clear();
+}
+
+void
+CorrelationTable::audit(AuditContext &ctx) const
+{
+    ctx.check(entries_.size() <= cfg_.entries,
+              "population_within_capacity", entries_.size(),
+              " resident entries in a ", cfg_.entries, "-entry table");
+    const std::string mapErr = entries_.integrityError();
+    ctx.check(mapErr.empty(), "host_map_intact", mapErr);
+    entries_.forEach([&](std::uint64_t idx, const Entry &e) {
+        if (!ctx.check(idx < cfg_.entries, "index_in_range", "entry ",
+                       idx, " outside a ", cfg_.entries, "-entry table"))
+            return;
+        if (e.tag != InvalidAddr)
+            ctx.check(indexOf(e.tag) == idx, "tag_indexes_home",
+                      "entry ", idx, " holds tag 0x", std::hex, e.tag,
+                      std::dec, " which hashes to entry ",
+                      indexOf(e.tag), " -- lookups can never hit it");
+        ctx.check(e.slots.size() <= cfg_.addrsPerEntry,
+                  "slots_within_entry_cap", "entry ", idx, " holds ",
+                  e.slots.size(), " successor slots, cap is ",
+                  cfg_.addrsPerEntry);
+        for (std::size_t i = 0; i < e.slots.size(); ++i) {
+            ctx.check(e.slots[i].stamp <= stampCounter_,
+                      "stamp_not_from_future", "entry ", idx, " slot ",
+                      i, " stamp ", e.slots[i].stamp,
+                      " exceeds counter ", stampCounter_);
+            ctx.check(e.slots[i].gen <= updateGen_,
+                      "generation_not_from_future", "entry ", idx,
+                      " slot ", i, " generation ", e.slots[i].gen,
+                      " exceeds counter ", updateGen_);
+            for (std::size_t j = i + 1; j < e.slots.size(); ++j)
+                ctx.check(e.slots[i].addr != e.slots[j].addr,
+                          "no_duplicate_successors", "entry ", idx,
+                          " records successor 0x", std::hex,
+                          e.slots[i].addr, std::dec, " twice");
+        }
+    });
+}
+
+void
+CorrelationTable::corruptForTest()
+{
+    // Plant an entry at its tag's home index plus one: the tag can
+    // never be looked up there, so tag_indexes_home trips.
+    const Addr tag = 0x5EED;
+    const std::uint64_t idx = (indexOf(tag) + 1) & (cfg_.entries - 1);
+    Entry &e = entries_[idx];
+    e.tag = tag;
+    if (e.slots.empty())
+        e.slots.push_back({0x1000, ++stampCounter_, updateGen_});
 }
 
 } // namespace ebcp

@@ -26,6 +26,8 @@
 namespace ebcp
 {
 
+class AuditContext;
+
 /** Geometry of the main-memory correlation table. */
 struct CorrTableConfig
 {
@@ -97,6 +99,17 @@ class CorrelationTable
 
     /** Host hash-map probe counters (throughput bench). */
     const FlatMapStats &mapStats() const { return entries_.stats(); }
+
+    /** Re-derive structural invariants: population within the
+     * configured entry count, every resident entry keyed by the index
+     * its own tag hashes to, successor slots within the per-entry cap
+     * and free of duplicates, and stamps/generations never from the
+     * future. */
+    void audit(AuditContext &ctx) const;
+
+    /** Test-only: plant an entry whose tag indexes elsewhere so
+     * audit() trips. */
+    void corruptForTest();
 
   private:
     struct Slot

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "verify/audit.hh"
 
 namespace ebcp
 {
@@ -39,6 +40,7 @@ EpochBasedPrefetcher::faultyTableRead(Tick when, Addr key)
     // Injected table-read faults model the real failure modes of a
     // best-effort memory-resident table -- a read lost to saturation
     // or arriving too late -- and must degrade coverage only.
+    ++tableReadAttempts_;
     if (cfg_.faults.tableDrop && faultRng_.chance(cfg_.faults.rate)) {
         ++injectedReadDrops_;
         return MemAccessResult{when, when, true};
@@ -49,9 +51,12 @@ EpochBasedPrefetcher::faultyTableRead(Tick when, Addr key)
         ++injectedReadDelays_;
         rd.complete += cfg_.faults.tableDelayTicks;
     }
-    if (!rd.dropped)
+    if (!rd.dropped) {
+        maxTableReadTicks_ = std::max(maxTableReadTicks_,
+                                      rd.complete - when);
         EBCP_TRACE_EVENT(trace_, TraceEventKind::TableRead, when,
                          rd.complete - when, key);
+    }
     return rd;
 }
 
@@ -248,6 +253,24 @@ EpochBasedPrefetcher::reclaimTable(Tick now)
     table_.clear();
     for (auto &cs : states_)
         cs->emab.clear();
+}
+
+void
+EpochBasedPrefetcher::audit(AuditContext &ctx) const
+{
+    table_.audit(ctx);
+    alloc_.audit(ctx);
+    for (const auto &cs : states_) {
+        cs->emab.audit(ctx);
+        cs->tracker.audit(ctx);
+    }
+    // reclaimTable() clears the table when the region goes away, so
+    // residual content implies the region is live.
+    ctx.check(table_.populatedEntries() == 0 ||
+                  alloc_.state() == TableAllocation::State::Active,
+              "populated_table_requires_active_region",
+              table_.populatedEntries(),
+              " populated entries while the table region is not active");
 }
 
 } // namespace ebcp

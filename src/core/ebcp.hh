@@ -115,12 +115,36 @@ class EpochBasedPrefetcher : public Prefetcher
     /** The simulated OS reclaims the table region (failure injection). */
     void reclaimTable(Tick now);
 
+    /**
+     * Re-derive the EBCP's structural invariants: the correlation
+     * table, its allocation state (a populated table requires an
+     * active region), and each core state's EMAB + epoch tracker.
+     */
+    void audit(AuditContext &ctx) const override;
+
+    /** Lifetime table reads this control intended to issue. The
+     * engine's served count balances against it: a shortfall means a
+     * read vanished between the control and the memory system (the
+     * table-drop fault does exactly that). */
+    std::uint64_t tableReadAttemptsLifetime() const
+    {
+        return tableReadAttempts_;
+    }
+
+    /** Largest observed latency of a served table read; bounded by
+     * MainMemory::maxLowPriorityReadLatency() unless something (the
+     * table-delay fault) stretched a read beyond the channel's drop
+     * horizon. */
+    Tick maxTableReadTicks() const { return maxTableReadTicks_; }
+
     CorrelationTable &table() { return table_; }
     TableAllocation &allocation() { return alloc_; }
     const Emab &emab(unsigned core = 0) const
     {
         return states_[core]->emab;
     }
+    /** Mutable EMAB access for audit trip-tests. */
+    Emab &emabForTest(unsigned core = 0) { return states_[core]->emab; }
     const EbcpConfig &config() const { return cfg_; }
 
   private:
@@ -159,6 +183,9 @@ class EpochBasedPrefetcher : public Prefetcher
     TableAllocation alloc_;
     bool osRequested_ = false;
     Pcg32 faultRng_;
+
+    std::uint64_t tableReadAttempts_ = 0;
+    Tick maxTableReadTicks_ = 0;
 
     // Scratch vectors: reused across epochs so the per-epoch path
     // allocates nothing once warmed.

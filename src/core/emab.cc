@@ -1,6 +1,7 @@
 #include "core/emab.hh"
 
 #include "util/logging.hh"
+#include "verify/audit.hh"
 
 namespace ebcp
 {
@@ -33,6 +34,43 @@ Emab::recordMiss(Addr line_addr)
     EmabEntry &cur = ring_.back();
     if (cur.missAddrs.size() < addrsPerEntry_)
         cur.missAddrs.push_back(line_addr);
+}
+
+void
+Emab::audit(AuditContext &ctx) const
+{
+    ctx.check(ring_.size() <= ring_.capacity(),
+              "occupancy_within_capacity", ring_.size(),
+              " epochs retained in a ", ring_.capacity(), "-entry EMAB");
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+        const EmabEntry &e = ring_.at(i);
+        ctx.check(e.missAddrs.size() <= addrsPerEntry_,
+                  "addrs_within_entry_cap", "epoch ", e.epoch,
+                  " recorded ", e.missAddrs.size(),
+                  " addresses, cap is ", addrsPerEntry_);
+        if (i > 0)
+            ctx.check(ring_.at(i - 1).epoch < e.epoch,
+                      "epochs_strictly_increasing", "entry ", i - 1,
+                      " holds epoch ", ring_.at(i - 1).epoch,
+                      ", entry ", i, " holds epoch ", e.epoch);
+    }
+}
+
+void
+Emab::corruptForTest()
+{
+    if (ring_.size() >= 2) {
+        // Duplicate the newest epoch id into the oldest entry:
+        // trips epochs_strictly_increasing.
+        ring_.at(0).epoch = ring_.back().epoch;
+        return;
+    }
+    if (ring_.empty())
+        beginEpoch(1, 0x1000);
+    // Overfill the current entry: trips addrs_within_entry_cap.
+    EmabEntry &cur = ring_.back();
+    while (cur.missAddrs.size() <= addrsPerEntry_)
+        cur.missAddrs.push_back(0x2000);
 }
 
 } // namespace ebcp

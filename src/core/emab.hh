@@ -28,6 +28,8 @@
 namespace ebcp
 {
 
+class AuditContext;
+
 /** Recorded contents of one epoch. */
 struct EmabEntry
 {
@@ -66,6 +68,16 @@ class Emab
     void clear() { ring_.clear(); }
 
     unsigned addrsPerEntry() const { return addrsPerEntry_; }
+
+    /** Re-derive structural invariants: occupancy within the ring's
+     * capacity, per-epoch address lists within their cap, and epoch
+     * ids strictly increasing oldest-to-newest (which also makes
+     * every recorded trigger's epoch unique). */
+    void audit(AuditContext &ctx) const;
+
+    /** Test-only: duplicate an epoch id (or overfill the current
+     * entry's address list) so audit() trips. */
+    void corruptForTest();
 
   private:
     CircularBuffer<EmabEntry> ring_;

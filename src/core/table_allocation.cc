@@ -1,5 +1,7 @@
 #include "core/table_allocation.hh"
 
+#include "verify/audit.hh"
+
 namespace ebcp
 {
 
@@ -74,6 +76,26 @@ TableAllocation::reclaim(Tick now)
     state_ = State::Inactive;
     base_ = InvalidAddr;
     nextRetry_ = now + retryInterval_;
+}
+
+void
+TableAllocation::audit(AuditContext &ctx) const
+{
+    const bool hasBase = base_ != InvalidAddr;
+    if (state_ == State::Active)
+        ctx.check(hasBase, "base_matches_state",
+                  "Active without an OS-granted base address");
+    else
+        ctx.check(!hasBase, "base_matches_state",
+                  "base 0x", std::hex, base_, std::dec,
+                  " still held while not Active");
+}
+
+void
+TableAllocation::corruptForTest()
+{
+    state_ = State::Active;
+    base_ = InvalidAddr;
 }
 
 } // namespace ebcp

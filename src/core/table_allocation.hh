@@ -23,6 +23,8 @@
 namespace ebcp
 {
 
+class AuditContext;
+
 /** Allocation state machine for the main-memory table. */
 class TableAllocation
 {
@@ -64,6 +66,13 @@ class TableAllocation
     std::uint64_t regionBytes() const { return regionBytes_; }
 
     StatGroup &stats() { return stats_; }
+
+    /** Re-derive the state machine's invariant: a base address is
+     * held exactly while Active. */
+    void audit(AuditContext &ctx) const;
+
+    /** Test-only: claim Active without a base so audit() trips. */
+    void corruptForTest();
 
   private:
     bool tryAllocate(Tick now);

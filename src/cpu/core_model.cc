@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "util/bitfield.hh"
+#include "verify/audit.hh"
 
 namespace ebcp
 {
@@ -189,6 +190,13 @@ CoreModel::run(TraceSource &src, std::uint64_t count)
             std::min<std::uint64_t>(kRunBatch, remaining));
         const std::size_t got = src.nextBatch(batch, want);
         for (std::size_t i = 0; i < got; ++i) {
+#if EBCP_AUDIT_ENABLED
+            // Screen the raw record before it shapes any timing: a
+            // malformed one is evidence of corruption upstream of the
+            // core, surfaced by audit() rather than a crash here.
+            if (auditor_ && recordAuditError(batch[i]))
+                ++malformedRecords_;
+#endif
             const InstTiming t = process(batch[i]);
             if (watchdogLimit_ &&
                 t.retire > prev_retire + watchdogLimit_) {
@@ -201,6 +209,13 @@ CoreModel::run(TraceSource &src, std::uint64_t count)
                 return;
             }
             prev_retire = t.retire;
+            EBCP_AUDIT_RETIRE(auditor_, t.retire);
+#if EBCP_AUDIT_ENABLED
+            // Under the abort policy a failed pass ends the run here;
+            // the driver turns the auditor's state into a Status.
+            if (auditor_ && auditor_->abortRequested())
+                return;
+#endif
         }
         remaining -= got;
         if (got < want)
@@ -218,6 +233,80 @@ CoreModel::robOccupancyAfter(Tick t) const
         if (robRetire_[i] > t)
             ++busy;
     return busy;
+}
+
+void
+CoreModel::audit(AuditContext &ctx) const
+{
+    // The ROB ring holds the retire ticks of the last |ROB| dispatched
+    // instructions; retirement is in order, so walking it oldest to
+    // newest must never go backwards, and the newest entry is the last
+    // retirement -- which nothing still tracked may outlive.
+    const std::size_t size = robRetire_.size();
+    const std::uint64_t valid = std::min<std::uint64_t>(seq_, size);
+    if (valid > 0) {
+        const std::size_t oldest = seq_ >= size ? robIdx_ : 0;
+        bool ordered = true;
+        Tick prev = 0;
+        for (std::uint64_t k = 0; k < valid; ++k) {
+            const Tick r = robRetire_[(oldest + k) % size];
+            if (r < prev) {
+                ordered = false;
+                break;
+            }
+            prev = r;
+        }
+        ctx.check(ordered, "rob_age_ordered",
+                  "ROB retire times decrease oldest to newest");
+        const Tick newest = robRetire_[(oldest + valid - 1) % size];
+        ctx.check(newest == lastRetire_, "rob_newest_is_last_retire",
+                  "newest ROB entry retires at ", newest,
+                  " but the last retirement was ", lastRetire_);
+        ctx.check(robOccupancyAfter(lastRetire_) == 0,
+                  "no_inst_outlives_last_retire",
+                  robOccupancyAfter(lastRetire_),
+                  " ROB entries retire after the last retirement");
+    }
+
+    // Ring cursors are sequence counters folded by the ring size; a
+    // divergence means an entry was skipped or double-counted.
+    ctx.check(robIdx_ == seq_ % robRetire_.size(), "rob_cursor_consistent",
+              "ROB cursor ", robIdx_, " vs seq ", seq_);
+    ctx.check(iqIdx_ == seq_ % iqIssue_.size(), "iq_cursor_consistent",
+              "IQ cursor ", iqIdx_, " vs seq ", seq_);
+    ctx.check(sbIdx_ == storeSeq_ % sbDrain_.size(), "sb_cursor_consistent",
+              "store-buffer cursor ", sbIdx_, " vs store seq ", storeSeq_);
+    ctx.check(lbIdx_ == loadSeq_ % lbComplete_.size(), "lb_cursor_consistent",
+              "load-buffer cursor ", lbIdx_, " vs load seq ", loadSeq_);
+    ctx.check(seq_ == insts_, "dispatch_matches_inst_count",
+              seq_, " dispatches vs ", insts_, " instructions");
+    ctx.check(storeSeq_ + loadSeq_ <= seq_, "mem_ops_within_dispatches",
+              storeSeq_ + loadSeq_, " memory ops vs ", seq_, " dispatches");
+
+    ctx.check(malformedRecords_ == 0, "trace_records_well_formed",
+              malformedRecords_, " malformed trace records screened");
+}
+
+void
+CoreModel::corruptForTest()
+{
+    if (seq_ == 0) {
+        // Fabricate a lone instruction whose retirement is in the
+        // future relative to lastRetire_.
+        robRetire_[0] = lastRetire_ + 1000;
+        iqIssue_[0] = lastRetire_ + 1000;
+        seq_ = 1;
+        insts_ = 1;
+        robIdx_ = bump(robIdx_, robRetire_.size());
+        iqIdx_ = bump(iqIdx_, iqIssue_.size());
+    } else {
+        // Push the oldest live entry past the last retirement: breaks
+        // age order (several entries) or the newest==lastRetire_ tie
+        // (a single entry).
+        const std::size_t size = robRetire_.size();
+        const std::size_t oldest = seq_ >= size ? robIdx_ : 0;
+        robRetire_[oldest] = lastRetire_ + 1000;
+    }
 }
 
 void

@@ -36,6 +36,9 @@
 namespace ebcp
 {
 
+class AuditContext;
+class Auditor;
+
 /** Timing assigned to one instruction (exposed for tests). */
 struct InstTiming
 {
@@ -117,6 +120,29 @@ class CoreModel
     BranchPredictor &branchPredictor() { return bp_; }
     StatGroup &stats() { return stats_; }
 
+    /**
+     * Attach the invariant auditor. When set, run() fires the
+     * retire-cadence hook after each instruction and screens each
+     * trace record with recordAuditError(). Audit-disabled builds
+     * compile both out; a null pointer is always legal.
+     */
+    void setAuditor(Auditor *aud) { auditor_ = aud; }
+
+    /** Records flagged by recordAuditError() (auditor attached). */
+    std::uint64_t malformedRecords() const { return malformedRecords_; }
+
+    /**
+     * Re-derive window invariants from the retirement state: the ROB
+     * ring is age-ordered up to its newest entry (== the last retire,
+     * which nothing in flight may outlive), the ring cursors agree
+     * with the dispatch sequence numbers, and no screened trace record
+     * was malformed.
+     */
+    void audit(AuditContext &ctx) const;
+
+    /** Test-only: break ROB age order so audit() trips. */
+    void corruptForTest();
+
   private:
     /** Wrap a ring cursor (cheaper than % on a runtime size). */
     static std::size_t
@@ -173,6 +199,9 @@ class CoreModel
     Tick watchdogGap_ = 0;
     bool watchdogTripped_ = false;
     double watchdogWallSeconds_ = 0.0;
+
+    Auditor *auditor_ = nullptr;
+    std::uint64_t malformedRecords_ = 0;
 
     StatGroup stats_;
     Scalar loads_{"loads", "load instructions"};

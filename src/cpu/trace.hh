@@ -69,6 +69,27 @@ sanitizeRecord(TraceRecord &r)
     return touched;
 }
 
+/**
+ * Well-formedness check used by the audit layer. Every legitimate
+ * source in this repo (synthetic workloads, and trace files written
+ * from them) constructs records from defaults, so a non-control
+ * record never carries branch state and a non-memory record never
+ * carries an effective address. Either one signals corruption --
+ * e.g. a bit flipped into taken/target/addr -- that sanitizeRecord()
+ * cannot see because the field values are individually plausible.
+ *
+ * @return a short description of the defect, or nullptr when clean.
+ */
+inline const char *
+recordAuditError(const TraceRecord &r)
+{
+    if (!isControl(r.op) && (r.taken || r.target != 0))
+        return "non-control record carries branch state";
+    if (!isMem(r.op) && r.addr != 0)
+        return "non-memory record carries an effective address";
+    return nullptr;
+}
+
 /** Pull-model trace source. */
 class TraceSource
 {

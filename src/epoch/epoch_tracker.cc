@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "verify/audit.hh"
+
 namespace ebcp
 {
 
@@ -48,6 +50,23 @@ EpochTracker::beginMeasurement()
 {
     stats_.resetAll();
     missesInEpoch_ = 0;
+}
+
+void
+EpochTracker::audit(AuditContext &ctx) const
+{
+    ctx.check(curStart_ <= curEnd_, "epoch_span_well_formed",
+              "epoch ", curEpoch_, " starts @", curStart_,
+              " after its transitive end @", curEnd_);
+    ctx.check(missesInEpoch_ == 0 || curEpoch_ > 0,
+              "open_epoch_exclusivity", missesInEpoch_,
+              " misses attributed to an epoch before any trigger");
+}
+
+void
+EpochTracker::corruptForTest()
+{
+    curStart_ = curEnd_ + 1000;
 }
 
 } // namespace ebcp

@@ -23,6 +23,8 @@
 namespace ebcp
 {
 
+class AuditContext;
+
 /** What the tracker decided about one off-chip access. */
 struct EpochEvent
 {
@@ -69,6 +71,18 @@ class EpochTracker
     void setTraceSink(TraceSink *sink) { trace_ = sink; }
 
     StatGroup &stats() { return stats_; }
+
+    /**
+     * Re-derive structural invariants: the single open epoch's span
+     * well-formed (start never past its transitive end) and an open
+     * epoch only once any trigger has been observed. Cross-run
+     * monotonicity of the ids handed out lives in the driver's
+     * registry entry, which remembers the last id it saw.
+     */
+    void audit(AuditContext &ctx) const;
+
+    /** Test-only: invert the open epoch's span so audit() trips. */
+    void corruptForTest();
 
   private:
     TraceSink *trace_ = nullptr;

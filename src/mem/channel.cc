@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "verify/audit.hh"
 
 namespace ebcp
 {
@@ -39,6 +40,7 @@ Channel::request(Tick when, MemPriority pri, unsigned bytes)
 {
     const Tick occ = occupancy(bytes);
     MemAccessResult res;
+    ++requestedLifetime_;
 
     if (pri == MemPriority::Demand) {
         // Demand traffic contends only with earlier demand traffic;
@@ -53,6 +55,7 @@ Channel::request(Tick when, MemPriority pri, unsigned bytes)
         res.grant = std::max(when, lowFree_);
         if (res.grant - when > dropDelay_) {
             ++droppedRequests_;
+            ++droppedLifetime_;
             res.dropped = true;
             return res;
         }
@@ -61,9 +64,29 @@ Channel::request(Tick when, MemPriority pri, unsigned bytes)
         lowQueueDelay_.sample(static_cast<double>(res.grant - when));
     }
 
+    ++grantedLifetime_;
     busyTicks_ += occ;
     bytesMoved_ += bytes;
     return res;
+}
+
+void
+Channel::audit(AuditContext &ctx) const
+{
+    ctx.check(requestedLifetime_ == grantedLifetime_ + droppedLifetime_,
+              "request_conservation", stats_.name(), ": ",
+              requestedLifetime_, " requested but ", grantedLifetime_,
+              " granted + ", droppedLifetime_, " dropped");
+    ctx.check(lowFree_ >= demandFree_, "priority_horizons_ordered",
+              stats_.name(), ": all-traffic horizon @", lowFree_,
+              " behind demand-only horizon @", demandFree_);
+}
+
+void
+Channel::corruptForTest()
+{
+    ++requestedLifetime_;
+    demandFree_ = lowFree_ + 1000;
 }
 
 } // namespace ebcp

@@ -16,12 +16,16 @@
 #ifndef EBCP_MEM_CHANNEL_HH
 #define EBCP_MEM_CHANNEL_HH
 
+#include <cstdint>
+
 #include "mem/request.hh"
 #include "stats/group.hh"
 #include "util/types.hh"
 
 namespace ebcp
 {
+
+class AuditContext;
 
 /** One bandwidth-limited bus direction. */
 class Channel
@@ -55,6 +59,22 @@ class Channel
 
     StatGroup &stats() { return stats_; }
 
+    /** Lifetime (never reset) request accounting for conservation
+     * audits; the Scalar stats above reset at beginMeasurement and so
+     * cannot balance against other components' lifetime counts. */
+    std::uint64_t requestedLifetime() const { return requestedLifetime_; }
+    std::uint64_t grantedLifetime() const { return grantedLifetime_; }
+    std::uint64_t droppedLifetime() const { return droppedLifetime_; }
+
+    /** Re-derive structural invariants: every request either granted
+     * or dropped, and the all-traffic horizon never behind the
+     * demand-only horizon. */
+    void audit(AuditContext &ctx) const;
+
+    /** Test-only: leak a phantom request and invert the priority
+     * horizons so audit() trips. */
+    void corruptForTest();
+
   private:
     double bytesPerTick_;
     Tick dropDelay_;
@@ -62,6 +82,10 @@ class Channel
     Tick demandFree_ = 0; //!< bus free of demand traffic after this tick
     Tick lowFree_ = 0;    //!< bus free of all traffic after this tick
     Tick busyTicks_ = 0;
+
+    std::uint64_t requestedLifetime_ = 0;
+    std::uint64_t grantedLifetime_ = 0;
+    std::uint64_t droppedLifetime_ = 0;
 
     StatGroup stats_;
     Scalar demandRequests_{"demand_requests", "demand transfers granted"};

@@ -1,5 +1,7 @@
 #include "mem/main_memory.hh"
 
+#include "verify/audit.hh"
+
 namespace ebcp
 {
 
@@ -31,6 +33,7 @@ MainMemory::access(Tick when, MemReqType type, unsigned bytes)
     const bool is_write =
         type == MemReqType::StoreWrite || type == MemReqType::TableWrite;
     Channel &chan = is_write ? write_ : read_;
+    ++(is_write ? writesIssuedLifetime_ : readsIssuedLifetime_);
 
     MemAccessResult res = chan.request(when, pri, bytes);
     if (res.dropped)
@@ -59,6 +62,27 @@ MainMemory::setBandwidthScale(double factor)
 {
     read_.setBandwidth(cfg_.readBytesPerTick * factor);
     write_.setBandwidth(cfg_.writeBytesPerTick * factor);
+}
+
+void
+MainMemory::audit(AuditContext &ctx) const
+{
+    ctx.check(readsIssuedLifetime_ == read_.requestedLifetime(),
+              "read_request_conservation", readsIssuedLifetime_,
+              " reads issued but the read bus saw ",
+              read_.requestedLifetime());
+    ctx.check(writesIssuedLifetime_ == write_.requestedLifetime(),
+              "write_request_conservation", writesIssuedLifetime_,
+              " writes issued but the write bus saw ",
+              write_.requestedLifetime());
+    read_.audit(ctx);
+    write_.audit(ctx);
+}
+
+void
+MainMemory::corruptForTest()
+{
+    ++readsIssuedLifetime_;
 }
 
 } // namespace ebcp

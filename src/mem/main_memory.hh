@@ -15,6 +15,8 @@
 namespace ebcp
 {
 
+class AuditContext;
+
 /**
  * Main memory with a fixed unloaded latency and bandwidth-limited,
  * priority-scheduled read and write buses.
@@ -50,10 +52,35 @@ class MainMemory
     Channel &readChannel() { return read_; }
     Channel &writeChannel() { return write_; }
 
+    /**
+     * Hard upper bound on complete - when for any *served*
+     * low-priority read (prefetch, table): such a read queues at most
+     * the drop threshold -- beyond that it is dropped, not served --
+     * and then waits the unloaded latency. Audits use this to catch
+     * timing faults that inflate table-read latency.
+     */
+    Tick
+    maxLowPriorityReadLatency() const
+    {
+        return cfg_.lowPriorityDropDelay + cfg_.latency;
+    }
+
+    /** Re-derive request conservation: every read/write issued here
+     * was either granted or dropped by its channel, and the channels'
+     * own horizons are consistent. */
+    void audit(AuditContext &ctx) const;
+
+    /** Test-only: record a read that never reached a channel so
+     * audit() trips. */
+    void corruptForTest();
+
   private:
     MemConfig cfg_;
     Channel read_;
     Channel write_;
+
+    std::uint64_t readsIssuedLifetime_ = 0;
+    std::uint64_t writesIssuedLifetime_ = 0;
 
     StatGroup stats_;
     Scalar reads_{"reads", "read requests serviced"};

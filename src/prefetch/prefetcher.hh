@@ -25,6 +25,8 @@
 namespace ebcp
 {
 
+class AuditContext;
+
 /** Everything a prefetcher learns about one L2 access (an L1 miss). */
 struct L2AccessInfo
 {
@@ -106,6 +108,13 @@ class Prefetcher
      * and table traffic) override this and create sinks in @p log.
      */
     virtual void attachTraceLog(TraceLog &log) { (void)log; }
+
+    /**
+     * Re-derive this prefetcher's structural invariants. The default
+     * has no state to audit; stateful prefetchers (the EBCP's table,
+     * EMAB and allocation machinery) override it.
+     */
+    virtual void audit(AuditContext &ctx) const { (void)ctx; }
 
     const std::string &name() const { return name_; }
     StatGroup &stats() { return stats_; }

@@ -32,6 +32,70 @@ CmpSystem::CmpSystem(const SimConfig &cfg, const PrefetcherParams &pf,
 }
 
 Status
+CmpSystem::configureAudit(const AuditOptions &opts)
+{
+    if (!opts.enabled()) {
+        for (auto &c : coreModels_)
+            c->setAuditor(nullptr);
+        l2side_->setAuditor(nullptr);
+        auditor_.reset();
+        return Status();
+    }
+#if !EBCP_AUDIT_ENABLED
+    return invalidArgError(
+        "auditing requested (cadence is not \"off\") but this build "
+        "was configured with -DEBCP_AUDIT=OFF and has no hook sites");
+#else
+    auditor_ = std::make_unique<Auditor>(opts);
+    AuditRegistry &reg = auditor_->registry();
+    for (unsigned i = 0; i < cores_; ++i)
+        reg.add(logFormat("core", i), [this, i](AuditContext &c) {
+            coreModels_[i]->audit(c);
+        });
+    reg.add("l2", [this](AuditContext &c) { l2side_->l2().audit(c); });
+    reg.add("l2.prefetch_buffer", [this](AuditContext &c) {
+        l2side_->prefetchBuffer().audit(c);
+    });
+    reg.add("l2.mshrs",
+            [this](AuditContext &c) { l2side_->mshrs().audit(c); });
+    reg.add("l2.cross", [this](AuditContext &c) { l2side_->audit(c); });
+    reg.add("epochs", [this, last = EpochId(0)](AuditContext &c) mutable {
+        EpochTracker &t = l2side_->epochTracker();
+        t.audit(c);
+        c.check(t.currentEpoch() >= last, "epoch_ids_monotonic",
+                "epoch id went from ", last, " back to ",
+                t.currentEpoch());
+        last = t.currentEpoch();
+    });
+    reg.add("memory", [this](AuditContext &c) { mem_.audit(c); });
+    reg.add("prefetcher",
+            [this](AuditContext &c) { prefetcher_->audit(c); });
+    if (auto *e = dynamic_cast<EpochBasedPrefetcher *>(prefetcher_.get())) {
+        reg.add("ebcp.table_traffic", [this, e](AuditContext &c) {
+            if (!e->config().onChipTable)
+                c.check(e->tableReadAttemptsLifetime() ==
+                            l2side_->tableReadsServedLifetime(),
+                        "table_read_conservation",
+                        e->tableReadAttemptsLifetime(),
+                        " table reads attempted by the control but ",
+                        l2side_->tableReadsServedLifetime(),
+                        " reached the memory system");
+            c.check(e->maxTableReadTicks() <=
+                        mem_.maxLowPriorityReadLatency(),
+                    "table_read_latency_bounded",
+                    "a served table read took ", e->maxTableReadTicks(),
+                    " ticks, above the served-read bound of ",
+                    mem_.maxLowPriorityReadLatency());
+        });
+    }
+    for (auto &c : coreModels_)
+        c->setAuditor(auditor_.get());
+    l2side_->setAuditor(auditor_.get());
+    return Status();
+#endif
+}
+
+Status
 CmpSystem::runPhase(std::vector<TraceSource *> &sources,
                     std::uint64_t insts_per_core)
 {
@@ -68,6 +132,8 @@ CmpSystem::runPhase(std::vector<TraceSource *> &sources,
             }
             done[i] += chunk;
             remaining -= chunk;
+            if (auditor_ && auditor_->abortRequested())
+                return auditor_->toStatus();
         }
     }
     return Status();
@@ -90,6 +156,17 @@ CmpSystem::tryRun(std::vector<TraceSource *> &sources,
 
     if (Status s = runPhase(sources, measure); !s.ok())
         return s;
+
+    // One final pass so every configured run ends audited even if the
+    // cadence never fired during the window.
+    if (auditor_) {
+        Tick now = 0;
+        for (auto &c : coreModels_)
+            now = std::max(now, c->now());
+        auditor_->runNow(now);
+        if (auditor_->abortRequested())
+            return auditor_->toStatus();
+    }
 
     CmpResults res;
     std::uint64_t total_insts = 0;

@@ -93,6 +93,23 @@ class CmpSystem
         tracePolicyName_ = std::move(name);
     }
 
+    /**
+     * Configure invariant auditing across all cores and the shared
+     * L2 side; semantics as Simulator::configureAudit. Each core's
+     * retire hook and the shared epoch hook drive one Auditor.
+     */
+    Status configureAudit(const AuditOptions &opts);
+
+    /** The attached auditor, or nullptr when auditing is off. */
+    Auditor *auditor() { return auditor_.get(); }
+
+    /** Audit summary as rendered JSON ("" when auditing is off). */
+    std::string
+    auditSummaryJson() const
+    {
+        return auditor_ ? auditor_->summaryJson() : std::string();
+    }
+
     /** JSON form of the last watchdog diagnostic ("" if none). */
     const std::string &lastDiagnosticJson() const
     {
@@ -114,6 +131,7 @@ class CmpSystem
     std::string tracePolicyName_;
     std::string lastDiagnosticJson_;
     Pcg32 rng_{0xc3b0};
+    std::unique_ptr<Auditor> auditor_;
     MainMemory mem_;
     std::unique_ptr<Prefetcher> prefetcher_;
     std::unique_ptr<L2Subsystem> l2side_;

@@ -82,7 +82,7 @@ L2Subsystem::access(Addr addr, Addr pc, Tick when, bool is_inst,
         if (inflight != MaxTick && inflight > when + l2_lat) {
             out.complete = inflight;
             out.offChip = true;
-            epochs_.observe(when, inflight);
+            observeEpoch(when, inflight);
             info.offChip = true;
             info.complete = inflight;
         } else {
@@ -113,7 +113,7 @@ L2Subsystem::access(Addr addr, Addr pc, Tick when, bool is_inst,
             ++latePrefetchStalls_;
             lateStallTicks_.sample(
                 static_cast<double>(data_ready - when - l2_lat));
-            epochs_.observe(when, data_ready);
+            observeEpoch(when, data_ready);
             out.offChip = true;
             ledger_.onHitLate(data_ready - when - l2_lat);
             EBCP_TRACE_EVENT(trace_, TraceEventKind::PrefetchHitLate,
@@ -143,7 +143,7 @@ L2Subsystem::access(Addr addr, Addr pc, Tick when, bool is_inst,
                                                : MemReqType::DemandLoad);
     out.complete = r.complete;
     l2Mshrs_.allocate(line, r.complete);
-    epochs_.observe(alloc, r.complete);
+    observeEpoch(alloc, r.complete);
     EBCP_TRACE_EVENT(trace_, TraceEventKind::DemandMiss, alloc,
                      r.complete - alloc, line);
     if (is_inst)
@@ -226,13 +226,37 @@ L2Subsystem::issuePrefetch(Addr line_addr, Tick when,
 MemAccessResult
 L2Subsystem::tableRead(Tick when)
 {
+    ++tableReadsServedLifetime_;
     return mem_.access(when, MemReqType::TableRead, tableBytes_);
 }
 
 MemAccessResult
 L2Subsystem::tableWrite(Tick when)
 {
+    ++tableWritesServedLifetime_;
     return mem_.access(when, MemReqType::TableWrite, tableBytes_);
+}
+
+void
+L2Subsystem::audit(AuditContext &ctx) const
+{
+    // A buffered line must not also be L2-resident: issuePrefetch()
+    // filters lines already on chip, and a buffer hit fills the L2
+    // while consuming the buffer entry. Dual residence means a stale
+    // or duplicated fill path.
+    prefBuf_.forEachValid([&](Addr line, Tick) {
+        ctx.check(!l2_.contains(line), "line_not_in_l2_and_buffer",
+                  "line ", line, " resident in both the L2 and the "
+                  "prefetch buffer");
+    });
+}
+
+void
+L2Subsystem::corruptForTest()
+{
+    const Addr line = l2_.lineAddr(0x1337'0000);
+    prefBuf_.insert(line, 0, 0, false);
+    l2_.fill(line);
 }
 
 void

@@ -24,6 +24,7 @@
 #include "prefetch/prefetcher.hh"
 #include "sim/sim_config.hh"
 #include "util/event_trace.hh"
+#include "verify/audit.hh"
 
 namespace ebcp
 {
@@ -94,7 +95,50 @@ class L2Subsystem : public PrefetchEngine
 
     StatGroup &stats() { return stats_; }
 
+    /**
+     * Attach the invariant auditor: epoch triggers observed by the
+     * demand tracker fire the epoch-cadence hook. Null is legal;
+     * audit-disabled builds compile the hook out.
+     */
+    void setAuditor(Auditor *aud) { auditor_ = aud; }
+
+    /** Lifetime (never reset) table transfers actually sent to
+     * memory, balanced by the prefetcher against its own attempt
+     * count to expose dropped-on-the-floor table traffic. */
+    std::uint64_t tableReadsServedLifetime() const
+    {
+        return tableReadsServedLifetime_;
+    }
+    std::uint64_t tableWritesServedLifetime() const
+    {
+        return tableWritesServedLifetime_;
+    }
+
+    /**
+     * Re-derive the L2-side exclusivity invariant: a line is never
+     * resident in the L2 and the prefetch buffer at once (fills from
+     * the buffer move the line into the L2 and the buffer entry is
+     * consumed).
+     */
+    void audit(AuditContext &ctx) const;
+
+    /** Test-only: plant one line in both structures so audit() trips. */
+    void corruptForTest();
+
   private:
+    /** Feed the demand epoch tracker and fire the audit epoch hook on
+     * a trigger. */
+    void
+    observeEpoch(Tick issue, Tick complete)
+    {
+#if EBCP_AUDIT_ENABLED
+        if (epochs_.observe(issue, complete).newEpoch)
+            EBCP_AUDIT_EPOCH(auditor_, issue);
+#else
+        epochs_.observe(issue, complete);
+#endif
+    }
+
     SimConfig cfg_;
     MainMemory &mem_;
     Prefetcher &prefetcher_;
@@ -105,8 +149,11 @@ class L2Subsystem : public PrefetchEngine
     EpochTracker epochs_;
     PrefetchLedger ledger_;
     TraceSink *trace_ = nullptr;
+    Auditor *auditor_ = nullptr;
     unsigned tableBytes_ = 64;
     std::uint64_t demandCount_ = 0; //!< demand accesses (fault trigger)
+    std::uint64_t tableReadsServedLifetime_ = 0;
+    std::uint64_t tableWritesServedLifetime_ = 0;
 
     StatGroup stats_;
     Scalar offChipInst_{"offchip_inst", "instruction fetches off chip"};

@@ -37,6 +37,69 @@ Simulator::stallStatus()
                                            *prefetcher_, ctx));
 }
 
+Status
+Simulator::configureAudit(const AuditOptions &opts)
+{
+    if (!opts.enabled()) {
+        core_->setAuditor(nullptr);
+        l2side_->setAuditor(nullptr);
+        auditor_.reset();
+        return Status();
+    }
+#if !EBCP_AUDIT_ENABLED
+    return invalidArgError(
+        "auditing requested (cadence is not \"off\") but this build "
+        "was configured with -DEBCP_AUDIT=OFF and has no hook sites");
+#else
+    auditor_ = std::make_unique<Auditor>(opts);
+    AuditRegistry &reg = auditor_->registry();
+    reg.add("core", [this](AuditContext &c) { core_->audit(c); });
+    reg.add("l2", [this](AuditContext &c) { l2side_->l2().audit(c); });
+    reg.add("l2.prefetch_buffer", [this](AuditContext &c) {
+        l2side_->prefetchBuffer().audit(c);
+    });
+    reg.add("l2.mshrs",
+            [this](AuditContext &c) { l2side_->mshrs().audit(c); });
+    reg.add("l2.cross", [this](AuditContext &c) { l2side_->audit(c); });
+    // The demand tracker's internal span invariants, plus cross-pass
+    // monotonicity of the epoch ids it hands out.
+    reg.add("epochs", [this, last = EpochId(0)](AuditContext &c) mutable {
+        EpochTracker &t = l2side_->epochTracker();
+        t.audit(c);
+        c.check(t.currentEpoch() >= last, "epoch_ids_monotonic",
+                "epoch id went from ", last, " back to ",
+                t.currentEpoch());
+        last = t.currentEpoch();
+    });
+    reg.add("memory", [this](AuditContext &c) { mem_.audit(c); });
+    reg.add("prefetcher",
+            [this](AuditContext &c) { prefetcher_->audit(c); });
+    if (auto *e = dynamic_cast<EpochBasedPrefetcher *>(prefetcher_.get())) {
+        // Conservation and latency bounds between the control and the
+        // memory system live in neither component.
+        reg.add("ebcp.table_traffic", [this, e](AuditContext &c) {
+            if (!e->config().onChipTable)
+                c.check(e->tableReadAttemptsLifetime() ==
+                            l2side_->tableReadsServedLifetime(),
+                        "table_read_conservation",
+                        e->tableReadAttemptsLifetime(),
+                        " table reads attempted by the control but ",
+                        l2side_->tableReadsServedLifetime(),
+                        " reached the memory system");
+            c.check(e->maxTableReadTicks() <=
+                        mem_.maxLowPriorityReadLatency(),
+                    "table_read_latency_bounded",
+                    "a served table read took ", e->maxTableReadTicks(),
+                    " ticks, above the served-read bound of ",
+                    mem_.maxLowPriorityReadLatency());
+        });
+    }
+    core_->setAuditor(auditor_.get());
+    l2side_->setAuditor(auditor_.get());
+    return Status();
+#endif
+}
+
 StatusOr<SimResults>
 Simulator::tryRun(TraceSource &src, std::uint64_t warm_insts,
                   std::uint64_t measure_insts)
@@ -46,6 +109,8 @@ Simulator::tryRun(TraceSource &src, std::uint64_t warm_insts,
     core_->run(src, warm_insts);
     if (core_->watchdogTripped())
         return stallStatus();
+    if (auditor_ && auditor_->abortRequested())
+        return auditor_->toStatus();
 
     core_->beginMeasurement();
     hier_->beginMeasurement();
@@ -58,6 +123,8 @@ Simulator::tryRun(TraceSource &src, std::uint64_t warm_insts,
         core_->run(src, measure_insts);
         if (core_->watchdogTripped())
             return stallStatus();
+        if (auditor_ && auditor_->abortRequested())
+            return auditor_->toStatus();
     } else {
         // Drive the window in interval-sized chunks so the sampler
         // sees exact boundaries. Bit-exact vs one run() call: the
@@ -70,12 +137,21 @@ Simulator::tryRun(TraceSource &src, std::uint64_t warm_insts,
             core_->run(src, chunk);
             if (core_->watchdogTripped())
                 return stallStatus();
+            if (auditor_ && auditor_->abortRequested())
+                return auditor_->toStatus();
             const std::uint64_t got = core_->measuredInsts();
             if (got == done)
                 break; // trace exhausted
             done = got;
             sampler_->sample(done);
         }
+    }
+    // One final pass so every configured run ends with at least one
+    // full audit, whatever the cadence saw during the window.
+    if (auditor_) {
+        auditor_->runNow(core_->now());
+        if (auditor_->abortRequested())
+            return auditor_->toStatus();
     }
     return collect();
 }

@@ -72,6 +72,29 @@ class Simulator
     }
 
     /**
+     * Configure invariant auditing. Cadence Off detaches any auditor.
+     * Registers every stateful component plus the cross-component
+     * checks (table-traffic conservation, table-read latency bound,
+     * epoch-id monotonicity) and wires the retire/epoch hooks.
+     *
+     * Audits read state only, so results are bit-identical with
+     * auditing on or off. In a -DEBCP_AUDIT=OFF build any cadence
+     * other than Off is an InvalidArgument error: a build without
+     * hook sites must not pretend it audited.
+     */
+    Status configureAudit(const AuditOptions &opts);
+
+    /** The attached auditor, or nullptr when auditing is off. */
+    Auditor *auditor() { return auditor_.get(); }
+
+    /** Audit summary as rendered JSON ("" when auditing is off). */
+    std::string
+    auditSummaryJson() const
+    {
+        return auditor_ ? auditor_->summaryJson() : std::string();
+    }
+
+    /**
      * JSON form of the last watchdog diagnostic ("" if no stall
      * happened). Drivers embed this in stats.json.
      */
@@ -104,6 +127,7 @@ class Simulator
     std::unique_ptr<CoreModel> core_;
 
     IntervalSampler *sampler_ = nullptr;
+    std::unique_ptr<Auditor> auditor_;
     std::string tracePolicyName_;
     std::string lastDiagnosticJson_;
 

@@ -16,12 +16,17 @@ beginStatsJson(JsonWriter &w, std::string_view source)
 }
 
 void
-endStatsJson(JsonWriter &w, std::string_view diagnostic_raw)
+endStatsJson(JsonWriter &w, std::string_view diagnostic_raw,
+             std::string_view audit_raw)
 {
     w.endArray();
     if (!diagnostic_raw.empty()) {
         w.key("diagnostic");
         w.rawValue(diagnostic_raw);
+    }
+    if (!audit_raw.empty()) {
+        w.key("audit");
+        w.rawValue(audit_raw);
     }
     w.endObject();
 }
@@ -99,6 +104,24 @@ validateStatsJson(const std::string &text)
     if (const JsonValue *diag = root.find("diagnostic");
         diag && !diag->isObject())
         return corruptionError("'diagnostic' is not an object");
+
+    if (const JsonValue *audit = root.find("audit")) {
+        if (!audit->isObject())
+            return corruptionError("'audit' is not an object");
+        if (!audit->hasNumber("passes"))
+            return corruptionError("'audit' lacks a 'passes' number");
+        const JsonValue *result = audit->find("result");
+        if (!result || !result->isObject())
+            return corruptionError("'audit' lacks a 'result' object");
+        if (!result->hasNumber("checks") ||
+            !result->hasNumber("violation_count"))
+            return corruptionError(
+                "'audit.result' lacks 'checks'/'violation_count'");
+        const JsonValue *violations = result->find("violations");
+        if (!violations || !violations->isArray())
+            return corruptionError(
+                "'audit.result' lacks a 'violations' array");
+    }
     return Status();
 }
 

@@ -23,7 +23,8 @@
  *         "intervals": { ... }   // optional IntervalSampler series
  *       }, ...
  *     ],
- *     "diagnostic": { ... }      // optional (stalled runs)
+ *     "diagnostic": { ... },     // optional (stalled runs)
+ *     "audit": { ... }           // optional (invariant-audit summary)
  *   }
  */
 
@@ -52,9 +53,12 @@ void beginStatsJson(JsonWriter &w, std::string_view source);
 /**
  * Close the runs array and the document. @p diagnostic_raw, when
  * non-empty, must be a complete JSON value (e.g. a watchdog
- * diagnostic object) and becomes the top-level "diagnostic" member.
+ * diagnostic object) and becomes the top-level "diagnostic" member;
+ * @p audit_raw likewise (an Auditor::summaryJson() object) becomes
+ * the top-level "audit" member.
  */
-void endStatsJson(JsonWriter &w, std::string_view diagnostic_raw = {});
+void endStatsJson(JsonWriter &w, std::string_view diagnostic_raw = {},
+                  std::string_view audit_raw = {});
 
 /** Emit @p r as one JSON object value (a run's "results" member). */
 void writeSimResultsJson(JsonWriter &w, const SimResults &r);

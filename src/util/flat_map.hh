@@ -25,8 +25,10 @@
 #ifndef EBCP_UTIL_FLAT_MAP_HH
 #define EBCP_UTIL_FLAT_MAP_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -240,6 +242,63 @@ class FlatMap
 
     const FlatMapStats &stats() const { return stats_; }
     void resetStats() { stats_ = {}; }
+
+    /**
+     * Structural self-check for the audit layer (which lives above
+     * util and so cannot be included from here): size() must equal
+     * the number of used slots, keys must be unique, and every used
+     * slot must be reachable from its key's home slot without
+     * crossing an empty slot -- the linear-probing invariant that
+     * backward-shift deletion exists to maintain. A violation means
+     * entries have silently become unfindable.
+     *
+     * @return empty when intact, else a description of the breakage.
+     */
+    std::string
+    integrityError() const
+    {
+        std::size_t used = 0;
+        std::vector<Key> keys;
+        keys.reserve(size_);
+        for (std::size_t j = 0; j < slots_.size(); ++j) {
+            const Slot &s = slots_[j];
+            if (!s.used)
+                continue;
+            ++used;
+            keys.push_back(s.key);
+            const std::size_t home = Hash{}(s.key)&mask_;
+            // Every slot cyclically in [home, j) must be occupied,
+            // or find(s.key) stops at the gap and misses this entry.
+            for (std::size_t i = home; i != j; i = (i + 1) & mask_) {
+                if (!slots_[i].used)
+                    return "slot " + std::to_string(j) + " (key " +
+                           std::to_string(s.key) +
+                           ") unreachable: empty slot " +
+                           std::to_string(i) + " breaks its probe chain";
+            }
+        }
+        if (used != size_)
+            return "size() is " + std::to_string(size_) + " but " +
+                   std::to_string(used) + " slots are used";
+        std::sort(keys.begin(), keys.end());
+        for (std::size_t i = 1; i < keys.size(); ++i)
+            if (keys[i] == keys[i - 1])
+                return "duplicate key " + std::to_string(keys[i]);
+        return {};
+    }
+
+    /** Test-only: hide one used slot without fixing up size or probe
+     * chains, so integrityError() has something to find. */
+    void
+    corruptForTest()
+    {
+        for (Slot &s : slots_) {
+            if (s.used) {
+                s.used = false;
+                return;
+            }
+        }
+    }
 
   private:
     struct Slot

@@ -16,33 +16,81 @@ jsonEscape(std::string_view s)
 {
     std::string out;
     out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\r':
-            out += "\\r";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(c));
-                out += buf;
-            } else {
-                out += c;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        const unsigned char c = static_cast<unsigned char>(s[i]);
+        if (c < 0x80) {
+            switch (c) {
+              case '"':
+                out += "\\\"";
+                break;
+              case '\\':
+                out += "\\\\";
+                break;
+              case '\n':
+                out += "\\n";
+                break;
+              case '\r':
+                out += "\\r";
+                break;
+              case '\t':
+                out += "\\t";
+                break;
+              default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(c));
+                    out += buf;
+                } else {
+                    out += static_cast<char>(c);
+                }
             }
+            ++i;
+            continue;
         }
+        // Non-ASCII: validate the UTF-8 sequence. Diagnostics may
+        // embed bytes from corrupt traces, so a stray continuation
+        // byte, overlong form, surrogate, truncated tail, or
+        // code point past U+10FFFF must not leak into the document;
+        // each offending byte becomes U+FFFD and scanning resumes at
+        // the next byte.
+        std::size_t len = 0;
+        unsigned cp = 0;
+        unsigned minCp = 0;
+        if ((c & 0xE0) == 0xC0) {
+            len = 2;
+            cp = c & 0x1Fu;
+            minCp = 0x80;
+        } else if ((c & 0xF0) == 0xE0) {
+            len = 3;
+            cp = c & 0x0Fu;
+            minCp = 0x800;
+        } else if ((c & 0xF8) == 0xF0) {
+            len = 4;
+            cp = c & 0x07u;
+            minCp = 0x10000;
+        } else {
+            out += "\\ufffd";
+            ++i;
+            continue;
+        }
+        bool valid = i + len <= s.size();
+        for (std::size_t k = 1; valid && k < len; ++k) {
+            const unsigned char cc = static_cast<unsigned char>(s[i + k]);
+            if ((cc & 0xC0) != 0x80)
+                valid = false;
+            else
+                cp = (cp << 6) | (cc & 0x3Fu);
+        }
+        if (!valid || cp < minCp || cp > 0x10FFFF ||
+            (cp >= 0xD800 && cp <= 0xDFFF)) {
+            out += "\\ufffd";
+            ++i;
+            continue;
+        }
+        out.append(s.substr(i, len));
+        i += len;
     }
     return out;
 }

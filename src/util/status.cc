@@ -16,6 +16,7 @@ statusCodeName(StatusCode code)
       case StatusCode::IoError: return "I/O error";
       case StatusCode::Corruption: return "corruption";
       case StatusCode::Stalled: return "stalled";
+      case StatusCode::InvariantViolation: return "invariant violation";
     }
     return "unknown";
 }

@@ -40,13 +40,14 @@ enum class StatusCode
     IoError,         //!< OS-level read/write failure (carries errno)
     Corruption,      //!< data failed an integrity check (CRC, header)
     Stalled,         //!< forward-progress watchdog tripped
+    InvariantViolation, //!< a runtime structural audit found broken state
 };
 
 /** @return a short printable name for @p code. */
 const char *statusCodeName(StatusCode code);
 
 /** The result of an operation that can fail recoverably. */
-class Status
+class [[nodiscard]] Status
 {
   public:
     /** Success. */
@@ -113,6 +114,14 @@ stalledError(Args &&...args)
                   logFormat(std::forward<Args>(args)...));
 }
 
+template <typename... Args>
+Status
+invariantError(Args &&...args)
+{
+    return Status(StatusCode::InvariantViolation,
+                  logFormat(std::forward<Args>(args)...));
+}
+
 /** The current errno rendered as "error 2 (No such file...)". */
 std::string errnoString();
 
@@ -124,7 +133,7 @@ std::string errnoString();
  * valueOr) first.
  */
 template <typename T>
-class StatusOr
+class [[nodiscard]] StatusOr
 {
   public:
     /** An error result; @p status must not be Ok. */

@@ -23,6 +23,65 @@ TEST(JsonEscape, ControlAndQuoteCharacters)
     EXPECT_EQ(jsonEscape(std::string_view("a\x01z", 3)), "a\\u0001z");
 }
 
+TEST(JsonEscape, ValidUtf8PassesThroughUnchanged)
+{
+    EXPECT_EQ(jsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");   // U+00E9
+    EXPECT_EQ(jsonEscape("\xe2\x82\xac"), "\xe2\x82\xac"); // U+20AC
+    EXPECT_EQ(jsonEscape("\xf0\x9f\x9a\x80"),
+              "\xf0\x9f\x9a\x80"); // U+1F680
+}
+
+TEST(JsonEscape, InvalidUtf8BecomesReplacementEscapes)
+{
+    // Stray lead / continuation bytes.
+    EXPECT_EQ(jsonEscape(std::string_view("\xff", 1)), "\\ufffd");
+    EXPECT_EQ(jsonEscape(std::string_view("\x80", 1)), "\\ufffd");
+    // Overlong two-byte encoding of '/' (0xC0 0xAF): the lead is
+    // rejected, then the orphaned continuation byte.
+    EXPECT_EQ(jsonEscape(std::string_view("\xc0\xaf", 2)),
+              "\\ufffd\\ufffd");
+    // Three-byte sequence truncated at end of input.
+    EXPECT_EQ(jsonEscape(std::string_view("\xe2\x82", 2)),
+              "\\ufffd\\ufffd");
+    // UTF-16 surrogate U+D800 encoded directly.
+    EXPECT_EQ(jsonEscape(std::string_view("\xed\xa0\x80", 3)),
+              "\\ufffd\\ufffd\\ufffd");
+    // Above U+10FFFF.
+    EXPECT_EQ(jsonEscape(std::string_view("\xf4\x90\x80\x80", 4)),
+              "\\ufffd\\ufffd\\ufffd\\ufffd");
+    // Resynchronizes: bytes after the bad sequence survive.
+    EXPECT_EQ(jsonEscape(std::string_view("a\xffz", 3)), "a\\ufffdz");
+}
+
+TEST(JsonEscape, Utf8RoundTripsThroughWriterAndParser)
+{
+    const std::string utf8 = "caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x9a\x80";
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("s", utf8);
+    w.endObject();
+
+    StatusOr<JsonValue> v = parseJson(os.str());
+    ASSERT_TRUE(v.ok()) << v.status().toString();
+    EXPECT_EQ(v.value().find("s")->string, utf8);
+}
+
+TEST(JsonEscape, InvalidUtf8StillYieldsParseableDocuments)
+{
+    // A corrupt workload name (raw 0xFF byte) must not produce a
+    // document that chokes the parser; it degrades to U+FFFD.
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("s", std::string_view("bad\xffname", 8));
+    w.endObject();
+
+    StatusOr<JsonValue> v = parseJson(os.str());
+    ASSERT_TRUE(v.ok()) << v.status().toString();
+    EXPECT_EQ(v.value().find("s")->string, "bad\xef\xbf\xbdname");
+}
+
 TEST(JsonWriter, ObjectsArraysAndCommas)
 {
     std::ostringstream os;

@@ -145,8 +145,9 @@ TEST(EventTrace, ExportedTimelineIsValidChromeTraceJson)
         ASSERT_TRUE(e.hasNumber("ts"));
         EXPECT_GE(e.find("ts")->number, last_ts);
         last_ts = e.find("ts")->number;
-        if (ph->string == "X")
+        if (ph->string == "X") {
             EXPECT_TRUE(e.hasNumber("dur"));
+        }
     }
 }
 #endif // EBCP_DISABLE_EVENT_TRACE
@@ -331,10 +332,11 @@ TEST(PrefetchLedger, ClassifiesEveryFactoryPrefetcher)
         const PrefetchLedger &ledger = sim.l2side().ledger();
         EXPECT_EQ(ledger.issued(), r.issuedPrefetches);
         EXPECT_EQ(ledger.used(), r.usefulPrefetches);
-        if (r.usefulPrefetches)
+        if (r.usefulPrefetches) {
             EXPECT_DOUBLE_EQ(r.timeliness,
                              static_cast<double>(r.timelyPrefetches) /
                                  static_cast<double>(r.usefulPrefetches));
+        }
     }
 }
 

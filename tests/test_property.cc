@@ -53,9 +53,9 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values("null", "ebcp", "ebcp-minus",
                                          "stream", "ghb-small", "sms",
                                          "tcp-small", "solihin-6-1")),
-    [](const ::testing::TestParamInfo<ComboParam> &info) {
-        std::string n = std::get<0>(info.param) + "_" +
-                        std::get<1>(info.param);
+    [](const ::testing::TestParamInfo<ComboParam> &param_info) {
+        std::string n = std::get<0>(param_info.param) + "_" +
+                        std::get<1>(param_info.param);
         for (char &c : n)
             if (c == '-')
                 c = '_';

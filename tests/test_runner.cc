@@ -224,8 +224,9 @@ TEST(RunnerOptions, ScaleEnvParsing)
         s = tryResolveScale(cs, bad);
         EXPECT_FALSE(s.ok()) << "accepted EBCP_BENCH_SCALE='" << bad
                              << "'";
-        if (!s.ok())
+        if (!s.ok()) {
             EXPECT_EQ(s.status().code(), StatusCode::InvalidArgument);
+        }
     }
 }
 

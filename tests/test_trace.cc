@@ -163,12 +163,15 @@ TEST(WorkloadTest, RecordsAreWellFormed)
         for (int i = 0; i < 20000; ++i) {
             ASSERT_TRUE(w->next(r));
             ASSERT_EQ(r.pc % 4, 0u) << name;
-            if (r.op == OpClass::Load || r.op == OpClass::Store)
+            if (r.op == OpClass::Load || r.op == OpClass::Store) {
                 ASSERT_NE(r.addr, 0u) << name;
-            if (r.dstReg != NoReg)
+            }
+            if (r.dstReg != NoReg) {
                 ASSERT_LT(r.dstReg, NumArchRegs) << name;
-            if (r.srcReg0 != NoReg)
+            }
+            if (r.srcReg0 != NoReg) {
                 ASSERT_LT(r.srcReg0, NumArchRegs) << name;
+            }
         }
     }
 }

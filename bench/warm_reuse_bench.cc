@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Warm-checkpoint reuse benchmark: quantifies the sweep speedup from
+ * forking measurement runs off a shared warm checkpoint instead of
+ * re-warming every sweep point from a cold simulator.
+ *
+ * For each workload it sweeps `points` measurement windows that share
+ * a warm fingerprint (same workload/config/prefetcher/warm window),
+ * once cold and once with SweepOptions::warmReuse, verifies the two
+ * result sets are bit-identical (the crash-safety contract -- a
+ * forked run must be indistinguishable from an uninterrupted one) and
+ * reports wall-clock seconds and the speedup. EXPERIMENTS.md records
+ * the >= 2x speedup table produced by this bench.
+ *
+ * Keys: warm=N measure=N (EBCP_BENCH_SCALE honoured),
+ *       points=K       (sweep points per workload; default 4),
+ *       min_speedup=F  (fail if the aggregate speedup is below F;
+ *                       0 disables -- wall-clock gates belong on
+ *                       optimized builds only),
+ *       json=PATH      (machine-readable report; default
+ *                       BENCH_warm_reuse.json, json= to disable).
+ *
+ * Runs execute on a single worker so cold and warm sweeps pay the
+ * identical scheduling cost and the ratio is pure re-warm work.
+ */
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "util/json.hh"
+#include "util/str.hh"
+
+using namespace ebcp;
+using namespace ebcp::bench;
+using namespace ebcp::runner;
+
+namespace
+{
+
+/** One workload's cold-vs-forked comparison. */
+struct ReuseReport
+{
+    std::string workload;
+    std::size_t points = 0;
+    double coldSeconds = 0.0;
+    double warmSeconds = 0.0;
+    std::size_t warmBuilds = 0;
+    std::size_t warmForks = 0;
+
+    double
+    speedup() const
+    {
+        return warmSeconds > 0.0 ? coldSeconds / warmSeconds : 0.0;
+    }
+};
+
+bool
+bitIdentical(const SimResults &a, const SimResults &b)
+{
+    return a.insts == b.insts && a.cycles == b.cycles &&
+           a.epochs == b.epochs && a.cpi == b.cpi &&
+           a.epochsPer1k == b.epochsPer1k &&
+           a.l2InstMissPer1k == b.l2InstMissPer1k &&
+           a.l2LoadMissPer1k == b.l2LoadMissPer1k &&
+           a.usefulPrefetches == b.usefulPrefetches &&
+           a.issuedPrefetches == b.issuedPrefetches &&
+           a.droppedPrefetches == b.droppedPrefetches &&
+           a.coverage == b.coverage && a.accuracy == b.accuracy &&
+           a.readBusUtil == b.readBusUtil &&
+           a.writeBusUtil == b.writeBusUtil;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ConfigStore cs = ConfigStore::fromArgs(argc, argv);
+    Status known = cs.checkKnownKeys(
+        {"warm", "measure", "jobs", "points", "min_speedup", "json"});
+    if (!known.ok()) {
+        std::cerr << "error: " << known.toString() << "\n";
+        return 2;
+    }
+    const RunScale scale = resolveScale(argc, argv);
+    const std::size_t points =
+        static_cast<std::size_t>(cs.getU64("points", 4));
+    const double min_speedup = cs.getDouble("min_speedup", 0.0);
+    const std::string json_path =
+        cs.getString("json", "BENCH_warm_reuse.json");
+
+    banner("Warm-checkpoint reuse: cold re-warm vs forked sweeps,\n"
+           "with bit-exactness verification",
+           "infrastructure (no paper figure)", scale);
+
+    std::vector<ReuseReport> reports;
+    bool identical = true;
+    for (const auto &w : workloadNames()) {
+        // `points` sweep runs sharing one warm fingerprint: identical
+        // warm-up, staggered measurement windows.
+        std::vector<RunDesc> descs;
+        for (std::size_t i = 0; i < points; ++i) {
+            RunDesc d;
+            d.workload = w;
+            d.pf.name = "ebcp";
+            d.scale.warm = scale.warm;
+            d.scale.measure =
+                scale.measure + i * (scale.measure / 4);
+            descs.push_back(d);
+        }
+
+        SweepRunner cold(1);
+        const std::vector<RunResult> cr = cold.run(descs);
+
+        SweepOptions opts;
+        opts.warmReuse = true;
+        SweepRunner warm(1, opts);
+        const std::vector<RunResult> wr = warm.run(descs);
+
+        for (std::size_t i = 0; i < descs.size(); ++i) {
+            if (!cr[i].ok() || !wr[i].ok()) {
+                std::cerr << "error: " << runLabel(descs[i]) << ": "
+                          << (cr[i].ok() ? wr[i] : cr[i])
+                                 .status.toString()
+                          << "\n";
+                return 1;
+            }
+            if (!bitIdentical(cr[i].results, wr[i].results)) {
+                std::cerr << "FAIL: " << runLabel(descs[i])
+                          << ": forked results differ from cold\n";
+                identical = false;
+            }
+        }
+
+        ReuseReport rep;
+        rep.workload = w;
+        rep.points = points;
+        rep.coldSeconds = cold.stats().wallSeconds;
+        rep.warmSeconds = warm.stats().wallSeconds;
+        rep.warmBuilds = warm.stats().warmBuilds;
+        rep.warmForks = warm.stats().warmForks;
+        reports.push_back(rep);
+    }
+
+    AsciiTable t("Warm-checkpoint reuse (" + std::to_string(points) +
+                 " sweep points per workload, ebcp prefetcher)");
+    t.setHeader({"workload", "cold s", "forked s", "speedup",
+                 "builds", "forks"});
+    double cold_total = 0.0, warm_total = 0.0;
+    for (const ReuseReport &r : reports) {
+        cold_total += r.coldSeconds;
+        warm_total += r.warmSeconds;
+        t.addRow({r.workload, fmtDouble(r.coldSeconds, 3),
+                  fmtDouble(r.warmSeconds, 3),
+                  fmtDouble(r.speedup(), 2) + "x",
+                  std::to_string(r.warmBuilds),
+                  std::to_string(r.warmForks)});
+    }
+    const double aggregate =
+        warm_total > 0.0 ? cold_total / warm_total : 0.0;
+    t.addRow({"total", fmtDouble(cold_total, 3),
+              fmtDouble(warm_total, 3), fmtDouble(aggregate, 2) + "x",
+              "", ""});
+    t.print(std::cout);
+    std::cout << (identical
+                      ? "forked results bit-identical to cold runs\n"
+                      : "FORKED RESULTS DIVERGED\n");
+
+    if (!json_path.empty()) {
+        std::ostringstream os;
+        os << "{\n  \"bench\": \"warm_reuse\",\n"
+           << "  \"warm\": " << scale.warm << ",\n"
+           << "  \"measure\": " << scale.measure << ",\n"
+           << "  \"points\": " << points << ",\n"
+           << "  \"min_speedup\": " << fmtDouble(min_speedup, 2)
+           << ",\n"
+           << "  \"bit_identical\": " << (identical ? "true" : "false")
+           << ",\n"
+           << "  \"aggregate_speedup\": " << fmtDouble(aggregate, 3)
+           << ",\n  \"runs\": [\n";
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+            const ReuseReport &r = reports[i];
+            os << "    {\"workload\": \"" << r.workload
+               << "\", \"points\": " << r.points
+               << ", \"cold_seconds\": " << fmtDouble(r.coldSeconds, 4)
+               << ", \"warm_seconds\": " << fmtDouble(r.warmSeconds, 4)
+               << ", \"speedup\": " << fmtDouble(r.speedup(), 3)
+               << ", \"warm_builds\": " << r.warmBuilds
+               << ", \"warm_forks\": " << r.warmForks << "}"
+               << (i + 1 < reports.size() ? ",\n" : "\n");
+        }
+        os << "  ]\n}\n";
+
+        std::ofstream out(json_path);
+        if (!out) {
+            std::cerr << "error: cannot write " << json_path << "\n";
+            return 2;
+        }
+        out << os.str();
+        out.close();
+
+        StatusOr<JsonValue> parsed = parseJsonFile(json_path);
+        if (!parsed.ok()) {
+            std::cerr << "error: emitted " << json_path
+                      << " is not well-formed JSON: "
+                      << parsed.status().toString() << "\n";
+            return 1;
+        }
+        std::cout << "wrote " << json_path << " (" << os.str().size()
+                  << " bytes, validated)\n";
+    }
+
+    if (!identical)
+        return 1;
+    if (min_speedup > 0.0 && aggregate < min_speedup) {
+        std::cerr << "FAIL: aggregate speedup "
+                  << fmtDouble(aggregate, 2) << "x is below the "
+                  << fmtDouble(min_speedup, 2) << "x floor\n";
+        return 1;
+    }
+    return 0;
+}

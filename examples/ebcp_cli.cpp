@@ -28,6 +28,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "ckpt/checkpoint.hh"
 #include "sim/cmp_system.hh"
 #include "sim/simulator.hh"
 #include "sim/stats_json.hh"
@@ -97,6 +98,16 @@ printHelp()
         "                      on a violation: keep running and report,\n"
         "                      or stop the run with an error\n"
         "\n"
+        "checkpointing (single-core):\n"
+        "  save_ckpt=PATH      snapshot the warmed state to PATH\n"
+        "                      (written atomically) before measuring\n"
+        "  restore_ckpt=PATH   restore warm state from PATH instead of\n"
+        "                      running the warm-up window\n"
+        "  ckpt_policy=strict|rebuild\n"
+        "                      on a corrupt / mismatched checkpoint:\n"
+        "                      fail with a coded error, or warn and\n"
+        "                      fall back to a cold warm-up\n"
+        "\n"
         "observability:\n"
         "  trace_out=PATH      export the lifecycle timeline as Chrome\n"
         "                      trace_event JSON (Perfetto-loadable)\n"
@@ -119,7 +130,8 @@ knownKeys()
         "bw_scale",    "mem_latency", "rob",          "perfect_l2",
         "faults",      "fault_seed",  "fault_rate",   "stall_after",
         "trace_policy","watchdog",    "trace_out",    "stats_json",
-        "interval",    "audit",       "audit_policy",
+        "interval",    "audit",       "audit_policy", "save_ckpt",
+        "restore_ckpt","ckpt_policy",
     };
     return keys;
 }
@@ -245,6 +257,14 @@ main(int argc, char **argv)
     const std::string stats_json_path = cs.getString("stats_json", "");
     const std::uint64_t interval = cs.getU64("interval", 0);
 
+    const std::string save_ckpt = cs.getString("save_ckpt", "");
+    const std::string restore_ckpt = cs.getString("restore_ckpt", "");
+    StatusOr<ckpt::CkptPolicy> ckpt_policy_or =
+        ckpt::ckptPolicyFromName(cs.getString("ckpt_policy", "strict"));
+    if (!ckpt_policy_or.ok())
+        return fail(ckpt_policy_or.status());
+    const ckpt::CkptPolicy ckpt_policy = ckpt_policy_or.value();
+
     const unsigned cores =
         static_cast<unsigned>(cs.getU64("cores", 1));
 
@@ -270,6 +290,11 @@ main(int argc, char **argv)
         if (interval)
             return fail(invalidArgError(
                 "interval= sampling is single-core only"));
+        if (!save_ckpt.empty() || !restore_ckpt.empty())
+            return fail(invalidArgError(
+                "save_ckpt=/restore_ckpt= are single-core only; use "
+                "the sweep runner's warm-reuse machinery for CMP "
+                "configurations"));
         const std::string workload =
             cs.getString("workload", "database");
 
@@ -375,29 +400,68 @@ main(int argc, char **argv)
         run_src = injector.get();
     }
 
-    Simulator sim(cfg, pf);
-    if (Status s = sim.configureAudit(audit_opts); !s.ok())
-        return fail(s);
     TraceLog tlog;
-    if (!trace_out.empty())
-        sim.attachTraceLog(tlog);
-    sim.setTracePolicyName(policy_name);
     std::unique_ptr<IntervalSampler> sampler;
-    if (interval) {
-        sampler = std::make_unique<IntervalSampler>(
-            sim.l2side().stats(), interval);
-        sim.setSampler(sampler.get());
+    auto sim = std::make_unique<Simulator>(cfg, pf);
+    // Setup is a lambda because a rebuild-policy fallback after a bad
+    // checkpoint constructs a fresh simulator and must redo it.
+    auto setupSim = [&](Simulator &s) -> Status {
+        if (Status st = s.configureAudit(audit_opts); !st.ok())
+            return st;
+        if (!trace_out.empty())
+            s.attachTraceLog(tlog);
+        s.setTracePolicyName(policy_name);
+        if (interval) {
+            sampler = std::make_unique<IntervalSampler>(
+                s.l2side().stats(), interval);
+            s.setSampler(sampler.get());
+        }
+        return Status();
+    };
+    if (Status s = setupSim(*sim); !s.ok())
+        return fail(s);
+
+    bool cold = true;
+    if (!restore_ckpt.empty()) {
+        Status rs = sim->restoreCheckpointFile(restore_ckpt, *run_src);
+        if (rs.ok()) {
+            cold = false;
+            std::cout << "  restored checkpoint " << restore_ckpt
+                      << "\n";
+        } else if (ckpt_policy == ckpt::CkptPolicy::Strict) {
+            return fail(rs);
+        } else {
+            // Rebuild: the failed restore may have half-written
+            // component state, so start over from scratch.
+            warn("checkpoint '", restore_ckpt, "' unusable (",
+                 rs.toString(), "); rebuilding warm state cold");
+            sim = std::make_unique<Simulator>(cfg, pf);
+            if (Status s = setupSim(*sim); !s.ok())
+                return fail(s);
+            run_src->reset();
+        }
     }
 
-    StatusOr<SimResults> res = sim.tryRun(*run_src, warm, measure);
+    StatusOr<SimResults> res = [&]() -> StatusOr<SimResults> {
+        if (cold)
+            if (Status ws = sim->runWarm(*run_src, warm); !ws.ok())
+                return ws;
+        if (!save_ckpt.empty()) {
+            if (Status ss = sim->saveCheckpoint(save_ckpt, *run_src);
+                !ss.ok())
+                return ss;
+            std::cout << "  wrote checkpoint " << save_ckpt << "\n";
+        }
+        return sim->runMeasure(*run_src, measure);
+    }();
     if (!res.ok()) {
         // Best-effort artifacts: the trace up to the stall and the
         // watchdog diagnostic are exactly what the operator needs.
         if (!stats_json_path.empty()) {
             Status s =
                 exportStatsDoc(stats_json_path, [](JsonWriter &) {},
-                               sim.lastDiagnosticJson(),
-                               sim.auditSummaryJson());
+                               sim->lastDiagnosticJson(),
+                               sim->auditSummaryJson());
             if (!s.ok())
                 std::cerr << "ebcp_cli: stats_json export failed: "
                           << s.toString() << "\n";
@@ -424,7 +488,7 @@ main(int argc, char **argv)
               << r.timeliness * 100.0 << "%)\n"
               << "  bus utilization: read " << r.readBusUtil * 100.0
               << "%, write " << r.writeBusUtil * 100.0 << "%\n";
-    printAuditSummary(sim.auditor());
+    printAuditSummary(sim->auditor());
 
     // Robustness report: what was injected, what was recovered.
     if (injector)
@@ -444,7 +508,7 @@ main(int argc, char **argv)
     }
 
     if (cs.getBool("dump_stats", false)) {
-        sim.dumpStats(std::cout);
+        sim->dumpStats(std::cout);
         if (injector)
             injector->stats().dump(std::cout);
         if (file_src)
@@ -463,14 +527,14 @@ main(int argc, char **argv)
                 w.key("results");
                 writeSimResultsJson(w, r);
                 w.key("stats");
-                sim.dumpStatsJson(w);
+                sim->dumpStatsJson(w);
                 if (sampler) {
                     w.key("intervals");
                     sampler->writeJson(w);
                 }
                 w.endObject();
             },
-            {}, sim.auditSummaryJson());
+            {}, sim->auditSummaryJson());
         if (!s.ok())
             return fail(s);
         std::cout << "  wrote " << stats_json_path << " (schema "

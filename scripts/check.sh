@@ -10,7 +10,12 @@
 #   4. -DEBCP_AUDIT=OFF build + the complete ctest suite, proving the
 #      audit hook sites compile away cleanly and nothing depends on
 #      them (golden results are pinned by the regular suite, which
-#      runs identically in this configuration).
+#      runs identically in this configuration);
+#   5. checkpoint gates, explicitly and under ASan/UBSan: the
+#      save->restore bit-exactness round trip and the corrupted-
+#      checkpoint corpus (every injected fault must yield a coded
+#      Status, never a crash -- precisely the class of bug the
+#      sanitizers catch), plus the ckpt_lint format-version guard.
 #
 # Every stage exports compile_commands.json. Roughly 10-15 minutes on
 # a laptop; set EBCP_CHECK_JOBS to bound parallelism.
@@ -29,28 +34,35 @@ run_ctest() {
     ctest --test-dir "$1" --output-on-failure -j "${JOBS}" "${@:2}"
 }
 
-stage "1/4 release build + lint + tests"
+stage "1/5 release build + lint + tests"
 cmake -B build-check -DEBCP_WERROR=ON >/dev/null
 cmake --build build-check -j "${JOBS}"
 cmake --build build-check --target lint
 run_ctest build-check
 
-stage "2/4 address+undefined sanitizers"
+stage "2/5 address+undefined sanitizers"
 cmake -B build-check-asan -DEBCP_SANITIZE="address;undefined" \
       -DCMAKE_BUILD_TYPE=Debug >/dev/null
 cmake --build build-check-asan -j "${JOBS}"
 run_ctest build-check-asan
 
-stage "3/4 thread sanitizer (parallel sweep determinism)"
+stage "3/5 thread sanitizer (parallel sweep determinism)"
 cmake -B build-check-tsan -DEBCP_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=Debug >/dev/null
 cmake --build build-check-tsan --target test_runner -j "${JOBS}"
 run_ctest build-check-tsan -R 'sweep_determinism|SweepDeterminism'
 
-stage "4/4 -DEBCP_AUDIT=OFF build + tests"
+stage "4/5 -DEBCP_AUDIT=OFF build + tests"
 cmake -B build-check-noaudit -DEBCP_AUDIT=OFF >/dev/null
 cmake --build build-check-noaudit -j "${JOBS}"
 run_ctest build-check-noaudit
+
+stage "5/5 checkpoint gates (ASan/UBSan) + format-version lint"
+# The sanitizer build from stage 2 already exists; re-run the two
+# checkpoint gates by name so a crash-safety regression is reported
+# as its own stage, not buried in a 500-entry suite.
+run_ctest build-check-asan -R '^ckpt_roundtrip$|^ckpt_corruption_corpus$'
+scripts/ckpt_lint.sh
 
 echo
 echo "check: all stages passed"

@@ -1,5 +1,7 @@
 #include "cache/cache.hh"
 
+#include "ckpt/archiver.hh"
+
 namespace ebcp
 {
 
@@ -37,6 +39,14 @@ Cache::fill(Addr addr, bool dirty)
             ++writebacks_;
     }
     return ev;
+}
+
+
+void
+Cache::ckpt(ckpt::Archiver &ar)
+{
+    tags_.ckpt(ar);
+    stats_.ckpt(ar);
 }
 
 } // namespace ebcp

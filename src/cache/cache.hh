@@ -17,6 +17,11 @@
 namespace ebcp
 {
 
+namespace ckpt
+{
+class Archiver;
+}
+
 /** One cache level (L1I, L1D or L2). */
 class Cache
 {
@@ -66,6 +71,9 @@ class Cache
 
     /** Test-only: corrupt the tag array so audit() trips. */
     void corruptForTest() { tags_.corruptForTest(); }
+
+    /** Serialize or restore all mutable state (checkpointing). */
+    void ckpt(ckpt::Archiver &ar);
 
   private:
     CacheConfig cfg_;

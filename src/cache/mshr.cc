@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "ckpt/containers.hh"
 #include "util/logging.hh"
 #include "verify/audit.hh"
 
@@ -137,6 +138,21 @@ MshrFile::corruptForTest()
     // tracked_miss_has_heap_entry.
     for (unsigned i = 0; i <= entries_; ++i)
         inflight_[0xC0'0000 + 0x40ull * i] = MaxTick - 1;
+}
+
+void
+MshrFile::ckpt(ckpt::Archiver &ar)
+{
+    ckpt::ckptFlatMap(ar, inflight_, [](ckpt::Archiver &a, Tick &t) {
+        a.u64(t);
+    });
+    // The heap is serialized in its physical vector order, which
+    // preserves the std::*_heap layout exactly.
+    ar.vec(heap_, [](ckpt::Archiver &a, HeapEntry &h) {
+        a.u64(h.complete);
+        a.u64(h.lineAddr);
+    });
+    stats_.ckpt(ar);
 }
 
 } // namespace ebcp

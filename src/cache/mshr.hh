@@ -20,6 +20,11 @@
 namespace ebcp
 {
 
+namespace ckpt
+{
+class Archiver;
+}
+
 class AuditContext;
 
 /** A bounded set of in-flight line misses with completion times. */
@@ -80,6 +85,9 @@ class MshrFile
     /** Test-only: track more misses than the file has registers,
      * bypassing the completion heap, so audit() trips. */
     void corruptForTest();
+
+    /** Serialize or restore all mutable state (checkpointing). */
+    void ckpt(ckpt::Archiver &ar);
 
   private:
     unsigned entries_;

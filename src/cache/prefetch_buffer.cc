@@ -1,5 +1,6 @@
 #include "cache/prefetch_buffer.hh"
 
+#include "ckpt/archiver.hh"
 #include "util/logging.hh"
 #include "verify/audit.hh"
 
@@ -177,6 +178,22 @@ PrefetchBuffer::corruptForTest()
     entries_[0].readyTime = 0;
     entries_[0].valid = true;
     entries_[0].stamp = stampCounter_;
+}
+
+
+void
+PrefetchBuffer::ckpt(ckpt::Archiver &ar)
+{
+    ar.fixedVec(entries_, [](ckpt::Archiver &a, Entry &e) {
+        a.u64(e.lineAddr);
+        a.u64(e.readyTime);
+        a.u64(e.corrIndex);
+        a.boolean(e.hasCorrIndex);
+        a.boolean(e.valid);
+        a.u64(e.stamp);
+    }, "prefetch buffer entries");
+    ar.u64(stampCounter_);
+    stats_.ckpt(ar);
 }
 
 } // namespace ebcp

@@ -22,6 +22,11 @@
 namespace ebcp
 {
 
+namespace ckpt
+{
+class Archiver;
+}
+
 class AuditContext;
 
 /** Result of probing the prefetch buffer. */
@@ -97,6 +102,9 @@ class PrefetchBuffer
     /** Test-only: clone a buffered line into a foreign set (or
      * fabricate a misplaced entry) so audit() trips. */
     void corruptForTest();
+
+    /** Serialize or restore all mutable state (checkpointing). */
+    void ckpt(ckpt::Archiver &ar);
 
   private:
     struct Entry

@@ -1,5 +1,6 @@
 #include "cache/tag_array.hh"
 
+#include "ckpt/containers.hh"
 #include "verify/audit.hh"
 
 namespace ebcp
@@ -164,6 +165,19 @@ TagArray::corruptForTest()
         a.stamp = stampCounter_;
     }
     b = a;
+}
+
+void
+TagArray::ckpt(ckpt::Archiver &ar)
+{
+    ar.fixedVec(ways_v_, [](ckpt::Archiver &a, Way &w) {
+        a.u64(w.tag);
+        a.boolean(w.valid);
+        a.boolean(w.dirty);
+        a.u64(w.stamp);
+    }, "tag array ways");
+    ar.u64(stampCounter_);
+    ckpt::ckptPcg32(ar, rng_);
 }
 
 } // namespace ebcp

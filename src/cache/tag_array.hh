@@ -22,6 +22,11 @@
 namespace ebcp
 {
 
+namespace ckpt
+{
+class Archiver;
+}
+
 class AuditContext;
 
 /** Result of inserting a line: what (if anything) was evicted. */
@@ -99,6 +104,9 @@ class TagArray
 
     /** Test-only: duplicate a tag within a set so audit() trips. */
     void corruptForTest();
+
+    /** Serialize or restore all mutable state (checkpointing). */
+    void ckpt(ckpt::Archiver &ar);
 
   private:
     struct Way

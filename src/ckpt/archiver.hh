@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Bidirectional binary archiver for simulator checkpoints.
+ *
+ * One ckpt(Archiver &) method per component serves both directions:
+ * in save mode each primitive call appends the field to a byte buffer,
+ * in load mode the same call reads it back. Field order is therefore
+ * identical by construction, which removes the classic save/load
+ * asymmetry bug where one side gains a field the other lacks.
+ *
+ * Encoding rules:
+ *  - all integers little-endian, fixed width (u8/u32/u64/i64)
+ *  - doubles are bit-cast to u64, so a save/restore cycle is
+ *    bit-exact even for NaNs and signed zeros
+ *  - vectors are a u64 count followed by the elements; on load the
+ *    count is bounds-checked against the remaining payload before any
+ *    allocation, so corrupt data cannot drive a huge resize
+ *  - strings are a u32 length plus raw bytes, capped at 64 KiB
+ *
+ * Error handling is sticky: the first failure is latched and every
+ * later call becomes a no-op, so component ckpt() methods can be
+ * written straight-line and the caller checks ok() once at the end.
+ */
+
+#ifndef EBCP_CKPT_ARCHIVER_HH
+#define EBCP_CKPT_ARCHIVER_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.hh"
+
+namespace ebcp::ckpt
+{
+
+/** FNV-1a 64-bit over a byte buffer (config fingerprints). */
+inline std::uint64_t
+fnv1a64(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** Bidirectional little-endian byte archiver. */
+class Archiver
+{
+  public:
+    /** An archiver that appends fields to @p out. */
+    static Archiver
+    saver(std::string &out)
+    {
+        Archiver ar;
+        ar.out_ = &out;
+        return ar;
+    }
+
+    /** An archiver that reads fields back from @p len bytes at
+     * @p data (not owned; must outlive the archiver). */
+    static Archiver
+    loader(const void *data, std::size_t len)
+    {
+        Archiver ar;
+        ar.in_ = static_cast<const unsigned char *>(data);
+        ar.inLen_ = len;
+        return ar;
+    }
+
+    bool saving() const { return out_ != nullptr; }
+    bool ok() const { return status_.ok(); }
+    const Status &status() const { return status_; }
+
+    /** Latch @p s as the archiver's failure (first failure wins). */
+    void
+    fail(Status s)
+    {
+        if (status_.ok() && !s.ok())
+            status_ = std::move(s);
+    }
+
+    /** Bytes not yet consumed (load mode). */
+    std::size_t
+    remaining() const
+    {
+        return inLen_ - pos_;
+    }
+
+    void
+    u8(std::uint8_t &v)
+    {
+        ioBytes(&v, 1);
+    }
+
+    void
+    u32(std::uint32_t &v)
+    {
+        if (!ok())
+            return;
+        if (saving()) {
+            unsigned char b[4];
+            pack(b, v, 4);
+            append(b, 4);
+        } else {
+            unsigned char b[4];
+            if (!consume(b, 4))
+                return;
+            v = static_cast<std::uint32_t>(unpack(b, 4));
+        }
+    }
+
+    void
+    u64(std::uint64_t &v)
+    {
+        if (!ok())
+            return;
+        if (saving()) {
+            unsigned char b[8];
+            pack(b, v, 8);
+            append(b, 8);
+        } else {
+            unsigned char b[8];
+            if (!consume(b, 8))
+                return;
+            v = unpack(b, 8);
+        }
+    }
+
+    void
+    i64(std::int64_t &v)
+    {
+        std::uint64_t u = static_cast<std::uint64_t>(v);
+        u64(u);
+        v = static_cast<std::int64_t>(u);
+    }
+
+    /** Double, bit-cast through u64 for bit-exact round trips. */
+    void
+    f64(double &v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+        std::memcpy(&v, &bits, sizeof v);
+    }
+
+    void
+    boolean(bool &v)
+    {
+        std::uint8_t b = v ? 1 : 0;
+        u8(b);
+        if (!saving() && ok() && b > 1) {
+            fail(corruptionError("checkpoint bool field holds ",
+                                 unsigned(b)));
+            return;
+        }
+        v = b != 0;
+    }
+
+    /** `unsigned` fields travel as u32. */
+    void
+    uns(unsigned &v)
+    {
+        std::uint32_t u = v;
+        u32(u);
+        v = u;
+    }
+
+    /** size_t fields travel as u64. */
+    void
+    sz(std::size_t &v)
+    {
+        std::uint64_t u = v;
+        u64(u);
+        v = static_cast<std::size_t>(u);
+    }
+
+    /** Enum with a fixed underlying encoding as u32. */
+    template <typename E>
+    void
+    enum32(E &v)
+    {
+        static_assert(std::is_enum_v<E>);
+        std::uint32_t u = static_cast<std::uint32_t>(v);
+        u32(u);
+        v = static_cast<E>(u);
+    }
+
+    /** Length-prefixed string, capped at 64 KiB. */
+    void
+    str(std::string &v)
+    {
+        if (!ok())
+            return;
+        std::uint32_t n = static_cast<std::uint32_t>(v.size());
+        if (saving() && v.size() > MaxStr) {
+            fail(invalidArgError("checkpoint string of ", v.size(),
+                                 " bytes exceeds the ", MaxStr,
+                                 "-byte cap"));
+            return;
+        }
+        u32(n);
+        if (!ok())
+            return;
+        if (saving()) {
+            append(v.data(), v.size());
+        } else {
+            if (n > MaxStr || n > remaining()) {
+                fail(corruptionError("checkpoint string length ", n,
+                                     " exceeds ", remaining(),
+                                     " remaining bytes"));
+                return;
+            }
+            v.assign(reinterpret_cast<const char *>(in_ + pos_), n);
+            pos_ += n;
+        }
+    }
+
+    /**
+     * Vector of elements serialized by @p fn(Archiver&, T&). The
+     * element count travels as u64 and is sanity-checked against the
+     * remaining payload on load (one byte per element minimum).
+     */
+    template <typename T, typename Fn>
+    void
+    vec(std::vector<T> &v, Fn &&fn)
+    {
+        if (!ok())
+            return;
+        std::uint64_t n = v.size();
+        u64(n);
+        if (!ok())
+            return;
+        if (!saving()) {
+            if (n > remaining()) {
+                fail(corruptionError("checkpoint vector count ", n,
+                                     " exceeds ", remaining(),
+                                     " remaining bytes"));
+                return;
+            }
+            v.resize(static_cast<std::size_t>(n));
+        }
+        for (auto &e : v) {
+            fn(*this, e);
+            if (!ok())
+                return;
+        }
+    }
+
+    /**
+     * Vector whose size is fixed by configuration: the stored count
+     * must equal the live size on load, otherwise the checkpoint was
+     * taken against a different configuration.
+     */
+    template <typename T, typename Fn>
+    void
+    fixedVec(std::vector<T> &v, Fn &&fn, const char *what)
+    {
+        if (!ok())
+            return;
+        std::uint64_t n = v.size();
+        u64(n);
+        if (!ok())
+            return;
+        if (!saving() && n != v.size()) {
+            fail(invalidArgError("checkpoint ", what, " holds ", n,
+                                 " elements but the configured size is ",
+                                 v.size()));
+            return;
+        }
+        for (auto &e : v) {
+            fn(*this, e);
+            if (!ok())
+                return;
+        }
+    }
+
+    /** Vector of u64-width integers (Tick/Addr/EpochId/u64). */
+    template <typename T>
+    void
+    vecU64(std::vector<T> &v)
+    {
+        static_assert(sizeof(T) == 8 && std::is_integral_v<T>);
+        vec(v, [](Archiver &ar, T &e) {
+            std::uint64_t u = static_cast<std::uint64_t>(e);
+            ar.u64(u);
+            e = static_cast<T>(u);
+        });
+    }
+
+    /** Fixed-size vector of u64-width integers. */
+    template <typename T>
+    void
+    fixedVecU64(std::vector<T> &v, const char *what)
+    {
+        static_assert(sizeof(T) == 8 && std::is_integral_v<T>);
+        fixedVec(v, [](Archiver &ar, T &e) {
+            std::uint64_t u = static_cast<std::uint64_t>(e);
+            ar.u64(u);
+            e = static_cast<T>(u);
+        }, what);
+    }
+
+    /** Vector of raw bytes (u8). */
+    void
+    vecU8(std::vector<std::uint8_t> &v)
+    {
+        vec(v, [](Archiver &ar, std::uint8_t &e) { ar.u8(e); });
+    }
+
+  private:
+    static constexpr std::size_t MaxStr = 64 * 1024;
+
+    Archiver() = default;
+
+    static void
+    pack(unsigned char *b, std::uint64_t v, unsigned n)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            b[i] = static_cast<unsigned char>(v >> (8 * i));
+    }
+
+    static std::uint64_t
+    unpack(const unsigned char *b, unsigned n)
+    {
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < n; ++i)
+            v |= std::uint64_t{b[i]} << (8 * i);
+        return v;
+    }
+
+    void
+    append(const void *data, std::size_t len)
+    {
+        out_->append(static_cast<const char *>(data), len);
+    }
+
+    bool
+    consume(void *dst, std::size_t len)
+    {
+        if (len > remaining()) {
+            fail(corruptionError("checkpoint payload truncated: need ",
+                                 len, " bytes, ", remaining(), " left"));
+            return false;
+        }
+        std::memcpy(dst, in_ + pos_, len);
+        pos_ += len;
+        return true;
+    }
+
+    void
+    ioBytes(void *data, std::size_t len)
+    {
+        if (!ok())
+            return;
+        if (saving())
+            append(data, len);
+        else
+            consume(data, len);
+    }
+
+    std::string *out_ = nullptr;
+    const unsigned char *in_ = nullptr;
+    std::size_t inLen_ = 0;
+    std::size_t pos_ = 0;
+    Status status_;
+};
+
+} // namespace ebcp::ckpt
+
+#endif // EBCP_CKPT_ARCHIVER_HH

@@ -1,0 +1,310 @@
+#include "ckpt/checkpoint.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "util/crc32.hh"
+
+namespace ebcp::ckpt
+{
+
+StatusOr<CkptPolicy>
+ckptPolicyFromName(const std::string &name)
+{
+    if (name == "strict")
+        return CkptPolicy::Strict;
+    if (name == "rebuild")
+        return CkptPolicy::Rebuild;
+    return invalidArgError("unknown ckpt_policy '", name,
+                           "' (expected strict or rebuild)");
+}
+
+const char *
+ckptPolicyName(CkptPolicy policy)
+{
+    return policy == CkptPolicy::Strict ? "strict" : "rebuild";
+}
+
+namespace
+{
+
+void
+packU32(std::string &out, std::uint32_t v)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void
+packU64(std::string &out, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+class Cursor
+{
+  public:
+    Cursor(const std::string &buf) : buf_(buf) {}
+
+    std::size_t remaining() const { return buf_.size() - pos_; }
+    std::size_t pos() const { return pos_; }
+
+    bool
+    take(void *dst, std::size_t len)
+    {
+        if (len > remaining())
+            return false;
+        std::memcpy(dst, buf_.data() + pos_, len);
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    u32(std::uint32_t &v)
+    {
+        unsigned char b[4];
+        if (!take(b, 4))
+            return false;
+        v = 0;
+        for (unsigned i = 0; i < 4; ++i)
+            v |= std::uint32_t{b[i]} << (8 * i);
+        return true;
+    }
+
+    bool
+    u64(std::uint64_t &v)
+    {
+        unsigned char b[8];
+        if (!take(b, 8))
+            return false;
+        v = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            v |= std::uint64_t{b[i]} << (8 * i);
+        return true;
+    }
+
+    bool
+    strN(std::string &v, std::size_t len)
+    {
+        if (len > remaining())
+            return false;
+        v.assign(buf_.data() + pos_, len);
+        pos_ += len;
+        return true;
+    }
+
+  private:
+    const std::string &buf_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Status
+CheckpointWriter::section(const std::string &name,
+                          const std::function<void(Archiver &)> &fill)
+{
+    if (!status_.ok())
+        return status_;
+    for (const Section &s : sections_) {
+        if (s.name == name) {
+            status_ = invalidArgError("duplicate checkpoint section '",
+                                      name, "'");
+            return status_;
+        }
+    }
+    sections_.push_back(Section{name, {}});
+    Archiver ar = Archiver::saver(sections_.back().payload);
+    fill(ar);
+    if (!ar.ok()) {
+        status_ = ar.status().withContext("checkpoint section '" + name +
+                                          "'");
+        sections_.pop_back();
+    }
+    return status_;
+}
+
+StatusOr<std::string>
+CheckpointWriter::serialize() const
+{
+    if (!status_.ok())
+        return status_;
+    std::string out;
+    out.append(kCkptMagic, sizeof kCkptMagic);
+    packU32(out, kCkptFormatVersion);
+    packU64(out, fingerprint_);
+    packU32(out, static_cast<std::uint32_t>(sections_.size()));
+    packU32(out, crc32(out.data(), out.size()));
+    for (const Section &s : sections_) {
+        packU32(out, static_cast<std::uint32_t>(s.name.size()));
+        out.append(s.name);
+        packU64(out, s.payload.size());
+        packU32(out, crc32(s.payload.data(), s.payload.size()));
+        out.append(s.payload);
+    }
+    return out;
+}
+
+Status
+CheckpointWriter::writeAtomic(const std::string &path) const
+{
+    StatusOr<std::string> data = serialize();
+    if (!data.ok())
+        return data.status();
+    return atomicWriteFile(path, data.value());
+}
+
+StatusOr<CheckpointReader>
+CheckpointReader::fromBuffer(const std::string &buffer,
+                             std::uint64_t expect_fingerprint)
+{
+    Cursor cur(buffer);
+    char magic[sizeof kCkptMagic];
+    if (!cur.take(magic, sizeof magic))
+        return corruptionError("checkpoint shorter than its magic (",
+                               buffer.size(), " bytes)");
+    if (std::memcmp(magic, kCkptMagic, sizeof magic) != 0)
+        return corruptionError("bad checkpoint magic (not an EBCP "
+                               "checkpoint)");
+    std::uint32_t version = 0, count = 0, header_crc = 0;
+    std::uint64_t fingerprint = 0;
+    if (!cur.u32(version) || !cur.u64(fingerprint) || !cur.u32(count))
+        return corruptionError("checkpoint header truncated");
+    const std::size_t header_len = cur.pos();
+    if (!cur.u32(header_crc))
+        return corruptionError("checkpoint header truncated");
+    const std::uint32_t want = crc32(buffer.data(), header_len);
+    if (header_crc != want)
+        return corruptionError("checkpoint header CRC mismatch (stored ",
+                               header_crc, ", computed ", want, ")");
+    if (version != kCkptFormatVersion)
+        return invalidArgError("checkpoint format version ", version,
+                               " is not the supported version ",
+                               kCkptFormatVersion);
+    if (fingerprint != expect_fingerprint)
+        return invalidArgError(
+            "checkpoint configuration fingerprint mismatch: checkpoint "
+            "was taken under a different SimConfig/prefetcher setup");
+
+    CheckpointReader r;
+    r.fingerprint_ = fingerprint;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint32_t name_len = 0, payload_crc = 0;
+        std::uint64_t payload_len = 0;
+        Section s;
+        if (!cur.u32(name_len) || !cur.strN(s.name, name_len) ||
+            !cur.u64(payload_len) || !cur.u32(payload_crc) ||
+            !cur.strN(s.payload, static_cast<std::size_t>(payload_len)))
+            return corruptionError("checkpoint section ", i,
+                                   " truncated");
+        const std::uint32_t got =
+            crc32(s.payload.data(), s.payload.size());
+        if (got != payload_crc)
+            return corruptionError("checkpoint section '", s.name,
+                                   "' CRC mismatch (stored ",
+                                   payload_crc, ", computed ", got, ")");
+        r.sections_.push_back(std::move(s));
+    }
+    if (cur.remaining() != 0)
+        return corruptionError("checkpoint holds ", cur.remaining(),
+                               " trailing bytes after the last section");
+    return r;
+}
+
+StatusOr<CheckpointReader>
+CheckpointReader::fromFile(const std::string &path,
+                           std::uint64_t expect_fingerprint)
+{
+    StatusOr<std::string> data = readFile(path);
+    if (!data.ok())
+        return data.status();
+    StatusOr<CheckpointReader> r =
+        fromBuffer(data.value(), expect_fingerprint);
+    if (!r.ok())
+        return r.status().withContext(path);
+    return r;
+}
+
+bool
+CheckpointReader::hasSection(const std::string &name) const
+{
+    for (const Section &s : sections_)
+        if (s.name == name)
+            return true;
+    return false;
+}
+
+Status
+CheckpointReader::section(const std::string &name,
+                          const std::function<void(Archiver &)> &load) const
+{
+    for (const Section &s : sections_) {
+        if (s.name != name)
+            continue;
+        Archiver ar = Archiver::loader(s.payload.data(), s.payload.size());
+        load(ar);
+        if (!ar.ok())
+            return ar.status().withContext("checkpoint section '" + name +
+                                           "'");
+        if (ar.remaining() != 0)
+            return corruptionError("checkpoint section '", name,
+                                   "' has ", ar.remaining(),
+                                   " unconsumed bytes (layout skew)");
+        return Status();
+    }
+    return corruptionError("checkpoint is missing section '", name, "'");
+}
+
+Status
+atomicWriteFile(const std::string &path, const std::string &data)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return ioError("cannot create '", tmp, "': ", errnoString());
+    bool write_ok =
+        data.empty() ||
+        std::fwrite(data.data(), 1, data.size(), f) == data.size();
+    write_ok = write_ok && std::fflush(f) == 0;
+    // fsync before rename: the rename must not become durable before
+    // the data it points at.
+    write_ok = write_ok && ::fsync(fileno(f)) == 0;
+    const std::string io_err = write_ok ? "" : errnoString();
+    if (std::fclose(f) != 0 && write_ok)
+        return ioError("cannot close '", tmp, "': ", errnoString());
+    if (!write_ok) {
+        std::remove(tmp.c_str());
+        return ioError("cannot write '", tmp, "': ", io_err);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const std::string err = errnoString();
+        std::remove(tmp.c_str());
+        return ioError("cannot rename '", tmp, "' to '", path,
+                       "': ", err);
+    }
+    return Status();
+}
+
+StatusOr<std::string>
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return notFoundError("cannot open '", path, "': ", errnoString());
+    std::string data;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        data.append(buf, n);
+    const bool read_err = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_err)
+        return ioError("cannot read '", path, "'");
+    return data;
+}
+
+} // namespace ebcp::ckpt

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Archiver helpers for the simulator's container types.
+ *
+ * FlatMap is serialized in canonical key order, not slot order: the
+ * restored map is rebuilt by insertion, so its physical slot layout is
+ * a function of insertion order, and a canonical order makes
+ * save -> restore -> save produce byte-identical output. No simulator
+ * behaviour depends on slot layout (FlatMap iteration order is
+ * documented as unspecified), so restoring into a different layout is
+ * observationally identical.
+ */
+
+#ifndef EBCP_CKPT_CONTAINERS_HH
+#define EBCP_CKPT_CONTAINERS_HH
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "ckpt/archiver.hh"
+#include "util/circular_buffer.hh"
+#include "util/flat_map.hh"
+#include "util/random.hh"
+
+namespace ebcp::ckpt
+{
+
+/** Serialize or restore a PCG32 generator's raw state. */
+inline void
+ckptPcg32(Archiver &ar, Pcg32 &rng)
+{
+    std::uint64_t state = rng.rawState();
+    std::uint64_t inc = rng.rawInc();
+    ar.u64(state);
+    ar.u64(inc);
+    if (!ar.saving() && ar.ok())
+        rng.setRaw(state, inc);
+}
+
+/**
+ * Serialize or restore a FlatMap. @p value_fn (Archiver&, V&) handles
+ * one payload value. Restore clears the map and re-inserts, so the
+ * probe-chain invariant holds by construction afterwards.
+ */
+template <typename V, typename Hash, typename Fn>
+void
+ckptFlatMap(Archiver &ar, FlatMap<V, Hash> &map, Fn &&value_fn)
+{
+    if (ar.saving()) {
+        std::vector<std::pair<std::uint64_t, const V *>> items;
+        items.reserve(map.size());
+        map.forEach([&](std::uint64_t key, const V &v) {
+            items.emplace_back(key, &v);
+        });
+        std::sort(items.begin(), items.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        std::uint64_t n = items.size();
+        ar.u64(n);
+        for (auto &[key, vp] : items) {
+            std::uint64_t k = key;
+            ar.u64(k);
+            // The archiver never writes through the value in save
+            // mode; the const_cast lets one value_fn serve both
+            // directions.
+            value_fn(ar, const_cast<V &>(*vp));
+            if (!ar.ok())
+                return;
+        }
+    } else {
+        std::uint64_t n = 0;
+        ar.u64(n);
+        if (!ar.ok())
+            return;
+        if (n > ar.remaining()) {
+            ar.fail(corruptionError("checkpoint FlatMap count ", n,
+                                    " exceeds ", ar.remaining(),
+                                    " remaining bytes"));
+            return;
+        }
+        map.clear();
+        std::uint64_t prev_key = 0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::uint64_t key = 0;
+            ar.u64(key);
+            if (!ar.ok())
+                return;
+            if (i > 0 && key <= prev_key) {
+                ar.fail(corruptionError(
+                    "checkpoint FlatMap keys not strictly increasing"));
+                return;
+            }
+            prev_key = key;
+            V v{};
+            value_fn(ar, v);
+            if (!ar.ok())
+                return;
+            map.insert(key, std::move(v));
+        }
+    }
+}
+
+/** Serialize or restore a CircularBuffer's ordered contents. */
+template <typename T, typename Fn>
+void
+ckptCircularBuffer(Archiver &ar, CircularBuffer<T> &buf, Fn &&elem_fn)
+{
+    std::uint64_t n = buf.size();
+    ar.u64(n);
+    if (!ar.ok())
+        return;
+    if (ar.saving()) {
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+            elem_fn(ar, buf.at(i));
+            if (!ar.ok())
+                return;
+        }
+    } else {
+        if (n > buf.capacity()) {
+            ar.fail(invalidArgError("checkpoint ring holds ", n,
+                                    " elements but capacity is ",
+                                    buf.capacity()));
+            return;
+        }
+        buf.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            elem_fn(ar, buf.pushSlot());
+            if (!ar.ok())
+                return;
+        }
+    }
+}
+
+} // namespace ebcp::ckpt
+
+#endif // EBCP_CKPT_CONTAINERS_HH

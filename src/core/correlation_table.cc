@@ -4,6 +4,7 @@
 
 #include "util/bitfield.hh"
 #include "util/logging.hh"
+#include "ckpt/containers.hh"
 #include "verify/audit.hh"
 
 namespace ebcp
@@ -190,6 +191,23 @@ CorrelationTable::corruptForTest()
     e.tag = tag;
     if (e.slots.empty())
         e.slots.push_back({0x1000, ++stampCounter_, updateGen_});
+}
+
+
+void
+CorrelationTable::ckpt(ckpt::Archiver &ar)
+{
+    ckpt::ckptFlatMap(ar, entries_, [](ckpt::Archiver &a, Entry &e) {
+        a.u64(e.tag);
+        a.vec(e.slots, [](ckpt::Archiver &sa, Slot &sl) {
+            sa.u64(sl.addr);
+            sa.u64(sl.stamp);
+            sa.u64(sl.gen);
+        });
+    });
+    ar.u64(stampCounter_);
+    ar.u64(updateGen_);
+    stats_.ckpt(ar);
 }
 
 } // namespace ebcp

@@ -26,6 +26,11 @@
 namespace ebcp
 {
 
+namespace ckpt
+{
+class Archiver;
+}
+
 class AuditContext;
 
 /** Geometry of the main-memory correlation table. */
@@ -110,6 +115,9 @@ class CorrelationTable
     /** Test-only: plant an entry whose tag indexes elsewhere so
      * audit() trips. */
     void corruptForTest();
+
+    /** Serialize or restore all mutable state (checkpointing). */
+    void ckpt(ckpt::Archiver &ar);
 
   private:
     struct Slot

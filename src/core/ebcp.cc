@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/containers.hh"
 #include "util/logging.hh"
 #include "verify/audit.hh"
 
@@ -271,6 +272,35 @@ EpochBasedPrefetcher::audit(AuditContext &ctx) const
               "populated_table_requires_active_region",
               table_.populatedEntries(),
               " populated entries while the table region is not active");
+}
+
+
+void
+EpochBasedPrefetcher::ckpt(ckpt::Archiver &ar)
+{
+    Prefetcher::ckpt(ar);
+    std::uint32_t nstates = static_cast<std::uint32_t>(states_.size());
+    ar.u32(nstates);
+    if (!ar.saving() && ar.ok() && nstates != states_.size()) {
+        ar.fail(invalidArgError("checkpoint holds ", nstates,
+                                " EBCP core states but ",
+                                states_.size(), " are configured"));
+        return;
+    }
+    // CoreState objects are pinned behind unique_ptrs (stat groups
+    // hold interior pointers), so restore happens strictly in place.
+    for (auto &cs : states_) {
+        cs->emab.ckpt(ar);
+        cs->tracker.ckpt(ar);
+        if (!ar.ok())
+            return;
+    }
+    table_.ckpt(ar);
+    alloc_.ckpt(ar);
+    ar.boolean(osRequested_);
+    ckpt::ckptPcg32(ar, faultRng_);
+    ar.u64(tableReadAttempts_);
+    ar.u64(maxTableReadTicks_);
 }
 
 } // namespace ebcp

@@ -122,6 +122,10 @@ class EpochBasedPrefetcher : public Prefetcher
      */
     void audit(AuditContext &ctx) const override;
 
+    /** Serialize or restore the full EBCP state: table, allocation,
+     * per-core EMABs and epoch trackers, fault RNG and counters. */
+    void ckpt(ckpt::Archiver &ar) override;
+
     /** Lifetime table reads this control intended to issue. The
      * engine's served count balances against it: a shortfall means a
      * read vanished between the control and the memory system (the

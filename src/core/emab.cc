@@ -1,5 +1,6 @@
 #include "core/emab.hh"
 
+#include "ckpt/containers.hh"
 #include "util/logging.hh"
 #include "verify/audit.hh"
 
@@ -71,6 +72,18 @@ Emab::corruptForTest()
     EmabEntry &cur = ring_.back();
     while (cur.missAddrs.size() <= addrsPerEntry_)
         cur.missAddrs.push_back(0x2000);
+}
+
+
+void
+Emab::ckpt(ckpt::Archiver &ar)
+{
+    ckpt::ckptCircularBuffer(ar, ring_, [](ckpt::Archiver &a,
+                                           EmabEntry &e) {
+        a.u64(e.epoch);
+        a.u64(e.keyAddr);
+        a.vecU64(e.missAddrs);
+    });
 }
 
 } // namespace ebcp

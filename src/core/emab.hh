@@ -28,6 +28,11 @@
 namespace ebcp
 {
 
+namespace ckpt
+{
+class Archiver;
+}
+
 class AuditContext;
 
 /** Recorded contents of one epoch. */
@@ -78,6 +83,9 @@ class Emab
     /** Test-only: duplicate an epoch id (or overfill the current
      * entry's address list) so audit() trips. */
     void corruptForTest();
+
+    /** Serialize or restore all mutable state (checkpointing). */
+    void ckpt(ckpt::Archiver &ar);
 
   private:
     CircularBuffer<EmabEntry> ring_;

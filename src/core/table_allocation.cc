@@ -1,5 +1,6 @@
 #include "core/table_allocation.hh"
 
+#include "ckpt/archiver.hh"
 #include "verify/audit.hh"
 
 namespace ebcp
@@ -96,6 +97,24 @@ TableAllocation::corruptForTest()
 {
     state_ = State::Active;
     base_ = InvalidAddr;
+}
+
+
+void
+TableAllocation::ckpt(ckpt::Archiver &ar)
+{
+    ar.enum32(state_);
+    if (!ar.saving() && ar.ok() &&
+        state_ != State::Unallocated && state_ != State::Active &&
+        state_ != State::Inactive) {
+        ar.fail(corruptionError("checkpoint allocation state ",
+                                static_cast<unsigned>(state_),
+                                " is not a valid State"));
+        return;
+    }
+    ar.u64(base_);
+    ar.u64(nextRetry_);
+    stats_.ckpt(ar);
 }
 
 } // namespace ebcp

@@ -23,6 +23,11 @@
 namespace ebcp
 {
 
+namespace ckpt
+{
+class Archiver;
+}
+
 class AuditContext;
 
 /** Allocation state machine for the main-memory table. */
@@ -73,6 +78,10 @@ class TableAllocation
 
     /** Test-only: claim Active without a base so audit() trips. */
     void corruptForTest();
+
+    /** Serialize or restore all mutable state (checkpointing). The
+     * OS policy is configuration, reattached by the owner. */
+    void ckpt(ckpt::Archiver &ar);
 
   private:
     bool tryAllocate(Tick now);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/archiver.hh"
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 
@@ -89,6 +90,21 @@ BranchPredictor::reset()
     std::fill(ras_.begin(), ras_.end(), 0);
     history_ = 0;
     rasTop_ = 0;
+}
+
+
+void
+BranchPredictor::ckpt(ckpt::Archiver &ar)
+{
+    ar.fixedVec(counters_, [](ckpt::Archiver &a, std::uint8_t &c) {
+        a.u8(c);
+    }, "gshare counters");
+    ar.fixedVecU64(btbTargets_, "BTB targets");
+    ar.fixedVecU64(btbTags_, "BTB tags");
+    ar.fixedVecU64(ras_, "RAS");
+    ar.uns(rasTop_);
+    ar.u64(history_);
+    stats_.ckpt(ar);
 }
 
 } // namespace ebcp

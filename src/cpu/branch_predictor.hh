@@ -18,6 +18,11 @@
 namespace ebcp
 {
 
+namespace ckpt
+{
+class Archiver;
+}
+
 /** Configuration of the branch prediction structures. */
 struct BranchPredictorConfig
 {
@@ -50,6 +55,9 @@ class BranchPredictor
     void reset();
 
     StatGroup &stats() { return stats_; }
+
+    /** Serialize or restore all learned state (checkpointing). */
+    void ckpt(ckpt::Archiver &ar);
 
   private:
     BranchPredictorConfig cfg_;

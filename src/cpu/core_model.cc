@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "ckpt/containers.hh"
 #include "util/bitfield.hh"
 #include "verify/audit.hh"
 
@@ -172,6 +173,42 @@ CoreModel::process(const TraceRecord &rec)
 void
 CoreModel::run(TraceSource &src, std::uint64_t count)
 {
+    if (!wallDeadlineArmed_) {
+        runBounded(src, count);
+        return;
+    }
+    // Chunked execution keeps the deadline entirely off the hot
+    // retirement loop: one clock read per chunk, and a run with no
+    // deadline armed takes the plain path above at zero cost (the
+    // perf-smoke bench enforces <1% with the deadline armed).
+    constexpr std::uint64_t kDeadlineChunk = 8192;
+    const auto wall_start = std::chrono::steady_clock::now();
+    std::uint64_t remaining = count;
+    while (remaining > 0) {
+        const std::uint64_t chunk =
+            std::min(kDeadlineChunk, remaining);
+        const std::uint64_t before = insts_;
+        runBounded(src, chunk);
+        const std::uint64_t done = insts_ - before;
+        remaining -= std::min(done, remaining);
+        if (watchdogTripped_ || done < chunk)
+            return; // tripped, or the source ran dry
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= wallDeadline_) {
+            watchdogTripped_ = true;
+            wallDeadlineTripped_ = true;
+            watchdogGap_ = 0;
+            watchdogWallSeconds_ =
+                std::chrono::duration<double>(now - wall_start)
+                    .count();
+            return;
+        }
+    }
+}
+
+void
+CoreModel::runBounded(TraceSource &src, std::uint64_t count)
+{
     // Pull records in batches so the source's virtual dispatch
     // amortizes over kRunBatch instructions. Never over-pull: the
     // last batch requests exactly the remaining count, so the source
@@ -300,12 +337,16 @@ CoreModel::corruptForTest()
         robIdx_ = bump(robIdx_, robRetire_.size());
         iqIdx_ = bump(iqIdx_, iqIssue_.size());
     } else {
-        // Push the oldest live entry past the last retirement: breaks
-        // age order (several entries) or the newest==lastRetire_ tie
-        // (a single entry).
+        // Push the newest live entry far past the last retirement:
+        // breaks the newest==lastRetire_ tie and leaves an entry that
+        // outlives every near-term retirement. The newest slot is the
+        // last to be overwritten by subsequent dispatches, so the
+        // damage also survives long enough for a cadenced mid-run
+        // audit to observe it (the oldest slot, being the insertion
+        // cursor, would be erased by the very next instruction).
         const std::size_t size = robRetire_.size();
-        const std::size_t oldest = seq_ >= size ? robIdx_ : 0;
-        robRetire_[oldest] = lastRetire_ + 1000;
+        const std::size_t newest = (robIdx_ + size - 1) % size;
+        robRetire_[newest] = lastRetire_ + 10'000'000;
     }
 }
 
@@ -315,6 +356,46 @@ CoreModel::beginMeasurement()
     instMark_ = insts_;
     tickMark_ = lastRetire_;
     stats_.resetAll();
+}
+
+
+void
+CoreModel::ckpt(ckpt::Archiver &ar)
+{
+    for (Tick &t : regReady_)
+        ar.u64(t);
+    ar.fixedVecU64(robRetire_, "ROB ring");
+    ar.fixedVecU64(iqIssue_, "issue queue ring");
+    ar.fixedVecU64(sbDrain_, "store buffer ring");
+    ar.fixedVecU64(lbComplete_, "load buffer ring");
+    ar.sz(robIdx_);
+    ar.sz(iqIdx_);
+    ar.sz(sbIdx_);
+    ar.sz(lbIdx_);
+    ar.u64(seq_);
+    ar.u64(storeSeq_);
+    ar.u64(loadSeq_);
+    for (WidthLimiter *lim :
+         {&fetchLim_, &dispatchLim_, &retireLim_, &aluLim_, &lsuLim_,
+          &brLim_, &fpAddLim_, &fpMulLim_}) {
+        Tick cur = lim->cur();
+        unsigned used = lim->used();
+        ar.u64(cur);
+        ar.uns(used);
+        if (!ar.saving() && ar.ok())
+            lim->setState(cur, used);
+    }
+    ar.u64(fetchLine_);
+    ar.u64(fetchLineReady_);
+    ar.u64(fetchResume_);
+    ar.u64(lastRetire_);
+    ar.u64(serializeBarrier_);
+    ar.u64(insts_);
+    ar.u64(instMark_);
+    ar.u64(tickMark_);
+    ar.u64(malformedRecords_);
+    bp_.ckpt(ar);
+    stats_.ckpt(ar);
 }
 
 } // namespace ebcp

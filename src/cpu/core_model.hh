@@ -24,6 +24,7 @@
 #define EBCP_CPU_CORE_MODEL_HH
 
 #include <array>
+#include <chrono>
 #include <vector>
 
 #include "cpu/branch_predictor.hh"
@@ -35,6 +36,11 @@
 
 namespace ebcp
 {
+
+namespace ckpt
+{
+class Archiver;
+}
 
 class AuditContext;
 class Auditor;
@@ -59,7 +65,10 @@ class CoreModel
     /** Process one instruction; @return its timing. */
     InstTiming process(const TraceRecord &rec);
 
-    /** Run @p count instructions from @p src. */
+    /** Run @p count instructions from @p src. With a wall deadline
+     * armed, execution proceeds in ~8k-instruction chunks with a
+     * clock check between chunks; otherwise it is a single
+     * uninterrupted pass with zero deadline cost. */
     void run(TraceSource &src, std::uint64_t count);
 
     /**
@@ -112,6 +121,29 @@ class CoreModel
     /** Wall-clock seconds inside the run() call that tripped. */
     double watchdogWallSeconds() const { return watchdogWallSeconds_; }
 
+    /**
+     * Arm an absolute wall-clock deadline. Once it passes, run()
+     * stops through the watchdog-trip path (watchdogTripped() turns
+     * true with a zero gap and wallDeadlineTripped() set), so the
+     * caller gets the same Stalled status + diagnostic a liveness
+     * failure would produce. The check runs once every few thousand
+     * instructions, so an unarmed deadline costs nothing and an armed
+     * one costs one clock read per ~8k instructions. Run-scoped like
+     * watchdog arming: not part of checkpointed state.
+     */
+    void
+    setWallDeadline(std::chrono::steady_clock::time_point deadline)
+    {
+        wallDeadline_ = deadline;
+        wallDeadlineArmed_ = true;
+    }
+
+    void clearWallDeadline() { wallDeadlineArmed_ = false; }
+
+    /** True when the last trip came from the wall deadline, not a
+     * retire gap. */
+    bool wallDeadlineTripped() const { return wallDeadlineTripped_; }
+
     /** ROB entries retiring after tick @p t (watchdog diagnostics:
      * pass the last healthy retire tick to see what was in flight
      * across the stall). */
@@ -142,6 +174,11 @@ class CoreModel
 
     /** Test-only: break ROB age order so audit() trips. */
     void corruptForTest();
+
+    /** Serialize or restore all mutable timing state (checkpointing).
+     * Watchdog arming and the attached auditor are run-scoped, not
+     * state, and are left alone. */
+    void ckpt(ckpt::Archiver &ar);
 
   private:
     /** Wrap a ring cursor (cheaper than % on a runtime size). */
@@ -199,6 +236,13 @@ class CoreModel
     Tick watchdogGap_ = 0;
     bool watchdogTripped_ = false;
     double watchdogWallSeconds_ = 0.0;
+
+    /** The deadline-free retirement loop behind run(). */
+    void runBounded(TraceSource &src, std::uint64_t count);
+
+    std::chrono::steady_clock::time_point wallDeadline_{};
+    bool wallDeadlineArmed_ = false;
+    bool wallDeadlineTripped_ = false;
 
     Auditor *auditor_ = nullptr;
     std::uint64_t malformedRecords_ = 0;

@@ -1,0 +1,35 @@
+#include "cpu/trace.hh"
+
+#include "ckpt/archiver.hh"
+
+namespace ebcp
+{
+
+void
+TraceSource::ckpt(ckpt::Archiver &ar)
+{
+    ar.fail(invalidArgError(
+        "this trace source is not checkpointable; drive the run from "
+        "the start instead of restoring mid-stream"));
+}
+
+void
+ckptRecord(ckpt::Archiver &ar, TraceRecord &rec)
+{
+    ar.u64(rec.pc);
+    ar.u64(rec.addr);
+    ar.enum32(rec.op);
+    ar.u8(rec.dstReg);
+    ar.u8(rec.srcReg0);
+    ar.u8(rec.srcReg1);
+    ar.boolean(rec.taken);
+    ar.u64(rec.target);
+    // An archive written by a healthy run only holds records the
+    // sources already sanitized; clamp again on load so a corrupt
+    // payload that survived the CRC cannot feed the timing model
+    // out-of-range indices.
+    if (!ar.saving() && ar.ok())
+        sanitizeRecord(rec);
+}
+
+} // namespace ebcp

@@ -21,6 +21,11 @@
 namespace ebcp
 {
 
+namespace ckpt
+{
+class Archiver;
+}
+
 /** Architectural register count visible to the trace format. */
 constexpr unsigned NumArchRegs = 64;
 
@@ -122,7 +127,18 @@ class TraceSource
 
     /** Restart the source deterministically. */
     virtual void reset() = 0;
+
+    /**
+     * Serialize or restore the source's read cursor (checkpointing).
+     * The default fails the archive: a source without an override has
+     * no resumable cursor and a checkpoint taken over it would replay
+     * records from the wrong position on restore.
+     */
+    virtual void ckpt(ckpt::Archiver &ar);
 };
+
+/** Serialize or restore one trace record field-by-field. */
+void ckptRecord(ckpt::Archiver &ar, TraceRecord &rec);
 
 } // namespace ebcp
 

@@ -52,6 +52,18 @@ class WidthLimiter
         used_ = 0;
     }
 
+    /** Scheduling state, for checkpointing. */
+    Tick cur() const { return cur_; }
+    unsigned used() const { return used_; }
+
+    /** Restore previously captured scheduling state. */
+    void
+    setState(Tick cur, unsigned used)
+    {
+        cur_ = cur;
+        used_ = used;
+    }
+
   private:
     unsigned width_;
     Tick cur_ = 0;

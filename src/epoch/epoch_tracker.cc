@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/archiver.hh"
 #include "verify/audit.hh"
 
 namespace ebcp
@@ -67,6 +68,17 @@ void
 EpochTracker::corruptForTest()
 {
     curStart_ = curEnd_ + 1000;
+}
+
+
+void
+EpochTracker::ckpt(ckpt::Archiver &ar)
+{
+    ar.u64(curEnd_);
+    ar.u64(curStart_);
+    ar.u64(curEpoch_);
+    ar.uns(missesInEpoch_);
+    stats_.ckpt(ar);
 }
 
 } // namespace ebcp

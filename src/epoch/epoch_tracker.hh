@@ -23,6 +23,11 @@
 namespace ebcp
 {
 
+namespace ckpt
+{
+class Archiver;
+}
+
 class AuditContext;
 
 /** What the tracker decided about one off-chip access. */
@@ -83,6 +88,9 @@ class EpochTracker
 
     /** Test-only: invert the open epoch's span so audit() trips. */
     void corruptForTest();
+
+    /** Serialize or restore all mutable state (checkpointing). */
+    void ckpt(ckpt::Archiver &ar);
 
   private:
     TraceSink *trace_ = nullptr;

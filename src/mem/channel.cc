@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ckpt/archiver.hh"
 #include "util/logging.hh"
 #include "verify/audit.hh"
 
@@ -87,6 +88,19 @@ Channel::corruptForTest()
 {
     ++requestedLifetime_;
     demandFree_ = lowFree_ + 1000;
+}
+
+
+void
+Channel::ckpt(ckpt::Archiver &ar)
+{
+    ar.u64(demandFree_);
+    ar.u64(lowFree_);
+    ar.u64(busyTicks_);
+    ar.u64(requestedLifetime_);
+    ar.u64(grantedLifetime_);
+    ar.u64(droppedLifetime_);
+    stats_.ckpt(ar);
 }
 
 } // namespace ebcp

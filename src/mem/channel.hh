@@ -25,6 +25,11 @@
 namespace ebcp
 {
 
+namespace ckpt
+{
+class Archiver;
+}
+
 class AuditContext;
 
 /** One bandwidth-limited bus direction. */
@@ -74,6 +79,9 @@ class Channel
     /** Test-only: leak a phantom request and invert the priority
      * horizons so audit() trips. */
     void corruptForTest();
+
+    /** Serialize or restore all mutable state (checkpointing). */
+    void ckpt(ckpt::Archiver &ar);
 
   private:
     double bytesPerTick_;

@@ -1,5 +1,6 @@
 #include "mem/main_memory.hh"
 
+#include "ckpt/archiver.hh"
 #include "verify/audit.hh"
 
 namespace ebcp
@@ -83,6 +84,17 @@ void
 MainMemory::corruptForTest()
 {
     ++readsIssuedLifetime_;
+}
+
+
+void
+MainMemory::ckpt(ckpt::Archiver &ar)
+{
+    read_.ckpt(ar);
+    write_.ckpt(ar);
+    ar.u64(readsIssuedLifetime_);
+    ar.u64(writesIssuedLifetime_);
+    stats_.ckpt(ar);
 }
 
 } // namespace ebcp

@@ -15,6 +15,11 @@
 namespace ebcp
 {
 
+namespace ckpt
+{
+class Archiver;
+}
+
 class AuditContext;
 
 /**
@@ -73,6 +78,9 @@ class MainMemory
     /** Test-only: record a read that never reached a channel so
      * audit() trips. */
     void corruptForTest();
+
+    /** Serialize or restore all mutable state (checkpointing). */
+    void ckpt(ckpt::Archiver &ar);
 
   private:
     MemConfig cfg_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/archiver.hh"
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 
@@ -117,6 +118,25 @@ GhbPrefetcher::observeAccess(const L2AccessInfo &info)
             break;
         }
     }
+}
+
+
+void
+GhbPrefetcher::ckpt(ckpt::Archiver &ar)
+{
+    Prefetcher::ckpt(ar);
+    ar.fixedVec(ghb_, [](ckpt::Archiver &a, GhbEntry &e) {
+        a.u64(e.addr);
+        a.u64(e.prev);
+        a.u64(e.key);
+        a.boolean(e.valid);
+    }, "GHB entries");
+    ar.fixedVec(index_, [](ckpt::Archiver &a, IndexEntry &e) {
+        a.u64(e.key);
+        a.u64(e.head);
+        a.boolean(e.valid);
+    }, "GHB index");
+    ar.u64(seq_);
 }
 
 } // namespace ebcp

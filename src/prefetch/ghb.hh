@@ -60,6 +60,9 @@ class GhbPrefetcher : public Prefetcher
 
     void observeAccess(const L2AccessInfo &info) override;
 
+    /** Serialize or restore all learned state (checkpointing). */
+    void ckpt(ckpt::Archiver &ar) override;
+
   private:
     /** One GHB slot. */
     struct GhbEntry

@@ -1,0 +1,14 @@
+#include "prefetch/prefetcher.hh"
+
+#include "ckpt/archiver.hh"
+
+namespace ebcp
+{
+
+void
+Prefetcher::ckpt(ckpt::Archiver &ar)
+{
+    stats_.ckpt(ar);
+}
+
+} // namespace ebcp

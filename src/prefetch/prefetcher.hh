@@ -25,6 +25,11 @@
 namespace ebcp
 {
 
+namespace ckpt
+{
+class Archiver;
+}
+
 class AuditContext;
 
 /** Everything a prefetcher learns about one L2 access (an L1 miss). */
@@ -118,6 +123,13 @@ class Prefetcher
 
     const std::string &name() const { return name_; }
     StatGroup &stats() { return stats_; }
+
+    /**
+     * Serialize or restore this prefetcher's mutable state. The base
+     * serializes the stat group; stateful prefetchers override, call
+     * the base first, then serialize their own structures.
+     */
+    virtual void ckpt(ckpt::Archiver &ar);
 
   protected:
     PrefetchEngine *engine_ = nullptr;

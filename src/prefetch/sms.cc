@@ -1,5 +1,6 @@
 #include "prefetch/sms.hh"
 
+#include "ckpt/archiver.hh"
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 
@@ -141,6 +142,27 @@ SmsPrefetcher::observeAccess(const L2AccessInfo &info)
     victim->pattern = (1u << offset);
     victim->valid = true;
     victim->stamp = ++stampCounter_;
+}
+
+
+void
+SmsPrefetcher::ckpt(ckpt::Archiver &ar)
+{
+    Prefetcher::ckpt(ar);
+    ar.fixedVec(agt_, [](ckpt::Archiver &a, AgtEntry &e) {
+        a.u64(e.regionBase);
+        a.u64(e.trigger);
+        a.u32(e.pattern);
+        a.boolean(e.valid);
+        a.u64(e.stamp);
+    }, "AGT entries");
+    ar.fixedVec(pht_, [](ckpt::Archiver &a, PhtEntry &e) {
+        a.u64(e.trigger);
+        a.u32(e.pattern);
+        a.boolean(e.valid);
+        a.u64(e.stamp);
+    }, "SMS PHT entries");
+    ar.u64(stampCounter_);
 }
 
 } // namespace ebcp

@@ -44,6 +44,9 @@ class SmsPrefetcher : public Prefetcher
 
     void observeAccess(const L2AccessInfo &info) override;
 
+    /** Serialize or restore all learned state (checkpointing). */
+    void ckpt(ckpt::Archiver &ar) override;
+
   private:
     /** Active region generation being recorded. */
     struct AgtEntry

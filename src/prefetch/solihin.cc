@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/containers.hh"
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 
@@ -106,6 +107,24 @@ SolihinPrefetcher::observeAccess(const L2AccessInfo &info)
     lastMissTick_ = info.when;
     predict(info);
     train(info.lineAddr);
+}
+
+
+void
+SolihinPrefetcher::ckpt(ckpt::Archiver &ar)
+{
+    Prefetcher::ckpt(ar);
+    ckpt::ckptFlatMap(ar, table_, [](ckpt::Archiver &a, Entry &e) {
+        a.u64(e.tag);
+        a.vec(e.levels, [](ckpt::Archiver &la, Level &lv) {
+            la.vecU64(lv.succ);
+        });
+    });
+    ckpt::ckptCircularBuffer(ar, recentMisses_,
+                             [](ckpt::Archiver &a, Addr &addr) {
+        a.u64(addr);
+    });
+    ar.u64(lastMissTick_);
 }
 
 } // namespace ebcp

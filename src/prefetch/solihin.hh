@@ -67,6 +67,9 @@ class SolihinPrefetcher : public Prefetcher
 
     void observeAccess(const L2AccessInfo &info) override;
 
+    /** Serialize or restore all learned state (checkpointing). */
+    void ckpt(ckpt::Archiver &ar) override;
+
     /** Host hash-map probe counters (throughput bench). */
     const FlatMapStats &mapStats() const { return table_.stats(); }
 

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "ckpt/archiver.hh"
+
 namespace ebcp
 {
 
@@ -104,6 +106,22 @@ StreamPrefetcher::observeAccess(const L2AccessInfo &info)
         s->streaming = false;
     }
     s->lastAddr = addr;
+}
+
+
+void
+StreamPrefetcher::ckpt(ckpt::Archiver &ar)
+{
+    Prefetcher::ckpt(ar);
+    ar.fixedVec(streams_, [](ckpt::Archiver &a, Stream &st) {
+        a.boolean(st.valid);
+        a.u64(st.lastAddr);
+        a.i64(st.stride);
+        a.uns(st.confirms);
+        a.boolean(st.streaming);
+        a.u64(st.lastUse);
+    }, "stream trackers");
+    ar.u64(useCounter_);
 }
 
 } // namespace ebcp

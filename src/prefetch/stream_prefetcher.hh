@@ -38,6 +38,9 @@ class StreamPrefetcher : public Prefetcher
 
     void observeAccess(const L2AccessInfo &info) override;
 
+    /** Serialize or restore all learned state (checkpointing). */
+    void ckpt(ckpt::Archiver &ar) override;
+
   private:
     struct Stream
     {

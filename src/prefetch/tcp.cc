@@ -1,5 +1,6 @@
 #include "prefetch/tcp.hh"
 
+#include "ckpt/archiver.hh"
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 
@@ -110,6 +111,25 @@ TcpPrefetcher::observeAccess(const L2AccessInfo &info)
         pt2 = pt1;
         pt1 = pred;
     }
+}
+
+
+void
+TcpPrefetcher::ckpt(ckpt::Archiver &ar)
+{
+    Prefetcher::ckpt(ar);
+    ar.fixedVec(tht_, [](ckpt::Archiver &a, ThtEntry &e) {
+        a.u64(e.t1);
+        a.u64(e.t2);
+        a.uns(e.count);
+    }, "THT entries");
+    ar.fixedVec(pht_, [](ckpt::Archiver &a, PhtEntry &e) {
+        a.u64(e.tagHist);
+        a.u64(e.nextTag);
+        a.boolean(e.valid);
+        a.u64(e.stamp);
+    }, "PHT entries");
+    ar.u64(stampCounter_);
 }
 
 } // namespace ebcp

@@ -59,6 +59,9 @@ class TcpPrefetcher : public Prefetcher
 
     void observeAccess(const L2AccessInfo &info) override;
 
+    /** Serialize or restore all learned state (checkpointing). */
+    void ckpt(ckpt::Archiver &ar) override;
+
   private:
     struct PhtEntry
     {

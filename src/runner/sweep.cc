@@ -4,12 +4,17 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <thread>
 
+#include "runner/journal.hh"
+#include "sim/ckpt_io.hh"
 #include "sim/cmp_system.hh"
 #include "sim/simulator.hh"
-#include "trace/fault_injection.hh"
 #include "trace/workloads.hh"
+#include "util/random.hh"
 
 namespace ebcp::runner
 {
@@ -43,61 +48,314 @@ defaultJobs()
 namespace
 {
 
-/** Single-core path: mirrors examples/ebcp_cli's wiring, including
- * the fault-injection wrapper and the EBCP-side fault plan. */
-RunResult
-executeSingle(const RunDesc &d)
+/** Everything result-shaping in @p d, in canonical archiver bytes. */
+void
+serializeDescIdentity(ckpt::Archiver &ar, const RunDesc &d,
+                      bool include_measure)
 {
-    RunResult out;
+    std::string workload = d.workload;
+    std::uint64_t seed = d.seed;
+    unsigned cores = d.cores;
+    std::uint64_t warm = d.scale.warm;
+    ar.str(workload);
+    ar.u64(seed);
+    ar.uns(cores);
+    ar.u64(warm);
+    serializeConfigIdentity(ar, d.cfg);
+    serializePrefetcherIdentity(ar, d.pf);
+    if (include_measure) {
+        std::uint64_t measure = d.scale.measure;
+        ar.u64(measure);
+    }
+}
+
+std::uint64_t
+descHash(const RunDesc &d, bool include_measure)
+{
+    std::string bytes;
+    ckpt::Archiver ar = ckpt::Archiver::saver(bytes);
+    serializeDescIdentity(ar, d, include_measure);
+    return ckpt::fnv1a64(bytes.data(), bytes.size());
+}
+
+} // namespace
+
+std::uint64_t
+descFingerprint(const RunDesc &d)
+{
+    return descHash(d, true);
+}
+
+std::uint64_t
+warmFingerprint(const RunDesc &d)
+{
+    return descHash(d, false);
+}
+
+std::uint64_t
+retryBackoffMs(const RetryPolicy &policy, std::uint64_t run_key,
+               unsigned attempt)
+{
+    if (policy.baseDelayMs == 0 || policy.maxDelayMs == 0)
+        return 0;
+    const unsigned exponent =
+        std::min(attempt > 0 ? attempt - 1 : 0u, 20u);
+    const std::uint64_t raw = std::min(policy.baseDelayMs << exponent,
+                                       policy.maxDelayMs);
+    // Deterministic per-(run, attempt) jitter in [raw/2, raw]: a
+    // fixed policy seed fixes the whole schedule, and distinct runs
+    // retrying the same attempt never thundering-herd in lockstep.
+    Pcg32 rng(policy.seed ^ run_key, 0x5eedba11ULL + attempt);
+    const std::uint64_t half = raw / 2;
+    const std::uint64_t span = raw - half + 1;
+    return half + rng.below(static_cast<std::uint32_t>(
+                      std::min<std::uint64_t>(span, 0xffffffffULL)));
+}
+
+bool
+statusRetryable(const Status &s)
+{
+    switch (s.code()) {
+      case StatusCode::InvalidArgument:
+      case StatusCode::NotFound:
+        return false; // deterministic bad input; retrying cannot help
+      default:
+        return !s.ok();
+    }
+}
+
+namespace
+{
+
+/** One warm checkpoint, built exactly once per fingerprint. */
+struct WarmEntry
+{
+    std::once_flag once;
+    std::string blob;
+    Status status;
+};
+
+class WarmCache
+{
+  public:
+    WarmEntry &
+    entry(std::uint64_t key)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::unique_ptr<WarmEntry> &slot = map_[key];
+        if (!slot)
+            slot = std::make_unique<WarmEntry>();
+        return *slot;
+    }
+
+  private:
+    std::mutex mu_;
+    std::map<std::uint64_t, std::unique_ptr<WarmEntry>> map_;
+};
+
+/** Per-sweep execution context threaded into every run. */
+struct ExecContext
+{
+    SweepOptions opts;
+    WarmCache *warm = nullptr; //!< null = no warm reuse
+    std::atomic<std::uint64_t> *warmBuilds = nullptr;
+    std::atomic<std::uint64_t> *warmForks = nullptr;
+    std::atomic<std::uint64_t> *coldFallbacks = nullptr;
+    bool corruptWarm = false;
+    CkptFaultKind corruptKind = CkptFaultKind::CrcFlip;
+    std::uint64_t corruptSeed = 1;
+};
+
+void
+armDeadline(CoreModel &core, double seconds)
+{
+    if (seconds <= 0.0)
+        return;
+    core.setWallDeadline(
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(seconds)));
+}
+
+/** Name the failure when the wall budget, not a retire gap, tripped. */
+Status
+timeoutContext(Status s, const CoreModel &core, double seconds)
+{
+    if (!s.ok() && core.wallDeadlineTripped())
+        return s.withContext(logFormat("run exceeded the ", seconds,
+                                       "s wall-clock budget"));
+    return s;
+}
+
+/** The trace-source stack + effective prefetcher params of one
+ * single-core run; mirrors examples/ebcp_cli's wiring, including the
+ * fault-injection wrapper and the EBCP-side fault plan. */
+struct SingleSource
+{
+    std::unique_ptr<SyntheticWorkload> owned;
+    std::unique_ptr<FaultInjectingTraceSource> injector;
+    TraceSource *source = nullptr;
+    PrefetcherParams pf;
+    Status status;
+};
+
+SingleSource
+buildSingleSource(const RunDesc &d)
+{
+    SingleSource out;
     StatusOr<std::unique_ptr<SyntheticWorkload>> src =
         tryMakeWorkload(d.workload, d.seed);
     if (!src.ok()) {
         out.status = src.status().withContext(runLabel(d));
         return out;
     }
-    std::unique_ptr<SyntheticWorkload> owned = src.take();
-    TraceSource *source = owned.get();
+    out.owned = src.take();
+    out.source = out.owned.get();
 
-    std::unique_ptr<FaultInjectingTraceSource> injector;
     const FaultPlan &faults = d.cfg.faults;
     if (faults.traceBitflip || faults.traceTruncate ||
         faults.traceShortRead) {
-        injector =
-            std::make_unique<FaultInjectingTraceSource>(*source, faults);
-        source = injector.get();
+        out.injector = std::make_unique<FaultInjectingTraceSource>(
+            *out.source, faults);
+        out.source = out.injector.get();
     }
 
-    PrefetcherParams pf = d.pf;
+    out.pf = d.pf;
     if (faults.any())
-        pf.ebcp.faults = faults;
+        out.pf.ebcp.faults = faults;
 
-    {
-        // Validate the prefetcher name up front: the Simulator
-        // constructor treats an unknown name as fatal, but a sweep
-        // must degrade to a per-run error instead.
-        StatusOr<std::unique_ptr<Prefetcher>> probe =
-            tryCreatePrefetcher(pf);
-        if (!probe.ok()) {
-            out.status = probe.status().withContext(runLabel(d));
-            return out;
-        }
+    // Validate the prefetcher name up front: the Simulator
+    // constructor treats an unknown name as fatal, but a sweep
+    // must degrade to a per-run error instead.
+    StatusOr<std::unique_ptr<Prefetcher>> probe =
+        tryCreatePrefetcher(out.pf);
+    if (!probe.ok())
+        out.status = probe.status().withContext(runLabel(d));
+    return out;
+}
+
+/** Single-core run with a full (cold) warm-up window. */
+RunResult
+executeColdSingle(const RunDesc &d, const ExecContext &ctx)
+{
+    RunResult out;
+    SingleSource ss = buildSingleSource(d);
+    if (!ss.status.ok()) {
+        out.status = ss.status;
+        return out;
     }
-
-    Simulator sim(d.cfg, pf);
+    Simulator sim(d.cfg, ss.pf);
+    armDeadline(sim.core(), ctx.opts.runTimeoutSeconds);
     StatusOr<SimResults> r =
-        sim.tryRun(*source, d.scale.warm, d.scale.measure);
+        sim.tryRun(*ss.source, d.scale.warm, d.scale.measure);
     if (!r.ok()) {
-        out.status = r.status().withContext(runLabel(d));
+        out.status = timeoutContext(r.status(), sim.core(),
+                                    ctx.opts.runTimeoutSeconds)
+                         .withContext(runLabel(d));
         return out;
     }
     out.results = r.take();
     return out;
 }
 
-/** CMP path: per-core workload instances with seeds derived from the
- * descriptor seed, as runCmp() does serially. */
+/** Single-core run forking its measurement from the shared warm
+ * checkpoint; degrades per CkptPolicy when the checkpoint is bad. */
 RunResult
-executeCmp(const RunDesc &d)
+executeWarmSingle(const RunDesc &d, const ExecContext &ctx)
+{
+    WarmEntry &entry = ctx.warm->entry(warmFingerprint(d));
+    std::call_once(entry.once, [&] {
+        SingleSource ws = buildSingleSource(d);
+        if (!ws.status.ok()) {
+            entry.status = ws.status;
+            return;
+        }
+        Simulator wsim(d.cfg, ws.pf);
+        armDeadline(wsim.core(), ctx.opts.runTimeoutSeconds);
+        Status s = wsim.runWarm(*ws.source, d.scale.warm);
+        if (!s.ok()) {
+            entry.status = timeoutContext(std::move(s), wsim.core(),
+                                          ctx.opts.runTimeoutSeconds);
+            return;
+        }
+        StatusOr<std::string> blob = wsim.serializeCheckpoint(*ws.source);
+        if (!blob.ok()) {
+            entry.status = blob.status();
+            return;
+        }
+        entry.blob = blob.take();
+        if (ctx.corruptWarm)
+            injectCkptFault(entry.blob, ctx.corruptKind, ctx.corruptSeed);
+        if (ctx.warmBuilds)
+            ctx.warmBuilds->fetch_add(1, std::memory_order_relaxed);
+    });
+
+    auto coldFallback = [&](const char *why,
+                            const Status &cause) -> RunResult {
+        warn("sweep run ", runLabel(d), ": ", why, " (",
+             cause.toString(),
+             "); falling back to a cold warm-up (ckpt_policy=rebuild)");
+        RunResult r = executeColdSingle(d, ctx);
+        r.coldFallback = true;
+        if (ctx.coldFallbacks)
+            ctx.coldFallbacks->fetch_add(1, std::memory_order_relaxed);
+        return r;
+    };
+
+    RunResult out;
+    if (!entry.status.ok()) {
+        if (ctx.opts.ckptPolicy == ckpt::CkptPolicy::Strict) {
+            out.status = entry.status.withContext(runLabel(d));
+            return out;
+        }
+        return coldFallback("warm checkpoint unavailable", entry.status);
+    }
+
+    SingleSource ss = buildSingleSource(d);
+    if (!ss.status.ok()) {
+        out.status = ss.status;
+        return out;
+    }
+    Simulator sim(d.cfg, ss.pf);
+    armDeadline(sim.core(), ctx.opts.runTimeoutSeconds);
+    Status rs = sim.restoreCheckpoint(entry.blob, *ss.source);
+    if (!rs.ok()) {
+        // The failed restore half-wrote the simulator and the source;
+        // both are abandoned here, never run.
+        if (ctx.opts.ckptPolicy == ckpt::CkptPolicy::Strict) {
+            out.status = rs.withContext(
+                logFormat(runLabel(d), ": warm checkpoint restore"));
+            return out;
+        }
+        return coldFallback("warm checkpoint restore failed", rs);
+    }
+    out.warmForked = true;
+    if (ctx.warmForks)
+        ctx.warmForks->fetch_add(1, std::memory_order_relaxed);
+    StatusOr<SimResults> r = sim.runMeasure(*ss.source, d.scale.measure);
+    if (!r.ok()) {
+        out.status = timeoutContext(r.status(), sim.core(),
+                                    ctx.opts.runTimeoutSeconds)
+                         .withContext(runLabel(d));
+        return out;
+    }
+    out.results = r.take();
+    return out;
+}
+
+RunResult
+executeSingle(const RunDesc &d, const ExecContext &ctx)
+{
+    if (ctx.warm)
+        return executeWarmSingle(d, ctx);
+    return executeColdSingle(d, ctx);
+}
+
+/** CMP path: per-core workload instances with seeds derived from the
+ * descriptor seed, as runCmp() does serially. Warm reuse is a
+ * single-core feature; CMP descriptors always run cold. */
+RunResult
+executeCmp(const RunDesc &d, const ExecContext &ctx)
 {
     RunResult out;
     std::vector<std::unique_ptr<SyntheticWorkload>> owned;
@@ -124,10 +382,16 @@ executeCmp(const RunDesc &d)
     }
 
     CmpSystem sys(d.cfg, d.pf, d.cores);
+    for (unsigned i = 0; i < d.cores; ++i)
+        armDeadline(sys.core(i), ctx.opts.runTimeoutSeconds);
     StatusOr<CmpResults> r =
         sys.tryRun(sources, d.scale.warm, d.scale.measure);
     if (!r.ok()) {
-        out.status = r.status().withContext(runLabel(d));
+        Status s = r.status();
+        for (unsigned i = 0; i < d.cores; ++i)
+            s = timeoutContext(std::move(s), sys.core(i),
+                               ctx.opts.runTimeoutSeconds);
+        out.status = s.withContext(runLabel(d));
         return out;
     }
 
@@ -135,13 +399,11 @@ executeCmp(const RunDesc &d)
     return out;
 }
 
-} // namespace
-
 RunResult
-executeRun(const RunDesc &d)
+executeRunCtx(const RunDesc &d, const ExecContext &ctx)
 {
     try {
-        return d.cores > 1 ? executeCmp(d) : executeSingle(d);
+        return d.cores > 1 ? executeCmp(d, ctx) : executeSingle(d, ctx);
     } catch (const std::exception &e) {
         RunResult out;
         out.status = Status(StatusCode::Corruption,
@@ -151,8 +413,17 @@ executeRun(const RunDesc &d)
     }
 }
 
-SweepRunner::SweepRunner(unsigned jobs)
-    : jobs_(jobs ? jobs : defaultJobs())
+} // namespace
+
+RunResult
+executeRun(const RunDesc &d)
+{
+    ExecContext ctx;
+    return executeRunCtx(d, ctx);
+}
+
+SweepRunner::SweepRunner(unsigned jobs, SweepOptions opts)
+    : jobs_(jobs ? jobs : defaultJobs()), opts_(std::move(opts))
 {}
 
 std::vector<RunResult>
@@ -161,12 +432,93 @@ SweepRunner::run(const std::vector<RunDesc> &descs)
     const auto start = std::chrono::steady_clock::now();
 
     std::vector<RunResult> results(descs.size());
+    std::vector<std::uint64_t> keys(descs.size());
+    std::vector<char> todo(descs.size(), 1);
+
+    std::unique_ptr<SweepJournal> journal;
+    if (!opts_.journalPath.empty()) {
+        journal = std::make_unique<SweepJournal>(opts_.journalPath);
+        Status js = journal->load();
+        if (!js.ok()) {
+            // A journal that cannot even be read disables durability
+            // for this invocation; it must never fail the sweep.
+            warn("sweep journal disabled: ", js.toString());
+            journal.reset();
+        }
+    }
+
+    std::size_t resumed = 0;
+    for (std::size_t i = 0; i < descs.size(); ++i) {
+        keys[i] = descFingerprint(descs[i]);
+        if (!journal)
+            continue;
+        JournalRecord rec;
+        if (journal->lookup(keys[i], rec)) {
+            results[i].status = rec.status();
+            results[i].results = rec.results;
+            results[i].attempts = rec.attempts;
+            results[i].warmForked = rec.warmForked;
+            results[i].coldFallback = rec.coldFallback;
+            results[i].fromJournal = true;
+            todo[i] = 0;
+            ++resumed;
+        }
+    }
+
+    WarmCache warm;
+    std::atomic<std::uint64_t> retries{0}, backoffMs{0}, warmBuilds{0},
+        warmForks{0}, coldFallbacks{0};
+    ExecContext ctx;
+    ctx.opts = opts_;
+    ctx.warm = opts_.warmReuse ? &warm : nullptr;
+    ctx.warmBuilds = &warmBuilds;
+    ctx.warmForks = &warmForks;
+    ctx.coldFallbacks = &coldFallbacks;
+    ctx.corruptWarm = corruptWarm_;
+    ctx.corruptKind = corruptKind_;
+    ctx.corruptSeed = corruptSeed_;
+
+    const unsigned max_attempts = std::max(1u, opts_.retry.maxAttempts);
+    auto runOne = [&](std::size_t i) {
+        const RunDesc &d = descs[i];
+        RunResult out;
+        for (unsigned attempt = 1;; ++attempt) {
+            out = executeRunCtx(d, ctx);
+            out.attempts = attempt;
+            if (out.ok() || attempt >= max_attempts ||
+                !statusRetryable(out.status))
+                break;
+            const std::uint64_t delay =
+                retryBackoffMs(opts_.retry, keys[i], attempt);
+            backoffMs.fetch_add(delay, std::memory_order_relaxed);
+            retries.fetch_add(1, std::memory_order_relaxed);
+            if (opts_.retry.sleep && delay)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay));
+        }
+        results[i] = out;
+        if (journal) {
+            JournalRecord rec;
+            rec.key = keys[i];
+            rec.code = out.status.code();
+            rec.message = out.status.message();
+            rec.results = out.results;
+            rec.attempts = out.attempts;
+            rec.warmForked = out.warmForked;
+            rec.coldFallback = out.coldFallback;
+            Status as = journal->append(rec);
+            if (!as.ok())
+                warn("sweep journal append failed: ", as.toString());
+        }
+    };
+
     const unsigned workers = static_cast<unsigned>(
         std::min<std::size_t>(jobs_, descs.size()));
 
     if (workers <= 1) {
         for (std::size_t i = 0; i < descs.size(); ++i)
-            results[i] = executeRun(descs[i]);
+            if (todo[i])
+                runOne(i);
     } else {
         // Work stealing off a shared index: workers claim the next
         // unstarted descriptor and write results[i] in place, so the
@@ -179,7 +531,8 @@ SweepRunner::run(const std::vector<RunDesc> &descs)
                     next.fetch_add(1, std::memory_order_relaxed);
                 if (i >= descs.size())
                     return;
-                results[i] = executeRun(descs[i]);
+                if (todo[i])
+                    runOne(i);
             }
         };
         std::vector<std::thread> pool;
@@ -201,6 +554,17 @@ SweepRunner::run(const std::vector<RunDesc> &descs)
             ++stats_.failed;
         }
     }
+    stats_.resumed = resumed;
+    stats_.retries =
+        static_cast<std::size_t>(retries.load(std::memory_order_relaxed));
+    stats_.warmBuilds = static_cast<std::size_t>(
+        warmBuilds.load(std::memory_order_relaxed));
+    stats_.warmForks = static_cast<std::size_t>(
+        warmForks.load(std::memory_order_relaxed));
+    stats_.coldFallbacks = static_cast<std::size_t>(
+        coldFallbacks.load(std::memory_order_relaxed));
+    stats_.backoffMsTotal = backoffMs.load(std::memory_order_relaxed);
+    stats_.journalSkipped = journal ? journal->skippedLines() : 0;
     stats_.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Configuration identity for checkpoints.
+ *
+ * A checkpoint is only meaningful against the exact system that wrote
+ * it: cache geometry, core widths, memory timing, prefetcher choice
+ * and parameters all shape the serialized state. These helpers render
+ * that identity into a canonical byte string (via a save-mode
+ * Archiver) and hash it with FNV-1a, so CheckpointReader can reject a
+ * restore against a mismatched configuration with a coded
+ * InvalidArgument instead of undefined behaviour.
+ */
+
+#ifndef EBCP_SIM_CKPT_IO_HH
+#define EBCP_SIM_CKPT_IO_HH
+
+#include <cstdint>
+
+#include "ckpt/archiver.hh"
+#include "sim/prefetcher_factory.hh"
+#include "sim/sim_config.hh"
+
+namespace ebcp
+{
+
+/** Serialize every behaviour-shaping field of @p cfg. */
+void serializeConfigIdentity(ckpt::Archiver &ar, const SimConfig &cfg);
+
+/** Serialize @p pf's name and every scheme's parameters. */
+void serializePrefetcherIdentity(ckpt::Archiver &ar,
+                                 const PrefetcherParams &pf);
+
+/**
+ * FNV-1a hash of the serialized identity of (@p cfg, @p pf,
+ * @p cores). Embedded in every checkpoint header.
+ */
+std::uint64_t configFingerprint(const SimConfig &cfg,
+                                const PrefetcherParams &pf,
+                                unsigned cores);
+
+} // namespace ebcp
+
+#endif // EBCP_SIM_CKPT_IO_HH

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "ckpt/checkpoint.hh"
+#include "ckpt/containers.hh"
+#include "sim/ckpt_io.hh"
 #include "sim/watchdog.hh"
 #include "trace/workloads.hh"
 #include "util/logging.hh"
@@ -12,7 +15,7 @@ namespace ebcp
 
 CmpSystem::CmpSystem(const SimConfig &cfg, const PrefetcherParams &pf,
                      unsigned cores, std::uint64_t quantum)
-    : cfg_(cfg), cores_(cores), quantum_(quantum), mem_(cfg.mem),
+    : cfg_(cfg), pf_(pf), cores_(cores), quantum_(quantum), mem_(cfg.mem),
       prefetcher_(createPrefetcher(pf))
 {
     fatal_if(cores == 0, "CMP needs at least one core");
@@ -143,11 +146,26 @@ StatusOr<CmpResults>
 CmpSystem::tryRun(std::vector<TraceSource *> &sources,
                   std::uint64_t warm, std::uint64_t measure)
 {
+    if (Status s = runWarm(sources, warm); !s.ok())
+        return s;
+    return runMeasure(sources, measure);
+}
+
+Status
+CmpSystem::runWarm(std::vector<TraceSource *> &sources,
+                   std::uint64_t warm)
+{
     fatal_if(sources.size() != cores_,
              "CMP needs one trace source per core");
+    return runPhase(sources, warm);
+}
 
-    if (Status s = runPhase(sources, warm); !s.ok())
-        return s;
+StatusOr<CmpResults>
+CmpSystem::runMeasure(std::vector<TraceSource *> &sources,
+                      std::uint64_t measure)
+{
+    fatal_if(sources.size() != cores_,
+             "CMP needs one trace source per core");
 
     for (auto &c : coreModels_)
         c->beginMeasurement();
@@ -212,6 +230,102 @@ CmpSystem::run(std::vector<TraceSource *> &sources, std::uint64_t warm,
     StatusOr<CmpResults> r = tryRun(sources, warm, measure);
     fatal_if(!r.ok(), r.status().toString());
     return r.take();
+}
+
+std::uint64_t
+CmpSystem::configFingerprint() const
+{
+    return ebcp::configFingerprint(cfg_, pf_, cores_);
+}
+
+StatusOr<std::string>
+CmpSystem::serializeCheckpoint(std::vector<TraceSource *> &sources)
+{
+    fatal_if(sources.size() != cores_,
+             "CMP needs one trace source per core");
+    ckpt::CheckpointWriter w(configFingerprint());
+    Status s;
+    auto add = [&](const std::string &name, auto &&fill) {
+        if (s.ok())
+            s = w.section(name, fill);
+    };
+    for (unsigned i = 0; i < cores_; ++i) {
+        add(logFormat("core", i), [this, i](ckpt::Archiver &ar) {
+            coreModels_[i]->ckpt(ar);
+        });
+        add(logFormat("l1.", i), [this, i](ckpt::Archiver &ar) {
+            ports_[i]->ckpt(ar);
+        });
+        add(logFormat("trace", i),
+            [&sources, i](ckpt::Archiver &ar) { sources[i]->ckpt(ar); });
+    }
+    add("l2side", [this](ckpt::Archiver &ar) { l2side_->ckpt(ar); });
+    add("mem", [this](ckpt::Archiver &ar) { mem_.ckpt(ar); });
+    add("prefetcher",
+        [this](ckpt::Archiver &ar) { prefetcher_->ckpt(ar); });
+    add("cmp", [this](ckpt::Archiver &ar) {
+        ckpt::ckptPcg32(ar, rng_);
+    });
+    if (!s.ok())
+        return s;
+    return w.serialize();
+}
+
+Status
+CmpSystem::saveCheckpoint(const std::string &path,
+                          std::vector<TraceSource *> &sources)
+{
+    StatusOr<std::string> blob = serializeCheckpoint(sources);
+    if (!blob.ok())
+        return blob.status();
+    return ckpt::atomicWriteFile(path, blob.value());
+}
+
+Status
+CmpSystem::restoreCheckpoint(const std::string &buffer,
+                             std::vector<TraceSource *> &sources)
+{
+    fatal_if(sources.size() != cores_,
+             "CMP needs one trace source per core");
+    StatusOr<ckpt::CheckpointReader> reader =
+        ckpt::CheckpointReader::fromBuffer(buffer, configFingerprint());
+    if (!reader.ok())
+        return reader.status();
+    const ckpt::CheckpointReader &r = reader.value();
+    Status s;
+    auto load = [&](const std::string &name, auto &&fn) {
+        if (s.ok())
+            s = r.section(name, fn);
+    };
+    for (unsigned i = 0; i < cores_; ++i) {
+        load(logFormat("core", i), [this, i](ckpt::Archiver &ar) {
+            coreModels_[i]->ckpt(ar);
+        });
+        load(logFormat("l1.", i), [this, i](ckpt::Archiver &ar) {
+            ports_[i]->ckpt(ar);
+        });
+        load(logFormat("trace", i),
+             [&sources, i](ckpt::Archiver &ar) { sources[i]->ckpt(ar); });
+    }
+    load("l2side", [this](ckpt::Archiver &ar) { l2side_->ckpt(ar); });
+    load("mem", [this](ckpt::Archiver &ar) { mem_.ckpt(ar); });
+    load("prefetcher",
+         [this](ckpt::Archiver &ar) { prefetcher_->ckpt(ar); });
+    load("cmp", [this](ckpt::Archiver &ar) {
+        ckpt::ckptPcg32(ar, rng_);
+    });
+    return s;
+}
+
+Status
+CmpSystem::restoreCheckpointFile(const std::string &path,
+                                 std::vector<TraceSource *> &sources)
+{
+    StatusOr<std::string> data = ckpt::readFile(path);
+    if (!data.ok())
+        return data.status();
+    return restoreCheckpoint(data.value(), sources)
+        .withContext(logFormat("restoring checkpoint '", path, "'"));
 }
 
 CmpResults

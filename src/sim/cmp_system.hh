@@ -84,6 +84,41 @@ class CmpSystem
     CmpResults run(std::vector<TraceSource *> &sources,
                    std::uint64_t warm, std::uint64_t measure);
 
+    /**
+     * Run only the warm-up phase (tryRun() is runWarm() +
+     * runMeasure()); lets callers checkpoint or restore the warm
+     * state between the two.
+     */
+    Status runWarm(std::vector<TraceSource *> &sources,
+                   std::uint64_t warm);
+
+    /** Reset measurement statistics, run the measurement phase, and
+     * aggregate the results. */
+    StatusOr<CmpResults> runMeasure(std::vector<TraceSource *> &sources,
+                                    std::uint64_t measure);
+
+    /** Identity hash of (SimConfig, prefetcher params, core count). */
+    std::uint64_t configFingerprint() const;
+
+    /** Serialize the complete mutable state: every core, every L1
+     * port, the shared L2 side, memory, the prefetcher, the
+     * interleaving RNG, and each source's cursor. */
+    StatusOr<std::string>
+    serializeCheckpoint(std::vector<TraceSource *> &sources);
+
+    /** serializeCheckpoint() + atomic write. */
+    Status saveCheckpoint(const std::string &path,
+                          std::vector<TraceSource *> &sources);
+
+    /** Restore from a serialized buffer; coded Status on corruption,
+     * version skew or configuration mismatch. */
+    Status restoreCheckpoint(const std::string &buffer,
+                             std::vector<TraceSource *> &sources);
+
+    /** Read @p path and restore from it. */
+    Status restoreCheckpointFile(const std::string &path,
+                                 std::vector<TraceSource *> &sources);
+
     /** Attach lifecycle tracing (observation only, shared L2 side). */
     void attachTraceLog(TraceLog &log) { l2side_->attachTraceLog(log); }
 
@@ -126,6 +161,7 @@ class CmpSystem
                     std::uint64_t insts_per_core);
 
     SimConfig cfg_;
+    PrefetcherParams pf_;
     unsigned cores_;
     std::uint64_t quantum_;
     std::string tracePolicyName_;

@@ -54,4 +54,12 @@ Hierarchy::beginMeasurement()
     stats_.resetAll();
 }
 
+void
+Hierarchy::ckpt(ckpt::Archiver &ar)
+{
+    l1i_.ckpt(ar);
+    l1d_.ckpt(ar);
+    stats_.ckpt(ar);
+}
+
 } // namespace ebcp

@@ -42,6 +42,10 @@ class Hierarchy : public MemSystem
 
     StatGroup &stats() { return stats_; }
 
+    /** Serialize or restore the private L1 contents (checkpointing).
+     * The shared L2 side is checkpointed once by its owner. */
+    void ckpt(ckpt::Archiver &ar);
+
   private:
     SimConfig cfg_;
     L2Subsystem &l2side_;

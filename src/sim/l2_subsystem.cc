@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ckpt/archiver.hh"
+
 namespace ebcp
 {
 
@@ -264,6 +266,20 @@ L2Subsystem::beginMeasurement()
 {
     stats_.resetAll();
     epochs_.beginMeasurement();
+}
+
+void
+L2Subsystem::ckpt(ckpt::Archiver &ar)
+{
+    l2_.ckpt(ar);
+    prefBuf_.ckpt(ar);
+    l2Mshrs_.ckpt(ar);
+    epochs_.ckpt(ar);
+    ledger_.stats().ckpt(ar);
+    ar.u64(demandCount_);
+    ar.u64(tableReadsServedLifetime_);
+    ar.u64(tableWritesServedLifetime_);
+    stats_.ckpt(ar);
 }
 
 } // namespace ebcp

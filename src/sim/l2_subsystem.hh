@@ -125,6 +125,12 @@ class L2Subsystem : public PrefetchEngine
     /** Test-only: plant one line in both structures so audit() trips. */
     void corruptForTest();
 
+    /** Serialize or restore the shared L2-side state: L2 contents,
+     * prefetch buffer, MSHRs, demand epoch tracker, ledger and
+     * counters. The attached prefetcher checkpoints itself via its
+     * own ckpt(); trace sinks and the auditor are run-scoped. */
+    void ckpt(ckpt::Archiver &ar);
+
   private:
     /** Feed the demand epoch tracker and fire the audit epoch hook on
      * a trigger. */

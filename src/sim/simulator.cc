@@ -3,6 +3,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "ckpt/checkpoint.hh"
+#include "sim/ckpt_io.hh"
 #include "sim/watchdog.hh"
 #include "util/logging.hh"
 
@@ -10,7 +12,7 @@ namespace ebcp
 {
 
 Simulator::Simulator(const SimConfig &cfg, const PrefetcherParams &pf)
-    : cfg_(cfg), mem_(cfg.mem), prefetcher_(createPrefetcher(pf))
+    : cfg_(cfg), pf_(pf), mem_(cfg.mem), prefetcher_(createPrefetcher(pf))
 {
     l2side_ = std::make_unique<L2Subsystem>(cfg_, mem_, *prefetcher_);
     hier_ = std::make_unique<Hierarchy>(cfg_, *l2side_, 0);
@@ -104,6 +106,14 @@ StatusOr<SimResults>
 Simulator::tryRun(TraceSource &src, std::uint64_t warm_insts,
                   std::uint64_t measure_insts)
 {
+    if (Status s = runWarm(src, warm_insts); !s.ok())
+        return s;
+    return runMeasure(src, measure_insts);
+}
+
+Status
+Simulator::runWarm(TraceSource &src, std::uint64_t warm_insts)
+{
     core_->setWatchdog(cfg_.watchdogTicks);
 
     core_->run(src, warm_insts);
@@ -111,6 +121,13 @@ Simulator::tryRun(TraceSource &src, std::uint64_t warm_insts,
         return stallStatus();
     if (auditor_ && auditor_->abortRequested())
         return auditor_->toStatus();
+    return Status();
+}
+
+StatusOr<SimResults>
+Simulator::runMeasure(TraceSource &src, std::uint64_t measure_insts)
+{
+    core_->setWatchdog(cfg_.watchdogTicks);
 
     core_->beginMeasurement();
     hier_->beginMeasurement();
@@ -213,6 +230,83 @@ Simulator::collect()
             static_cast<double>(r.cycles);
     }
     return r;
+}
+
+std::uint64_t
+Simulator::configFingerprint() const
+{
+    return ebcp::configFingerprint(cfg_, pf_, 1);
+}
+
+StatusOr<std::string>
+Simulator::serializeCheckpoint(TraceSource &src)
+{
+    ckpt::CheckpointWriter w(configFingerprint());
+    Status s;
+    auto add = [&](const char *name, auto &&fill) {
+        if (s.ok())
+            s = w.section(name, fill);
+    };
+    add("core", [this](ckpt::Archiver &ar) { core_->ckpt(ar); });
+    add("l1", [this](ckpt::Archiver &ar) { hier_->ckpt(ar); });
+    add("l2side", [this](ckpt::Archiver &ar) { l2side_->ckpt(ar); });
+    add("mem", [this](ckpt::Archiver &ar) { mem_.ckpt(ar); });
+    add("prefetcher",
+        [this](ckpt::Archiver &ar) { prefetcher_->ckpt(ar); });
+    add("trace", [&src](ckpt::Archiver &ar) { src.ckpt(ar); });
+    add("simulator", [this](ckpt::Archiver &ar) {
+        ar.u64(readBusyMark_);
+        ar.u64(writeBusyMark_);
+    });
+    if (!s.ok())
+        return s;
+    return w.serialize();
+}
+
+Status
+Simulator::saveCheckpoint(const std::string &path, TraceSource &src)
+{
+    StatusOr<std::string> blob = serializeCheckpoint(src);
+    if (!blob.ok())
+        return blob.status();
+    return ckpt::atomicWriteFile(path, blob.value());
+}
+
+Status
+Simulator::restoreCheckpoint(const std::string &buffer, TraceSource &src)
+{
+    StatusOr<ckpt::CheckpointReader> reader =
+        ckpt::CheckpointReader::fromBuffer(buffer, configFingerprint());
+    if (!reader.ok())
+        return reader.status();
+    const ckpt::CheckpointReader &r = reader.value();
+    Status s;
+    auto load = [&](const char *name, auto &&fn) {
+        if (s.ok())
+            s = r.section(name, fn);
+    };
+    load("core", [this](ckpt::Archiver &ar) { core_->ckpt(ar); });
+    load("l1", [this](ckpt::Archiver &ar) { hier_->ckpt(ar); });
+    load("l2side", [this](ckpt::Archiver &ar) { l2side_->ckpt(ar); });
+    load("mem", [this](ckpt::Archiver &ar) { mem_.ckpt(ar); });
+    load("prefetcher",
+         [this](ckpt::Archiver &ar) { prefetcher_->ckpt(ar); });
+    load("trace", [&src](ckpt::Archiver &ar) { src.ckpt(ar); });
+    load("simulator", [this](ckpt::Archiver &ar) {
+        ar.u64(readBusyMark_);
+        ar.u64(writeBusyMark_);
+    });
+    return s;
+}
+
+Status
+Simulator::restoreCheckpointFile(const std::string &path, TraceSource &src)
+{
+    StatusOr<std::string> data = ckpt::readFile(path);
+    if (!data.ok())
+        return data.status();
+    return restoreCheckpoint(data.value(), src)
+        .withContext(logFormat("restoring checkpoint '", path, "'"));
 }
 
 void

@@ -46,8 +46,52 @@ class Simulator
     SimResults run(TraceSource &src, std::uint64_t warm_insts,
                    std::uint64_t measure_insts);
 
+    /**
+     * Run only the warm-up window. tryRun() is exactly
+     * runWarm() + runMeasure(); the split exists so a caller can
+     * checkpoint the warm state (or restore one) between the two.
+     */
+    Status runWarm(TraceSource &src, std::uint64_t warm_insts);
+
+    /**
+     * Reset measurement statistics and run the measurement window.
+     * Warm state must already be in place, either from runWarm() or
+     * from restoreCheckpoint().
+     */
+    StatusOr<SimResults> runMeasure(TraceSource &src,
+                                    std::uint64_t measure_insts);
+
     /** Collect results for the instructions since beginMeasurement(). */
     SimResults collect();
+
+    /**
+     * Identity hash of this simulator's configuration (SimConfig +
+     * prefetcher parameters); embedded in every checkpoint and
+     * verified on restore.
+     */
+    std::uint64_t configFingerprint() const;
+
+    /**
+     * Serialize the complete mutable state -- every component plus
+     * @p src's read cursor -- into the versioned checkpoint container.
+     */
+    StatusOr<std::string> serializeCheckpoint(TraceSource &src);
+
+    /** serializeCheckpoint() + atomic write (temp + fsync + rename). */
+    Status saveCheckpoint(const std::string &path, TraceSource &src);
+
+    /**
+     * Restore state from a serialized checkpoint buffer. Fails with a
+     * coded Status (never UB) on corruption, version skew, or a
+     * fingerprint from a different configuration; the simulator is
+     * left unspecified-but-destructible on failure, so callers either
+     * propagate the error or rebuild from scratch.
+     */
+    Status restoreCheckpoint(const std::string &buffer, TraceSource &src);
+
+    /** Read @p path and restore from it. */
+    Status restoreCheckpointFile(const std::string &path,
+                                 TraceSource &src);
 
     /**
      * Attach lifecycle event tracing (must outlive the simulator).
@@ -120,6 +164,7 @@ class Simulator
     Status stallStatus();
 
     SimConfig cfg_;
+    PrefetcherParams pf_;
     MainMemory mem_;
     std::unique_ptr<Prefetcher> prefetcher_;
     std::unique_ptr<L2Subsystem> l2side_;

@@ -2,6 +2,7 @@
 
 #include <iomanip>
 
+#include "ckpt/archiver.hh"
 #include "util/json.hh"
 
 namespace ebcp
@@ -14,6 +15,36 @@ StatGroup::resetAll()
         s->reset();
     for (auto *c : children_)
         c->resetAll();
+}
+
+void
+StatGroup::ckpt(ckpt::Archiver &ar)
+{
+    std::uint32_t nstats = static_cast<std::uint32_t>(stats_.size());
+    ar.u32(nstats);
+    if (!ar.saving() && ar.ok() && nstats != stats_.size()) {
+        ar.fail(invalidArgError("stat group '", name_, "' holds ",
+                                stats_.size(),
+                                " stats but the checkpoint recorded ",
+                                nstats));
+        return;
+    }
+    for (StatBase *s : stats_) {
+        std::string name = s->name();
+        ar.str(name);
+        if (!ar.ok())
+            return;
+        if (!ar.saving() && name != s->name()) {
+            ar.fail(invalidArgError("stat group '", name_, "' expected '",
+                                    s->name(),
+                                    "' but the checkpoint recorded '",
+                                    name, "'"));
+            return;
+        }
+        s->ckptValue(ar);
+        if (!ar.ok())
+            return;
+    }
 }
 
 const StatBase *

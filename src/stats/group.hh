@@ -16,6 +16,11 @@
 namespace ebcp
 {
 
+namespace ckpt
+{
+class Archiver;
+}
+
 class JsonWriter;
 
 /**
@@ -78,6 +83,17 @@ class StatGroup
     const std::string &name() const { return name_; }
     const std::vector<StatBase *> &stats() const { return stats_; }
     const std::vector<StatGroup *> &children() const { return children_; }
+
+    /**
+     * Serialize or restore the statistics registered directly on this
+     * group (children are component-owned and serialize with their
+     * components, so the walk deliberately does not recurse).
+     * Registration order is deterministic (components register their
+     * stats at construction), so the walk order matches between save
+     * and load; stat names travel with the values and are verified on
+     * load to catch registry skew.
+     */
+    void ckpt(ckpt::Archiver &ar);
 
   private:
     std::string name_;

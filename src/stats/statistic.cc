@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "ckpt/archiver.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
@@ -27,6 +28,12 @@ Scalar::writeJson(JsonWriter &w) const
     w.value(value_);
 }
 
+void
+Scalar::ckptValue(ckpt::Archiver &ar)
+{
+    ar.u64(value_);
+}
+
 std::string
 Average::render() const
 {
@@ -42,6 +49,13 @@ Average::writeJson(JsonWriter &w) const
     w.kv("mean", mean());
     w.kv("count", count_);
     w.endObject();
+}
+
+void
+Average::ckptValue(ckpt::Archiver &ar)
+{
+    ar.f64(sum_);
+    ar.u64(count_);
 }
 
 Distribution::Distribution(std::string name, std::string desc, double min,
@@ -114,6 +128,18 @@ Distribution::reset()
         c = 0;
     underflow_ = overflow_ = samples_ = 0;
     sum_ = 0.0;
+}
+
+void
+Distribution::ckptValue(ckpt::Archiver &ar)
+{
+    // The bucket count is fixed at construction; a mismatch means the
+    // checkpoint was taken under different bucketing.
+    ar.fixedVecU64(counts_, "distribution buckets");
+    ar.u64(underflow_);
+    ar.u64(overflow_);
+    ar.u64(samples_);
+    ar.f64(sum_);
 }
 
 } // namespace ebcp

@@ -18,6 +18,11 @@
 namespace ebcp
 {
 
+namespace ckpt
+{
+class Archiver;
+}
+
 class JsonWriter;
 
 /** Base class for a named, documented statistic. */
@@ -46,6 +51,9 @@ class StatBase
     /** Reset to initial state (used between warm-up and measurement). */
     virtual void reset() = 0;
 
+    /** Serialize or restore the value through @p ar (checkpointing). */
+    virtual void ckptValue(ckpt::Archiver &ar) = 0;
+
   private:
     std::string name_;
     std::string desc_;
@@ -66,6 +74,7 @@ class Scalar : public StatBase
     std::string render() const override;
     void writeJson(JsonWriter &w) const override;
     void reset() override { value_ = 0; }
+    void ckptValue(ckpt::Archiver &ar) override;
 
   private:
     std::uint64_t value_ = 0;
@@ -89,6 +98,7 @@ class Average : public StatBase
 
     std::string render() const override;
     void writeJson(JsonWriter &w) const override;
+    void ckptValue(ckpt::Archiver &ar) override;
 
     void
     reset() override
@@ -125,6 +135,7 @@ class Distribution : public StatBase
     std::string render() const override;
     void writeJson(JsonWriter &w) const override;
     void reset() override;
+    void ckptValue(ckpt::Archiver &ar) override;
 
   private:
     double min_;

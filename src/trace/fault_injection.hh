@@ -30,6 +30,43 @@
 namespace ebcp
 {
 
+/**
+ * Ways a checkpoint file can plausibly be damaged at rest or in
+ * flight; used to build the corrupted-checkpoint test corpus. Every
+ * kind must surface on restore as a coded StatusCode::Corruption (or
+ * InvalidArgument for version/fingerprint skew), never as a crash.
+ */
+enum class CkptFaultKind
+{
+    HeaderBitflip,   //!< one bit of the container header flips
+    SectionTruncate, //!< the file ends inside the section area
+    CrcFlip,         //!< one bit of a section (name/len/CRC/payload)
+    ShortWrite,      //!< the final bytes were never written
+};
+
+/** All kinds, for corpus loops. */
+constexpr CkptFaultKind kCkptFaultKinds[] = {
+    CkptFaultKind::HeaderBitflip,
+    CkptFaultKind::SectionTruncate,
+    CkptFaultKind::CrcFlip,
+    CkptFaultKind::ShortWrite,
+};
+
+/** @return printable kind name. */
+const char *ckptFaultKindName(CkptFaultKind kind);
+
+/**
+ * Damage a serialized checkpoint in place, deterministically from
+ * @p seed (stream FaultStream::Checkpoint). The damage is always
+ * material: the buffer afterwards differs from the input.
+ */
+void injectCkptFault(std::string &buffer, CkptFaultKind kind,
+                     std::uint64_t seed);
+
+/** Read @p path, damage it, and write it back. */
+Status injectCkptFaultFile(const std::string &path, CkptFaultKind kind,
+                           std::uint64_t seed);
+
 /** Wraps another TraceSource and injects the plan's trace faults. */
 class FaultInjectingTraceSource : public TraceSource
 {
@@ -42,6 +79,11 @@ class FaultInjectingTraceSource : public TraceSource
     /** Restart both the wrapper's fault stream and the inner source,
      * reproducing the exact same fault sequence. */
     void reset() override;
+
+    /** Serialize or restore the fault cursor together with the inner
+     * source's cursor, so a restored run replays the identical
+     * remainder of the fault sequence. */
+    void ckpt(ckpt::Archiver &ar) override;
 
     std::uint64_t bitflipsInjected() const { return bitflips_.value(); }
     std::uint64_t truncationsInjected() const

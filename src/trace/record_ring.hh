@@ -95,6 +95,14 @@ class RecordRing
         size_ = 0;
     }
 
+    /** @return element @p i, 0 = oldest (checkpoint iteration). */
+    const T &
+    at(std::size_t i) const
+    {
+        panic_if(i >= size_, "RecordRing index out of range");
+        return slots_[(head_ + i) & mask_];
+    }
+
     const RingStats &stats() const { return stats_; }
     void resetStats() { stats_ = {}; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/containers.hh"
 #include "util/logging.hh"
 
 namespace ebcp
@@ -462,6 +463,38 @@ SyntheticWorkload::generateTransaction()
             emitOp(jitter, key, (type << 4) | 15, true);
         emitOp(types_[type].ops[i], key, (type << 4) | i);
     }
+}
+
+void
+SyntheticWorkload::ckpt(ckpt::Archiver &ar)
+{
+    ckpt::ckptPcg32(ar, rng_);
+    std::uint64_t pending = buf_.size();
+    ar.u64(pending);
+    if (ar.saving()) {
+        for (std::uint64_t i = 0; i < pending; ++i) {
+            TraceRecord rec = buf_.at(i);
+            ckptRecord(ar, rec);
+        }
+    } else {
+        buf_.clear();
+        for (std::uint64_t i = 0; i < pending && ar.ok(); ++i) {
+            TraceRecord rec;
+            ckptRecord(ar, rec);
+            if (ar.ok())
+                buf_.pushSlot() = rec;
+        }
+    }
+    ar.u64(curPc_);
+    ar.u64(fnBase_);
+    ar.u64(fnEnd_);
+    ar.u64(dispatcherPc_);
+    ar.uns(blockLeft_);
+    ar.uns(aluIdx_);
+    ar.uns(aluPhase_);
+    ar.uns(loadIdx_);
+    ar.u64(sinceSerialize_);
+    ar.u64(oneShot_);
 }
 
 } // namespace ebcp

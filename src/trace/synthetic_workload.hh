@@ -40,6 +40,14 @@ class SyntheticWorkload : public TraceSource
     std::size_t nextBatch(TraceRecord *out, std::size_t max) override;
     void reset() override;
 
+    /**
+     * Serialize or restore the generation cursor: the RNG, the
+     * buffered tail of the current transaction, and the emission
+     * state. The transaction types, address map and Zipf CDF are pure
+     * functions of the config and are rebuilt at construction.
+     */
+    void ckpt(ckpt::Archiver &ar) override;
+
     const WorkloadConfig &config() const { return cfg_; }
     const AddressMap &addressMap() const { return map_; }
 

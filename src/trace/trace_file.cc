@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "ckpt/archiver.hh"
 #include "util/crc32.hh"
 #include "util/logging.hh"
 
@@ -406,6 +407,36 @@ FileTraceSource::next(TraceRecord &rec)
         ++loops_;
     }
     return false; // empty (or fully corrupt) trace: nothing to loop
+}
+
+void
+FileTraceSource::ckpt(ckpt::Archiver &ar)
+{
+    if (!status_.ok()) {
+        ar.fail(status_.withContext("trace source is unhealthy; its "
+                                    "cursor cannot be checkpointed"));
+        return;
+    }
+    std::uint64_t offset =
+        ar.saving() ? static_cast<std::uint64_t>(std::ftell(file_)) : 0;
+    ar.u64(offset);
+    if (!ar.saving() && ar.ok() &&
+        std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+        ar.fail(ioError("trace file '", path_, "': seek to checkpointed "
+                        "offset ", offset, " failed"));
+        return;
+    }
+    ar.u64(read_);
+    ar.boolean(ended_);
+    ar.vec(buffer_, ckptRecord);
+    ar.sz(bufferPos_);
+    if (!ar.saving() && ar.ok() && bufferPos_ > buffer_.size()) {
+        ar.fail(corruptionError("trace cursor points past the buffered "
+                                "chunk (", bufferPos_, " > ",
+                                buffer_.size(), ")"));
+        return;
+    }
+    stats_.ckpt(ar);
 }
 
 void

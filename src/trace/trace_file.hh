@@ -129,6 +129,14 @@ class FileTraceSource : public TraceSource
     void reset() override;
 
     /**
+     * Serialize or restore the replay cursor: the file offset, the
+     * decoded records of the current chunk, and the read counters.
+     * Fails (instead of saving a lie) if the source has already gone
+     * unhealthy -- a corrupt stream has no trustworthy position.
+     */
+    void ckpt(ckpt::Archiver &ar) override;
+
+    /**
      * Ok while reading is healthy. Under the Strict policy this turns
      * into a Corruption/IoError status when next() hits a bad chunk
      * (next() then returns false); callers at the boundary check it

@@ -86,6 +86,7 @@ enum class FaultStream : std::uint64_t
     TraceSource = 0x5eed0001,
     Table = 0x5eed0002,
     Demand = 0x5eed0003,
+    Checkpoint = 0x5eed0004,
 };
 
 } // namespace ebcp

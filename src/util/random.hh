@@ -97,6 +97,18 @@ class Pcg32
         return uniform() < p;
     }
 
+    /** Raw generator state, for checkpointing. */
+    std::uint64_t rawState() const { return state_; }
+    std::uint64_t rawInc() const { return inc_; }
+
+    /** Restore a previously captured raw state. */
+    void
+    setRaw(std::uint64_t state, std::uint64_t inc)
+    {
+        state_ = state;
+        inc_ = inc;
+    }
+
   private:
     std::uint64_t state_ = 0;
     std::uint64_t inc_ = 0;

@@ -703,6 +703,66 @@ TEST(AuditFaultMatrix, TraceBitflipCaughtByRecordScreening)
         << violationNames(ctx);
 }
 
+TEST(AuditFaultMatrix, CheckpointRoundTripStaysClean)
+{
+    // Crash-safety x audit: a measurement forked from a restored
+    // checkpoint must satisfy every runtime invariant, exactly as the
+    // uninterrupted run does. A violation here means deserialization
+    // rebuilt internally inconsistent component state.
+    SimConfig cfg;
+    PrefetcherParams pf;
+    pf.name = "ebcp";
+
+    std::string blob;
+    {
+        Simulator sim(cfg, pf);
+        auto src = makeWorkload("database");
+        ASSERT_TRUE(sim.runWarm(*src, 30000).ok());
+        StatusOr<std::string> b = sim.serializeCheckpoint(*src);
+        ASSERT_TRUE(b.ok()) << b.status().toString();
+        blob = b.take();
+    }
+
+    Simulator sim(cfg, pf);
+    auto src = makeWorkload("database");
+    ASSERT_TRUE(sim.restoreCheckpoint(blob, *src).ok());
+    ASSERT_TRUE(sim.configureAudit(everyTicks(2000)).ok());
+    StatusOr<SimResults> r = sim.runMeasure(*src, 60000);
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    const AuditContext &ctx = sim.auditor()->context();
+    EXPECT_TRUE(ctx.clean()) << violationNames(ctx);
+}
+
+TEST(AuditFaultMatrix, CorruptionAfterRestoreStillTripsAudit)
+{
+    // The audit must keep its teeth on a restored simulator: damage
+    // the restored core state and the Abort-policy audit must fail
+    // the measurement with InvariantViolation.
+    SimConfig cfg;
+    PrefetcherParams pf;
+    pf.name = "null";
+
+    std::string blob;
+    {
+        Simulator sim(cfg, pf);
+        auto src = makeWorkload("database");
+        ASSERT_TRUE(sim.runWarm(*src, 30000).ok());
+        StatusOr<std::string> b = sim.serializeCheckpoint(*src);
+        ASSERT_TRUE(b.ok()) << b.status().toString();
+        blob = b.take();
+    }
+
+    Simulator sim(cfg, pf);
+    auto src = makeWorkload("database");
+    ASSERT_TRUE(sim.restoreCheckpoint(blob, *src).ok());
+    ASSERT_TRUE(
+        sim.configureAudit(everyTicks(100, AuditPolicy::Abort)).ok());
+    sim.core().corruptForTest();
+    StatusOr<SimResults> r = sim.runMeasure(*src, 60000);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::InvariantViolation);
+}
+
 TEST(AuditFaultMatrix, AbortPolicyTurnsAFaultIntoAFailedRun)
 {
     SimConfig cfg;

@@ -1,0 +1,564 @@
+/**
+ * @file
+ * Tests for the checkpoint subsystem: archiver primitives, bit-exact
+ * simulator save/restore (in memory and through the atomic file
+ * path), version/fingerprint skew rejection, the corrupted-checkpoint
+ * corpus (every CkptFaultKind must surface as a coded Status, never a
+ * crash), the sweep journal's torn-line tolerance, and deterministic
+ * retry backoff.
+ *
+ * CkptRoundtrip.* and CkptCorpus.* are also registered as dedicated
+ * ctest entries (ckpt_roundtrip, ckpt_corruption_corpus) which
+ * check.sh stage 5 runs under ASan/UBSan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "ckpt/archiver.hh"
+#include "ckpt/checkpoint.hh"
+#include "runner/journal.hh"
+#include "runner/sweep.hh"
+#include "sim/simulator.hh"
+#include "trace/fault_injection.hh"
+#include "trace/workloads.hh"
+#include "util/crc32.hh"
+
+using namespace ebcp;
+using namespace ebcp::runner;
+
+namespace
+{
+
+constexpr std::uint64_t kWarm = 60'000;
+constexpr std::uint64_t kMeasure = 120'000;
+
+void
+expectBitIdentical(const SimResults &a, const SimResults &b,
+                   const std::string &what)
+{
+    EXPECT_EQ(a.insts, b.insts) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.epochs, b.epochs) << what;
+    EXPECT_EQ(a.cpi, b.cpi) << what;
+    EXPECT_EQ(a.epochsPer1k, b.epochsPer1k) << what;
+    EXPECT_EQ(a.l2InstMissPer1k, b.l2InstMissPer1k) << what;
+    EXPECT_EQ(a.l2LoadMissPer1k, b.l2LoadMissPer1k) << what;
+    EXPECT_EQ(a.usefulPrefetches, b.usefulPrefetches) << what;
+    EXPECT_EQ(a.issuedPrefetches, b.issuedPrefetches) << what;
+    EXPECT_EQ(a.droppedPrefetches, b.droppedPrefetches) << what;
+    EXPECT_EQ(a.timelyPrefetches, b.timelyPrefetches) << what;
+    EXPECT_EQ(a.latePrefetches, b.latePrefetches) << what;
+    EXPECT_EQ(a.earlyEvictedPrefetches, b.earlyEvictedPrefetches)
+        << what;
+    EXPECT_EQ(a.coverage, b.coverage) << what;
+    EXPECT_EQ(a.accuracy, b.accuracy) << what;
+    EXPECT_EQ(a.timeliness, b.timeliness) << what;
+    EXPECT_EQ(a.readBusUtil, b.readBusUtil) << what;
+    EXPECT_EQ(a.writeBusUtil, b.writeBusUtil) << what;
+}
+
+/** A warmed simulator's serialized state plus its cold results. */
+struct WarmRun
+{
+    std::string blob;
+    SimResults coldResults;
+};
+
+WarmRun
+warmAndMeasure(const SimConfig &cfg, const PrefetcherParams &pf,
+               const std::string &workload)
+{
+    WarmRun out;
+    Simulator sim(cfg, pf);
+    auto src = makeWorkload(workload);
+    EXPECT_TRUE(sim.runWarm(*src, kWarm).ok());
+    StatusOr<std::string> blob = sim.serializeCheckpoint(*src);
+    EXPECT_TRUE(blob.ok()) << blob.status().toString();
+    out.blob = blob.ok() ? blob.take() : std::string();
+    StatusOr<SimResults> r = sim.runMeasure(*src, kMeasure);
+    EXPECT_TRUE(r.ok()) << r.status().toString();
+    if (r.ok())
+        out.coldResults = r.take();
+    return out;
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Archiver primitives.
+// ---------------------------------------------------------------------
+
+TEST(CkptRoundtrip, ArchiverPrimitivesAreBitExact)
+{
+    std::string bytes;
+    {
+        ckpt::Archiver ar = ckpt::Archiver::saver(bytes);
+        std::uint8_t a = 0xab;
+        std::uint32_t b = 0xdeadbeef;
+        std::uint64_t c = 0x0123456789abcdefULL;
+        std::int64_t d = -42;
+        double e = -0.0;
+        double f = std::nan("");
+        bool g = true;
+        std::string h = "section";
+        std::vector<std::uint64_t> v{1, 2, 3};
+        ar.u8(a);
+        ar.u32(b);
+        ar.u64(c);
+        ar.i64(d);
+        ar.f64(e);
+        ar.f64(f);
+        ar.boolean(g);
+        ar.str(h);
+        ar.vecU64(v);
+        ASSERT_TRUE(ar.ok());
+    }
+    {
+        ckpt::Archiver ar = ckpt::Archiver::loader(bytes.data(),
+                                                   bytes.size());
+        std::uint8_t a = 0;
+        std::uint32_t b = 0;
+        std::uint64_t c = 0;
+        std::int64_t d = 0;
+        double e = 1.0, f = 1.0;
+        bool g = false;
+        std::string h;
+        std::vector<std::uint64_t> v;
+        ar.u8(a);
+        ar.u32(b);
+        ar.u64(c);
+        ar.i64(d);
+        ar.f64(e);
+        ar.f64(f);
+        ar.boolean(g);
+        ar.str(h);
+        ar.vecU64(v);
+        ASSERT_TRUE(ar.ok()) << ar.status().toString();
+        EXPECT_EQ(ar.remaining(), 0u);
+        EXPECT_EQ(a, 0xab);
+        EXPECT_EQ(b, 0xdeadbeefu);
+        EXPECT_EQ(c, 0x0123456789abcdefULL);
+        EXPECT_EQ(d, -42);
+        EXPECT_TRUE(std::signbit(e));
+        EXPECT_TRUE(std::isnan(f));
+        EXPECT_TRUE(g);
+        EXPECT_EQ(h, "section");
+        EXPECT_EQ(v, (std::vector<std::uint64_t>{1, 2, 3}));
+    }
+}
+
+TEST(CkptRoundtrip, TruncatedPayloadIsCodedNotUb)
+{
+    std::string bytes;
+    {
+        ckpt::Archiver ar = ckpt::Archiver::saver(bytes);
+        std::uint64_t v = 7;
+        ar.u64(v);
+    }
+    // Load more than was written: sticky Corruption, not a wild read.
+    ckpt::Archiver ar = ckpt::Archiver::loader(bytes.data(), 4);
+    std::uint64_t v = 0;
+    ar.u64(v);
+    ASSERT_FALSE(ar.ok());
+    EXPECT_EQ(ar.status().code(), StatusCode::Corruption);
+    // Sticky: later calls stay failed without touching outputs.
+    std::uint64_t w = 99;
+    ar.u64(w);
+    EXPECT_EQ(w, 99u);
+}
+
+// ---------------------------------------------------------------------
+// Whole-simulator save/restore.
+// ---------------------------------------------------------------------
+
+TEST(CkptRoundtrip, RestoredRunIsBitIdenticalToUninterrupted)
+{
+    for (const char *pf_name : {"null", "ebcp", "stream"}) {
+        SCOPED_TRACE(pf_name);
+        SimConfig cfg;
+        PrefetcherParams pf;
+        pf.name = pf_name;
+        const WarmRun warm = warmAndMeasure(cfg, pf, "database");
+        ASSERT_FALSE(warm.blob.empty());
+
+        Simulator sim(cfg, pf);
+        auto src = makeWorkload("database");
+        ASSERT_TRUE(sim.restoreCheckpoint(warm.blob, *src).ok());
+        StatusOr<SimResults> r = sim.runMeasure(*src, kMeasure);
+        ASSERT_TRUE(r.ok()) << r.status().toString();
+        expectBitIdentical(r.value(), warm.coldResults, pf_name);
+    }
+}
+
+TEST(CkptRoundtrip, FileRoundTripThroughAtomicWrite)
+{
+    SimConfig cfg;
+    PrefetcherParams pf;
+    pf.name = "ebcp";
+    const std::string path = tempPath("ckpt_file_roundtrip.ckpt");
+
+    SimResults cold;
+    {
+        Simulator sim(cfg, pf);
+        auto src = makeWorkload("tpcw");
+        ASSERT_TRUE(sim.runWarm(*src, kWarm).ok());
+        ASSERT_TRUE(sim.saveCheckpoint(path, *src).ok());
+        StatusOr<SimResults> r = sim.runMeasure(*src, kMeasure);
+        ASSERT_TRUE(r.ok());
+        cold = r.take();
+    }
+    {
+        Simulator sim(cfg, pf);
+        auto src = makeWorkload("tpcw");
+        ASSERT_TRUE(sim.restoreCheckpointFile(path, *src).ok());
+        StatusOr<SimResults> r = sim.runMeasure(*src, kMeasure);
+        ASSERT_TRUE(r.ok());
+        expectBitIdentical(r.value(), cold, "file roundtrip");
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CkptRoundtrip, ConfigFingerprintMismatchIsCoded)
+{
+    SimConfig cfg;
+    PrefetcherParams pf;
+    pf.name = "ebcp";
+    const WarmRun warm = warmAndMeasure(cfg, pf, "database");
+
+    // A different table size is a different machine: restoring the
+    // checkpoint against it must be rejected up front.
+    PrefetcherParams other = pf;
+    other.ebcp.tableEntries = pf.ebcp.tableEntries * 2;
+    Simulator sim(cfg, other);
+    auto src = makeWorkload("database");
+    Status s = sim.restoreCheckpoint(warm.blob, *src);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(s.message().find("fingerprint"), std::string::npos)
+        << s.message();
+}
+
+TEST(CkptRoundtrip, FormatVersionSkewIsCoded)
+{
+    SimConfig cfg;
+    PrefetcherParams pf;
+    pf.name = "null";
+    WarmRun warm = warmAndMeasure(cfg, pf, "database");
+    ASSERT_GT(warm.blob.size(), 28u);
+
+    // Bump the stored format version (offset 8) and re-seal the
+    // header CRC (offset 24, over the first 24 bytes) so the version
+    // check itself -- not the CRC -- rejects the file.
+    warm.blob[8] = static_cast<char>(warm.blob[8] + 1);
+    const std::uint32_t fixed = crc32(warm.blob.data(), 24);
+    for (int i = 0; i < 4; ++i)
+        warm.blob[24 + i] = static_cast<char>(fixed >> (8 * i));
+
+    Simulator sim(cfg, pf);
+    auto src = makeWorkload("database");
+    Status s = sim.restoreCheckpoint(warm.blob, *src);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(s.message().find("format version"), std::string::npos)
+        << s.message();
+}
+
+TEST(CkptRoundtrip, TraceCursorResumesMidStream)
+{
+    // Drain part of a workload, checkpoint the cursor, and require a
+    // restored instance to continue with the identical records.
+    auto a = makeWorkload("specjbb");
+    TraceRecord rec;
+    for (int i = 0; i < 10'000; ++i)
+        ASSERT_TRUE(a->next(rec));
+
+    std::string bytes;
+    {
+        ckpt::Archiver ar = ckpt::Archiver::saver(bytes);
+        a->ckpt(ar);
+        ASSERT_TRUE(ar.ok()) << ar.status().toString();
+    }
+    auto b = makeWorkload("specjbb");
+    {
+        ckpt::Archiver ar = ckpt::Archiver::loader(bytes.data(),
+                                                   bytes.size());
+        b->ckpt(ar);
+        ASSERT_TRUE(ar.ok()) << ar.status().toString();
+        EXPECT_EQ(ar.remaining(), 0u);
+    }
+    for (int i = 0; i < 5'000; ++i) {
+        TraceRecord ra, rb;
+        ASSERT_TRUE(a->next(ra));
+        ASSERT_TRUE(b->next(rb));
+        ASSERT_EQ(ra.pc, rb.pc);
+        ASSERT_EQ(ra.addr, rb.addr);
+        ASSERT_EQ(static_cast<int>(ra.op), static_cast<int>(rb.op));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Corrupted-checkpoint corpus.
+// ---------------------------------------------------------------------
+
+TEST(CkptCorpus, EveryFaultKindYieldsCodedStatus)
+{
+    SimConfig cfg;
+    PrefetcherParams pf;
+    pf.name = "ebcp";
+    const WarmRun warm = warmAndMeasure(cfg, pf, "database");
+    ASSERT_FALSE(warm.blob.empty());
+
+    for (CkptFaultKind kind : kCkptFaultKinds) {
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+            SCOPED_TRACE(std::string(ckptFaultKindName(kind)) +
+                         " seed " + std::to_string(seed));
+            std::string damaged = warm.blob;
+            injectCkptFault(damaged, kind, seed);
+            ASSERT_NE(damaged, warm.blob)
+                << "fault injection was not material";
+
+            Simulator sim(cfg, pf);
+            auto src = makeWorkload("database");
+            Status s = sim.restoreCheckpoint(damaged, *src);
+            ASSERT_FALSE(s.ok());
+            EXPECT_TRUE(s.code() == StatusCode::Corruption ||
+                        s.code() == StatusCode::InvalidArgument)
+                << s.toString();
+        }
+    }
+}
+
+TEST(CkptCorpus, FileFaultInjectionRoundTrip)
+{
+    SimConfig cfg;
+    PrefetcherParams pf;
+    pf.name = "null";
+    const std::string path = tempPath("ckpt_corpus_file.ckpt");
+
+    Simulator sim(cfg, pf);
+    auto src = makeWorkload("specjas");
+    ASSERT_TRUE(sim.runWarm(*src, kWarm).ok());
+    ASSERT_TRUE(sim.saveCheckpoint(path, *src).ok());
+
+    ASSERT_TRUE(
+        injectCkptFaultFile(path, CkptFaultKind::CrcFlip, 3).ok());
+
+    Simulator fresh(cfg, pf);
+    auto src2 = makeWorkload("specjas");
+    Status s = fresh.restoreCheckpointFile(path, *src2);
+    ASSERT_FALSE(s.ok());
+    EXPECT_TRUE(s.code() == StatusCode::Corruption ||
+                s.code() == StatusCode::InvalidArgument)
+        << s.toString();
+    std::remove(path.c_str());
+}
+
+TEST(CkptCorpus, DamagedBufferNeverPanicsAcrossWideSeedRange)
+{
+    // Broader fuzz: many seeds per kind against a small checkpoint.
+    // The assertion is simply "coded status, no crash".
+    SimConfig cfg;
+    PrefetcherParams pf;
+    pf.name = "null";
+    Simulator sim(cfg, pf);
+    auto src = makeWorkload("database");
+    ASSERT_TRUE(sim.runWarm(*src, 10'000).ok());
+    StatusOr<std::string> blob = sim.serializeCheckpoint(*src);
+    ASSERT_TRUE(blob.ok());
+
+    for (CkptFaultKind kind : kCkptFaultKinds) {
+        for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+            std::string damaged = blob.value();
+            injectCkptFault(damaged, kind, seed);
+            Simulator victim(cfg, pf);
+            auto vsrc = makeWorkload("database");
+            Status s = victim.restoreCheckpoint(damaged, *vsrc);
+            EXPECT_FALSE(s.ok())
+                << ckptFaultKindName(kind) << " seed " << seed;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sweep journal.
+// ---------------------------------------------------------------------
+
+TEST(CkptJournal, RecordLineRoundTripIsBitExact)
+{
+    JournalRecord rec;
+    rec.key = 0xfeedfacecafef00dULL;
+    rec.code = StatusCode::Stalled;
+    rec.message = "watchdog tripped";
+    rec.attempts = 3;
+    rec.warmForked = true;
+    rec.coldFallback = false;
+    rec.results.insts = 120'000;
+    rec.results.cpi = 5.75594999;
+    rec.results.coverage = 0.125;
+
+    const std::string line = SweepJournal::formatLine(rec);
+    JournalRecord back;
+    ASSERT_TRUE(SweepJournal::parseLine(line, back));
+    EXPECT_EQ(back.key, rec.key);
+    EXPECT_EQ(back.code, rec.code);
+    EXPECT_EQ(back.message, rec.message);
+    EXPECT_EQ(back.attempts, rec.attempts);
+    EXPECT_EQ(back.warmForked, rec.warmForked);
+    EXPECT_EQ(back.coldFallback, rec.coldFallback);
+    EXPECT_EQ(back.results.insts, rec.results.insts);
+    EXPECT_EQ(back.results.cpi, rec.results.cpi);
+    EXPECT_EQ(back.results.coverage, rec.results.coverage);
+}
+
+TEST(CkptJournal, DamagedLinesAreRejected)
+{
+    JournalRecord rec;
+    rec.key = 42;
+    rec.results.insts = 7;
+    const std::string line = SweepJournal::formatLine(rec);
+    JournalRecord out;
+
+    // Torn at every prefix length: never accepted, never a crash.
+    for (std::size_t n = 0; n < line.size(); ++n)
+        EXPECT_FALSE(
+            SweepJournal::parseLine(line.substr(0, n), out))
+            << "accepted a torn prefix of " << n << " bytes";
+
+    // A flipped blob nibble fails the CRC.
+    std::string tampered = line;
+    const std::size_t blob_at = tampered.find("\"blob\":\"") + 8;
+    tampered[blob_at] = tampered[blob_at] == '0' ? '1' : '0';
+    EXPECT_FALSE(SweepJournal::parseLine(tampered, out));
+
+    EXPECT_FALSE(SweepJournal::parseLine("not json at all", out));
+    EXPECT_FALSE(SweepJournal::parseLine("", out));
+}
+
+TEST(CkptJournal, LoadSkipsTornLinesAndKeepsValidOnes)
+{
+    const std::string path = tempPath("ckpt_journal_torn.jsonl");
+    std::remove(path.c_str());
+
+    JournalRecord a, b;
+    a.key = 1;
+    a.results.insts = 100;
+    b.key = 2;
+    b.results.insts = 200;
+
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        const std::string la = SweepJournal::formatLine(a) + "\n";
+        const std::string garbage = "{\"v\":1,\"key\":\"zz\"}\n";
+        const std::string lb = SweepJournal::formatLine(b);
+        const std::string torn = lb.substr(0, lb.size() / 2);
+        std::fwrite(la.data(), 1, la.size(), f);
+        std::fwrite(garbage.data(), 1, garbage.size(), f);
+        std::fwrite(torn.data(), 1, torn.size(), f); // no newline: torn
+        std::fclose(f);
+    }
+
+    SweepJournal j(path);
+    ASSERT_TRUE(j.load().ok());
+    EXPECT_EQ(j.size(), 1u);
+    EXPECT_EQ(j.skippedLines(), 2u);
+    JournalRecord out;
+    EXPECT_TRUE(j.lookup(1, out));
+    EXPECT_EQ(out.results.insts, 100u);
+    EXPECT_FALSE(j.lookup(2, out));
+
+    // A fresh (missing) journal is OK and empty, not an error.
+    std::remove(path.c_str());
+    SweepJournal fresh(path);
+    EXPECT_TRUE(fresh.load().ok());
+    EXPECT_EQ(fresh.size(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Retry backoff.
+// ---------------------------------------------------------------------
+
+TEST(CkptRetry, BackoffIsDeterministicBoundedAndJittered)
+{
+    RetryPolicy p;
+    p.baseDelayMs = 50;
+    p.maxDelayMs = 2'000;
+    p.seed = 7;
+
+    for (std::uint64_t key : {1ULL, 0xabcdefULL, ~0ULL}) {
+        for (unsigned attempt = 1; attempt <= 8; ++attempt) {
+            const std::uint64_t d = retryBackoffMs(p, key, attempt);
+            // Pure function: same inputs, same delay.
+            EXPECT_EQ(d, retryBackoffMs(p, key, attempt));
+            const std::uint64_t cap = std::min<std::uint64_t>(
+                p.baseDelayMs << (attempt - 1), p.maxDelayMs);
+            EXPECT_GE(d, cap / 2) << "key " << key << " attempt "
+                                  << attempt;
+            EXPECT_LE(d, cap) << "key " << key << " attempt "
+                              << attempt;
+        }
+    }
+
+    // Jitter decorrelates runs: not every run backs off identically.
+    bool differs = false;
+    for (std::uint64_t key = 0; key < 16 && !differs; ++key)
+        differs = retryBackoffMs(p, key, 3) != retryBackoffMs(p, 99, 3);
+    EXPECT_TRUE(differs);
+
+    // Zero-delay policies never sleep.
+    RetryPolicy none;
+    none.baseDelayMs = 0;
+    EXPECT_EQ(retryBackoffMs(none, 1, 1), 0u);
+}
+
+TEST(CkptRetry, RetryableCodesExcludeBadInput)
+{
+    EXPECT_FALSE(statusRetryable(Status()));
+    EXPECT_FALSE(statusRetryable(invalidArgError("bad flag")));
+    EXPECT_FALSE(statusRetryable(notFoundError("no such workload")));
+    EXPECT_TRUE(statusRetryable(ioError("disk")));
+    EXPECT_TRUE(statusRetryable(corruptionError("crc")));
+    EXPECT_TRUE(statusRetryable(stalledError("watchdog")));
+    EXPECT_TRUE(statusRetryable(invariantError("audit")));
+}
+
+// ---------------------------------------------------------------------
+// Descriptor fingerprints.
+// ---------------------------------------------------------------------
+
+TEST(CkptFingerprint, TracksResultShapingFieldsOnly)
+{
+    RunDesc d;
+    d.workload = "database";
+    d.pf.name = "ebcp";
+
+    RunDesc same = d;
+    same.label = "display-only"; // labels must not split the key
+    EXPECT_EQ(descFingerprint(d), descFingerprint(same));
+
+    RunDesc other = d;
+    other.scale.measure *= 2;
+    EXPECT_NE(descFingerprint(d), descFingerprint(other));
+    // ...but the warm state is shared when only measure differs.
+    EXPECT_EQ(warmFingerprint(d), warmFingerprint(other));
+
+    RunDesc warm_differs = d;
+    warm_differs.scale.warm *= 2;
+    EXPECT_NE(warmFingerprint(d), warmFingerprint(warm_differs));
+
+    RunDesc cfg_differs = d;
+    cfg_differs.pf.ebcp.prefetchDegree += 1;
+    EXPECT_NE(warmFingerprint(d), warmFingerprint(cfg_differs));
+    EXPECT_NE(descFingerprint(d), descFingerprint(cfg_differs));
+}

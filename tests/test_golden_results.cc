@@ -106,6 +106,53 @@ TEST(GoldenResults, BitExactAcrossAllWorkloadsAndPrefetchers)
     }
 }
 
+TEST(GoldenResults, RestoredRunsReproduceGoldensExactly)
+{
+    // The crash-safety claim, pinned to the same pre-overhaul
+    // numbers: warm a simulator, serialize it, restore the checkpoint
+    // into a FRESH simulator, and the measurement must reproduce
+    // every golden to the last mantissa bit. A mismatch means
+    // serialization missed (or perturbed) simulator state.
+    for (const Golden &g : kGoldens) {
+        SCOPED_TRACE(std::string(g.workload) + "/" + g.pf);
+        SimConfig cfg;
+        PrefetcherParams pf;
+        pf.name = g.pf;
+
+        std::string blob;
+        {
+            Simulator sim(cfg, pf);
+            auto src = makeWorkload(g.workload);
+            ASSERT_TRUE(sim.runWarm(*src, kWarm).ok());
+            StatusOr<std::string> b = sim.serializeCheckpoint(*src);
+            ASSERT_TRUE(b.ok()) << b.status().toString();
+            blob = b.take();
+        }
+
+        Simulator sim(cfg, pf);
+        auto src = makeWorkload(g.workload);
+        ASSERT_TRUE(sim.restoreCheckpoint(blob, *src).ok());
+        StatusOr<SimResults> rr = sim.runMeasure(*src, kMeasure);
+        ASSERT_TRUE(rr.ok()) << rr.status().toString();
+        const SimResults &r = rr.value();
+
+        EXPECT_EQ(r.insts, g.insts);
+        EXPECT_EQ(r.cycles, g.cycles);
+        EXPECT_EQ(r.epochs, g.epochs);
+        EXPECT_EQ(r.usefulPrefetches, g.useful);
+        EXPECT_EQ(r.issuedPrefetches, g.issued);
+        EXPECT_EQ(r.droppedPrefetches, g.dropped);
+        EXPECT_EQ(r.cpi, g.cpi);
+        EXPECT_EQ(r.epochsPer1k, g.epochsPer1k);
+        EXPECT_EQ(r.l2InstMissPer1k, g.l2InstMissPer1k);
+        EXPECT_EQ(r.l2LoadMissPer1k, g.l2LoadMissPer1k);
+        EXPECT_EQ(r.coverage, g.coverage);
+        EXPECT_EQ(r.accuracy, g.accuracy);
+        EXPECT_EQ(r.readBusUtil, g.readBusUtil);
+        EXPECT_EQ(r.writeBusUtil, g.writeBusUtil);
+    }
+}
+
 TEST(SteadyState, MissPathStructuresStopAllocating)
 {
     // Warm a full system, then run twice as many further instructions

@@ -11,8 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 
+#include "runner/journal.hh"
 #include "runner/options.hh"
 #include "runner/sweep.hh"
 #include "trace/workloads.hh"
@@ -204,6 +206,204 @@ TEST(SweepRunnerTest, RunSeedIsDescriptorDerived)
     // paper's methodology compares configurations on the same trace.
     EXPECT_EQ(runSeed(makeDesc("database", "null")),
               runSeed(makeDesc("database", "ebcp")));
+}
+
+TEST(SweepDeterminism, JournalResumeMergesBitIdentical)
+{
+    // Simulate a killed sweep: run the first half with a journal,
+    // then run the full grid against the same journal. The first half
+    // must be replayed (not re-executed) and the merged results must
+    // be bit-identical to an uninterrupted journal-less sweep.
+    const std::vector<RunDesc> descs = mixedGrid();
+    const std::size_t half = descs.size() / 2;
+    const std::vector<RunDesc> first(descs.begin(),
+                                     descs.begin() + half);
+
+    const std::string path =
+        ::testing::TempDir() + "/sweep_resume.jsonl";
+    std::remove(path.c_str());
+
+    SweepOptions opts;
+    opts.journalPath = path;
+
+    SweepRunner baseline(1);
+    const std::vector<RunResult> want = baseline.run(descs);
+
+    SweepRunner interrupted(2, opts);
+    const std::vector<RunResult> partial = interrupted.run(first);
+    for (const RunResult &r : partial)
+        ASSERT_TRUE(r.ok()) << r.status.toString();
+    EXPECT_EQ(interrupted.stats().resumed, 0u);
+
+    SweepRunner resumed(parallelJobs(), opts);
+    const std::vector<RunResult> merged = resumed.run(descs);
+    ASSERT_EQ(merged.size(), descs.size());
+    EXPECT_EQ(resumed.stats().resumed, half);
+    EXPECT_EQ(resumed.stats().journalSkipped, 0u);
+    for (std::size_t i = 0; i < descs.size(); ++i) {
+        ASSERT_TRUE(merged[i].ok()) << merged[i].status.toString();
+        EXPECT_EQ(merged[i].fromJournal, i < half) << i;
+        expectBitIdentical(merged[i].results, want[i].results,
+                           runLabel(descs[i]));
+    }
+
+    // A third pass resumes everything: zero execution, same results.
+    SweepRunner replay(parallelJobs(), opts);
+    const std::vector<RunResult> again = replay.run(descs);
+    EXPECT_EQ(replay.stats().resumed, descs.size());
+    for (std::size_t i = 0; i < descs.size(); ++i)
+        expectBitIdentical(again[i].results, want[i].results,
+                           runLabel(descs[i]));
+    std::remove(path.c_str());
+}
+
+TEST(SweepDeterminism, WarmForkBitIdenticalToCold)
+{
+    // Pairs of runs differing only in the measurement window share a
+    // warm fingerprint: with warmReuse each pair builds one warm
+    // checkpoint and forks both measurements from it, and the results
+    // must be bit-identical to fully cold runs.
+    std::vector<RunDesc> descs;
+    for (const char *w : {"database", "tpcw"}) {
+        for (const char *pf : {"null", "ebcp"}) {
+            RunDesc d = makeDesc(w, pf);
+            descs.push_back(d);
+            d.scale.measure = 2 * kMeasure;
+            descs.push_back(d);
+        }
+    }
+
+    SweepRunner cold(parallelJobs());
+    const std::vector<RunResult> a = cold.run(descs);
+
+    SweepOptions opts;
+    opts.warmReuse = true;
+    SweepRunner warm(parallelJobs(), opts);
+    const std::vector<RunResult> b = warm.run(descs);
+
+    for (std::size_t i = 0; i < descs.size(); ++i) {
+        ASSERT_TRUE(a[i].ok()) << a[i].status.toString();
+        ASSERT_TRUE(b[i].ok()) << b[i].status.toString();
+        EXPECT_TRUE(b[i].warmForked) << i;
+        EXPECT_FALSE(b[i].coldFallback) << i;
+        expectBitIdentical(a[i].results, b[i].results,
+                           runLabel(descs[i]));
+    }
+
+    const SweepStats &st = warm.stats();
+    EXPECT_EQ(st.warmBuilds, 4u); // one per (workload, pf) pair
+    EXPECT_EQ(st.warmForks, descs.size());
+    EXPECT_EQ(st.coldFallbacks, 0u);
+}
+
+TEST(SweepRunnerTest, RetryAccountingIsDeterministic)
+{
+    // A persistently stalling run consumes maxAttempts attempts with
+    // the exact backoff schedule retryBackoffMs() predicts; a bad
+    // descriptor (NotFound) is deterministic and never retried.
+    RunDesc stall = makeDesc("database", "ebcp");
+    stall.cfg.faults.demandStall = true;
+    stall.cfg.faults.stallAfter = 2'000;
+    stall.cfg.watchdogTicks = 1'000'000;
+
+    std::vector<RunDesc> descs{stall,
+                               makeDesc("no-such-workload", "null")};
+
+    SweepOptions opts;
+    opts.retry.maxAttempts = 3;
+    opts.retry.sleep = false; // account the delays, skip the naps
+    opts.retry.seed = 11;
+
+    SweepRunner pool(2, opts);
+    const std::vector<RunResult> rs = pool.run(descs);
+
+    ASSERT_FALSE(rs[0].ok());
+    EXPECT_EQ(rs[0].status.code(), StatusCode::Stalled);
+    EXPECT_EQ(rs[0].attempts, 3u);
+
+    ASSERT_FALSE(rs[1].ok());
+    EXPECT_EQ(rs[1].status.code(), StatusCode::NotFound);
+    EXPECT_EQ(rs[1].attempts, 1u);
+
+    const std::uint64_t key = descFingerprint(stall);
+    const std::uint64_t want_backoff =
+        retryBackoffMs(opts.retry, key, 1) +
+        retryBackoffMs(opts.retry, key, 2);
+    const SweepStats &st = pool.stats();
+    EXPECT_EQ(st.retries, 2u);
+    EXPECT_EQ(st.backoffMsTotal, want_backoff);
+    EXPECT_EQ(st.failed, 2u);
+}
+
+TEST(SweepRunnerTest, CorruptWarmCheckpointFollowsPolicy)
+{
+    std::vector<RunDesc> descs;
+    {
+        RunDesc d = makeDesc("database", "ebcp");
+        descs.push_back(d);
+        d.scale.measure = 2 * kMeasure;
+        descs.push_back(d);
+    }
+
+    SweepRunner cold(1);
+    const std::vector<RunResult> want = cold.run(descs);
+
+    // Strict: a damaged warm checkpoint fails each forked run with
+    // the coded Status; the sweep itself survives.
+    {
+        SweepOptions opts;
+        opts.warmReuse = true;
+        opts.ckptPolicy = ckpt::CkptPolicy::Strict;
+        SweepRunner pool(2, opts);
+        pool.corruptWarmCacheForTest(CkptFaultKind::CrcFlip, 7);
+        const std::vector<RunResult> rs = pool.run(descs);
+        for (const RunResult &r : rs) {
+            ASSERT_FALSE(r.ok());
+            EXPECT_TRUE(r.status.code() == StatusCode::Corruption ||
+                        r.status.code() == StatusCode::InvalidArgument)
+                << r.status.toString();
+        }
+    }
+
+    // Rebuild: the damage is logged, the runs fall back to cold
+    // warm-up, and the results are still bit-identical.
+    {
+        SweepOptions opts;
+        opts.warmReuse = true;
+        opts.ckptPolicy = ckpt::CkptPolicy::Rebuild;
+        SweepRunner pool(2, opts);
+        pool.corruptWarmCacheForTest(CkptFaultKind::HeaderBitflip, 9);
+        const std::vector<RunResult> rs = pool.run(descs);
+        for (std::size_t i = 0; i < rs.size(); ++i) {
+            ASSERT_TRUE(rs[i].ok()) << rs[i].status.toString();
+            EXPECT_TRUE(rs[i].coldFallback) << i;
+            EXPECT_FALSE(rs[i].warmForked) << i;
+            expectBitIdentical(rs[i].results, want[i].results,
+                               runLabel(descs[i]));
+        }
+        EXPECT_EQ(pool.stats().coldFallbacks, 2u);
+        EXPECT_EQ(pool.stats().warmForks, 0u);
+    }
+}
+
+TEST(SweepRunnerTest, WallClockTimeoutTripsStalledStatus)
+{
+    // A run whose measurement window cannot finish inside the budget
+    // must fail Stalled with the wall-clock diagnostic instead of
+    // holding the sweep hostage.
+    RunDesc d = makeDesc("database", "null");
+    d.scale.warm = 10'000;
+    d.scale.measure = 2'000'000'000; // far beyond the budget
+
+    SweepOptions opts;
+    opts.runTimeoutSeconds = 0.05;
+    SweepRunner pool(1, opts);
+    const std::vector<RunResult> rs = pool.run({d});
+    ASSERT_FALSE(rs[0].ok());
+    EXPECT_EQ(rs[0].status.code(), StatusCode::Stalled);
+    EXPECT_NE(rs[0].status.message().find("wall-clock"),
+              std::string::npos)
+        << rs[0].status.message();
 }
 
 TEST(RunnerOptions, ScaleEnvParsing)

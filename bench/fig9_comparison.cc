@@ -30,7 +30,8 @@ main(int argc, char **argv)
     const std::vector<std::string> schemes{
         "stream",      "ghb-small", "ghb-large", "tcp-small",
         "tcp-large",   "sms",       "solihin-3-2", "solihin-6-1",
-        "ebcp-minus",  "ebcp"};
+        "dcpt",        "amc",       "composite",   "ebcp-minus",
+        "ebcp"};
 
     AsciiTable t("Overall performance improvement (%) relative to no"
                  " prefetching");
@@ -55,6 +56,8 @@ main(int argc, char **argv)
             p.ebcp.prefetchDegree = 6;
             p.ebcp.tableEntries = 1ULL << 16;   // scaled 1M
             p.solihin.tableEntries = 1ULL << 16; // scaled 1M
+            p.dcpt.degree = 6;
+            p.amc.degree = 6;
             idx[scheme].push_back(sweep.add(w, cfg, p));
         }
     }

@@ -81,7 +81,9 @@ BM_GhbObserve(benchmark::State &state)
     GhbPrefetcher ghb(GhbConfig::large());
     class NullEngine : public PrefetchEngine
     {
-        void issuePrefetch(Addr, Tick, std::uint64_t, bool) override {}
+        void
+        issuePrefetch(Addr, Tick, std::uint64_t, bool, unsigned) override
+        {}
         MemAccessResult
         tableRead(Tick t) override
         {

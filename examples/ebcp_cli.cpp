@@ -45,6 +45,29 @@ using namespace ebcp;
 namespace
 {
 
+std::string
+prefetcherHelpLine()
+{
+    // Generated from the factory registry so the help text can never
+    // drift from what createPrefetcher actually accepts.
+    std::string line = "  prefetcher=";
+    std::size_t col = line.size();
+    bool first = true;
+    for (const std::string &n : prefetcherNames()) {
+        const std::string sep = first ? "" : "|";
+        if (col + sep.size() + n.size() > 70) {
+            line += sep + "\n             ";
+            col = 13;
+            line += n;
+        } else {
+            line += sep + n;
+            col += sep.size() + n.size();
+        }
+        first = false;
+    }
+    return line + "\n";
+}
+
 void
 printHelp()
 {
@@ -60,13 +83,17 @@ printHelp()
         "  dump_stats=0|1      dump every statistic after the run\n"
         "\n"
         "prefetcher:\n"
-        "  prefetcher=null|ebcp|ebcp-minus|stream|ghb[-small|-large]|\n"
-        "             tcp[-small|-large]|sms|solihin[-3-2|-6-1]\n"
-        "  degree=N            EBCP prefetch degree / entry slots\n"
+        << prefetcherHelpLine() <<
+        "  degree=N            prefetch degree (EBCP/DCPT/AMC)\n"
         "  table_entries=N     EBCP/Solihin table entries (pow2)\n"
         "  train_all=0|1       EBCP: key every oldest-epoch miss\n"
         "  on_chip_table=0|1   EBCP: idealized zero-cost table\n"
         "  per_core=0|1        EBCP: per-core EMABs in CMP mode\n"
+        "  composite_engines=A,B,...\n"
+        "                      composite: child engines, by factory\n"
+        "                      name (default stream,dcpt,amc,ebcp)\n"
+        "  calib_interval=N    composite: L2 accesses per controller\n"
+        "                      calibration interval (default 8192)\n"
         "\n"
         "machine:\n"
         "  l2_kb=N             L2 size in KB (default 2048)\n"
@@ -126,7 +153,8 @@ knownKeys()
         "help",        "workload",    "trace",        "seed",
         "warm",        "measure",     "cores",        "dump_stats",
         "prefetcher",  "degree",      "table_entries","train_all",
-        "on_chip_table","per_core",   "l2_kb",        "pf_buffer",
+        "on_chip_table","per_core",   "composite_engines",
+        "calib_interval",             "l2_kb",        "pf_buffer",
         "bw_scale",    "mem_latency", "rob",          "perfect_l2",
         "faults",      "fault_seed",  "fault_rate",   "stall_after",
         "trace_policy","watchdog",    "trace_out",    "stats_json",
@@ -279,6 +307,36 @@ main(int argc, char **argv)
     pf.ebcp.faults = cfg.faults;
     if (cs.getBool("per_core", true))
         pf.ebcp.numCoreStates = cores;
+    if (cs.has("degree")) {
+        const unsigned deg =
+            static_cast<unsigned>(cs.getU64("degree", 8));
+        pf.dcpt.degree = deg;
+        pf.amc.degree = deg;
+    }
+    pf.composite.calibInterval = cs.getU64("calib_interval", 8192);
+    if (cs.has("composite_engines")) {
+        pf.composite.engines.clear();
+        std::string list = cs.getString("composite_engines", "");
+        std::size_t start = 0;
+        while (start <= list.size()) {
+            std::size_t comma = list.find(',', start);
+            if (comma == std::string::npos)
+                comma = list.size();
+            std::string item = list.substr(start, comma - start);
+            if (!item.empty())
+                pf.composite.engines.push_back(item);
+            start = comma + 1;
+        }
+    }
+
+    // Probe the factory up front: an unknown scheme or a nonsense
+    // parameter (degree=0, a non-power-of-two table) comes back as a
+    // coded Status with a nearest-name suggestion, instead of
+    // aborting deep inside a constructor.
+    if (StatusOr<std::unique_ptr<Prefetcher>> probe =
+            tryCreatePrefetcher(pf);
+        !probe.ok())
+        return fail(probe.status());
 
     const std::uint64_t warm = cs.getU64("warm", 2'000'000);
     const std::uint64_t measure = cs.getU64("measure", 4'000'000);

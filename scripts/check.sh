@@ -5,8 +5,9 @@
 #   1. Release build (RelWithDebInfo, -Wall -Wextra -Wshadow -Werror)
 #      + clang-tidy lint + the complete ctest suite;
 #   2. address+undefined sanitizer build + the complete ctest suite;
-#   3. thread sanitizer build + the sweep-determinism gate (the one
-#      test that drives the parallel runner hard);
+#   3. thread sanitizer build + the sweep-determinism and composite-
+#      determinism gates (the tests that drive the parallel runner
+#      hard, including the adaptive composite controller);
 #   4. -DEBCP_AUDIT=OFF build + the complete ctest suite, proving the
 #      audit hook sites compile away cleanly and nothing depends on
 #      them (golden results are pinned by the regular suite, which
@@ -49,8 +50,10 @@ run_ctest build-check-asan
 stage "3/5 thread sanitizer (parallel sweep determinism)"
 cmake -B build-check-tsan -DEBCP_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=Debug >/dev/null
-cmake --build build-check-tsan --target test_runner -j "${JOBS}"
-run_ctest build-check-tsan -R 'sweep_determinism|SweepDeterminism'
+cmake --build build-check-tsan --target test_runner test_composite \
+      -j "${JOBS}"
+run_ctest build-check-tsan \
+    -R 'sweep_determinism|SweepDeterminism|composite_determinism|CompositeDeterminism'
 
 stage "4/5 -DEBCP_AUDIT=OFF build + tests"
 cmake -B build-check-noaudit -DEBCP_AUDIT=OFF >/dev/null

@@ -60,6 +60,7 @@ PrefetchBuffer::lookup(Addr addr, Tick now)
     res.readyTime = e->readyTime;
     res.corrIndex = e->corrIndex;
     res.hasCorrIndex = e->hasCorrIndex;
+    res.source = e->source;
     ++hits_;
     if (e->readyTime > now)
         ++lateHits_;
@@ -68,9 +69,9 @@ PrefetchBuffer::lookup(Addr addr, Tick now)
     return res;
 }
 
-Addr
+PrefBufEvict
 PrefetchBuffer::insert(Addr addr, Tick ready_time, std::uint64_t corr_index,
-                       bool has_corr_index)
+                       bool has_corr_index, std::uint8_t source)
 {
     const Addr line = alignDown(addr, 1ULL << lineShift_);
     ++inserts_;
@@ -84,7 +85,7 @@ PrefetchBuffer::insert(Addr addr, Tick ready_time, std::uint64_t corr_index,
             e->corrIndex = corr_index;
             e->hasCorrIndex = true;
         }
-        return InvalidAddr;
+        return {};
     }
 
     const unsigned set = setOf(line);
@@ -98,10 +99,11 @@ PrefetchBuffer::insert(Addr addr, Tick ready_time, std::uint64_t corr_index,
         if (!victim || e.stamp < victim->stamp)
             victim = &e;
     }
-    Addr evicted = InvalidAddr;
+    PrefBufEvict evicted;
     if (victim->valid) {
         ++replacedUnused_;
-        evicted = victim->lineAddr;
+        evicted.line = victim->lineAddr;
+        evicted.source = victim->source;
     }
 
     victim->lineAddr = line;
@@ -110,6 +112,7 @@ PrefetchBuffer::insert(Addr addr, Tick ready_time, std::uint64_t corr_index,
     victim->hasCorrIndex = has_corr_index;
     victim->valid = true;
     victim->stamp = ++stampCounter_;
+    victim->source = source;
     return evicted;
 }
 
@@ -191,6 +194,7 @@ PrefetchBuffer::ckpt(ckpt::Archiver &ar)
         a.boolean(e.hasCorrIndex);
         a.boolean(e.valid);
         a.u64(e.stamp);
+        a.u8(e.source);
     }, "prefetch buffer entries");
     ar.u64(stampCounter_);
     stats_.ckpt(ar);

@@ -37,6 +37,14 @@ struct PrefBufHit
     std::uint64_t corrIndex = 0; //!< correlation-table entry that
                                  //!< generated the prefetch
     bool hasCorrIndex = false;
+    std::uint8_t source = 0; //!< ledger source id of the issuer
+};
+
+/** Result of installing a line: the unused entry it displaced. */
+struct PrefBufEvict
+{
+    Addr line = InvalidAddr; //!< evicted line, or InvalidAddr
+    std::uint8_t source = 0; //!< ledger source id of its issuer
 };
 
 /** Set-associative buffer of prefetched lines. */
@@ -62,15 +70,17 @@ class PrefetchBuffer
 
     /**
      * Install a prefetched line that becomes available at
-     * @p ready_time. Duplicate inserts refresh the existing entry.
+     * @p ready_time, credited to ledger source @p source. Duplicate
+     * inserts refresh the existing entry.
      *
-     * @return the line address of a valid, never-used entry this
-     *         insert replaced, or InvalidAddr if none was displaced
-     *         (the caller records the eviction in its lifecycle
-     *         ledger/trace).
+     * @return the line address (and issuing source) of a valid,
+     *         never-used entry this insert replaced, or InvalidAddr
+     *         if none was displaced (the caller records the eviction
+     *         in its lifecycle ledger/trace).
      */
-    Addr insert(Addr addr, Tick ready_time, std::uint64_t corr_index,
-                bool has_corr_index);
+    PrefBufEvict insert(Addr addr, Tick ready_time,
+                        std::uint64_t corr_index, bool has_corr_index,
+                        std::uint8_t source = 0);
 
     /** Drop all contents. */
     void flush();
@@ -115,6 +125,7 @@ class PrefetchBuffer
         bool hasCorrIndex = false;
         bool valid = false;
         std::uint64_t stamp = 0;
+        std::uint8_t source = 0; //!< ledger source id of the issuer
     };
 
     Entry *find(Addr line_addr);

@@ -9,6 +9,28 @@
 namespace ebcp
 {
 
+Status
+EbcpConfig::validate() const
+{
+    if (tableEntries == 0)
+        return invalidArgError("ebcp: table_entries must be nonzero");
+    if (prefetchDegree == 0)
+        return invalidArgError(
+            "ebcp: degree=0 would never prefetch; use the null "
+            "prefetcher to disable prefetching");
+    if (emabEntries == 0 || emabAddrsPerEntry == 0)
+        return invalidArgError("ebcp: EMAB geometry ", emabEntries,
+                               "x", emabAddrsPerEntry,
+                               " must be nonzero in both dimensions");
+    if (numCoreStates == 0 || numCoreStates > 32)
+        return invalidArgError("ebcp: num_core_states ", numCoreStates,
+                               " outside [1, 32]");
+    if (reallocRetryInterval == 0)
+        return invalidArgError(
+            "ebcp: realloc_retry_interval must be nonzero");
+    return Status();
+}
+
 EpochBasedPrefetcher::EpochBasedPrefetcher(const EbcpConfig &cfg)
     : Prefetcher("ebcp"),
       cfg_(cfg),

@@ -36,6 +36,7 @@
 #include "core/table_allocation.hh"
 #include "epoch/epoch_tracker.hh"
 #include "prefetch/prefetcher.hh"
+#include "util/status.hh"
 #include "util/fault.hh"
 #include "util/random.hh"
 
@@ -94,6 +95,9 @@ struct EbcpConfig
      * correlation-table read costs coverage, never correctness.
      */
     FaultPlan faults;
+
+    /** Coded rejection of nonsense values (factory gate). */
+    Status validate() const;
 };
 
 /** The epoch-based correlation prefetcher control. */

@@ -1,0 +1,159 @@
+#include "prefetch/amc.hh"
+
+#include <algorithm>
+
+#include "ckpt/containers.hh"
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+#include "verify/audit.hh"
+
+namespace ebcp
+{
+
+Status
+AmcConfig::validate() const
+{
+    if (tableEntries == 0 || !isPowerOf2(tableEntries))
+        return invalidArgError("amc: table_entries ", tableEntries,
+                               " must be a nonzero power of two");
+    if (width == 0)
+        return invalidArgError("amc: width must be nonzero");
+    if (window == 0)
+        return invalidArgError("amc: window must be nonzero");
+    if (degree == 0)
+        return invalidArgError(
+            "amc: degree=0 would never prefetch; use the null "
+            "prefetcher to disable prefetching");
+    return Status();
+}
+
+AmcPrefetcher::AmcPrefetcher(const AmcConfig &cfg, std::string name)
+    : Prefetcher(std::move(name)), cfg_(cfg),
+      recentAccesses_(cfg.window == 0 ? 1 : cfg.window)
+{
+    fatal_if(!cfg.validate().ok(), cfg.validate().toString());
+    stats().add(trains_);
+    stats().add(matches_);
+    stats().add(issued_);
+}
+
+std::uint64_t
+AmcPrefetcher::indexOf(Addr key) const
+{
+    return mix64(key) & (cfg_.tableEntries - 1);
+}
+
+void
+AmcPrefetcher::train(Addr miss_line)
+{
+    // Credit the miss to each recent access (newest first): the next
+    // time any of those lines is touched -- hit or miss -- this miss
+    // is a prediction candidate.
+    for (std::size_t k = 0; k < recentAccesses_.size(); ++k) {
+        const Addr key =
+            recentAccesses_.at(recentAccesses_.size() - 1 - k);
+        if (key == miss_line)
+            continue;
+        Entry &e = table_[indexOf(key)];
+        if (e.tag != key) {
+            e.tag = key;
+            e.succ.clear();
+        }
+        auto it = std::find(e.succ.begin(), e.succ.end(), miss_line);
+        if (it != e.succ.end())
+            e.succ.erase(it);
+        e.succ.insert(e.succ.begin(), miss_line);
+        if (e.succ.size() > cfg_.width)
+            e.succ.pop_back();
+        ++trains_;
+    }
+}
+
+void
+AmcPrefetcher::predict(Addr line, Tick when)
+{
+    // Breadth-first through the correlation graph: the key's direct
+    // successors first, then successors of successors, until the
+    // degree is exhausted. The frontier is tiny (degree-bounded), so
+    // linear dedup beats any set structure.
+    std::vector<Addr> frontier{line};
+    std::vector<Addr> named;
+    for (std::size_t fi = 0;
+         fi < frontier.size() && named.size() < cfg_.degree; ++fi) {
+        const Entry *e = table_.find(indexOf(frontier[fi]));
+        if (!e || e->tag != frontier[fi])
+            continue;
+        ++matches_;
+        for (Addr a : e->succ) {
+            if (named.size() >= cfg_.degree)
+                break;
+            if (a == line ||
+                std::find(named.begin(), named.end(), a) != named.end())
+                continue;
+            named.push_back(a);
+            frontier.push_back(a);
+        }
+    }
+    for (Addr a : named) {
+        engine_->issuePrefetch(a, when);
+        ++issued_;
+    }
+}
+
+void
+AmcPrefetcher::observeAccess(const L2AccessInfo &info)
+{
+    // Data stream only; the access side of the correlation includes
+    // L2 hits -- that is the entire point of the scheme.
+    if (info.isInst)
+        return;
+
+    predict(info.lineAddr, info.when);
+
+    // The miss side trains against the access window (misses averted
+    // by the prefetch buffer still train, like the GHB, so success
+    // does not starve the table).
+    if (info.offChip || info.prefBufHit)
+        train(info.lineAddr);
+
+    recentAccesses_.push(info.lineAddr);
+}
+
+void
+AmcPrefetcher::audit(AuditContext &ctx) const
+{
+    ctx.check(table_.size() <= cfg_.tableEntries,
+              "table_within_capacity", table_.size(),
+              " populated slots in a ", cfg_.tableEntries,
+              "-entry table");
+    table_.forEach([&](std::uint64_t index, const Entry &e) {
+        ctx.check(index < cfg_.tableEntries, "index_in_range",
+                  "slot key ", index, " outside the ",
+                  cfg_.tableEntries, "-entry index space");
+        ctx.check(e.succ.size() <= cfg_.width, "width_bounded",
+                  "entry for line 0x", std::hex, e.tag, std::dec,
+                  " holds ", e.succ.size(), " successors of ",
+                  cfg_.width);
+        ctx.check(e.tag != InvalidAddr, "tag_valid",
+                  "populated slot ", index, " with an invalid tag");
+    });
+    ctx.check(recentAccesses_.size() <= cfg_.window,
+              "window_bounded", recentAccesses_.size(),
+              " recent accesses of ", cfg_.window);
+}
+
+void
+AmcPrefetcher::ckpt(ckpt::Archiver &ar)
+{
+    Prefetcher::ckpt(ar);
+    ckpt::ckptFlatMap(ar, table_, [](ckpt::Archiver &a, Entry &e) {
+        a.u64(e.tag);
+        a.vecU64(e.succ);
+    });
+    ckpt::ckptCircularBuffer(ar, recentAccesses_,
+                             [](ckpt::Archiver &a, Addr &addr) {
+        a.u64(addr);
+    });
+}
+
+} // namespace ebcp

@@ -1,0 +1,343 @@
+#include "prefetch/composite.hh"
+
+#include "ckpt/archiver.hh"
+#include "util/logging.hh"
+#include "verify/audit.hh"
+
+namespace ebcp
+{
+
+Status
+CompositeConfig::validate() const
+{
+    if (engines.empty())
+        return invalidArgError("composite: needs at least one child "
+                               "engine");
+    if (engines.size() >= PrefetchLedger::kMaxSources)
+        return invalidArgError("composite: ", engines.size(),
+                               " child engines but the ledger "
+                               "attributes at most ",
+                               PrefetchLedger::kMaxSources - 1);
+    for (const std::string &e : engines)
+        if (e == "composite")
+            return invalidArgError(
+                "composite: cannot nest a composite inside itself");
+    if (calibInterval == 0)
+        return invalidArgError("composite: calib_interval must be "
+                               "nonzero");
+    if (explorePeriod == 0)
+        return invalidArgError("composite: explore_period must be "
+                               "nonzero");
+    if (minDegree == 0 || minDegree > maxDegree)
+        return invalidArgError("composite: degree bounds [", minDegree,
+                               ", ", maxDegree, "] are not a nonempty "
+                               "range from 1");
+    if (initialDegree < minDegree || initialDegree > maxDegree)
+        return invalidArgError("composite: initial degree ",
+                               initialDegree, " outside [", minDegree,
+                               ", ", maxDegree, "]");
+    if (!(loAccuracy >= 0.0) || !(hiAccuracy <= 1.0) ||
+        !(loAccuracy < hiAccuracy))
+        return invalidArgError("composite: accuracy thresholds ",
+                               loAccuracy, "/", hiAccuracy,
+                               " must satisfy 0 <= lo < hi <= 1");
+    return Status();
+}
+
+CompositePrefetcher::CompositePrefetcher(
+    const CompositeConfig &cfg,
+    std::vector<std::unique_ptr<Prefetcher>> children)
+    : Prefetcher("composite"), cfg_(cfg), children_(std::move(children))
+{
+    fatal_if(!cfg.validate().ok(), cfg.validate().toString());
+    fatal_if(children_.size() != cfg.engines.size(),
+             "composite: ", children_.size(), " children built for ",
+             cfg.engines.size(), " configured engines");
+    stats().add(calibrations_);
+    stats().add(engineSwitches_);
+    stats().add(reExplorations_);
+    stats().add(suppressedIssues_);
+    stats().add(throttledIssues_);
+    stats().add(degreeRaises_);
+    stats().add(degreeDrops_);
+    const unsigned n = static_cast<unsigned>(children_.size());
+    degree_.assign(n, cfg_.initialDegree);
+    score_.assign(n, 0);
+    snap_.assign(n, {});
+    ports_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        ports_.push_back(std::make_unique<ChildPort>(this, i));
+        children_[i]->setEngine(ports_[i].get());
+        stats().addChild(children_[i]->stats());
+    }
+}
+
+void
+CompositePrefetcher::ChildPort::issuePrefetch(Addr line_addr, Tick when,
+                                              std::uint64_t corr_index,
+                                              bool has_corr,
+                                              unsigned source)
+{
+    (void)source; // children never sub-attribute
+    owner_->childIssue(idx_, line_addr, when, corr_index, has_corr);
+}
+
+MemAccessResult
+CompositePrefetcher::ChildPort::tableRead(Tick when)
+{
+    // Table traffic is forwarded even for inactive children: their
+    // predictors keep training, and training traffic is part of the
+    // cost the controller's choice has to carry.
+    return owner_->engine_->tableRead(when);
+}
+
+MemAccessResult
+CompositePrefetcher::ChildPort::tableWrite(Tick when)
+{
+    return owner_->engine_->tableWrite(when);
+}
+
+Tick
+CompositePrefetcher::ChildPort::memoryLatency() const
+{
+    return owner_->engine_->memoryLatency();
+}
+
+void
+CompositePrefetcher::childIssue(unsigned idx, Addr line_addr, Tick when,
+                                std::uint64_t corr_index, bool has_corr)
+{
+    if (!engine_)
+        return;
+    if (idx != activeChild_) {
+        ++suppressedIssues_;
+        return;
+    }
+    if (issuedThisTrigger_ >= degree_[idx]) {
+        ++throttledIssues_;
+        return;
+    }
+    ++issuedThisTrigger_;
+    std::uint64_t corr = corr_index;
+    if (has_corr)
+        corr = (static_cast<std::uint64_t>(sourceIdOf(idx))
+                << kCorrTagShift) |
+               (corr_index & kCorrMask);
+    engine_->issuePrefetch(line_addr, when, corr, has_corr,
+                           sourceIdOf(idx));
+}
+
+CompositePrefetcher::Snapshot
+CompositePrefetcher::sampleSource(unsigned idx) const
+{
+    Snapshot s;
+    if (!ledger_)
+        return s;
+    const PrefetchLedger::SourceCounters &c =
+        ledger_->source(sourceIdOf(idx));
+    s.issued = c.issued;
+    s.used = c.used();
+    s.timely = c.timelyHits;
+    return s;
+}
+
+void
+CompositePrefetcher::switchTo(unsigned idx)
+{
+    if (idx != activeChild_) {
+        activeChild_ = idx;
+        ++engineSwitches_;
+    }
+}
+
+void
+CompositePrefetcher::calibrate()
+{
+    ++calibrations_;
+    const unsigned n = static_cast<unsigned>(children_.size());
+    const unsigned a = activeChild_;
+
+    // Throttle the child that just ran on its interval accuracy.
+    const Snapshot cur = sampleSource(a);
+    const std::uint64_t d_issued = cur.issued - snap_[a].issued;
+    const std::uint64_t d_used = cur.used - snap_[a].used;
+    if (d_issued > 0) {
+        // acc >= hi  <=>  used >= hi * issued, in exact integer
+        // arithmetic scaled by 100 (thresholds are percent-granular).
+        const std::uint64_t hi =
+            static_cast<std::uint64_t>(cfg_.hiAccuracy * 100.0);
+        const std::uint64_t lo =
+            static_cast<std::uint64_t>(cfg_.loAccuracy * 100.0);
+        if (d_used * 100 >= hi * d_issued &&
+            degree_[a] < cfg_.maxDegree) {
+            ++degree_[a];
+            ++degreeRaises_;
+        } else if (d_used * 100 < lo * d_issued &&
+                   degree_[a] > cfg_.minDegree) {
+            --degree_[a];
+            ++degreeDrops_;
+        }
+    }
+    score_[a] = d_used;
+
+    if (exploring_) {
+        if (++exploreStep_ >= n) {
+            // Every child has had its audition interval; exploit the
+            // best used-count (ties: more timely hits would need a
+            // second pass, so break by lower index -- deterministic
+            // and stable).
+            unsigned best = 0;
+            for (unsigned i = 1; i < n; ++i)
+                if (score_[i] > score_[best])
+                    best = i;
+            exploring_ = false;
+            exploitSteps_ = 0;
+            baselineScore_ = score_[best];
+            switchTo(best);
+        } else {
+            switchTo(exploreStep_);
+        }
+    } else {
+        ++exploitSteps_;
+        const bool stale = exploitSteps_ >= cfg_.explorePeriod;
+        // Usefulness collapsed to under half the score that won the
+        // audition: the phase changed under us.
+        const bool collapsed =
+            baselineScore_ > 0 && d_used * 2 < baselineScore_;
+        if (stale || collapsed) {
+            exploring_ = true;
+            exploreStep_ = 0;
+            ++reExplorations_;
+            switchTo(0);
+        }
+    }
+
+    for (unsigned i = 0; i < n; ++i)
+        snap_[i] = sampleSource(i);
+}
+
+void
+CompositePrefetcher::observeAccess(const L2AccessInfo &info)
+{
+    issuedThisTrigger_ = 0;
+    for (auto &c : children_)
+        c->observeAccess(info);
+    if (++accessCount_ % cfg_.calibInterval == 0)
+        calibrate();
+}
+
+void
+CompositePrefetcher::observePrefetchHit(Addr line_addr,
+                                        std::uint64_t corr_index,
+                                        Tick when)
+{
+    const unsigned idx =
+        static_cast<unsigned>(corr_index >> kCorrTagShift);
+    if (idx >= 1 && idx <= children_.size())
+        children_[idx - 1]->observePrefetchHit(
+            line_addr, corr_index & kCorrMask, when);
+}
+
+void
+CompositePrefetcher::attachLedger(const PrefetchLedger &ledger)
+{
+    ledger_ = &ledger;
+}
+
+void
+CompositePrefetcher::beginMeasurement()
+{
+    // The ledger was just zeroed; stale warm-up samples would make
+    // the next interval's deltas wrap (and trip the audit). Degrees,
+    // scores and the active child carry over -- only the sampling
+    // baseline resets.
+    for (unsigned i = 0; i < children_.size(); ++i)
+        snap_[i] = sampleSource(i);
+    for (auto &c : children_)
+        c->beginMeasurement();
+}
+
+void
+CompositePrefetcher::attachTraceLog(TraceLog &log)
+{
+    for (auto &c : children_)
+        c->attachTraceLog(log);
+}
+
+void
+CompositePrefetcher::audit(AuditContext &ctx) const
+{
+    const unsigned n = static_cast<unsigned>(children_.size());
+    ctx.check(activeChild_ < n, "active_child_in_range",
+              "active child ", activeChild_, " of ", n);
+    ctx.check(exploreStep_ <= n, "explore_step_in_range",
+              "exploration step ", exploreStep_, " of ", n,
+              " children");
+    for (unsigned i = 0; i < n; ++i)
+        ctx.check(degree_[i] >= cfg_.minDegree &&
+                      degree_[i] <= cfg_.maxDegree,
+                  "degree_within_bounds", "child ", i, " degree ",
+                  degree_[i], " outside [", cfg_.minDegree, ", ",
+                  cfg_.maxDegree, "]");
+    ctx.check(issuedThisTrigger_ <= cfg_.maxDegree,
+              "trigger_issue_bounded", issuedThisTrigger_,
+              " issues in one trigger, degree ceiling ",
+              cfg_.maxDegree);
+    if (ledger_) {
+        // Snapshots are monotone samples of the ledger: a snapshot
+        // ahead of the live counter means state was restored against
+        // the wrong ledger or a sample was fabricated.
+        for (unsigned i = 0; i < n; ++i) {
+            const Snapshot live = sampleSource(i);
+            ctx.check(snap_[i].issued <= live.issued &&
+                          snap_[i].used <= live.used,
+                      "snapshot_not_ahead_of_ledger", "child ", i,
+                      " snapshot (", snap_[i].issued, " issued, ",
+                      snap_[i].used, " used) ahead of the ledger (",
+                      live.issued, ", ", live.used, ")");
+        }
+    }
+    for (const auto &c : children_)
+        c->audit(ctx);
+}
+
+void
+CompositePrefetcher::ckpt(ckpt::Archiver &ar)
+{
+    Prefetcher::ckpt(ar);
+    std::uint32_t n = static_cast<std::uint32_t>(children_.size());
+    ar.u32(n);
+    if (!ar.saving() && ar.ok() && n != children_.size()) {
+        ar.fail(invalidArgError("composite checkpoint recorded ", n,
+                                " children but this configuration "
+                                "has ", children_.size()));
+        return;
+    }
+    for (auto &c : children_) {
+        c->ckpt(ar);
+        if (!ar.ok())
+            return;
+    }
+    ar.u64(accessCount_);
+    ar.u32(activeChild_);
+    ar.boolean(exploring_);
+    ar.u32(exploreStep_);
+    ar.u32(exploitSteps_);
+    ar.u64(baselineScore_);
+    ar.u32(issuedThisTrigger_);
+    ar.fixedVec(degree_, [](ckpt::Archiver &a, std::uint32_t &d) {
+        a.u32(d);
+    }, "composite degrees");
+    ar.fixedVecU64(score_, "composite scores");
+    ar.fixedVec(snap_, [](ckpt::Archiver &a, Snapshot &s) {
+        a.u64(s.issued);
+        a.u64(s.used);
+        a.u64(s.timely);
+    }, "composite snapshots");
+    if (!ar.saving() && ar.ok() && activeChild_ >= children_.size())
+        ar.fail(corruptionError("composite checkpoint names active "
+                                "child ", activeChild_, " of ",
+                                children_.size()));
+}
+
+} // namespace ebcp

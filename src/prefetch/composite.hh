@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The composite prefetcher: a runtime-adaptive controller that
+ * multiplexes several child engines and lets the PrefetchLedger
+ * referee them.
+ *
+ * Every child observes the full access stream and keeps training,
+ * but only the *active* child's prefetches reach the hierarchy; each
+ * issue is tagged with the child's ledger source id, so hits and
+ * evictions are credited to the engine that issued them even after
+ * the controller has moved on. Every `calib_interval` L2 accesses
+ * the controller calibrates (Triangel-style accuracy/timeliness
+ * feedback):
+ *
+ *  - the just-active child's per-source accuracy over the interval
+ *    throttles its prefetch degree between the configured bounds
+ *    (high accuracy earns a deeper degree, low accuracy loses one);
+ *  - in the exploration phase each child is given one interval in
+ *    turn, its used-prefetch count over that interval becoming its
+ *    score;
+ *  - exploitation then runs the best scorer until either
+ *    `explore_period` intervals pass or its per-interval usefulness
+ *    collapses below half its winning score (a phase change), which
+ *    re-opens exploration.
+ *
+ * All decisions are integer comparisons over ledger deltas, so the
+ * controller is bit-deterministic across parallel sweeps and
+ * checkpoint save/restore (every counter below is serialized).
+ */
+
+#ifndef EBCP_PREFETCH_COMPOSITE_HH
+#define EBCP_PREFETCH_COMPOSITE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "prefetch/ledger.hh"
+#include "prefetch/prefetcher.hh"
+#include "util/status.hh"
+
+namespace ebcp
+{
+
+/** Composite controller configuration. */
+struct CompositeConfig
+{
+    /** Child engines, by factory name (built by the factory). */
+    std::vector<std::string> engines{"stream", "dcpt", "amc", "ebcp"};
+    std::uint64_t calibInterval = 8192; //!< L2 accesses per interval
+    unsigned explorePeriod = 24; //!< exploit intervals before re-explore
+    unsigned minDegree = 1;     //!< throttle floor (per child)
+    unsigned maxDegree = 8;     //!< throttle ceiling (per child)
+    double loAccuracy = 0.40;   //!< below: degree shrinks
+    double hiAccuracy = 0.75;   //!< at or above: degree grows
+    unsigned initialDegree = 4; //!< starting degree (per child)
+
+    /** Coded rejection of nonsense values (factory gate). */
+    Status validate() const;
+};
+
+/** Adaptive multiplexer over factory-built child prefetchers. */
+class CompositePrefetcher : public Prefetcher
+{
+  public:
+    /**
+     * @param children factory-built engines, one per
+     *        @p cfg.engines entry, in the same order.
+     */
+    CompositePrefetcher(const CompositeConfig &cfg,
+                        std::vector<std::unique_ptr<Prefetcher>> children);
+
+    void observeAccess(const L2AccessInfo &info) override;
+    void observePrefetchHit(Addr line_addr, std::uint64_t corr_index,
+                            Tick when) override;
+    void attachLedger(const PrefetchLedger &ledger) override;
+    void beginMeasurement() override;
+    void attachTraceLog(TraceLog &log) override;
+
+    /** Children's invariants plus the controller's own. */
+    void audit(AuditContext &ctx) const override;
+
+    /** Serialize or restore children and controller state. */
+    void ckpt(ckpt::Archiver &ar) override;
+
+    unsigned activeChild() const { return activeChild_; }
+    unsigned childDegree(unsigned i) const { return degree_.at(i); }
+    std::size_t childCount() const { return children_.size(); }
+    const Prefetcher &child(unsigned i) const { return *children_.at(i); }
+
+    /** Ledger source id child @p i issues under (0 is unattributed). */
+    static unsigned sourceIdOf(unsigned i) { return i + 1; }
+
+  private:
+    /** Correlation indices are multiplexed by child: the top byte
+     * routes a buffer hit back to the child whose table index the
+     * low bits carry. */
+    static constexpr unsigned kCorrTagShift = 56;
+    static constexpr std::uint64_t kCorrMask =
+        (std::uint64_t{1} << kCorrTagShift) - 1;
+
+    /** Engine facade handed to child @p idx: tags, gates and
+     * throttles the child's issues before forwarding them. */
+    class ChildPort : public PrefetchEngine
+    {
+      public:
+        ChildPort(CompositePrefetcher *owner, unsigned idx)
+            : owner_(owner), idx_(idx)
+        {}
+
+        void issuePrefetch(Addr line_addr, Tick when,
+                           std::uint64_t corr_index, bool has_corr,
+                           unsigned source) override;
+        MemAccessResult tableRead(Tick when) override;
+        MemAccessResult tableWrite(Tick when) override;
+        Tick memoryLatency() const override;
+
+      private:
+        CompositePrefetcher *owner_;
+        unsigned idx_;
+    };
+
+    /** Ledger slice snapshot for interval deltas. */
+    struct Snapshot
+    {
+        std::uint64_t issued = 0;
+        std::uint64_t used = 0;
+        std::uint64_t timely = 0;
+    };
+
+    void childIssue(unsigned idx, Addr line_addr, Tick when,
+                    std::uint64_t corr_index, bool has_corr);
+    void calibrate();
+    void switchTo(unsigned idx);
+    Snapshot sampleSource(unsigned idx) const;
+
+    CompositeConfig cfg_;
+    std::vector<std::unique_ptr<Prefetcher>> children_;
+    std::vector<std::unique_ptr<ChildPort>> ports_;
+    const PrefetchLedger *ledger_ = nullptr;
+
+    // Controller state -- all serialized.
+    std::uint64_t accessCount_ = 0;
+    std::uint32_t activeChild_ = 0;
+    bool exploring_ = true;
+    std::uint32_t exploreStep_ = 0;
+    std::uint32_t exploitSteps_ = 0;
+    std::uint64_t baselineScore_ = 0; //!< winner's score at selection
+    std::uint32_t issuedThisTrigger_ = 0;
+    std::vector<std::uint32_t> degree_;   //!< per-child throttle
+    std::vector<std::uint64_t> score_;    //!< per-child explore score
+    std::vector<Snapshot> snap_;          //!< per-child last sample
+
+    Scalar calibrations_{"calibrations", "calibration intervals closed"};
+    Scalar engineSwitches_{"engine_switches", "active-child changes"};
+    Scalar reExplorations_{"re_explorations",
+                           "exploration rounds re-opened"};
+    Scalar suppressedIssues_{"suppressed_issues",
+                             "issues gated off from inactive children"};
+    Scalar throttledIssues_{"throttled_issues",
+                            "issues over the per-trigger degree"};
+    Scalar degreeRaises_{"degree_raises", "degree increments earned"};
+    Scalar degreeDrops_{"degree_drops", "degree decrements imposed"};
+};
+
+} // namespace ebcp
+
+#endif // EBCP_PREFETCH_COMPOSITE_HH

@@ -1,0 +1,204 @@
+#include "prefetch/dcpt.hh"
+
+#include "ckpt/archiver.hh"
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+#include "verify/audit.hh"
+
+namespace ebcp
+{
+
+Status
+DcptConfig::validate() const
+{
+    if (tableEntries == 0)
+        return invalidArgError("dcpt: table_entries must be nonzero");
+    if (deltasPerEntry < 3)
+        return invalidArgError("dcpt: deltas_per_entry is ",
+                               deltasPerEntry,
+                               " but delta-pair correlation needs at "
+                               "least 3 (a pair plus one replayable "
+                               "successor)");
+    if (degree == 0)
+        return invalidArgError(
+            "dcpt: degree=0 would never prefetch; use the null "
+            "prefetcher to disable prefetching");
+    if (!isPowerOf2(lineBytes) || lineBytes == 0)
+        return invalidArgError("dcpt: line_bytes ", lineBytes,
+                               " is not a power of two");
+    return Status();
+}
+
+DcptPrefetcher::DcptPrefetcher(const DcptConfig &cfg, std::string name)
+    : Prefetcher(std::move(name)), cfg_(cfg), table_(cfg.tableEntries)
+{
+    fatal_if(!cfg.validate().ok(), cfg.validate().toString());
+    for (Entry &e : table_)
+        e.deltas.assign(cfg_.deltasPerEntry, 0);
+    stats().add(trains_);
+    stats().add(matches_);
+    stats().add(issued_);
+    stats().add(filtered_);
+}
+
+DcptPrefetcher::Entry *
+DcptPrefetcher::lookupOrAllocate(Addr pc)
+{
+    Entry *victim = nullptr;
+    for (Entry &e : table_) {
+        if (e.valid && e.pc == pc) {
+            e.stamp = ++stampCounter_;
+            return &e;
+        }
+        if (!e.valid) {
+            if (!victim || victim->valid)
+                victim = &e;
+        } else if (!victim || (victim->valid && e.stamp < victim->stamp)) {
+            victim = &e;
+        }
+    }
+    victim->pc = pc;
+    victim->lastAddr = 0;
+    victim->lastPrefetch = 0;
+    victim->head = 0;
+    victim->count = 0;
+    victim->valid = true;
+    victim->stamp = ++stampCounter_;
+    return victim;
+}
+
+void
+DcptPrefetcher::pushDelta(Entry &e, std::int64_t delta)
+{
+    if (e.count == cfg_.deltasPerEntry) {
+        e.deltas[e.head] = delta;
+        e.head = (e.head + 1) % cfg_.deltasPerEntry;
+    } else {
+        e.deltas[(e.head + e.count) % cfg_.deltasPerEntry] = delta;
+        ++e.count;
+    }
+    ++trains_;
+}
+
+std::int64_t
+DcptPrefetcher::deltaAt(const Entry &e, unsigned i) const
+{
+    // i = 0 names the oldest held delta.
+    return e.deltas[(e.head + i) % cfg_.deltasPerEntry];
+}
+
+void
+DcptPrefetcher::predict(Entry &e, Addr line, Tick when)
+{
+    if (e.count < 3)
+        return;
+
+    // Find the most recent earlier occurrence of the freshest delta
+    // pair; everything after the matched pair is the predicted
+    // continuation of the pattern.
+    const std::int64_t d1 = deltaAt(e, e.count - 2);
+    const std::int64_t d2 = deltaAt(e, e.count - 1);
+    unsigned match = e.count; // sentinel: no match
+    for (unsigned i = e.count - 1; i-- > 1;) {
+        if (deltaAt(e, i - 1) == d1 && deltaAt(e, i) == d2) {
+            match = i;
+            break;
+        }
+    }
+    if (match == e.count)
+        return;
+    ++matches_;
+
+    // Replay the deltas that followed the match. The in-flight
+    // filter: a candidate equal to the last line prefetched means
+    // this walk has caught up with what is already requested, so
+    // the prefix up to it is discarded rather than re-issued.
+    Addr addr = line;
+    std::vector<Addr> cand;
+    for (unsigned i = match + 1;
+         i < e.count && cand.size() < cfg_.degree; ++i) {
+        addr += static_cast<Addr>(deltaAt(e, i) *
+                                  static_cast<std::int64_t>(
+                                      cfg_.lineBytes));
+        if (addr == e.lastPrefetch) {
+            filtered_ += cand.size() + 1;
+            cand.clear();
+            continue;
+        }
+        cand.push_back(addr);
+    }
+    for (Addr a : cand) {
+        engine_->issuePrefetch(a, when);
+        ++issued_;
+        e.lastPrefetch = a;
+    }
+}
+
+void
+DcptPrefetcher::observeAccess(const L2AccessInfo &info)
+{
+    // Like the GHB, DCPT trains on the load-miss stream including
+    // misses averted by the prefetch buffer (data only: instruction
+    // fetches carry no useful per-PC delta signal).
+    if (info.isInst || (!info.offChip && !info.prefBufHit))
+        return;
+
+    Entry *e = lookupOrAllocate(info.pc);
+    if (e->lastAddr != 0 && info.lineAddr != e->lastAddr) {
+        const std::int64_t delta =
+            (static_cast<std::int64_t>(info.lineAddr) -
+             static_cast<std::int64_t>(e->lastAddr)) /
+            static_cast<std::int64_t>(cfg_.lineBytes);
+        pushDelta(*e, delta);
+    }
+    e->lastAddr = info.lineAddr;
+    predict(*e, info.lineAddr, info.when);
+}
+
+void
+DcptPrefetcher::audit(AuditContext &ctx) const
+{
+    for (std::size_t i = 0; i < table_.size(); ++i) {
+        const Entry &e = table_[i];
+        ctx.check(e.deltas.size() == cfg_.deltasPerEntry,
+                  "ring_capacity_fixed", "entry ", i, " holds ",
+                  e.deltas.size(), " delta slots, configured ",
+                  cfg_.deltasPerEntry);
+        ctx.check(e.head < cfg_.deltasPerEntry, "ring_head_in_range",
+                  "entry ", i, " head ", e.head, " of ",
+                  cfg_.deltasPerEntry);
+        ctx.check(e.count <= cfg_.deltasPerEntry,
+                  "ring_count_within_capacity", "entry ", i, " holds ",
+                  e.count, " deltas of ", cfg_.deltasPerEntry);
+        ctx.check(e.stamp <= stampCounter_, "stamp_not_from_future",
+                  "entry ", i, " stamp ", e.stamp, " exceeds counter ",
+                  stampCounter_);
+        if (!e.valid)
+            continue;
+        for (std::size_t j = i + 1; j < table_.size(); ++j)
+            ctx.check(!(table_[j].valid && table_[j].pc == e.pc),
+                      "one_entry_per_pc", "pc 0x", std::hex, e.pc,
+                      std::dec, " held by entries ", i, " and ", j);
+    }
+}
+
+void
+DcptPrefetcher::ckpt(ckpt::Archiver &ar)
+{
+    Prefetcher::ckpt(ar);
+    ar.fixedVec(table_, [](ckpt::Archiver &a, Entry &e) {
+        a.u64(e.pc);
+        a.u64(e.lastAddr);
+        a.u64(e.lastPrefetch);
+        a.fixedVec(e.deltas, [](ckpt::Archiver &da, std::int64_t &d) {
+            da.i64(d);
+        }, "DCPT entry deltas");
+        a.uns(e.head);
+        a.uns(e.count);
+        a.boolean(e.valid);
+        a.u64(e.stamp);
+    }, "DCPT entries");
+    ar.u64(stampCounter_);
+}
+
+} // namespace ebcp

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Delta-Correlating Prediction Tables (DCPT), after Grannaes, Jahre
+ * and Natvig -- a per-PC temporal prefetcher added as a comparison
+ * point alongside the paper's engines.
+ *
+ * Each load PC owns one table entry holding the last miss address,
+ * the last line it prefetched, and a small circular buffer of the
+ * line-granular deltas between its consecutive misses. On a new
+ * miss the entry's freshest delta pair is searched for in the older
+ * history; a match replays the deltas that followed it, naming the
+ * lines this PC will miss on next. The in-flight filter (everything
+ * up to and including lastPrefetch is discarded) keeps re-walks of
+ * the same pattern from re-issuing the prefix already requested.
+ *
+ * Where the paper's EBCP correlates epoch onsets across the whole
+ * miss stream, DCPT correlates delta history within one instruction,
+ * so it shines on strided or repeating per-PC reference patterns and
+ * has no memory-resident state at all (the table is small enough to
+ * sit beside the L2).
+ */
+
+#ifndef EBCP_PREFETCH_DCPT_HH
+#define EBCP_PREFETCH_DCPT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+#include "util/status.hh"
+
+namespace ebcp
+{
+
+/** DCPT configuration. */
+struct DcptConfig
+{
+    unsigned tableEntries = 128;  //!< per-PC entries (LRU)
+    unsigned deltasPerEntry = 16; //!< circular delta history per PC
+    unsigned degree = 6;          //!< prefetches per trigger
+    unsigned lineBytes = 64;
+
+    /** Coded rejection of nonsense values (factory gate). */
+    Status validate() const;
+};
+
+/** The delta-correlating prediction-table prefetcher. */
+class DcptPrefetcher : public Prefetcher
+{
+  public:
+    explicit DcptPrefetcher(const DcptConfig &cfg,
+                            std::string name = "dcpt");
+
+    void observeAccess(const L2AccessInfo &info) override;
+
+    /** Re-derive table invariants (ring indices, LRU stamps, keys). */
+    void audit(AuditContext &ctx) const override;
+
+    /** Serialize or restore all learned state (checkpointing). */
+    void ckpt(ckpt::Archiver &ar) override;
+
+  private:
+    struct Entry
+    {
+        Addr pc = 0;
+        Addr lastAddr = 0;     //!< last miss line of this PC
+        Addr lastPrefetch = 0; //!< last line handed to the engine
+        std::vector<std::int64_t> deltas; //!< ring, line-granular
+        unsigned head = 0;  //!< ring slot of the oldest delta
+        unsigned count = 0; //!< deltas currently held
+        bool valid = false;
+        std::uint64_t stamp = 0;
+    };
+
+    Entry *lookupOrAllocate(Addr pc);
+    void pushDelta(Entry &e, std::int64_t delta);
+    std::int64_t deltaAt(const Entry &e, unsigned i) const;
+    void predict(Entry &e, Addr line, Tick when);
+
+    DcptConfig cfg_;
+    std::vector<Entry> table_;
+    std::uint64_t stampCounter_ = 0;
+
+    Scalar trains_{"trains", "deltas recorded"};
+    Scalar matches_{"matches", "delta pairs found in the history"};
+    Scalar issued_{"issued", "prefetches handed to the engine"};
+    Scalar filtered_{"filtered",
+                     "candidates dropped by the in-flight filter"};
+};
+
+} // namespace ebcp
+
+#endif // EBCP_PREFETCH_DCPT_HH

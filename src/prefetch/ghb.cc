@@ -9,6 +9,25 @@
 namespace ebcp
 {
 
+Status
+GhbConfig::validate() const
+{
+    if (indexEntries == 0 || !isPowerOf2(indexEntries))
+        return invalidArgError("ghb: index_entries ", indexEntries,
+                               " must be a nonzero power of two");
+    if (ghbEntries == 0)
+        return invalidArgError("ghb: ghb_entries must be nonzero");
+    if (depth == 0)
+        return invalidArgError(
+            "ghb: depth=0 would never prefetch; use the null "
+            "prefetcher to disable prefetching");
+    if (maxHistory < 4)
+        return invalidArgError("ghb: max_history ", maxHistory,
+                               " is below the 4 deltas pair "
+                               "correlation needs");
+    return Status();
+}
+
 GhbPrefetcher::GhbPrefetcher(const GhbConfig &cfg, std::string name)
     : Prefetcher(std::move(name)), cfg_(cfg), ghb_(cfg.ghbEntries),
       index_(cfg.indexEntries)

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "prefetch/prefetcher.hh"
+#include "util/status.hh"
 
 namespace ebcp
 {
@@ -36,6 +37,9 @@ struct GhbConfig
     unsigned ghbEntries = 16 * 1024;   //!< history buffer entries
     unsigned depth = 6;                //!< prefetch depth
     unsigned maxHistory = 16;          //!< chain walk bound
+
+    /** Coded rejection of nonsense values (factory gate). */
+    Status validate() const;
 
     /** GHB small (256KB) per the paper. */
     static GhbConfig

@@ -1,5 +1,8 @@
 #include "prefetch/ledger.hh"
 
+#include "ckpt/archiver.hh"
+#include "verify/audit.hh"
+
 namespace ebcp
 {
 
@@ -34,6 +37,60 @@ PrefetchLedger::coverage(std::uint64_t demand_misses) const
     const std::uint64_t base = used() + demand_misses;
     return base ? static_cast<double>(used()) / static_cast<double>(base)
                 : 0.0;
+}
+
+void
+PrefetchLedger::beginMeasurement(unsigned resident_now)
+{
+    sources_ = {};
+    carryOver_ = resident_now;
+}
+
+void
+PrefetchLedger::audit(AuditContext &ctx, unsigned resident_now) const
+{
+    // Exactly-once lifecycle: every prefetch ever resident during the
+    // window (carried over from warm-up, or issued since) is counted
+    // in exactly one of {timely hit, late hit, evicted unused, still
+    // resident}. A deficit means an event was dropped; an excess
+    // means a terminal state was counted twice (the late-hit/evict
+    // double-count this check exists to catch).
+    ctx.check(carryOver_ + issued() ==
+                  used() + evictedUnused() + resident_now,
+              "lifecycle_conservation",
+              carryOver_, " carried over + ", issued(), " issued != ",
+              timelyHits(), " timely + ", lateHits(), " late + ",
+              evictedUnused(), " evicted + ", resident_now,
+              " resident");
+
+    SourceCounters sum;
+    for (const SourceCounters &s : sources_) {
+        sum.issued += s.issued;
+        sum.timelyHits += s.timelyHits;
+        sum.lateHits += s.lateHits;
+        sum.evictedUnused += s.evictedUnused;
+    }
+    ctx.check(sum.issued == issued() && sum.timelyHits == timelyHits() &&
+                  sum.lateHits == lateHits() &&
+                  sum.evictedUnused == evictedUnused(),
+              "sources_partition_aggregates",
+              "per-source slices (", sum.issued, "/", sum.timelyHits,
+              "/", sum.lateHits, "/", sum.evictedUnused,
+              ") do not sum to the aggregates (", issued(), "/",
+              timelyHits(), "/", lateHits(), "/", evictedUnused(), ")");
+}
+
+void
+PrefetchLedger::ckpt(ckpt::Archiver &ar)
+{
+    stats_.ckpt(ar);
+    for (SourceCounters &s : sources_) {
+        ar.u64(s.issued);
+        ar.u64(s.timelyHits);
+        ar.u64(s.lateHits);
+        ar.u64(s.evictedUnused);
+    }
+    ar.u64(carryOver_);
 }
 
 } // namespace ebcp

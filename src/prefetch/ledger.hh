@@ -22,10 +22,24 @@
  * ledger works for every prefetcher behind PrefetcherFactory because
  * it hangs off the L2 subsystem's issue/hit/evict paths, not off any
  * particular prediction algorithm.
+ *
+ * Every event additionally carries a source id so a composite
+ * controller can score the engines it multiplexes: source 0 is the
+ * unattributed default, sources 1..kMaxSources-1 are claimed by
+ * whoever tags its issues (the id travels with the buffer entry, so
+ * a hit or eviction is credited to the engine that issued it even if
+ * the controller has switched engines since). Two bookkeeping rules
+ * make the lifecycle states exact across the warm-up boundary:
+ * beginMeasurement() records how many warm-up prefetches are still
+ * buffer-resident (their later hits/evictions would otherwise appear
+ * with no matching issue), and audit() checks the conservation
+ * identity  carry_over + issued == used + evicted + resident.
  */
 
 #ifndef EBCP_PREFETCH_LEDGER_HH
 #define EBCP_PREFETCH_LEDGER_HH
+
+#include <array>
 
 #include "stats/group.hh"
 #include "util/types.hh"
@@ -33,14 +47,40 @@
 namespace ebcp
 {
 
+namespace ckpt
+{
+class Archiver;
+}
+
+class AuditContext;
+
 /** Classifies every issued prefetch into a terminal lifecycle state. */
 class PrefetchLedger
 {
   public:
+    /** Source-id space: 0 = unattributed, 1.. = composite children. */
+    static constexpr unsigned kMaxSources = 16;
+
+    /** Per-source slice of the lifecycle counters. */
+    struct SourceCounters
+    {
+        std::uint64_t issued = 0;
+        std::uint64_t timelyHits = 0;
+        std::uint64_t lateHits = 0;
+        std::uint64_t evictedUnused = 0;
+
+        std::uint64_t used() const { return timelyHits + lateHits; }
+    };
+
     PrefetchLedger();
 
     /** A prefetch read was accepted by the memory system. */
-    void onIssue() { ++issued_; }
+    void
+    onIssue(unsigned source = 0)
+    {
+        ++issued_;
+        ++slot(source).issued;
+    }
 
     /**
      * A demand access consumed a prefetched line whose data was
@@ -48,9 +88,10 @@ class PrefetchLedger
      * and the use (larger = more headroom).
      */
     void
-    onHitTimely(Tick lead_ticks)
+    onHitTimely(Tick lead_ticks, unsigned source = 0)
     {
         ++timelyHits_;
+        ++slot(source).timelyHits;
         leadTicks_.sample(static_cast<double>(lead_ticks));
     }
 
@@ -59,14 +100,20 @@ class PrefetchLedger
      * waited @p residual_ticks for it.
      */
     void
-    onHitLate(Tick residual_ticks)
+    onHitLate(Tick residual_ticks, unsigned source = 0)
     {
         ++lateHits_;
+        ++slot(source).lateHits;
         residualTicks_.sample(static_cast<double>(residual_ticks));
     }
 
     /** A valid, never-used buffer entry was replaced. */
-    void onEvictUnused() { ++evictedUnused_; }
+    void
+    onEvictUnused(unsigned source = 0)
+    {
+        ++evictedUnused_;
+        ++slot(source).evictedUnused;
+    }
 
     std::uint64_t issued() const { return issued_.value(); }
     std::uint64_t timelyHits() const { return timelyHits_.value(); }
@@ -77,6 +124,13 @@ class PrefetchLedger
     std::uint64_t used() const
     {
         return timelyHits_.value() + lateHits_.value();
+    }
+
+    /** Per-source slice (out-of-range ids share slot 0). */
+    const SourceCounters &
+    source(unsigned source_id) const
+    {
+        return sources_[source_id < kMaxSources ? source_id : 0];
     }
 
     /** used / issued; 0 when nothing was issued. */
@@ -91,9 +145,39 @@ class PrefetchLedger
      */
     double coverage(std::uint64_t demand_misses) const;
 
+    /**
+     * Open the measurement window: zero the per-source slices (the
+     * Scalars are reset by the owning stat tree at the same moment)
+     * and record that @p resident_now warm-up prefetches are still
+     * sitting in the buffer, so their eventual hits or evictions are
+     * recognized as carried-over rather than breaking conservation.
+     */
+    void beginMeasurement(unsigned resident_now);
+
+    /** Warm-up prefetches resident when the window opened. */
+    std::uint64_t carryOver() const { return carryOver_; }
+
+    /**
+     * Re-derive the ledger's invariants: every prefetch alive during
+     * the window is in exactly one state (carry_over + issued ==
+     * timely + late + evicted + @p resident_now, with resident
+     * supplied by the caller from the buffer), and the per-source
+     * slices partition every aggregate counter.
+     */
+    void audit(AuditContext &ctx, unsigned resident_now) const;
+
+    /** Serialize or restore counters, slices and carry-over. */
+    void ckpt(ckpt::Archiver &ar);
+
     StatGroup &stats() { return stats_; }
 
   private:
+    SourceCounters &
+    slot(unsigned source_id)
+    {
+        return sources_[source_id < kMaxSources ? source_id : 0];
+    }
+
     StatGroup stats_;
     Scalar issued_{"issued", "prefetches tracked by the ledger"};
     Scalar timelyHits_{"timely_hits",
@@ -106,6 +190,9 @@ class PrefetchLedger
                        "fill-to-use slack of timely hits"};
     Average residualTicks_{"residual_ticks",
                            "demand wait of late hits"};
+
+    std::array<SourceCounters, kMaxSources> sources_{};
+    std::uint64_t carryOver_ = 0;
 };
 
 } // namespace ebcp

@@ -1,7 +1,26 @@
 #include "prefetch/nextline.hh"
 
+#include "util/bitfield.hh"
+
 namespace ebcp
 {
+
+Status
+NextLineConfig::validate() const
+{
+    if (depth == 0)
+        return invalidArgError(
+            "nextline: depth=0 would never prefetch; use the null "
+            "prefetcher to disable prefetching");
+    if (lineBytes == 0 || !isPowerOf2(lineBytes))
+        return invalidArgError("nextline: line_bytes ", lineBytes,
+                               " must be a nonzero power of two");
+    if (!onInst && !onLoad)
+        return invalidArgError("nextline: prefetching disabled on "
+                               "both instruction and load misses; "
+                               "use the null prefetcher instead");
+    return Status();
+}
 
 NextLinePrefetcher::NextLinePrefetcher(const NextLineConfig &cfg)
     : Prefetcher("nextline"), cfg_(cfg)

@@ -15,6 +15,7 @@
 #define EBCP_PREFETCH_NEXTLINE_HH
 
 #include "prefetch/prefetcher.hh"
+#include "util/status.hh"
 
 namespace ebcp
 {
@@ -26,6 +27,9 @@ struct NextLineConfig
     unsigned lineBytes = 64;
     bool onInst = true;      //!< prefetch after instruction misses
     bool onLoad = false;     //!< prefetch after load misses
+
+    /** Coded rejection of nonsense values (factory gate). */
+    Status validate() const;
 };
 
 /** The next-line prefetcher. */

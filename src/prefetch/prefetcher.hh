@@ -31,6 +31,7 @@ class Archiver;
 }
 
 class AuditContext;
+class PrefetchLedger;
 
 /** Everything a prefetcher learns about one L2 access (an L1 miss). */
 struct L2AccessInfo
@@ -62,10 +63,15 @@ class PrefetchEngine
      * @param corr_index correlation-table entry to credit on a hit
      *        (pass has_corr=false for prefetchers without a
      *        main-memory table).
+     * @param source PrefetchLedger source id crediting this issue
+     *        (0 = unattributed; a composite controller tags each
+     *        child engine with its own id so the ledger can score
+     *        them separately).
      */
     virtual void issuePrefetch(Addr line_addr, Tick when,
                                std::uint64_t corr_index = 0,
-                               bool has_corr = false) = 0;
+                               bool has_corr = false,
+                               unsigned source = 0) = 0;
 
     /** Low-priority main-memory read of a predictor-table line. */
     virtual MemAccessResult tableRead(Tick when) = 0;
@@ -106,6 +112,24 @@ class Prefetcher
 
     /** Wire the engine before simulation starts. */
     void setEngine(PrefetchEngine *engine) { engine_ = engine; }
+
+    /**
+     * Give the prefetcher read access to the lifecycle ledger the
+     * hierarchy keeps for it. The default ignores it; adaptive
+     * controllers (the composite) override this and sample per-source
+     * accuracy/timeliness each calibration interval.
+     */
+    virtual void attachLedger(const PrefetchLedger &ledger)
+    {
+        (void)ledger;
+    }
+
+    /**
+     * The measurement window is starting: the ledger's counters (and
+     * all statistics) have just been reset. Controllers holding
+     * monotone ledger samples must re-baseline them here.
+     */
+    virtual void beginMeasurement() {}
 
     /**
      * Attach lifecycle tracing. The default is a no-op; prefetchers

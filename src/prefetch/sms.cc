@@ -7,6 +7,28 @@
 namespace ebcp
 {
 
+Status
+SmsConfig::validate() const
+{
+    if (lineBytes == 0 || !isPowerOf2(lineBytes))
+        return invalidArgError("sms: line_bytes ", lineBytes,
+                               " must be a nonzero power of two");
+    const unsigned lines = lineBytes ? regionBytes / lineBytes : 0;
+    if (lines == 0 || lines > 32)
+        return invalidArgError("sms: region_bytes ", regionBytes,
+                               " / line_bytes ", lineBytes, " yields ",
+                               lines, " lines per region, outside "
+                               "[1, 32] (the pattern bitmap width)");
+    if (agtEntries == 0)
+        return invalidArgError("sms: agt_entries must be nonzero");
+    if (phtSets == 0 || !isPowerOf2(phtSets))
+        return invalidArgError("sms: pht_sets ", phtSets,
+                               " must be a nonzero power of two");
+    if (phtWays == 0)
+        return invalidArgError("sms: pht_ways must be nonzero");
+    return Status();
+}
+
 SmsPrefetcher::SmsPrefetcher(const SmsConfig &cfg)
     : Prefetcher("sms"), cfg_(cfg),
       linesPerRegion_(cfg.regionBytes / cfg.lineBytes),

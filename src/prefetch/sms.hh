@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "prefetch/prefetcher.hh"
+#include "util/status.hh"
 
 namespace ebcp
 {
@@ -34,6 +35,9 @@ struct SmsConfig
     unsigned agtEntries = 128;    //!< accumulation/filter table
     unsigned phtSets = 1024;      //!< 16K entries / 16 ways
     unsigned phtWays = 16;
+
+    /** Coded rejection of nonsense values (factory gate). */
+    Status validate() const;
 };
 
 /** The spatial memory streaming prefetcher. */

@@ -9,6 +9,18 @@
 namespace ebcp
 {
 
+Status
+SolihinConfig::validate() const
+{
+    if (tableEntries == 0 || !isPowerOf2(tableEntries))
+        return invalidArgError("solihin: table_entries ", tableEntries,
+                               " must be a nonzero power of two");
+    if (depth == 0 || width == 0)
+        return invalidArgError("solihin: depth ", depth, " and width ",
+                               width, " must both be nonzero");
+    return Status();
+}
+
 SolihinPrefetcher::SolihinPrefetcher(const SolihinConfig &cfg,
                                      std::string name)
     : Prefetcher(std::move(name)), cfg_(cfg), recentMisses_(cfg.depth)

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "prefetch/prefetcher.hh"
+#include "util/status.hh"
 #include "util/circular_buffer.hh"
 #include "util/flat_map.hh"
 
@@ -41,6 +42,9 @@ struct SolihinConfig
     unsigned depth = 3; //!< NumLevels
     unsigned width = 2; //!< NumSucc per level
     Tick tableAccessLatency = 500; //!< DRAM-side table read latency
+
+    /** Coded rejection of nonsense values (factory gate). */
+    Status validate() const;
 
     static SolihinConfig
     depth3width2()

@@ -7,6 +7,24 @@
 namespace ebcp
 {
 
+Status
+StreamPrefetcherConfig::validate() const
+{
+    if (streams == 0)
+        return invalidArgError("stream: streams must be nonzero");
+    if (distance == 0)
+        return invalidArgError(
+            "stream: distance=0 would never prefetch; use the null "
+            "prefetcher to disable prefetching");
+    if (trainConfirms == 0)
+        return invalidArgError("stream: train_confirms must be "
+                               "nonzero");
+    if (maxStrideBytes == 0)
+        return invalidArgError("stream: max_stride_bytes must be "
+                               "nonzero");
+    return Status();
+}
+
 StreamPrefetcher::StreamPrefetcher(const StreamPrefetcherConfig &cfg)
     : Prefetcher("stream"), cfg_(cfg), streams_(cfg.streams)
 {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "prefetch/prefetcher.hh"
+#include "util/status.hh"
 
 namespace ebcp
 {
@@ -28,6 +29,9 @@ struct StreamPrefetcherConfig
     unsigned distance = 6;       //!< strides to run ahead
     unsigned trainConfirms = 2;  //!< stride repeats before streaming
     Addr maxStrideBytes = 4096;  //!< ignore wild deltas
+
+    /** Coded rejection of nonsense values (factory gate). */
+    Status validate() const;
 };
 
 /** The stream prefetcher. */

@@ -7,6 +7,30 @@
 namespace ebcp
 {
 
+Status
+TcpConfig::validate() const
+{
+    if (thtEntries == 0 || !isPowerOf2(thtEntries))
+        return invalidArgError("tcp: tht_entries ", thtEntries,
+                               " must be a nonzero power of two");
+    if (phtSets == 0 || !isPowerOf2(phtSets))
+        return invalidArgError("tcp: pht_sets ", phtSets,
+                               " must be a nonzero power of two");
+    if (phtWays == 0)
+        return invalidArgError("tcp: pht_ways must be nonzero");
+    if (l1Sets == 0 || !isPowerOf2(l1Sets))
+        return invalidArgError("tcp: l1_sets ", l1Sets,
+                               " must be a nonzero power of two");
+    if (lineBytes == 0 || !isPowerOf2(lineBytes))
+        return invalidArgError("tcp: line_bytes ", lineBytes,
+                               " must be a nonzero power of two");
+    if (degree == 0)
+        return invalidArgError(
+            "tcp: degree=0 would never prefetch; use the null "
+            "prefetcher to disable prefetching");
+    return Status();
+}
+
 TcpPrefetcher::TcpPrefetcher(const TcpConfig &cfg, std::string name)
     : Prefetcher(std::move(name)), cfg_(cfg),
       setShift_(floorLog2(cfg.lineBytes)),

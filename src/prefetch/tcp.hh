@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "prefetch/prefetcher.hh"
+#include "util/status.hh"
 
 namespace ebcp
 {
@@ -35,6 +36,9 @@ struct TcpConfig
     unsigned lineBytes = 64;
     unsigned l1Sets = 128;     //!< 32KB / 4-way / 64B
     unsigned degree = 6;       //!< prefetches per trigger
+
+    /** Coded rejection of nonsense values (factory gate). */
+    Status validate() const;
 
     static TcpConfig
     small()

@@ -183,6 +183,39 @@ serializePrefetcherIdentity(ckpt::Archiver &ar, const PrefetcherParams &pf)
     ar.uns(pdist);
     ar.uns(pconf);
     ar.u64(pstride);
+
+    std::uint64_t dte = pf.dcpt.tableEntries;
+    unsigned ddel = pf.dcpt.deltasPerEntry, ddeg = pf.dcpt.degree,
+             dlb = pf.dcpt.lineBytes;
+    ar.u64(dte);
+    ar.uns(ddel);
+    ar.uns(ddeg);
+    ar.uns(dlb);
+
+    std::uint64_t ate = pf.amc.tableEntries;
+    unsigned aw = pf.amc.width, awin = pf.amc.window,
+             adeg = pf.amc.degree;
+    ar.u64(ate);
+    ar.uns(aw);
+    ar.uns(awin);
+    ar.uns(adeg);
+
+    std::vector<std::string> cengines = pf.composite.engines;
+    std::uint64_t cci = pf.composite.calibInterval;
+    unsigned cep = pf.composite.explorePeriod,
+             cmin = pf.composite.minDegree, cmax = pf.composite.maxDegree,
+             cinit = pf.composite.initialDegree;
+    // Percent-granular, matching the controller's integer arithmetic.
+    unsigned clo = static_cast<unsigned>(pf.composite.loAccuracy * 100.0),
+             chi = static_cast<unsigned>(pf.composite.hiAccuracy * 100.0);
+    ar.vec(cengines, [](ckpt::Archiver &a, std::string &s) { a.str(s); });
+    ar.u64(cci);
+    ar.uns(cep);
+    ar.uns(cmin);
+    ar.uns(cmax);
+    ar.uns(cinit);
+    ar.uns(clo);
+    ar.uns(chi);
 }
 
 std::uint64_t

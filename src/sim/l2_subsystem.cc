@@ -17,6 +17,7 @@ L2Subsystem::L2Subsystem(const SimConfig &cfg, MainMemory &mem,
       stats_("l2side")
 {
     prefetcher_.setEngine(this);
+    prefetcher_.attachLedger(ledger_);
     stats_.add(offChipInst_);
     stats_.add(offChipLoad_);
     stats_.add(issuedPrefetches_);
@@ -117,12 +118,12 @@ L2Subsystem::access(Addr addr, Addr pc, Tick when, bool is_inst,
                 static_cast<double>(data_ready - when - l2_lat));
             observeEpoch(when, data_ready);
             out.offChip = true;
-            ledger_.onHitLate(data_ready - when - l2_lat);
+            ledger_.onHitLate(data_ready - when - l2_lat, pb.source);
             EBCP_TRACE_EVENT(trace_, TraceEventKind::PrefetchHitLate,
                              when, 0, line, data_ready - when - l2_lat);
         } else {
             // Timely: the fill beat the demand access by this slack.
-            ledger_.onHitTimely(when + l2_lat - pb.readyTime);
+            ledger_.onHitTimely(when + l2_lat - pb.readyTime, pb.source);
             EBCP_TRACE_EVENT(trace_, TraceEventKind::PrefetchHitTimely,
                              when, 0, line);
         }
@@ -176,11 +177,11 @@ L2Subsystem::storeAccess(Addr addr, Tick when)
         ++usefulPrefetches_;
         const Tick on_chip = when + l2_.hitLatency();
         if (pb.readyTime > on_chip) {
-            ledger_.onHitLate(pb.readyTime - on_chip);
+            ledger_.onHitLate(pb.readyTime - on_chip, pb.source);
             EBCP_TRACE_EVENT(trace_, TraceEventKind::PrefetchHitLate,
                              when, 0, line, pb.readyTime - on_chip);
         } else {
-            ledger_.onHitTimely(on_chip - pb.readyTime);
+            ledger_.onHitTimely(on_chip - pb.readyTime, pb.source);
             EBCP_TRACE_EVENT(trace_, TraceEventKind::PrefetchHitTimely,
                              when, 0, line);
         }
@@ -198,7 +199,8 @@ L2Subsystem::storeAccess(Addr addr, Tick when)
 
 void
 L2Subsystem::issuePrefetch(Addr line_addr, Tick when,
-                           std::uint64_t corr_index, bool has_corr)
+                           std::uint64_t corr_index, bool has_corr,
+                           unsigned source)
 {
     const Addr line = l2_.lineAddr(line_addr);
     if (l2_.contains(line) || prefBuf_.contains(line)) {
@@ -211,17 +213,18 @@ L2Subsystem::issuePrefetch(Addr line_addr, Tick when,
         return;
     }
     ++issuedPrefetches_;
-    ledger_.onIssue();
+    ledger_.onIssue(source);
     EBCP_TRACE_EVENT(trace_, TraceEventKind::PrefetchIssue, when, 0, line,
                      corr_index);
     EBCP_TRACE_EVENT(trace_, TraceEventKind::PrefetchFill, r.complete, 0,
                      line);
-    const Addr evicted = prefBuf_.insert(line, r.complete, corr_index,
-                                         has_corr);
-    if (evicted != InvalidAddr) {
-        ledger_.onEvictUnused();
+    const PrefBufEvict evicted =
+        prefBuf_.insert(line, r.complete, corr_index, has_corr,
+                        static_cast<std::uint8_t>(source));
+    if (evicted.line != InvalidAddr) {
+        ledger_.onEvictUnused(evicted.source);
         EBCP_TRACE_EVENT(trace_, TraceEventKind::PrefetchEvict, when, 0,
-                         evicted);
+                         evicted.line);
     }
 }
 
@@ -251,6 +254,10 @@ L2Subsystem::audit(AuditContext &ctx) const
                   "line ", line, " resident in both the L2 and the "
                   "prefetch buffer");
     });
+    // The ledger's exactly-once lifecycle identity closes over the
+    // buffer's current occupancy, so the cross-component form lives
+    // here rather than in either component.
+    ledger_.audit(ctx, prefBuf_.validCount());
 }
 
 void
@@ -265,6 +272,11 @@ void
 L2Subsystem::beginMeasurement()
 {
     stats_.resetAll();
+    // Warm-up prefetches still buffer-resident will hit or evict
+    // during measurement; record them so the ledger's lifecycle
+    // states stay exactly-once across the reset.
+    ledger_.beginMeasurement(prefBuf_.validCount());
+    prefetcher_.beginMeasurement();
     epochs_.beginMeasurement();
 }
 
@@ -275,7 +287,7 @@ L2Subsystem::ckpt(ckpt::Archiver &ar)
     prefBuf_.ckpt(ar);
     l2Mshrs_.ckpt(ar);
     epochs_.ckpt(ar);
-    ledger_.stats().ckpt(ar);
+    ledger_.ckpt(ar);
     ar.u64(demandCount_);
     ar.u64(tableReadsServedLifetime_);
     ar.u64(tableWritesServedLifetime_);

@@ -51,8 +51,9 @@ class L2Subsystem : public PrefetchEngine
 
     // PrefetchEngine
     void issuePrefetch(Addr line_addr, Tick when,
-                       std::uint64_t corr_index,
-                       bool has_corr) override;
+                       std::uint64_t corr_index = 0,
+                       bool has_corr = false,
+                       unsigned source = 0) override;
     MemAccessResult tableRead(Tick when) override;
     MemAccessResult tableWrite(Tick when) override;
     Tick memoryLatency() const override { return mem_.config().latency; }

@@ -6,6 +6,22 @@
 namespace ebcp
 {
 
+namespace
+{
+
+/** Reject a scheme's configuration before running its constructor
+ * (whose fatal_if guards remain as a backstop for direct use). */
+template <typename Config, typename Fn>
+StatusOr<std::unique_ptr<Prefetcher>>
+makeValidated(const Config &cfg, Fn &&make)
+{
+    if (Status s = cfg.validate(); !s.ok())
+        return s;
+    return make(cfg);
+}
+
+} // namespace
+
 StatusOr<std::unique_ptr<Prefetcher>>
 tryCreatePrefetcher(const PrefetcherParams &p)
 {
@@ -15,22 +31,33 @@ tryCreatePrefetcher(const PrefetcherParams &p)
         return std::make_unique<NullPrefetcher>();
 
     if (n == "ebcp")
-        return std::make_unique<EpochBasedPrefetcher>(p.ebcp);
+        return makeValidated(p.ebcp, [](const EbcpConfig &c) {
+            return std::make_unique<EpochBasedPrefetcher>(c);
+        });
 
     if (n == "ebcp-minus") {
         EbcpConfig c = p.ebcp;
         c.minusVariant = true;
-        return std::make_unique<EpochBasedPrefetcher>(c);
+        return makeValidated(c, [](const EbcpConfig &mc) {
+            return std::make_unique<EpochBasedPrefetcher>(mc);
+        });
     }
 
     if (n == "stream")
-        return std::make_unique<StreamPrefetcher>(p.stream);
+        return makeValidated(p.stream,
+                             [](const StreamPrefetcherConfig &c) {
+            return std::make_unique<StreamPrefetcher>(c);
+        });
 
     if (n == "nextline")
-        return std::make_unique<NextLinePrefetcher>(p.nextline);
+        return makeValidated(p.nextline, [](const NextLineConfig &c) {
+            return std::make_unique<NextLinePrefetcher>(c);
+        });
 
     if (n == "ghb")
-        return std::make_unique<GhbPrefetcher>(p.ghb, "ghb");
+        return makeValidated(p.ghb, [](const GhbConfig &c) {
+            return std::make_unique<GhbPrefetcher>(c, "ghb");
+        });
     if (n == "ghb-small")
         return std::make_unique<GhbPrefetcher>(GhbConfig::small(),
                                                "ghb_small");
@@ -39,7 +66,9 @@ tryCreatePrefetcher(const PrefetcherParams &p)
                                                "ghb_large");
 
     if (n == "tcp")
-        return std::make_unique<TcpPrefetcher>(p.tcp, "tcp");
+        return makeValidated(p.tcp, [](const TcpConfig &c) {
+            return std::make_unique<TcpPrefetcher>(c, "tcp");
+        });
     if (n == "tcp-small")
         return std::make_unique<TcpPrefetcher>(TcpConfig::small(),
                                                "tcp_small");
@@ -48,16 +77,49 @@ tryCreatePrefetcher(const PrefetcherParams &p)
                                                "tcp_large");
 
     if (n == "sms")
-        return std::make_unique<SmsPrefetcher>(p.sms);
+        return makeValidated(p.sms, [](const SmsConfig &c) {
+            return std::make_unique<SmsPrefetcher>(c);
+        });
 
     if (n == "solihin")
-        return std::make_unique<SolihinPrefetcher>(p.solihin, "solihin");
+        return makeValidated(p.solihin, [](const SolihinConfig &c) {
+            return std::make_unique<SolihinPrefetcher>(c, "solihin");
+        });
     if (n == "solihin-3-2")
         return std::make_unique<SolihinPrefetcher>(
             SolihinConfig::depth3width2(), "solihin_3_2");
     if (n == "solihin-6-1")
         return std::make_unique<SolihinPrefetcher>(
             SolihinConfig::depth6width1(), "solihin_6_1");
+
+    if (n == "dcpt")
+        return makeValidated(p.dcpt, [](const DcptConfig &c) {
+            return std::make_unique<DcptPrefetcher>(c);
+        });
+
+    if (n == "amc")
+        return makeValidated(p.amc, [](const AmcConfig &c) {
+            return std::make_unique<AmcPrefetcher>(c);
+        });
+
+    if (n == "composite") {
+        if (Status s = p.composite.validate(); !s.ok())
+            return s;
+        std::vector<std::unique_ptr<Prefetcher>> children;
+        for (const std::string &child : p.composite.engines) {
+            PrefetcherParams cp = p;
+            cp.name = child;
+            StatusOr<std::unique_ptr<Prefetcher>> c =
+                tryCreatePrefetcher(cp);
+            if (!c.ok())
+                return invalidArgError("composite child '", child,
+                                       "': ",
+                                       c.status().toString());
+            children.push_back(c.take());
+        }
+        return std::make_unique<CompositePrefetcher>(
+            p.composite, std::move(children));
+    }
 
     std::string hint = nearestMatch(n, prefetcherNames());
     return notFoundError("unknown prefetcher '", n, "'",
@@ -79,7 +141,8 @@ prefetcherNames()
 {
     return {"null",      "ebcp",        "ebcp-minus",  "stream",
             "nextline",  "ghb-small",   "ghb-large",   "tcp-small",
-            "tcp-large", "sms",         "solihin-3-2", "solihin-6-1"};
+            "tcp-large", "sms",         "solihin-3-2", "solihin-6-1",
+            "dcpt",      "amc",         "composite"};
 }
 
 } // namespace ebcp

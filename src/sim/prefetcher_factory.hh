@@ -4,7 +4,15 @@
  *
  * Names follow Figure 9's legend: "null", "stream", "ghb-small",
  * "ghb-large", "tcp-small", "tcp-large", "sms", "solihin-3-2",
- * "solihin-6-1", "ebcp", "ebcp-minus", plus "nextline" (Smith [6]).
+ * "solihin-6-1", "ebcp", "ebcp-minus", plus "nextline" (Smith [6]),
+ * "dcpt" (delta-correlating prediction tables), "amc" (access-to-
+ * miss correlation) and "composite" (the ledger-driven adaptive
+ * multiplexer over the others).
+ *
+ * Every scheme's configuration is validated with a coded Status
+ * before construction: nonsense values (a zero degree, a non-power-
+ * of-two table) are rejected at the factory boundary instead of
+ * crashing inside a constructor or silently running with defaults.
  */
 
 #ifndef EBCP_SIM_PREFETCHER_FACTORY_HH
@@ -15,6 +23,9 @@
 #include <vector>
 
 #include "core/ebcp.hh"
+#include "prefetch/amc.hh"
+#include "prefetch/composite.hh"
+#include "prefetch/dcpt.hh"
 #include "prefetch/ghb.hh"
 #include "prefetch/nextline.hh"
 #include "prefetch/sms.hh"
@@ -37,6 +48,9 @@ struct PrefetcherParams
     TcpConfig tcp;
     SmsConfig sms;
     StreamPrefetcherConfig stream;
+    DcptConfig dcpt;
+    AmcConfig amc;
+    CompositeConfig composite;
 };
 
 /**

@@ -35,7 +35,8 @@ class MockEngine : public PrefetchEngine
     Tick tableLatency = 500;
 
     void
-    issuePrefetch(Addr a, Tick when, std::uint64_t ci, bool hc) override
+    issuePrefetch(Addr a, Tick when, std::uint64_t ci, bool hc,
+                  unsigned /* source */) override
     {
         prefetches.push_back({a, when, ci, hc});
     }

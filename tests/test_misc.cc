@@ -103,7 +103,20 @@ TEST(Factory, NamedVariantsKeepOwnStatsNames)
     EXPECT_EQ(createPrefetcher(p)->name(), "solihin_3_2");
 }
 
-TEST(Factory, ListsElevenSchemes)
+TEST(Factory, ListsFifteenSchemes)
 {
-    EXPECT_EQ(prefetcherNames().size(), 12u);
+    EXPECT_EQ(prefetcherNames().size(), 15u);
+}
+
+TEST(Factory, EveryListedSchemeConstructs)
+{
+    // The registry is the single source of truth for docs and CLI
+    // help; every name it advertises must actually build with the
+    // default parameters.
+    for (const std::string &n : prefetcherNames()) {
+        PrefetcherParams p;
+        p.name = n;
+        auto pf = tryCreatePrefetcher(p);
+        EXPECT_TRUE(pf.ok()) << n << ": " << pf.status().toString();
+    }
 }

@@ -304,7 +304,8 @@ TEST(PrefetchLedger, ClassifiesEveryFactoryPrefetcher)
     constexpr std::uint64_t measure = 400'000;
 
     for (const char *name : {"ebcp", "stream", "ghb-small", "tcp-small",
-                             "sms", "solihin-3-2"}) {
+                             "sms", "solihin-3-2", "dcpt", "amc",
+                             "composite"}) {
         SCOPED_TRACE(name);
         SimConfig cfg;
         PrefetcherParams pf;

@@ -9,11 +9,16 @@
 #include <algorithm>
 #include <vector>
 
+#include "prefetch/amc.hh"
+#include "prefetch/dcpt.hh"
 #include "prefetch/ghb.hh"
 #include "prefetch/sms.hh"
 #include "prefetch/solihin.hh"
 #include "prefetch/stream_prefetcher.hh"
 #include "prefetch/tcp.hh"
+#include "sim/hierarchy.hh"
+#include "sim/prefetcher_factory.hh"
+#include "verify/audit.hh"
 
 using namespace ebcp;
 
@@ -28,7 +33,7 @@ class MockEngine : public PrefetchEngine
     unsigned tableWrites = 0;
 
     void
-    issuePrefetch(Addr a, Tick, std::uint64_t, bool) override
+    issuePrefetch(Addr a, Tick, std::uint64_t, bool, unsigned) override
     {
         issued.push_back(a);
     }
@@ -462,4 +467,395 @@ TEST(NextLineTest, IgnoresL2Hits)
     inf.isInst = true;
     nl.observeAccess(inf);
     EXPECT_TRUE(eng.issued.empty());
+}
+
+// ---------------------------------------------------------------------
+// DCPT (delta-correlating prediction tables)
+// ---------------------------------------------------------------------
+
+TEST(DcptTest, DetectsConstantStridePerPc)
+{
+    MockEngine eng;
+    DcptPrefetcher pf({});
+    pf.setEngine(&eng);
+    // PC 0x400 misses with a constant +2-line stride; after three
+    // misses the delta ring holds {2, 2} and the pair matches itself.
+    for (int i = 0; i < 4; ++i)
+        pf.observeAccess(loadMiss(0x10000 + i * 128, 0x400, i * 10));
+    EXPECT_TRUE(eng.has(0x10000 + 4 * 128));
+}
+
+TEST(DcptTest, ReplaysRepeatingDeltaSequence)
+{
+    MockEngine eng;
+    DcptPrefetcher pf({});
+    pf.setEngine(&eng);
+    // Two walks of an irregular delta pattern {1, 3, 9} from one PC.
+    const std::int64_t deltas[] = {1, 3, 9, 1, 3};
+    Addr line = 0x40000;
+    pf.observeAccess(loadMiss(line, 0x400, 0));
+    Tick t = 10;
+    for (std::int64_t d : deltas) {
+        line += d * 64;
+        pf.observeAccess(loadMiss(line, 0x400, t));
+        t += 10;
+    }
+    // History ... 1 3 9 1 3; the fresh pair (1, 3) matches the older
+    // occurrence, whose successor was 9.
+    EXPECT_TRUE(eng.has(line + 9 * 64));
+}
+
+TEST(DcptTest, LocalizesByPc)
+{
+    MockEngine eng;
+    DcptPrefetcher pf({});
+    pf.setEngine(&eng);
+    // Interleaved misses: PC A strides by +1 line, PC B is random
+    // noise. A per-PC predictor still sees A's clean stride.
+    const Addr noise[] = {0x900000, 0x510000, 0x77f000, 0x123000,
+                          0xabc000, 0x5ef000};
+    for (int i = 0; i < 6; ++i) {
+        pf.observeAccess(loadMiss(0x10000 + i * 64, 0xA, i * 20));
+        pf.observeAccess(loadMiss(noise[i], 0xB, i * 20 + 10));
+    }
+    EXPECT_TRUE(eng.has(0x10000 + 6 * 64));
+}
+
+TEST(DcptTest, InFlightFilterSuppressesReissue)
+{
+    MockEngine eng;
+    DcptPrefetcher pf({});
+    pf.setEngine(&eng);
+    for (int i = 0; i < 8; ++i)
+        pf.observeAccess(loadMiss(0x10000 + i * 64, 0x400, i * 10));
+    // A strided walk keeps predicting lines ahead; the in-flight
+    // filter must keep the issue stream free of duplicates.
+    std::vector<Addr> sorted = eng.issued;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end());
+}
+
+TEST(DcptTest, IgnoresL2HitsAndInstructionMisses)
+{
+    MockEngine eng;
+    DcptPrefetcher pf({});
+    pf.setEngine(&eng);
+    for (int i = 0; i < 6; ++i) {
+        L2AccessInfo inst = loadMiss(0x20000 + i * 64, 0x400, i * 10);
+        inst.isInst = true;
+        pf.observeAccess(inst);
+        pf.observeAccess(
+            loadL2Access(0x30000 + i * 64, 0x500, true, i * 10));
+    }
+    EXPECT_TRUE(eng.issued.empty());
+}
+
+TEST(DcptTest, AuditCleanAfterRandomizedRun)
+{
+    DcptConfig cfg;
+    cfg.tableEntries = 16; // force LRU churn
+    MockEngine eng;
+    DcptPrefetcher pf(cfg);
+    pf.setEngine(&eng);
+    std::uint64_t x = 12345;
+    for (int i = 0; i < 5000; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        pf.observeAccess(loadMiss((x >> 20) & ~Addr{63},
+                                  (x >> 8) & 0xff, i));
+    }
+    AuditContext ctx;
+    pf.audit(ctx);
+    EXPECT_TRUE(ctx.clean());
+}
+
+// ---------------------------------------------------------------------
+// AMC (access-to-miss correlation)
+// ---------------------------------------------------------------------
+
+TEST(AmcTest, PredictsMissFromPrecedingAccess)
+{
+    MockEngine eng;
+    AmcPrefetcher pf({});
+    pf.setEngine(&eng);
+    // Train: access to A (an L2 hit) is followed by a miss on B.
+    pf.observeAccess(loadL2Access(0x1000, 0x400, true, 0));
+    pf.observeAccess(loadMiss(0x9000, 0x400, 10));
+    // Replay: touching A again predicts B.
+    pf.observeAccess(loadL2Access(0x1000, 0x400, true, 100));
+    EXPECT_TRUE(eng.has(0x9000));
+}
+
+TEST(AmcTest, ChainsSuccessorsBreadthFirst)
+{
+    MockEngine eng;
+    AmcPrefetcher pf({});
+    pf.setEngine(&eng);
+    // A -> B -> C miss chain, twice, so both edges are learned.
+    for (int round = 0; round < 2; ++round) {
+        Tick t = round * 100;
+        pf.observeAccess(loadMiss(0x1000, 0x400, t));
+        pf.observeAccess(loadMiss(0x9000, 0x400, t + 10));
+        pf.observeAccess(loadMiss(0x11000, 0x400, t + 20));
+        // Break the window so rounds stay independent.
+        pf.observeAccess(loadL2Access(0x70000, 0x999, true, t + 30));
+        pf.observeAccess(loadL2Access(0x71000, 0x999, true, t + 40));
+        pf.observeAccess(loadL2Access(0x72000, 0x999, true, t + 50));
+    }
+    eng.issued.clear();
+    pf.observeAccess(loadL2Access(0x1000, 0x400, true, 1000));
+    EXPECT_TRUE(eng.has(0x9000));
+    EXPECT_TRUE(eng.has(0x11000));
+}
+
+TEST(AmcTest, IgnoresInstructionAccesses)
+{
+    MockEngine eng;
+    AmcPrefetcher pf({});
+    pf.setEngine(&eng);
+    for (int i = 0; i < 6; ++i) {
+        L2AccessInfo inst = loadMiss(0x20000 + i * 64, 0x400, i * 10);
+        inst.isInst = true;
+        pf.observeAccess(inst);
+    }
+    EXPECT_TRUE(eng.issued.empty());
+}
+
+TEST(AmcTest, AuditCleanAfterRandomizedRun)
+{
+    AmcConfig cfg;
+    cfg.tableEntries = 64; // force tag replacement
+    MockEngine eng;
+    AmcPrefetcher pf(cfg);
+    pf.setEngine(&eng);
+    std::uint64_t x = 98765;
+    for (int i = 0; i < 5000; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        pf.observeAccess(loadL2Access((x >> 20) & ~Addr{63}, 0x400,
+                                      (x & 3) == 0, i));
+    }
+    AuditContext ctx;
+    pf.audit(ctx);
+    EXPECT_TRUE(ctx.clean());
+}
+
+// ---------------------------------------------------------------------
+// Factory configuration validation (coded rejection, per engine)
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+Status
+factoryStatus(const PrefetcherParams &p)
+{
+    return tryCreatePrefetcher(p).status();
+}
+
+} // namespace
+
+TEST(FactoryValidation, RejectsZeroDegreeEverywhere)
+{
+    for (const char *name : {"ebcp", "tcp", "dcpt", "amc"}) {
+        SCOPED_TRACE(name);
+        PrefetcherParams p;
+        p.name = name;
+        p.ebcp.prefetchDegree = 0;
+        p.tcp.degree = 0;
+        p.dcpt.degree = 0;
+        p.amc.degree = 0;
+        Status s = factoryStatus(p);
+        EXPECT_EQ(s.code(), StatusCode::InvalidArgument) << s.toString();
+    }
+}
+
+TEST(FactoryValidation, RejectsGarbageTableSizes)
+{
+    PrefetcherParams p;
+    p.name = "solihin";
+    p.solihin.tableEntries = 1000; // not a power of two
+    EXPECT_EQ(factoryStatus(p).code(), StatusCode::InvalidArgument);
+
+    p = {};
+    p.name = "ebcp";
+    p.ebcp.tableEntries = 0;
+    EXPECT_EQ(factoryStatus(p).code(), StatusCode::InvalidArgument);
+
+    p = {};
+    p.name = "amc";
+    p.amc.tableEntries = 12345;
+    EXPECT_EQ(factoryStatus(p).code(), StatusCode::InvalidArgument);
+
+    p = {};
+    p.name = "dcpt";
+    p.dcpt.tableEntries = 0;
+    EXPECT_EQ(factoryStatus(p).code(), StatusCode::InvalidArgument);
+
+    p = {};
+    p.name = "ghb";
+    p.ghb.indexEntries = 100; // not a power of two
+    EXPECT_EQ(factoryStatus(p).code(), StatusCode::InvalidArgument);
+
+    p = {};
+    p.name = "sms";
+    p.sms.phtSets = 7;
+    EXPECT_EQ(factoryStatus(p).code(), StatusCode::InvalidArgument);
+
+    p = {};
+    p.name = "stream";
+    p.stream.streams = 0;
+    EXPECT_EQ(factoryStatus(p).code(), StatusCode::InvalidArgument);
+
+    p = {};
+    p.name = "nextline";
+    p.nextline.depth = 0;
+    EXPECT_EQ(factoryStatus(p).code(), StatusCode::InvalidArgument);
+}
+
+TEST(FactoryValidation, UnknownNameSuggestsNearest)
+{
+    PrefetcherParams p;
+    p.name = "ebpc";
+    Status s = factoryStatus(p);
+    EXPECT_EQ(s.code(), StatusCode::NotFound);
+    EXPECT_NE(s.toString().find("ebcp"), std::string::npos)
+        << s.toString();
+}
+
+TEST(FactoryValidation, CompositeRejectsBadShapes)
+{
+    PrefetcherParams p;
+    p.name = "composite";
+    p.composite.engines = {};
+    EXPECT_EQ(factoryStatus(p).code(), StatusCode::InvalidArgument);
+
+    p.composite = {};
+    p.composite.engines = {"stream", "composite"};
+    EXPECT_EQ(factoryStatus(p).code(), StatusCode::InvalidArgument);
+
+    p.composite = {};
+    p.composite.calibInterval = 0;
+    EXPECT_EQ(factoryStatus(p).code(), StatusCode::InvalidArgument);
+
+    p.composite = {};
+    p.composite.minDegree = 5;
+    p.composite.maxDegree = 2;
+    EXPECT_EQ(factoryStatus(p).code(), StatusCode::InvalidArgument);
+
+    // A child engine's own bad config surfaces through the composite.
+    p.composite = {};
+    p.composite.engines = {"stream", "dcpt"};
+    p.dcpt.degree = 0;
+    Status s = factoryStatus(p);
+    EXPECT_EQ(s.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(s.toString().find("dcpt"), std::string::npos)
+        << s.toString();
+
+    // An unknown child name too.
+    p = {};
+    p.name = "composite";
+    p.composite.engines = {"stream", "bogus"};
+    EXPECT_EQ(factoryStatus(p).code(), StatusCode::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// Ledger lifecycle accounting at the L2 subsystem boundary
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** A hierarchy rig around an inert prefetcher, driven by hand. */
+struct LedgerRig
+{
+    SimConfig cfg;
+    MainMemory mem{MemConfig{}};
+    NullPrefetcher pf;
+    L2Subsystem l2side{cfg, mem, pf};
+    Hierarchy hier{cfg, l2side, 0};
+
+    const PrefetchLedger &ledger() { return l2side.ledger(); }
+
+    void
+    expectConserved(const char *what)
+    {
+        AuditContext ctx;
+        l2side.audit(ctx);
+        EXPECT_TRUE(ctx.clean()) << what;
+    }
+};
+
+} // namespace
+
+TEST(LedgerLifecycle, TimelyHitCountedExactlyOnce)
+{
+    LedgerRig r;
+    r.l2side.issuePrefetch(0x9000, 0);
+    r.hier.load(0x9000, 0x400, 5000); // data long since arrived
+    EXPECT_EQ(r.ledger().issued(), 1u);
+    EXPECT_EQ(r.ledger().timelyHits(), 1u);
+    EXPECT_EQ(r.ledger().lateHits(), 0u);
+    EXPECT_EQ(r.ledger().evictedUnused(), 0u);
+    r.expectConserved("timely hit");
+
+    // The hit consumed the buffer entry: a second load of the same
+    // line must not recount it (it is an L2 hit now).
+    r.hier.load(0x9000, 0x400, 6000);
+    EXPECT_EQ(r.ledger().used(), 1u);
+    r.expectConserved("second load");
+}
+
+TEST(LedgerLifecycle, LateHitCountedOnceNotAlsoEvicted)
+{
+    LedgerRig r;
+    r.l2side.issuePrefetch(0x9000, 10000);
+    r.hier.load(0x9000, 0x400, 10001); // arrives before the data
+    EXPECT_EQ(r.ledger().lateHits(), 1u);
+    EXPECT_EQ(r.ledger().timelyHits(), 0u);
+
+    // Stuff the buffer until every set recycles: the late-hit entry
+    // was already consumed, so no eviction may recount it.
+    for (unsigned i = 0; i < 4 * r.cfg.prefetchBufferEntries; ++i)
+        r.l2side.issuePrefetch(0x100000 + i * 64, 20000 + i);
+    EXPECT_EQ(r.ledger().lateHits(), 1u);
+    EXPECT_EQ(r.ledger().used(), 1u);
+    r.expectConserved("post-churn");
+}
+
+TEST(LedgerLifecycle, EvictionCountedExactlyOncePerVictim)
+{
+    LedgerRig r;
+    // Spread over ticks so bandwidth drops thin the stream: only
+    // prefetches that actually entered the buffer count as issued.
+    const unsigned n = 4 * r.cfg.prefetchBufferEntries;
+    for (unsigned i = 0; i < n; ++i)
+        r.l2side.issuePrefetch(0x100000 + i * 64, i * 2000);
+    // Never touched: every issued prefetch is either still resident
+    // or was evicted unused, each exactly once.
+    EXPECT_GT(r.ledger().evictedUnused(), 0u);
+    EXPECT_EQ(r.ledger().used(), 0u);
+    EXPECT_EQ(r.ledger().issued(),
+              r.ledger().evictedUnused() +
+                  r.l2side.prefetchBuffer().validCount());
+    r.expectConserved("pure churn");
+}
+
+TEST(LedgerLifecycle, MeasurementBoundaryKeepsConservation)
+{
+    LedgerRig r;
+    // Warm-up: leave prefetches resident in the buffer.
+    for (unsigned i = 0; i < 8; ++i)
+        r.l2side.issuePrefetch(0x100000 + i * 64, i);
+    r.l2side.beginMeasurement();
+    EXPECT_EQ(r.ledger().issued(), 0u);
+    EXPECT_EQ(r.ledger().carryOver(), 8u);
+    r.expectConserved("right after reset");
+
+    // Warm residents hitting or evicting during measurement must not
+    // drive the lifecycle counts negative or double.
+    r.hier.load(0x100000, 0x400, 50000);
+    EXPECT_EQ(r.ledger().used(), 1u);
+    for (unsigned i = 0; i < 4 * r.cfg.prefetchBufferEntries; ++i)
+        r.l2side.issuePrefetch(0x200000 + i * 64, 60000 + i);
+    r.expectConserved("post-measurement churn");
 }

@@ -27,7 +27,7 @@
  *                          ctest floor),
  *       max_ckpt_overhead=F (also re-run the grid with the checkpoint
  *                          wall deadline armed and fail if the
- *                          aggregate wall-time overhead vs the
+ *                          aggregate thread-CPU-time overhead vs the
  *                          baseline exceeds the fraction F; 0
  *                          disables),
  *       json=PATH         (machine-readable report; default
@@ -149,7 +149,8 @@ jsonMapStats(std::ostream &os, const FlatMapStats &m)
        << ", \"inserts\": " << m.inserts << ", \"erases\": " << m.erases
        << ", \"backshifts\": " << m.backshifts
        << ", \"rehashes\": " << m.rehashes << ", \"probes_per_find\": "
-       << fmtDouble(m.probesPerFind(), 4) << "}";
+       << fmtDouble(m.probesPerFind(), 4) << ", \"groups_per_find\": "
+       << fmtDouble(m.groupsPerFind(), 4) << "}";
 }
 
 void
@@ -163,11 +164,18 @@ jsonRun(std::ostream &os, const RunReport &r)
        << "     \"cpi\": " << fmtDouble(r.results.cpi, 6) << ",\n"
        << "     \"host\": {\"available\": "
        << (r.host.available ? "true" : "false")
+       << ", \"estimated\": " << (r.host.estimated ? "true" : "false")
        << ", \"cycles\": " << r.host.cycles << ", \"instructions\": "
        << r.host.instructions << ", \"ipc\": "
        << fmtDouble(r.host.ipc(), 3) << ", \"cache_misses\": "
        << r.host.cacheMisses << ", \"branch_misses\": "
-       << r.host.branchMisses << "},\n"
+       << r.host.branchMisses << ",\n"
+       << "              \"cpu_seconds\": "
+       << fmtDouble(r.host.cpuSeconds, 4) << ", \"reason\": "
+       << (r.host.reason.empty()
+               ? std::string("null")
+               : "\"" + jsonEscape(r.host.reason) + "\"")
+       << "},\n"
        << "     \"mshr\": ";
     jsonMapStats(os, r.mshr);
     os << ",\n     \"corr_table\": ";
@@ -217,26 +225,49 @@ main(int argc, char **argv)
            "infrastructure (no paper figure)", scale);
 
     // When the overhead budget is armed, base and deadline-armed reps
-    // are interleaved back-to-back per configuration: CPU frequency
-    // drift between two separate measurement loops would otherwise
-    // dwarf the sub-percent effect being measured.
+    // are interleaved back-to-back per configuration, and the
+    // estimator is the median over reps of the paired armed/base
+    // thread-CPU-time ratio. Back-to-back pairing cancels slow drift
+    // (frequency, competing load), CPU time is immune to time slicing
+    // outright, and the median discards the reps where a burst of
+    // interference landed in one half of a pair -- a min or a mean
+    // would let a single such rep swing a sub-percent gate.
     std::vector<RunReport> reports;
     double armed_sum = 0.0;
+    double base_cpu_sum = 0.0;
     for (const auto &w : workloadNames())
         for (const auto &pf : pfs) {
             RunReport best;
-            double armed_best = 0.0;
+            std::vector<double> ratios;
+            double base_cpu_best = 0.0;
             for (std::uint64_t rep = 0; rep < reps; ++rep) {
                 RunReport r = measureRun(w, pf, scale);
+                const double base_cpu = r.host.cpuSeconds > 0.0
+                                            ? r.host.cpuSeconds
+                                            : r.seconds;
+                if (rep == 0 || base_cpu < base_cpu_best)
+                    base_cpu_best = base_cpu;
                 if (rep == 0 || r.instsPerSec > best.instsPerSec)
                     best = std::move(r);
                 if (max_ckpt_overhead > 0.0) {
                     const RunReport a = measureRun(w, pf, scale, true);
-                    if (rep == 0 || a.seconds < armed_best)
-                        armed_best = a.seconds;
+                    const double cpu = a.host.cpuSeconds > 0.0
+                                           ? a.host.cpuSeconds
+                                           : a.seconds;
+                    ratios.push_back(base_cpu > 0.0 ? cpu / base_cpu
+                                                    : 1.0);
                 }
             }
-            armed_sum += armed_best;
+            double ratio_med = 1.0;
+            if (!ratios.empty()) {
+                std::sort(ratios.begin(), ratios.end());
+                const std::size_t n = ratios.size();
+                ratio_med = n % 2 ? ratios[n / 2]
+                                  : 0.5 * (ratios[n / 2 - 1] +
+                                           ratios[n / 2]);
+            }
+            armed_sum += base_cpu_best * ratio_med;
+            base_cpu_sum += base_cpu_best;
             std::cout << "  " << w << "/" << pf << ": "
                       << fmtDouble(best.instsPerSec / 1e6, 2)
                       << "M insts/s (" << fmtDouble(best.seconds, 2)
@@ -263,21 +294,28 @@ main(int argc, char **argv)
                   std::to_string(r.ring.grows)});
     }
     t.print(std::cout);
-    if (!reports.empty() && !reports.front().host.available)
-        std::cout << "(host perf counters unavailable -- "
-                     "perf_event_paranoid or container limits; "
-                     "insts/sec is wall-clock based and unaffected)\n";
+    if (!reports.empty() && !reports.front().host.available) {
+        const PerfSample &h = reports.front().host;
+        std::cout << "(host perf counters unavailable: "
+                  << (h.reason.empty() ? "no reason recorded"
+                                       : h.reason)
+                  << "; insts/sec is wall-clock based and "
+                     "unaffected)\n";
+        if (h.estimated)
+            std::cout << "(host cycles are CPU-time estimates; host "
+                         "instructions/IPC stay unreported)\n";
+    }
 
-    // Unused-checkpoint overhead: aggregate best-of-reps wall time of
+    // Unused-checkpoint overhead: aggregate best-of-reps *CPU* time of
     // the deadline-armed interleaved runs against the baseline.
     // Aggregating over every run before dividing keeps the ratio
-    // stable against per-run timer jitter.
+    // stable against per-run timer jitter, and thread CPU time (not
+    // wall) keeps a time-shared host from flapping a sub-percent gate
+    // with scheduler noise.
     double ckpt_overhead = 0.0;
     bool measured_overhead = false;
     if (max_ckpt_overhead > 0.0) {
-        double base_sum = 0.0;
-        for (const RunReport &r : reports)
-            base_sum += r.seconds;
+        const double base_sum = base_cpu_sum;
         ckpt_overhead =
             base_sum > 0.0 ? (armed_sum - base_sum) / base_sum : 0.0;
         measured_overhead = true;

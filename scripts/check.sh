@@ -16,7 +16,18 @@
 #      save->restore bit-exactness round trip and the corrupted-
 #      checkpoint corpus (every injected fault must yield a coded
 #      Status, never a crash -- precisely the class of bug the
-#      sanitizers catch), plus the ckpt_lint format-version guard.
+#      sanitizers catch), plus the ckpt_lint format-version guard;
+#   6. -DEBCP_NO_SIMD=ON build (the portable scalar-bitmask probe
+#      fallback of the group-probed hash core) re-running the golden
+#      SimResults and FlatMap suites, so both probe paths stay
+#      bit-exact and green.
+#
+# Set EBCP_CHECK_PGO=1 for an extra opt-in stage: a
+# -fprofile-generate build trained on bench/throughput_bench, then a
+# -fprofile-use rebuild re-running the golden + perf-smoke gates.
+# PGO is a build-machine-local artifact (profiles depend on compiler
+# version and workload), which is why the stage is opt-in rather than
+# part of the default matrix.
 #
 # Every stage exports compile_commands.json. Roughly 10-15 minutes on
 # a laptop; set EBCP_CHECK_JOBS to bound parallelism.
@@ -35,19 +46,19 @@ run_ctest() {
     ctest --test-dir "$1" --output-on-failure -j "${JOBS}" "${@:2}"
 }
 
-stage "1/5 release build + lint + tests"
+stage "1/6 release build + lint + tests"
 cmake -B build-check -DEBCP_WERROR=ON >/dev/null
 cmake --build build-check -j "${JOBS}"
 cmake --build build-check --target lint
 run_ctest build-check
 
-stage "2/5 address+undefined sanitizers"
+stage "2/6 address+undefined sanitizers"
 cmake -B build-check-asan -DEBCP_SANITIZE="address;undefined" \
       -DCMAKE_BUILD_TYPE=Debug >/dev/null
 cmake --build build-check-asan -j "${JOBS}"
 run_ctest build-check-asan
 
-stage "3/5 thread sanitizer (parallel sweep determinism)"
+stage "3/6 thread sanitizer (parallel sweep determinism)"
 cmake -B build-check-tsan -DEBCP_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=Debug >/dev/null
 cmake --build build-check-tsan --target test_runner test_composite \
@@ -55,17 +66,35 @@ cmake --build build-check-tsan --target test_runner test_composite \
 run_ctest build-check-tsan \
     -R 'sweep_determinism|SweepDeterminism|composite_determinism|CompositeDeterminism'
 
-stage "4/5 -DEBCP_AUDIT=OFF build + tests"
+stage "4/6 -DEBCP_AUDIT=OFF build + tests"
 cmake -B build-check-noaudit -DEBCP_AUDIT=OFF >/dev/null
 cmake --build build-check-noaudit -j "${JOBS}"
 run_ctest build-check-noaudit
 
-stage "5/5 checkpoint gates (ASan/UBSan) + format-version lint"
+stage "5/6 checkpoint gates (ASan/UBSan) + format-version lint"
 # The sanitizer build from stage 2 already exists; re-run the two
 # checkpoint gates by name so a crash-safety regression is reported
 # as its own stage, not buried in a 500-entry suite.
 run_ctest build-check-asan -R '^ckpt_roundtrip$|^ckpt_corruption_corpus$'
 scripts/ckpt_lint.sh
+
+stage "6/6 scalar probe fallback (-DEBCP_NO_SIMD=ON): goldens + FlatMap"
+cmake -B build-check-nosimd -DEBCP_NO_SIMD=ON >/dev/null
+cmake --build build-check-nosimd --target test_golden_results \
+      test_flat_map -j "${JOBS}"
+run_ctest build-check-nosimd -R 'GoldenResults|FlatMap'
+
+if [[ "${EBCP_CHECK_PGO:-0}" == "1" ]]; then
+    stage "opt-in PGO: instrument, train on throughput_bench, rebuild"
+    cmake -B build-check-pgo -DEBCP_PGO=generate >/dev/null
+    cmake --build build-check-pgo --target throughput_bench -j "${JOBS}"
+    (cd build-check-pgo &&
+     ./bench/throughput_bench warm=500000 measure=1000000 reps=1 \
+         json= >/dev/null)
+    cmake -B build-check-pgo -DEBCP_PGO=use >/dev/null
+    cmake --build build-check-pgo -j "${JOBS}"
+    run_ctest build-check-pgo -R 'GoldenResults|perf-smoke'
+fi
 
 echo
 echo "check: all stages passed"

@@ -1,6 +1,7 @@
 #include "core/correlation_table.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/bitfield.hh"
 #include "util/logging.hh"
@@ -39,6 +40,41 @@ CorrelationTable::indexOf(Addr key) const
     return mix64(key) & (cfg_.entries - 1);
 }
 
+CorrelationTable::Slot *
+CorrelationTable::slotsOf(Entry &e)
+{
+    if (e.base == kNoBlock) {
+        // Carve a fresh fixed-size block off the arena. Blocks are
+        // never returned individually -- a tag reallocation reuses the
+        // entry's existing block -- so bases stay stable for the life
+        // of the run (clear() resets the whole pool).
+        panic_if(slotPool_.size() + cfg_.addrsPerEntry >
+                     ~std::uint32_t{0},
+                 "correlation-table slot arena exceeds u32 handles");
+        if (slotPool_.size() == slotPool_.capacity()) {
+            // Jump straight to the arena's configured bound (one
+            // block per table entry): a single virtual allocation the
+            // OS backs lazily, instead of repeated doubling reallocs
+            // that copy the whole live arena on the update hot path.
+            const std::uint64_t bound =
+                std::min<std::uint64_t>(cfg_.entries,
+                                        ~std::uint32_t{0} /
+                                            cfg_.addrsPerEntry) *
+                cfg_.addrsPerEntry;
+            slotPool_.reserve(static_cast<std::size_t>(bound));
+        }
+        e.base = static_cast<std::uint32_t>(slotPool_.size());
+        slotPool_.resize(slotPool_.size() + cfg_.addrsPerEntry);
+    }
+    return slotPool_.data() + e.base;
+}
+
+const CorrelationTable::Slot *
+CorrelationTable::slotsOf(const Entry &e) const
+{
+    return e.base == kNoBlock ? nullptr : slotPool_.data() + e.base;
+}
+
 bool
 CorrelationTable::lookup(Addr key, std::vector<Addr> &out,
                          std::uint64_t *index_out)
@@ -58,15 +94,16 @@ CorrelationTable::lookup(Addr key, std::vector<Addr> &out,
     // addresses. Sorted through a member scratch vector so the
     // per-lookup path allocates nothing once warmed (stamps are
     // unique, so the order is deterministic).
+    const Slot *slots = slotsOf(*e);
     byStamp_.clear();
-    for (const Slot &s : e->slots)
-        byStamp_.push_back(&s);
+    for (std::uint32_t i = 0; i < e->count; ++i)
+        byStamp_.emplace_back(slots[i].stamp, slots[i].addr);
     std::sort(byStamp_.begin(), byStamp_.end(),
-              [](const Slot *a, const Slot *b) {
-                  return a->stamp > b->stamp;
+              [](const auto &a, const auto &b) {
+                  return a.first > b.first;
               });
-    for (const Slot *s : byStamp_)
-        out.push_back(s->addr);
+    for (const auto &[stamp, addr] : byStamp_)
+        out.push_back(addr);
     return true;
 }
 
@@ -84,33 +121,37 @@ CorrelationTable::update(Addr key, const std::vector<Addr> &addrs)
         if (e.tag != InvalidAddr)
             ++reallocs_;
         e.tag = key;
-        e.slots.clear();
+        e.count = 0; // the arena block (if any) is reused in place
     }
 
+    Slot *slots = slotsOf(e);
     ++updateGen_;
     for (Addr a : addrs) {
-        auto found = std::find_if(e.slots.begin(), e.slots.end(),
-                                  [a](const Slot &s) {
-                                      return s.addr == a;
-                                  });
-        if (found != e.slots.end()) {
+        Slot *found = nullptr;
+        for (std::uint32_t i = 0; i < e.count; ++i) {
+            if (slots[i].addr == a) {
+                found = &slots[i];
+                break;
+            }
+        }
+        if (found) {
             found->stamp = ++stampCounter_;
             found->gen = updateGen_;
             continue;
         }
-        if (e.slots.size() < cfg_.addrsPerEntry) {
-            e.slots.push_back({a, ++stampCounter_, updateGen_});
+        if (e.count < cfg_.addrsPerEntry) {
+            slots[e.count++] = {a, ++stampCounter_, updateGen_};
             continue;
         }
         // LRU-replace, but never a slot this update already wrote:
         // once every slot is fresh, remaining (younger-epoch)
         // addresses are dropped -- the paper's older-epoch priority.
         Slot *victim = nullptr;
-        for (Slot &s : e.slots) {
-            if (s.gen == updateGen_)
+        for (std::uint32_t i = 0; i < e.count; ++i) {
+            if (slots[i].gen == updateGen_)
                 continue;
-            if (!victim || s.stamp < victim->stamp)
-                victim = &s;
+            if (!victim || slots[i].stamp < victim->stamp)
+                victim = &slots[i];
         }
         if (!victim)
             break;
@@ -125,9 +166,10 @@ CorrelationTable::refreshLru(std::uint64_t index, Addr line_addr)
     Entry *e = entries_.find(index);
     if (!e)
         return false;
-    for (Slot &s : e->slots) {
-        if (s.addr == line_addr) {
-            s.stamp = ++stampCounter_;
+    Slot *slots = slotsOf(*e);
+    for (std::uint32_t i = 0; i < e->count; ++i) {
+        if (slots[i].addr == line_addr) {
+            slots[i].stamp = ++stampCounter_;
             ++lruRefreshes_;
             return true;
         }
@@ -139,6 +181,7 @@ void
 CorrelationTable::clear()
 {
     entries_.clear();
+    slotPool_.clear(); // keeps capacity; every block handle is dead
 }
 
 void
@@ -149,6 +192,11 @@ CorrelationTable::audit(AuditContext &ctx) const
               " resident entries in a ", cfg_.entries, "-entry table");
     const std::string mapErr = entries_.integrityError();
     ctx.check(mapErr.empty(), "host_map_intact", mapErr);
+    ctx.check(slotPool_.size() % cfg_.addrsPerEntry == 0,
+              "arena_block_aligned", "slot arena holds ",
+              slotPool_.size(), " slots, not a multiple of the ",
+              cfg_.addrsPerEntry, "-slot block size");
+    std::vector<std::uint32_t> bases;
     entries_.forEach([&](std::uint64_t idx, const Entry &e) {
         if (!ctx.check(idx < cfg_.entries, "index_in_range", "entry ",
                        idx, " outside a ", cfg_.entries, "-entry table"))
@@ -158,26 +206,48 @@ CorrelationTable::audit(AuditContext &ctx) const
                       "entry ", idx, " holds tag 0x", std::hex, e.tag,
                       std::dec, " which hashes to entry ",
                       indexOf(e.tag), " -- lookups can never hit it");
-        ctx.check(e.slots.size() <= cfg_.addrsPerEntry,
+        ctx.check(e.count <= cfg_.addrsPerEntry,
                   "slots_within_entry_cap", "entry ", idx, " holds ",
-                  e.slots.size(), " successor slots, cap is ",
+                  e.count, " successor slots, cap is ",
                   cfg_.addrsPerEntry);
-        for (std::size_t i = 0; i < e.slots.size(); ++i) {
-            ctx.check(e.slots[i].stamp <= stampCounter_,
+        if (e.base == kNoBlock) {
+            ctx.check(e.count == 0, "blockless_entry_empty", "entry ",
+                      idx, " counts ", e.count,
+                      " slots but owns no arena block");
+            return;
+        }
+        if (!ctx.check(e.base % cfg_.addrsPerEntry == 0 &&
+                           e.base + cfg_.addrsPerEntry <=
+                               slotPool_.size(),
+                       "block_within_arena", "entry ", idx,
+                       " block base ", e.base, " outside the ",
+                       slotPool_.size(), "-slot arena"))
+            return;
+        bases.push_back(e.base);
+        const Slot *slots = slotsOf(e);
+        const std::uint32_t n =
+            std::min<std::uint32_t>(e.count, cfg_.addrsPerEntry);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            ctx.check(slots[i].stamp <= stampCounter_,
                       "stamp_not_from_future", "entry ", idx, " slot ",
-                      i, " stamp ", e.slots[i].stamp,
+                      i, " stamp ", slots[i].stamp,
                       " exceeds counter ", stampCounter_);
-            ctx.check(e.slots[i].gen <= updateGen_,
+            ctx.check(slots[i].gen <= updateGen_,
                       "generation_not_from_future", "entry ", idx,
-                      " slot ", i, " generation ", e.slots[i].gen,
+                      " slot ", i, " generation ", slots[i].gen,
                       " exceeds counter ", updateGen_);
-            for (std::size_t j = i + 1; j < e.slots.size(); ++j)
-                ctx.check(e.slots[i].addr != e.slots[j].addr,
+            for (std::uint32_t j = i + 1; j < n; ++j)
+                ctx.check(slots[i].addr != slots[j].addr,
                           "no_duplicate_successors", "entry ", idx,
                           " records successor 0x", std::hex,
-                          e.slots[i].addr, std::dec, " twice");
+                          slots[i].addr, std::dec, " twice");
         }
     });
+    std::sort(bases.begin(), bases.end());
+    for (std::size_t i = 1; i < bases.size(); ++i)
+        ctx.check(bases[i] != bases[i - 1], "blocks_not_shared",
+                  "two entries own arena block ", bases[i],
+                  " -- updates to one corrupt the other");
 }
 
 void
@@ -189,21 +259,54 @@ CorrelationTable::corruptForTest()
     const std::uint64_t idx = (indexOf(tag) + 1) & (cfg_.entries - 1);
     Entry &e = entries_[idx];
     e.tag = tag;
-    if (e.slots.empty())
-        e.slots.push_back({0x1000, ++stampCounter_, updateGen_});
+    Slot *slots = slotsOf(e);
+    if (e.count == 0)
+        slots[e.count++] = {0x1000, ++stampCounter_, updateGen_};
 }
 
 
 void
 CorrelationTable::ckpt(ckpt::Archiver &ar)
 {
-    ckpt::ckptFlatMap(ar, entries_, [](ckpt::Archiver &a, Entry &e) {
+    // Arena block handles are host-run-local, so the checkpoint
+    // stores each entry's slots by value; restore re-carves blocks in
+    // insertion order. Handle values differ across save/restore but
+    // nothing observable depends on them (slot order within an entry
+    // is preserved exactly).
+    ckpt::ckptFlatMap(ar, entries_, [&](ckpt::Archiver &a, Entry &e) {
         a.u64(e.tag);
-        a.vec(e.slots, [](ckpt::Archiver &sa, Slot &sl) {
-            sa.u64(sl.addr);
-            sa.u64(sl.stamp);
-            sa.u64(sl.gen);
-        });
+        std::uint64_t n = e.count;
+        a.u64(n);
+        if (!a.ok())
+            return;
+        if (a.saving()) {
+            const Slot *slots = slotsOf(std::as_const(e));
+            for (std::uint64_t i = 0; i < n; ++i) {
+                Slot s = slots[i];
+                a.u64(s.addr);
+                a.u64(s.stamp);
+                a.u64(s.gen);
+            }
+        } else {
+            if (n > cfg_.addrsPerEntry) {
+                a.fail(corruptionError(
+                    "checkpoint correlation-table entry holds ", n,
+                    " slots but the configured cap is ",
+                    cfg_.addrsPerEntry));
+                return;
+            }
+            Slot *slots = n ? slotsOf(e) : nullptr;
+            for (std::uint64_t i = 0; i < n; ++i) {
+                Slot s;
+                a.u64(s.addr);
+                a.u64(s.stamp);
+                a.u64(s.gen);
+                if (!a.ok())
+                    return;
+                slots[i] = s;
+            }
+            e.count = static_cast<std::uint32_t>(n);
+        }
     });
     ar.u64(stampCounter_);
     ar.u64(updateGen_);

@@ -11,6 +11,15 @@
  * The simulator-host storage is a lazily populated hash map, so the
  * idealized 8M-entry / 32-address configuration costs memory only for
  * entries actually touched.
+ *
+ * Host layout is SoA: the hash map's payload is a small POD record
+ * (tag + arena block handle + live count) and every entry's successor
+ * slots live in a shared flat arena, carved into fixed
+ * addrsPerEntry-sized blocks that are allocated on first touch and
+ * recycled in place on tag reallocation. Lookups therefore touch one
+ * small map payload plus one contiguous slot block -- no per-entry
+ * vector headers, no scattered heap nodes, and zero steady-state
+ * allocation once the working set's blocks exist.
  */
 
 #ifndef EBCP_CORE_CORRELATION_TABLE_HH
@@ -127,15 +136,32 @@ class CorrelationTable
         std::uint64_t gen = 0; //!< update generation that wrote it
     };
 
+    /** Arena block handle of an entry that has no slots yet. */
+    static constexpr std::uint32_t kNoBlock = ~std::uint32_t{0};
+
+    /**
+     * Map payload: tag plus a handle into the shared slot arena. POD
+     * and 16 bytes, so the host map's SoA value array stays dense.
+     */
     struct Entry
     {
         Addr tag = InvalidAddr;
-        std::vector<Slot> slots;
+        std::uint32_t base = kNoBlock; //!< first slot in slotPool_
+        std::uint32_t count = 0;       //!< live slots at base
     };
+
+    /** Arena block of @p e, allocating one on first use. */
+    Slot *slotsOf(Entry &e);
+    const Slot *slotsOf(const Entry &e) const;
 
     CorrTableConfig cfg_;
     FlatMap<Entry> entries_;
-    std::vector<const Slot *> byStamp_; //!< lookup() sort scratch
+    /** Shared successor-slot arena: fixed addrsPerEntry-sized blocks,
+     * never individually freed (clear() resets the whole pool). */
+    std::vector<Slot> slotPool_;
+    //! lookup() MRU-sort scratch: (stamp, addr), allocation-free once
+    //! warmed
+    std::vector<std::pair<std::uint64_t, Addr>> byStamp_;
     std::uint64_t stampCounter_ = 0;
     std::uint64_t updateGen_ = 0;
 

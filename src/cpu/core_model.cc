@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "ckpt/containers.hh"
+#include "trace/decode_ahead.hh"
 #include "util/bitfield.hh"
 #include "verify/audit.hh"
 
@@ -209,13 +210,15 @@ CoreModel::run(TraceSource &src, std::uint64_t count)
 void
 CoreModel::runBounded(TraceSource &src, std::uint64_t count)
 {
-    // Pull records in batches so the source's virtual dispatch
-    // amortizes over kRunBatch instructions. Never over-pull: the
-    // last batch requests exactly the remaining count, so the source
-    // is left positioned as if records had been pulled one at a time
-    // (except after a watchdog trip, where the run is abandoned).
-    constexpr std::size_t kRunBatch = 64;
-    TraceRecord batch[kRunBatch];
+    // Records arrive through the decode-ahead pipe: trace decode runs
+    // ahead of the retirement loop (a producer thread on multi-core
+    // hosts, an inline chunk refill otherwise) and the loop reads the
+    // chunk memory directly -- no per-record copy. The pipe never
+    // over-pulls: over its lifetime it requests exactly `count`
+    // records, so the source is left positioned as if records had
+    // been pulled one at a time (except after a watchdog trip, where
+    // the run is abandoned).
+    DecodeAhead pipe(src, count);
     Tick prev_retire = lastRetire_;
     std::uint64_t remaining = count;
     // One clock read per run() call (and one more on a trip), never
@@ -223,9 +226,10 @@ CoreModel::runBounded(TraceSource &src, std::uint64_t count)
     // not slow the retirement loop.
     const auto wall_start = std::chrono::steady_clock::now();
     while (remaining > 0) {
-        const std::size_t want = static_cast<std::size_t>(
-            std::min<std::uint64_t>(kRunBatch, remaining));
-        const std::size_t got = src.nextBatch(batch, want);
+        const TraceRecord *batch = nullptr;
+        const std::size_t got = pipe.acquire(
+            &batch, static_cast<std::size_t>(std::min<std::uint64_t>(
+                        remaining, ~std::size_t{0})));
         for (std::size_t i = 0; i < got; ++i) {
 #if EBCP_AUDIT_ENABLED
             // Screen the raw record before it shapes any timing: a
@@ -254,9 +258,10 @@ CoreModel::runBounded(TraceSource &src, std::uint64_t count)
                 return;
 #endif
         }
+        pipe.consume(got);
         remaining -= got;
-        if (got < want)
-            return;
+        if (got == 0)
+            return; // the source ran dry
     }
 }
 

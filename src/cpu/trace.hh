@@ -125,6 +125,29 @@ class TraceSource
         return n;
     }
 
+    /**
+     * Zero-copy pull: a source that buffers decoded records
+     * contiguously can hand the consumer a span of that buffer
+     * instead of copying through nextBatch(). Pair every peekSpan()
+     * with a consumeSpan() of at most the returned length; the span
+     * stays valid until then. Sources answering false from
+     * spanSource() keep the default (never called by DecodeAhead).
+     */
+    virtual bool spanSource() const { return false; }
+
+    /** @return a span of at most @p max decoded records in *out, or 0
+     * at exhaustion. Only meaningful when spanSource() is true. */
+    virtual std::size_t
+    peekSpan(const TraceRecord **out, std::size_t max)
+    {
+        (void)out;
+        (void)max;
+        return 0;
+    }
+
+    /** Retire @p n records of the last peeked span. */
+    virtual void consumeSpan(std::size_t n) { (void)n; }
+
     /** Restart the source deterministically. */
     virtual void reset() = 0;
 

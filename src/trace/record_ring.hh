@@ -14,6 +14,7 @@
 #ifndef EBCP_TRACE_RECORD_RING_HH
 #define EBCP_TRACE_RECORD_RING_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -28,7 +29,8 @@ struct RingStats
 {
     std::uint64_t pushes = 0;
     std::uint64_t pops = 0;
-    std::uint64_t grows = 0; //!< capacity doublings (allocations)
+    std::uint64_t grows = 0;    //!< mid-run capacity doublings
+    std::uint64_t reserves = 0; //!< deliberate pre-sizing allocations
 };
 
 /**
@@ -85,6 +87,71 @@ class RecordRing
         head_ = (head_ + 1) & mask_;
         --size_;
         ++stats_.pops;
+    }
+
+    /**
+     * Copy the @p n oldest elements into @p out and drop them: one
+     * bounds check and at most two contiguous copies (the ring can
+     * wrap once), instead of n front()/popFront() round trips.
+     */
+    void
+    drainInto(T *out, std::size_t n)
+    {
+        panic_if(n > size_, "drainInto() past the RecordRing size");
+        const std::size_t cap = slots_.size();
+        const std::size_t first = std::min(n, cap - head_);
+        std::copy_n(slots_.data() + head_, first, out);
+        std::copy_n(slots_.data(), n - first, out + first);
+        head_ = (head_ + n) & mask_;
+        size_ -= n;
+        stats_.pops += n;
+    }
+
+    /**
+     * Expose the oldest elements in place: @p *out points at the
+     * first contiguous segment (the ring wraps at most once, so up to
+     * two calls see everything). Nothing is popped -- pair with
+     * popN() after the caller has consumed the span.
+     *
+     * @return the segment length (0 when empty).
+     */
+    std::size_t
+    frontSpan(const T **out) const
+    {
+        *out = slots_.data() + head_;
+        return std::min(size_, slots_.size() - head_);
+    }
+
+    /** Drop the @p n oldest elements without copying them out. */
+    void
+    popN(std::size_t n)
+    {
+        panic_if(n > size_, "popN() past the RecordRing size");
+        head_ = (head_ + n) & mask_;
+        size_ -= n;
+        stats_.pops += n;
+    }
+
+    /**
+     * Grow the slot array (power-of-two rounded) so @p n elements fit
+     * without a mid-run grow(); counted separately from grows so the
+     * steady-state zero-allocation assertions stay meaningful.
+     */
+    void
+    reserve(std::size_t n)
+    {
+        std::size_t cap = slots_.size();
+        while (cap < n)
+            cap <<= 1;
+        if (cap == slots_.size())
+            return;
+        std::vector<T> next(cap);
+        for (std::size_t i = 0; i < size_; ++i)
+            next[i] = slots_[(head_ + i) & mask_];
+        slots_ = std::move(next);
+        mask_ = cap - 1;
+        head_ = 0;
+        ++stats_.reserves;
     }
 
     /** Drop all elements; keeps the slot array (no deallocation). */

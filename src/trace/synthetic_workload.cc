@@ -14,6 +14,21 @@ SyntheticWorkload::SyntheticWorkload(const WorkloadConfig &cfg)
 {
     fatal_if(cfg.txnTypes == 0, "workload needs transaction types");
     buildTypes();
+    // Pre-size the record ring to an upper bound on one transaction's
+    // record count (the high-water mark: generateTransaction() fills a
+    // whole transaction whenever the buffer runs dry). Sized from the
+    // config's worst-case op shape so the measured phase performs zero
+    // ring growths -- the throughput bench and the steady-state
+    // allocation test both assert grows == 0.
+    const unsigned len_max =
+        std::max({cfg.chaseLenMax, cfg.btreeLevels + 1,
+                  cfg.scanLinesMax, 6u});
+    const unsigned fill_max = std::max(cfg.fillerInstsMax, 10u);
+    const std::size_t per_op =
+        static_cast<std::size_t>(len_max) * (fill_max + 2) + 32;
+    const std::size_t jitter_op =
+        2 * (static_cast<std::size_t>(fill_max) + 2) + 32;
+    buf_.reserve(cfg.opsPerTxnMax * (per_op + jitter_op) + 16);
     reset();
 }
 
@@ -97,36 +112,55 @@ SyntheticWorkload::next(TraceRecord &rec)
 }
 
 std::size_t
+SyntheticWorkload::peekSpan(const TraceRecord **out, std::size_t max)
+{
+    while (buf_.empty())
+        generateTransaction();
+    const std::size_t len = buf_.frontSpan(out);
+    return len < max ? len : max;
+}
+
+void
+SyntheticWorkload::consumeSpan(std::size_t n)
+{
+    buf_.popN(n);
+}
+
+std::size_t
 SyntheticWorkload::nextBatch(TraceRecord *out, std::size_t max)
 {
-    for (std::size_t n = 0; n < max; ++n) {
+    // Drain in ring-sized gulps: one bounds check and a bulk copy per
+    // buffered span instead of a front()/popFront() pair per record.
+    std::size_t n = 0;
+    while (n < max) {
         while (buf_.empty())
             generateTransaction();
-        out[n] = buf_.front();
-        buf_.popFront();
+        const std::size_t take = std::min(max - n, buf_.size());
+        buf_.drainInto(out + n, take);
+        n += take;
     }
     return max;
 }
 
 void
-SyntheticWorkload::push(const TraceRecord &rec)
+SyntheticWorkload::finishRecord(Addr pc)
 {
-    buf_.pushSlot() = rec;
     if (++sinceSerialize_ >= cfg_.serializeEvery) {
         sinceSerialize_ = 0;
-        TraceRecord s;
-        s.pc = rec.pc + 4;
+        TraceRecord &s = buf_.pushSlot();
+        s = TraceRecord{};
+        s.pc = pc + 4;
         s.op = OpClass::Serialize;
-        buf_.pushSlot() = s;
     }
 }
 
 void
 SyntheticWorkload::emitAlu()
 {
-    TraceRecord r;
-    r.pc = curPc_;
-    curPc_ += 4;
+    TraceRecord &r = beginRecord();
+    const Addr pc = curPc_;
+    r.pc = pc;
+    curPc_ = pc + 4;
     r.op = OpClass::IntAlu;
     // Filler is mostly a dependent chain: commercial codes run at
     // CPI_perf around 1.2 (Table 1), not at peak superscalar IPC.
@@ -135,20 +169,20 @@ SyntheticWorkload::emitAlu()
     r.srcReg1 = RegAlu0 + aluPlus(11);
     aluIdx_ = aluPlus(1);
     aluPhase_ = (aluPhase_ + 1) & 3;
-    push(r);
+    finishRecord(pc);
 }
 
 void
 SyntheticWorkload::emitBranch(Addr target, bool noisy)
 {
-    TraceRecord r;
-    r.pc = curPc_;
-    curPc_ += 4;
+    TraceRecord &r = beginRecord();
+    const Addr pc = curPc_;
+    r.pc = pc;
     r.op = OpClass::Branch;
     r.taken = noisy ? (rng_.next() & 1) : true;
     r.target = target;
     r.srcReg0 = RegAlu0 + aluPlus(23);
-    push(r);
+    finishRecord(pc);
     // Taken or not, the next instruction in the trace is at `target`
     // for block-end branches (target == fall-through block start).
     curPc_ = target;
@@ -193,13 +227,14 @@ SyntheticWorkload::emitDispatcherStep()
 void
 SyntheticWorkload::emitCall(Addr fn_base)
 {
-    TraceRecord r;
-    r.pc = dispatcherPc_;
+    TraceRecord &r = beginRecord();
+    const Addr pc = dispatcherPc_;
+    r.pc = pc;
     r.op = OpClass::Call;
     r.taken = true;
     r.target = fn_base;
-    push(r);
-    dispatcherPc_ += 4; // the RAS return point is call PC + 4
+    finishRecord(pc);
+    dispatcherPc_ = pc + 4; // the RAS return point is call PC + 4
 
     fnBase_ = fn_base;
     fnEnd_ = fn_base + cfg_.funcBytes;
@@ -210,26 +245,28 @@ SyntheticWorkload::emitCall(Addr fn_base)
 void
 SyntheticWorkload::emitReturn()
 {
-    TraceRecord r;
-    r.pc = curPc_;
+    TraceRecord &r = beginRecord();
+    const Addr pc = curPc_;
+    r.pc = pc;
     r.op = OpClass::Return;
     r.taken = true;
     r.target = dispatcherPc_; // matches the pushed call PC + 4
-    push(r);
+    finishRecord(pc);
     curPc_ = dispatcherPc_;
 }
 
 void
 SyntheticWorkload::emitLoad(Addr addr, std::uint8_t dst, std::uint8_t src)
 {
-    TraceRecord r;
-    r.pc = curPc_;
-    curPc_ += 4;
+    TraceRecord &r = beginRecord();
+    const Addr pc = curPc_;
+    r.pc = pc;
+    curPc_ = pc + 4;
     r.op = OpClass::Load;
     r.addr = addr;
     r.dstReg = dst;
     r.srcReg0 = src;
-    push(r);
+    finishRecord(pc);
     if (blockLeft_ > 0)
         --blockLeft_;
 }
@@ -237,14 +274,15 @@ SyntheticWorkload::emitLoad(Addr addr, std::uint8_t dst, std::uint8_t src)
 void
 SyntheticWorkload::emitStore(Addr addr, std::uint8_t src)
 {
-    TraceRecord r;
-    r.pc = curPc_;
-    curPc_ += 4;
+    TraceRecord &r = beginRecord();
+    const Addr pc = curPc_;
+    r.pc = pc;
+    curPc_ = pc + 4;
     r.op = OpClass::Store;
     r.addr = addr;
     r.srcReg0 = src;
     r.srcReg1 = RegAlu0 + aluPlus(5);
-    push(r);
+    finishRecord(pc);
     if (blockLeft_ > 0)
         --blockLeft_;
 }
@@ -289,16 +327,17 @@ SyntheticWorkload::emitOp(const OpDef &op, std::uint32_t key,
 
     // Address-generation ALU feeding the base register.
     {
-        TraceRecord r;
-        r.pc = curPc_;
-        curPc_ += 4;
+        TraceRecord &r = beginRecord();
+        const Addr pc = curPc_;
+        r.pc = pc;
+        curPc_ = pc + 4;
         r.op = OpClass::IntAlu;
         r.dstReg = RegBase;
         // The previous op's chased value feeds this op's address
         // computation (an OLTP transaction's serial spine); scans
         // then fan out in parallel underneath it.
         r.srcReg0 = RegChase;
-        push(r);
+        finishRecord(pc);
     }
 
     // Filler lengths are deterministic per (op slot, access index):
@@ -331,14 +370,16 @@ SyntheticWorkload::emitOp(const OpDef &op, std::uint32_t key,
             emitLoad(last_line, RegChase,
                      h == 0 ? RegBase : RegChase);
             // Loop back-branch: taken until the final hop.
-            TraceRecord br;
-            br.pc = curPc_;
+            TraceRecord &br = beginRecord();
+            const Addr pc = curPc_;
+            const bool taken = (h + 1 < op.len);
+            br.pc = pc;
             br.op = OpClass::Branch;
-            br.taken = (h + 1 < op.len);
+            br.taken = taken;
             br.target = loop_head;
             br.srcReg0 = RegChase;
-            push(br);
-            curPc_ = br.taken ? loop_head : br.pc + 4;
+            finishRecord(pc);
+            curPc_ = taken ? loop_head : pc + 4;
         }
         blockLeft_ = cfg_.blockInsts - 1;
         if (op.depBranch) {
@@ -346,15 +387,16 @@ SyntheticWorkload::emitOp(const OpDef &op, std::uint32_t key,
             // A branch consuming the chased value: if the chase
             // missed off-chip and this mispredicts, the window
             // terminates on it (Section 2.1).
-            TraceRecord r;
-            r.pc = curPc_;
-            curPc_ += 4;
+            TraceRecord &r = beginRecord();
+            const Addr pc = curPc_;
+            const Addr target = pc + 4 + 4;
+            r.pc = pc;
             r.op = OpClass::Branch;
             r.taken = rng_.chance(0.7);
-            r.target = curPc_ + 4;
+            r.target = target;
             r.srcReg0 = RegChase;
-            push(r);
-            curPc_ = r.target;
+            finishRecord(pc);
+            curPc_ = target;
         }
         break;
       }
@@ -387,27 +429,30 @@ SyntheticWorkload::emitOp(const OpDef &op, std::uint32_t key,
             if (++loadIdx_ == 12)
                 loadIdx_ = 0;
             emitLoad(last_line, last_dst, RegBase);
-            TraceRecord br;
-            br.pc = curPc_;
+            TraceRecord &br = beginRecord();
+            const Addr pc = curPc_;
+            const bool taken = (l + 1 < op.len);
+            br.pc = pc;
             br.op = OpClass::Branch;
-            br.taken = (l + 1 < op.len);
+            br.taken = taken;
             br.target = loop_head;
             br.srcReg0 = last_dst;
-            push(br);
-            curPc_ = br.taken ? loop_head : br.pc + 4;
+            finishRecord(pc);
+            curPc_ = taken ? loop_head : pc + 4;
         }
         blockLeft_ = cfg_.blockInsts - 1;
         // The scan's aggregate extends the serial spine, so the next
         // op's first access cannot overlap this scan (stable epoch
         // partitioning, like a query result feeding the next step).
         {
-            TraceRecord r;
-            r.pc = curPc_;
-            curPc_ += 4;
+            TraceRecord &r = beginRecord();
+            const Addr pc = curPc_;
+            r.pc = pc;
+            curPc_ = pc + 4;
             r.op = OpClass::IntAlu;
             r.dstReg = RegChase;
             r.srcReg0 = last_dst;
-            push(r);
+            finishRecord(pc);
         }
         break;
       }

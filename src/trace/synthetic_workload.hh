@@ -38,6 +38,15 @@ class SyntheticWorkload : public TraceSource
 
     bool next(TraceRecord &rec) override;
     std::size_t nextBatch(TraceRecord *out, std::size_t max) override;
+
+    // Zero-copy pull: the consumer reads the record ring in place (a
+    // whole transaction is buffered contiguously modulo one wrap), so
+    // the generate->consume path performs no per-record copies at all.
+    bool spanSource() const override { return true; }
+    std::size_t peekSpan(const TraceRecord **out,
+                         std::size_t max) override;
+    void consumeSpan(std::size_t n) override;
+
     void reset() override;
 
     /**
@@ -102,7 +111,20 @@ class SyntheticWorkload : public TraceSource
     void emitReturn();
     void emitLoad(Addr addr, std::uint8_t dst, std::uint8_t src);
     void emitStore(Addr addr, std::uint8_t src);
-    void push(const TraceRecord &rec);
+
+    /** Claim the next ring slot, reset to a default record. Fill it,
+     * then call finishRecord(pc) -- together they emit one record
+     * without an intermediate local copy. The reference dies at
+     * finishRecord(), which may push again (serializer injection). */
+    TraceRecord &
+    beginRecord()
+    {
+        TraceRecord &r = buf_.pushSlot();
+        r = TraceRecord{};
+        return r;
+    }
+
+    void finishRecord(Addr pc);
 
   public:
     /** Buffer traffic/allocation counters (throughput bench). */

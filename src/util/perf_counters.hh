@@ -8,14 +8,18 @@
  * simulator (host IPC flat, instructions up) or to the machine (IPC
  * down). Counter access is frequently unavailable -- containers,
  * perf_event_paranoid, non-Linux hosts -- so construction degrades
- * gracefully: available() turns false and every reading is zero, and
- * callers must treat the numbers as advisory.
+ * gracefully: available() turns false and the sample falls back to a
+ * CPU-time-based cycle estimate (getrusage thread time x the nominal
+ * frequency from /proc/cpuinfo) plus a structured reason string
+ * saying exactly why the hardware path is closed (syscall errno and
+ * the perf_event_paranoid setting), instead of a bare row of zeros.
  */
 
 #ifndef EBCP_UTIL_PERF_COUNTERS_HH
 #define EBCP_UTIL_PERF_COUNTERS_HH
 
 #include <cstdint>
+#include <string>
 
 namespace ebcp
 {
@@ -23,19 +27,26 @@ namespace ebcp
 /** One stopped measurement interval's counter deltas. */
 struct PerfSample
 {
-    bool available = false; //!< false: every field below is zero
+    bool available = false; //!< hardware counters backed this sample
+    bool estimated = false; //!< cycles estimated from CPU time
     std::uint64_t cycles = 0;
-    std::uint64_t instructions = 0;
+    std::uint64_t instructions = 0; //!< 0 when estimated: CPU time
+                                    //!< cannot honestly stand in for
+                                    //!< an instruction count
     std::uint64_t cacheMisses = 0;
     std::uint64_t branchMisses = 0;
+    double cpuSeconds = 0.0; //!< thread CPU time of the interval
+    std::string reason;      //!< why hardware counters are closed
+                             //!< (empty when available)
 
-    /** Host instructions per cycle (0 when unavailable). */
+    /** Host instructions per cycle (0 when not hardware-measured). */
     double
     ipc() const
     {
-        return cycles ? static_cast<double>(instructions) /
-                            static_cast<double>(cycles)
-                      : 0.0;
+        return cycles && available
+                   ? static_cast<double>(instructions) /
+                         static_cast<double>(cycles)
+                   : 0.0;
     }
 };
 
@@ -71,6 +82,9 @@ class PerfCounters
     int cacheMissesFd_ = -1;
     int branchMissesFd_ = -1;
     bool available_ = false;
+    std::string reason_;        //!< built once at construction
+    double nominalHz_ = 0.0;    //!< /proc/cpuinfo MHz (fallback path)
+    double startCpuSeconds_ = 0.0;
     PerfSample sample_;
 };
 

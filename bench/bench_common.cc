@@ -113,12 +113,31 @@ improvementRow(const std::string &workload,
     return out;
 }
 
+namespace
+{
+
+/** Sweep durability/telemetry knobs shared by every BenchSweep bench:
+ * "telemetry_out=PATH" streams per-run progress as CRC-tagged JSON
+ * lines, "metrics_out=PATH" keeps a Prometheus-style snapshot fresh
+ * while the sweep runs (see runner/telemetry.hh). */
+runner::SweepOptions
+sweepOptionsFromArgs(int argc, char **argv)
+{
+    ConfigStore cs = ConfigStore::fromArgs(argc, argv);
+    runner::SweepOptions opts;
+    opts.telemetryPath = cs.getString("telemetry_out", "");
+    opts.metricsPath = cs.getString("metrics_out", "");
+    return opts;
+}
+
+} // namespace
+
 BenchSweep::BenchSweep(int argc, char **argv)
     : scale_(resolveScale(argc, argv)),
       jobs_(resolveJobs(argc, argv)),
       statsJsonPath_(
           ConfigStore::fromArgs(argc, argv).getString("stats_json", "")),
-      runner_(jobs_)
+      runner_(jobs_, sweepOptionsFromArgs(argc, argv))
 {
     // The largest paper sweep (fig9) enqueues ~50 descriptors; each
     // RunDesc embeds a SimConfig, so reallocation during add() copies

@@ -19,6 +19,11 @@
  * execute(), the sweep's per-run SimResults are exported in the shared
  * "ebcp-stats-v1" schema (sim/stats_json.hh) and the artifact is
  * re-read and schema-validated before the bench continues.
+ *
+ * Likewise "telemetry_out=PATH" (per-run progress as CRC-tagged JSON
+ * lines) and "metrics_out=PATH" (a Prometheus-style snapshot kept
+ * fresh while the sweep runs) flow into the sweep engine's telemetry
+ * layer; see runner/telemetry.hh for the record contract.
  */
 
 #ifndef EBCP_BENCH_BENCH_COMMON_HH

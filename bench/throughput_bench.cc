@@ -30,6 +30,10 @@
  *                          aggregate thread-CPU-time overhead vs the
  *                          baseline exceeds the fraction F; 0
  *                          disables),
+ *       max_profiler_overhead=F (pair profiler-off/profiler-on runs
+ *                          the same way and fail if the self-profiler
+ *                          costs more than the fraction F; 0
+ *                          disables),
  *       json=PATH         (machine-readable report; default
  *                          BENCH_throughput.json, json= to disable),
  *       stats_json=PATH   (per-run SimResults in the shared
@@ -58,6 +62,7 @@
 #include "stats/table.hh"
 #include "util/json.hh"
 #include "util/perf_counters.hh"
+#include "util/profiler.hh"
 #include "util/str.hh"
 
 using namespace ebcp;
@@ -175,7 +180,9 @@ jsonRun(std::ostream &os, const RunReport &r)
        << (r.host.reason.empty()
                ? std::string("null")
                : "\"" + jsonEscape(r.host.reason) + "\"")
-       << "},\n"
+       << ", \"nominal_hz\": " << fmtDouble(r.host.nominalHz, 0)
+       << ", \"nominal_source\": \""
+       << jsonEscape(r.host.nominalSource) << "\"},\n"
        << "     \"mshr\": ";
     jsonMapStats(os, r.mshr);
     os << ",\n     \"corr_table\": ";
@@ -194,6 +201,23 @@ jsonRun(std::ostream &os, const RunReport &r)
        << "     \"useful_prefetches\": " << r.usefulPrefetches << "}";
 }
 
+/** The ebcp-stats-v1 "host_counters" object: how the host cycle
+ * numbers were obtained, or why they could not be. */
+std::string
+hostCountersJson(const PerfSample &h)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("available", h.available);
+    w.kv("estimated", h.estimated);
+    w.kv("reason", h.reason);
+    w.kv("nominal_source", h.nominalSource);
+    w.kv("nominal_hz", h.nominalHz);
+    w.endObject();
+    return os.str();
+}
+
 } // namespace
 
 int
@@ -202,7 +226,8 @@ main(int argc, char **argv)
     ConfigStore cs = ConfigStore::fromArgs(argc, argv);
     Status known = cs.checkKnownKeys({"warm", "measure", "jobs", "pf",
                                       "reps", "min_ips",
-                                      "max_ckpt_overhead", "json",
+                                      "max_ckpt_overhead",
+                                      "max_profiler_overhead", "json",
                                       "stats_json"});
     if (!known.ok()) {
         std::cerr << "error: " << known.toString() << "\n";
@@ -212,6 +237,8 @@ main(int argc, char **argv)
     const double min_ips = cs.getDouble("min_ips", 0.0);
     const double max_ckpt_overhead =
         cs.getDouble("max_ckpt_overhead", 0.0);
+    const double max_profiler_overhead =
+        cs.getDouble("max_profiler_overhead", 0.0);
     const std::string json_path =
         cs.getString("json", "BENCH_throughput.json");
     const std::string stats_json_path = cs.getString("stats_json", "");
@@ -235,11 +262,22 @@ main(int argc, char **argv)
     std::vector<RunReport> reports;
     double armed_sum = 0.0;
     double base_cpu_sum = 0.0;
+    double prof_armed_sum = 0.0;
+    double prof_base_sum = 0.0;
+    const auto median = [](std::vector<double> v) {
+        if (v.empty())
+            return 1.0;
+        std::sort(v.begin(), v.end());
+        const std::size_t n = v.size();
+        return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+    };
     for (const auto &w : workloadNames())
         for (const auto &pf : pfs) {
             RunReport best;
             std::vector<double> ratios;
+            std::vector<double> prof_ratios;
             double base_cpu_best = 0.0;
+            double prof_base_best = 0.0;
             for (std::uint64_t rep = 0; rep < reps; ++rep) {
                 RunReport r = measureRun(w, pf, scale);
                 const double base_cpu = r.host.cpuSeconds > 0.0
@@ -257,17 +295,33 @@ main(int argc, char **argv)
                     ratios.push_back(base_cpu > 0.0 ? cpu / base_cpu
                                                     : 1.0);
                 }
+                if (max_profiler_overhead > 0.0) {
+                    // Same paired back-to-back discipline as the
+                    // checkpoint gate, with the profiler runtime
+                    // switch as the armed/base axis.
+                    prof::setEnabled(false);
+                    prof::resetThisThread();
+                    const RunReport off = measureRun(w, pf, scale);
+                    prof::setEnabled(true);
+                    prof::resetThisThread();
+                    const RunReport on = measureRun(w, pf, scale);
+                    const double cpu_off = off.host.cpuSeconds > 0.0
+                                               ? off.host.cpuSeconds
+                                               : off.seconds;
+                    const double cpu_on = on.host.cpuSeconds > 0.0
+                                              ? on.host.cpuSeconds
+                                              : on.seconds;
+                    if (prof_ratios.empty() ||
+                        cpu_off < prof_base_best)
+                        prof_base_best = cpu_off;
+                    prof_ratios.push_back(
+                        cpu_off > 0.0 ? cpu_on / cpu_off : 1.0);
+                }
             }
-            double ratio_med = 1.0;
-            if (!ratios.empty()) {
-                std::sort(ratios.begin(), ratios.end());
-                const std::size_t n = ratios.size();
-                ratio_med = n % 2 ? ratios[n / 2]
-                                  : 0.5 * (ratios[n / 2 - 1] +
-                                           ratios[n / 2]);
-            }
-            armed_sum += base_cpu_best * ratio_med;
+            armed_sum += base_cpu_best * median(ratios);
             base_cpu_sum += base_cpu_best;
+            prof_armed_sum += prof_base_best * median(prof_ratios);
+            prof_base_sum += prof_base_best;
             std::cout << "  " << w << "/" << pf << ": "
                       << fmtDouble(best.instsPerSec / 1e6, 2)
                       << "M insts/s (" << fmtDouble(best.seconds, 2)
@@ -302,8 +356,15 @@ main(int argc, char **argv)
                   << "; insts/sec is wall-clock based and "
                      "unaffected)\n";
         if (h.estimated)
-            std::cout << "(host cycles are CPU-time estimates; host "
-                         "instructions/IPC stay unreported)\n";
+            std::cout << "(host cycles are CPU-time estimates at "
+                      << fmtDouble(h.nominalHz / 1e9, 2)
+                      << " GHz nominal, frequency from "
+                      << h.nominalSource
+                      << "; host instructions/IPC stay unreported)\n";
+        else
+            std::cout << "(no nominal frequency source: "
+                      << h.nominalSource
+                      << "; host cycles stay unreported)\n";
     }
 
     // Unused-checkpoint overhead: aggregate best-of-reps *CPU* time of
@@ -326,6 +387,20 @@ main(int argc, char **argv)
                   << fmtDouble(armed_sum, 3) << "s)\n";
     }
 
+    double prof_overhead = 0.0;
+    bool measured_prof_overhead = false;
+    if (max_profiler_overhead > 0.0) {
+        prof_overhead = prof_base_sum > 0.0
+                            ? (prof_armed_sum - prof_base_sum) /
+                                  prof_base_sum
+                            : 0.0;
+        measured_prof_overhead = true;
+        std::cout << "self-profiler overhead (enabled vs disabled): "
+                  << fmtDouble(prof_overhead * 100.0, 2) << "% ("
+                  << fmtDouble(prof_base_sum, 3) << "s -> "
+                  << fmtDouble(prof_armed_sum, 3) << "s)\n";
+    }
+
     if (!json_path.empty()) {
         std::ostringstream os;
         os << "{\n  \"bench\": \"throughput\",\n"
@@ -337,6 +412,11 @@ main(int argc, char **argv)
                                  : std::string("null"))
            << ",\n  \"max_ckpt_overhead\": "
            << fmtDouble(max_ckpt_overhead, 4)
+           << ",\n  \"profiler_overhead\": "
+           << (measured_prof_overhead ? fmtDouble(prof_overhead, 4)
+                                      : std::string("null"))
+           << ",\n  \"max_profiler_overhead\": "
+           << fmtDouble(max_profiler_overhead, 4)
            << ",\n  \"runs\": [\n";
         for (std::size_t i = 0; i < reports.size(); ++i) {
             jsonRun(os, reports[i]);
@@ -376,7 +456,10 @@ main(int argc, char **argv)
             writeSimResultsJson(w, r.results);
             w.endObject();
         }
-        endStatsJson(w);
+        endStatsJson(w, {}, {}, prof::profileJsonString(),
+                     reports.empty()
+                         ? std::string()
+                         : hostCountersJson(reports.front().host));
 
         std::ofstream out(stats_json_path);
         if (!out) {
@@ -402,6 +485,15 @@ main(int argc, char **argv)
                   << fmtDouble(ckpt_overhead * 100.0, 2)
                   << "% when unused, above the "
                   << fmtDouble(max_ckpt_overhead * 100.0, 2)
+                  << "% budget\n";
+        return 1;
+    }
+    if (measured_prof_overhead &&
+        prof_overhead > max_profiler_overhead) {
+        std::cerr << "FAIL: self-profiler costs "
+                  << fmtDouble(prof_overhead * 100.0, 2)
+                  << "% when enabled, above the "
+                  << fmtDouble(max_profiler_overhead * 100.0, 2)
                   << "% budget\n";
         return 1;
     }

@@ -24,11 +24,13 @@
  * must not silently run the defaults. Run with help=1 for the list.
  */
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "ckpt/checkpoint.hh"
+#include "runner/telemetry.hh"
 #include "sim/cmp_system.hh"
 #include "sim/simulator.hh"
 #include "sim/stats_json.hh"
@@ -39,6 +41,7 @@
 #include "util/config.hh"
 #include "util/event_trace.hh"
 #include "util/logging.hh"
+#include "util/profiler.hh"
 
 using namespace ebcp;
 
@@ -143,7 +146,20 @@ printHelp()
         "                      watchdog diagnostics on stalls)\n"
         "  interval=N          snapshot statistics every N measured\n"
         "                      insts; the series lands in stats_json's\n"
-        "                      \"intervals\" member (single-core only)\n";
+        "                      \"intervals\" member (single-core only).\n"
+        "                      With trace_out= it also drives counter\n"
+        "                      tracks (MSHR / prefetch-buffer / table\n"
+        "                      occupancy, per-source accuracy)\n"
+        "  profile=0|1         hierarchical self-profiler (default 1);\n"
+        "                      the phase tree lands in stats_json's\n"
+        "                      \"profile\" member and as flame spans in\n"
+        "                      trace_out\n"
+        "  telemetry_out=PATH  stream run progress as CRC-tagged JSON\n"
+        "                      lines (the sweep engine's telemetry\n"
+        "                      record contract, with this run as a\n"
+        "                      one-descriptor sweep)\n"
+        "  metrics_out=PATH    Prometheus-style text metrics snapshot,\n"
+        "                      atomically rewritten at completion\n";
 }
 
 const std::vector<std::string> &
@@ -159,7 +175,8 @@ knownKeys()
         "faults",      "fault_seed",  "fault_rate",   "stall_after",
         "trace_policy","watchdog",    "trace_out",    "stats_json",
         "interval",    "audit",       "audit_policy", "save_ckpt",
-        "restore_ckpt","ckpt_policy",
+        "restore_ckpt","ckpt_policy", "profile",      "telemetry_out",
+        "metrics_out",
     };
     return keys;
 }
@@ -201,7 +218,8 @@ exportStatsDoc(const std::string &path, EmitRuns &&emit,
     JsonWriter w(ss);
     beginStatsJson(w, "ebcp_cli");
     emit(w);
-    endStatsJson(w, diagnostic_raw, audit_raw);
+    endStatsJson(w, diagnostic_raw, audit_raw,
+                 prof::profileJsonString());
     if (Status s = writeTextFile(path, ss.str()); !s.ok())
         return s;
     return validateStatsJsonFile(path);
@@ -220,8 +238,11 @@ printAuditSummary(const Auditor *aud)
 }
 
 int
-exportTrace(const TraceLog &tlog, const std::string &path)
+exportTrace(TraceLog &tlog, const std::string &path)
 {
+    // The self-profiler's phase tree rides along as a flame on its
+    // own process row, next to the simulated timeline.
+    prof::exportProfileSpans(tlog);
     if (Status s = tlog.exportChromeJson(path); !s.ok())
         return fail(s);
     std::cout << "  wrote " << path << " (" << tlog.totalEvents()
@@ -229,6 +250,115 @@ exportTrace(const TraceLog &tlog, const std::string &path)
               << " dropped, validated)\n";
     return 0;
 }
+
+/**
+ * Single-run telemetry: the CLI speaks the sweep engine's record
+ * contract, modelling itself as a one-descriptor sweep, so the same
+ * consumers (tail -f, the metrics scraper) work on both.
+ */
+struct CliTelemetry
+{
+    std::unique_ptr<runner::TelemetryStream> stream;
+    std::string metricsPath;
+    std::string label;
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+    bool finished = false;
+
+    void
+    open(const std::string &telemetry_path,
+         const std::string &metrics_path, const std::string &run_label)
+    {
+        metricsPath = metrics_path;
+        label = run_label;
+        if (!telemetry_path.empty()) {
+            stream = std::make_unique<runner::TelemetryStream>(
+                telemetry_path);
+            if (!stream->openStatus().ok()) {
+                warn("telemetry disabled: ",
+                     stream->openStatus().toString());
+                stream.reset();
+            }
+        }
+        if (!stream)
+            return;
+        stream->emitDeterministic("sweep_begin",
+                                  "{\"runs\":1,\"resumed\":0}");
+        stream->emitLive("run_state", stateJson("running"));
+    }
+
+    std::string
+    stateJson(const char *state) const
+    {
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.beginObject();
+        w.kv("label", label);
+        w.kv("state", state);
+        w.endObject();
+        return os.str();
+    }
+
+    void
+    finish(const Status &s, std::uint64_t insts)
+    {
+        if (finished)
+            return;
+        finished = true;
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (stream) {
+            std::ostringstream os;
+            JsonWriter w(os);
+            w.beginObject();
+            w.kv("index", std::uint64_t(0));
+            w.kv("label", label);
+            w.kv("state", s.ok() ? "done" : "failed");
+            w.kv("ok", s.ok());
+            w.kv("code", statusCodeName(s.code()));
+            w.kv("attempts", 1u);
+            w.kv("from_journal", false);
+            w.kv("warm_forked", false);
+            w.kv("cold_fallback", false);
+            w.kv("insts", s.ok() ? insts : 0);
+            w.endObject();
+            stream->emitDeterministic("run_state", os.str());
+            std::ostringstream es;
+            JsonWriter ew(es);
+            ew.beginObject();
+            ew.kv("runs", std::uint64_t(1));
+            ew.kv("completed", std::uint64_t(s.ok() ? 1 : 0));
+            ew.kv("failed", std::uint64_t(s.ok() ? 0 : 1));
+            ew.kv("measured_insts", s.ok() ? insts : 0);
+            ew.kv("resumed", std::uint64_t(0));
+            ew.kv("retries", std::uint64_t(0));
+            ew.kv("warm_builds", std::uint64_t(0));
+            ew.kv("warm_forks", std::uint64_t(0));
+            ew.kv("cold_fallbacks", std::uint64_t(0));
+            ew.endObject();
+            stream->emitDeterministic("sweep_end", es.str());
+        }
+        if (!metricsPath.empty()) {
+            runner::MetricsSnapshot m;
+            m.runsTotal = 1;
+            m.completed = s.ok() ? 1 : 0;
+            m.failed = s.ok() ? 0 : 1;
+            m.measuredInsts = s.ok() ? insts : 0;
+            m.jobs = 1;
+            m.elapsedSeconds = elapsed;
+            m.instsPerSec =
+                elapsed > 0.0 && s.ok()
+                    ? static_cast<double>(insts) / elapsed
+                    : 0.0;
+            m.done = true;
+            Status ms = runner::writeMetricsSnapshot(metricsPath, m);
+            if (!ms.ok())
+                warn("metrics snapshot failed: ", ms.toString());
+        }
+    }
+};
 
 } // namespace
 
@@ -284,6 +414,10 @@ main(int argc, char **argv)
     const std::string trace_out = cs.getString("trace_out", "");
     const std::string stats_json_path = cs.getString("stats_json", "");
     const std::uint64_t interval = cs.getU64("interval", 0);
+    const std::string telemetry_out = cs.getString("telemetry_out", "");
+    const std::string metrics_out = cs.getString("metrics_out", "");
+    prof::setEnabled(cs.getBool("profile", true));
+    CliTelemetry telem;
 
     const std::string save_ckpt = cs.getString("save_ckpt", "");
     const std::string restore_ckpt = cs.getString("restore_ckpt", "");
@@ -355,6 +489,9 @@ main(int argc, char **argv)
                 "configurations"));
         const std::string workload =
             cs.getString("workload", "database");
+        telem.open(telemetry_out, metrics_out,
+                   workload + "/" + pf.name + "/cmp" +
+                       std::to_string(cores));
 
         CmpSystem sys(cfg, pf, cores);
         if (Status s = sys.configureAudit(audit_opts); !s.ok())
@@ -388,9 +525,11 @@ main(int argc, char **argv)
             }
             if (!trace_out.empty())
                 exportTrace(tlog, trace_out);
+            telem.finish(res.status(), 0);
             return fail(res.status());
         }
         CmpResults r = res.take();
+        telem.finish(Status(), foldCmpResults(r).insts);
         std::cout << cores << "-core '" << workload << "' with "
                   << pf.name << ":\n  aggregate CPI "
                   << r.aggregateCpi << ", coverage "
@@ -457,6 +596,7 @@ main(int argc, char **argv)
             *src, cfg.faults);
         run_src = injector.get();
     }
+    telem.open(telemetry_out, metrics_out, source_name + "/" + pf.name);
 
     TraceLog tlog;
     std::unique_ptr<IntervalSampler> sampler;
@@ -526,9 +666,11 @@ main(int argc, char **argv)
         }
         if (!trace_out.empty())
             exportTrace(tlog, trace_out);
+        telem.finish(res.status(), 0);
         return fail(res.status());
     }
     SimResults r = res.take();
+    telem.finish(Status(), r.insts);
 
     std::cout << "'" << source_name << "' with " << pf.name << ":\n"
               << "  CPI " << r.cpi << "\n"

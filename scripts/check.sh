@@ -20,7 +20,13 @@
 #   6. -DEBCP_NO_SIMD=ON build (the portable scalar-bitmask probe
 #      fallback of the group-probed hash core) re-running the golden
 #      SimResults and FlatMap suites, so both probe paths stay
-#      bit-exact and green.
+#      bit-exact and green;
+#   7. -DEBCP_PROFILER=OFF build (EBCP_PROFILE_SCOPE compiles to
+#      nothing) re-running the golden SimResults suite plus the
+#      profiler and telemetry contracts, proving the self-profiler
+#      never touches simulated state -- goldens stay bit-exact with
+#      the scopes compiled away -- and that the "profile" stats object
+#      and telemetry stream keep their schema in the disabled build.
 #
 # Set EBCP_CHECK_PGO=1 for an extra opt-in stage: a
 # -fprofile-generate build trained on bench/throughput_bench, then a
@@ -46,19 +52,19 @@ run_ctest() {
     ctest --test-dir "$1" --output-on-failure -j "${JOBS}" "${@:2}"
 }
 
-stage "1/6 release build + lint + tests"
+stage "1/7 release build + lint + tests"
 cmake -B build-check -DEBCP_WERROR=ON >/dev/null
 cmake --build build-check -j "${JOBS}"
 cmake --build build-check --target lint
 run_ctest build-check
 
-stage "2/6 address+undefined sanitizers"
+stage "2/7 address+undefined sanitizers"
 cmake -B build-check-asan -DEBCP_SANITIZE="address;undefined" \
       -DCMAKE_BUILD_TYPE=Debug >/dev/null
 cmake --build build-check-asan -j "${JOBS}"
 run_ctest build-check-asan
 
-stage "3/6 thread sanitizer (parallel sweep determinism)"
+stage "3/7 thread sanitizer (parallel sweep determinism)"
 cmake -B build-check-tsan -DEBCP_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=Debug >/dev/null
 cmake --build build-check-tsan --target test_runner test_composite \
@@ -66,23 +72,29 @@ cmake --build build-check-tsan --target test_runner test_composite \
 run_ctest build-check-tsan \
     -R 'sweep_determinism|SweepDeterminism|composite_determinism|CompositeDeterminism'
 
-stage "4/6 -DEBCP_AUDIT=OFF build + tests"
+stage "4/7 -DEBCP_AUDIT=OFF build + tests"
 cmake -B build-check-noaudit -DEBCP_AUDIT=OFF >/dev/null
 cmake --build build-check-noaudit -j "${JOBS}"
 run_ctest build-check-noaudit
 
-stage "5/6 checkpoint gates (ASan/UBSan) + format-version lint"
+stage "5/7 checkpoint gates (ASan/UBSan) + format-version lint"
 # The sanitizer build from stage 2 already exists; re-run the two
 # checkpoint gates by name so a crash-safety regression is reported
 # as its own stage, not buried in a 500-entry suite.
 run_ctest build-check-asan -R '^ckpt_roundtrip$|^ckpt_corruption_corpus$'
 scripts/ckpt_lint.sh
 
-stage "6/6 scalar probe fallback (-DEBCP_NO_SIMD=ON): goldens + FlatMap"
+stage "6/7 scalar probe fallback (-DEBCP_NO_SIMD=ON): goldens + FlatMap"
 cmake -B build-check-nosimd -DEBCP_NO_SIMD=ON >/dev/null
 cmake --build build-check-nosimd --target test_golden_results \
       test_flat_map -j "${JOBS}"
 run_ctest build-check-nosimd -R 'GoldenResults|FlatMap'
+
+stage "7/7 profiler compiled away (-DEBCP_PROFILER=OFF): goldens bit-exact"
+cmake -B build-check-noprof -DEBCP_PROFILER=OFF >/dev/null
+cmake --build build-check-noprof --target test_golden_results \
+      test_profiler test_telemetry -j "${JOBS}"
+run_ctest build-check-noprof -R 'GoldenResults|Profiler|Telemetry'
 
 if [[ "${EBCP_CHECK_PGO:-0}" == "1" ]]; then
     stage "opt-in PGO: instrument, train on throughput_bench, rebuild"

@@ -6,6 +6,7 @@
 #include "ckpt/containers.hh"
 #include "trace/decode_ahead.hh"
 #include "util/bitfield.hh"
+#include "util/profiler.hh"
 #include "verify/audit.hh"
 
 namespace ebcp
@@ -174,6 +175,7 @@ CoreModel::process(const TraceRecord &rec)
 void
 CoreModel::run(TraceSource &src, std::uint64_t count)
 {
+    EBCP_PROFILE_SCOPE(CoreLoop);
     if (!wallDeadlineArmed_) {
         runBounded(src, count);
         return;

@@ -59,6 +59,16 @@ class Channel
     /** Cumulative busy ticks (for utilization reporting). */
     Tick busyTicks() const { return busyTicks_; }
 
+    /** Outstanding backlog at @p now: how far the all-traffic horizon
+     * sits past the present, in ticks. The channel is a horizon model
+     * with no literal request queue, so this is its honest
+     * "queue depth" -- 0 when the bus would grant immediately. */
+    Tick
+    backlogTicks(Tick now) const
+    {
+        return lowFree_ > now ? lowFree_ - now : 0;
+    }
+
     /** Change the raw bandwidth (used by bandwidth-sweep experiments). */
     void setBandwidth(double bytes_per_tick);
 

@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "runner/journal.hh"
+#include "runner/telemetry.hh"
 #include "sim/ckpt_io.hh"
 #include "sim/cmp_system.hh"
 #include "sim/simulator.hh"
@@ -161,10 +164,24 @@ struct ExecContext
     std::atomic<std::uint64_t> *warmBuilds = nullptr;
     std::atomic<std::uint64_t> *warmForks = nullptr;
     std::atomic<std::uint64_t> *coldFallbacks = nullptr;
+    TelemetryStream *telemetry = nullptr; //!< null = no streaming
     bool corruptWarm = false;
     CkptFaultKind corruptKind = CkptFaultKind::CrcFlip;
     std::uint64_t corruptSeed = 1;
 };
+
+/** Rendered `data` object of a live run_state record. */
+std::string
+liveRunStateJson(const RunDesc &d, const char *state)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("label", runLabel(d));
+    w.kv("state", state);
+    w.endObject();
+    return os.str();
+}
 
 void
 armDeadline(CoreModel &core, double seconds)
@@ -265,6 +282,9 @@ executeWarmSingle(const RunDesc &d, const ExecContext &ctx)
 {
     WarmEntry &entry = ctx.warm->entry(warmFingerprint(d));
     std::call_once(entry.once, [&] {
+        if (ctx.telemetry)
+            ctx.telemetry->emitLive(
+                "run_state", liveRunStateJson(d, "warm-building"));
         SingleSource ws = buildSingleSource(d);
         if (!ws.status.ok()) {
             entry.status = ws.status;
@@ -332,6 +352,9 @@ executeWarmSingle(const RunDesc &d, const ExecContext &ctx)
     out.warmForked = true;
     if (ctx.warmForks)
         ctx.warmForks->fetch_add(1, std::memory_order_relaxed);
+    if (ctx.telemetry)
+        ctx.telemetry->emitLive("run_state",
+                                liveRunStateJson(d, "warm-forked"));
     StatusOr<SimResults> r = sim.runMeasure(*ss.source, d.scale.measure);
     if (!r.ok()) {
         out.status = timeoutContext(r.status(), sim.core(),
@@ -465,6 +488,90 @@ SweepRunner::run(const std::vector<RunDesc> &descs)
         }
     }
 
+    std::unique_ptr<TelemetryStream> telemetry;
+    if (!opts_.telemetryPath.empty()) {
+        telemetry =
+            std::make_unique<TelemetryStream>(opts_.telemetryPath);
+        if (!telemetry->openStatus().ok()) {
+            // Telemetry must never fail the sweep: an unopenable
+            // stream degrades to none, with one structured warning.
+            warn("sweep telemetry disabled: ",
+                 telemetry->openStatus().toString());
+            telemetry.reset();
+        }
+    }
+
+    // Live progress counters, shared with the heartbeat thread and
+    // seeded with the journal-replayed results.
+    std::atomic<std::uint64_t> liveCompleted{0}, liveFailed{0},
+        liveInsts{0};
+    for (std::size_t i = 0; i < descs.size(); ++i) {
+        if (todo[i])
+            continue;
+        if (results[i].ok()) {
+            liveCompleted.fetch_add(1, std::memory_order_relaxed);
+            liveInsts.fetch_add(results[i].results.insts,
+                                std::memory_order_relaxed);
+        } else {
+            liveFailed.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    // Deterministic records: sweep_begin, then one terminal run_state
+    // per descriptor in submission order. Finished runs park in a
+    // reorder buffer until every earlier descriptor has reported, so
+    // the deterministic subsequence is byte-identical at any jobs=N
+    // (pinned by tests/test_telemetry.cc).
+    std::mutex detMu;
+    std::vector<std::string> detSlot(descs.size());
+    std::vector<char> detReady(descs.size(), 0);
+    std::size_t detNext = 0;
+    auto terminalRunStateJson = [&](std::size_t i, const RunResult &r) {
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.beginObject();
+        w.kv("index", static_cast<std::uint64_t>(i));
+        w.kv("label", runLabel(descs[i]));
+        w.kv("state", r.ok() ? "done" : "failed");
+        w.kv("ok", r.ok());
+        w.kv("code", statusCodeName(r.status.code()));
+        w.kv("attempts", r.attempts);
+        w.kv("from_journal", r.fromJournal);
+        w.kv("warm_forked", r.warmForked);
+        w.kv("cold_fallback", r.coldFallback);
+        w.kv("insts", r.ok() ? r.results.insts : std::uint64_t(0));
+        w.endObject();
+        return os.str();
+    };
+    auto emitTerminal = [&](std::size_t i, const RunResult &r) {
+        if (!telemetry)
+            return;
+        std::lock_guard<std::mutex> lock(detMu);
+        detSlot[i] = terminalRunStateJson(i, r);
+        detReady[i] = 1;
+        while (detNext < detReady.size() && detReady[detNext]) {
+            telemetry->emitDeterministic("run_state", detSlot[detNext]);
+            detSlot[detNext].clear();
+            ++detNext;
+        }
+    };
+    if (telemetry) {
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.beginObject();
+        w.kv("runs", static_cast<std::uint64_t>(descs.size()));
+        w.kv("resumed", static_cast<std::uint64_t>(resumed));
+        w.endObject();
+        telemetry->emitDeterministic("sweep_begin", os.str());
+        for (std::size_t i = 0; i < descs.size(); ++i)
+            if (todo[i])
+                telemetry->emitLive(
+                    "run_state", liveRunStateJson(descs[i], "queued"));
+        for (std::size_t i = 0; i < descs.size(); ++i)
+            if (!todo[i])
+                emitTerminal(i, results[i]);
+    }
+
     WarmCache warm;
     std::atomic<std::uint64_t> retries{0}, backoffMs{0}, warmBuilds{0},
         warmForks{0}, coldFallbacks{0};
@@ -474,6 +581,7 @@ SweepRunner::run(const std::vector<RunDesc> &descs)
     ctx.warmBuilds = &warmBuilds;
     ctx.warmForks = &warmForks;
     ctx.coldFallbacks = &coldFallbacks;
+    ctx.telemetry = telemetry.get();
     ctx.corruptWarm = corruptWarm_;
     ctx.corruptKind = corruptKind_;
     ctx.corruptSeed = corruptSeed_;
@@ -483,6 +591,11 @@ SweepRunner::run(const std::vector<RunDesc> &descs)
         const RunDesc &d = descs[i];
         RunResult out;
         for (unsigned attempt = 1;; ++attempt) {
+            if (ctx.telemetry)
+                ctx.telemetry->emitLive(
+                    "run_state",
+                    liveRunStateJson(d, attempt > 1 ? "retrying"
+                                                    : "running"));
             out = executeRunCtx(d, ctx);
             out.attempts = attempt;
             if (out.ok() || attempt >= max_attempts ||
@@ -497,6 +610,14 @@ SweepRunner::run(const std::vector<RunDesc> &descs)
                     std::chrono::milliseconds(delay));
         }
         results[i] = out;
+        if (out.ok()) {
+            liveCompleted.fetch_add(1, std::memory_order_relaxed);
+            liveInsts.fetch_add(out.results.insts,
+                                std::memory_order_relaxed);
+        } else {
+            liveFailed.fetch_add(1, std::memory_order_relaxed);
+        }
+        emitTerminal(i, out);
         if (journal) {
             JournalRecord rec;
             rec.key = keys[i];
@@ -514,6 +635,80 @@ SweepRunner::run(const std::vector<RunDesc> &descs)
 
     const unsigned workers = static_cast<unsigned>(
         std::min<std::size_t>(jobs_, descs.size()));
+
+    auto snapshotNow = [&](bool done) {
+        MetricsSnapshot m;
+        m.runsTotal = descs.size();
+        m.completed = liveCompleted.load(std::memory_order_relaxed);
+        m.failed = liveFailed.load(std::memory_order_relaxed);
+        m.measuredInsts = liveInsts.load(std::memory_order_relaxed);
+        m.retries = retries.load(std::memory_order_relaxed);
+        m.warmBuilds = warmBuilds.load(std::memory_order_relaxed);
+        m.warmForks = warmForks.load(std::memory_order_relaxed);
+        m.coldFallbacks =
+            coldFallbacks.load(std::memory_order_relaxed);
+        m.resumed = resumed;
+        m.jobs = workers ? workers : 1;
+        m.elapsedSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        m.instsPerSec = m.elapsedSeconds > 0.0
+                            ? static_cast<double>(m.measuredInsts) /
+                                  m.elapsedSeconds
+                            : 0.0;
+        m.done = done;
+        return m;
+    };
+    auto heartbeatJson = [&](const MetricsSnapshot &m) {
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.beginObject();
+        w.kv("runs", m.runsTotal);
+        w.kv("completed", m.completed);
+        w.kv("failed", m.failed);
+        w.kv("measured_insts", m.measuredInsts);
+        w.kv("insts_per_sec", m.instsPerSec);
+        w.kv("elapsed_seconds", m.elapsedSeconds);
+        // Naive proportional ETA: wrong early, honest late -- and
+        // never pretends precision it does not have.
+        const std::uint64_t finished = m.completed + m.failed;
+        const std::uint64_t remaining =
+            m.runsTotal - std::min(m.runsTotal, finished);
+        w.kv("eta_seconds",
+             finished > 0 ? m.elapsedSeconds *
+                                static_cast<double>(remaining) /
+                                static_cast<double>(finished)
+                          : 0.0);
+        w.endObject();
+        return os.str();
+    };
+
+    std::thread heartbeat;
+    std::mutex hbMu;
+    std::condition_variable hbCv;
+    bool hbStop = false;
+    if (opts_.heartbeatSeconds > 0.0 &&
+        (telemetry || !opts_.metricsPath.empty())) {
+        heartbeat = std::thread([&] {
+            std::unique_lock<std::mutex> lock(hbMu);
+            while (!hbCv.wait_for(
+                lock,
+                std::chrono::duration<double>(opts_.heartbeatSeconds),
+                [&] { return hbStop; })) {
+                const MetricsSnapshot m = snapshotNow(false);
+                if (telemetry)
+                    telemetry->emitLive("heartbeat", heartbeatJson(m));
+                if (!opts_.metricsPath.empty()) {
+                    Status ms =
+                        writeMetricsSnapshot(opts_.metricsPath, m);
+                    if (!ms.ok())
+                        warn("sweep metrics snapshot failed: ",
+                             ms.toString());
+                }
+            }
+        });
+    }
 
     if (workers <= 1) {
         for (std::size_t i = 0; i < descs.size(); ++i)
@@ -543,6 +738,15 @@ SweepRunner::run(const std::vector<RunDesc> &descs)
             t.join();
     }
 
+    if (heartbeat.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(hbMu);
+            hbStop = true;
+        }
+        hbCv.notify_all();
+        heartbeat.join();
+    }
+
     stats_ = SweepStats{};
     stats_.launched = descs.size();
     stats_.jobs = workers ? workers : 1;
@@ -569,6 +773,32 @@ SweepRunner::run(const std::vector<RunDesc> &descs)
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+
+    if (telemetry) {
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.beginObject();
+        w.kv("runs", static_cast<std::uint64_t>(stats_.launched));
+        w.kv("completed", static_cast<std::uint64_t>(stats_.completed));
+        w.kv("failed", static_cast<std::uint64_t>(stats_.failed));
+        w.kv("measured_insts", stats_.measuredInsts);
+        w.kv("resumed", static_cast<std::uint64_t>(stats_.resumed));
+        w.kv("retries", static_cast<std::uint64_t>(stats_.retries));
+        w.kv("warm_builds",
+             static_cast<std::uint64_t>(stats_.warmBuilds));
+        w.kv("warm_forks",
+             static_cast<std::uint64_t>(stats_.warmForks));
+        w.kv("cold_fallbacks",
+             static_cast<std::uint64_t>(stats_.coldFallbacks));
+        w.endObject();
+        telemetry->emitDeterministic("sweep_end", os.str());
+    }
+    if (!opts_.metricsPath.empty()) {
+        Status ms =
+            writeMetricsSnapshot(opts_.metricsPath, snapshotNow(true));
+        if (!ms.ok())
+            warn("sweep metrics snapshot failed: ", ms.toString());
+    }
     return results;
 }
 

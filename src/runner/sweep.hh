@@ -123,6 +123,20 @@ struct SweepOptions
     /** JSON-lines journal path; empty disables. With a journal, runs
      * already recorded are replayed instead of re-executed. */
     std::string journalPath;
+
+    /** JSON-lines telemetry stream path; empty disables. See
+     * runner/telemetry.hh for the record contract (deterministic
+     * submission-order records plus live progress records). */
+    std::string telemetryPath;
+
+    /** Prometheus text-exposition snapshot path; empty disables. The
+     * file is atomically rewritten on each heartbeat and once more,
+     * with ebcp_sweep_done=1, at completion. */
+    std::string metricsPath;
+
+    /** Heartbeat cadence in seconds for live telemetry records and
+     * metrics snapshots; <= 0 disables the heartbeat thread. */
+    double heartbeatSeconds = 1.0;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ckpt/archiver.hh"
+#include "util/profiler.hh"
 
 namespace ebcp
 {
@@ -93,7 +94,10 @@ L2Subsystem::access(Addr addr, Addr pc, Tick when, bool is_inst,
             info.l2Hit = true;
             info.complete = out.complete;
         }
-        prefetcher_.observeAccess(info);
+        {
+            EBCP_PROFILE_SCOPE(PrefetchTrain);
+            prefetcher_.observeAccess(info);
+        }
         return out;
     }
 
@@ -131,10 +135,13 @@ L2Subsystem::access(Addr addr, Addr pc, Tick when, bool is_inst,
         info.prefBufHit = true;
         info.complete = data_ready;
         l2_.fill(line);
-        if (pb.hasCorrIndex)
-            prefetcher_.observePrefetchHit(line, pb.corrIndex,
-                                           data_ready);
-        prefetcher_.observeAccess(info);
+        {
+            EBCP_PROFILE_SCOPE(PrefetchTrain);
+            if (pb.hasCorrIndex)
+                prefetcher_.observePrefetchHit(line, pb.corrIndex,
+                                               data_ready);
+            prefetcher_.observeAccess(info);
+        }
         return out;
     }
 
@@ -160,7 +167,10 @@ L2Subsystem::access(Addr addr, Addr pc, Tick when, bool is_inst,
 
     info.offChip = true;
     info.complete = out.complete;
-    prefetcher_.observeAccess(info);
+    {
+        EBCP_PROFILE_SCOPE(PrefetchTrain);
+        prefetcher_.observeAccess(info);
+    }
     return out;
 }
 
@@ -202,6 +212,7 @@ L2Subsystem::issuePrefetch(Addr line_addr, Tick when,
                            std::uint64_t corr_index, bool has_corr,
                            unsigned source)
 {
+    EBCP_PROFILE_SCOPE(PrefetchIssue);
     const Addr line = l2_.lineAddr(line_addr);
     if (l2_.contains(line) || prefBuf_.contains(line)) {
         ++filteredPrefetches_;

@@ -7,6 +7,7 @@
 #include "sim/ckpt_io.hh"
 #include "sim/watchdog.hh"
 #include "util/logging.hh"
+#include "util/profiler.hh"
 
 namespace ebcp
 {
@@ -161,6 +162,8 @@ Simulator::runMeasure(TraceSource &src, std::uint64_t measure_insts)
                 break; // trace exhausted
             done = got;
             sampler_->sample(done);
+            if (traceLog_)
+                sampleCounterTracks();
         }
     }
     // One final pass so every configured run ends with at least one
@@ -180,6 +183,35 @@ Simulator::run(TraceSource &src, std::uint64_t warm_insts,
     StatusOr<SimResults> r = tryRun(src, warm_insts, measure_insts);
     fatal_if(!r.ok(), r.status().toString());
     return r.take();
+}
+
+void
+Simulator::sampleCounterTracks()
+{
+    const Tick now = core_->now();
+    traceLog_->counterSample(
+        "mshr_occupancy", now,
+        static_cast<double>(l2side_->mshrs().occupancy()));
+    traceLog_->counterSample(
+        "pf_buffer_occupancy", now,
+        static_cast<double>(l2side_->prefetchBuffer().validCount()));
+    traceLog_->counterSample(
+        "channel_backlog_ticks", now,
+        static_cast<double>(mem_.readChannel().backlogTicks(now)));
+    if (auto *e = dynamic_cast<EpochBasedPrefetcher *>(prefetcher_.get()))
+        traceLog_->counterSample(
+            "corr_table_fill", now,
+            static_cast<double>(e->table().populatedEntries()));
+    const PrefetchLedger &ledger = l2side_->ledger();
+    for (unsigned s = 0; s < PrefetchLedger::kMaxSources; ++s) {
+        const PrefetchLedger::SourceCounters &sc = ledger.source(s);
+        if (sc.issued == 0)
+            continue;
+        traceLog_->counterSample(
+            "pf_accuracy_src" + std::to_string(s), now,
+            static_cast<double>(sc.used()) /
+                static_cast<double>(sc.issued));
+    }
 }
 
 SimResults
@@ -241,6 +273,7 @@ Simulator::configFingerprint() const
 StatusOr<std::string>
 Simulator::serializeCheckpoint(TraceSource &src)
 {
+    EBCP_PROFILE_SCOPE(Ckpt);
     ckpt::CheckpointWriter w(configFingerprint());
     Status s;
     auto add = [&](const char *name, auto &&fill) {
@@ -275,6 +308,7 @@ Simulator::saveCheckpoint(const std::string &path, TraceSource &src)
 Status
 Simulator::restoreCheckpoint(const std::string &buffer, TraceSource &src)
 {
+    EBCP_PROFILE_SCOPE(Ckpt);
     StatusOr<ckpt::CheckpointReader> reader =
         ckpt::CheckpointReader::fromBuffer(buffer, configFingerprint());
     if (!reader.ok())
@@ -312,6 +346,7 @@ Simulator::restoreCheckpointFile(const std::string &path, TraceSource &src)
 void
 Simulator::dumpStats(std::ostream &os)
 {
+    EBCP_PROFILE_SCOPE(Stats);
     core_->stats().dump(os);
     hier_->stats().dump(os);
     l2side_->stats().dump(os);
@@ -321,6 +356,7 @@ Simulator::dumpStats(std::ostream &os)
 void
 Simulator::dumpStatsJson(JsonWriter &w)
 {
+    EBCP_PROFILE_SCOPE(Stats);
     w.beginObject();
     for (StatGroup *g : {&core_->stats(), &hier_->stats(),
                          &l2side_->stats(), &mem_.stats()}) {

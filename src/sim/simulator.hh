@@ -96,9 +96,17 @@ class Simulator
     /**
      * Attach lifecycle event tracing (must outlive the simulator).
      * Observation only: SimResults are bit-identical with or without
-     * a log attached.
+     * a log attached. With both a log and a sampler attached, the
+     * measurement loop additionally records occupancy counter tracks
+     * (MSHRs, prefetch buffer, correlation-table fill, per-source
+     * ledger accuracy, channel backlog) at each sampler boundary.
      */
-    void attachTraceLog(TraceLog &log) { l2side_->attachTraceLog(log); }
+    void
+    attachTraceLog(TraceLog &log)
+    {
+        traceLog_ = &log;
+        l2side_->attachTraceLog(log);
+    }
 
     /**
      * Attach an interval sampler (nullptr detaches). With a sampler,
@@ -163,6 +171,9 @@ class Simulator
     /** Build the Stalled status + JSON diagnostic for a trip. */
     Status stallStatus();
 
+    /** Record one sample of every counter track into traceLog_. */
+    void sampleCounterTracks();
+
     SimConfig cfg_;
     PrefetcherParams pf_;
     MainMemory mem_;
@@ -172,6 +183,7 @@ class Simulator
     std::unique_ptr<CoreModel> core_;
 
     IntervalSampler *sampler_ = nullptr;
+    TraceLog *traceLog_ = nullptr;
     std::unique_ptr<Auditor> auditor_;
     std::string tracePolicyName_;
     std::string lastDiagnosticJson_;

@@ -17,7 +17,8 @@ beginStatsJson(JsonWriter &w, std::string_view source)
 
 void
 endStatsJson(JsonWriter &w, std::string_view diagnostic_raw,
-             std::string_view audit_raw)
+             std::string_view audit_raw, std::string_view profile_raw,
+             std::string_view host_raw)
 {
     w.endArray();
     if (!diagnostic_raw.empty()) {
@@ -27,6 +28,14 @@ endStatsJson(JsonWriter &w, std::string_view diagnostic_raw,
     if (!audit_raw.empty()) {
         w.key("audit");
         w.rawValue(audit_raw);
+    }
+    if (!profile_raw.empty()) {
+        w.key("profile");
+        w.rawValue(profile_raw);
+    }
+    if (!host_raw.empty()) {
+        w.key("host_counters");
+        w.rawValue(host_raw);
     }
     w.endObject();
 }
@@ -121,6 +130,57 @@ validateStatsJson(const std::string &text)
         if (!violations || !violations->isArray())
             return corruptionError(
                 "'audit.result' lacks a 'violations' array");
+    }
+
+    if (const JsonValue *profile = root.find("profile")) {
+        if (!profile->isObject())
+            return corruptionError("'profile' is not an object");
+        const JsonValue *enabled = profile->find("enabled");
+        if (!enabled || !enabled->isBool())
+            return corruptionError(
+                "'profile' lacks an 'enabled' boolean");
+        const JsonValue *nodes = profile->find("nodes");
+        if (!nodes || !nodes->isArray())
+            return corruptionError("'profile' lacks a 'nodes' array");
+        for (std::size_t i = 0; i < nodes->array.size(); ++i) {
+            const JsonValue &n = nodes->array[i];
+            if (!n.isObject())
+                return corruptionError("profile.nodes[", i,
+                                       "] is not an object");
+            const JsonValue *path = n.find("path");
+            if (!path || !path->isString())
+                return corruptionError("profile.nodes[", i,
+                                       "] lacks a 'path' string");
+            for (const char *key : {"visits", "timed_visits",
+                                    "est_wall_ns", "est_cpu_ns"})
+                if (!n.hasNumber(key))
+                    return corruptionError("profile.nodes[", i,
+                                           "] lacks '", key, "'");
+            const JsonValue *sampled = n.find("sampled");
+            if (!sampled || !sampled->isBool())
+                return corruptionError("profile.nodes[", i,
+                                       "] lacks a 'sampled' boolean");
+        }
+    }
+
+    if (const JsonValue *host = root.find("host_counters")) {
+        if (!host->isObject())
+            return corruptionError("'host_counters' is not an object");
+        const JsonValue *available = host->find("available");
+        if (!available || !available->isBool())
+            return corruptionError(
+                "'host_counters' lacks an 'available' boolean");
+        const JsonValue *reason = host->find("reason");
+        if (!reason || !reason->isString())
+            return corruptionError(
+                "'host_counters' lacks a 'reason' string");
+        const JsonValue *src_member = host->find("nominal_source");
+        if (!src_member || !src_member->isString())
+            return corruptionError(
+                "'host_counters' lacks a 'nominal_source' string");
+        if (!host->hasNumber("nominal_hz"))
+            return corruptionError(
+                "'host_counters' lacks a 'nominal_hz' number");
     }
     return Status();
 }

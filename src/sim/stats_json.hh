@@ -24,7 +24,9 @@
  *       }, ...
  *     ],
  *     "diagnostic": { ... },     // optional (stalled runs)
- *     "audit": { ... }           // optional (invariant-audit summary)
+ *     "audit": { ... },          // optional (invariant-audit summary)
+ *     "profile": { ... },        // optional (self-profiler phase tree)
+ *     "host_counters": { ... }   // optional (perf_event availability)
  *   }
  */
 
@@ -55,10 +57,15 @@ void beginStatsJson(JsonWriter &w, std::string_view source);
  * non-empty, must be a complete JSON value (e.g. a watchdog
  * diagnostic object) and becomes the top-level "diagnostic" member;
  * @p audit_raw likewise (an Auditor::summaryJson() object) becomes
- * the top-level "audit" member.
+ * the top-level "audit" member; @p profile_raw (a
+ * prof::profileJsonString() object) becomes "profile"; @p host_raw
+ * (a host-counter availability object: available/estimated/reason/
+ * nominal_hz/nominal_source) becomes "host_counters".
  */
 void endStatsJson(JsonWriter &w, std::string_view diagnostic_raw = {},
-                  std::string_view audit_raw = {});
+                  std::string_view audit_raw = {},
+                  std::string_view profile_raw = {},
+                  std::string_view host_raw = {});
 
 /** Emit @p r as one JSON object value (a run's "results" member). */
 void writeSimResultsJson(JsonWriter &w, const SimResults &r);

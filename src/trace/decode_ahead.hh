@@ -50,6 +50,7 @@
 
 #include "cpu/trace.hh"
 #include "util/object_pool.hh"
+#include "util/profiler.hh"
 
 namespace ebcp
 {
@@ -122,7 +123,11 @@ class DecodeAhead
                 return 0;
             const std::size_t want = static_cast<std::size_t>(
                 budget_ < max ? budget_ : max);
-            const std::size_t got = src_.peekSpan(out, want);
+            std::size_t got;
+            {
+                EBCP_PROFILE_SCOPE(Decode);
+                got = src_.peekSpan(out, want);
+            }
             if (got == 0)
                 budget_ = 0; // source dry: stop asking
             return got;
@@ -158,8 +163,11 @@ class DecodeAhead
             budget_ < kChunkRecords ? budget_ : kChunkRecords);
         if (want == 0)
             return false;
-        const std::size_t got =
-            src_.nextBatch(chunks_[0]->data(), want);
+        std::size_t got;
+        {
+            EBCP_PROFILE_SCOPE(Decode);
+            got = src_.nextBatch(chunks_[0]->data(), want);
+        }
         budget_ -= got;
         if (got < want)
             budget_ = 0; // source dry: stop asking

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <utility>
 
 #include "util/bitfield.hh"
 #include "util/json.hh"
@@ -137,6 +139,31 @@ TraceLog::totalEvents() const
 }
 
 void
+TraceLog::counterSample(std::string name, Tick tick, double value)
+{
+    counters_.push_back({std::move(name), tick, value});
+}
+
+void
+TraceLog::addSpan(std::string name, std::string cat, std::uint32_t pid,
+                  std::uint32_t tid, double ts, double dur)
+{
+    extraSpans_.push_back(
+        {std::move(name), std::move(cat), pid, tid, ts, dur});
+}
+
+void
+TraceLog::setProcessName(std::uint32_t pid, std::string name)
+{
+    for (auto &p : processNames_)
+        if (p.first == pid) {
+            p.second = std::move(name);
+            return;
+        }
+    processNames_.emplace_back(pid, std::move(name));
+}
+
+void
 TraceLog::writeChromeJson(std::ostream &os) const
 {
     JsonWriter w(os);
@@ -157,23 +184,59 @@ TraceLog::writeChromeJson(std::ostream &os) const
         w.endObject();
     }
 
-    // Merge all sinks' retained events into one tick-ordered stream.
+    // Process-name metadata for any extra-span pids (the sinks all
+    // live on pid 0; Perfetto then shows e.g. the self-profiler as
+    // its own named process row).
+    for (const auto &p : processNames_) {
+        w.beginObject();
+        w.kv("name", "process_name");
+        w.kv("ph", "M");
+        w.kv("pid", p.first);
+        w.kv("tid", 0u);
+        w.key("args").beginObject();
+        w.kv("name", p.second);
+        w.endObject();
+        w.endObject();
+    }
+
+    // Merge all sinks' retained events and the counter samples into
+    // one tick-ordered stream.
     struct Tagged
     {
         TraceEvent e;
         std::uint32_t tid;
+        const CounterSample *counter; //!< non-null: a "C" row
     };
     std::vector<Tagged> all;
-    all.reserve(totalEvents());
+    all.reserve(totalEvents() + counters_.size());
     for (const auto &s : sinks_)
         for (const TraceEvent &e : s->snapshot())
-            all.push_back({e, s->tid()});
+            all.push_back({e, s->tid(), nullptr});
+    for (const CounterSample &c : counters_) {
+        TraceEvent e;
+        e.tick = c.tick;
+        all.push_back({e, 0, &c});
+    }
     std::stable_sort(all.begin(), all.end(),
                      [](const Tagged &a, const Tagged &b) {
                          return a.e.tick < b.e.tick;
                      });
 
     for (const Tagged &t : all) {
+        if (t.counter) {
+            w.beginObject();
+            w.kv("name", t.counter->name);
+            w.kv("cat", "counter");
+            w.kv("ph", "C");
+            w.kv("ts", t.e.tick);
+            w.kv("pid", 0u);
+            w.kv("tid", 0u);
+            w.key("args").beginObject();
+            w.kv("value", t.counter->value);
+            w.endObject();
+            w.endObject();
+            continue;
+        }
         const KindInfo &k = kindInfo(t.e.kind);
         w.beginObject();
         w.kv("name", k.name);
@@ -190,6 +253,20 @@ TraceLog::writeChromeJson(std::ostream &os) const
         writeArg(w, k.arg0, t.e.a0, k.hex0);
         writeArg(w, k.arg1, t.e.a1, k.hex1);
         w.endObject();
+        w.endObject();
+    }
+
+    // Extra spans (self-profiler flame) last: their pids carry their
+    // own timelines, so they do not interleave with the tick stream.
+    for (const ExtraSpan &s : extraSpans_) {
+        w.beginObject();
+        w.kv("name", s.name);
+        w.kv("cat", s.cat);
+        w.kv("ph", "X");
+        w.kv("ts", s.ts);
+        w.kv("dur", s.dur);
+        w.kv("pid", s.pid);
+        w.kv("tid", s.tid);
         w.endObject();
     }
     w.endArray();
@@ -237,7 +314,11 @@ validateChromeTraceJson(const std::string &text)
     if (!events || !events->isArray())
         return corruptionError("missing 'traceEvents' array");
 
-    double last_ts = 0.0;
+    // ts must be monotone per (pid, tid) track -- the Perfetto
+    // importer's requirement. Different tracks (e.g. the profiler
+    // flame vs the simulated-tick stream) may use different units and
+    // legitimately do not interleave.
+    std::map<std::pair<double, double>, double> last_ts;
     for (std::size_t i = 0; i < events->array.size(); ++i) {
         const JsonValue &e = events->array[i];
         if (!e.isObject())
@@ -254,13 +335,23 @@ validateChromeTraceJson(const std::string &text)
         const double ts = e.find("ts")->number;
         if (ts < 0.0)
             return corruptionError("traceEvents[", i, "] has negative ts");
-        if (ts < last_ts)
+        const std::pair<double, double> track(e.find("pid")->number,
+                                              e.find("tid")->number);
+        auto it = last_ts.find(track);
+        if (it != last_ts.end() && ts < it->second)
             return corruptionError("traceEvents[", i,
-                                   "] breaks ts monotonicity");
-        last_ts = ts;
+                                   "] breaks per-track ts monotonicity");
+        last_ts[track] = ts;
         if (ph->string == "X" && !e.hasNumber("dur"))
             return corruptionError("traceEvents[", i,
                                    "] is 'X' without 'dur'");
+        if (ph->string == "C") {
+            const JsonValue *args = e.find("args");
+            if (!args || !args->isObject() || !args->hasNumber("value"))
+                return corruptionError("traceEvents[", i,
+                                       "] is 'C' without a numeric "
+                                       "args.value");
+        }
     }
     return Status();
 }

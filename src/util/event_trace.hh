@@ -148,6 +148,31 @@ class TraceLog
     std::size_t totalEvents() const;
 
     /**
+     * Record one sample of the named counter track (exported as a
+     * Chrome "C" event on pid 0, merged into the tick-ordered
+     * stream). The Simulator samples occupancy-style values on the
+     * IntervalSampler cadence, so Perfetto shows time-series next to
+     * the lifecycle spans.
+     */
+    void counterSample(std::string name, Tick tick, double value);
+
+    /** Counter samples recorded so far (insertion order). */
+    std::size_t counterSamples() const { return counters_.size(); }
+
+    /**
+     * Append one pre-placed "X" span on an arbitrary (pid, tid)
+     * track; used by the self-profiler to attach its host-time flame
+     * (ts/dur in nanoseconds on its own pid). Spans are written in
+     * insertion order after the merged tick stream, so the caller
+     * must insert each track's spans in non-decreasing ts order.
+     */
+    void addSpan(std::string name, std::string cat, std::uint32_t pid,
+                 std::uint32_t tid, double ts, double dur);
+
+    /** Label @p pid with a process_name metadata row. */
+    void setProcessName(std::uint32_t pid, std::string name);
+
+    /**
      * Write the merged event stream as a Chrome trace_event JSON
      * document ("traceEvents" array object form, ts in simulated
      * ticks). Loadable by chrome://tracing and Perfetto.
@@ -158,14 +183,37 @@ class TraceLog
     Status exportChromeJson(const std::string &path) const;
 
   private:
+    struct CounterSample
+    {
+        std::string name;
+        Tick tick;
+        double value;
+    };
+
+    struct ExtraSpan
+    {
+        std::string name;
+        std::string cat;
+        std::uint32_t pid;
+        std::uint32_t tid;
+        double ts;
+        double dur;
+    };
+
     std::size_t capacity_;
     std::vector<std::unique_ptr<TraceSink>> sinks_;
+    std::vector<CounterSample> counters_;
+    std::vector<ExtraSpan> extraSpans_;
+    std::vector<std::pair<std::uint32_t, std::string>> processNames_;
 };
 
 /**
  * Schema check for an exported timeline: well-formed JSON, a
  * "traceEvents" array whose entries carry the mandatory trace_event
- * members (name/ph/ts/pid/tid), and monotone non-negative ts.
+ * members (name/ph/ts/pid/tid), and per-(pid, tid)-track monotone
+ * non-negative ts -- which is what Perfetto's importer requires;
+ * tracks on different pids (e.g. the self-profiler's flame) may use
+ * different time units and need not interleave monotonically.
  */
 Status validateChromeTraceJson(const std::string &text);
 

@@ -178,16 +178,20 @@ PerfCounters::stop()
         sample_.instructions = readCounter(instructionsFd_);
         sample_.cacheMisses = readCounter(cacheMissesFd_);
         sample_.branchMisses = readCounter(branchMissesFd_);
+        sample_.nominalSource = "hardware";
         return;
     }
     // Degraded path: estimate cycles from CPU time at the nominal
     // frequency. Instructions stay zero -- there is no honest
     // CPU-time stand-in for an instruction count -- and the reason
-    // string travels with the sample so reports can print the cause
-    // instead of a bare zero.
+    // string plus the frequency source travel with the sample so
+    // reports can print the cause instead of a bare zero.
     sample_.reason = reason_;
+    sample_.nominalSource = "unavailable";
     if (nominalHz_ > 0.0 && sample_.cpuSeconds > 0.0) {
         sample_.estimated = true;
+        sample_.nominalHz = nominalHz_;
+        sample_.nominalSource = "/proc/cpuinfo cpu MHz";
         sample_.cycles = static_cast<std::uint64_t>(
             sample_.cpuSeconds * nominalHz_);
     }
@@ -213,6 +217,7 @@ PerfCounters::stop()
 {
     sample_ = {};
     sample_.reason = reason_;
+    sample_.nominalSource = "unavailable";
 }
 
 #endif

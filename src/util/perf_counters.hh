@@ -38,6 +38,11 @@ struct PerfSample
     double cpuSeconds = 0.0; //!< thread CPU time of the interval
     std::string reason;      //!< why hardware counters are closed
                              //!< (empty when available)
+    double nominalHz = 0.0;  //!< frequency behind a cycle estimate
+                             //!< (0 when hardware-measured or unknown)
+    std::string nominalSource; //!< where nominalHz came from:
+                               //!< "hardware", "/proc/cpuinfo cpu MHz"
+                               //!< or "unavailable"
 
     /** Host instructions per cycle (0 when not hardware-measured). */
     double

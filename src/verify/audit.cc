@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/json.hh"
+#include "util/profiler.hh"
 
 namespace ebcp
 {
@@ -121,6 +122,7 @@ AuditContext::reset()
 void
 Auditor::runNow(Tick now)
 {
+    EBCP_PROFILE_SCOPE(Audit);
     ctx_.setNow(now);
     registry_.runAll(ctx_);
     ++passes_;

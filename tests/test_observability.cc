@@ -13,8 +13,11 @@
 
 #include <cstdio>
 #include <cstring>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "prefetch/ledger.hh"
 #include "sim/simulator.hh"
@@ -133,9 +136,13 @@ TEST(EventTrace, ExportedTimelineIsValidChromeTraceJson)
     ASSERT_TRUE(events->isArray());
     EXPECT_GT(events->array.size(), 0u);
 
-    // Every non-metadata event carries the mandatory members, and the
-    // stream is ts-monotone (what Perfetto's importer relies on).
-    double last_ts = -1.0;
+    // Every non-metadata event carries the mandatory members, and
+    // each (pid, tid) track is ts-monotone (what Perfetto's importer
+    // relies on; distinct tracks -- e.g. the profiler's flame row --
+    // are independent timelines).
+    std::map<std::pair<double, double>, double> last_ts;
+    std::size_t counter_events = 0;
+    std::set<std::string> counter_names;
     for (const JsonValue &e : events->array) {
         ASSERT_TRUE(e.isObject());
         const JsonValue *ph = e.find("ph");
@@ -143,12 +150,42 @@ TEST(EventTrace, ExportedTimelineIsValidChromeTraceJson)
         if (ph->string == "M")
             continue;
         ASSERT_TRUE(e.hasNumber("ts"));
-        EXPECT_GE(e.find("ts")->number, last_ts);
-        last_ts = e.find("ts")->number;
+        ASSERT_TRUE(e.hasNumber("pid"));
+        ASSERT_TRUE(e.hasNumber("tid"));
+        const auto track = std::make_pair(e.find("pid")->number,
+                                          e.find("tid")->number);
+        const double ts = e.find("ts")->number;
+        auto it = last_ts.find(track);
+        if (it != last_ts.end()) {
+            EXPECT_GE(ts, it->second);
+        }
+        last_ts[track] = ts;
         if (ph->string == "X") {
             EXPECT_TRUE(e.hasNumber("dur"));
         }
+        if (ph->string == "C") {
+            // Counter tracks: sampled values live in args.value, and
+            // every sample sits on the dedicated counter track.
+            ++counter_events;
+            const JsonValue *name = e.find("name");
+            ASSERT_NE(name, nullptr);
+            counter_names.insert(name->string);
+            EXPECT_EQ(e.find("pid")->number, 0.0);
+            EXPECT_EQ(e.find("tid")->number, 0.0);
+            const JsonValue *args = e.find("args");
+            ASSERT_NE(args, nullptr);
+            ASSERT_TRUE(args->isObject());
+            EXPECT_TRUE(args->hasNumber("value"));
+        }
     }
+
+    // The sampler cadence drove counter samples: 200k measured insts
+    // at interval 50k gives four sampling points per counter.
+    EXPECT_GT(counter_events, 0u);
+    EXPECT_TRUE(counter_names.count("mshr_occupancy"));
+    EXPECT_TRUE(counter_names.count("pf_buffer_occupancy"));
+    EXPECT_TRUE(counter_names.count("corr_table_fill"));
+    EXPECT_TRUE(counter_names.count("channel_backlog_ticks"));
 }
 #endif // EBCP_DISABLE_EVENT_TRACE
 
@@ -177,6 +214,23 @@ TEST(EventTrace, ValidatorRejectsMalformedTimelines)
     EXPECT_FALSE(
         validateChromeTraceJson(
             "{\"traceEvents\": [{\"name\": \"a\", \"ph\": \"X\", "
+            "\"ts\": 1, \"pid\": 0, \"tid\": 0}]}")
+            .ok());
+    // Monotonicity is per (pid, tid) track: a later event on another
+    // track may carry an earlier ts (the profiler flame row restarts
+    // its clock at zero).
+    EXPECT_TRUE(
+        validateChromeTraceJson(
+            "{\"traceEvents\": ["
+            "{\"name\": \"a\", \"ph\": \"i\", \"ts\": 5, \"pid\": 0, "
+            "\"tid\": 0, \"s\": \"t\"},"
+            "{\"name\": \"b\", \"ph\": \"i\", \"ts\": 1, \"pid\": 1, "
+            "\"tid\": 0, \"s\": \"t\"}]}")
+            .ok());
+    // "C" counter without a numeric args.value.
+    EXPECT_FALSE(
+        validateChromeTraceJson(
+            "{\"traceEvents\": [{\"name\": \"c\", \"ph\": \"C\", "
             "\"ts\": 1, \"pid\": 0, \"tid\": 0}]}")
             .ok());
 }

@@ -6,7 +6,7 @@
 #include <mutex>
 #include <sstream>
 
-#include "sim/stats_json.hh"
+#include "harness/stats_json.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 
@@ -17,7 +17,7 @@ RunScale
 resolveScale(int argc, char **argv)
 {
     ConfigStore cs = ConfigStore::fromArgs(argc, argv);
-    StatusOr<RunScale> s = runner::tryResolveScaleFromEnv(cs);
+    StatusOr<RunScale> s = harness::tryResolveScaleFromEnv(cs);
     if (!s.ok()) {
         std::cerr << "error resolving run scale: "
                   << s.status().toString()
@@ -32,7 +32,7 @@ unsigned
 resolveJobs(int argc, char **argv)
 {
     ConfigStore cs = ConfigStore::fromArgs(argc, argv);
-    StatusOr<unsigned> jobs = runner::tryResolveJobsFromEnv(cs);
+    StatusOr<unsigned> jobs = harness::tryResolveJobsFromEnv(cs);
     if (!jobs.ok()) {
         std::cerr << "error resolving sweep jobs: "
                   << jobs.status().toString()
@@ -119,12 +119,12 @@ namespace
 /** Sweep durability/telemetry knobs shared by every BenchSweep bench:
  * "telemetry_out=PATH" streams per-run progress as CRC-tagged JSON
  * lines, "metrics_out=PATH" keeps a Prometheus-style snapshot fresh
- * while the sweep runs (see runner/telemetry.hh). */
-runner::SweepOptions
+ * while the sweep runs (see harness/telemetry.hh). */
+harness::SweepOptions
 sweepOptionsFromArgs(int argc, char **argv)
 {
     ConfigStore cs = ConfigStore::fromArgs(argc, argv);
-    runner::SweepOptions opts;
+    harness::SweepOptions opts;
     opts.telemetryPath = cs.getString("telemetry_out", "");
     opts.metricsPath = cs.getString("metrics_out", "");
     return opts;
@@ -191,7 +191,7 @@ BenchSweep::execute()
     executed_ = true;
     results_ = runner_.run(pending_);
 
-    const runner::SweepStats &st = runner_.stats();
+    const harness::SweepStats &st = runner_.stats();
     std::cout << "sweep: " << st.launched << " runs (" << st.completed
               << " ok, " << st.failed << " failed) on " << st.jobs
               << (st.jobs == 1 ? " job" : " jobs") << " in "
@@ -200,7 +200,7 @@ BenchSweep::execute()
               << "M simulated insts/s\n";
     for (std::size_t i = 0; i < results_.size(); ++i)
         if (!results_[i].ok())
-            std::cerr << "run " << runner::runLabel(pending_[i])
+            std::cerr << "run " << harness::runLabel(pending_[i])
                       << " failed: " << results_[i].status.toString()
                       << "\n";
 
@@ -222,11 +222,11 @@ BenchSweep::exportStatsJson(const std::string &path,
     JsonWriter w(os);
     beginStatsJson(w, source);
     for (std::size_t i = 0; i < results_.size(); ++i) {
-        const runner::RunResult &r = results_[i];
+        const harness::RunResult &r = results_[i];
         if (!r.ok())
             continue;
         w.beginObject();
-        w.kv("label", runner::runLabel(pending_[i]));
+        w.kv("label", harness::runLabel(pending_[i]));
         w.key("results");
         writeSimResultsJson(w, r.results);
         w.endObject();
@@ -250,8 +250,8 @@ BenchSweep::result(std::size_t idx) const
 {
     panic_if(!executed_, "BenchSweep::result() before execute()");
     panic_if(idx >= results_.size(), "BenchSweep run index out of range");
-    const runner::RunResult &r = results_[idx];
-    fatal_if(!r.ok(), "run ", runner::runLabel(pending_[idx]),
+    const harness::RunResult &r = results_[idx];
+    fatal_if(!r.ok(), "run ", harness::runLabel(pending_[idx]),
              " failed: ", r.status.toString());
     return r.results;
 }

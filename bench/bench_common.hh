@@ -17,13 +17,13 @@
  *
  * Every BenchSweep-based bench also accepts "stats_json=PATH": after
  * execute(), the sweep's per-run SimResults are exported in the shared
- * "ebcp-stats-v1" schema (sim/stats_json.hh) and the artifact is
+ * "ebcp-stats-v1" schema (harness/stats_json.hh) and the artifact is
  * re-read and schema-validated before the bench continues.
  *
  * Likewise "telemetry_out=PATH" (per-run progress as CRC-tagged JSON
  * lines) and "metrics_out=PATH" (a Prometheus-style snapshot kept
  * fresh while the sweep runs) flow into the sweep engine's telemetry
- * layer; see runner/telemetry.hh for the record contract.
+ * layer; see harness/telemetry.hh for the record contract.
  */
 
 #ifndef EBCP_BENCH_BENCH_COMMON_HH
@@ -34,9 +34,9 @@
 #include <string>
 #include <vector>
 
-#include "runner/options.hh"
-#include "runner/sweep.hh"
-#include "sim/simulator.hh"
+#include "harness/options.hh"
+#include "harness/sweep.hh"
+#include "sim/api.hh"
 #include "stats/table.hh"
 #include "trace/workloads.hh"
 #include "util/config.hh"
@@ -44,8 +44,8 @@
 namespace ebcp::bench
 {
 
-using runner::RunDesc;
-using runner::RunScale;
+using harness::RunDesc;
+using harness::RunScale;
 
 /**
  * Resolve the run scale from argv overrides and the environment;
@@ -134,15 +134,15 @@ class BenchSweep
     improvementRow(const std::string &workload,
                    const std::vector<std::size_t> &idxs) const;
 
-    const runner::SweepStats &stats() const { return runner_.stats(); }
+    const harness::SweepStats &stats() const { return runner_.stats(); }
 
   private:
     RunScale scale_;
     unsigned jobs_;
     std::string statsJsonPath_;
-    runner::SweepRunner runner_;
+    harness::SweepRunner runner_;
     std::vector<RunDesc> pending_;
-    std::vector<runner::RunResult> results_;
+    std::vector<harness::RunResult> results_;
     std::map<std::string, std::size_t> baselines_;
     bool executed_ = false;
 };

@@ -11,7 +11,7 @@
 #include "core/correlation_table.hh"
 #include "cpu/core_model.hh"
 #include "prefetch/ghb.hh"
-#include "sim/simulator.hh"
+#include "sim/api.hh"
 #include "trace/workloads.hh"
 #include "util/random.hh"
 

@@ -58,7 +58,7 @@
 #include "bench/bench_common.hh"
 #include "core/ebcp.hh"
 #include "prefetch/solihin.hh"
-#include "sim/stats_json.hh"
+#include "harness/stats_json.hh"
 #include "stats/table.hh"
 #include "util/json.hh"
 #include "util/perf_counters.hh"

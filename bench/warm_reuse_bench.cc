@@ -37,7 +37,7 @@
 
 using namespace ebcp;
 using namespace ebcp::bench;
-using namespace ebcp::runner;
+using namespace ebcp::harness;
 
 namespace
 {

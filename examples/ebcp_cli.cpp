@@ -30,10 +30,9 @@
 #include <sstream>
 
 #include "ckpt/checkpoint.hh"
-#include "runner/telemetry.hh"
-#include "sim/cmp_system.hh"
-#include "sim/simulator.hh"
-#include "sim/stats_json.hh"
+#include "harness/telemetry.hh"
+#include "sim/api.hh"
+#include "harness/stats_json.hh"
 #include "stats/interval.hh"
 #include "trace/fault_injection.hh"
 #include "trace/trace_file.hh"
@@ -258,7 +257,7 @@ exportTrace(TraceLog &tlog, const std::string &path)
  */
 struct CliTelemetry
 {
-    std::unique_ptr<runner::TelemetryStream> stream;
+    std::unique_ptr<harness::TelemetryStream> stream;
     std::string metricsPath;
     std::string label;
     std::chrono::steady_clock::time_point start =
@@ -272,7 +271,7 @@ struct CliTelemetry
         metricsPath = metrics_path;
         label = run_label;
         if (!telemetry_path.empty()) {
-            stream = std::make_unique<runner::TelemetryStream>(
+            stream = std::make_unique<harness::TelemetryStream>(
                 telemetry_path);
             if (!stream->openStatus().ok()) {
                 warn("telemetry disabled: ",
@@ -341,7 +340,7 @@ struct CliTelemetry
             stream->emitDeterministic("sweep_end", es.str());
         }
         if (!metricsPath.empty()) {
-            runner::MetricsSnapshot m;
+            harness::MetricsSnapshot m;
             m.runsTotal = 1;
             m.completed = s.ok() ? 1 : 0;
             m.failed = s.ok() ? 0 : 1;
@@ -353,7 +352,7 @@ struct CliTelemetry
                     ? static_cast<double>(insts) / elapsed
                     : 0.0;
             m.done = true;
-            Status ms = runner::writeMetricsSnapshot(metricsPath, m);
+            Status ms = harness::writeMetricsSnapshot(metricsPath, m);
             if (!ms.ok())
                 warn("metrics snapshot failed: ", ms.toString());
         }

@@ -17,7 +17,7 @@
 #include <iostream>
 
 #include "epoch/mlp_model.hh"
-#include "sim/simulator.hh"
+#include "sim/api.hh"
 #include "stats/table.hh"
 #include "trace/workloads.hh"
 #include "util/config.hh"

@@ -12,9 +12,9 @@
 
 #include <iostream>
 
-#include "runner/options.hh"
-#include "runner/sweep.hh"
-#include "sim/simulator.hh"
+#include "harness/options.hh"
+#include "harness/sweep.hh"
+#include "sim/api.hh"
 #include "stats/table.hh"
 #include "trace/workloads.hh"
 #include "util/config.hh"
@@ -32,19 +32,19 @@ main(int argc, char **argv)
     const unsigned degree =
         static_cast<unsigned>(cs.getU64("degree", 6));
 
-    StatusOr<unsigned> jobs = runner::tryResolveJobsFromEnv(cs);
+    StatusOr<unsigned> jobs = harness::tryResolveJobsFromEnv(cs);
     if (!jobs.ok()) {
         std::cerr << jobs.status().toString() << "\n";
         return 2;
     }
 
-    runner::RunScale scale;
+    harness::RunScale scale;
     scale.warm = warm;
     scale.measure = measure;
 
-    std::vector<runner::RunDesc> descs;
+    std::vector<harness::RunDesc> descs;
     {
-        runner::RunDesc base;
+        harness::RunDesc base;
         base.label = workload + "/baseline";
         base.workload = workload;
         base.pf.name = "null";
@@ -55,7 +55,7 @@ main(int argc, char **argv)
     for (const auto &name : prefetcherNames()) {
         if (name == "null")
             continue;
-        runner::RunDesc d;
+        harness::RunDesc d;
         d.workload = workload;
         d.pf.name = name;
         d.pf.ebcp.prefetchDegree = degree;
@@ -64,11 +64,11 @@ main(int argc, char **argv)
         descs.push_back(std::move(d));
     }
 
-    runner::SweepRunner pool(jobs.value());
-    std::vector<runner::RunResult> results = pool.run(descs);
+    harness::SweepRunner pool(jobs.value());
+    std::vector<harness::RunResult> results = pool.run(descs);
     for (std::size_t i = 0; i < results.size(); ++i) {
         if (!results[i].ok()) {
-            std::cerr << "run " << runner::runLabel(descs[i])
+            std::cerr << "run " << harness::runLabel(descs[i])
                       << " failed: " << results[i].status.toString()
                       << "\n";
             return 1;
@@ -79,7 +79,7 @@ main(int argc, char **argv)
     std::cout << "workload '" << workload << "': baseline CPI "
               << base.cpi << ", " << base.epochsPer1k
               << " epochs/1000 insts\n";
-    const runner::SweepStats &st = pool.stats();
+    const harness::SweepStats &st = pool.stats();
     std::cout << "sweep: " << st.launched << " runs on " << st.jobs
               << " jobs in " << fmtDouble(st.wallSeconds, 1) << "s\n";
 

@@ -11,7 +11,7 @@
 
 #include <iostream>
 
-#include "sim/simulator.hh"
+#include "sim/api.hh"
 #include "stats/table.hh"
 #include "trace/workloads.hh"
 #include "util/config.hh"

@@ -12,7 +12,7 @@
 
 #include <iostream>
 
-#include "sim/simulator.hh"
+#include "sim/api.hh"
 #include "trace/workloads.hh"
 #include "util/config.hh"
 

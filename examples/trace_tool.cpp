@@ -18,7 +18,7 @@
 #include <iostream>
 
 #include "cpu/op_class.hh"
-#include "sim/simulator.hh"
+#include "sim/api.hh"
 #include "trace/trace_file.hh"
 #include "trace/workloads.hh"
 #include "util/config.hh"

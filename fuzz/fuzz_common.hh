@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared plumbing for the fuzz harnesses.
+ *
+ * Every harness exports the libFuzzer entry point
+ * `LLVMFuzzerTestOneInput(data, size)`. Under a libFuzzer-capable
+ * toolchain (clang, -DEBCP_FUZZ=ON) the target links
+ * `-fsanitize=fuzzer` and libFuzzer drives it; everywhere else the
+ * same translation unit links fuzz/driver_main.cc, which replays
+ * corpus files and runs a bounded deterministic mutation loop -- so
+ * plain ctest replays every corpus input on any compiler, and the
+ * fuzz-smoke stage of scripts/check.sh works under GCC+ASan/UBSan.
+ *
+ * Harness ground rules (what "no bug" means):
+ *  - arbitrary input bytes may produce a coded Status, never a crash,
+ *    sanitizer report, uncontrolled allocation, or hang;
+ *  - a harness must bound any simulation it runs (instruction caps,
+ *    loop=false trace sources) so wall-clock stays fuzzing-friendly.
+ */
+
+#ifndef EBCP_FUZZ_FUZZ_COMMON_HH
+#define EBCP_FUZZ_FUZZ_COMMON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <unistd.h>
+
+namespace ebcp_fuzz
+{
+
+/**
+ * Write @p data to a stable per-process scratch path and return the
+ * path; harnesses for file-based parsers (the trace reader) feed each
+ * input through it. The file is truncated and rewritten per call.
+ */
+inline std::string
+writeScratchFile(const std::uint8_t *data, std::size_t size,
+                 const char *tag)
+{
+    static std::string dir = [] {
+        const char *t = std::getenv("TMPDIR");
+        return std::string(t && *t ? t : "/tmp");
+    }();
+    std::string path = dir + "/ebcp_fuzz_" + tag + "_" +
+                       std::to_string(static_cast<unsigned long>(
+                           ::getpid())) + ".bin";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        std::perror("fuzz: cannot open scratch file");
+        std::abort();
+    }
+    if (size != 0 && std::fwrite(data, 1, size, f) != size) {
+        std::perror("fuzz: cannot write scratch file");
+        std::abort();
+    }
+    std::fclose(f);
+    return path;
+}
+
+} // namespace ebcp_fuzz
+
+#endif // EBCP_FUZZ_FUZZ_COMMON_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fuzz target: the key=value configuration parser and the
+ * unknown-key checker (the typo-suggestion path) that every bench and
+ * example CLI funnels its argv through.
+ *
+ * Input bytes are split on newlines into argv-style tokens (embedded
+ * NULs are legal in fuzz input but not in argv, so they terminate the
+ * token early, exactly as execve would). parseArgs() must either
+ * yield a store or a coded InvalidArgument; on success the typed
+ * accessors and checkKnownKeys() -- whose nearest-key suggestion does
+ * edit-distance work over attacker-controlled strings -- must run
+ * without a crash.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/config.hh"
+#include "util/status.hh"
+
+using namespace ebcp;
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    constexpr std::size_t kMaxTokens = 64;
+    constexpr std::size_t kMaxTokenBytes = 512;
+
+    std::vector<std::string> tokens;
+    tokens.emplace_back("fuzz_config"); // argv[0], skipped by parseArgs
+    std::string cur;
+    for (std::size_t i = 0; i < size && tokens.size() < kMaxTokens;
+         ++i) {
+        const char c = static_cast<char>(data[i]);
+        if (c == '\n') {
+            tokens.push_back(cur);
+            cur.clear();
+        } else if (cur.size() < kMaxTokenBytes) {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty() && tokens.size() < kMaxTokens)
+        tokens.push_back(cur);
+
+    std::vector<char *> argv;
+    argv.reserve(tokens.size());
+    for (std::string &t : tokens)
+        argv.push_back(t.data());
+
+    StatusOr<ConfigStore> cs =
+        ConfigStore::parseArgs(static_cast<int>(argv.size()),
+                               argv.data());
+    if (!cs.ok()) {
+        if (cs.status().message().empty())
+            std::abort(); // rejections must carry a diagnostic
+        return 0;
+    }
+
+    const ConfigStore &store = cs.value();
+    // Unknown-key checking: the suggestion machinery runs over every
+    // fuzzed key against a realistic known-key list.
+    (void)store.checkKnownKeys({"workload", "prefetcher", "warm",
+                                "measure", "degree", "jobs", "seed",
+                                "trace_policy", "ckpt_policy",
+                                "table_entries", "watchdog"});
+    // Typed accessors: malformed values must come back as Status, and
+    // present-but-valid values must parse without crashing.
+    (void)store.tryGetU64("warm", 0);
+    (void)store.tryGetU64("measure", 0);
+    (void)store.tryGetDouble("degree", 0.0);
+    (void)store.tryGetBool("dump_stats", false);
+    (void)store.tryGetString("workload", "");
+    return 0;
+}

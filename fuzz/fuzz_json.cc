@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fuzz target: the JSON parser behind every machine-readable artifact
+ * (ebcp-stats-v1 reports, telemetry validation, bench reports).
+ *
+ * parseJson() must return either a value tree or a coded Corruption
+ * status for arbitrary bytes -- never crash, never recurse off the
+ * stack (the parser bounds nesting), never leave the tree in a state
+ * that faults on traversal. On success the harness walks the whole
+ * tree, so a dangling container would be caught under ASan.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#include "util/json.hh"
+#include "util/status.hh"
+
+using namespace ebcp;
+
+namespace
+{
+
+std::uint64_t
+walk(const JsonValue &v, std::uint64_t budget)
+{
+    if (budget == 0)
+        return 0;
+    --budget;
+    switch (v.type) {
+    case JsonValue::Type::Array:
+        for (const JsonValue &e : v.array)
+            budget = walk(e, budget);
+        break;
+    case JsonValue::Type::Object:
+        for (const auto &[k, e] : v.object) {
+            (void)k;
+            budget = walk(e, budget);
+        }
+        break;
+    default:
+        // Touch the scalar payloads so ASan sees every byte.
+        if (v.isString() && !v.string.empty() &&
+            v.string.front() == '\0' && v.string.back() == '\0')
+            return budget; // contents are legal; just read them
+        break;
+    }
+    return budget;
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    const std::string_view text(reinterpret_cast<const char *>(data),
+                                size);
+    StatusOr<JsonValue> parsed = parseJson(text);
+    if (parsed.ok()) {
+        walk(parsed.value(), 1 << 20);
+    } else if (parsed.status().message().empty()) {
+        std::abort(); // rejections must carry a diagnostic
+    }
+    return 0;
+}

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Seed-corpus generator for the binary fuzz targets.
+ *
+ *     fuzz_make_seeds <corpus-root>
+ *
+ * writes fresh seeds into <corpus-root>/{trace_reader,ckpt_restore,
+ * ckpt_audit}/. The JSON and config corpora are plain text and live
+ * directly in git; the binary seeds are generated from the live
+ * writers so they track the current formats (and the checkpoint
+ * seeds track the current config fingerprint -- see
+ * fuzz/sim_fixture.hh). The checked-in copies under fuzz/corpus/ are
+ * what ctest replays; rerun this tool and re-commit whenever a format
+ * or the fixture configuration changes.
+ *
+ * Seeds deliberately include near-valid corruption (a flipped payload
+ * byte, a truncated tail) so even a mutation-free replay exercises
+ * the rejection paths, and so the smoke mutator starts from inputs on
+ * both sides of every validity boundary.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <sys/stat.h>
+
+#include "ckpt/checkpoint.hh"
+#include "fuzz/sim_fixture.hh"
+#include "sim/api.hh"
+#include "trace/trace_file.hh"
+#include "trace/workloads.hh"
+#include "util/status.hh"
+
+using namespace ebcp;
+
+namespace
+{
+
+void
+writeFileOrDie(const std::string &path, const std::string &data)
+{
+    const Status s = ckpt::atomicWriteFile(path, data);
+    if (!s.ok()) {
+        std::fprintf(stderr, "fuzz_make_seeds: %s\n",
+                     s.toString().c_str());
+        std::exit(1);
+    }
+    std::printf("  %s (%zu bytes)\n", path.c_str(), data.size());
+}
+
+std::string
+slurpOrDie(const std::string &path)
+{
+    StatusOr<std::string> data = ckpt::readFile(path);
+    if (!data.ok()) {
+        std::fprintf(stderr, "fuzz_make_seeds: %s\n",
+                     data.status().toString().c_str());
+        std::exit(1);
+    }
+    return data.take();
+}
+
+void
+makeTraceSeeds(const std::string &dir)
+{
+    // A small but multi-chunk v2 capture of the paper's database
+    // workload: 3 full chunks of 16 records plus a partial tail.
+    const std::string valid = dir + "/valid_v2.bin";
+    {
+        StatusOr<std::unique_ptr<TraceFileWriter>> w =
+            TraceFileWriter::open(valid, /*chunk_records=*/16);
+        if (!w.ok())
+            std::exit(1);
+        auto src = makeWorkload("database");
+        if (!w.value()->capture(*src, 56).ok() ||
+            !w.value()->close().ok())
+            std::exit(1);
+        std::printf("  %s\n", valid.c_str());
+    }
+    std::string bytes = slurpOrDie(valid);
+
+    // One flipped byte inside the first chunk payload: CRC mismatch.
+    std::string flipped = bytes;
+    if (flipped.size() > 40)
+        flipped[40] = static_cast<char>(flipped[40] ^ 0x20);
+    writeFileOrDie(dir + "/bitflip_chunk.bin", flipped);
+
+    // Truncated mid-chunk: the incomplete-tail path.
+    writeFileOrDie(dir + "/truncated.bin",
+                   bytes.substr(0, bytes.size() * 2 / 3));
+
+    // A v1 header with a short raw-record tail: the no-integrity
+    // legacy path plus truncated-record handling.
+    std::string v1("EBCPTRC1", 8);
+    const std::uint32_t version = 1;
+    // Match the v2 header's record size so the tail parses as a
+    // truncated record rather than random garbage.
+    const std::uint32_t rec_size =
+        bytes.size() > 15
+            ? (static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(bytes[12])) |
+               static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(bytes[13])) << 8 |
+               static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(bytes[14])) << 16 |
+               static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(bytes[15])) << 24)
+            : 32;
+    for (unsigned i = 0; i < 4; ++i)
+        v1.push_back(static_cast<char>(version >> (8 * i)));
+    for (unsigned i = 0; i < 4; ++i)
+        v1.push_back(static_cast<char>(rec_size >> (8 * i)));
+    for (unsigned i = 0; i < rec_size + rec_size / 2; ++i)
+        v1.push_back(static_cast<char>(i * 7));
+    writeFileOrDie(dir + "/valid_v1_truncated_tail.bin", v1);
+}
+
+void
+makeCkptSeeds(const std::string &restore_dir,
+              const std::string &audit_dir)
+{
+    Simulator sim(ebcp_fuzz::fuzzConfig(), ebcp_fuzz::fuzzPrefetcher());
+    auto src = makeWorkload("database");
+    if (!sim.runWarm(*src, ebcp_fuzz::kFixtureWarmInsts).ok())
+        std::exit(1);
+    StatusOr<std::string> blob = sim.serializeCheckpoint(*src);
+    if (!blob.ok())
+        std::exit(1);
+    const std::string &bytes = blob.value();
+
+    writeFileOrDie(restore_dir + "/pristine.ckpt", bytes);
+    writeFileOrDie(restore_dir + "/truncated.ckpt",
+                   bytes.substr(0, bytes.size() / 2));
+    std::string flipped = bytes;
+    if (flipped.size() > 64)
+        flipped[64] = static_cast<char>(flipped[64] ^ 0x01);
+    writeFileOrDie(restore_dir + "/bitflip.ckpt", flipped);
+
+    // ckpt_audit seeds are patch scripts (u32 offset, u8 value)*,
+    // not checkpoints: a couple of single-byte pokes into the body,
+    // and a burst of pokes across the image.
+    auto patch = [](std::uint32_t off, std::uint8_t val) {
+        std::string p;
+        for (unsigned i = 0; i < 4; ++i)
+            p.push_back(static_cast<char>(off >> (8 * i)));
+        p.push_back(static_cast<char>(val));
+        return p;
+    };
+    writeFileOrDie(audit_dir + "/poke_one.bin", patch(200, 0xff));
+    std::string burst;
+    for (std::uint32_t i = 0; i < 32; ++i)
+        burst += patch(97 * (i + 1), static_cast<std::uint8_t>(i * 11));
+    writeFileOrDie(audit_dir + "/poke_burst.bin", burst);
+}
+
+void
+mkdirOrDie(const std::string &dir)
+{
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+        std::fprintf(stderr, "fuzz_make_seeds: cannot mkdir %s\n",
+                     dir.c_str());
+        std::exit(1);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <corpus-root>\n", argv[0]);
+        return 2;
+    }
+    const std::string root = argv[1];
+    mkdirOrDie(root);
+    for (const char *sub : {"trace_reader", "ckpt_restore",
+                            "ckpt_audit"})
+        mkdirOrDie(root + "/" + sub);
+
+    std::printf("trace seeds:\n");
+    makeTraceSeeds(root + "/trace_reader");
+    std::printf("checkpoint seeds:\n");
+    makeCkptSeeds(root + "/ckpt_restore", root + "/ckpt_audit");
+    return 0;
+}

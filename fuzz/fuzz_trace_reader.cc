@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fuzz target: the trace v1/v2 file reader under all three read
+ * policies.
+ *
+ * Input bytes become a trace file on disk; the harness opens it with
+ * FileTraceSource under Strict, SkipCorrupt and StopAtCorrupt and
+ * drains it with a hard record cap (loop=false, so a "valid" fuzzed
+ * file terminates). Any outcome is acceptable except a crash,
+ * sanitizer report or unbounded read: open() may fail with a coded
+ * Status, next() may stop early, status() may turn non-ok -- but a
+ * Strict source that reports corruption must never keep delivering
+ * records, and the corruption counters must stay consistent with the
+ * policy (SkipCorrupt is the only policy allowed to skip past a bad
+ * chunk).
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "cpu/trace.hh"
+#include "fuzz/fuzz_common.hh"
+#include "trace/trace_file.hh"
+#include "util/status.hh"
+
+using namespace ebcp;
+
+namespace
+{
+
+constexpr std::uint64_t kMaxRecords = 1 << 17;
+
+void
+drainUnderPolicy(const std::string &path, TraceReadPolicy policy)
+{
+    StatusOr<std::unique_ptr<FileTraceSource>> src =
+        FileTraceSource::open(path, /*loop=*/false, policy);
+    if (!src.ok()) {
+        // Rejected at open: the status must be coded, with a message.
+        if (src.status().ok() || src.status().message().empty())
+            std::abort();
+        return;
+    }
+    FileTraceSource &s = *src.value();
+    TraceRecord rec{};
+    std::uint64_t n = 0;
+    while (n < kMaxRecords && s.next(rec))
+        ++n;
+    if (n >= kMaxRecords)
+        std::abort(); // a non-looping fuzzed file must terminate
+    // Strict: after a corruption status, the stream must have ended.
+    if (policy == TraceReadPolicy::Strict && !s.status().ok()) {
+        if (s.next(rec))
+            std::abort();
+    }
+    // Only SkipCorrupt may both observe corrupt chunks and keep
+    // counting skipped records.
+    if (policy != TraceReadPolicy::SkipCorrupt &&
+        s.recordsSkipped() != 0)
+        std::abort();
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    const std::string path =
+        ebcp_fuzz::writeScratchFile(data, size, "trace");
+    drainUnderPolicy(path, TraceReadPolicy::Strict);
+    drainUnderPolicy(path, TraceReadPolicy::SkipCorrupt);
+    drainUnderPolicy(path, TraceReadPolicy::StopAtCorrupt);
+    std::remove(path.c_str());
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The one simulator configuration shared by the checkpoint fuzz
+ * harnesses and fuzz_make_seeds.
+ *
+ * Checkpoints embed a fingerprint of (SimConfig, PrefetcherParams,
+ * cores) and restore refuses a mismatch, so the harnesses and the
+ * seed generator must agree bit-for-bit on this configuration or the
+ * corpus would never get past the header check. Change it here and
+ * regenerate the seeds (fuzz_make_seeds <corpus-dir>); stale seeds
+ * are not an error -- they degrade into fingerprint-rejection
+ * exercises -- but they stop covering the deep restore paths.
+ */
+
+#ifndef EBCP_FUZZ_SIM_FIXTURE_HH
+#define EBCP_FUZZ_SIM_FIXTURE_HH
+
+#include <cstdint>
+
+#include "sim/api.hh"
+
+namespace ebcp_fuzz
+{
+
+inline ebcp::SimConfig
+fuzzConfig()
+{
+    ebcp::SimConfig cfg;
+    // Mutated state must not be able to hang a harness: the forward-
+    // progress watchdog converts a livelock into a coded Stalled
+    // status, which is a legal (and interesting) outcome.
+    cfg.watchdogTicks = 2'000'000;
+    return cfg;
+}
+
+inline ebcp::PrefetcherParams
+fuzzPrefetcher()
+{
+    ebcp::PrefetcherParams pf;
+    pf.name = "ebcp";
+    return pf;
+}
+
+/** Warm-up window used for the pristine seed/fixture checkpoint. */
+constexpr std::uint64_t kFixtureWarmInsts = 20'000;
+
+} // namespace ebcp_fuzz
+
+#endif // EBCP_FUZZ_SIM_FIXTURE_HH

@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Line-coverage floor for the untrusted-input parsers.
+#
+# Builds a --coverage (gcov) configuration, drives the parser test
+# suites plus every fuzz corpus replay through it, then measures line
+# coverage of the four translation units that parse attacker-supplied
+# bytes and fails if any of them dips under the floor:
+#
+#     src/trace/trace_file.cc      EBCPTRC trace container
+#     src/ckpt/checkpoint.cc       EBCPCKPT checkpoint container
+#     src/util/json.cc             JSON parser
+#     src/util/config.cc           key=value CLI/config parser
+#
+# Usage:
+#     scripts/coverage.sh              # build, run, report, enforce
+#     EBCP_COV_FLOOR=85 scripts/coverage.sh
+#
+# The floor intentionally applies only to the parser TUs: they are the
+# attack surface the fuzz subsystem exists for, and unlike whole-tree
+# coverage the number is actionable -- an uncovered line here is an
+# unexercised path through hostile input handling.
+#
+# Uses gcov (GCC) or llvm-cov gcov, whichever exists. Build dir:
+# build-coverage.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FLOOR="${EBCP_COV_FLOOR:-80}"
+JOBS="${EBCP_CHECK_JOBS:-$(nproc)}"
+BUILD=build-coverage
+
+GCOV=""
+if command -v gcov >/dev/null 2>&1; then
+    GCOV="gcov"
+elif command -v llvm-cov >/dev/null 2>&1; then
+    GCOV="llvm-cov gcov"
+else
+    echo "coverage: neither gcov nor llvm-cov found; cannot measure" >&2
+    exit 2
+fi
+
+echo "== coverage build (--coverage, LTO off) =="
+cmake -B "${BUILD}" \
+      -DCMAKE_BUILD_TYPE=Debug \
+      -DCMAKE_CXX_FLAGS=--coverage \
+      -DEBCP_LTO=OFF >/dev/null
+cmake --build "${BUILD}" -j "${JOBS}" >/dev/null
+
+# Drop counters from previous runs: stale .gcda files both skew the
+# percentages upward and trip libgcov checksum warnings after a
+# recompile.
+find "${BUILD}" -name '*.gcda' -delete
+
+echo "== exercising parsers (tests + fuzz corpus replays) =="
+# Everything that feeds the four parser TUs: the trace/ckpt/json/config
+# unit suites and all five corpus replays. -R keeps the run focused;
+# the whole suite would work too, just slower.
+ctest --test-dir "${BUILD}" -j "${JOBS}" --output-on-failure \
+      -R 'Trace|Ckpt|ckpt_|Json|Config|fuzz_replay_' >/dev/null
+
+# Dense mutation smoke adds the corrupt-input paths a clean corpus
+# misses (fixed seed: deterministic coverage).
+for t in trace_reader json config; do
+    "${BUILD}/fuzz/fuzz_${t}" --smoke 4000 --seed 1 \
+        "fuzz/corpus/${t}" "fuzz/corpus/regressions/${t}" >/dev/null
+done
+for t in ckpt_restore ckpt_audit; do
+    "${BUILD}/fuzz/fuzz_${t}" --smoke 60 --seed 1 \
+        "fuzz/corpus/${t}" "fuzz/corpus/regressions/${t}" >/dev/null
+done
+
+echo "== per-TU line coverage (floor ${FLOOR}%) =="
+# CMake object files are named <src>.cc.o, so the matching coverage
+# notes/data are <src>.cc.gcno/.gcda next to them; hand gcov the gcda
+# path directly (gcov's -o objdir mode would look for <src>.gcno and
+# miss the extra .cc).
+declare -A TU_GCDA=(
+    [src/trace/trace_file.cc]="${BUILD}/src/CMakeFiles/ebcp_trace.dir/trace/trace_file.cc.gcda"
+    [src/ckpt/checkpoint.cc]="${BUILD}/src/CMakeFiles/ebcp_ckpt.dir/ckpt/checkpoint.cc.gcda"
+    [src/util/json.cc]="${BUILD}/src/CMakeFiles/ebcp_util.dir/util/json.cc.gcda"
+    [src/util/config.cc]="${BUILD}/src/CMakeFiles/ebcp_util.dir/util/config.cc.gcda"
+)
+
+fail=0
+printf '%-28s %10s %8s\n' "TU" "exec-lines" "percent"
+for tu in src/trace/trace_file.cc src/ckpt/checkpoint.cc \
+          src/util/json.cc src/util/config.cc; do
+    gcda="${TU_GCDA[$tu]}"
+    # gcov prints, for each file the TU pulled in:
+    #   File '/abs/path/src/util/json.cc'
+    #   Lines executed:93.21% of 324
+    # Take the block whose File line names this TU (substring match
+    # covers both relative and absolute spellings).
+    line=$(${GCOV} -n "${gcda}" 2>/dev/null |
+           awk -v f="${tu}" '
+               /^File /   { hit = index($0, f) > 0 }
+               hit && /^Lines executed:/ {
+                   split($0, a, ":"); split(a[2], b, "% of ");
+                   printf "%s %s", b[2], b[1]; exit
+               }' || true)
+    if [[ -z "${line}" ]]; then
+        printf '%-28s %10s %8s  MISSING\n' "${tu}" "-" "-"
+        fail=1
+        continue
+    fi
+    total=${line%% *}
+    pct=${line##* }
+    ok=$(awk -v p="${pct}" -v f="${FLOOR}" \
+             'BEGIN { print (p + 0 >= f + 0) ? 1 : 0 }')
+    mark=""
+    [[ "${ok}" == "1" ]] || { mark="  BELOW FLOOR"; fail=1; }
+    printf '%-28s %10s %7s%%%s\n' "${tu}" "${total}" "${pct}" "${mark}"
+done
+
+if [[ "${fail}" != "0" ]]; then
+    echo "coverage: FAILED -- a parser TU is below ${FLOOR}% line" \
+         "coverage" >&2
+    exit 1
+fi
+echo "coverage: all parser TUs at or above ${FLOOR}%"

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# clang-format over every C++ source in the tree, using the checked-in
+# .clang-format.
+#
+#   scripts/format.sh          rewrite files in place
+#   scripts/format.sh --check  fail (exit 1) if any file would change;
+#                              this is the mode scripts/check.sh runs
+#
+# Degrades to a no-op notice when clang-format is not installed, so
+# check.sh can call it unconditionally on minimal build machines.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MODE="format"
+if [[ "${1:-}" == "--check" ]]; then
+    MODE="check"
+    shift
+fi
+
+if ! command -v clang-format >/dev/null 2>&1; then
+    echo "format: clang-format not found on PATH; skipping (install" \
+         "clang-format to enforce .clang-format)"
+    exit 0
+fi
+
+mapfile -t FILES < <(find src bench examples tests tools fuzz \
+    \( -name '*.cc' -o -name '*.hh' -o -name '*.cpp' -o -name '*.h' \) \
+    2>/dev/null | sort)
+
+echo "format: clang-format" \
+     "($(clang-format --version | sed -n 's/.*version /version /p'))" \
+     "over ${#FILES[@]} files (${MODE})"
+
+if [[ "${MODE}" == "check" ]]; then
+    clang-format --dry-run --Werror "${FILES[@]}"
+    echo "format: clean"
+else
+    clang-format -i "${FILES[@]}"
+    echo "format: done"
+fi

@@ -1,0 +1,343 @@
+#!/usr/bin/env python3
+"""Static layering enforcement over the real include graph.
+
+Reads the compile database (compile_commands.json) to learn every
+translation unit and its include search path, scans quoted #include
+directives transitively (headers included by headers count -- this is
+what makes "no harness include reachable from the hot path" a real
+guarantee rather than a grep of first-level includes), collapses the
+file graph to directory-level edges, and checks the result against the
+checked-in `layering.rules`:
+
+  * every cross-directory edge must be declared with an `allow` line;
+  * an `allow A -> B only h1 h2` edge is narrowed to the listed
+    headers (the sim/api.hh facade rule);
+  * no directory of group `libsim` may reach a directory of group
+    `libharness`, even transitively;
+  * the directory graph must be acyclic;
+  * directories in groups marked `exempt` (tests) are not constrained.
+
+Violations are reported with a file-level witness chain, e.g.
+
+    core -> harness: src/core/ebcp.cc -> sim/simulator.hh ->
+    harness/telemetry.hh
+
+so the offending include is identifiable without re-deriving the graph
+by hand. Exit status: 0 clean, 1 violations, 2 usage/environment error.
+
+Usage:
+    scripts/layering_lint.py --compdb build/compile_commands.json \
+        --rules layering.rules --root .
+    scripts/layering_lint.py ... --dump-edges   # print observed edges
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+# Tokens such as -I/path or -I /path or -isystem /path in a command
+# string. compile_commands entries here use "command", not "arguments".
+INCLUDE_DIR_RE = re.compile(r'-I\s*(\S+)|-isystem\s+(\S+)')
+
+
+class Rules:
+    def __init__(self):
+        self.group_of_dir = {}   # dir label -> group name
+        self.exempt_groups = set()
+        self.allowed = {}        # (src_dir, dst_dir) -> None | set(headers)
+
+    def group(self, d):
+        return self.group_of_dir.get(d)
+
+
+def parse_rules(path):
+    rules = Rules()
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            tok = line.split()
+            try:
+                if tok[0] == "group":
+                    # group NAME [exempt] = dir dir ...
+                    eq = tok.index("=")
+                    name = tok[1]
+                    if "exempt" in tok[2:eq]:
+                        rules.exempt_groups.add(name)
+                    for d in tok[eq + 1:]:
+                        if d in rules.group_of_dir:
+                            raise ValueError(
+                                f"directory '{d}' assigned twice")
+                        rules.group_of_dir[d] = name
+                elif tok[0] == "allow":
+                    # allow SRC -> DST [only header ...]
+                    arrow = tok.index("->")
+                    src = tok[1]
+                    rest = tok[arrow + 1:]
+                    if "only" in rest:
+                        cut = rest.index("only")
+                        dsts, only = rest[:cut], set(rest[cut + 1:])
+                        if not only:
+                            raise ValueError("'only' lists no headers")
+                    else:
+                        dsts, only = rest, None
+                    for dst in dsts:
+                        rules.allowed[(src, dst)] = only
+                else:
+                    raise ValueError(f"unknown directive '{tok[0]}'")
+            except (ValueError, IndexError) as e:
+                sys.exit(f"layering_lint: {path}:{lineno}: {e}")
+    return rules
+
+
+def dir_label(path, root):
+    """Map an absolute file path to its layering directory label.
+
+    src/<dir>/... collapses to <dir>; every other top-level directory
+    (bench, examples, tests, fuzz, tools) is its own label. Files
+    outside the repository root (system headers reached via -I) return
+    None and are ignored.
+    """
+    rel = os.path.relpath(path, root)
+    if rel.startswith(".."):
+        return None
+    parts = rel.split(os.sep)
+    if parts[0] == "src" and len(parts) > 2:
+        return parts[1]
+    return parts[0]
+
+
+def load_compdb(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"layering_lint: cannot read compile database "
+                 f"{path}: {e}")
+
+
+def include_dirs_of(entry):
+    dirs = []
+    command = entry.get("command")
+    if command is None:
+        command = " ".join(entry.get("arguments", []))
+    for m in INCLUDE_DIR_RE.finditer(command):
+        d = m.group(1) or m.group(2)
+        dirs.append(os.path.normpath(
+            os.path.join(entry["directory"], d)))
+    return dirs
+
+
+def scan_includes(path, cache):
+    if path in cache:
+        return cache[path]
+    incs = []
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            for line in f:
+                m = INCLUDE_RE.match(line)
+                if m:
+                    incs.append(m.group(1))
+    except OSError:
+        pass
+    cache[path] = incs
+    return incs
+
+
+def resolve(inc, including_file, search_dirs):
+    cand = os.path.normpath(
+        os.path.join(os.path.dirname(including_file), inc))
+    if os.path.isfile(cand):
+        return cand
+    for d in search_dirs:
+        cand = os.path.normpath(os.path.join(d, inc))
+        if os.path.isfile(cand):
+            return cand
+    return None
+
+
+def build_graph(entries, root):
+    """File-level include graph over every TU in the compile database.
+
+    Returns (edges, parent) where edges maps (src_dir, dst_dir) to the
+    list of distinct file-level witnesses (including_file,
+    included_file) and parent lets a witness chain be reconstructed
+    back to the TU that pulled the header in.
+    """
+    edges = {}
+    parent = {}
+    include_cache = {}
+    for entry in entries:
+        tu = os.path.normpath(
+            os.path.join(entry["directory"], entry["file"]))
+        if dir_label(tu, root) is None:
+            continue
+        search = include_dirs_of(entry)
+        stack = [tu]
+        visited = {tu}
+        while stack:
+            cur = stack.pop()
+            cur_dir = dir_label(cur, root)
+            for inc in scan_includes(cur, include_cache):
+                dst = resolve(inc, cur, search)
+                if dst is None:
+                    continue
+                dst_dir = dir_label(dst, root)
+                if dst_dir is None:
+                    continue
+                if dst not in visited:
+                    visited.add(dst)
+                    parent.setdefault(dst, cur)
+                    stack.append(dst)
+                if cur_dir != dst_dir:
+                    wits = edges.setdefault((cur_dir, dst_dir), [])
+                    if (cur, dst) not in wits:
+                        wits.append((cur, dst))
+    return edges, parent
+
+
+def witness_chain(witness, parent, root):
+    src_file, dst_file = witness
+    chain = [os.path.relpath(dst_file, root)]
+    cur = src_file
+    while cur is not None:
+        chain.append(os.path.relpath(cur, root))
+        cur = parent.get(cur)
+    return " -> ".join(reversed(chain))
+
+
+def find_cycle(adj):
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in adj}
+    trail = []
+
+    def visit(n):
+        color[n] = GREY
+        trail.append(n)
+        for m in adj.get(n, ()):
+            if color.get(m, WHITE) == GREY:
+                return trail[trail.index(m):] + [m]
+            if color.get(m, WHITE) == WHITE:
+                cyc = visit(m)
+                if cyc:
+                    return cyc
+        trail.pop()
+        color[n] = BLACK
+        return None
+
+    for n in list(adj):
+        if color[n] == WHITE:
+            cyc = visit(n)
+            if cyc:
+                return cyc
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--compdb", required=True,
+                    help="compile_commands.json (or its build dir)")
+    ap.add_argument("--rules", required=True, help="layering.rules")
+    ap.add_argument("--root", required=True, help="repository root")
+    ap.add_argument("--dump-edges", action="store_true",
+                    help="print every observed cross-directory edge")
+    args = ap.parse_args()
+
+    compdb = args.compdb
+    if os.path.isdir(compdb):
+        compdb = os.path.join(compdb, "compile_commands.json")
+    root = os.path.abspath(args.root)
+    rules = parse_rules(args.rules)
+    entries = load_compdb(compdb)
+
+    edges, parent = build_graph(entries, root)
+
+    if args.dump_edges:
+        for (src, dst), wits in sorted(edges.items()):
+            for w in wits:
+                print(f"{src} -> {dst}    "
+                      f"[{os.path.relpath(w[0], root)} -> "
+                      f"{os.path.relpath(w[1], root)}]")
+        return 0
+
+    errors = []
+
+    # Per-edge legality: declared, and within any 'only' narrowing.
+    for (src, dst), wits in sorted(edges.items()):
+        if rules.group(src) in rules.exempt_groups:
+            continue
+        if rules.group(src) is None:
+            errors.append(f"directory '{src}' is missing from every "
+                          f"group in the rules file (witness: "
+                          f"{witness_chain(wits[0], parent, root)})")
+            continue
+        if rules.group(dst) is None:
+            errors.append(f"directory '{dst}' is missing from every "
+                          f"group in the rules file (witness: "
+                          f"{witness_chain(wits[0], parent, root)})")
+            continue
+        if (src, dst) not in rules.allowed:
+            errors.append(
+                f"undeclared edge {src} -> {dst}: "
+                f"{witness_chain(wits[0], parent, root)}")
+            continue
+        only = rules.allowed[(src, dst)]
+        if only is None:
+            continue
+        for w in wits:
+            rel = os.path.relpath(w[1], root)
+            base = os.path.basename(rel)
+            srcrel = os.path.relpath(rel, "src") \
+                if rel.startswith("src" + os.sep) else rel
+            if not (rel in only or base in only or srcrel in only):
+                errors.append(
+                    f"edge {src} -> {dst} is narrowed to "
+                    f"{sorted(only)} but includes '{rel}': "
+                    f"{witness_chain(w, parent, root)}")
+
+    # Reachability: nothing in libsim may reach libharness. Walk the
+    # directory graph restricted to non-exempt sources.
+    adj = {}
+    for (src, dst) in edges:
+        if rules.group(src) in rules.exempt_groups:
+            continue
+        adj.setdefault(src, set()).add(dst)
+    for start in sorted(adj):
+        if rules.group(start) != "libsim":
+            continue
+        seen, stack = {start}, [start]
+        while stack:
+            n = stack.pop()
+            for m in adj.get(n, ()):
+                if rules.group(m) == "libharness":
+                    witness = edges[(n, m)][0]
+                    errors.append(
+                        f"core directory '{start}' reaches harness "
+                        f"directory '{m}' via '{n}': "
+                        f"{witness_chain(witness, parent, root)}")
+                elif m not in seen:
+                    seen.add(m)
+                    stack.append(m)
+
+    cyc = find_cycle(adj)
+    if cyc:
+        errors.append("include cycle between directories: " +
+                      " -> ".join(cyc))
+
+    if errors:
+        print(f"layering_lint: {len(errors)} violation(s):",
+              file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print(f"layering_lint: clean "
+          f"({len(entries)} TUs, {len(edges)} cross-directory edges)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -181,6 +181,29 @@ class Archiver
         v = static_cast<std::size_t>(u);
     }
 
+    /**
+     * Ring/stack cursor: travels like sz()/uns(), but on load the
+     * value must index into a structure of @p limit elements. Found
+     * by the checkpoint fuzzers: a cursor is dereferenced on the very
+     * next simulated instruction (`ring[idx]`), so a corrupt one that
+     * survives the payload CRC -- which covers transport damage, not
+     * a hostile or bit-rotted image -- was a wild read, not a coded
+     * error.
+     */
+    void
+    cursor(std::size_t &v, std::size_t limit, const char *what)
+    {
+        sz(v);
+        checkCursor(v, limit, what);
+    }
+
+    void
+    cursor(unsigned &v, std::size_t limit, const char *what)
+    {
+        uns(v);
+        checkCursor(v, limit, what);
+    }
+
     /** Enum with a fixed underlying encoding as u32. */
     template <typename E>
     void
@@ -224,12 +247,19 @@ class Archiver
 
     /**
      * Vector of elements serialized by @p fn(Archiver&, T&). The
-     * element count travels as u64 and is sanity-checked against the
-     * remaining payload on load (one byte per element minimum).
+     * element count travels as u64 and is bounds-checked against the
+     * remaining payload on load *before any allocation*:
+     * @p min_elem_bytes is the smallest number of payload bytes one
+     * element can possibly occupy (1 by default; 8 for the u64
+     * helpers below), so a corrupt count can never drive a resize
+     * larger than the payload itself could justify. This matters
+     * because resize() allocates n * sizeof(T) host bytes -- for
+     * multi-word elements that is a large multiple of n -- and the
+     * fuzzers exercise exactly this path.
      */
     template <typename T, typename Fn>
     void
-    vec(std::vector<T> &v, Fn &&fn)
+    vec(std::vector<T> &v, Fn &&fn, std::size_t min_elem_bytes = 1)
     {
         if (!ok())
             return;
@@ -238,10 +268,14 @@ class Archiver
         if (!ok())
             return;
         if (!saving()) {
-            if (n > remaining()) {
+            if (min_elem_bytes == 0)
+                min_elem_bytes = 1;
+            if (n > remaining() / min_elem_bytes) {
                 fail(corruptionError("checkpoint vector count ", n,
-                                     " exceeds ", remaining(),
-                                     " remaining bytes"));
+                                     " exceeds the ", remaining(),
+                                     " remaining bytes (at ",
+                                     min_elem_bytes,
+                                     " bytes per element)"));
                 return;
             }
             v.resize(static_cast<std::size_t>(n));
@@ -291,7 +325,7 @@ class Archiver
             std::uint64_t u = static_cast<std::uint64_t>(e);
             ar.u64(u);
             e = static_cast<T>(u);
-        });
+        }, sizeof(std::uint64_t));
     }
 
     /** Fixed-size vector of u64-width integers. */
@@ -318,6 +352,15 @@ class Archiver
     static constexpr std::size_t MaxStr = 64 * 1024;
 
     Archiver() = default;
+
+    void
+    checkCursor(std::uint64_t v, std::size_t limit, const char *what)
+    {
+        if (!saving() && ok() && v >= limit)
+            fail(corruptionError("checkpoint ", what, " cursor ", v,
+                                 " is outside its ", limit,
+                                 "-entry structure"));
+    }
 
     static void
     pack(unsigned char *b, std::uint64_t v, unsigned n)

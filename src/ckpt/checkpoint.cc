@@ -190,14 +190,36 @@ CheckpointReader::fromBuffer(const std::string &buffer,
             "checkpoint configuration fingerprint mismatch: checkpoint "
             "was taken under a different SimConfig/prefetcher setup");
 
+    // Every section costs at least 16 bytes of framing (name length,
+    // payload length, payload CRC), so a section count the remaining
+    // bytes cannot possibly hold is corruption up front -- not a loop
+    // that discovers truncation on iteration N.
+    constexpr std::size_t kMinSectionBytes = 16;
+    if (count > cur.remaining() / kMinSectionBytes)
+        return corruptionError("checkpoint claims ", count,
+                               " sections but only ", cur.remaining(),
+                               " bytes follow the header");
+    // Section names are short identifiers ("sim", "trace_source");
+    // a multi-kilobyte length field is corrupt even when the buffer
+    // happens to be big enough to satisfy the allocation.
+    constexpr std::uint32_t kMaxSectionName = 256;
+
     CheckpointReader r;
     r.fingerprint_ = fingerprint;
     for (std::uint32_t i = 0; i < count; ++i) {
         std::uint32_t name_len = 0, payload_crc = 0;
         std::uint64_t payload_len = 0;
         Section s;
-        if (!cur.u32(name_len) || !cur.strN(s.name, name_len) ||
-            !cur.u64(payload_len) || !cur.u32(payload_crc) ||
+        if (!cur.u32(name_len))
+            return corruptionError("checkpoint section ", i,
+                                   " truncated");
+        if (name_len > kMaxSectionName)
+            return corruptionError("checkpoint section ", i,
+                                   " name length ", name_len,
+                                   " exceeds the ", kMaxSectionName,
+                                   "-byte cap");
+        if (!cur.strN(s.name, name_len) || !cur.u64(payload_len) ||
+            !cur.u32(payload_crc) ||
             !cur.strN(s.payload, static_cast<std::size_t>(payload_len)))
             return corruptionError("checkpoint section ", i,
                                    " truncated");

@@ -102,7 +102,7 @@ BranchPredictor::ckpt(ckpt::Archiver &ar)
     ar.fixedVecU64(btbTargets_, "BTB targets");
     ar.fixedVecU64(btbTags_, "BTB tags");
     ar.fixedVecU64(ras_, "RAS");
-    ar.uns(rasTop_);
+    ar.cursor(rasTop_, ras_.size(), "RAS");
     ar.u64(history_);
     stats_.ckpt(ar);
 }

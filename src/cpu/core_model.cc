@@ -4,7 +4,7 @@
 #include <chrono>
 
 #include "ckpt/containers.hh"
-#include "trace/decode_ahead.hh"
+#include "cpu/decode_ahead.hh"
 #include "util/bitfield.hh"
 #include "util/profiler.hh"
 #include "verify/audit.hh"
@@ -375,10 +375,10 @@ CoreModel::ckpt(ckpt::Archiver &ar)
     ar.fixedVecU64(iqIssue_, "issue queue ring");
     ar.fixedVecU64(sbDrain_, "store buffer ring");
     ar.fixedVecU64(lbComplete_, "load buffer ring");
-    ar.sz(robIdx_);
-    ar.sz(iqIdx_);
-    ar.sz(sbIdx_);
-    ar.sz(lbIdx_);
+    ar.cursor(robIdx_, robRetire_.size(), "ROB");
+    ar.cursor(iqIdx_, iqIssue_.size(), "issue queue");
+    ar.cursor(sbIdx_, sbDrain_.size(), "store buffer");
+    ar.cursor(lbIdx_, lbComplete_.size(), "load buffer");
     ar.u64(seq_);
     ar.u64(storeSeq_);
     ar.u64(loadSeq_);

@@ -1,0 +1,257 @@
+#include "harness/journal.hh"
+
+#include <cerrno>
+#include <cstdio>
+
+#include "ckpt/archiver.hh"
+#include "util/crc32.hh"
+
+namespace ebcp::harness
+{
+
+namespace
+{
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+std::string
+hexEncode(const std::string &bytes)
+{
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (unsigned char c : bytes) {
+        out.push_back(kHexDigits[c >> 4]);
+        out.push_back(kHexDigits[c & 0xf]);
+    }
+    return out;
+}
+
+int
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    return -1;
+}
+
+bool
+hexDecode(const std::string &hex, std::string &out)
+{
+    if (hex.size() % 2)
+        return false;
+    out.clear();
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        const int hi = hexNibble(hex[i]);
+        const int lo = hexNibble(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out.push_back(static_cast<char>((hi << 4) | lo));
+    }
+    return true;
+}
+
+std::string
+hexU64(std::uint64_t v)
+{
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i, v >>= 4)
+        out[static_cast<std::size_t>(i)] = kHexDigits[v & 0xf];
+    return out;
+}
+
+/** Consume the literal @p want at @p pos; false on mismatch. */
+bool
+expect(const std::string &s, std::size_t &pos, const char *want)
+{
+    const std::size_t n = std::char_traits<char>::length(want);
+    if (s.compare(pos, n, want) != 0)
+        return false;
+    pos += n;
+    return true;
+}
+
+} // namespace
+
+void
+ckptSimResults(ckpt::Archiver &ar, SimResults &r)
+{
+    ar.u64(r.insts);
+    ar.u64(r.cycles);
+    ar.u64(r.epochs);
+    ar.f64(r.cpi);
+    ar.f64(r.epochsPer1k);
+    ar.f64(r.l2InstMissPer1k);
+    ar.f64(r.l2LoadMissPer1k);
+    ar.u64(r.usefulPrefetches);
+    ar.u64(r.issuedPrefetches);
+    ar.u64(r.droppedPrefetches);
+    ar.u64(r.timelyPrefetches);
+    ar.u64(r.latePrefetches);
+    ar.u64(r.earlyEvictedPrefetches);
+    ar.f64(r.coverage);
+    ar.f64(r.accuracy);
+    ar.f64(r.timeliness);
+    ar.f64(r.readBusUtil);
+    ar.f64(r.writeBusUtil);
+}
+
+void
+ckptJournalRecord(ckpt::Archiver &ar, JournalRecord &rec)
+{
+    ar.u64(rec.key);
+    ar.enum32(rec.code);
+    ar.str(rec.message);
+    ar.u32(rec.attempts);
+    ar.boolean(rec.warmForked);
+    ar.boolean(rec.coldFallback);
+    ckptSimResults(ar, rec.results);
+}
+
+std::string
+SweepJournal::formatLine(const JournalRecord &rec)
+{
+    std::string blob;
+    ckpt::Archiver ar = ckpt::Archiver::saver(blob);
+    ckptJournalRecord(ar, const_cast<JournalRecord &>(rec));
+    std::string line = "{\"v\":1,\"key\":\"";
+    line += hexU64(rec.key);
+    line += "\",\"crc\":";
+    line += std::to_string(crc32(blob.data(), blob.size()));
+    line += ",\"blob\":\"";
+    line += hexEncode(blob);
+    line += "\"}";
+    return line;
+}
+
+bool
+SweepJournal::parseLine(const std::string &line, JournalRecord &out)
+{
+    std::size_t pos = 0;
+    if (!expect(line, pos, "{\"v\":1,\"key\":\""))
+        return false;
+    if (line.size() < pos + 16)
+        return false;
+    std::uint64_t key = 0;
+    for (std::size_t i = 0; i < 16; ++i) {
+        const int nib = hexNibble(line[pos + i]);
+        if (nib < 0)
+            return false;
+        key = (key << 4) | static_cast<unsigned>(nib);
+    }
+    pos += 16;
+    if (!expect(line, pos, "\",\"crc\":"))
+        return false;
+    std::uint64_t crc = 0;
+    std::size_t digits = 0;
+    while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+        crc = crc * 10 + static_cast<unsigned>(line[pos] - '0');
+        if (crc > 0xffffffffULL)
+            return false;
+        ++pos;
+        ++digits;
+    }
+    if (!digits || !expect(line, pos, ",\"blob\":\""))
+        return false;
+    const std::size_t end = line.find('"', pos);
+    if (end == std::string::npos)
+        return false;
+    std::string blob;
+    if (!hexDecode(line.substr(pos, end - pos), blob))
+        return false;
+    pos = end;
+    if (!expect(line, pos, "\"}") || pos != line.size())
+        return false;
+    if (crc32(blob.data(), blob.size()) != static_cast<std::uint32_t>(crc))
+        return false;
+
+    JournalRecord rec;
+    ckpt::Archiver ar = ckpt::Archiver::loader(blob.data(), blob.size());
+    ckptJournalRecord(ar, rec);
+    if (!ar.ok() || ar.remaining() != 0)
+        return false;
+    // The key field exists twice (line header and blob) so a record
+    // pasted under the wrong key is rejected, not silently reused.
+    if (rec.key != key)
+        return false;
+    out = rec;
+    return true;
+}
+
+SweepJournal::SweepJournal(std::string path) : path_(std::move(path)) {}
+
+Status
+SweepJournal::load()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+    skipped_ = 0;
+
+    std::FILE *f = std::fopen(path_.c_str(), "rb");
+    if (!f) {
+        if (errno == ENOENT)
+            return Status(); // fresh journal
+        return ioError("cannot open sweep journal ", path_, ": ",
+                       errnoString());
+    }
+    std::string data;
+    char buf[64 * 1024];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+        data.append(buf, got);
+    const bool read_err = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_err)
+        return ioError("cannot read sweep journal ", path_);
+
+    std::size_t start = 0;
+    while (start < data.size()) {
+        std::size_t nl = data.find('\n', start);
+        if (nl == std::string::npos)
+            nl = data.size(); // final line, possibly torn
+        const std::string line = data.substr(start, nl - start);
+        start = nl + 1;
+        if (line.empty())
+            continue;
+        JournalRecord rec;
+        if (parseLine(line, rec))
+            records_[rec.key] = rec; // later lines win
+        else
+            ++skipped_;
+    }
+    return Status();
+}
+
+bool
+SweepJournal::lookup(std::uint64_t key, JournalRecord &out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = records_.find(key);
+    if (it == records_.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+Status
+SweepJournal::append(const JournalRecord &rec)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::string line = formatLine(rec) + "\n";
+    std::FILE *f = std::fopen(path_.c_str(), "ab");
+    if (!f)
+        return ioError("cannot append to sweep journal ", path_, ": ",
+                       errnoString());
+    const bool wrote =
+        std::fwrite(line.data(), 1, line.size(), f) == line.size() &&
+        std::fflush(f) == 0;
+    std::fclose(f);
+    if (!wrote)
+        return ioError("short write to sweep journal ", path_);
+    records_[rec.key] = rec;
+    return Status();
+}
+
+} // namespace ebcp::harness

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Durable sweep journal: one JSON line per finished run, so a killed
+ * sweep resumes with only the unfinished descriptors.
+ *
+ * Line format (append-only, one record per line):
+ *
+ *   {"v":1,"key":"<16 hex>","crc":<u32>,"blob":"<hex>"}
+ *
+ * `key` is the descriptor fingerprint (descFingerprint()), `blob` is
+ * the archiver-serialized JournalRecord and `crc` its CRC-32. A line
+ * that is torn (the process died mid-append), fails its CRC, or does
+ * not parse is skipped and counted -- a damaged journal degrades to
+ * re-running some descriptors, never to wrong results and never to a
+ * crash. Appends are flushed line-at-a-time so at most the final line
+ * can be torn.
+ */
+
+#ifndef EBCP_HARNESS_JOURNAL_HH
+#define EBCP_HARNESS_JOURNAL_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "sim/api.hh"
+#include "util/status.hh"
+
+namespace ebcp::ckpt
+{
+class Archiver;
+}
+
+namespace ebcp::harness
+{
+
+/** One finished run, as persisted in the journal. */
+struct JournalRecord
+{
+    std::uint64_t key = 0; //!< descFingerprint() of the descriptor
+    StatusCode code = StatusCode::Ok;
+    std::string message;          //!< status message when code != Ok
+    SimResults results;           //!< valid only when code == Ok
+    std::uint32_t attempts = 1;   //!< execution attempts consumed
+    bool warmForked = false;      //!< measured from a warm checkpoint
+    bool coldFallback = false;    //!< warm restore failed; ran cold
+
+    Status
+    status() const
+    {
+        return code == StatusCode::Ok ? Status() : Status(code, message);
+    }
+};
+
+/** Serialize or restore one record (shared with tests). */
+void ckptJournalRecord(ckpt::Archiver &ar, JournalRecord &rec);
+
+/** Serialize or restore a SimResults block (shared with tests). */
+void ckptSimResults(ckpt::Archiver &ar, SimResults &r);
+
+/** Append-only journal of finished runs, keyed by fingerprint. */
+class SweepJournal
+{
+  public:
+    /** @param path journal file; created on first append. */
+    explicit SweepJournal(std::string path);
+
+    /**
+     * Load every valid record from the file. A missing file is a
+     * fresh journal (OK, zero records); damaged lines are skipped and
+     * counted in skippedLines(). Only an OS-level read failure on an
+     * existing file is an error.
+     */
+    Status load();
+
+    /** @return true and fill @p out when @p key has a record. */
+    bool lookup(std::uint64_t key, JournalRecord &out) const;
+
+    /** Serialize @p rec, append its line, and flush. Thread-safe. */
+    Status append(const JournalRecord &rec);
+
+    /** Records currently held (loaded + appended). */
+    std::size_t size() const { return records_.size(); }
+
+    /** Damaged/torn lines skipped by load(). */
+    std::size_t skippedLines() const { return skipped_; }
+
+    const std::string &path() const { return path_; }
+
+    /** Render @p rec as one journal line (no trailing newline);
+     * exposed for corpus tests that build damaged journals. */
+    static std::string formatLine(const JournalRecord &rec);
+
+    /** Parse one line; false when torn/corrupt/unparseable. */
+    static bool parseLine(const std::string &line, JournalRecord &out);
+
+  private:
+    std::string path_;
+    std::map<std::uint64_t, JournalRecord> records_;
+    std::size_t skipped_ = 0;
+    mutable std::mutex mu_;
+};
+
+} // namespace ebcp::harness
+
+#endif // EBCP_HARNESS_JOURNAL_HH

@@ -1,0 +1,105 @@
+#include "harness/options.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "harness/sweep.hh"
+
+namespace ebcp::harness
+{
+
+namespace
+{
+
+/** Strictly parse @p text as a positive finite double. */
+StatusOr<double>
+parsePositiveDouble(const char *what, const std::string &text)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || !std::isfinite(v))
+        return invalidArgError(what, " must be a number, got '", text,
+                               "'");
+    if (v <= 0.0)
+        return invalidArgError(what, " must be positive, got '", text,
+                               "'");
+    return v;
+}
+
+} // namespace
+
+StatusOr<RunScale>
+tryResolveScale(const ConfigStore &cs, const char *env_scale)
+{
+    RunScale s;
+    if (env_scale) {
+        StatusOr<double> scale =
+            parsePositiveDouble("EBCP_BENCH_SCALE", env_scale);
+        if (!scale.ok())
+            return scale.status();
+        s.warm = static_cast<std::uint64_t>(
+            static_cast<double>(s.warm) * scale.value());
+        s.measure = static_cast<std::uint64_t>(
+            static_cast<double>(s.measure) * scale.value());
+    }
+
+    StatusOr<std::uint64_t> warm = cs.tryGetU64("warm", s.warm);
+    if (!warm.ok())
+        return warm.status();
+    StatusOr<std::uint64_t> measure = cs.tryGetU64("measure", s.measure);
+    if (!measure.ok())
+        return measure.status();
+
+    s.warm = warm.value();
+    s.measure = measure.value();
+    if (s.measure == 0)
+        return invalidArgError(
+            "measurement window must be positive; got measure=0 (check "
+            "measure= and EBCP_BENCH_SCALE)");
+    return s;
+}
+
+StatusOr<unsigned>
+tryResolveJobs(const ConfigStore &cs, const char *env_jobs)
+{
+    std::uint64_t jobs = defaultJobs();
+    if (env_jobs) {
+        // Route the env text through the same strict integer parsing
+        // as a CLI key.
+        ConfigStore env;
+        env.set("EBCP_BENCH_JOBS", env_jobs);
+        StatusOr<std::uint64_t> v =
+            env.tryGetU64("EBCP_BENCH_JOBS", jobs);
+        if (!v.ok())
+            return v.status();
+        jobs = v.value();
+        if (jobs == 0)
+            return invalidArgError(
+                "EBCP_BENCH_JOBS must be a positive integer, got '",
+                env_jobs, "'");
+    }
+    StatusOr<std::uint64_t> cli = cs.tryGetU64("jobs", jobs);
+    if (!cli.ok())
+        return cli.status();
+    jobs = cli.value();
+    if (jobs == 0)
+        return invalidArgError("jobs must be a positive integer");
+    if (jobs > 1024)
+        return invalidArgError("jobs=", jobs,
+                               " is not a sane worker count (max 1024)");
+    return static_cast<unsigned>(jobs);
+}
+
+StatusOr<RunScale>
+tryResolveScaleFromEnv(const ConfigStore &cs)
+{
+    return tryResolveScale(cs, std::getenv("EBCP_BENCH_SCALE"));
+}
+
+StatusOr<unsigned>
+tryResolveJobsFromEnv(const ConfigStore &cs)
+{
+    return tryResolveJobs(cs, std::getenv("EBCP_BENCH_JOBS"));
+}
+
+} // namespace ebcp::harness

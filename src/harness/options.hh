@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Status-routed resolution of the sweep-level knobs every bench and
+ * example shares:
+ *
+ *  - EBCP_BENCH_SCALE (env): multiplies the default warm/measure
+ *    windows; must be a positive finite number.
+ *  - warm=N / measure=N (CLI): absolute window overrides; measure
+ *    must be positive.
+ *  - EBCP_BENCH_JOBS (env) and jobs=N (CLI, which wins): worker
+ *    threads for the parallel sweep engine; must be a positive
+ *    integer. Default: hardware concurrency.
+ *
+ * Malformed values are coded errors, never silently replaced with
+ * defaults: a typo must not invalidate an experiment (the same policy
+ * as ConfigStore). The env text is passed in explicitly so tests can
+ * exercise the parsing without mutating the process environment.
+ */
+
+#ifndef EBCP_HARNESS_OPTIONS_HH
+#define EBCP_HARNESS_OPTIONS_HH
+
+#include "harness/run_desc.hh"
+#include "util/config.hh"
+#include "util/status.hh"
+
+namespace ebcp::harness
+{
+
+/**
+ * Resolve the run scale from @p env_scale (the EBCP_BENCH_SCALE text,
+ * or nullptr when unset) and the warm=/measure= keys of @p cs.
+ */
+StatusOr<RunScale> tryResolveScale(const ConfigStore &cs,
+                                   const char *env_scale);
+
+/**
+ * Resolve the worker count from @p env_jobs (the EBCP_BENCH_JOBS
+ * text, or nullptr when unset) and the jobs= key of @p cs.
+ */
+StatusOr<unsigned> tryResolveJobs(const ConfigStore &cs,
+                                  const char *env_jobs);
+
+/** tryResolveScale() against the real environment. */
+StatusOr<RunScale> tryResolveScaleFromEnv(const ConfigStore &cs);
+
+/** tryResolveJobs() against the real environment. */
+StatusOr<unsigned> tryResolveJobsFromEnv(const ConfigStore &cs);
+
+} // namespace ebcp::harness
+
+#endif // EBCP_HARNESS_OPTIONS_HH

@@ -1,0 +1,8 @@
+// Fixture TU: a core file with an illegal core->harness include (the
+// edge is both undeclared in the fixture rules and a libsim->
+// libharness reachability violation, so the linter must report it and
+// exit nonzero; tests/CMakeLists.txt marks the ctest entry WILL_FAIL).
+#include "harness/h.hh"
+#include "util/a.hh"
+
+int fixtureBad() { return fixtureUtil() + fixtureHarness(); }

@@ -1,0 +1,5 @@
+// Fixture: a harness-layer header that core code must never reach.
+#ifndef FIXTURE_HARNESS_H_HH
+#define FIXTURE_HARNESS_H_HH
+inline int fixtureHarness() { return 2; }
+#endif

@@ -1,0 +1,5 @@
+// Fixture: an innocent core utility header.
+#ifndef FIXTURE_UTIL_A_HH
+#define FIXTURE_UTIL_A_HH
+inline int fixtureUtil() { return 1; }
+#endif

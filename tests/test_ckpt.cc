@@ -21,15 +21,15 @@
 
 #include "ckpt/archiver.hh"
 #include "ckpt/checkpoint.hh"
-#include "runner/journal.hh"
-#include "runner/sweep.hh"
+#include "harness/journal.hh"
+#include "harness/sweep.hh"
 #include "sim/simulator.hh"
 #include "trace/fault_injection.hh"
 #include "trace/workloads.hh"
 #include "util/crc32.hh"
 
 using namespace ebcp;
-using namespace ebcp::runner;
+using namespace ebcp::harness;
 
 namespace
 {
@@ -176,6 +176,223 @@ TEST(CkptRoundtrip, TruncatedPayloadIsCodedNotUb)
     std::uint64_t w = 99;
     ar.u64(w);
     EXPECT_EQ(w, 99u);
+}
+
+// Originally found by fuzz_ckpt_restore (the minimized inputs live in
+// fuzz/corpus/regressions/ckpt_restore/): a corrupt vector count used
+// to drive an n * sizeof(T) resize before any bounds check, so a
+// 16-byte payload could demand terabytes of host memory. The count
+// must now be rejected against the remaining payload *before* the
+// allocation, scaled by the smallest possible element size.
+TEST(CkptRoundtrip, CorruptVectorCountIsClampedBeforeAllocation)
+{
+    std::string bytes;
+    {
+        ckpt::Archiver ar = ckpt::Archiver::saver(bytes);
+        std::uint64_t huge = std::uint64_t{1} << 40;
+        ar.u64(huge); // forged count with no elements behind it
+    }
+    ckpt::Archiver ar = ckpt::Archiver::loader(bytes.data(),
+                                               bytes.size());
+    std::vector<std::uint64_t> v;
+    ar.vecU64(v);
+    ASSERT_FALSE(ar.ok());
+    EXPECT_EQ(ar.status().code(), StatusCode::Corruption);
+    EXPECT_TRUE(v.empty()); // the resize never happened
+}
+
+TEST(CkptRoundtrip, CorruptStringLengthIsClampedBeforeAllocation)
+{
+    std::string bytes;
+    {
+        ckpt::Archiver ar = ckpt::Archiver::saver(bytes);
+        std::uint32_t huge = 0xffffffffu;
+        ar.u32(huge); // forged string length, no bytes behind it
+    }
+    ckpt::Archiver ar = ckpt::Archiver::loader(bytes.data(),
+                                               bytes.size());
+    std::string s;
+    ar.str(s);
+    ASSERT_FALSE(ar.ok());
+    EXPECT_EQ(ar.status().code(), StatusCode::Corruption);
+    EXPECT_TRUE(s.empty());
+}
+
+// Container-level cousins of the same bug class, also fuzz findings:
+// a section count or section name length the buffer cannot possibly
+// hold must be corruption detected up front, not a loop that
+// allocates its way toward the truncation.
+TEST(CkptCorpus, ImplausibleSectionFramingIsCodedUpFront)
+{
+    auto packU32 = [](std::string &out, std::uint32_t v) {
+        for (unsigned i = 0; i < 4; ++i)
+            out.push_back(static_cast<char>(v >> (8 * i)));
+    };
+    auto packU64 = [](std::string &out, std::uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i)
+            out.push_back(static_cast<char>(v >> (8 * i)));
+    };
+    auto header = [&](std::uint32_t count) {
+        std::string out;
+        out.append(ckpt::kCkptMagic, sizeof ckpt::kCkptMagic);
+        packU32(out, ckpt::kCkptFormatVersion);
+        packU64(out, 0); // fingerprint (tests pass expect=0)
+        packU32(out, count);
+        packU32(out, crc32(out.data(), out.size()));
+        return out;
+    };
+
+    {
+        // 4 billion sections "stored" in a 16-byte body.
+        std::string buf = header(0xffffffffu);
+        buf.append(16, '\0');
+        auto r = ckpt::CheckpointReader::fromBuffer(buf, 0);
+        ASSERT_FALSE(r.ok());
+        EXPECT_EQ(r.status().code(), StatusCode::Corruption);
+        EXPECT_NE(r.status().message().find("sections"),
+                  std::string::npos);
+    }
+    {
+        // One section whose name claims 64 KiB in a body that holds
+        // it -- length-plausible, but no real section name is that
+        // long, so the cap must reject it as corruption.
+        std::string buf = header(1);
+        packU32(buf, 1u << 16);
+        buf.append(1u << 16, 'x');
+        packU64(buf, 0);
+        packU32(buf, crc32("", 0));
+        auto r = ckpt::CheckpointReader::fromBuffer(buf, 0);
+        ASSERT_FALSE(r.ok());
+        EXPECT_EQ(r.status().code(), StatusCode::Corruption);
+        EXPECT_NE(r.status().message().find("name length"),
+                  std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Container API: policy names, writer error latching, file round trip.
+// ---------------------------------------------------------------------
+
+TEST(CkptContainer, PolicyNamesRoundTrip)
+{
+    auto strict = ckpt::ckptPolicyFromName("strict");
+    ASSERT_TRUE(strict.ok());
+    EXPECT_EQ(strict.value(), ckpt::CkptPolicy::Strict);
+    auto rebuild = ckpt::ckptPolicyFromName("rebuild");
+    ASSERT_TRUE(rebuild.ok());
+    EXPECT_EQ(rebuild.value(), ckpt::CkptPolicy::Rebuild);
+    EXPECT_STREQ(ckpt::ckptPolicyName(ckpt::CkptPolicy::Strict),
+                 "strict");
+    EXPECT_STREQ(ckpt::ckptPolicyName(ckpt::CkptPolicy::Rebuild),
+                 "rebuild");
+
+    auto bogus = ckpt::ckptPolicyFromName("lenient");
+    ASSERT_FALSE(bogus.ok());
+    EXPECT_EQ(bogus.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST(CkptContainer, WriterRejectsDuplicateSectionAndStaysLatched)
+{
+    ckpt::CheckpointWriter w(0);
+    ASSERT_TRUE(w.section("a", [](ckpt::Archiver &ar) {
+        std::uint64_t v = 1;
+        ar.u64(v);
+    }).ok());
+
+    Status dup = w.section("a", [](ckpt::Archiver &ar) {
+        std::uint64_t v = 2;
+        ar.u64(v);
+    });
+    ASSERT_FALSE(dup.ok());
+    EXPECT_EQ(dup.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(dup.message().find("duplicate"), std::string::npos);
+
+    // First failure latches the writer: later sections and
+    // serialize() refuse rather than emit a half-built container.
+    EXPECT_FALSE(w.section("b", [](ckpt::Archiver &) {}).ok());
+    EXPECT_FALSE(w.serialize().ok());
+    EXPECT_FALSE(w.writeAtomic(tempPath("never_written.ckpt")).ok());
+}
+
+TEST(CkptContainer, FailingFillIsContextWrappedAndSectionDropped)
+{
+    ckpt::CheckpointWriter w(0);
+    Status s = w.section("core", [](ckpt::Archiver &ar) {
+        ar.fail(corruptionError("fill exploded"));
+    });
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Corruption);
+    EXPECT_NE(s.message().find("checkpoint section 'core'"),
+              std::string::npos)
+        << s.message();
+}
+
+TEST(CkptContainer, FileRoundTripAndMissingFileAreCoded)
+{
+    const std::string path = tempPath("ckpt_container_api.ckpt");
+    ckpt::CheckpointWriter w(0xabcdef);
+    ASSERT_TRUE(w.section("numbers", [](ckpt::Archiver &ar) {
+        std::uint64_t a = 7, b = 9;
+        ar.u64(a);
+        ar.u64(b);
+    }).ok());
+    ASSERT_TRUE(w.writeAtomic(path).ok());
+
+    auto r = ckpt::CheckpointReader::fromFile(path, 0xabcdef);
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_EQ(r.value().fingerprint(), 0xabcdefu);
+    EXPECT_TRUE(r.value().hasSection("numbers"));
+    EXPECT_FALSE(r.value().hasSection("absent"));
+
+    std::uint64_t a = 0, b = 0;
+    ASSERT_TRUE(r.value().section("numbers", [&](ckpt::Archiver &ar) {
+        ar.u64(a);
+        ar.u64(b);
+    }).ok());
+    EXPECT_EQ(a, 7u);
+    EXPECT_EQ(b, 9u);
+
+    // Consuming only part of a section is layout skew, not success.
+    Status skew = r.value().section("numbers", [&](ckpt::Archiver &ar) {
+        ar.u64(a);
+    });
+    ASSERT_FALSE(skew.ok());
+    EXPECT_EQ(skew.code(), StatusCode::Corruption);
+    EXPECT_NE(skew.message().find("unconsumed"), std::string::npos);
+
+    Status missing = r.value().section("absent",
+                                       [](ckpt::Archiver &) {});
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.code(), StatusCode::Corruption);
+    EXPECT_NE(missing.message().find("missing section"),
+              std::string::npos);
+
+    std::remove(path.c_str());
+    auto gone = ckpt::CheckpointReader::fromFile(path, 0xabcdef);
+    ASSERT_FALSE(gone.ok());
+    EXPECT_EQ(gone.status().code(), StatusCode::NotFound);
+}
+
+TEST(CkptContainer, TrailingBytesAndTruncatedHeaderAreCoded)
+{
+    ckpt::CheckpointWriter w(0);
+    ASSERT_TRUE(w.section("s", [](ckpt::Archiver &ar) {
+        std::uint8_t v = 1;
+        ar.u8(v);
+    }).ok());
+    StatusOr<std::string> data = w.serialize();
+    ASSERT_TRUE(data.ok());
+
+    const std::string trailing = data.value() + std::string(3, '\0');
+    auto r = ckpt::CheckpointReader::fromBuffer(trailing, 0);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::Corruption);
+    EXPECT_NE(r.status().message().find("trailing"), std::string::npos);
+
+    const std::string stub = data.value().substr(0, 10);
+    auto t = ckpt::CheckpointReader::fromBuffer(stub, 0);
+    ASSERT_FALSE(t.ok());
+    EXPECT_EQ(t.status().code(), StatusCode::Corruption);
 }
 
 // ---------------------------------------------------------------------

@@ -16,13 +16,13 @@
 
 #include "prefetch/composite.hh"
 #include "prefetch/ledger.hh"
-#include "runner/sweep.hh"
+#include "harness/sweep.hh"
 #include "sim/simulator.hh"
 #include "trace/workloads.hh"
 #include "verify/audit.hh"
 
 using namespace ebcp;
-using namespace ebcp::runner;
+using namespace ebcp::harness;
 
 namespace
 {

@@ -21,7 +21,7 @@
 
 #include "prefetch/ledger.hh"
 #include "sim/simulator.hh"
-#include "sim/stats_json.hh"
+#include "harness/stats_json.hh"
 #include "stats/interval.hh"
 #include "trace/fault_injection.hh"
 #include "trace/workloads.hh"

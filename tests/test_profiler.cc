@@ -17,7 +17,7 @@
 #include <string>
 
 #include "sim/simulator.hh"
-#include "sim/stats_json.hh"
+#include "harness/stats_json.hh"
 #include "trace/workloads.hh"
 #include "util/event_trace.hh"
 #include "util/json.hh"

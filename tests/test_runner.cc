@@ -14,13 +14,13 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "runner/journal.hh"
-#include "runner/options.hh"
-#include "runner/sweep.hh"
+#include "harness/journal.hh"
+#include "harness/options.hh"
+#include "harness/sweep.hh"
 #include "trace/workloads.hh"
 
 using namespace ebcp;
-using namespace ebcp::runner;
+using namespace ebcp::harness;
 
 namespace
 {

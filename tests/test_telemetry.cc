@@ -2,7 +2,7 @@
  * @file
  * Sweep telemetry stream tests.
  *
- * Pins the JSON-lines record contract (runner/telemetry.hh): framing
+ * Pins the JSON-lines record contract (harness/telemetry.hh): framing
  * and CRC round-trip, torn-line and corruption tolerance, schema of
  * every record type a real sweep emits, the Prometheus snapshot, and
  * the headline determinism guarantee -- the deterministic (live:false)
@@ -18,12 +18,12 @@
 #include <string>
 #include <vector>
 
-#include "runner/sweep.hh"
-#include "runner/telemetry.hh"
+#include "harness/sweep.hh"
+#include "harness/telemetry.hh"
 #include "util/json.hh"
 
 using namespace ebcp;
-using namespace ebcp::runner;
+using namespace ebcp::harness;
 
 namespace
 {

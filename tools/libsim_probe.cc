@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Link-level proof that the simulation core stands alone.
+ *
+ * This program links against ebcp_libsim ONLY (see tools/
+ * CMakeLists.txt). If any translation unit in the core grows a
+ * dependency on harness code -- an include that drags in a harness
+ * symbol, an accidental call into the sweep runner or the stats-JSON
+ * exporter -- this target stops linking, turning a layering leak into
+ * a build break rather than a silent coupling. scripts/check.sh
+ * additionally runs `nm` over the binary and fails if any mangled
+ * ebcp::harness symbol appears.
+ *
+ * The probe also exercises the embedding story end to end: build a
+ * simulator from the facade header alone, run a short measurement,
+ * and print the config fingerprint plus a couple of results, proving
+ * that sim/api.hh really is sufficient for an external embedder.
+ */
+
+#include <cstdio>
+
+#include "sim/api.hh"
+#include "trace/workloads.hh"
+
+int
+main()
+{
+    ebcp::SimConfig cfg;
+    ebcp::PrefetcherParams pf;
+    pf.name = "ebcp";
+
+    ebcp::Simulator sim(cfg, pf);
+    auto src = ebcp::makeWorkload("database");
+    if (!sim.runWarm(*src, 5'000).ok()) {
+        std::fprintf(stderr, "libsim_probe: warm-up failed\n");
+        return 1;
+    }
+    ebcp::StatusOr<ebcp::SimResults> r = sim.runMeasure(*src, 5'000);
+    if (!r.ok()) {
+        std::fprintf(stderr, "libsim_probe: %s\n",
+                     r.status().toString().c_str());
+        return 1;
+    }
+    std::printf("libsim_probe: fingerprint=%016llx insts=%llu "
+                "cycles=%llu\n",
+                static_cast<unsigned long long>(sim.configFingerprint()),
+                static_cast<unsigned long long>(r.value().insts),
+                static_cast<unsigned long long>(r.value().cycles));
+    return 0;
+}
